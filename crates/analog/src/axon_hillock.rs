@@ -1,0 +1,590 @@
+//! The Axon Hillock spiking neuron (paper Fig. 2a, after Mead).
+//!
+//! Input current integrates on `Cmem`; when the membrane voltage crosses
+//! the first inverter's switching threshold the two-inverter amplifier
+//! flips, the output step couples back through `Cfb` (regenerative kick),
+//! and the reset pair `MN1`/`MN2` discharges the membrane at a rate set by
+//! the `Vpw` bias until the cycle repeats.
+//!
+//! The *membrane threshold* of this neuron is the first inverter's
+//! switching voltage — set by VDD and the inverter's N:P strength ratio —
+//! which is exactly the asset the paper's power attacks corrupt (Fig. 6a)
+//! and its sizing defense protects (Fig. 9c).
+
+use neurofi_spice::device::MosModel;
+use neurofi_spice::error::Result;
+use neurofi_spice::units::{MICRO, NANO, PICO};
+use neurofi_spice::waveform::Waveform;
+use neurofi_spice::{Netlist, NodeId, SolveOptions, TranSpec};
+
+use crate::bandgap::BandgapReference;
+use crate::NeuronWaveforms;
+
+/// Input spike-train specification for neuron test benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputSpec {
+    /// Spike amplitude, amperes.
+    pub amplitude: f64,
+    /// Spike width, seconds.
+    pub width: f64,
+    /// Spike period, seconds.
+    pub period: f64,
+}
+
+impl InputSpec {
+    /// The paper's Axon Hillock stimulus: 200 nA spikes at a 40 MHz rate.
+    ///
+    /// The paper states a 25 ns width *and* a 25 ns period, which is a
+    /// continuous current; we use a 50% duty cycle (12.5 ns wide) so the
+    /// input remains a spike train, preserving the 40 MHz rate. All of the
+    /// paper's *relative* timing results are duty-cycle-invariant.
+    pub fn paper_axon_hillock() -> InputSpec {
+        InputSpec {
+            amplitude: 200.0 * NANO,
+            width: 12.5 * NANO,
+            period: 25.0 * NANO,
+        }
+    }
+
+    /// The paper's voltage-amplifier I&F stimulus: 200 nA spikes, 25 ns
+    /// wide, 25 ns apart (20 MHz, 50% duty).
+    pub fn paper_vamp_if() -> InputSpec {
+        InputSpec {
+            amplitude: 200.0 * NANO,
+            width: 25.0 * NANO,
+            period: 50.0 * NANO,
+        }
+    }
+
+    /// Returns a copy with a different amplitude (the Fig. 5c sweep).
+    #[must_use]
+    pub fn with_amplitude(mut self, amplitude: f64) -> InputSpec {
+        self.amplitude = amplitude;
+        self
+    }
+
+    /// The equivalent DC (time-averaged) current, amperes.
+    pub fn average_current(&self) -> f64 {
+        self.amplitude * self.width / self.period
+    }
+
+    /// Builds the current-source waveform.
+    pub fn waveform(&self) -> Waveform {
+        Waveform::spike_train(self.amplitude, self.width, self.period, 0.0)
+    }
+}
+
+/// First amplification stage of the Axon Hillock neuron.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FirstStage {
+    /// The stock CMOS inverter (vulnerable: its switching threshold tracks
+    /// VDD).
+    Inverter,
+    /// The Fig. 10a defense: a 5-transistor comparator referenced to a
+    /// bandgap voltage, making the threshold VDD-independent.
+    Comparator {
+        /// Threshold reference (nominally 0.5 V from a bandgap).
+        reference: BandgapReference,
+        /// Tail-current bias voltage VB, volts (0.4 V in the paper).
+        v_bias: f64,
+    },
+}
+
+/// The Axon Hillock neuron circuit.
+///
+/// [`Default`] reproduces the paper's design: `Cmem = Cfb = 1 pF`,
+/// VDD = 1 V operation, first-inverter sizing that places the membrane
+/// threshold at ≈0.5 V.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxonHillock {
+    /// Membrane capacitance, farads (1 pF).
+    pub c_mem: f64,
+    /// Feedback capacitance, farads (1 pF).
+    pub c_fb: f64,
+    /// Reset-current bias `Vpw`, volts. Sets the discharge rate through
+    /// MN2; must give a reset current well above the input current.
+    pub v_pw: f64,
+    /// First-inverter NMOS width, meters. The sizing-defense knob: scaling
+    /// this up pins the switching threshold toward the (VDD-independent)
+    /// NMOS `Vt0` (paper Fig. 9c).
+    pub inv1_wn: f64,
+    /// First-inverter PMOS width, meters.
+    pub inv1_wp: f64,
+    /// Second-inverter NMOS width, meters.
+    pub inv2_wn: f64,
+    /// Second-inverter PMOS width, meters.
+    pub inv2_wp: f64,
+    /// Reset switch MN1 width, meters.
+    pub w_reset: f64,
+    /// Reset current limiter MN2 width, meters.
+    pub w_limit: f64,
+    /// Channel length used throughout, meters.
+    pub l: f64,
+    /// First stage: inverter (stock) or comparator (defense).
+    pub first_stage: FirstStage,
+    /// NMOS model card.
+    pub nmos: MosModel,
+    /// PMOS model card.
+    pub pmos: MosModel,
+}
+
+impl Default for AxonHillock {
+    fn default() -> AxonHillock {
+        AxonHillock {
+            c_mem: 1.0 * PICO,
+            c_fb: 1.0 * PICO,
+            v_pw: 0.45,
+            inv1_wn: 1.0 * MICRO,
+            inv1_wp: 1.0 * MICRO,
+            inv2_wn: 1.0 * MICRO,
+            inv2_wp: 2.5 * MICRO,
+            w_reset: 2.0 * MICRO,
+            w_limit: 1.0 * MICRO,
+            l: 65.0 * NANO,
+            first_stage: FirstStage::Inverter,
+            nmos: MosModel::ptm65_nmos(),
+            pmos: MosModel::ptm65_pmos(),
+        }
+    }
+}
+
+/// Node handles returned by [`AxonHillock::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct AxonHillockNodes {
+    /// Supply node.
+    pub vdd: NodeId,
+    /// Membrane node (`Vmem`).
+    pub mem: NodeId,
+    /// Output node (`Vout`).
+    pub out: NodeId,
+}
+
+impl AxonHillock {
+    /// Returns a copy with the first-inverter N:P width ratio set to
+    /// `ratio` (PMOS width fixed, NMOS width scaled) — the Fig. 9c sizing
+    /// sweep.
+    ///
+    /// # Panics
+    /// Panics if `ratio` is not positive and finite.
+    #[must_use]
+    pub fn with_first_inverter_ratio(mut self, ratio: f64) -> AxonHillock {
+        assert!(
+            ratio.is_finite() && ratio > 0.0,
+            "sizing ratio must be positive, got {ratio}"
+        );
+        self.inv1_wn = self.inv1_wp * ratio;
+        self
+    }
+
+    /// Returns a copy using the comparator first stage (Fig. 10a defense).
+    #[must_use]
+    pub fn with_comparator_stage(mut self) -> AxonHillock {
+        self.first_stage = FirstStage::Comparator {
+            reference: BandgapReference::new(0.5),
+            v_bias: 0.4,
+        };
+        self
+    }
+
+    /// Adds the neuron to `net`. The membrane input current must be
+    /// injected into the returned `mem` node; the supply rail `vdd` must be
+    /// driven externally (that is the attack surface).
+    ///
+    /// # Errors
+    /// Propagates netlist construction errors.
+    pub fn build(&self, net: &mut Netlist, prefix: &str, vdd_value: f64) -> Result<AxonHillockNodes> {
+        let gnd = Netlist::GROUND;
+        let vdd = net.node(&format!("{prefix}_vdd"));
+        let mem = net.node(&format!("{prefix}_mem"));
+        let stage1 = net.node(&format!("{prefix}_s1"));
+        let out = net.node(&format!("{prefix}_out"));
+        let rst = net.node(&format!("{prefix}_rst"));
+        let vpw = net.node(&format!("{prefix}_vpw"));
+
+        net.capacitor_ic(&format!("{prefix}_CMEM"), mem, gnd, self.c_mem, 0.0)?;
+        net.capacitor_ic(&format!("{prefix}_CFB"), out, mem, self.c_fb, 0.0)?;
+        // Lumped gate/junction parasitics at the amplifier nodes. Physically
+        // these are the fF-scale device capacitances; numerically they give
+        // the regenerative feedback loop a finite flip speed, which the
+        // transient engine resolves by local step halving. Initial
+        // conditions match the quiescent state (membrane at 0 ⇒ stage-1
+        // output high, neuron output low).
+        net.capacitor_ic(&format!("{prefix}_CP1"), stage1, gnd, 20.0e-15, vdd_value)?;
+        net.capacitor_ic(&format!("{prefix}_CP2"), out, gnd, 20.0e-15, 0.0)?;
+
+        match &self.first_stage {
+            FirstStage::Inverter => {
+                net.mosfet(
+                    &format!("{prefix}_MP1"),
+                    stage1,
+                    mem,
+                    vdd,
+                    vdd,
+                    self.pmos.clone(),
+                    self.inv1_wp,
+                    self.l,
+                )?;
+                net.mosfet(
+                    &format!("{prefix}_MN3"),
+                    stage1,
+                    mem,
+                    gnd,
+                    gnd,
+                    self.nmos.clone(),
+                    self.inv1_wn,
+                    self.l,
+                )?;
+            }
+            FirstStage::Comparator { reference, v_bias } => {
+                // 5T OTA wired inverting (in− = mem, in+ = reference) so the
+                // stage-1 output falls as the membrane crosses threshold,
+                // matching the inverter polarity.
+                let vref = net.node(&format!("{prefix}_vref"));
+                let vb = net.node(&format!("{prefix}_vb"));
+                let tail = net.node(&format!("{prefix}_tail"));
+                let n1 = net.node(&format!("{prefix}_n1"));
+                net.vsource(
+                    &format!("{prefix}_VREF"),
+                    vref,
+                    gnd,
+                    Waveform::Dc(reference.output(vdd_value)),
+                )?;
+                net.vsource(&format!("{prefix}_VB"), vb, gnd, Waveform::Dc(*v_bias))?;
+                net.mosfet(
+                    &format!("{prefix}_MNT"),
+                    tail,
+                    vb,
+                    gnd,
+                    gnd,
+                    self.nmos.clone(),
+                    2.0 * MICRO,
+                    self.l,
+                )?;
+                // in+ = vref drives the mirror side; in− = mem drives the output side.
+                net.mosfet(
+                    &format!("{prefix}_MIP"),
+                    n1,
+                    vref,
+                    tail,
+                    gnd,
+                    self.nmos.clone(),
+                    1.0 * MICRO,
+                    self.l,
+                )?;
+                net.mosfet(
+                    &format!("{prefix}_MIM"),
+                    stage1,
+                    mem,
+                    tail,
+                    gnd,
+                    self.nmos.clone(),
+                    1.0 * MICRO,
+                    self.l,
+                )?;
+                net.mosfet(
+                    &format!("{prefix}_MPA"),
+                    n1,
+                    n1,
+                    vdd,
+                    vdd,
+                    self.pmos.clone(),
+                    2.0 * MICRO,
+                    self.l,
+                )?;
+                net.mosfet(
+                    &format!("{prefix}_MPB"),
+                    stage1,
+                    n1,
+                    vdd,
+                    vdd,
+                    self.pmos.clone(),
+                    2.0 * MICRO,
+                    self.l,
+                )?;
+            }
+        }
+
+        // Second inverter.
+        net.mosfet(
+            &format!("{prefix}_MP2"),
+            out,
+            stage1,
+            vdd,
+            vdd,
+            self.pmos.clone(),
+            self.inv2_wp,
+            self.l,
+        )?;
+        net.mosfet(
+            &format!("{prefix}_MN4"),
+            out,
+            stage1,
+            gnd,
+            gnd,
+            self.nmos.clone(),
+            self.inv2_wn,
+            self.l,
+        )?;
+
+        // Reset path: mem → MN1 (gated by out) → MN2 (bias-limited) → gnd.
+        net.vsource(&format!("{prefix}_VPW"), vpw, gnd, Waveform::Dc(self.v_pw))?;
+        net.mosfet(
+            &format!("{prefix}_MN1"),
+            mem,
+            out,
+            rst,
+            gnd,
+            self.nmos.clone(),
+            self.w_reset,
+            self.l,
+        )?;
+        net.mosfet(
+            &format!("{prefix}_MN2"),
+            rst,
+            vpw,
+            gnd,
+            gnd,
+            self.nmos.clone(),
+            self.w_limit,
+            self.l,
+        )?;
+        Ok(AxonHillockNodes { vdd, mem, out })
+    }
+
+    /// Transient simulation of the neuron driven by an ideal spike-train
+    /// current source (the paper's Figs. 2c and 3 test bench).
+    ///
+    /// # Errors
+    /// Propagates solver failures.
+    pub fn simulate(
+        &self,
+        vdd: f64,
+        input: &InputSpec,
+        tstop: f64,
+        dt: f64,
+    ) -> Result<NeuronWaveforms> {
+        let mut net = Netlist::new();
+        let nodes = self.build(&mut net, "ah", vdd)?;
+        net.vsource("VDD", nodes.vdd, Netlist::GROUND, Waveform::Dc(vdd))?;
+        net.isource("IIN", Netlist::GROUND, nodes.mem, input.waveform())?;
+        let spec = TranSpec::new(tstop, dt).with_uic();
+        let res = net.compile()?.tran(&spec)?;
+        Ok(NeuronWaveforms {
+            times: res.times().to_vec(),
+            vmem: res.voltage(nodes.mem),
+            vout: res.voltage(nodes.out),
+            supply_current: res
+                .source_current("VDD")
+                .unwrap()
+                .into_iter()
+                .map(|i| -i)
+                .collect(),
+            vdd,
+        })
+    }
+
+    /// Extracts the membrane threshold at the given supply voltage by a DC
+    /// sweep of the membrane node: the `Vmem` value at which `Vout`
+    /// crosses `vdd/2` rising (paper Fig. 6a).
+    ///
+    /// # Errors
+    /// Propagates solver failures.
+    pub fn threshold(&self, vdd: f64) -> Result<f64> {
+        let mut net = Netlist::new();
+        let nodes = self.build(&mut net, "ah", vdd)?;
+        net.vsource("VDD", nodes.vdd, Netlist::GROUND, Waveform::Dc(vdd))?;
+        net.vsource("VMEM", nodes.mem, Netlist::GROUND, Waveform::Dc(0.0))?;
+        let circuit = net.compile()?;
+        let n = 200;
+        let values: Vec<f64> = (0..=n).map(|i| vdd * i as f64 / n as f64).collect();
+        let ops = circuit.dc_sweep("VMEM", &values, &SolveOptions::default())?;
+        let level = 0.5 * vdd;
+        for pair in ops.windows(2) {
+            let (y0, y1) = (pair[0].voltage(nodes.out), pair[1].voltage(nodes.out));
+            if y0 < level && y1 >= level {
+                let (x0, x1) = (pair[0].voltage(nodes.mem), pair[1].voltage(nodes.mem));
+                if (y1 - y0).abs() < f64::MIN_POSITIVE {
+                    return Ok(x0);
+                }
+                return Ok(x0 + (level - y0) * (x1 - x0) / (y1 - y0));
+            }
+        }
+        Err(neurofi_spice::Error::InvalidAnalysis(format!(
+            "axon hillock output never crossed vdd/2 during threshold sweep at vdd={vdd}"
+        )))
+    }
+
+    /// Renders the complete test bench (neuron + supply + stimulus) as a
+    /// SPICE deck for inspection or external simulation.
+    ///
+    /// # Errors
+    /// Propagates netlist construction errors.
+    pub fn export_deck(&self, vdd: f64, input: &InputSpec) -> Result<String> {
+        let mut net = Netlist::new();
+        let nodes = self.build(&mut net, "ah", vdd)?;
+        net.vsource("VDD", nodes.vdd, Netlist::GROUND, Waveform::Dc(vdd))?;
+        net.isource("IIN", Netlist::GROUND, nodes.mem, input.waveform())?;
+        Ok(neurofi_spice::export::to_deck(
+            "axon hillock neuron (paper fig. 2a)",
+            &net,
+            Some(&TranSpec::new(45.0e-6, 20.0e-9).with_uic()),
+        ))
+    }
+
+    /// Mean output spike period under the given stimulus; simulates long
+    /// enough for several spikes.
+    ///
+    /// # Errors
+    /// Propagates solver failures, or [`neurofi_spice::Error::InvalidAnalysis`]
+    /// if fewer than two spikes fire within the window.
+    pub fn spike_period(&self, vdd: f64, input: &InputSpec) -> Result<f64> {
+        // During integration the output is low and quasi-static, so the
+        // feedback capacitor loads the membrane in parallel with Cmem;
+        // time to first spike ≈ (Cmem+Cfb)·Vth/Iavg. Allow several periods.
+        let t_first = (self.c_mem + self.c_fb) * 0.6 * vdd / input.average_current();
+        let tstop = 5.0 * t_first;
+        let wave = self.simulate(vdd, input, tstop, 20.0 * NANO)?;
+        wave.mean_output_period().ok_or_else(|| {
+            neurofi_spice::Error::InvalidAnalysis(format!(
+                "axon hillock produced fewer than two spikes in {tstop:.2e}s at vdd={vdd}"
+            ))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurofi_spice::measure;
+
+    #[test]
+    fn input_spec_average_current() {
+        let spec = InputSpec::paper_axon_hillock();
+        assert!((spec.average_current() - 100.0e-9).abs() < 1.0e-12);
+        let dc = InputSpec {
+            amplitude: 200.0e-9,
+            width: 1.0,
+            period: 1.0,
+        };
+        assert!((dc.average_current() - 200.0e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn neuron_spikes_periodically() {
+        let neuron = AxonHillock::default();
+        let wave = neuron
+            .simulate(1.0, &InputSpec::paper_axon_hillock(), 45.0e-6, 20.0e-9)
+            .unwrap();
+        let spikes = wave.output_spike_times();
+        assert!(
+            spikes.len() >= 3,
+            "expected at least 3 spikes, got {} ({:?})",
+            spikes.len(),
+            spikes
+        );
+        // Roughly uniform periods (within 30%).
+        let periods: Vec<f64> = spikes.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean: f64 = periods.iter().sum::<f64>() / periods.len() as f64;
+        for p in &periods {
+            assert!((p - mean).abs() / mean < 0.3, "period jitter too large");
+        }
+    }
+
+    #[test]
+    fn membrane_ramps_and_resets() {
+        let neuron = AxonHillock::default();
+        let wave = neuron
+            .simulate(1.0, &InputSpec::paper_axon_hillock(), 20.0e-6, 20.0e-9)
+            .unwrap();
+        let vmax = measure::maximum(&wave.vmem);
+        let vmin = measure::minimum(&wave.vmem);
+        // The membrane ramps to the ~0.5 V threshold, then the Cfb divider
+        // kicks it up by ~Cfb/(Cmem+Cfb)·VDD ≈ 0.5 V (Mead's regenerative
+        // kick), so the peak sits near VDD; the reset pulls it back down.
+        assert!(vmax > 0.55 && vmax < 1.1, "vmax={vmax}");
+        assert!(vmin < 0.2, "vmin={vmin}");
+    }
+
+    #[test]
+    fn threshold_near_half_vdd_at_nominal() {
+        let thr = AxonHillock::default().threshold(1.0).unwrap();
+        assert!((thr - 0.5).abs() < 0.06, "threshold {thr}");
+    }
+
+    #[test]
+    fn threshold_tracks_vdd_like_paper_fig6a() {
+        let neuron = AxonHillock::default();
+        let nominal = neuron.threshold(1.0).unwrap();
+        let low = neuron.threshold(0.8).unwrap();
+        let high = neuron.threshold(1.2).unwrap();
+        let low_pct = (low - nominal) / nominal * 100.0;
+        let high_pct = (high - nominal) / nominal * 100.0;
+        // Paper: −17.91% at 0.8 V, +16.76% at 1.2 V.
+        assert!(low_pct < -10.0 && low_pct > -25.0, "low {low_pct:.1}%");
+        assert!(high_pct > 10.0 && high_pct < 25.0, "high {high_pct:.1}%");
+    }
+
+    #[test]
+    fn sizing_defense_pins_threshold() {
+        // Fig. 9c direction: a 32:1 first-inverter ratio reduces the
+        // threshold's VDD sensitivity. The paper's HSPICE reports −18% →
+        // −5.23%; our EKV model's wide moderate-inversion region limits the
+        // pinning to ≈−15% (the trip point's PMOS leaves strong inversion
+        // at low VDD) — the direction and monotonicity are preserved, the
+        // magnitude is weaker. Recorded as a known deviation in
+        // EXPERIMENTS.md.
+        let stock = AxonHillock::default();
+        let sized = AxonHillock::default().with_first_inverter_ratio(32.0);
+        let stock_change = (stock.threshold(0.8).unwrap() - stock.threshold(1.0).unwrap())
+            / stock.threshold(1.0).unwrap();
+        let sized_change = (sized.threshold(0.8).unwrap() - sized.threshold(1.0).unwrap())
+            / sized.threshold(1.0).unwrap();
+        assert!(
+            sized_change.abs() < stock_change.abs() - 0.02,
+            "sizing must reduce sensitivity by ≥2pp: {:.1}% vs {:.1}%",
+            sized_change * 100.0,
+            stock_change * 100.0
+        );
+    }
+
+    #[test]
+    fn comparator_defense_decouples_threshold_from_vdd() {
+        let neuron = AxonHillock::default().with_comparator_stage();
+        let nominal = neuron.threshold(1.0).unwrap();
+        let low = neuron.threshold(0.8).unwrap();
+        let pct = (low - nominal) / nominal * 100.0;
+        assert!(pct.abs() < 4.0, "comparator threshold moved {pct:.2}%");
+    }
+
+    #[test]
+    fn exported_deck_parses_and_contains_the_circuit() {
+        let neuron = AxonHillock::default();
+        let deck = neuron
+            .export_deck(1.0, &InputSpec::paper_axon_hillock())
+            .unwrap();
+        let parsed = neurofi_spice::parse::parse_deck(&deck).unwrap();
+        // 2 caps + 2 parasitics + 6 FETs + VPW + VDD + IIN = 13 elements.
+        assert_eq!(parsed.netlist.elements().len(), 13);
+        assert!(parsed.netlist.find_node("ah_mem").is_some());
+    }
+
+    #[test]
+    fn faster_input_spikes_sooner() {
+        // Higher input amplitude → shorter period (Fig. 5c direction).
+        let neuron = AxonHillock::default();
+        let spec = InputSpec::paper_axon_hillock();
+        let nominal = neuron.spike_period(1.0, &spec).unwrap();
+        let fast = neuron
+            .spike_period(1.0, &spec.with_amplitude(264.0e-9))
+            .unwrap();
+        let slow = neuron
+            .spike_period(1.0, &spec.with_amplitude(136.0e-9))
+            .unwrap();
+        assert!(fast < nominal && nominal < slow);
+        let fast_pct = (fast - nominal) / nominal * 100.0;
+        let slow_pct = (slow - nominal) / nominal * 100.0;
+        // Paper: −24.7% and +53.7%.
+        assert!(fast_pct < -15.0 && fast_pct > -35.0, "fast {fast_pct:.1}%");
+        assert!(slow_pct > 30.0 && slow_pct < 75.0, "slow {slow_pct:.1}%");
+    }
+}

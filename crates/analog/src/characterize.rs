@@ -1,0 +1,313 @@
+//! Characterisation sweeps regenerating the paper's circuit-level figures.
+//!
+//! Each function runs a family of simulations and returns `(x, y)` series
+//! ready for the reproduction harness in `neurofi-bench`:
+//!
+//! | function | paper figure |
+//! |---|---|
+//! | [`driver_amplitude_vs_vdd`] | Fig. 5b |
+//! | [`ah_period_vs_amplitude`], [`if_period_vs_amplitude`] | Fig. 5c |
+//! | [`ah_threshold_vs_vdd`], [`if_threshold_vs_vdd`] | Fig. 6a |
+//! | [`ah_period_vs_vdd`] | Fig. 6b |
+//! | [`if_period_vs_vdd`] | Fig. 6c |
+//! | [`sizing_threshold_sweep`] | Fig. 9c |
+//! | [`dummy_rate_vs_vdd`] | Fig. 10c |
+//! | [`neuron_average_power`], driver `supply_power` | §V overheads |
+
+use neurofi_spice::error::Result;
+use neurofi_spice::units::NANO;
+
+use crate::axon_hillock::{AxonHillock, InputSpec};
+use crate::driver::{CurrentDriver, RobustCurrentDriver};
+use crate::dummy::DummyNeuron;
+use crate::transfer::PowerTransferTable;
+use crate::vamp_if::VoltageAmplifierIf;
+use crate::NeuronKind;
+
+/// The VDD grid used throughout the paper's sweeps: 0.8 to 1.2 V.
+pub fn paper_vdd_grid() -> Vec<f64> {
+    vec![0.8, 0.9, 1.0, 1.1, 1.2]
+}
+
+/// The input-amplitude grid implied by Fig. 5b/5c: the driver outputs at
+/// the paper's VDD grid (136…264 nA).
+pub fn paper_amplitude_grid() -> Vec<f64> {
+    vec![
+        136.0 * NANO,
+        168.0 * NANO,
+        200.0 * NANO,
+        232.0 * NANO,
+        264.0 * NANO,
+    ]
+}
+
+/// Driver output amplitude over a VDD sweep (Fig. 5b). Returns
+/// `(vdd, amplitude_amperes)` pairs.
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn driver_amplitude_vs_vdd(
+    driver: &CurrentDriver,
+    vdds: &[f64],
+) -> Result<Vec<(f64, f64)>> {
+    vdds.iter()
+        .map(|&v| driver.output_amplitude(v).map(|a| (v, a)))
+        .collect()
+}
+
+/// Robust-driver output amplitude over a VDD sweep (Fig. 9b defense
+/// verification).
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn robust_driver_amplitude_vs_vdd(
+    driver: &RobustCurrentDriver,
+    vdds: &[f64],
+) -> Result<Vec<(f64, f64)>> {
+    vdds.iter()
+        .map(|&v| driver.output_amplitude(v).map(|a| (v, a)))
+        .collect()
+}
+
+/// Axon Hillock membrane threshold over a VDD sweep (Fig. 6a).
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn ah_threshold_vs_vdd(neuron: &AxonHillock, vdds: &[f64]) -> Result<Vec<(f64, f64)>> {
+    vdds.iter()
+        .map(|&v| neuron.threshold(v).map(|t| (v, t)))
+        .collect()
+}
+
+/// VAIF effective threshold over a VDD sweep (Fig. 6a).
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn if_threshold_vs_vdd(
+    neuron: &VoltageAmplifierIf,
+    vdds: &[f64],
+) -> Result<Vec<(f64, f64)>> {
+    vdds.iter()
+        .map(|&v| neuron.threshold(v).map(|t| (v, t)))
+        .collect()
+}
+
+/// Axon Hillock firing period versus input amplitude at VDD = 1 V
+/// (Fig. 5c). Returns `(amplitude, period_seconds)`.
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn ah_period_vs_amplitude(
+    neuron: &AxonHillock,
+    amplitudes: &[f64],
+) -> Result<Vec<(f64, f64)>> {
+    let base = InputSpec::paper_axon_hillock();
+    amplitudes
+        .iter()
+        .map(|&a| neuron.spike_period(1.0, &base.with_amplitude(a)).map(|p| (a, p)))
+        .collect()
+}
+
+/// VAIF firing period versus input amplitude at VDD = 1 V (Fig. 5c).
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn if_period_vs_amplitude(
+    neuron: &VoltageAmplifierIf,
+    amplitudes: &[f64],
+) -> Result<Vec<(f64, f64)>> {
+    let base = InputSpec::paper_vamp_if();
+    amplitudes
+        .iter()
+        .map(|&a| neuron.spike_period(1.0, &base.with_amplitude(a)).map(|p| (a, p)))
+        .collect()
+}
+
+/// Axon Hillock firing period over a VDD sweep with fixed input (Fig. 6b).
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn ah_period_vs_vdd(neuron: &AxonHillock, vdds: &[f64]) -> Result<Vec<(f64, f64)>> {
+    let input = InputSpec::paper_axon_hillock();
+    vdds.iter()
+        .map(|&v| neuron.spike_period(v, &input).map(|p| (v, p)))
+        .collect()
+}
+
+/// VAIF firing period over a VDD sweep with fixed input (Fig. 6c).
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn if_period_vs_vdd(
+    neuron: &VoltageAmplifierIf,
+    vdds: &[f64],
+) -> Result<Vec<(f64, f64)>> {
+    let input = InputSpec::paper_vamp_if();
+    vdds.iter()
+        .map(|&v| neuron.spike_period(v, &input).map(|p| (v, p)))
+        .collect()
+}
+
+/// One row of the Fig. 9c sizing sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizingRow {
+    /// First-inverter N:P strength ratio.
+    pub ratio: f64,
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Measured membrane threshold, volts.
+    pub threshold: f64,
+    /// Relative change versus the same sizing at VDD = 1 V, percent.
+    pub change_percent: f64,
+}
+
+/// Fig. 9c: membrane-threshold sensitivity versus first-inverter sizing.
+/// For each ratio the threshold is measured at VDD = 1 V (reference) and at
+/// each entry of `vdds`.
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn sizing_threshold_sweep(ratios: &[f64], vdds: &[f64]) -> Result<Vec<SizingRow>> {
+    let mut rows = Vec::new();
+    for &ratio in ratios {
+        let neuron = AxonHillock::default().with_first_inverter_ratio(ratio);
+        let reference = neuron.threshold(1.0)?;
+        for &vdd in vdds {
+            let threshold = neuron.threshold(vdd)?;
+            rows.push(SizingRow {
+                ratio,
+                vdd,
+                threshold,
+                change_percent: (threshold - reference) / reference * 100.0,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Fig. 10c: dummy-neuron spike rate over a VDD sweep. Returns
+/// `(vdd, rate_hz)`.
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn dummy_rate_vs_vdd(kind: NeuronKind, vdds: &[f64]) -> Result<Vec<(f64, f64)>> {
+    let dummy = DummyNeuron::new(kind);
+    vdds.iter()
+        .map(|&v| dummy.spike_rate(v).map(|r| (v, r)))
+        .collect()
+}
+
+/// Average supply power of a neuron during steady-state firing, watts.
+/// Used for the defense power-overhead table (§V).
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn neuron_average_power(kind: NeuronKind, ah: &AxonHillock, vif: &VoltageAmplifierIf, vdd: f64) -> Result<f64> {
+    match kind {
+        NeuronKind::AxonHillock => {
+            let input = InputSpec::paper_axon_hillock();
+            let wave = ah.simulate(vdd, &input, 30.0e-6, 20.0e-9)?;
+            Ok(wave.average_supply_power())
+        }
+        NeuronKind::VoltageAmplifierIf => {
+            let input = InputSpec::paper_vamp_if();
+            let wave = vif.simulate(vdd, &input, 400.0e-6, 50.0e-9, true)?;
+            Ok(wave.average_supply_power())
+        }
+    }
+}
+
+/// Runs the full circuit characterisation needed by the network-level
+/// attack models and packs it into a [`PowerTransferTable`].
+///
+/// This is the measured counterpart of
+/// [`PowerTransferTable::paper_nominal`].
+///
+/// # Errors
+/// Propagates solver failures.
+pub fn measured_transfer_table(vdds: &[f64]) -> Result<PowerTransferTable> {
+    let driver = CurrentDriver::default();
+    let ah = AxonHillock::default();
+    let vif = VoltageAmplifierIf::default();
+    let drive = driver_amplitude_vs_vdd(&driver, vdds)?;
+    let ah_thr = ah_threshold_vs_vdd(&ah, vdds)?;
+    let if_thr = if_threshold_vs_vdd(&vif, vdds)?;
+    Ok(PowerTransferTable::from_measurements(
+        1.0, &drive, &ah_thr, &if_thr,
+    ))
+}
+
+/// Converts an `(x, y)` series into `(x, percent_change_vs_reference)`
+/// where the reference is the `y` at the `x` closest to `x_ref`.
+///
+/// # Panics
+/// Panics if `series` is empty or the reference `y` is zero.
+pub fn to_percent_change(series: &[(f64, f64)], x_ref: f64) -> Vec<(f64, f64)> {
+    assert!(!series.is_empty(), "series must not be empty");
+    let reference = series
+        .iter()
+        .min_by(|a, b| {
+            (a.0 - x_ref)
+                .abs()
+                .partial_cmp(&(b.0 - x_ref).abs())
+                .unwrap()
+        })
+        .unwrap()
+        .1;
+    assert!(reference != 0.0, "reference value must be non-zero");
+    series
+        .iter()
+        .map(|&(x, y)| (x, (y - reference) / reference * 100.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_change_helper() {
+        let series = [(0.8, 8.0), (1.0, 10.0), (1.2, 12.0)];
+        let pct = to_percent_change(&series, 1.0);
+        assert!((pct[0].1 + 20.0).abs() < 1e-12);
+        assert!((pct[2].1 - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grids_are_sane() {
+        assert_eq!(paper_vdd_grid().len(), 5);
+        assert_eq!(paper_amplitude_grid().len(), 5);
+        assert!((paper_amplitude_grid()[2] - 200.0e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn measured_transfer_table_matches_paper_shape() {
+        // Coarse grid to keep the test fast; endpoints are what matter.
+        let table = measured_transfer_table(&[0.8, 1.0, 1.2]).unwrap();
+        let lo = table.sample(0.8);
+        let hi = table.sample(1.2);
+        // Drive: paper −32%/+32%; accept ±24..42%.
+        assert!(lo.drive_scale < 0.76 && lo.drive_scale > 0.58, "{lo:?}");
+        assert!(hi.drive_scale > 1.24 && hi.drive_scale < 1.42, "{hi:?}");
+        // Thresholds: paper ≈∓18%; accept 10..26%.
+        assert!(
+            lo.ah_threshold_scale < 0.90 && lo.ah_threshold_scale > 0.74,
+            "{lo:?}"
+        );
+        assert!(
+            hi.if_threshold_scale > 1.10 && hi.if_threshold_scale < 1.26,
+            "{hi:?}"
+        );
+    }
+
+    #[test]
+    fn sizing_sweep_reduces_sensitivity_monotonically() {
+        let rows = sizing_threshold_sweep(&[1.0, 8.0, 32.0], &[0.8]).unwrap();
+        let changes: Vec<f64> = rows.iter().map(|r| r.change_percent.abs()).collect();
+        assert!(changes[1] < changes[0], "{changes:?}");
+        assert!(changes[2] < changes[1], "{changes:?}");
+        // Paper: −18% stock → −5.23% at 32:1; our EKV model pins less
+        // aggressively (see EXPERIMENTS.md) but must stay below 16%.
+        assert!(changes[2] < 16.0, "{changes:?}");
+    }
+}

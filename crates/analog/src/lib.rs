@@ -1,0 +1,115 @@
+//! # neurofi-analog
+//!
+//! Transistor-level implementations of the analog building blocks studied in
+//! *"Analysis of Power-Oriented Fault Injection Attacks on Spiking Neural
+//! Networks"* (DATE 2022), built on the [`neurofi_spice`] simulator:
+//!
+//! * [`axon_hillock`] — the Axon Hillock neuron (paper Fig. 2a): membrane
+//!   capacitor, two-inverter amplifier with capacitive positive feedback,
+//!   bias-limited reset path.
+//! * [`vamp_if`] — the voltage-amplifier I&F neuron (Fig. 2b): 5-transistor
+//!   OTA comparator, resistor-divider threshold (the VDD-coupled
+//!   vulnerability), explicit spike and refractory machinery around a 20 pF
+//!   capacitor.
+//! * [`driver`] — the current-mirror input driver (Fig. 5a) whose output
+//!   amplitude tracks VDD (the attack surface), and the robust op-amp
+//!   driver (Fig. 9b) that pins the amplitude to a bandgap reference.
+//! * [`bandgap`] — behavioural bandgap voltage reference (±0.56% over the
+//!   attack VDD range, after ref.\[24\] in the paper).
+//! * [`dummy`] — the dummy-neuron voltage-glitch detector cell
+//!   (Figs. 10b/10c).
+//! * [`characterize`] — sweep drivers that regenerate the paper's
+//!   circuit-level figures (5b, 5c, 6a, 6b, 6c, 9c, 10c) and measure the
+//!   power overheads of the defenses.
+//!
+//! The characterisation results feed the behavioural attack models in
+//! `neurofi-core` through [`transfer::PowerTransferTable`].
+//!
+//! ## Example: measure the driver's VDD sensitivity (paper Fig. 5b)
+//!
+//! ```
+//! use neurofi_analog::driver::CurrentDriver;
+//!
+//! let driver = CurrentDriver::default();
+//! let nominal = driver.output_amplitude(1.0)?;
+//! let sagged = driver.output_amplitude(0.8)?;
+//! // The paper reports 200 nA at VDD = 1.0 V and 136 nA at 0.8 V (−32%).
+//! assert!((nominal - 200.0e-9).abs() < 20.0e-9);
+//! assert!(sagged < 0.75 * nominal);
+//! # Ok::<(), neurofi_analog::Error>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod axon_hillock;
+pub mod bandgap;
+pub mod characterize;
+pub mod driver;
+pub mod dummy;
+pub mod ota;
+pub mod transfer;
+pub mod vamp_if;
+
+pub use axon_hillock::AxonHillock;
+pub use bandgap::BandgapReference;
+pub use driver::{CurrentDriver, RobustCurrentDriver};
+pub use dummy::DummyNeuron;
+/// Errors from this crate are simulator errors; re-exported for `?`-chains.
+pub use neurofi_spice::Error;
+pub use transfer::PowerTransferTable;
+pub use vamp_if::VoltageAmplifierIf;
+
+/// Which of the paper's two neuron designs a characterisation targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NeuronKind {
+    /// The Axon Hillock neuron (Fig. 2a).
+    AxonHillock,
+    /// The voltage-amplifier I&F neuron (Fig. 2b).
+    VoltageAmplifierIf,
+}
+
+impl std::fmt::Display for NeuronKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NeuronKind::AxonHillock => write!(f, "axon-hillock"),
+            NeuronKind::VoltageAmplifierIf => write!(f, "voltage-amplifier-if"),
+        }
+    }
+}
+
+/// Waveforms captured from a neuron transient simulation.
+#[derive(Debug, Clone)]
+pub struct NeuronWaveforms {
+    /// Time points, seconds.
+    pub times: Vec<f64>,
+    /// Membrane voltage, volts.
+    pub vmem: Vec<f64>,
+    /// Output voltage, volts.
+    pub vout: Vec<f64>,
+    /// Current drawn from the VDD supply, amperes (positive = consumption).
+    pub supply_current: Vec<f64>,
+    /// Supply voltage used for the run, volts.
+    pub vdd: f64,
+}
+
+impl NeuronWaveforms {
+    /// Times of output spikes (rising crossings of `vdd/2` on `vout`).
+    pub fn output_spike_times(&self) -> Vec<f64> {
+        neurofi_spice::measure::spike_times(&self.times, &self.vout, 0.5 * self.vdd)
+    }
+
+    /// Mean inter-spike period of the output, if at least two spikes fired.
+    pub fn mean_output_period(&self) -> Option<f64> {
+        neurofi_spice::measure::mean_spike_period(&self.times, &self.vout, 0.5 * self.vdd)
+    }
+
+    /// Average power drawn from VDD over the simulated window, watts.
+    pub fn average_supply_power(&self) -> f64 {
+        let t0 = *self.times.first().unwrap_or(&0.0);
+        let t1 = *self.times.last().unwrap_or(&0.0);
+        neurofi_spice::measure::average_in(&self.times, &self.supply_current, t0, t1)
+            .unwrap_or(0.0)
+            * self.vdd
+    }
+}

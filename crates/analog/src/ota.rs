@@ -1,0 +1,245 @@
+//! Standalone five-transistor OTA (operational transconductance
+//! amplifier) — the comparator topology inside the voltage-amplifier I&F
+//! neuron (Fig. 2b) and the Fig. 10a Axon Hillock defense.
+//!
+//! Exposed as its own block with DC characterisation (switching point,
+//! input-referred offset, small-signal gain, output swing) so circuit
+//! explorations can size the comparator independently of a full neuron.
+
+use neurofi_spice::device::MosModel;
+use neurofi_spice::error::Result;
+use neurofi_spice::units::MICRO;
+use neurofi_spice::waveform::Waveform;
+use neurofi_spice::{Netlist, NodeId, SolveOptions};
+
+/// A five-transistor OTA: NMOS differential pair, PMOS mirror load,
+/// bias-voltage-controlled tail current.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FiveTransistorOta {
+    /// Differential-pair device width, meters.
+    pub w_pair: f64,
+    /// Mirror-load device width, meters.
+    pub w_mirror: f64,
+    /// Tail device width, meters.
+    pub w_tail: f64,
+    /// Channel length, meters.
+    pub l: f64,
+    /// Tail bias voltage, volts.
+    pub v_bias: f64,
+    /// NMOS model card.
+    pub nmos: MosModel,
+    /// PMOS model card.
+    pub pmos: MosModel,
+}
+
+impl Default for FiveTransistorOta {
+    fn default() -> FiveTransistorOta {
+        FiveTransistorOta {
+            w_pair: 1.0 * MICRO,
+            w_mirror: 2.0 * MICRO,
+            w_tail: 2.0 * MICRO,
+            l: 65.0e-9,
+            v_bias: 0.4,
+            nmos: MosModel::ptm65_nmos(),
+            pmos: MosModel::ptm65_pmos(),
+        }
+    }
+}
+
+/// Node handles returned by [`FiveTransistorOta::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct OtaNodes {
+    /// Supply rail.
+    pub vdd: NodeId,
+    /// Non-inverting input (the output rises when `inp > inn`).
+    pub inp: NodeId,
+    /// Inverting input.
+    pub inn: NodeId,
+    /// Output.
+    pub out: NodeId,
+}
+
+/// DC characterisation results from [`FiveTransistorOta::characterize`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OtaCharacterization {
+    /// Supply voltage of the characterisation.
+    pub vdd: f64,
+    /// Common-mode reference applied to the inverting input, volts.
+    pub v_ref: f64,
+    /// Input voltage at which the output crosses `vdd/2`, volts.
+    pub switching_point: f64,
+    /// Input-referred offset: `switching_point − v_ref`, volts.
+    pub offset: f64,
+    /// Small-signal DC gain magnitude around the switching point.
+    pub gain: f64,
+    /// Output low level (input far below the reference), volts.
+    pub out_low: f64,
+    /// Output high level (input far above the reference), volts.
+    pub out_high: f64,
+}
+
+impl FiveTransistorOta {
+    /// Adds the OTA to `net` with namespaced element names.
+    ///
+    /// # Errors
+    /// Propagates netlist construction errors.
+    pub fn build(&self, net: &mut Netlist, prefix: &str) -> Result<OtaNodes> {
+        let gnd = Netlist::GROUND;
+        let vdd = net.node(&format!("{prefix}_vdd"));
+        let inp = net.node(&format!("{prefix}_inp"));
+        let inn = net.node(&format!("{prefix}_inn"));
+        let out = net.node(&format!("{prefix}_out"));
+        let tail = net.node(&format!("{prefix}_tail"));
+        let n1 = net.node(&format!("{prefix}_n1"));
+        let vb = net.node(&format!("{prefix}_vb"));
+
+        net.vsource(&format!("{prefix}_VB"), vb, gnd, Waveform::Dc(self.v_bias))?;
+        net.mosfet(
+            &format!("{prefix}_MNT"),
+            tail,
+            vb,
+            gnd,
+            gnd,
+            self.nmos.clone(),
+            self.w_tail,
+            self.l,
+        )?;
+        // inp drives the mirror side so the output swings up with inp.
+        net.mosfet(
+            &format!("{prefix}_MIP"),
+            n1,
+            inp,
+            tail,
+            gnd,
+            self.nmos.clone(),
+            self.w_pair,
+            self.l,
+        )?;
+        net.mosfet(
+            &format!("{prefix}_MIN"),
+            out,
+            inn,
+            tail,
+            gnd,
+            self.nmos.clone(),
+            self.w_pair,
+            self.l,
+        )?;
+        net.mosfet(
+            &format!("{prefix}_MPA"),
+            n1,
+            n1,
+            vdd,
+            vdd,
+            self.pmos.clone(),
+            self.w_mirror,
+            self.l,
+        )?;
+        net.mosfet(
+            &format!("{prefix}_MPB"),
+            out,
+            n1,
+            vdd,
+            vdd,
+            self.pmos.clone(),
+            self.w_mirror,
+            self.l,
+        )?;
+        Ok(OtaNodes { vdd, inp, inn, out })
+    }
+
+    /// DC-characterises the OTA as a comparator against a reference
+    /// voltage on the inverting input.
+    ///
+    /// # Errors
+    /// Propagates solver failures, or
+    /// [`neurofi_spice::Error::InvalidAnalysis`] if the output never
+    /// crosses `vdd/2` over the sweep (e.g. the bias leaves no headroom).
+    pub fn characterize(&self, vdd: f64, v_ref: f64) -> Result<OtaCharacterization> {
+        let mut net = Netlist::new();
+        let nodes = self.build(&mut net, "ota")?;
+        net.vsource("VDD", nodes.vdd, Netlist::GROUND, Waveform::Dc(vdd))?;
+        net.vsource("VREF", nodes.inn, Netlist::GROUND, Waveform::Dc(v_ref))?;
+        net.vsource("VIN", nodes.inp, Netlist::GROUND, Waveform::Dc(0.0))?;
+        let circuit = net.compile()?;
+        let n = 400;
+        let values: Vec<f64> = (0..=n).map(|i| vdd * i as f64 / n as f64).collect();
+        let ops = circuit.dc_sweep("VIN", &values, &SolveOptions::default())?;
+        let outs: Vec<f64> = ops.iter().map(|op| op.voltage(nodes.out)).collect();
+        let level = 0.5 * vdd;
+        let mut switching_point = None;
+        let mut gain: f64 = 0.0;
+        for i in 1..outs.len() {
+            let slope = (outs[i] - outs[i - 1]) / (values[i] - values[i - 1]);
+            gain = gain.max(slope.abs());
+            if switching_point.is_none() && outs[i - 1] < level && outs[i] >= level {
+                let frac = (level - outs[i - 1]) / (outs[i] - outs[i - 1]);
+                switching_point = Some(values[i - 1] + frac * (values[i] - values[i - 1]));
+            }
+        }
+        let switching_point = switching_point.ok_or_else(|| {
+            neurofi_spice::Error::InvalidAnalysis(format!(
+                "ota output never crossed vdd/2 at vdd={vdd}, vref={v_ref}"
+            ))
+        })?;
+        Ok(OtaCharacterization {
+            vdd,
+            v_ref,
+            switching_point,
+            offset: switching_point - v_ref,
+            gain,
+            out_low: outs[0],
+            out_high: *outs.last().unwrap(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switches_near_the_reference() {
+        let ota = FiveTransistorOta::default();
+        let c = ota.characterize(1.0, 0.5).unwrap();
+        assert!(
+            c.offset.abs() < 0.08,
+            "offset {:.3} V too large (switching at {:.3})",
+            c.offset,
+            c.switching_point
+        );
+    }
+
+    #[test]
+    fn output_swings_most_of_the_rail() {
+        let c = FiveTransistorOta::default().characterize(1.0, 0.5).unwrap();
+        assert!(c.out_low < 0.3, "low level {:.3}", c.out_low);
+        assert!(c.out_high > 0.8, "high level {:.3}", c.out_high);
+    }
+
+    #[test]
+    fn gain_is_comparator_grade() {
+        let c = FiveTransistorOta::default().characterize(1.0, 0.5).unwrap();
+        assert!(c.gain > 5.0, "gain {:.1} too low for a comparator", c.gain);
+    }
+
+    #[test]
+    fn switching_point_tracks_reference_not_vdd() {
+        // The property the Fig. 10a defense relies on: with a fixed
+        // reference, the switching point barely moves across the attack
+        // VDD range.
+        let ota = FiveTransistorOta::default();
+        let at_nominal = ota.characterize(1.0, 0.5).unwrap();
+        let at_sag = ota.characterize(0.85, 0.5).unwrap();
+        let shift = (at_sag.switching_point - at_nominal.switching_point).abs();
+        assert!(shift < 0.04, "switching point moved {shift:.3} V with VDD");
+    }
+
+    #[test]
+    fn reference_sweep_moves_switching_point() {
+        let ota = FiveTransistorOta::default();
+        let lo = ota.characterize(1.0, 0.42).unwrap();
+        let hi = ota.characterize(1.0, 0.58).unwrap();
+        assert!(hi.switching_point > lo.switching_point + 0.1);
+    }
+}

@@ -1,0 +1,234 @@
+//! VDD → behavioural-parameter transfer tables.
+//!
+//! The bridge between the circuit level and the network level: the paper
+//! translates its HSPICE characterisation (Figs. 5b/6a) into BindsNET
+//! parameter changes. [`PowerTransferTable`] plays that role here — it maps
+//! a supply voltage to the relative change in input-drive strength and in
+//! the membrane thresholds of both neuron flavors, and is consumed by the
+//! attack models in `neurofi-core`.
+
+/// Relative circuit parameters at one supply voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferPoint {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Input-drive (spike-amplitude) scale relative to nominal (1.0 at
+    /// VDD = 1 V).
+    pub drive_scale: f64,
+    /// Axon Hillock membrane-threshold scale relative to nominal.
+    pub ah_threshold_scale: f64,
+    /// Voltage-amplifier I&F threshold scale relative to nominal.
+    pub if_threshold_scale: f64,
+}
+
+/// Piecewise-linear VDD → parameter map.
+///
+/// Construct from measurements ([`PowerTransferTable::from_measurements`])
+/// or from the paper's reported endpoints
+/// ([`PowerTransferTable::paper_nominal`]):
+///
+/// ```
+/// use neurofi_analog::PowerTransferTable;
+/// let table = PowerTransferTable::paper_nominal();
+/// let p = table.sample(0.8);
+/// assert!((p.drive_scale - 0.68).abs() < 1e-9);          // −32% (Fig. 5b)
+/// assert!((p.ah_threshold_scale - 0.8209).abs() < 1e-3); // −17.91% (Fig. 6a)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTransferTable {
+    points: Vec<TransferPoint>,
+}
+
+impl PowerTransferTable {
+    /// Builds a table from explicit points.
+    ///
+    /// # Panics
+    /// Panics if fewer than two points are given or the VDD values are not
+    /// strictly increasing.
+    pub fn new(points: Vec<TransferPoint>) -> PowerTransferTable {
+        assert!(points.len() >= 2, "need at least two transfer points");
+        assert!(
+            points.windows(2).all(|w| w[0].vdd < w[1].vdd),
+            "transfer points must have strictly increasing vdd"
+        );
+        PowerTransferTable { points }
+    }
+
+    /// The paper's reported characterisation (Figs. 5b and 6a), linearly
+    /// interpolated between the stated endpoints.
+    pub fn paper_nominal() -> PowerTransferTable {
+        // Fig. 5b: 136 nA at 0.8 V, 200 nA at 1.0 V, 264 nA at 1.2 V.
+        // Fig. 6a: AH −17.91%..+16.76%; VAIF −18.01%..+17.14%.
+        PowerTransferTable::new(vec![
+            TransferPoint {
+                vdd: 0.8,
+                drive_scale: 0.68,
+                ah_threshold_scale: 1.0 - 0.1791,
+                if_threshold_scale: 1.0 - 0.1801,
+            },
+            TransferPoint {
+                vdd: 1.0,
+                drive_scale: 1.0,
+                ah_threshold_scale: 1.0,
+                if_threshold_scale: 1.0,
+            },
+            TransferPoint {
+                vdd: 1.2,
+                drive_scale: 1.32,
+                ah_threshold_scale: 1.0 + 0.1676,
+                if_threshold_scale: 1.0 + 0.1714,
+            },
+        ])
+    }
+
+    /// Builds a table from raw `(vdd, value)` measurement series, each
+    /// normalised by its value at the reference supply `vdd_ref`.
+    ///
+    /// All three series must be sampled at the same, strictly increasing
+    /// VDD grid and must contain `vdd_ref`.
+    ///
+    /// # Panics
+    /// Panics if the grids disagree, are shorter than two points, or miss
+    /// `vdd_ref`.
+    pub fn from_measurements(
+        vdd_ref: f64,
+        driver_amplitude: &[(f64, f64)],
+        ah_threshold: &[(f64, f64)],
+        if_threshold: &[(f64, f64)],
+    ) -> PowerTransferTable {
+        assert_eq!(
+            driver_amplitude.len(),
+            ah_threshold.len(),
+            "measurement grids must match"
+        );
+        assert_eq!(
+            driver_amplitude.len(),
+            if_threshold.len(),
+            "measurement grids must match"
+        );
+        let find_ref = |series: &[(f64, f64)]| -> f64 {
+            series
+                .iter()
+                .find(|(v, _)| (v - vdd_ref).abs() < 1e-9)
+                .unwrap_or_else(|| panic!("series does not contain vdd_ref={vdd_ref}"))
+                .1
+        };
+        let drive_ref = find_ref(driver_amplitude);
+        let ah_ref = find_ref(ah_threshold);
+        let if_ref = find_ref(if_threshold);
+        let points = driver_amplitude
+            .iter()
+            .zip(ah_threshold)
+            .zip(if_threshold)
+            .map(|(((vd, drive), (va, ah)), (vi, ifv))| {
+                assert!(
+                    (vd - va).abs() < 1e-9 && (vd - vi).abs() < 1e-9,
+                    "measurement grids must use identical vdd values"
+                );
+                TransferPoint {
+                    vdd: *vd,
+                    drive_scale: drive / drive_ref,
+                    ah_threshold_scale: ah / ah_ref,
+                    if_threshold_scale: ifv / if_ref,
+                }
+            })
+            .collect();
+        PowerTransferTable::new(points)
+    }
+
+    /// The underlying points.
+    pub fn points(&self) -> &[TransferPoint] {
+        &self.points
+    }
+
+    /// Samples the table at `vdd` with linear interpolation, clamping to
+    /// the characterised range.
+    pub fn sample(&self, vdd: f64) -> TransferPoint {
+        let first = self.points.first().unwrap();
+        let last = self.points.last().unwrap();
+        if vdd <= first.vdd {
+            return TransferPoint { vdd, ..*first };
+        }
+        if vdd >= last.vdd {
+            return TransferPoint { vdd, ..*last };
+        }
+        for pair in self.points.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if vdd <= b.vdd {
+                let t = (vdd - a.vdd) / (b.vdd - a.vdd);
+                let lerp = |x: f64, y: f64| x + t * (y - x);
+                return TransferPoint {
+                    vdd,
+                    drive_scale: lerp(a.drive_scale, b.drive_scale),
+                    ah_threshold_scale: lerp(a.ah_threshold_scale, b.ah_threshold_scale),
+                    if_threshold_scale: lerp(a.if_threshold_scale, b.if_threshold_scale),
+                };
+            }
+        }
+        unreachable!("vdd within range must hit an interval");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_nominal_endpoints() {
+        let t = PowerTransferTable::paper_nominal();
+        let lo = t.sample(0.8);
+        let hi = t.sample(1.2);
+        assert!((lo.drive_scale - 0.68).abs() < 1e-12);
+        assert!((hi.drive_scale - 1.32).abs() < 1e-12);
+        assert!((lo.if_threshold_scale - 0.8199).abs() < 1e-9);
+        assert!((hi.ah_threshold_scale - 1.1676).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nominal_point_is_identity() {
+        let p = PowerTransferTable::paper_nominal().sample(1.0);
+        assert_eq!(p.drive_scale, 1.0);
+        assert_eq!(p.ah_threshold_scale, 1.0);
+        assert_eq!(p.if_threshold_scale, 1.0);
+    }
+
+    #[test]
+    fn interpolation_is_linear() {
+        let t = PowerTransferTable::paper_nominal();
+        let p = t.sample(0.9);
+        assert!((p.drive_scale - 0.84).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let t = PowerTransferTable::paper_nominal();
+        assert_eq!(t.sample(0.5).drive_scale, t.sample(0.8).drive_scale);
+        assert_eq!(t.sample(2.0).drive_scale, t.sample(1.2).drive_scale);
+    }
+
+    #[test]
+    fn from_measurements_normalises() {
+        let vdds = [0.8, 1.0, 1.2];
+        let drive: Vec<(f64, f64)> = vdds.iter().map(|&v| (v, 200.0e-9 * v)).collect();
+        let ah: Vec<(f64, f64)> = vdds.iter().map(|&v| (v, 0.5 * v)).collect();
+        let ifv: Vec<(f64, f64)> = vdds.iter().map(|&v| (v, 0.5 * v)).collect();
+        let t = PowerTransferTable::from_measurements(1.0, &drive, &ah, &ifv);
+        let p = t.sample(0.8);
+        assert!((p.drive_scale - 0.8).abs() < 1e-12);
+        assert!((p.ah_threshold_scale - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted() {
+        let p = PowerTransferTable::paper_nominal().points()[0];
+        PowerTransferTable::new(vec![p, p]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vdd_ref")]
+    fn rejects_missing_reference() {
+        let series = [(0.8, 1.0), (1.2, 2.0)];
+        PowerTransferTable::from_measurements(1.0, &series, &series, &series);
+    }
+}

@@ -1,0 +1,29 @@
+//! Performance benchmarks of the dataset substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neurofi_data::SynthDigits;
+use std::hint::black_box;
+
+fn bench_digit_render(c: &mut Criterion) {
+    let generator = SynthDigits::default();
+    c.bench_function("synth_digit_batch_10", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(generator.generate(10, seed))
+        })
+    });
+}
+
+fn bench_dataset_1000(c: &mut Criterion) {
+    let generator = SynthDigits::default();
+    let mut group = c.benchmark_group("dataset");
+    group.sample_size(10);
+    group.bench_function("synth_digits_1000", |b| {
+        b.iter(|| black_box(generator.generate(1000, 42)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_digit_render, bench_dataset_1000);
+criterion_main!(benches);

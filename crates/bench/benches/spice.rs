@@ -1,0 +1,111 @@
+//! Performance benchmarks of the circuit-simulation substrate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use neurofi_analog::axon_hillock::{AxonHillock, InputSpec};
+use neurofi_spice::device::MosModel;
+use neurofi_spice::mna::DenseMatrix;
+use neurofi_spice::{Netlist, TranSpec, Waveform};
+use std::hint::black_box;
+
+fn bench_mosfet_eval(c: &mut Criterion) {
+    let model = MosModel::ptm65_nmos();
+    c.bench_function("mosfet_ekv_eval", |b| {
+        b.iter(|| {
+            model.eval(
+                black_box(1.0e-6),
+                black_box(65.0e-9),
+                black_box(0.6),
+                black_box(0.9),
+                black_box(0.0),
+                black_box(0.0),
+            )
+        })
+    });
+}
+
+fn bench_lu_solve(c: &mut Criterion) {
+    let n = 16;
+    let build = || {
+        let mut m = DenseMatrix::new(n);
+        let mut rhs = vec![0.0f64; n];
+        let mut state = 0xdead_beefu64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            let mut sum = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let v = next();
+                    m.set(i, j, v);
+                    sum += v.abs();
+                }
+            }
+            m.set(i, i, sum + 1.0);
+            rhs[i] = next();
+        }
+        (m, rhs)
+    };
+    c.bench_function("lu_solve_16x16", |b| {
+        b.iter_batched(
+            build,
+            |(mut m, mut rhs)| m.solve_in_place(black_box(&mut rhs)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_rc_transient(c: &mut Criterion) {
+    c.bench_function("rc_transient_1000_steps", |b| {
+        b.iter(|| {
+            let mut net = Netlist::new();
+            let vin = net.node("in");
+            let out = net.node("out");
+            net.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(1.0))
+                .unwrap();
+            net.resistor("R1", vin, out, 1.0e3).unwrap();
+            net.capacitor("C1", out, Netlist::GROUND, 1.0e-9).unwrap();
+            let res = net
+                .compile()
+                .unwrap()
+                .tran(&TranSpec::new(1.0e-6, 1.0e-9).with_uic())
+                .unwrap();
+            black_box(res.len())
+        })
+    });
+}
+
+fn bench_axon_hillock_period(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neuron_sim");
+    group.sample_size(10);
+    group.bench_function("axon_hillock_15us", |b| {
+        let neuron = AxonHillock::default();
+        let input = InputSpec::paper_axon_hillock();
+        b.iter(|| {
+            let wave = neuron.simulate(1.0, &input, 15.0e-6, 20.0e-9).unwrap();
+            black_box(wave.vmem.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_threshold_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("characterisation");
+    group.sample_size(10);
+    group.bench_function("ah_threshold_dc_sweep", |b| {
+        let neuron = AxonHillock::default();
+        b.iter(|| black_box(neuron.threshold(1.0).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mosfet_eval,
+    bench_lu_solve,
+    bench_rc_transient,
+    bench_axon_hillock_period,
+    bench_threshold_extraction
+);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all [--quick] [--out DIR]
+//! repro fig8b fig9a [--quick] [--out DIR]
+//! repro list
+//! ```
+//!
+//! Each experiment prints a markdown table (measured values next to the
+//! paper's reported numbers) and, with `--out`, writes a CSV per
+//! experiment.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use neurofi_bench::{run_experiment, ExperimentId, Fidelity};
+
+fn usage() -> &'static str {
+    "usage: repro <all|list|EXPERIMENT...> [--quick] [--out DIR]\n\
+     experiments: fig3 fig4 fig5b fig5c fig6a fig6b fig6c fig7b fig8a fig8b \
+     fig8c fig9a fig9b fig9c fig10c defenses overheads ext-glitch ext-weightfaults"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    let mut fidelity = Fidelity::Full;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut selected: Vec<ExperimentId> = Vec::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => fidelity = Fidelity::Quick,
+            "--full" => fidelity = Fidelity::Full,
+            "--out" => match iter.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--out needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "all" => selected = ExperimentId::all(),
+            "list" => {
+                for id in ExperimentId::all() {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => match ExperimentId::parse(other) {
+                Some(id) => selected.push(id),
+                None => {
+                    eprintln!("unknown experiment '{other}'\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+        }
+    }
+    if selected.is_empty() {
+        eprintln!("no experiments selected\n{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create output directory {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "# neurofi reproduction — fidelity: {}\n",
+        match fidelity {
+            Fidelity::Quick => "quick (reduced grids; use --full for paper grids)",
+            Fidelity::Full => "full (paper grids)",
+        }
+    );
+
+    let mut failures = 0usize;
+    for id in selected {
+        let started = Instant::now();
+        match run_experiment(id, fidelity) {
+            Ok(table) => {
+                println!("{}", table.to_markdown());
+                println!("_{} completed in {:.1?}_\n", id, started.elapsed());
+                if let Some(dir) = &out_dir {
+                    let path = dir.join(format!("{id}.csv"));
+                    if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        failures += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("{id} FAILED: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,483 @@
+//! Circuit-level figure reproductions (Figs. 3–6, 9b, 9c, 10c and the §V
+//! overhead numbers), built on `neurofi-analog`.
+
+use neurofi_analog::axon_hillock::{AxonHillock, InputSpec};
+use neurofi_analog::characterize::{
+    ah_period_vs_amplitude, ah_period_vs_vdd, ah_threshold_vs_vdd, driver_amplitude_vs_vdd,
+    dummy_rate_vs_vdd, if_period_vs_amplitude, if_period_vs_vdd, if_threshold_vs_vdd,
+    neuron_average_power, robust_driver_amplitude_vs_vdd, sizing_threshold_sweep,
+    to_percent_change,
+};
+use neurofi_analog::bandgap::BandgapOverhead;
+use neurofi_analog::driver::{CurrentDriver, RobustCurrentDriver};
+use neurofi_analog::vamp_if::VoltageAmplifierIf;
+use neurofi_analog::{BandgapReference, NeuronKind};
+use neurofi_core::{Error, Table};
+
+use super::Fidelity;
+
+fn fmt_na(value: f64) -> String {
+    format!("{:.1}", value * 1.0e9)
+}
+
+fn fmt_us(value: f64) -> String {
+    format!("{:.3}", value * 1.0e6)
+}
+
+/// Fig. 3: Axon Hillock spike generation waveforms (downsampled) plus the
+/// measured firing period.
+pub fn fig3(fidelity: Fidelity) -> Result<Table, Error> {
+    let neuron = AxonHillock::default();
+    let tstop = match fidelity {
+        Fidelity::Quick => 25.0e-6,
+        Fidelity::Full => 45.0e-6,
+    };
+    let wave = neuron.simulate(1.0, &InputSpec::paper_axon_hillock(), tstop, 20.0e-9)?;
+    let mut table = Table::new(
+        "Fig. 3 — Axon Hillock spike generation (Vmem, Vout)",
+        &["t (us)", "vmem (V)", "vout (V)"],
+    );
+    let stride = (wave.times.len() / 240).max(1);
+    for i in (0..wave.times.len()).step_by(stride) {
+        table.push_row(&[
+            fmt_us(wave.times[i]),
+            format!("{:.4}", wave.vmem[i]),
+            format!("{:.4}", wave.vout[i]),
+        ]);
+    }
+    let spikes = wave.output_spike_times();
+    table.push_note(format!(
+        "measured: {} output spikes, period {}",
+        spikes.len(),
+        wave.mean_output_period()
+            .map(|p| format!("{:.2} us", p * 1.0e6))
+            .unwrap_or_else(|| "n/a".into())
+    ));
+    table.push_note(
+        "paper shows sawtooth Vmem with regenerative kick and rail-to-rail Vout pulses; \
+         input 200 nA at 40 MHz (we use 50% duty, see InputSpec docs)",
+    );
+    Ok(table)
+}
+
+/// Fig. 4: voltage-amplifier I&F waveforms.
+pub fn fig4(fidelity: Fidelity) -> Result<Table, Error> {
+    let neuron = VoltageAmplifierIf::default();
+    let (tstop, dc) = match fidelity {
+        Fidelity::Quick => (450.0e-6, true),
+        Fidelity::Full => (700.0e-6, false),
+    };
+    let wave = neuron.simulate(1.0, &InputSpec::paper_vamp_if(), tstop, 50.0e-9, dc)?;
+    let mut table = Table::new(
+        "Fig. 4 — Voltage-amplifier I&F spike generation (Vmem)",
+        &["t (us)", "vmem (V)", "amp out (V)"],
+    );
+    let stride = (wave.times.len() / 240).max(1);
+    for i in (0..wave.times.len()).step_by(stride) {
+        table.push_row(&[
+            fmt_us(wave.times[i]),
+            format!("{:.4}", wave.vmem[i]),
+            format!("{:.4}", wave.vout[i]),
+        ]);
+    }
+    let spikes =
+        neurofi_spice::measure::spike_times(&wave.times, &wave.vmem, 0.45);
+    table.push_note(format!(
+        "measured: {} membrane spikes; linear ramp to Vthr=0.5 V, pull-up to VDD, \
+         reset + explicit refractory (Ck discharge)",
+        spikes.len()
+    ));
+    Ok(table)
+}
+
+/// Fig. 5b: current-driver output amplitude versus VDD.
+pub fn fig5b(fidelity: Fidelity) -> Result<Table, Error> {
+    let driver = CurrentDriver::default();
+    let series = driver_amplitude_vs_vdd(&driver, &fidelity.vdd_grid())?;
+    let pct = to_percent_change(&series, 1.0);
+    let mut table = Table::new(
+        "Fig. 5b — driver output spike amplitude vs VDD",
+        &["vdd (V)", "amplitude (nA)", "change", "paper"],
+    );
+    for ((vdd, amp), (_, change)) in series.iter().zip(&pct) {
+        let paper = match *vdd {
+            v if (v - 0.8).abs() < 1e-9 => "136 nA (−32%)",
+            v if (v - 1.0).abs() < 1e-9 => "200 nA",
+            v if (v - 1.2).abs() < 1e-9 => "264 nA (+32%)",
+            _ => "—",
+        };
+        table.push_row(&[
+            format!("{vdd:.1}"),
+            fmt_na(*amp),
+            format!("{change:+.1}%"),
+            paper.into(),
+        ]);
+    }
+    Ok(table)
+}
+
+/// Fig. 5c: firing-period change versus input amplitude for both neurons.
+pub fn fig5c(fidelity: Fidelity) -> Result<Table, Error> {
+    let amplitudes = fidelity.amplitude_grid();
+    let ah = ah_period_vs_amplitude(&AxonHillock::default(), &amplitudes)?;
+    let vif = if_period_vs_amplitude(&VoltageAmplifierIf::default(), &amplitudes)?;
+    let ah_pct = to_percent_change(&ah, 200.0e-9);
+    let if_pct = to_percent_change(&vif, 200.0e-9);
+    let mut table = Table::new(
+        "Fig. 5c — time-to-spike change vs input amplitude",
+        &[
+            "amplitude (nA)",
+            "AH period (us)",
+            "AH change",
+            "IF period (us)",
+            "IF change",
+            "paper (AH / IF)",
+        ],
+    );
+    for i in 0..amplitudes.len() {
+        let paper = match amplitudes[i] {
+            a if (a - 136.0e-9).abs() < 1e-12 => "+53.7% / +14.5%",
+            a if (a - 264.0e-9).abs() < 1e-12 => "−24.7% / −6.7%",
+            a if (a - 200.0e-9).abs() < 1e-12 => "0 / 0",
+            _ => "—",
+        };
+        table.push_row(&[
+            fmt_na(amplitudes[i]),
+            fmt_us(ah[i].1),
+            format!("{:+.1}%", ah_pct[i].1),
+            fmt_us(vif[i].1),
+            format!("{:+.1}%", if_pct[i].1),
+            paper.into(),
+        ]);
+    }
+    table.push_note(
+        "the I&F neuron's fixed refractory period dilutes its amplitude sensitivity, \
+         matching the paper's asymmetry",
+    );
+    Ok(table)
+}
+
+/// Fig. 6a: membrane threshold versus VDD for both neurons.
+pub fn fig6a(fidelity: Fidelity) -> Result<Table, Error> {
+    let grid = fidelity.vdd_grid();
+    let ah = ah_threshold_vs_vdd(&AxonHillock::default(), &grid)?;
+    let vif = if_threshold_vs_vdd(&VoltageAmplifierIf::default(), &grid)?;
+    let ah_pct = to_percent_change(&ah, 1.0);
+    let if_pct = to_percent_change(&vif, 1.0);
+    let mut table = Table::new(
+        "Fig. 6a — membrane threshold vs VDD",
+        &[
+            "vdd (V)",
+            "AH thr (V)",
+            "AH change",
+            "IF thr (V)",
+            "IF change",
+            "paper (AH / IF)",
+        ],
+    );
+    for i in 0..grid.len() {
+        let paper = match grid[i] {
+            v if (v - 0.8).abs() < 1e-9 => "−17.91% / −18.01%",
+            v if (v - 1.2).abs() < 1e-9 => "+16.76% / +17.14%",
+            v if (v - 1.0).abs() < 1e-9 => "0 / 0",
+            _ => "—",
+        };
+        table.push_row(&[
+            format!("{:.1}", grid[i]),
+            format!("{:.4}", ah[i].1),
+            format!("{:+.1}%", ah_pct[i].1),
+            format!("{:.4}", vif[i].1),
+            format!("{:+.1}%", if_pct[i].1),
+            paper.into(),
+        ]);
+    }
+    Ok(table)
+}
+
+/// Fig. 6b: Axon Hillock firing period versus VDD.
+pub fn fig6b(fidelity: Fidelity) -> Result<Table, Error> {
+    let series = ah_period_vs_vdd(&AxonHillock::default(), &fidelity.vdd_grid())?;
+    let pct = to_percent_change(&series, 1.0);
+    let mut table = Table::new(
+        "Fig. 6b — Axon Hillock time-to-spike vs VDD",
+        &["vdd (V)", "period (us)", "change", "paper"],
+    );
+    for ((vdd, period), (_, change)) in series.iter().zip(&pct) {
+        let paper = match *vdd {
+            v if (v - 0.8).abs() < 1e-9 => "−17.91% (faster)",
+            v if (v - 1.2).abs() < 1e-9 => "+16.76% (slower)",
+            v if (v - 1.0).abs() < 1e-9 => "0",
+            _ => "—",
+        };
+        table.push_row(&[
+            format!("{vdd:.1}"),
+            fmt_us(*period),
+            format!("{change:+.1}%"),
+            paper.into(),
+        ]);
+    }
+    Ok(table)
+}
+
+/// Fig. 6c: voltage-amplifier I&F firing period versus VDD.
+pub fn fig6c(fidelity: Fidelity) -> Result<Table, Error> {
+    let series = if_period_vs_vdd(&VoltageAmplifierIf::default(), &fidelity.vdd_grid())?;
+    let pct = to_percent_change(&series, 1.0);
+    let mut table = Table::new(
+        "Fig. 6c — voltage-amplifier I&F time-to-spike vs VDD",
+        &["vdd (V)", "period (us)", "change", "paper"],
+    );
+    for ((vdd, period), (_, change)) in series.iter().zip(&pct) {
+        let paper = match *vdd {
+            v if (v - 0.8).abs() < 1e-9 => "−17.05% (faster)",
+            v if (v - 1.2).abs() < 1e-9 => "+23.53% (slower)",
+            v if (v - 1.0).abs() < 1e-9 => "0",
+            _ => "—",
+        };
+        table.push_row(&[
+            format!("{vdd:.1}"),
+            fmt_us(*period),
+            format!("{change:+.1}%"),
+            paper.into(),
+        ]);
+    }
+    table.push_note(
+        "both the threshold (integration phase) and the Ck refractory swing scale \
+         with VDD, so the period tracks VDD more strongly than in Fig. 5c",
+    );
+    Ok(table)
+}
+
+/// Fig. 9b: robust-driver output amplitude versus VDD (defense check).
+pub fn fig9b(fidelity: Fidelity) -> Result<Table, Error> {
+    let robust = RobustCurrentDriver::default();
+    let unsec = CurrentDriver::default();
+    let grid = fidelity.vdd_grid();
+    let r = robust_driver_amplitude_vs_vdd(&robust, &grid)?;
+    let u = driver_amplitude_vs_vdd(&unsec, &grid)?;
+    let r_pct = to_percent_change(&r, 1.0);
+    let u_pct = to_percent_change(&u, 1.0);
+    let mut table = Table::new(
+        "Fig. 9b — robust current driver: amplitude vs VDD",
+        &[
+            "vdd (V)",
+            "unsecured (nA)",
+            "unsecured change",
+            "robust (nA)",
+            "robust change",
+        ],
+    );
+    for i in 0..grid.len() {
+        table.push_row(&[
+            format!("{:.1}", grid[i]),
+            fmt_na(u[i].1),
+            format!("{:+.1}%", u_pct[i].1),
+            fmt_na(r[i].1),
+            format!("{:+.2}%", r_pct[i].1),
+        ]);
+    }
+    table.push_note("paper: the robust driver holds a constant output spike amplitude");
+    Ok(table)
+}
+
+/// Fig. 9c: first-stage sizing versus threshold sensitivity.
+pub fn fig9c(fidelity: Fidelity) -> Result<Table, Error> {
+    let (ratios, vdds): (Vec<f64>, Vec<f64>) = match fidelity {
+        Fidelity::Quick => (vec![1.0, 8.0, 32.0], vec![0.8]),
+        Fidelity::Full => (vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0], vec![0.8, 1.2]),
+    };
+    let rows = sizing_threshold_sweep(&ratios, &vdds)?;
+    let mut table = Table::new(
+        "Fig. 9c — AH first-stage sizing vs threshold change under VDD attack",
+        &["N:P ratio", "vdd (V)", "threshold (V)", "change vs own nominal", "paper"],
+    );
+    for row in rows {
+        let paper = if (row.ratio - 32.0).abs() < 1e-9 && (row.vdd - 0.8).abs() < 1e-9 {
+            "−5.23%"
+        } else if (row.ratio - 32.0).abs() < 1e-9 && (row.vdd - 1.2).abs() < 1e-9 {
+            "+3.2%"
+        } else if (row.ratio - 1.0).abs() < 1e-9 && (row.vdd - 0.8).abs() < 1e-9 {
+            "−18.01%"
+        } else {
+            "—"
+        };
+        table.push_row(&[
+            format!("{:.0}:1", row.ratio),
+            format!("{:.1}", row.vdd),
+            format!("{:.4}", row.threshold),
+            format!("{:+.1}%", row.change_percent),
+            paper.into(),
+        ]);
+    }
+    table.push_note(
+        "known deviation: our EKV model's moderate-inversion blur limits the pinning \
+         to ≈−12..−15% at 32:1 (paper's HSPICE reports −5.23%); direction and \
+         monotonicity are preserved — see EXPERIMENTS.md",
+    );
+    Ok(table)
+}
+
+/// Fig. 10c: dummy-neuron spike count versus VDD, with the ≥10% detector.
+pub fn fig10c(fidelity: Fidelity) -> Result<Table, Error> {
+    let window = 0.1; // the paper's 100 ms sampling period
+    let grid = fidelity.vdd_grid();
+    let kinds: Vec<NeuronKind> = match fidelity {
+        Fidelity::Quick => vec![NeuronKind::AxonHillock],
+        Fidelity::Full => vec![NeuronKind::AxonHillock, NeuronKind::VoltageAmplifierIf],
+    };
+    let mut table = Table::new(
+        "Fig. 10c — dummy-neuron output spikes (100 ms window) vs VDD",
+        &["neuron", "vdd (V)", "count", "deviation", "detected"],
+    );
+    for kind in kinds {
+        let rates = dummy_rate_vs_vdd(kind, &grid)?;
+        let counts: Vec<(f64, f64)> = rates.iter().map(|&(v, r)| (v, r * window)).collect();
+        let detector =
+            neurofi_core::DummyNeuronDetector::from_characterisation(&counts, 1.0)?;
+        for row in neurofi_core::detection::evaluate_series(&detector, &counts) {
+            table.push_row(&[
+                kind.to_string(),
+                format!("{:.1}", row.vdd),
+                format!("{:.0}", row.count),
+                format!("{:+.1}%", row.deviation_percent),
+                if row.flagged { "YES".into() } else { "no".into() },
+            ]);
+        }
+    }
+    table.push_note(
+        "paper: spike counts deviate ≥10% from baseline under VDD attack; counts here \
+         are steady-state rate × window (100 ms of transistor-level transient is \
+         infeasible; the relative rule is unchanged)",
+    );
+    Ok(table)
+}
+
+/// §V overheads: power/area of each defense, measured where possible.
+pub fn overheads(fidelity: Fidelity) -> Result<Table, Error> {
+    let mut table = Table::new(
+        "§V — defense overheads (measured vs paper)",
+        &["defense", "metric", "measured", "paper"],
+    );
+
+    // Robust driver power overhead.
+    let unsec = CurrentDriver::default().supply_power(1.0)?;
+    let robust = RobustCurrentDriver::default().supply_power(1.0)?;
+    table.push_row(&[
+        "robust current driver".into(),
+        "power".into(),
+        format!("{:+.1}%", (robust - unsec) / unsec * 100.0),
+        "+3%".into(),
+    ]);
+
+    // Bandgap threshold: residual Vthr variation and area at 200 neurons.
+    let bandgap = BandgapReference::new(0.5);
+    table.push_row(&[
+        "bandgap Vthr (I&F)".into(),
+        "Vthr variation".into(),
+        format!(
+            "±{:.2}%",
+            bandgap.worst_case_relative_deviation(0.8, 1.2) * 100.0
+        ),
+        "±0.56%".into(),
+    ]);
+    table.push_row(&[
+        "bandgap Vthr (I&F)".into(),
+        "area @200 neurons".into(),
+        format!(
+            "+{:.0}%",
+            BandgapOverhead::default().area_overhead(200) * 100.0
+        ),
+        "+65%".into(),
+    ]);
+
+    if fidelity == Fidelity::Full {
+        // Sized AH neuron power (steady-state firing).
+        let stock = neuron_average_power(
+            NeuronKind::AxonHillock,
+            &AxonHillock::default(),
+            &VoltageAmplifierIf::default(),
+            1.0,
+        )?;
+        let sized = neuron_average_power(
+            NeuronKind::AxonHillock,
+            &AxonHillock::default().with_first_inverter_ratio(32.0),
+            &VoltageAmplifierIf::default(),
+            1.0,
+        )?;
+        table.push_row(&[
+            "sized AH neuron (32:1)".into(),
+            "power".into(),
+            format!("{:+.1}%", (sized - stock) / stock * 100.0),
+            "+25%".into(),
+        ]);
+        let comparator = neuron_average_power(
+            NeuronKind::AxonHillock,
+            &AxonHillock::default().with_comparator_stage(),
+            &VoltageAmplifierIf::default(),
+            1.0,
+        )?;
+        table.push_row(&[
+            "comparator AH stage".into(),
+            "power".into(),
+            format!("{:+.1}%", (comparator - stock) / stock * 100.0),
+            "+11%".into(),
+        ]);
+    }
+
+    // Dummy-neuron detector: one dummy cell per 100-neuron layer.
+    table.push_row(&[
+        "dummy-neuron detector".into(),
+        "power & area".into(),
+        format!("+{:.0}%", 1.0 / 100.0 * 100.0),
+        "~1%".into(),
+    ]);
+    table.push_note("sized/comparator rows require --full (transient power measurement)");
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Circuit experiments are exercised end-to-end here at quick fidelity;
+    // the expensive ones are covered by the repro binary and integration
+    // tests.
+
+    #[test]
+    fn fig5b_reproduces_amplitude_swing() {
+        let table = fig5b(Fidelity::Quick).unwrap();
+        assert_eq!(table.len(), 3);
+        // Parse the change column of the VDD=0.8 row.
+        let low_change: f64 = table.rows[0][2]
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(low_change < -20.0, "low change {low_change}");
+    }
+
+    #[test]
+    fn fig6a_reproduces_threshold_swing() {
+        let table = fig6a(Fidelity::Quick).unwrap();
+        let low_ah: f64 = table.rows[0][2].trim_end_matches('%').parse().unwrap();
+        let high_if: f64 = table.rows[2][4].trim_end_matches('%').parse().unwrap();
+        assert!(low_ah < -10.0, "AH at 0.8 V: {low_ah}%");
+        assert!(high_if > 10.0, "IF at 1.2 V: {high_if}%");
+    }
+
+    #[test]
+    fn fig9b_robust_driver_is_flat() {
+        let table = fig9b(Fidelity::Quick).unwrap();
+        for row in &table.rows {
+            let robust_change: f64 = row[4].trim_end_matches('%').parse().unwrap();
+            assert!(robust_change.abs() < 2.0, "robust change {robust_change}");
+        }
+    }
+
+    #[test]
+    fn overheads_table_has_paper_columns() {
+        let table = overheads(Fidelity::Quick).unwrap();
+        assert!(table.len() >= 4);
+        assert!(table.to_markdown().contains("+3%"));
+        assert!(table.to_markdown().contains("±0.56%"));
+    }
+}

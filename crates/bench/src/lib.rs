@@ -1,0 +1,39 @@
+//! # neurofi-bench
+//!
+//! The reproduction harness: one experiment per table/figure of the
+//! paper's evaluation, each returning a [`neurofi_core::Table`] with
+//! measured values next to the paper's reported numbers. The `repro`
+//! binary drives them from the command line:
+//!
+//! ```text
+//! repro all --quick            # smoke reproduction of every figure
+//! repro fig8b                  # full-fidelity Attack-3 surface
+//! repro overheads --out out/   # defense overhead table + CSV dump
+//! ```
+//!
+//! | experiment | paper artifact | content |
+//! |---|---|---|
+//! | `fig3` | Fig. 3 | Axon Hillock spike waveforms |
+//! | `fig4` | Fig. 4 | voltage-amplifier I&F waveforms |
+//! | `fig5b` | Fig. 5b | driver amplitude vs VDD |
+//! | `fig5c` | Fig. 5c | time-to-spike vs input amplitude |
+//! | `fig6a` | Fig. 6a | membrane threshold vs VDD |
+//! | `fig6b` | Fig. 6b | AH time-to-spike vs VDD |
+//! | `fig6c` | Fig. 6c | VAIF time-to-spike vs VDD |
+//! | `fig7b` | Fig. 7b | Attack 1: accuracy vs theta |
+//! | `fig8a` | Fig. 8a | Attack 2: EL threshold × fraction |
+//! | `fig8b` | Fig. 8b | Attack 3: IL threshold × fraction |
+//! | `fig8c` | Fig. 8c | Attack 4: both layers |
+//! | `fig9a` | Fig. 9a | Attack 5: global VDD sweep |
+//! | `fig9b` | Fig. 9b | robust driver amplitude vs VDD |
+//! | `fig9c` | Fig. 9c | AH sizing vs threshold sensitivity |
+//! | `fig10c` | Fig. 10c | dummy-neuron counts vs VDD + detection |
+//! | `defenses` | §V | defended vs undefended Attack-5 accuracy |
+//! | `overheads` | §V | defense power/area overheads |
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod experiments;
+
+pub use experiments::{run_experiment, ExperimentId, Fidelity};

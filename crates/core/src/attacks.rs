@@ -1,0 +1,451 @@
+//! Runnable implementations of the paper's five attacks.
+//!
+//! Every attack follows the paper's experimental protocol (§IV-A): build
+//! the Diehl&Cook network, *train it under the fault* (power attacks
+//! corrupt training, not just inference), derive neuron-class assignments,
+//! and measure classification accuracy on a held-out set. Outcomes pair
+//! the attacked accuracy with a fault-free baseline trained identically.
+
+use neurofi_analog::PowerTransferTable;
+use neurofi_data::{LabeledImages, SynthDigits};
+use neurofi_snn::diehl_cook::{DiehlCook2015, DiehlCookConfig};
+use neurofi_snn::trainer::{evaluate, train, TrainOptions};
+
+use crate::error::Error;
+use crate::injection::{FaultPlan, TargetLayer};
+use crate::threat::AttackKind;
+
+/// A complete experiment description: network configuration, dataset
+/// sizes and seeds.
+#[derive(Debug, Clone)]
+pub struct ExperimentSetup {
+    /// Network configuration (the paper's Diehl&Cook settings).
+    pub network: DiehlCookConfig,
+    /// Number of training images (1000 in the paper).
+    pub n_train: usize,
+    /// Number of held-out evaluation images.
+    pub n_test: usize,
+    /// Seed for dataset generation.
+    pub data_seed: u64,
+    /// Seed for network initialisation and encoding.
+    pub network_seed: u64,
+    /// Training/assignment options.
+    pub train_options: TrainOptions,
+    /// Synthetic digit generator configuration.
+    pub generator: SynthDigits,
+}
+
+impl ExperimentSetup {
+    /// The paper's full protocol: 1000 training images, 250 ms per
+    /// sample, 100+100 neurons. Evaluation uses 250 held-out images.
+    pub fn paper(seed: u64) -> ExperimentSetup {
+        ExperimentSetup {
+            network: DiehlCookConfig::default(),
+            n_train: 1000,
+            n_test: 250,
+            data_seed: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1),
+            network_seed: seed,
+            train_options: TrainOptions::default(),
+            generator: SynthDigits::default(),
+        }
+    }
+
+    /// A reduced protocol (~6× faster) for tests and smoke runs: fewer
+    /// images, shorter exposure. Accuracy levels drop but the attack
+    /// orderings survive.
+    pub fn quick(seed: u64) -> ExperimentSetup {
+        let mut setup = ExperimentSetup::paper(seed);
+        setup.network.sample_time_ms = 150.0;
+        setup.n_train = 400;
+        setup.n_test = 150;
+        setup.train_options.assignment_window = Some(200);
+        setup
+    }
+
+    /// Returns a copy re-seeded for repeat measurements.
+    #[must_use]
+    pub fn with_seed(&self, seed: u64) -> ExperimentSetup {
+        let mut setup = self.clone();
+        setup.network_seed = seed;
+        setup.data_seed = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        setup
+    }
+
+    /// Generates the train/test datasets for this setup.
+    pub fn datasets(&self) -> (LabeledImages, LabeledImages) {
+        let all = self
+            .generator
+            .generate(self.n_train + self.n_test, self.data_seed);
+        all.split(self.n_train)
+    }
+
+    /// Trains a fresh network under the given fault plan and evaluates it.
+    /// This is the paper's protocol: faults are active during both
+    /// training and evaluation.
+    pub fn run_with_plan(&self, plan: &FaultPlan) -> RunMeasurement {
+        let (train_data, test_data) = self.datasets();
+        let mut net = DiehlCook2015::new(self.network.clone(), self.network_seed);
+        plan.apply(&mut net);
+        let report = train(&mut net, &train_data, &self.train_options);
+        let accuracy = evaluate(
+            &mut net,
+            &report.assignments,
+            &test_data,
+            self.train_options.n_classes,
+        );
+        RunMeasurement {
+            accuracy,
+            mean_activity: report.mean_activity,
+            silent_fraction: report.silent_fraction,
+        }
+    }
+
+    /// Fault-free reference run.
+    pub fn baseline(&self) -> RunMeasurement {
+        self.run_with_plan(&FaultPlan::none())
+    }
+}
+
+/// Accuracy and activity-health numbers from one training+evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMeasurement {
+    /// Held-out classification accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Mean excitatory spikes per training presentation.
+    pub mean_activity: f64,
+    /// Fraction of training presentations with zero excitatory spikes.
+    pub silent_fraction: f64,
+}
+
+/// The result of one attack experiment.
+#[derive(Debug, Clone)]
+pub struct AttackOutcome {
+    /// Which of the five attacks ran.
+    pub kind: AttackKind,
+    /// Fault-free accuracy.
+    pub baseline_accuracy: f64,
+    /// Accuracy under attack.
+    pub attacked_accuracy: f64,
+    /// Baseline activity metrics.
+    pub baseline: RunMeasurement,
+    /// Attacked activity metrics.
+    pub attacked: RunMeasurement,
+    /// The fault plan that was applied.
+    pub plan: FaultPlan,
+}
+
+impl AttackOutcome {
+    /// Relative accuracy change in percent, the paper's headline metric
+    /// (−85.65 means the accuracy dropped by 85.65% of its baseline).
+    pub fn relative_change_percent(&self) -> f64 {
+        if self.baseline_accuracy == 0.0 {
+            return 0.0;
+        }
+        (self.attacked_accuracy - self.baseline_accuracy) / self.baseline_accuracy * 100.0
+    }
+
+    /// Absolute accuracy change in percentage points.
+    pub fn absolute_change_points(&self) -> f64 {
+        (self.attacked_accuracy - self.baseline_accuracy) * 100.0
+    }
+}
+
+/// Common interface of the five attacks.
+pub trait Attack {
+    /// Which paper attack this is.
+    fn kind(&self) -> AttackKind;
+
+    /// The fault plan this attack injects.
+    fn fault_plan(&self) -> FaultPlan;
+
+    /// Runs baseline and attacked experiments.
+    ///
+    /// # Errors
+    /// Reserved for configurations that require circuit characterisation;
+    /// the built-in attacks currently always succeed.
+    fn run(&self, setup: &ExperimentSetup) -> Result<AttackOutcome, Error> {
+        let baseline = setup.baseline();
+        self.run_with_baseline(setup, baseline)
+    }
+
+    /// Runs only the attacked experiment, reusing a precomputed baseline
+    /// (the sweep engine calls this to amortise the baseline).
+    ///
+    /// # Errors
+    /// See [`Attack::run`].
+    fn run_with_baseline(
+        &self,
+        setup: &ExperimentSetup,
+        baseline: RunMeasurement,
+    ) -> Result<AttackOutcome, Error> {
+        let plan = self.fault_plan();
+        let attacked = setup.run_with_plan(&plan);
+        Ok(AttackOutcome {
+            kind: self.kind(),
+            baseline_accuracy: baseline.accuracy,
+            attacked_accuracy: attacked.accuracy,
+            baseline,
+            attacked,
+            plan,
+        })
+    }
+}
+
+/// Attack 1: input-spike (driver) corruption — the `theta` sweep of
+/// Fig. 7b.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputCorruptionAttack {
+    /// Relative change of the membrane voltage per input spike
+    /// (−0.20 for the paper's worst case).
+    pub theta_change: f64,
+}
+
+impl InputCorruptionAttack {
+    /// Creates the attack with the given relative theta change.
+    ///
+    /// # Panics
+    /// Panics if the implied drive scale is not positive.
+    pub fn new(theta_change: f64) -> InputCorruptionAttack {
+        assert!(
+            theta_change > -1.0 && theta_change.is_finite(),
+            "theta change must be greater than -1, got {theta_change}"
+        );
+        InputCorruptionAttack { theta_change }
+    }
+}
+
+impl Attack for InputCorruptionAttack {
+    fn kind(&self) -> AttackKind {
+        AttackKind::InputSpikeCorruption
+    }
+
+    fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::drive_only(1.0 + self.theta_change)
+    }
+}
+
+/// Attacks 2–4: membrane-threshold manipulation of the excitatory layer,
+/// the inhibitory layer, or both.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdAttack {
+    /// Target layer; `None` attacks both layers at 100% (Attack 4).
+    pub layer: Option<TargetLayer>,
+    /// Relative threshold change.
+    pub rel_change: f64,
+    /// Fraction of the layer affected (ignored for Attack 4, which is
+    /// defined at 100%).
+    pub fraction: f64,
+}
+
+impl ThresholdAttack {
+    /// Attack 2: excitatory layer only.
+    pub fn excitatory(rel_change: f64, fraction: f64) -> ThresholdAttack {
+        ThresholdAttack {
+            layer: Some(TargetLayer::Excitatory),
+            rel_change,
+            fraction,
+        }
+    }
+
+    /// Attack 3: inhibitory layer only.
+    pub fn inhibitory(rel_change: f64, fraction: f64) -> ThresholdAttack {
+        ThresholdAttack {
+            layer: Some(TargetLayer::Inhibitory),
+            rel_change,
+            fraction,
+        }
+    }
+
+    /// Attack 4: both layers at 100%.
+    pub fn both(rel_change: f64) -> ThresholdAttack {
+        ThresholdAttack {
+            layer: None,
+            rel_change,
+            fraction: 1.0,
+        }
+    }
+}
+
+impl Attack for ThresholdAttack {
+    fn kind(&self) -> AttackKind {
+        match self.layer {
+            Some(TargetLayer::Excitatory) => AttackKind::ExcitatoryThreshold,
+            Some(TargetLayer::Inhibitory) => AttackKind::InhibitoryThreshold,
+            None => AttackKind::BothLayerThreshold,
+        }
+    }
+
+    fn fault_plan(&self) -> FaultPlan {
+        match self.layer {
+            Some(layer) => FaultPlan::layer_threshold(layer, self.rel_change, self.fraction),
+            None => FaultPlan::both_layer_threshold(self.rel_change),
+        }
+    }
+}
+
+/// Attack 5: black-box global VDD manipulation — corrupts drive *and*
+/// both layer thresholds through the circuit transfer table (Fig. 9a).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalVddAttack {
+    /// The manipulated supply voltage.
+    pub vdd: f64,
+    /// VDD → parameter transfer table (paper-nominal by default).
+    pub transfer: PowerTransferTable,
+}
+
+impl GlobalVddAttack {
+    /// Creates the attack with the paper's nominal transfer table.
+    ///
+    /// # Panics
+    /// Panics if `vdd` is not positive and finite.
+    pub fn new(vdd: f64) -> GlobalVddAttack {
+        assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive, got {vdd}");
+        GlobalVddAttack {
+            vdd,
+            transfer: PowerTransferTable::paper_nominal(),
+        }
+    }
+
+    /// Uses a custom (e.g. circuit-measured) transfer table.
+    #[must_use]
+    pub fn with_transfer(mut self, transfer: PowerTransferTable) -> GlobalVddAttack {
+        self.transfer = transfer;
+        self
+    }
+}
+
+impl Attack for GlobalVddAttack {
+    fn kind(&self) -> AttackKind {
+        AttackKind::GlobalVdd
+    }
+
+    fn fault_plan(&self) -> FaultPlan {
+        FaultPlan::from_vdd(self.vdd, &self.transfer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_setup(seed: u64) -> ExperimentSetup {
+        // Deliberately small: these tests check plumbing and ordering, not
+        // paper-scale numbers (integration tests cover those).
+        let mut setup = ExperimentSetup::quick(seed);
+        setup.n_train = 120;
+        setup.n_test = 60;
+        setup.network.sample_time_ms = 100.0;
+        setup.train_options.assignment_window = None;
+        setup
+    }
+
+    #[test]
+    fn attack_kinds_and_plans_are_consistent() {
+        assert_eq!(
+            InputCorruptionAttack::new(-0.2).kind(),
+            AttackKind::InputSpikeCorruption
+        );
+        assert_eq!(
+            ThresholdAttack::excitatory(-0.2, 1.0).kind(),
+            AttackKind::ExcitatoryThreshold
+        );
+        assert_eq!(
+            ThresholdAttack::inhibitory(-0.2, 0.5).kind(),
+            AttackKind::InhibitoryThreshold
+        );
+        assert_eq!(ThresholdAttack::both(-0.2).kind(), AttackKind::BothLayerThreshold);
+        assert_eq!(GlobalVddAttack::new(0.8).kind(), AttackKind::GlobalVdd);
+
+        let plan = ThresholdAttack::both(-0.2).fault_plan();
+        assert_eq!(plan.thresholds.len(), 2);
+        let plan = GlobalVddAttack::new(0.8).fault_plan();
+        assert!(plan.drive.is_some());
+    }
+
+    #[test]
+    fn zero_faults_reproduce_baseline() {
+        let setup = tiny_setup(3);
+        let baseline = setup.baseline();
+        let outcome = InputCorruptionAttack::new(0.0)
+            .run_with_baseline(&setup, baseline)
+            .unwrap();
+        assert_eq!(outcome.baseline_accuracy, outcome.attacked_accuracy);
+        assert!(outcome.relative_change_percent().abs() < 1e-12);
+    }
+
+    #[test]
+    fn inhibitory_collapse_dominates_excitatory() {
+        // The paper's core finding, at reduced scale: the IL attack hurts
+        // far more than the EL attack. Uses a slightly larger run than the
+        // other plumbing tests so the ordering is stable.
+        let mut setup = tiny_setup(7);
+        setup.n_train = 250;
+        setup.n_test = 100;
+        let baseline = setup.baseline();
+        assert!(baseline.accuracy > 0.15, "baseline {:.2}", baseline.accuracy);
+        let il = ThresholdAttack::inhibitory(-0.20, 1.0)
+            .run_with_baseline(&setup, baseline)
+            .unwrap();
+        let el = ThresholdAttack::excitatory(-0.20, 1.0)
+            .run_with_baseline(&setup, baseline)
+            .unwrap();
+        assert!(
+            il.attacked_accuracy < el.attacked_accuracy,
+            "IL {:.2} must be below EL {:.2}",
+            il.attacked_accuracy,
+            el.attacked_accuracy
+        );
+        assert!(
+            il.attacked_accuracy < 0.30,
+            "IL attack should approach chance, got {:.2}",
+            il.attacked_accuracy
+        );
+    }
+
+    #[test]
+    fn setup_reseeding_changes_data_and_network() {
+        let a = tiny_setup(1);
+        let b = a.with_seed(2);
+        assert_ne!(a.network_seed, b.network_seed);
+        assert_ne!(a.data_seed, b.data_seed);
+        let (ta, _) = a.datasets();
+        let (tb, _) = b.datasets();
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn datasets_have_requested_sizes() {
+        let setup = tiny_setup(5);
+        let (train_data, test_data) = setup.datasets();
+        assert_eq!(train_data.len(), setup.n_train);
+        assert_eq!(test_data.len(), setup.n_test);
+    }
+
+    #[test]
+    fn outcome_metrics() {
+        let outcome = AttackOutcome {
+            kind: AttackKind::GlobalVdd,
+            baseline_accuracy: 0.80,
+            attacked_accuracy: 0.12,
+            baseline: RunMeasurement {
+                accuracy: 0.80,
+                mean_activity: 100.0,
+                silent_fraction: 0.0,
+            },
+            attacked: RunMeasurement {
+                accuracy: 0.12,
+                mean_activity: 10.0,
+                silent_fraction: 0.5,
+            },
+            plan: FaultPlan::none(),
+        };
+        assert!((outcome.relative_change_percent() + 85.0).abs() < 1e-9);
+        assert!((outcome.absolute_change_points() + 68.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "greater than -1")]
+    fn rejects_impossible_theta() {
+        InputCorruptionAttack::new(-1.5);
+    }
+}

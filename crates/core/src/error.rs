@@ -1,0 +1,66 @@
+//! Error type for attack and defense experiments.
+
+use std::fmt;
+
+/// Any error produced by `neurofi-core`.
+#[derive(Debug)]
+pub enum Error {
+    /// A circuit-level characterisation failed (propagated from the
+    /// analog/spice layers while building transfer tables or overheads).
+    Circuit(neurofi_spice_error::Error),
+    /// An experiment was requested with invalid parameters.
+    Invalid(String),
+}
+
+// `neurofi-analog` re-exports the spice error as its own; alias the path
+// so the dependency surface stays a single crate.
+use neurofi_analog as neurofi_spice_error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Circuit(e) => write!(f, "circuit characterisation failed: {e}"),
+            Error::Invalid(msg) => write!(f, "invalid experiment: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Circuit(e) => Some(e),
+            Error::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<neurofi_spice_error::Error> for Error {
+    fn from(e: neurofi_spice_error::Error) -> Error {
+        Error::Circuit(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = Error::Invalid("fraction must be within [0, 1]".into());
+        assert!(e.to_string().contains("fraction"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + 'static>() {}
+        check::<Error>();
+    }
+
+    #[test]
+    fn circuit_errors_convert() {
+        let inner = neurofi_analog::Error::InvalidAnalysis("x".into());
+        let e: Error = inner.into();
+        assert!(matches!(e, Error::Circuit(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,61 @@
+//! # neurofi-core
+//!
+//! The primary contribution of *"Analysis of Power-Oriented Fault
+//! Injection Attacks on Spiking Neural Networks"* (DATE 2022), in Rust:
+//!
+//! * [`threat`] — the threat-model taxonomy (§I, §III-A): black-box vs
+//!   white-box access, the three power-domain scenarios, and the five
+//!   attack models.
+//! * [`injection`] — [`FaultPlan`]: translates a threat (which layer,
+//!   what fraction of neurons, how much threshold/drive corruption) into
+//!   concrete state changes on a [`neurofi_snn::DiehlCook2015`] network.
+//! * [`attacks`] — runnable implementations of Attacks 1–5 producing
+//!   baseline-vs-attacked accuracy outcomes (the data behind Figs. 7b,
+//!   8a–c, 9a).
+//! * [`sweep`] — the grid-sweep engine (threshold change × layer fraction
+//!   × seeds) that regenerates the paper's accuracy surfaces.
+//! * [`defense`] — the §V defenses (robust driver, bandgap threshold,
+//!   neuron sizing, comparator first stage) as transfer-function
+//!   hardenings, with overhead accounting.
+//! * [`detection`] — the dummy-neuron voltage-glitch detector (§V-C,
+//!   Figs. 10b/10c) with its ≥10% spike-count deviation rule.
+//! * [`report`] — result tables with paper-reference columns.
+//!
+//! The circuit-to-behaviour bridge is
+//! [`neurofi_analog::PowerTransferTable`]: VDD → (drive scale, threshold
+//! scales), either measured from the transistor-level simulator or taken
+//! from the paper's reported endpoints.
+//!
+//! ## Example: Attack 3 (inhibitory-layer threshold fault)
+//!
+//! ```no_run
+//! use neurofi_core::{Attack, ThresholdAttack};
+//! use neurofi_core::attacks::ExperimentSetup;
+//!
+//! let setup = ExperimentSetup::quick(42);
+//! let outcome = ThresholdAttack::inhibitory(-0.20, 1.0).run(&setup)?;
+//! assert!(outcome.attacked_accuracy < 0.5 * outcome.baseline_accuracy);
+//! # Ok::<(), neurofi_core::Error>(())
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod attacks;
+pub mod defense;
+pub mod detection;
+pub mod error;
+pub mod extensions;
+pub mod injection;
+pub mod report;
+pub mod sweep;
+pub mod threat;
+
+pub use attacks::{Attack, AttackOutcome, GlobalVddAttack, InputCorruptionAttack, ThresholdAttack};
+pub use defense::{Defense, OverheadEstimate};
+pub use detection::DummyNeuronDetector;
+pub use error::Error;
+pub use injection::{FaultPlan, Selection, TargetLayer, ThresholdConvention};
+pub use neurofi_analog::PowerTransferTable;
+pub use report::Table;
+pub use threat::{AccessLevel, AttackKind, PowerDomainScenario};

@@ -1,0 +1,349 @@
+//! Grid-sweep engine regenerating the paper's accuracy surfaces
+//! (Figs. 7b, 8a, 8b, 8c, 9a).
+
+use neurofi_analog::PowerTransferTable;
+
+use crate::attacks::{Attack, ExperimentSetup, GlobalVddAttack, InputCorruptionAttack, ThresholdAttack};
+use crate::error::Error;
+use crate::injection::TargetLayer;
+use crate::threat::AttackKind;
+
+/// Sweep parameters for the threshold attacks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// Relative threshold changes (the paper sweeps ±10%, ±20%).
+    pub rel_changes: Vec<f64>,
+    /// Layer fractions (the paper sweeps 0%–100%).
+    pub fractions: Vec<f64>,
+    /// Seeds; each cell is averaged over all of them.
+    pub seeds: Vec<u64>,
+}
+
+impl SweepConfig {
+    /// The paper's Fig. 8 grid.
+    pub fn paper_grid() -> SweepConfig {
+        SweepConfig {
+            rel_changes: vec![-0.20, -0.10, 0.10, 0.20],
+            fractions: vec![0.0, 0.25, 0.50, 0.75, 0.90, 1.0],
+            seeds: vec![42],
+        }
+    }
+
+    /// A small grid for smoke runs.
+    pub fn quick_grid() -> SweepConfig {
+        SweepConfig {
+            rel_changes: vec![-0.20, 0.20],
+            fractions: vec![0.0, 0.5, 1.0],
+            seeds: vec![42],
+        }
+    }
+}
+
+/// One measured sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepCell {
+    /// Relative threshold change of the cell.
+    pub rel_change: f64,
+    /// Affected layer fraction of the cell.
+    pub fraction: f64,
+    /// Mean attacked accuracy over seeds.
+    pub accuracy: f64,
+    /// Relative change versus baseline, percent.
+    pub relative_change_percent: f64,
+}
+
+/// A complete sweep result.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Which attack was swept.
+    pub kind: AttackKind,
+    /// Mean baseline accuracy over seeds.
+    pub baseline_accuracy: f64,
+    /// All measured cells, in `rel_changes × fractions` order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepResult {
+    /// The cell with the most negative relative change.
+    pub fn worst_case(&self) -> Option<&SweepCell> {
+        self.cells.iter().min_by(|a, b| {
+            a.relative_change_percent
+                .partial_cmp(&b.relative_change_percent)
+                .unwrap()
+        })
+    }
+
+    /// Looks up a cell by its coordinates.
+    pub fn cell(&self, rel_change: f64, fraction: f64) -> Option<&SweepCell> {
+        self.cells.iter().find(|c| {
+            (c.rel_change - rel_change).abs() < 1e-9 && (c.fraction - fraction).abs() < 1e-9
+        })
+    }
+}
+
+fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len().max(1) as f64
+}
+
+/// Sweeps a threshold attack over `rel_changes × fractions × seeds`.
+/// `layer = None` sweeps Attack 4 (both layers; fractions other than 1.0
+/// are skipped since the paper defines Attack 4 at 100%).
+///
+/// # Errors
+/// Propagates attack failures.
+pub fn threshold_sweep(
+    setup: &ExperimentSetup,
+    layer: Option<TargetLayer>,
+    config: &SweepConfig,
+) -> Result<SweepResult, Error> {
+    let kind = match layer {
+        Some(TargetLayer::Excitatory) => AttackKind::ExcitatoryThreshold,
+        Some(TargetLayer::Inhibitory) => AttackKind::InhibitoryThreshold,
+        None => AttackKind::BothLayerThreshold,
+    };
+    let per_seed: Vec<(ExperimentSetup, crate::attacks::RunMeasurement)> = config
+        .seeds
+        .iter()
+        .map(|&seed| {
+            let s = setup.with_seed(seed);
+            let baseline = s.baseline();
+            (s, baseline)
+        })
+        .collect();
+    let baseline_accuracy = mean(
+        &per_seed
+            .iter()
+            .map(|(_, b)| b.accuracy)
+            .collect::<Vec<f64>>(),
+    );
+
+    let mut cells = Vec::new();
+    for &rel in &config.rel_changes {
+        for &fraction in &config.fractions {
+            if layer.is_none() && (fraction - 1.0).abs() > 1e-9 {
+                continue;
+            }
+            let mut accuracies = Vec::with_capacity(per_seed.len());
+            for (s, baseline) in &per_seed {
+                let attack = match layer {
+                    Some(l) => ThresholdAttack {
+                        layer: Some(l),
+                        rel_change: rel,
+                        fraction,
+                    },
+                    None => ThresholdAttack::both(rel),
+                };
+                let outcome = attack.run_with_baseline(s, *baseline)?;
+                accuracies.push(outcome.attacked_accuracy);
+            }
+            let accuracy = mean(&accuracies);
+            cells.push(SweepCell {
+                rel_change: rel,
+                fraction,
+                accuracy,
+                relative_change_percent: if baseline_accuracy > 0.0 {
+                    (accuracy - baseline_accuracy) / baseline_accuracy * 100.0
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+    Ok(SweepResult {
+        kind,
+        baseline_accuracy,
+        cells,
+    })
+}
+
+/// Sweeps Attack 1 over theta changes (Fig. 7b). Cells use the `fraction`
+/// field to carry 1.0 (drivers are attacked globally).
+///
+/// # Errors
+/// Propagates attack failures.
+pub fn theta_sweep(
+    setup: &ExperimentSetup,
+    theta_changes: &[f64],
+    seeds: &[u64],
+) -> Result<SweepResult, Error> {
+    let per_seed: Vec<(ExperimentSetup, crate::attacks::RunMeasurement)> = seeds
+        .iter()
+        .map(|&seed| {
+            let s = setup.with_seed(seed);
+            let baseline = s.baseline();
+            (s, baseline)
+        })
+        .collect();
+    let baseline_accuracy = mean(
+        &per_seed
+            .iter()
+            .map(|(_, b)| b.accuracy)
+            .collect::<Vec<f64>>(),
+    );
+    let mut cells = Vec::new();
+    for &theta in theta_changes {
+        let mut accuracies = Vec::new();
+        for (s, baseline) in &per_seed {
+            let outcome =
+                InputCorruptionAttack::new(theta).run_with_baseline(s, *baseline)?;
+            accuracies.push(outcome.attacked_accuracy);
+        }
+        let accuracy = mean(&accuracies);
+        cells.push(SweepCell {
+            rel_change: theta,
+            fraction: 1.0,
+            accuracy,
+            relative_change_percent: if baseline_accuracy > 0.0 {
+                (accuracy - baseline_accuracy) / baseline_accuracy * 100.0
+            } else {
+                0.0
+            },
+        });
+    }
+    Ok(SweepResult {
+        kind: AttackKind::InputSpikeCorruption,
+        baseline_accuracy,
+        cells,
+    })
+}
+
+/// Sweeps Attack 5 over supply voltages (Fig. 9a). Cells use `rel_change`
+/// to carry the VDD value.
+///
+/// # Errors
+/// Propagates attack failures.
+pub fn vdd_sweep(
+    setup: &ExperimentSetup,
+    vdds: &[f64],
+    transfer: &PowerTransferTable,
+    seeds: &[u64],
+) -> Result<SweepResult, Error> {
+    let per_seed: Vec<(ExperimentSetup, crate::attacks::RunMeasurement)> = seeds
+        .iter()
+        .map(|&seed| {
+            let s = setup.with_seed(seed);
+            let baseline = s.baseline();
+            (s, baseline)
+        })
+        .collect();
+    let baseline_accuracy = mean(
+        &per_seed
+            .iter()
+            .map(|(_, b)| b.accuracy)
+            .collect::<Vec<f64>>(),
+    );
+    let mut cells = Vec::new();
+    for &vdd in vdds {
+        let mut accuracies = Vec::new();
+        for (s, baseline) in &per_seed {
+            let attack = GlobalVddAttack::new(vdd).with_transfer(transfer.clone());
+            let outcome = attack.run_with_baseline(s, *baseline)?;
+            accuracies.push(outcome.attacked_accuracy);
+        }
+        let accuracy = mean(&accuracies);
+        cells.push(SweepCell {
+            rel_change: vdd,
+            fraction: 1.0,
+            accuracy,
+            relative_change_percent: if baseline_accuracy > 0.0 {
+                (accuracy - baseline_accuracy) / baseline_accuracy * 100.0
+            } else {
+                0.0
+            },
+        });
+    }
+    Ok(SweepResult {
+        kind: AttackKind::GlobalVdd,
+        baseline_accuracy,
+        cells,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_setup() -> ExperimentSetup {
+        let mut setup = ExperimentSetup::quick(11);
+        setup.n_train = 100;
+        setup.n_test = 50;
+        setup.network.sample_time_ms = 80.0;
+        setup.train_options.assignment_window = None;
+        setup
+    }
+
+    #[test]
+    fn zero_fraction_cells_match_baseline() {
+        let setup = tiny_setup();
+        let config = SweepConfig {
+            rel_changes: vec![-0.2],
+            fractions: vec![0.0],
+            seeds: vec![1],
+        };
+        let result =
+            threshold_sweep(&setup, Some(TargetLayer::Inhibitory), &config).unwrap();
+        let cell = result.cell(-0.2, 0.0).unwrap();
+        assert!((cell.accuracy - result.baseline_accuracy).abs() < 1e-9);
+        assert!(cell.relative_change_percent.abs() < 1e-9);
+    }
+
+    #[test]
+    fn both_layer_sweep_only_keeps_full_fraction() {
+        let setup = tiny_setup();
+        let config = SweepConfig {
+            rel_changes: vec![-0.2, 0.2],
+            fractions: vec![0.0, 0.5, 1.0],
+            seeds: vec![1],
+        };
+        let result = threshold_sweep(&setup, None, &config).unwrap();
+        assert_eq!(result.kind, AttackKind::BothLayerThreshold);
+        assert_eq!(result.cells.len(), 2); // one per rel_change, only f=1.0
+        assert!(result.cells.iter().all(|c| c.fraction == 1.0));
+    }
+
+    #[test]
+    fn worst_case_finds_minimum() {
+        let result = SweepResult {
+            kind: AttackKind::InhibitoryThreshold,
+            baseline_accuracy: 0.8,
+            cells: vec![
+                SweepCell {
+                    rel_change: -0.2,
+                    fraction: 1.0,
+                    accuracy: 0.1,
+                    relative_change_percent: -87.5,
+                },
+                SweepCell {
+                    rel_change: 0.2,
+                    fraction: 1.0,
+                    accuracy: 0.6,
+                    relative_change_percent: -25.0,
+                },
+            ],
+        };
+        assert_eq!(result.worst_case().unwrap().rel_change, -0.2);
+    }
+
+    #[test]
+    fn theta_sweep_produces_one_cell_per_change() {
+        let setup = tiny_setup();
+        let result = theta_sweep(&setup, &[-0.2, 0.2], &[1]).unwrap();
+        assert_eq!(result.cells.len(), 2);
+        assert_eq!(result.kind, AttackKind::InputSpikeCorruption);
+    }
+
+    #[test]
+    fn vdd_sweep_nominal_point_matches_baseline() {
+        let setup = tiny_setup();
+        let transfer = PowerTransferTable::paper_nominal();
+        let result = vdd_sweep(&setup, &[1.0], &transfer, &[1]).unwrap();
+        assert!((result.cells[0].accuracy - result.baseline_accuracy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_grid_dimensions() {
+        let g = SweepConfig::paper_grid();
+        assert_eq!(g.rel_changes.len(), 4);
+        assert!(g.fractions.contains(&1.0) && g.fractions.contains(&0.0));
+    }
+}

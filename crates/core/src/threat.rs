@@ -1,0 +1,192 @@
+//! Threat-model taxonomy (paper §I and §III-A).
+
+use std::fmt;
+
+/// What the adversary knows about the SNN (paper §I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessLevel {
+    /// No knowledge of architecture, parameters or layout; only control of
+    /// the shared external supply.
+    BlackBox,
+    /// Knows the layout well enough to target individual layers or
+    /// peripherals (e.g. via invasive reverse engineering + laser).
+    WhiteBox,
+}
+
+impl fmt::Display for AccessLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessLevel::BlackBox => write!(f, "black-box"),
+            AccessLevel::WhiteBox => write!(f, "white-box"),
+        }
+    }
+}
+
+/// The power-domain assumptions of §III-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PowerDomainScenario {
+    /// Case 1: current drivers and neurons on separate VDD domains —
+    /// components can be attacked individually.
+    SeparateDomains,
+    /// Case 2: one shared VDD for the whole SNN.
+    SingleDomain,
+    /// Case 3: fine-grained local glitching (focused laser) inside a
+    /// domain — fractions of a layer can be attacked.
+    LocalGlitch,
+}
+
+impl fmt::Display for PowerDomainScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerDomainScenario::SeparateDomains => write!(f, "separate power domains"),
+            PowerDomainScenario::SingleDomain => write!(f, "single power domain"),
+            PowerDomainScenario::LocalGlitch => write!(f, "local power glitching"),
+        }
+    }
+}
+
+/// The five attack models of §IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Attack 1: corrupt the input current drivers (the per-spike membrane
+    /// voltage change, "theta"). White box — requires driver locations.
+    InputSpikeCorruption,
+    /// Attack 2: threshold manipulation of the excitatory layer only.
+    ExcitatoryThreshold,
+    /// Attack 3: threshold manipulation of the inhibitory layer only.
+    InhibitoryThreshold,
+    /// Attack 4: threshold manipulation of both layers (100%).
+    BothLayerThreshold,
+    /// Attack 5: global VDD manipulation of the whole system (drivers and
+    /// all neuron layers). The only black-box attack.
+    GlobalVdd,
+}
+
+impl AttackKind {
+    /// The paper's attack number (1–5).
+    pub fn paper_id(self) -> u8 {
+        match self {
+            AttackKind::InputSpikeCorruption => 1,
+            AttackKind::ExcitatoryThreshold => 2,
+            AttackKind::InhibitoryThreshold => 3,
+            AttackKind::BothLayerThreshold => 4,
+            AttackKind::GlobalVdd => 5,
+        }
+    }
+
+    /// Adversary knowledge required.
+    pub fn access_level(self) -> AccessLevel {
+        match self {
+            AttackKind::GlobalVdd => AccessLevel::BlackBox,
+            _ => AccessLevel::WhiteBox,
+        }
+    }
+
+    /// The power-domain scenario the attack assumes.
+    pub fn power_scenario(self) -> PowerDomainScenario {
+        match self {
+            AttackKind::InputSpikeCorruption => PowerDomainScenario::SeparateDomains,
+            AttackKind::ExcitatoryThreshold | AttackKind::InhibitoryThreshold => {
+                PowerDomainScenario::LocalGlitch
+            }
+            AttackKind::BothLayerThreshold => PowerDomainScenario::LocalGlitch,
+            AttackKind::GlobalVdd => PowerDomainScenario::SingleDomain,
+        }
+    }
+
+    /// The paper figure reporting this attack's results.
+    pub fn paper_figure(self) -> &'static str {
+        match self {
+            AttackKind::InputSpikeCorruption => "Fig. 7b",
+            AttackKind::ExcitatoryThreshold => "Fig. 8a",
+            AttackKind::InhibitoryThreshold => "Fig. 8b",
+            AttackKind::BothLayerThreshold => "Fig. 8c",
+            AttackKind::GlobalVdd => "Fig. 9a",
+        }
+    }
+
+    /// The paper's reported worst-case relative accuracy change, percent.
+    pub fn paper_worst_case_percent(self) -> f64 {
+        match self {
+            AttackKind::InputSpikeCorruption => -1.5,
+            AttackKind::ExcitatoryThreshold => -7.32,
+            AttackKind::InhibitoryThreshold => -84.52,
+            AttackKind::BothLayerThreshold => -85.65,
+            AttackKind::GlobalVdd => -84.93,
+        }
+    }
+
+    /// All five attacks in paper order.
+    pub fn all() -> [AttackKind; 5] {
+        [
+            AttackKind::InputSpikeCorruption,
+            AttackKind::ExcitatoryThreshold,
+            AttackKind::InhibitoryThreshold,
+            AttackKind::BothLayerThreshold,
+            AttackKind::GlobalVdd,
+        ]
+    }
+}
+
+impl fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackKind::InputSpikeCorruption => write!(f, "attack 1: input spike corruption"),
+            AttackKind::ExcitatoryThreshold => {
+                write!(f, "attack 2: excitatory-layer threshold manipulation")
+            }
+            AttackKind::InhibitoryThreshold => {
+                write!(f, "attack 3: inhibitory-layer threshold manipulation")
+            }
+            AttackKind::BothLayerThreshold => {
+                write!(f, "attack 4: both-layer threshold manipulation")
+            }
+            AttackKind::GlobalVdd => write!(f, "attack 5: global vdd manipulation"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_ids_are_one_to_five() {
+        let ids: Vec<u8> = AttackKind::all().iter().map(|a| a.paper_id()).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn only_attack5_is_black_box() {
+        for kind in AttackKind::all() {
+            let expect = if kind == AttackKind::GlobalVdd {
+                AccessLevel::BlackBox
+            } else {
+                AccessLevel::WhiteBox
+            };
+            assert_eq!(kind.access_level(), expect, "{kind}");
+        }
+    }
+
+    #[test]
+    fn worst_cases_match_paper_text() {
+        assert_eq!(
+            AttackKind::BothLayerThreshold.paper_worst_case_percent(),
+            -85.65
+        );
+        assert_eq!(
+            AttackKind::InhibitoryThreshold.paper_worst_case_percent(),
+            -84.52
+        );
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        for kind in AttackKind::all() {
+            let text = kind.to_string();
+            assert!(text.contains(&format!("attack {}", kind.paper_id())));
+        }
+        assert_eq!(AccessLevel::BlackBox.to_string(), "black-box");
+        assert!(PowerDomainScenario::LocalGlitch.to_string().contains("glitch"));
+    }
+}

@@ -1,0 +1,350 @@
+//! SynthDigits: procedural 28×28 digit images.
+//!
+//! Each digit class is defined by a stroke skeleton (polylines in a unit
+//! box). A sample is produced by jittering the skeleton with a random
+//! affine transform (rotation, anisotropic scale, shear, translation),
+//! rendering with a randomised pen width via distance-to-segment
+//! anti-aliasing, and adding pixel noise — yielding an MNIST-like,
+//! separable 10-class distribution suitable for rate-coded SNN
+//! classification.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::LabeledImages;
+
+/// Configuration for the synthetic digit generator.
+///
+/// [`Default`] produces MNIST-like variability. All random quantities are
+/// drawn from the seed passed to [`SynthDigits::generate`], so datasets are
+/// fully reproducible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthDigits {
+    /// Output image side length in pixels (28, as in MNIST).
+    pub size: usize,
+    /// Mean pen half-width in skeleton units (≈1.3 px at 28×28).
+    pub pen_half_width: f64,
+    /// Relative pen-width jitter (±fraction).
+    pub pen_jitter: f64,
+    /// Maximum rotation magnitude, radians.
+    pub max_rotation: f64,
+    /// Maximum anisotropic scale deviation (±fraction).
+    pub max_scale_jitter: f64,
+    /// Maximum shear coefficient.
+    pub max_shear: f64,
+    /// Maximum translation, skeleton units.
+    pub max_translation: f64,
+    /// Additive Gaussian pixel-noise standard deviation (0–255 scale).
+    pub noise_sigma: f64,
+    /// Minimum per-image intensity scale (1.0 = full ink).
+    pub min_intensity: f64,
+}
+
+impl Default for SynthDigits {
+    fn default() -> SynthDigits {
+        SynthDigits {
+            size: 28,
+            pen_half_width: 0.048,
+            pen_jitter: 0.25,
+            max_rotation: 0.18,
+            max_scale_jitter: 0.12,
+            max_shear: 0.12,
+            max_translation: 0.06,
+            noise_sigma: 6.0,
+            min_intensity: 0.82,
+        }
+    }
+}
+
+impl SynthDigits {
+    /// Generates `n` images with balanced classes (class of sample `i`
+    /// cycles through 0–9; the affine jitter makes every sample unique).
+    ///
+    /// # Panics
+    /// Panics if `size` is zero.
+    pub fn generate(&self, n: usize, seed: u64) -> LabeledImages {
+        assert!(self.size > 0, "image size must be non-zero");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = LabeledImages::empty(self.size, self.size);
+        let mut buffer = vec![0u8; self.size * self.size];
+        for i in 0..n {
+            let label = (i % 10) as u8;
+            self.render_into(label, &mut rng, &mut buffer);
+            out.push(&buffer, label);
+        }
+        out
+    }
+
+    /// Renders a single digit with the given per-sample RNG.
+    pub fn render(&self, label: u8, rng: &mut StdRng) -> Vec<u8> {
+        let mut buffer = vec![0u8; self.size * self.size];
+        self.render_into(label, rng, &mut buffer);
+        buffer
+    }
+
+    fn render_into(&self, label: u8, rng: &mut StdRng, buffer: &mut [u8]) {
+        assert!(label < 10, "labels must be digit classes 0-9");
+        let strokes = skeleton(label);
+
+        // Random affine about the box centre.
+        let theta = rng.gen_range(-self.max_rotation..=self.max_rotation);
+        let sx = 1.0 + rng.gen_range(-self.max_scale_jitter..=self.max_scale_jitter);
+        let sy = 1.0 + rng.gen_range(-self.max_scale_jitter..=self.max_scale_jitter);
+        let shear = rng.gen_range(-self.max_shear..=self.max_shear);
+        let tx = rng.gen_range(-self.max_translation..=self.max_translation);
+        let ty = rng.gen_range(-self.max_translation..=self.max_translation);
+        let (sin, cos) = theta.sin_cos();
+        let map = |p: (f64, f64)| -> (f64, f64) {
+            let (mut x, mut y) = (p.0 - 0.5, p.1 - 0.5);
+            x *= sx;
+            y *= sy;
+            x += shear * y;
+            let (rx, ry) = (cos * x - sin * y, sin * x + cos * y);
+            (rx + 0.5 + tx, ry + 0.5 + ty)
+        };
+        let transformed: Vec<Vec<(f64, f64)>> = strokes
+            .iter()
+            .map(|s| s.iter().map(|&p| map(p)).collect())
+            .collect();
+
+        let pen = self.pen_half_width
+            * (1.0 + rng.gen_range(-self.pen_jitter..=self.pen_jitter));
+        let softness = 0.55 * pen;
+        let ink = 255.0 * rng.gen_range(self.min_intensity..=1.0);
+
+        let size = self.size as f64;
+        for py in 0..self.size {
+            for px in 0..self.size {
+                let point = ((px as f64 + 0.5) / size, (py as f64 + 0.5) / size);
+                let d = transformed
+                    .iter()
+                    .map(|s| distance_to_polyline(point, s))
+                    .fold(f64::INFINITY, f64::min);
+                // Smooth pen profile: full ink inside the pen radius,
+                // anti-aliased falloff over `softness`.
+                let coverage = ((pen + softness - d) / softness).clamp(0.0, 1.0);
+                let mut value = ink * coverage;
+                if self.noise_sigma > 0.0 {
+                    value += self.noise_sigma * gaussian(rng);
+                }
+                buffer[py * self.size + px] = value.clamp(0.0, 255.0) as u8;
+            }
+        }
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Distance from `p` to the nearest point of a polyline.
+fn distance_to_polyline(p: (f64, f64), polyline: &[(f64, f64)]) -> f64 {
+    if polyline.is_empty() {
+        return f64::INFINITY;
+    }
+    if polyline.len() == 1 {
+        let (dx, dy) = (p.0 - polyline[0].0, p.1 - polyline[0].1);
+        return (dx * dx + dy * dy).sqrt();
+    }
+    polyline
+        .windows(2)
+        .map(|seg| distance_to_segment(p, seg[0], seg[1]))
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn distance_to_segment(p: (f64, f64), a: (f64, f64), b: (f64, f64)) -> f64 {
+    let (abx, aby) = (b.0 - a.0, b.1 - a.1);
+    let (apx, apy) = (p.0 - a.0, p.1 - a.1);
+    let len2 = abx * abx + aby * aby;
+    let t = if len2 <= f64::MIN_POSITIVE {
+        0.0
+    } else {
+        ((apx * abx + apy * aby) / len2).clamp(0.0, 1.0)
+    };
+    let (cx, cy) = (a.0 + t * abx, a.1 + t * aby);
+    let (dx, dy) = (p.0 - cx, p.1 - cy);
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// Samples an elliptical arc as a polyline. Angles in radians; `a0 > a1`
+/// sweeps clockwise.
+fn arc(cx: f64, cy: f64, rx: f64, ry: f64, a0: f64, a1: f64, n: usize) -> Vec<(f64, f64)> {
+    (0..=n)
+        .map(|i| {
+            let a = a0 + (a1 - a0) * i as f64 / n as f64;
+            (cx + rx * a.cos(), cy + ry * a.sin())
+        })
+        .collect()
+}
+
+/// Stroke skeletons for each digit class in a unit box (x right, y down).
+fn skeleton(label: u8) -> Vec<Vec<(f64, f64)>> {
+    use std::f64::consts::PI;
+    match label {
+        0 => vec![arc(0.5, 0.5, 0.24, 0.34, 0.0, 2.0 * PI, 28)],
+        1 => vec![vec![(0.36, 0.3), (0.52, 0.14), (0.52, 0.86)]],
+        2 => {
+            let mut top = arc(0.5, 0.34, 0.23, 0.20, PI, 2.0 * PI + 0.45, 16);
+            top.push((0.27, 0.84));
+            top.push((0.75, 0.84));
+            vec![top]
+        }
+        3 => vec![
+            arc(0.48, 0.32, 0.21, 0.18, -0.8 * PI, 0.5 * PI, 16),
+            arc(0.48, 0.67, 0.23, 0.20, -0.5 * PI, 0.8 * PI, 16),
+        ],
+        4 => vec![
+            vec![(0.58, 0.12), (0.24, 0.58), (0.80, 0.58)],
+            vec![(0.60, 0.34), (0.60, 0.88)],
+        ],
+        5 => {
+            let mut path = vec![(0.72, 0.14), (0.32, 0.14), (0.30, 0.45)];
+            path.extend(arc(0.48, 0.64, 0.22, 0.21, -0.5 * PI, 0.75 * PI, 16));
+            vec![path]
+        }
+        6 => {
+            let mut path = vec![(0.64, 0.12)];
+            path.extend(arc(0.47, 0.45, 0.20, 0.33, -0.5 * PI - 0.5, -PI, 10));
+            path.extend(arc(0.5, 0.66, 0.21, 0.20, PI, -PI, 22));
+            vec![path]
+        }
+        7 => vec![vec![(0.25, 0.15), (0.76, 0.15), (0.42, 0.88)]],
+        8 => vec![
+            arc(0.5, 0.31, 0.18, 0.17, 0.0, 2.0 * PI, 20),
+            arc(0.5, 0.68, 0.22, 0.20, 0.0, 2.0 * PI, 20),
+        ],
+        9 => {
+            let mut tail = vec![(0.68, 0.33), (0.66, 0.60), (0.56, 0.88)];
+            let mut strokes = vec![arc(0.5, 0.33, 0.19, 0.19, 0.0, 2.0 * PI, 20)];
+            strokes.push(std::mem::take(&mut tail));
+            strokes
+        }
+        _ => panic!("labels must be digit classes 0-9, got {label}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_with_balanced_classes() {
+        let data = SynthDigits::default().generate(200, 1);
+        assert_eq!(data.len(), 200);
+        for (digit, count) in data.class_counts().iter().enumerate() {
+            assert_eq!(*count, 20, "class {digit}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = SynthDigits::default().generate(30, 99);
+        let b = SynthDigits::default().generate(30, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SynthDigits::default().generate(30, 1);
+        let b = SynthDigits::default().generate(30, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn images_have_ink_and_background() {
+        let data = SynthDigits::default().generate(20, 7);
+        for (img, label) in data.iter() {
+            let max = *img.iter().max().unwrap();
+            let dark = img.iter().filter(|&&p| p < 40).count();
+            assert!(max > 150, "digit {label} too faint (max {max})");
+            assert!(
+                dark > img.len() / 3,
+                "digit {label} background too bright ({dark} dark pixels)"
+            );
+        }
+    }
+
+    #[test]
+    fn ink_fraction_is_mnist_like() {
+        // MNIST images have roughly 10-25% inked pixels.
+        let data = SynthDigits::default().generate(100, 3);
+        let inked: f64 = (0..data.len())
+            .map(|i| {
+                data.image(i).iter().filter(|&&p| p > 80).count() as f64
+                    / data.image(i).len() as f64
+            })
+            .sum::<f64>()
+            / data.len() as f64;
+        assert!(inked > 0.06 && inked < 0.35, "inked fraction {inked:.3}");
+    }
+
+    #[test]
+    fn classes_are_separable_by_pixel_distance() {
+        // Nearest-centroid classification on raw pixels should beat chance
+        // by a wide margin — a floor under what the SNN must achieve.
+        let gen = SynthDigits::default();
+        let train = gen.generate(400, 11);
+        let test = gen.generate(100, 12);
+        let dim = 28 * 28;
+        let mut centroids = vec![[0.0f64; 784]; 10];
+        let counts = train.class_counts();
+        for (img, label) in train.iter() {
+            for (k, &p) in img.iter().enumerate() {
+                centroids[label as usize][k] += p as f64;
+            }
+        }
+        for (c, centroid) in centroids.iter_mut().enumerate() {
+            for v in centroid.iter_mut().take(dim) {
+                *v /= counts[c].max(1) as f64;
+            }
+        }
+        let mut correct = 0;
+        for (img, label) in test.iter() {
+            let best = (0..10)
+                .min_by(|&a, &b| {
+                    let da: f64 = img
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &p)| (p as f64 - centroids[a][k]).powi(2))
+                        .sum();
+                    let db: f64 = img
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &p)| (p as f64 - centroids[b][k]).powi(2))
+                        .sum();
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            if best == label as usize {
+                correct += 1;
+            }
+        }
+        let accuracy = correct as f64 / test.len() as f64;
+        assert!(
+            accuracy > 0.8,
+            "nearest-centroid accuracy {accuracy:.2} too low — classes not separable"
+        );
+    }
+
+    #[test]
+    fn distance_to_segment_basics() {
+        let d = distance_to_segment((0.0, 1.0), (-1.0, 0.0), (1.0, 0.0));
+        assert!((d - 1.0).abs() < 1e-12);
+        // Beyond the endpoint, distance is to the endpoint.
+        let d = distance_to_segment((2.0, 0.0), (-1.0, 0.0), (1.0, 0.0));
+        assert!((d - 1.0).abs() < 1e-12);
+        // Degenerate segment.
+        let d = distance_to_segment((3.0, 4.0), (0.0, 0.0), (0.0, 0.0));
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "digit classes")]
+    fn render_rejects_bad_label() {
+        let mut rng = StdRng::seed_from_u64(0);
+        SynthDigits::default().render(11, &mut rng);
+    }
+}

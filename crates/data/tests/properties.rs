@@ -1,0 +1,136 @@
+//! Property-based tests of the dataset substrate.
+
+use proptest::prelude::*;
+
+use neurofi_data::idx::{parse_images, parse_labels};
+use neurofi_data::{LabeledImages, SynthDigits};
+
+fn idx_image_bytes(count: u32, h: u32, w: u32, pixels: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&0x0000_0803u32.to_be_bytes());
+    bytes.extend_from_slice(&count.to_be_bytes());
+    bytes.extend_from_slice(&h.to_be_bytes());
+    bytes.extend_from_slice(&w.to_be_bytes());
+    bytes.extend_from_slice(pixels);
+    bytes
+}
+
+fn idx_label_bytes(labels: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&0x0000_0801u32.to_be_bytes());
+    bytes.extend_from_slice(&(labels.len() as u32).to_be_bytes());
+    bytes.extend_from_slice(labels);
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// IDX image encode/parse round-trips arbitrary pixel payloads.
+    #[test]
+    fn idx_images_round_trip(
+        w in 1u32..10,
+        h in 1u32..10,
+        count in 1u32..6,
+        seed in any::<u64>(),
+    ) {
+        let n = (w * h * count) as usize;
+        let mut state = seed;
+        let pixels: Vec<u8> = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 56) as u8
+            })
+            .collect();
+        let bytes = idx_image_bytes(count, h, w, &pixels);
+        let (pw, ph, parsed) = parse_images(&bytes).unwrap();
+        prop_assert_eq!(pw as u32, w);
+        prop_assert_eq!(ph as u32, h);
+        prop_assert_eq!(parsed, pixels);
+    }
+
+    /// IDX label round trip for any valid digit vector.
+    #[test]
+    fn idx_labels_round_trip(labels in proptest::collection::vec(0u8..10, 1..50)) {
+        let parsed = parse_labels(&idx_label_bytes(&labels)).unwrap();
+        prop_assert_eq!(parsed, labels);
+    }
+
+    /// Truncating an IDX payload anywhere yields a Format error, never a
+    /// panic or bogus success.
+    #[test]
+    fn idx_truncation_is_graceful(cut in 0usize..30) {
+        let bytes = idx_image_bytes(2, 3, 3, &[7u8; 18]);
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        let res = parse_images(&bytes[..cut]);
+        prop_assert!(res.is_err());
+    }
+
+    /// Dataset splits partition content exactly.
+    #[test]
+    fn split_partitions(n in 1usize..60, at_ratio in 0.0f64..=1.0) {
+        let data = SynthDigits::default().generate(n, 3);
+        let at = ((n as f64) * at_ratio) as usize;
+        let (a, b) = data.split(at);
+        prop_assert_eq!(a.len() + b.len(), n);
+        for i in 0..a.len() {
+            prop_assert_eq!(a.image(i), data.image(i));
+            prop_assert_eq!(a.label(i), data.label(i));
+        }
+        for i in 0..b.len() {
+            prop_assert_eq!(b.image(i), data.image(at + i));
+            prop_assert_eq!(b.label(i), data.label(at + i));
+        }
+    }
+
+    /// Generation is deterministic in the seed and class-balanced for
+    /// multiples of 10.
+    #[test]
+    fn generation_is_deterministic_and_balanced(
+        decades in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let n = decades * 10;
+        let gen = SynthDigits::default();
+        let a = gen.generate(n, seed);
+        let b = gen.generate(n, seed);
+        prop_assert_eq!(&a, &b);
+        for count in a.class_counts() {
+            prop_assert_eq!(count, decades);
+        }
+    }
+
+    /// Every generated image keeps a sane ink budget (neither blank nor
+    /// saturated), for arbitrary seeds.
+    #[test]
+    fn images_have_sane_ink(seed in any::<u64>()) {
+        let data = SynthDigits::default().generate(10, seed);
+        for (img, label) in data.iter() {
+            let bright = img.iter().filter(|&&p| p > 100).count();
+            let frac = bright as f64 / img.len() as f64;
+            prop_assert!(
+                frac > 0.02 && frac < 0.5,
+                "digit {label}: ink fraction {frac:.3}"
+            );
+        }
+    }
+
+    /// LabeledImages::push and iter agree for arbitrary content.
+    #[test]
+    fn push_iter_agreement(
+        images in proptest::collection::vec(
+            (proptest::collection::vec(any::<u8>(), 4), 0u8..10),
+            0..20,
+        )
+    ) {
+        let mut data = LabeledImages::empty(2, 2);
+        for (pixels, label) in &images {
+            data.push(pixels, *label);
+        }
+        prop_assert_eq!(data.len(), images.len());
+        for (got, want) in data.iter().zip(&images) {
+            prop_assert_eq!(got.0, want.0.as_slice());
+            prop_assert_eq!(got.1, want.1);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Calibration sweep for the Diehl&Cook operating point (developer tool).
+//!
+//! Searches max input rate × theta_plus for a healthy baseline with
+//! evaluation-frozen adaptation, then reports activity and accuracy.
+use neurofi_data::SynthDigits;
+use neurofi_snn::diehl_cook::{DiehlCook2015, DiehlCookConfig};
+use neurofi_snn::trainer::{evaluate, train, TrainOptions};
+
+fn main() {
+    let generator = SynthDigits::default();
+    let train_data = generator.generate(1000, 1001);
+    let test_data = generator.generate(250, 2002);
+    for (rate, theta_plus) in [
+        (128.0, 0.05),
+        (64.0, 0.05),
+        (32.0, 0.05),
+        (128.0, 0.01),
+        (64.0, 0.01),
+        (128.0, 0.2),
+        (64.0, 0.2),
+    ] {
+        let mut config = DiehlCookConfig::default();
+        config.max_rate_hz = rate;
+        config.excitatory.theta_plus = theta_plus;
+        let mut net = DiehlCook2015::new(config, 42);
+        let t0 = std::time::Instant::now();
+        let report = train(&mut net, &train_data, &TrainOptions::default());
+        let accuracy = evaluate(&mut net, &report.assignments, &test_data, 10);
+        let theta_max = net
+            .excitatory
+            .theta
+            .iter()
+            .cloned()
+            .fold(0.0f32, f32::max);
+        println!(
+            "rate={rate:>5} theta+={theta_plus:<5} acc={:.1}% act={:.0} theta_max={theta_max:.1}mV online={:?} ({:?})",
+            accuracy * 100.0,
+            report.mean_activity,
+            report
+                .online_accuracy
+                .iter()
+                .map(|a| format!("{:.0}%", a * 100.0))
+                .collect::<Vec<_>>(),
+            t0.elapsed()
+        );
+    }
+}

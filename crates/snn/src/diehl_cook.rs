@@ -1,0 +1,460 @@
+//! The Diehl&Cook (2015) unsupervised digit-classification network, as
+//! configured by the paper (§IV-A).
+//!
+//! Architecture (paper Fig. 7a):
+//!
+//! ```text
+//! 784 Poisson inputs ──all-to-all (plastic, STDP)──▶ 100 excitatory (EL)
+//! EL ──one-to-one (+22.5)──▶ 100 inhibitory (IL)
+//! IL ──all-but-self (−120)──▶ EL        (lateral competition)
+//! ```
+//!
+//! Learning is a single pass with post-pre STDP (rates 4·10⁻⁴/2·10⁻⁴),
+//! per-sample weight normalisation to 78.4, and adaptive excitatory
+//! thresholds. Classification assigns each excitatory neuron to the digit
+//! class it fires most for, then predicts by mean assigned-class activity.
+//!
+//! The paper trains with batch size 32. Both protocols are available:
+//! sequential immediate STDP updates (default), and true batched training
+//! ([`begin_batch`]/[`end_batch`], driven by
+//! `TrainOptions::batched`) where updates accumulate over each batch and
+//! apply at the boundary.
+//!
+//! [`begin_batch`]: DiehlCook2015::begin_batch
+//! [`end_batch`]: DiehlCook2015::end_batch
+
+use crate::encoding::PoissonEncoder;
+use crate::learning::PostPreStdp;
+use crate::neurons::{InputLayer, LifLayer, LifParameters};
+use crate::topology::{DenseConnection, LateralInhibition, OneToOneConnection};
+
+/// Configuration of the Diehl&Cook network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiehlCookConfig {
+    /// Number of input channels (784 for 28×28 images).
+    pub n_input: usize,
+    /// Excitatory population size (100 in the paper).
+    pub n_excitatory: usize,
+    /// Inhibitory population size (100 in the paper).
+    pub n_inhibitory: usize,
+    /// Excitatory → inhibitory one-to-one weight (22.5).
+    pub exc_weight: f32,
+    /// Inhibitory → excitatory lateral weight magnitude (120, applied
+    /// negatively).
+    pub inh_weight: f32,
+    /// Upper bound for plastic input weights.
+    pub w_max: f32,
+    /// Initial weight scale (uniform in `[0, w_init)`).
+    pub w_init: f32,
+    /// Per-neuron incoming-weight normalisation target (78.4).
+    pub norm: f32,
+    /// Simulation time per sample, ms (250 in BindsNET's protocol).
+    pub sample_time_ms: f64,
+    /// Simulation step, ms.
+    pub dt_ms: f64,
+    /// Poisson rate of a fully-bright pixel, Hz (BindsNET intensity 128).
+    pub max_rate_hz: f64,
+    /// STDP learning rates.
+    pub stdp: PostPreStdp,
+    /// Batch size from the paper's protocol (32); used when training with
+    /// `TrainOptions::batched` — see module docs.
+    pub batch_size: usize,
+    /// Excitatory neuron parameters.
+    pub excitatory: LifParameters,
+    /// Inhibitory neuron parameters.
+    pub inhibitory: LifParameters,
+}
+
+impl Default for DiehlCookConfig {
+    fn default() -> DiehlCookConfig {
+        DiehlCookConfig {
+            n_input: 784,
+            n_excitatory: 100,
+            n_inhibitory: 100,
+            exc_weight: 22.5,
+            inh_weight: 120.0,
+            w_max: 1.0,
+            w_init: 0.3,
+            norm: 78.4,
+            sample_time_ms: 250.0,
+            dt_ms: 1.0,
+            // BindsNET's eth_mnist intensity: a 255 pixel fires at 128 Hz.
+            max_rate_hz: 128.0,
+            // BindsNET's shipped rates, which reproduce the paper's
+            // baseline — see PostPreStdp::paper() for why the paper's
+            // prose rates are not used here.
+            stdp: PostPreStdp::bindsnet(),
+            batch_size: 32,
+            excitatory: LifParameters::diehl_cook_excitatory(),
+            inhibitory: LifParameters::diehl_cook_inhibitory(),
+        }
+    }
+}
+
+impl DiehlCookConfig {
+    /// A reduced-fidelity configuration for fast tests and smoke
+    /// reproduction: shorter exposure per sample.
+    pub fn quick() -> DiehlCookConfig {
+        DiehlCookConfig {
+            sample_time_ms: 100.0,
+            ..DiehlCookConfig::default()
+        }
+    }
+}
+
+/// The instantiated network.
+#[derive(Debug, Clone)]
+pub struct DiehlCook2015 {
+    config: DiehlCookConfig,
+    /// Input population (Poisson spike carriers + traces).
+    pub input: InputLayer,
+    /// Excitatory population (adaptive thresholds; fault hooks live here).
+    pub excitatory: LifLayer,
+    /// Inhibitory population (fault hooks live here).
+    pub inhibitory: LifLayer,
+    /// Plastic input → excitatory pathway (drive-gain fault hook).
+    pub input_to_exc: DenseConnection,
+    /// Excitatory → inhibitory one-to-one pathway.
+    pub exc_to_inh: OneToOneConnection,
+    /// Inhibitory → excitatory lateral competition.
+    pub inh_to_exc: LateralInhibition,
+    encoder: PoissonEncoder,
+    /// When false, STDP is disabled (evaluation mode).
+    pub learning: bool,
+    seed: u64,
+    samples_seen: u64,
+    /// When batching, STDP updates accumulate here instead of being
+    /// applied immediately; `end_batch` applies the sum.
+    pending_deltas: Option<crate::tensor::Matrix>,
+    // Scratch buffers reused across steps.
+    exc_current: Vec<f32>,
+    inh_current: Vec<f32>,
+    spike_buffer: Vec<f32>,
+}
+
+impl DiehlCook2015 {
+    /// Builds the network with seeded weight initialisation and encoding.
+    ///
+    /// # Panics
+    /// Panics if the configuration is structurally invalid (zero-sized
+    /// layers, non-positive times, or an excitatory/inhibitory size
+    /// mismatch — the one-to-one wiring requires equal sizes).
+    pub fn new(config: DiehlCookConfig, seed: u64) -> DiehlCook2015 {
+        assert_eq!(
+            config.n_excitatory, config.n_inhibitory,
+            "one-to-one wiring requires equally sized EL and IL"
+        );
+        assert!(config.sample_time_ms > 0.0, "sample time must be positive");
+        let dt = config.dt_ms as f32;
+        let input = InputLayer::new(config.n_input, config.excitatory.tau_trace, dt);
+        let excitatory = LifLayer::new(config.n_excitatory, config.excitatory.clone(), dt);
+        let inhibitory = LifLayer::new(config.n_inhibitory, config.inhibitory.clone(), dt);
+        let input_to_exc = DenseConnection::random(
+            config.n_input,
+            config.n_excitatory,
+            config.w_init,
+            0.0,
+            config.w_max,
+            seed,
+        )
+        .with_norm(config.norm);
+        let exc_to_inh = OneToOneConnection::new(config.n_excitatory, config.exc_weight);
+        let inh_to_exc = LateralInhibition::new(config.n_inhibitory, -config.inh_weight.abs());
+        let encoder = PoissonEncoder::new(config.max_rate_hz, config.dt_ms, seed ^ 0x9e37_79b9);
+        let n_exc = config.n_excitatory;
+        let n_inh = config.n_inhibitory;
+        let n_in = config.n_input;
+        DiehlCook2015 {
+            config,
+            input,
+            excitatory,
+            inhibitory,
+            input_to_exc,
+            exc_to_inh,
+            inh_to_exc,
+            encoder,
+            learning: true,
+            seed,
+            samples_seen: 0,
+            pending_deltas: None,
+            exc_current: vec![0.0; n_exc],
+            inh_current: vec![0.0; n_inh],
+            spike_buffer: vec![0.0; n_in],
+        }
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &DiehlCookConfig {
+        &self.config
+    }
+
+    /// Number of simulation steps per sample.
+    pub fn steps_per_sample(&self) -> usize {
+        (self.config.sample_time_ms / self.config.dt_ms).round() as usize
+    }
+
+    /// Advances the network one step with the given input spikes
+    /// (synchronous update: layer inputs are computed from the previous
+    /// step's spikes before any layer advances).
+    ///
+    /// # Panics
+    /// Panics if `input_spikes.len() != config.n_input`.
+    pub fn step(&mut self, input_spikes: &[f32]) {
+        self.input.set_spikes(input_spikes);
+
+        self.exc_current.fill(0.0);
+        self.input_to_exc
+            .forward_into(&self.input.spikes, &mut self.exc_current);
+        self.inh_to_exc
+            .forward_into(&self.inhibitory.spikes, &mut self.exc_current);
+
+        self.inh_current.fill(0.0);
+        self.exc_to_inh
+            .forward_into(&self.excitatory.spikes, &mut self.inh_current);
+
+        self.excitatory.step(&self.exc_current);
+        self.inhibitory.step(&self.inh_current);
+
+        if self.learning {
+            match &mut self.pending_deltas {
+                Some(deltas) => self.config.stdp.accumulate(
+                    &self.input_to_exc,
+                    deltas,
+                    &self.input.spikes,
+                    &self.input.traces,
+                    &self.excitatory.spikes,
+                    &self.excitatory.traces,
+                ),
+                None => self.config.stdp.update(
+                    &mut self.input_to_exc,
+                    &self.input.spikes,
+                    &self.input.traces,
+                    &self.excitatory.spikes,
+                    &self.excitatory.traces,
+                ),
+            }
+        }
+    }
+
+    /// Starts a training batch: subsequent STDP updates accumulate into a
+    /// pending-delta buffer instead of the shared weights, mirroring
+    /// BindsNET's batched training (the paper trains with batch size 32).
+    pub fn begin_batch(&mut self) {
+        self.pending_deltas = Some(crate::tensor::Matrix::zeros(
+            self.config.n_input,
+            self.config.n_excitatory,
+        ));
+    }
+
+    /// Ends a training batch, applying the accumulated weight deltas (with
+    /// clamping) to the shared weights. No-op when no batch is open.
+    pub fn end_batch(&mut self) {
+        if let Some(deltas) = self.pending_deltas.take() {
+            for r in 0..deltas.rows() {
+                self.input_to_exc.w.add_into_row(r, deltas.row(r));
+            }
+            self.input_to_exc.clamp_weights();
+        }
+    }
+
+    /// Presents one image for `sample_time_ms`, returning the excitatory
+    /// spike count per neuron. Dynamic state resets between samples
+    /// (adaptive thresholds and learned weights persist); weights are
+    /// renormalised before the presentation when `train` is set.
+    ///
+    /// # Panics
+    /// Panics if `image.len() != config.n_input`.
+    pub fn run_sample(&mut self, image: &[u8], train: bool) -> Vec<f32> {
+        assert_eq!(
+            image.len(),
+            self.config.n_input,
+            "image size does not match the input layer"
+        );
+        self.learning = train;
+        // Threshold adaptation stays active in both modes: the analog
+        // hardware this models has no train/test switch. The evaluation
+        // protocol in `trainer::evaluate` snapshots and restores theta so
+        // repeated evaluations are reproducible.
+        if train {
+            self.input_to_exc.normalize();
+        }
+        self.input.reset_state();
+        self.excitatory.reset_state();
+        self.inhibitory.reset_state();
+        // Per-sample deterministic encoding stream.
+        self.encoder
+            .reseed(self.seed ^ self.samples_seen.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        self.samples_seen += 1;
+
+        let steps = self.steps_per_sample();
+        let mut counts = vec![0.0f32; self.config.n_excitatory];
+        let mut spikes = std::mem::take(&mut self.spike_buffer);
+        for _ in 0..steps {
+            self.encoder.encode_step_into(image, &mut spikes);
+            self.step(&spikes);
+            for (c, &s) in counts.iter_mut().zip(&self.excitatory.spikes) {
+                *c += s;
+            }
+        }
+        self.spike_buffer = spikes;
+        counts
+    }
+
+    /// Clears every injected fault (threshold scales and drive gains).
+    pub fn clear_faults(&mut self) {
+        self.excitatory.clear_faults();
+        self.inhibitory.clear_faults();
+        self.input_to_exc.gain = 1.0;
+    }
+
+    /// Pins the per-sample encoding counter. Each presentation derives its
+    /// Poisson stream from `(network seed, counter)`, so fixing the
+    /// counter makes a run over the same dataset bit-reproducible — the
+    /// evaluation protocol uses this so that repeated evaluations of one
+    /// network agree exactly.
+    pub fn set_sample_counter(&mut self, value: u64) {
+        self.samples_seen = value;
+    }
+
+    /// The current per-sample encoding counter.
+    pub fn sample_counter(&self) -> u64 {
+        self.samples_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurofi_data::SynthDigits;
+
+    fn quick_net(seed: u64) -> DiehlCook2015 {
+        let mut config = DiehlCookConfig::quick();
+        config.sample_time_ms = 100.0;
+        DiehlCook2015::new(config, seed)
+    }
+
+    #[test]
+    fn paper_configuration_defaults() {
+        let c = DiehlCookConfig::default();
+        assert_eq!(c.n_input, 784);
+        assert_eq!(c.n_excitatory, 100);
+        assert_eq!(c.n_inhibitory, 100);
+        assert!((c.exc_weight - 22.5).abs() < 1e-6);
+        assert!((c.inh_weight - 120.0).abs() < 1e-6);
+        assert!((c.norm - 78.4).abs() < 1e-6);
+        assert_eq!(c.batch_size, 32);
+    }
+
+    #[test]
+    fn excitatory_neurons_respond_to_input() {
+        let data = SynthDigits::default().generate(4, 5);
+        let mut net = quick_net(1);
+        let counts = net.run_sample(data.image(0), true);
+        let total: f32 = counts.iter().sum();
+        assert!(total > 0.0, "no excitatory activity at all");
+        assert!(total < 2000.0, "implausible activity level {total}");
+    }
+
+    #[test]
+    fn lateral_inhibition_sparsifies_activity() {
+        // With −120 lateral inhibition only a few neurons should dominate
+        // each presentation (competition), versus many without it.
+        let data = SynthDigits::default().generate(2, 9);
+        let active = |inh: f32| {
+            let mut config = DiehlCookConfig::quick();
+            config.inh_weight = inh;
+            let mut net = DiehlCook2015::new(config, 3);
+            let counts = net.run_sample(data.image(0), true);
+            counts.iter().filter(|&&c| c > 0.0).count()
+        };
+        let with_inh = active(120.0);
+        let without = active(0.0);
+        assert!(
+            with_inh < without,
+            "inhibition should sparsify: {with_inh} vs {without}"
+        );
+    }
+
+    #[test]
+    fn run_sample_is_deterministic_in_sequence() {
+        let data = SynthDigits::default().generate(3, 5);
+        let run = || {
+            let mut net = quick_net(7);
+            let mut all = Vec::new();
+            for (img, _) in data.iter() {
+                all.push(net.run_sample(img, true));
+            }
+            all
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn learning_changes_weights_evaluation_does_not() {
+        let data = SynthDigits::default().generate(2, 5);
+        let mut net = quick_net(7);
+        let before = net.input_to_exc.w.clone();
+        net.run_sample(data.image(0), true);
+        let after_train = net.input_to_exc.w.clone();
+        assert_ne!(before.as_slice(), after_train.as_slice());
+        net.run_sample(data.image(1), false);
+        assert_eq!(
+            after_train.as_slice(),
+            net.input_to_exc.w.as_slice(),
+            "evaluation must not learn"
+        );
+    }
+
+    #[test]
+    fn theta_accumulates_across_samples() {
+        let data = SynthDigits::default().generate(4, 5);
+        let mut net = quick_net(7);
+        for (img, _) in data.iter() {
+            net.run_sample(img, true);
+        }
+        let total_theta: f32 = net.excitatory.theta.iter().sum();
+        assert!(total_theta > 0.0, "adaptive thresholds never engaged");
+    }
+
+    #[test]
+    fn silencing_inhibitory_layer_floods_excitatory() {
+        // The Attack-3 mechanism: scaling the (negative) IL threshold by
+        // 0.8 silences the inhibitory population, removing competition.
+        let data = SynthDigits::default().generate(2, 5);
+        let mut nominal = quick_net(3);
+        let n_counts = nominal.run_sample(data.image(0), true);
+        let n_active = n_counts.iter().filter(|&&c| c > 0.0).count();
+        let n_inh_spikes: f32 = nominal.inhibitory.spikes.iter().sum();
+        let _ = n_inh_spikes;
+
+        let mut attacked = quick_net(3);
+        attacked.inhibitory.threshold_scale.fill(0.8);
+        let a_counts = attacked.run_sample(data.image(0), true);
+        let a_active = a_counts.iter().filter(|&&c| c > 0.0).count();
+        assert!(
+            a_active >= n_active,
+            "silenced inhibition should not reduce activity ({a_active} vs {n_active})"
+        );
+        let a_total: f32 = a_counts.iter().sum();
+        let n_total: f32 = n_counts.iter().sum();
+        assert!(
+            a_total > n_total,
+            "total excitatory activity should rise without inhibition"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equally sized")]
+    fn rejects_mismatched_populations() {
+        let mut config = DiehlCookConfig::default();
+        config.n_inhibitory = 50;
+        DiehlCook2015::new(config, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn rejects_wrong_image_size() {
+        let mut net = quick_net(0);
+        net.run_sample(&[0u8; 100], true);
+    }
+}

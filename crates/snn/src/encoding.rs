@@ -1,0 +1,128 @@
+//! Spike encoders: pixel intensities → spike trains.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Poisson rate encoder, matching BindsNET's `PoissonEncoder` semantics:
+/// a pixel of value 255 fires at `max_rate_hz`; each simulation step emits
+/// a Bernoulli spike with probability `rate · dt`.
+///
+/// ```
+/// use neurofi_snn::PoissonEncoder;
+/// let mut enc = PoissonEncoder::new(128.0, 1.0, 7);
+/// let image = vec![255u8; 100];
+/// let spikes = enc.encode_step(&image);
+/// let fired = spikes.iter().filter(|&&s| s > 0.0).count();
+/// assert!(fired > 0); // 12.8% per-step probability over 100 pixels
+/// ```
+#[derive(Debug, Clone)]
+pub struct PoissonEncoder {
+    /// Firing rate of a fully-bright pixel, hertz.
+    pub max_rate_hz: f64,
+    /// Simulation step, milliseconds.
+    pub dt_ms: f64,
+    rng: StdRng,
+}
+
+impl PoissonEncoder {
+    /// Creates an encoder with the given peak rate and time step.
+    ///
+    /// # Panics
+    /// Panics if `max_rate_hz` is negative, or if the per-step spike
+    /// probability `max_rate_hz · dt` exceeds 1.
+    pub fn new(max_rate_hz: f64, dt_ms: f64, seed: u64) -> PoissonEncoder {
+        assert!(max_rate_hz >= 0.0, "rate must be non-negative");
+        assert!(dt_ms > 0.0, "dt must be positive");
+        assert!(
+            max_rate_hz * dt_ms / 1000.0 <= 1.0,
+            "per-step spike probability exceeds 1 (rate {max_rate_hz} Hz at dt {dt_ms} ms)"
+        );
+        PoissonEncoder {
+            max_rate_hz,
+            dt_ms,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Re-seeds the encoder (used to make every sample reproducible).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Emits one time step of spikes (1.0 = spike) for the given image.
+    pub fn encode_step(&mut self, image: &[u8]) -> Vec<f32> {
+        let mut out = vec![0.0f32; image.len()];
+        self.encode_step_into(image, &mut out);
+        out
+    }
+
+    /// Same as [`encode_step`](PoissonEncoder::encode_step) but reuses a
+    /// caller buffer.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != image.len()`.
+    pub fn encode_step_into(&mut self, image: &[u8], out: &mut [f32]) {
+        assert_eq!(out.len(), image.len(), "buffer length mismatch");
+        let scale = self.max_rate_hz * self.dt_ms / 1000.0 / 255.0;
+        for (o, &pixel) in out.iter_mut().zip(image) {
+            let p = pixel as f64 * scale;
+            *o = if pixel > 0 && self.rng.gen::<f64>() < p {
+                1.0
+            } else {
+                0.0
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empirical_rate_matches_pixel_value() {
+        let mut enc = PoissonEncoder::new(128.0, 1.0, 3);
+        let image = vec![255u8, 128, 0];
+        let steps = 20_000;
+        let mut counts = [0usize; 3];
+        let mut buffer = vec![0.0f32; 3];
+        for _ in 0..steps {
+            enc.encode_step_into(&image, &mut buffer);
+            for (c, &s) in counts.iter_mut().zip(&buffer) {
+                if s > 0.0 {
+                    *c += 1;
+                }
+            }
+        }
+        let rate = |c: usize| c as f64 / steps as f64 * 1000.0; // Hz at dt=1ms
+        assert!((rate(counts[0]) - 128.0).abs() < 8.0, "{}", rate(counts[0]));
+        assert!((rate(counts[1]) - 64.0).abs() < 6.0, "{}", rate(counts[1]));
+        assert_eq!(counts[2], 0, "zero pixels must never spike");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let image = vec![200u8; 50];
+        let mut a = PoissonEncoder::new(100.0, 1.0, 5);
+        let mut b = PoissonEncoder::new(100.0, 1.0, 5);
+        for _ in 0..10 {
+            assert_eq!(a.encode_step(&image), b.encode_step(&image));
+        }
+    }
+
+    #[test]
+    fn reseed_restarts_stream() {
+        let image = vec![200u8; 50];
+        let mut enc = PoissonEncoder::new(100.0, 1.0, 5);
+        let first = enc.encode_step(&image);
+        enc.encode_step(&image);
+        enc.reseed(5);
+        assert_eq!(enc.encode_step(&image), first);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability exceeds 1")]
+    fn rejects_overdriven_rate() {
+        PoissonEncoder::new(2000.0, 1.0, 0);
+    }
+}

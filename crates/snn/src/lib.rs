@@ -1,0 +1,62 @@
+//! # neurofi-snn
+//!
+//! A from-scratch behavioural spiking-neural-network library reproducing
+//! the BindsNET stack the paper evaluates on: Poisson rate encoding,
+//! leaky-integrate-and-fire neurons with the Diehl&Cook adaptive
+//! threshold, dense/one-to-one/lateral-inhibition topologies, post-pre
+//! STDP with synaptic traces, per-neuron weight normalisation and
+//! all-activity classification.
+//!
+//! The flagship network is [`diehl_cook::DiehlCook2015`] — the unsupervised
+//! digit classifier from Diehl & Cook (2015) with the paper's
+//! configuration (784 inputs → 100 excitatory → 100 inhibitory, learning
+//! rates 4·10⁻⁴/2·10⁻⁴, one pass over 1000 images).
+//!
+//! ## Fault hooks (the attack surface)
+//!
+//! The paper's power attacks corrupt two behavioural quantities, exposed
+//! here as first-class state so `neurofi-core` can inject faults:
+//!
+//! * [`neurons::LifLayer::threshold_scale`] — per-neuron multiplicative
+//!   threshold change (Attacks 2–5). Matching the paper's methodology,
+//!   the scale applies to the *signed biological threshold* (−52 mV
+//!   excitatory, −40 mV inhibitory), so a −20% change moves thresholds
+//!   toward 0 mV, i.e. makes neurons harder to fire. See DESIGN.md for
+//!   the polarity discussion.
+//! * [`neurons::LifLayer::input_gain`] — scales the membrane-voltage
+//!   change per incoming spike (Attack 1's `theta`, and the drive
+//!   component of Attack 5).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use neurofi_snn::diehl_cook::{DiehlCook2015, DiehlCookConfig};
+//! use neurofi_data::SynthDigits;
+//!
+//! let data = SynthDigits::default().generate(20, 7);
+//! let mut config = DiehlCookConfig::default();
+//! config.sample_time_ms = 50.0; // abbreviated for the doctest
+//! let mut net = DiehlCook2015::new(config, 42);
+//! let counts = net.run_sample(data.image(0), true);
+//! assert_eq!(counts.len(), 100);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod classify;
+pub mod diehl_cook;
+pub mod encoding;
+pub mod learning;
+pub mod monitor;
+pub mod neurons;
+pub mod tensor;
+pub mod topology;
+pub mod trainer;
+
+pub use classify::{assign_labels, predict_all_activity};
+pub use diehl_cook::{DiehlCook2015, DiehlCookConfig};
+pub use encoding::PoissonEncoder;
+pub use monitor::SpikeRaster;
+pub use tensor::Matrix;
+pub use trainer::{evaluate, train, train_with_hook, TrainOptions, TrainReport};

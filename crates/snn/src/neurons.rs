@@ -1,0 +1,424 @@
+//! Neuron layer models: leaky integrate-and-fire, with and without the
+//! Diehl&Cook adaptive threshold.
+//!
+//! Conventions follow BindsNET (and through it, the paper): voltages in
+//! millivolts on the biological scale (rest −65 mV, thresholds negative),
+//! time in milliseconds, synchronous update (all layers step on the
+//! spikes of the previous step).
+//!
+//! ## Fault hooks
+//!
+//! The attack models in `neurofi-core` manipulate two pieces of state:
+//! [`LifLayer::threshold_scale`] (per-neuron multiplicative threshold
+//! fault — note it scales the *signed* threshold, matching the paper's
+//! methodology; see DESIGN.md) and [`LifLayer::input_gain`] (membrane
+//! voltage change per input spike, the paper's `theta` knob of Attack 1).
+
+use crate::tensor::decay;
+
+/// Parameters of a LIF population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifParameters {
+    /// Resting potential, mV.
+    pub v_rest: f32,
+    /// Post-spike reset potential, mV.
+    pub v_reset: f32,
+    /// Firing threshold, mV (negative, biological convention).
+    pub v_thresh: f32,
+    /// Membrane time constant, ms.
+    pub tau_m: f32,
+    /// Absolute refractory period, ms.
+    pub refractory_ms: f32,
+    /// Synaptic-trace time constant, ms (for STDP).
+    pub tau_trace: f32,
+    /// Adaptive-threshold increment per spike, mV (0 disables adaptation).
+    pub theta_plus: f32,
+    /// Adaptive-threshold decay time constant, ms (ignored when
+    /// `theta_plus == 0`; Diehl&Cook uses 10⁷ ms — effectively static
+    /// within one experiment).
+    pub tau_theta: f32,
+}
+
+impl LifParameters {
+    /// The Diehl&Cook excitatory population (BindsNET `DiehlAndCookNodes`):
+    /// rest −65 mV, reset −60 mV, threshold −52 mV + adaptive theta.
+    pub fn diehl_cook_excitatory() -> LifParameters {
+        LifParameters {
+            v_rest: -65.0,
+            v_reset: -60.0,
+            v_thresh: -52.0,
+            tau_m: 100.0,
+            refractory_ms: 5.0,
+            tau_trace: 20.0,
+            theta_plus: 0.05,
+            tau_theta: 1.0e7,
+        }
+    }
+
+    /// The Diehl&Cook inhibitory population (BindsNET `LIFNodes`):
+    /// rest −60 mV, reset −45 mV, threshold −40 mV, fast membrane.
+    pub fn diehl_cook_inhibitory() -> LifParameters {
+        LifParameters {
+            v_rest: -60.0,
+            v_reset: -45.0,
+            v_thresh: -40.0,
+            tau_m: 10.0,
+            refractory_ms: 2.0,
+            tau_trace: 20.0,
+            theta_plus: 0.0,
+            tau_theta: 1.0e7,
+        }
+    }
+}
+
+/// A population of LIF neurons (adaptive-threshold capable).
+#[derive(Debug, Clone)]
+pub struct LifLayer {
+    params: LifParameters,
+    dt_ms: f32,
+    v_decay: f32,
+    trace_decay: f32,
+    theta_decay: f32,
+    /// Membrane potentials, mV.
+    pub v: Vec<f32>,
+    /// Spike indicator from the most recent step (1.0 = spiked).
+    pub spikes: Vec<f32>,
+    /// Synaptic traces (decaying spike memory for STDP).
+    pub traces: Vec<f32>,
+    /// Adaptive threshold increments, mV (all zeros when disabled).
+    pub theta: Vec<f32>,
+    /// Remaining refractory time per neuron, ms.
+    refractory_left: Vec<f32>,
+    /// FAULT HOOK: per-neuron multiplicative factor on the signed firing
+    /// threshold (1.0 = nominal). −20% threshold change ⇒ 0.8.
+    pub threshold_scale: Vec<f32>,
+    /// FAULT HOOK: scales the membrane-voltage change per unit of input
+    /// (1.0 = nominal). The paper's Attack 1 sweeps this.
+    pub input_gain: f32,
+    /// When false, the adaptive threshold is frozen (no decay, no
+    /// per-spike increment) — evaluation mode, mirroring BindsNET's
+    /// `train(False)`.
+    pub adaptation_enabled: bool,
+}
+
+impl LifLayer {
+    /// Creates a population of `n` neurons at rest.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or `dt_ms` is not positive.
+    pub fn new(n: usize, params: LifParameters, dt_ms: f32) -> LifLayer {
+        assert!(n > 0, "layer must contain at least one neuron");
+        assert!(dt_ms > 0.0, "dt must be positive");
+        LifLayer {
+            v_decay: (-dt_ms / params.tau_m).exp(),
+            trace_decay: (-dt_ms / params.tau_trace).exp(),
+            theta_decay: (-dt_ms / params.tau_theta).exp(),
+            dt_ms,
+            v: vec![params.v_rest; n],
+            spikes: vec![0.0; n],
+            traces: vec![0.0; n],
+            theta: vec![0.0; n],
+            refractory_left: vec![0.0; n],
+            threshold_scale: vec![1.0; n],
+            input_gain: 1.0,
+            adaptation_enabled: true,
+            params,
+        }
+    }
+
+    /// Number of neurons.
+    pub fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    /// True when the layer is empty (cannot happen post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    /// The layer parameters.
+    pub fn params(&self) -> &LifParameters {
+        &self.params
+    }
+
+    /// The effective firing threshold of neuron `i`, including the fault
+    /// scale and adaptive theta, mV.
+    #[inline]
+    pub fn effective_threshold(&self, i: usize) -> f32 {
+        self.params.v_thresh * self.threshold_scale[i] + self.theta[i]
+    }
+
+    /// Advances the population one step with the given per-neuron input
+    /// currents (mV of membrane change per step at `input_gain = 1`).
+    ///
+    /// # Panics
+    /// Panics if `input.len() != len()`.
+    pub fn step(&mut self, input: &[f32]) {
+        assert_eq!(input.len(), self.len(), "input length mismatch");
+        let p = &self.params;
+        decay(&mut self.traces, self.trace_decay);
+        let adapt = p.theta_plus != 0.0 && self.adaptation_enabled;
+        if adapt {
+            decay(&mut self.theta, self.theta_decay);
+        }
+        for i in 0..self.v.len() {
+            self.spikes[i] = 0.0;
+            if self.refractory_left[i] > 0.0 {
+                self.refractory_left[i] -= self.dt_ms;
+                continue;
+            }
+            // Leak toward rest, then integrate input.
+            self.v[i] = p.v_rest + (self.v[i] - p.v_rest) * self.v_decay
+                + input[i] * self.input_gain;
+            if self.v[i] >= self.effective_threshold(i) {
+                self.spikes[i] = 1.0;
+                self.traces[i] = 1.0;
+                self.v[i] = p.v_reset;
+                self.refractory_left[i] = p.refractory_ms;
+                if adapt {
+                    self.theta[i] += p.theta_plus;
+                }
+            }
+        }
+    }
+
+    /// Resets dynamic state (membrane, spikes, traces, refractory) while
+    /// keeping learned theta and any injected faults — the between-samples
+    /// reset of the Diehl&Cook protocol.
+    pub fn reset_state(&mut self) {
+        self.v.fill(self.params.v_rest);
+        self.spikes.fill(0.0);
+        self.traces.fill(0.0);
+        self.refractory_left.fill(0.0);
+    }
+
+    /// Clears all fault hooks back to nominal.
+    pub fn clear_faults(&mut self) {
+        self.threshold_scale.fill(1.0);
+        self.input_gain = 1.0;
+    }
+}
+
+/// The input population: spikes are set externally by an encoder; the
+/// layer only maintains STDP traces.
+#[derive(Debug, Clone)]
+pub struct InputLayer {
+    trace_decay: f32,
+    /// Spike indicator for the current step.
+    pub spikes: Vec<f32>,
+    /// Synaptic traces.
+    pub traces: Vec<f32>,
+}
+
+impl InputLayer {
+    /// Creates an input population of `n` channels.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or parameters are non-positive.
+    pub fn new(n: usize, tau_trace: f32, dt_ms: f32) -> InputLayer {
+        assert!(n > 0, "layer must contain at least one neuron");
+        assert!(tau_trace > 0.0 && dt_ms > 0.0, "time constants must be positive");
+        InputLayer {
+            trace_decay: (-dt_ms / tau_trace).exp(),
+            spikes: vec![0.0; n],
+            traces: vec![0.0; n],
+        }
+    }
+
+    /// Number of channels.
+    pub fn len(&self) -> usize {
+        self.spikes.len()
+    }
+
+    /// True when empty (cannot happen post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.spikes.is_empty()
+    }
+
+    /// Loads this step's spikes and updates traces.
+    ///
+    /// # Panics
+    /// Panics if `spikes.len() != len()`.
+    pub fn set_spikes(&mut self, spikes: &[f32]) {
+        assert_eq!(spikes.len(), self.len(), "spike length mismatch");
+        decay(&mut self.traces, self.trace_decay);
+        for i in 0..spikes.len() {
+            self.spikes[i] = spikes[i];
+            if spikes[i] > 0.0 {
+                self.traces[i] = 1.0;
+            }
+        }
+    }
+
+    /// Clears spikes and traces.
+    pub fn reset_state(&mut self) {
+        self.spikes.fill(0.0);
+        self.traces.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(n: usize) -> LifLayer {
+        LifLayer::new(n, LifParameters::diehl_cook_excitatory(), 1.0)
+    }
+
+    #[test]
+    fn integrates_and_fires() {
+        let mut l = layer(1);
+        let mut fired_at = None;
+        for step in 0..100 {
+            l.step(&[2.0]);
+            if l.spikes[0] > 0.0 {
+                fired_at = Some(step);
+                break;
+            }
+        }
+        // Needs 13 mV of depolarisation at ~2 mV/step (minus leak).
+        let at = fired_at.expect("neuron should fire");
+        assert!(at >= 5 && at <= 30, "fired at step {at}");
+        assert_eq!(l.v[0], -60.0, "reset to v_reset");
+    }
+
+    #[test]
+    fn subthreshold_input_never_fires() {
+        let mut l = layer(1);
+        for _ in 0..500 {
+            l.step(&[0.1]);
+        }
+        assert_eq!(l.spikes[0], 0.0);
+        // Settles at rest + input·tau/dt-ish equilibrium below threshold.
+        assert!(l.v[0] < l.effective_threshold(0));
+    }
+
+    #[test]
+    fn refractory_blocks_integration() {
+        let mut l = layer(1);
+        // Force a spike.
+        while l.spikes[0] == 0.0 {
+            l.step(&[5.0]);
+        }
+        let v_after = l.v[0];
+        // During the 5 ms refractory period, input is ignored.
+        for _ in 0..4 {
+            l.step(&[100.0]);
+            assert_eq!(l.spikes[0], 0.0, "spiked during refractory");
+            assert_eq!(l.v[0], v_after, "membrane moved during refractory");
+        }
+    }
+
+    #[test]
+    fn theta_grows_with_spikes_and_raises_threshold() {
+        let mut l = layer(1);
+        let thr0 = l.effective_threshold(0);
+        for _ in 0..200 {
+            l.step(&[5.0]);
+        }
+        assert!(l.theta[0] > 0.0);
+        assert!(l.effective_threshold(0) > thr0);
+    }
+
+    #[test]
+    fn inhibitory_params_have_no_theta() {
+        let mut l = LifLayer::new(1, LifParameters::diehl_cook_inhibitory(), 1.0);
+        for _ in 0..100 {
+            l.step(&[25.0]);
+        }
+        assert_eq!(l.theta[0], 0.0);
+    }
+
+    #[test]
+    fn threshold_scale_semantics_match_paper() {
+        // Thresholds are negative; scaling by 0.8 (a "−20% change") moves
+        // them toward zero, making the neuron HARDER to fire.
+        let mut nominal = layer(1);
+        let mut attacked = layer(1);
+        attacked.threshold_scale[0] = 0.8;
+        assert!(attacked.effective_threshold(0) > nominal.effective_threshold(0));
+        let fire_step = |l: &mut LifLayer| {
+            l.reset_state();
+            for step in 0..400 {
+                l.step(&[1.0]);
+                if l.spikes[0] > 0.0 {
+                    return Some(step);
+                }
+            }
+            None
+        };
+        let t_nom = fire_step(&mut nominal);
+        let t_att = fire_step(&mut attacked);
+        match (t_nom, t_att) {
+            (Some(a), Some(b)) => assert!(b > a, "attacked must fire later ({a} vs {b})"),
+            (Some(_), None) => {} // attacked silenced entirely: also valid
+            other => panic!("unexpected firing pattern {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scale_above_one_makes_firing_easier() {
+        // +20% on a negative threshold moves it closer to rest.
+        let mut boosted = layer(1);
+        boosted.threshold_scale[0] = 1.2;
+        assert!(boosted.effective_threshold(0) < layer(1).effective_threshold(0));
+    }
+
+    #[test]
+    fn input_gain_scales_drive() {
+        let mut weak = layer(1);
+        weak.input_gain = 0.5;
+        let mut strong = layer(1);
+        strong.input_gain = 2.0;
+        let mut strong_spiked = false;
+        for _ in 0..20 {
+            weak.step(&[1.0]);
+            strong.step(&[1.0]);
+            strong_spiked |= strong.spikes[0] > 0.0;
+        }
+        // The boosted neuron either out-depolarised the weak one or
+        // already fired (and was reset) within the window.
+        assert!(strong_spiked || strong.v[0] > weak.v[0]);
+        assert!(!strong_spiked || weak.spikes[0] == 0.0);
+    }
+
+    #[test]
+    fn reset_state_preserves_theta_and_faults() {
+        let mut l = layer(2);
+        l.threshold_scale[1] = 0.7;
+        for _ in 0..100 {
+            l.step(&[5.0, 5.0]);
+        }
+        let theta = l.theta.clone();
+        l.reset_state();
+        assert_eq!(l.v, vec![-65.0, -65.0]);
+        assert_eq!(l.theta, theta);
+        assert_eq!(l.threshold_scale[1], 0.7);
+        l.clear_faults();
+        assert_eq!(l.threshold_scale[1], 1.0);
+    }
+
+    #[test]
+    fn traces_decay_exponentially() {
+        let mut l = layer(1);
+        while l.spikes[0] == 0.0 {
+            l.step(&[5.0]);
+        }
+        assert_eq!(l.traces[0], 1.0);
+        l.step(&[0.0]);
+        let expect = (-1.0f32 / 20.0).exp();
+        assert!((l.traces[0] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn input_layer_traces() {
+        let mut input = InputLayer::new(3, 20.0, 1.0);
+        input.set_spikes(&[1.0, 0.0, 0.0]);
+        assert_eq!(input.traces[0], 1.0);
+        input.set_spikes(&[0.0, 1.0, 0.0]);
+        assert!(input.traces[0] < 1.0);
+        assert_eq!(input.traces[1], 1.0);
+        input.reset_state();
+        assert_eq!(input.traces, vec![0.0; 3]);
+    }
+}

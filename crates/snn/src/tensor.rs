@@ -1,0 +1,273 @@
+//! Minimal dense-matrix kernels for spike-driven networks.
+//!
+//! Spiking networks need very few linear-algebra primitives, but they need
+//! them fast and in the right access pattern: spikes are sparse, so the
+//! hot operation is "accumulate the rows of spiking presynaptic neurons
+//! into a postsynaptic current vector", which is cache-friendly on a
+//! row-major `[pre][post]` layout.
+
+/// Row-major `f32` matrix with `rows` presynaptic and `cols` postsynaptic
+/// entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a generator function `f(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if either dimension is zero.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows (presynaptic neurons).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (postsynaptic neurons).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Element mutation.
+    ///
+    /// # Panics
+    /// Panics on out-of-bounds indices.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Immutable view of one row.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f32] {
+        assert!(row < self.rows, "row out of bounds");
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutable view of one row.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        assert!(row < self.rows, "row out of bounds");
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// `out[c] += gain * self[row][c]` — the spike-propagation kernel.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != cols` or `row` is out of bounds.
+    #[inline]
+    pub fn add_row_into(&self, row: usize, gain: f32, out: &mut [f32]) {
+        assert_eq!(out.len(), self.cols, "output length mismatch");
+        for (o, w) in out.iter_mut().zip(self.row(row)) {
+            *o += gain * w;
+        }
+    }
+
+    /// Adds `delta[c]` to every entry of `row` — the presynaptic STDP
+    /// update (`w[i][:] -= nu_pre * post_trace[:]` with `delta`
+    /// pre-negated by the caller).
+    ///
+    /// # Panics
+    /// Panics if `delta.len() != cols` or `row` is out of bounds.
+    #[inline]
+    pub fn add_into_row(&mut self, row: usize, delta: &[f32]) {
+        assert_eq!(delta.len(), self.cols, "delta length mismatch");
+        for (w, d) in self.row_mut(row).iter_mut().zip(delta) {
+            *w += d;
+        }
+    }
+
+    /// Adds `gain * values[r]` to column `col` — the postsynaptic STDP
+    /// update (`w[:][j] += nu_post * pre_trace[:]`).
+    ///
+    /// # Panics
+    /// Panics if `values.len() != rows` or `col` is out of bounds.
+    #[inline]
+    pub fn add_into_col(&mut self, col: usize, gain: f32, values: &[f32]) {
+        assert_eq!(values.len(), self.rows, "values length mismatch");
+        assert!(col < self.cols, "column out of bounds");
+        for (r, v) in values.iter().enumerate() {
+            self.data[r * self.cols + col] += gain * v;
+        }
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn clamp_all(&mut self, lo: f32, hi: f32) {
+        assert!(lo <= hi, "invalid clamp range");
+        for w in &mut self.data {
+            *w = w.clamp(lo, hi);
+        }
+    }
+
+    /// Sum of each column (total incoming weight per postsynaptic neuron).
+    pub fn column_sums(&self) -> Vec<f32> {
+        let mut sums = vec![0.0f32; self.cols];
+        for r in 0..self.rows {
+            for (s, w) in sums.iter_mut().zip(self.row(r)) {
+                *s += *w;
+            }
+        }
+        sums
+    }
+
+    /// Rescales each column so its sum equals `target` (columns with zero
+    /// sum are left untouched) — Diehl&Cook weight normalisation.
+    pub fn normalize_columns(&mut self, target: f32) {
+        let sums = self.column_sums();
+        let scales: Vec<f32> = sums
+            .iter()
+            .map(|&s| if s.abs() > f32::EPSILON { target / s } else { 1.0 })
+            .collect();
+        for r in 0..self.rows {
+            for (w, scale) in self.row_mut(r).iter_mut().zip(&scales) {
+                *w *= scale;
+            }
+        }
+    }
+
+    /// The raw data slice (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+/// In-place exponential decay toward zero: `x *= factor` for every entry.
+/// Shared by membrane traces; `factor = exp(-dt/tau)`.
+#[inline]
+pub fn decay(values: &mut [f32], factor: f32) {
+    for v in values {
+        *v *= factor;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f32);
+        assert_eq!(m.get(1, 2), 12.0);
+        assert_eq!(m.row(0), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn add_row_into_accumulates() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r + c) as f32);
+        let mut out = vec![1.0f32; 3];
+        m.add_row_into(1, 2.0, &mut out);
+        assert_eq!(out, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn column_update() {
+        let mut m = Matrix::zeros(3, 2);
+        m.add_into_col(1, 0.5, &[2.0, 4.0, 6.0]);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(2, 1), 3.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn row_update() {
+        let mut m = Matrix::zeros(2, 3);
+        m.add_into_row(0, &[1.0, -2.0, 3.0]);
+        assert_eq!(m.row(0), &[1.0, -2.0, 3.0]);
+        assert_eq!(m.row(1), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn clamp() {
+        let mut m = Matrix::from_fn(1, 4, |_, c| c as f32 - 1.5);
+        m.clamp_all(0.0, 1.0);
+        assert_eq!(m.row(0), &[0.0, 0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn normalization_hits_target() {
+        let mut m = Matrix::from_fn(4, 2, |r, _| (r + 1) as f32);
+        m.normalize_columns(5.0);
+        let sums = m.column_sums();
+        for s in sums {
+            assert!((s - 5.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn normalization_skips_zero_columns() {
+        let mut m = Matrix::zeros(3, 2);
+        m.set(0, 0, 2.0);
+        m.normalize_columns(4.0);
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.column_sums()[1], 0.0);
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        let mut m = Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) % 7) as f32 * 0.1 + 0.05);
+        m.normalize_columns(2.0);
+        let once = m.clone();
+        m.normalize_columns(2.0);
+        for (a, b) in m.as_slice().iter().zip(once.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn decay_shrinks() {
+        let mut v = vec![2.0f32, -4.0];
+        decay(&mut v, 0.5);
+        assert_eq!(v, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_dims_rejected() {
+        Matrix::zeros(0, 3);
+    }
+}

@@ -1,0 +1,1262 @@
+//! Compiled circuits and the DC / transient analysis engines.
+
+use crate::device::MosModel;
+use crate::error::{Error, Result};
+use crate::mna::DenseMatrix;
+use crate::netlist::{Element, Netlist, NodeId};
+use crate::waveform::Waveform;
+
+/// Nonlinear-solver tuning knobs.
+///
+/// The defaults converge for every circuit in this workspace; they mirror
+/// classic SPICE settings (RELTOL / VNTOL / ABSTOL / GMIN).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOptions {
+    /// Maximum Newton iterations per solve.
+    pub max_iter: usize,
+    /// Absolute node-voltage convergence tolerance, volts.
+    pub vntol: f64,
+    /// Relative convergence tolerance.
+    pub reltol: f64,
+    /// Absolute branch-current convergence tolerance, amperes.
+    pub abstol: f64,
+    /// Maximum per-iteration change applied to any node voltage, volts
+    /// (Newton damping; essential for the positive-feedback neuron loops).
+    pub vstep_limit: f64,
+    /// Conductance from every node to ground, siemens. Keeps gate-only and
+    /// capacitor-only nodes well-posed.
+    pub gmin: f64,
+}
+
+impl Default for SolveOptions {
+    fn default() -> SolveOptions {
+        SolveOptions {
+            max_iter: 80,
+            vntol: 1.0e-6,
+            reltol: 1.0e-3,
+            abstol: 1.0e-12,
+            vstep_limit: 0.4,
+            gmin: 1.0e-12,
+        }
+    }
+}
+
+/// Numerical integration method for transient analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integration {
+    /// Backward Euler: L-stable, mildly dissipative. The default — the
+    /// neuron circuits contain strong positive feedback where trapezoidal
+    /// ringing is unwelcome.
+    #[default]
+    BackwardEuler,
+    /// Trapezoidal: second-order accurate, can ring on discontinuities.
+    Trapezoidal,
+}
+
+/// Transient analysis request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranSpec {
+    /// Stop time, seconds.
+    pub tstop: f64,
+    /// Base (maximum) time step, seconds. The engine lands exactly on
+    /// waveform breakpoints and halves the step when Newton struggles.
+    pub dt: f64,
+    /// Skip the initial DC operating point and start from capacitor initial
+    /// conditions instead (SPICE `UIC`).
+    pub uic: bool,
+    /// Record every n-th accepted step (1 = record all).
+    pub record_every: usize,
+    /// Integration method.
+    pub method: Integration,
+    /// Solver options.
+    pub options: SolveOptions,
+}
+
+impl TranSpec {
+    /// Creates a spec with the given stop time and base step.
+    ///
+    /// # Panics
+    /// Panics if `tstop` or `dt` is not positive and finite, or `dt > tstop`.
+    pub fn new(tstop: f64, dt: f64) -> TranSpec {
+        assert!(
+            tstop.is_finite() && tstop > 0.0,
+            "tstop must be positive, got {tstop}"
+        );
+        assert!(
+            dt.is_finite() && dt > 0.0 && dt <= tstop,
+            "dt must be in (0, tstop], got {dt}"
+        );
+        TranSpec {
+            tstop,
+            dt,
+            uic: false,
+            record_every: 1,
+            method: Integration::BackwardEuler,
+            options: SolveOptions::default(),
+        }
+    }
+
+    /// Starts from initial conditions instead of a DC operating point.
+    #[must_use]
+    pub fn with_uic(mut self) -> TranSpec {
+        self.uic = true;
+        self
+    }
+
+    /// Uses trapezoidal integration.
+    #[must_use]
+    pub fn with_trapezoidal(mut self) -> TranSpec {
+        self.method = Integration::Trapezoidal;
+        self
+    }
+
+    /// Records only every n-th step to bound memory on long runs.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_record_every(mut self, n: usize) -> TranSpec {
+        assert!(n > 0, "record_every must be at least 1");
+        self.record_every = n;
+        self
+    }
+
+    /// Replaces the solver options.
+    #[must_use]
+    pub fn with_options(mut self, options: SolveOptions) -> TranSpec {
+        self.options = options;
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CapElem {
+    p: usize, // node index, 0 = ground
+    n: usize,
+    c: f64,
+    ic: Option<f64>,
+}
+
+#[derive(Debug, Clone)]
+struct ResElem {
+    p: usize,
+    n: usize,
+    g: f64,
+}
+
+#[derive(Debug, Clone)]
+struct VsrcElem {
+    p: usize,
+    n: usize,
+    wave: Waveform,
+    branch: usize,
+    name: String,
+}
+
+#[derive(Debug, Clone)]
+struct IsrcElem {
+    p: usize,
+    n: usize,
+    wave: Waveform,
+}
+
+#[derive(Debug, Clone)]
+struct MosElem {
+    d: usize,
+    g: usize,
+    s: usize,
+    b: usize,
+    model: MosModel,
+    w: f64,
+    l: f64,
+}
+
+#[derive(Debug, Clone)]
+struct VcvsElem {
+    p: usize,
+    n: usize,
+    cp: usize,
+    cn: usize,
+    gain: f64,
+    branch: usize,
+}
+
+#[derive(Debug, Clone)]
+struct VccsElem {
+    p: usize,
+    n: usize,
+    cp: usize,
+    cn: usize,
+    gm: f64,
+}
+
+/// A compiled, simulatable circuit produced by [`Netlist::compile`].
+///
+/// Compilation assigns every non-ground node an unknown index and every
+/// voltage-defined element (V source, VCVS) a branch-current unknown.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    node_count: usize, // including ground
+    n_branch: usize,
+    caps: Vec<CapElem>,
+    resistors: Vec<ResElem>,
+    vsources: Vec<VsrcElem>,
+    isources: Vec<IsrcElem>,
+    mosfets: Vec<MosElem>,
+    vcvs: Vec<VcvsElem>,
+    vccs: Vec<VccsElem>,
+}
+
+/// Per-capacitor dynamic state for the companion models.
+#[derive(Debug, Clone)]
+struct DynState {
+    /// Voltage across each capacitor at the previous accepted step.
+    v_prev: Vec<f64>,
+    /// Current through each capacitor at the previous accepted step
+    /// (trapezoidal only).
+    i_prev: Vec<f64>,
+}
+
+impl Circuit {
+    pub(crate) fn compile(netlist: &Netlist) -> Result<Circuit> {
+        if netlist.elements().is_empty() {
+            return Err(Error::Netlist("netlist contains no elements".into()));
+        }
+        let mut circuit = Circuit {
+            node_count: netlist.node_count(),
+            n_branch: 0,
+            caps: Vec::new(),
+            resistors: Vec::new(),
+            vsources: Vec::new(),
+            isources: Vec::new(),
+            mosfets: Vec::new(),
+            vcvs: Vec::new(),
+            vccs: Vec::new(),
+        };
+        for element in netlist.elements() {
+            match element {
+                Element::Resistor { p, n, r, .. } => circuit.resistors.push(ResElem {
+                    p: p.index(),
+                    n: n.index(),
+                    g: 1.0 / r,
+                }),
+                Element::Capacitor { p, n, c, ic, .. } => circuit.caps.push(CapElem {
+                    p: p.index(),
+                    n: n.index(),
+                    c: *c,
+                    ic: *ic,
+                }),
+                Element::VSource { name, p, n, wave } => {
+                    let branch = circuit.n_branch;
+                    circuit.n_branch += 1;
+                    circuit.vsources.push(VsrcElem {
+                        p: p.index(),
+                        n: n.index(),
+                        wave: wave.clone(),
+                        branch,
+                        name: name.clone(),
+                    });
+                }
+                Element::ISource { p, n, wave, .. } => circuit.isources.push(IsrcElem {
+                    p: p.index(),
+                    n: n.index(),
+                    wave: wave.clone(),
+                }),
+                Element::Mosfet {
+                    d,
+                    g,
+                    s,
+                    b,
+                    model,
+                    w,
+                    l,
+                    ..
+                } => circuit.mosfets.push(MosElem {
+                    d: d.index(),
+                    g: g.index(),
+                    s: s.index(),
+                    b: b.index(),
+                    model: model.clone(),
+                    w: *w,
+                    l: *l,
+                }),
+                Element::Vcvs {
+                    p, n, cp, cn, gain, ..
+                } => {
+                    let branch = circuit.n_branch;
+                    circuit.n_branch += 1;
+                    circuit.vcvs.push(VcvsElem {
+                        p: p.index(),
+                        n: n.index(),
+                        cp: cp.index(),
+                        cn: cn.index(),
+                        gain: *gain,
+                        branch,
+                    });
+                }
+                Element::Vccs { p, n, cp, cn, gm, .. } => circuit.vccs.push(VccsElem {
+                    p: p.index(),
+                    n: n.index(),
+                    cp: cp.index(),
+                    cn: cn.index(),
+                    gm: *gm,
+                }),
+            }
+        }
+        Ok(circuit)
+    }
+
+    /// Number of MNA unknowns (non-ground node voltages + branch currents).
+    pub fn unknown_count(&self) -> usize {
+        (self.node_count - 1) + self.n_branch
+    }
+
+    #[inline]
+    fn node_unknown(&self, node: usize) -> Option<usize> {
+        if node == 0 {
+            None
+        } else {
+            Some(node - 1)
+        }
+    }
+
+    #[inline]
+    fn branch_unknown(&self, branch: usize) -> usize {
+        (self.node_count - 1) + branch
+    }
+
+    #[inline]
+    fn v_at(&self, x: &[f64], node: usize) -> f64 {
+        if node == 0 {
+            0.0
+        } else {
+            x[node - 1]
+        }
+    }
+
+    /// Stamps the linearised system `A·x_new = b` at the operating point
+    /// `x`. `dyn_state` selects DC (None: capacitors open) or transient
+    /// (Some: companion models with step `h`).
+    #[allow(clippy::too_many_arguments)]
+    fn stamp(
+        &self,
+        a: &mut DenseMatrix,
+        b: &mut [f64],
+        x: &[f64],
+        t: f64,
+        gmin: f64,
+        src_scale: f64,
+        dyn_state: Option<(&DynState, f64, Integration)>,
+    ) {
+        a.reset();
+        b.fill(0.0);
+
+        // gmin from every node to ground keeps the matrix well-posed.
+        for node in 1..self.node_count {
+            let i = node - 1;
+            a.add(i, i, gmin);
+        }
+
+        for r in &self.resistors {
+            let (pi, ni) = (self.node_unknown(r.p), self.node_unknown(r.n));
+            if let Some(i) = pi {
+                a.add(i, i, r.g);
+            }
+            if let Some(i) = ni {
+                a.add(i, i, r.g);
+            }
+            if let (Some(i), Some(j)) = (pi, ni) {
+                a.add(i, j, -r.g);
+                a.add(j, i, -r.g);
+            }
+        }
+
+        if let Some((state, h, method)) = dyn_state {
+            for (idx, cap) in self.caps.iter().enumerate() {
+                let (geq, ieq) = match method {
+                    Integration::BackwardEuler => {
+                        let geq = cap.c / h;
+                        (geq, geq * state.v_prev[idx])
+                    }
+                    Integration::Trapezoidal => {
+                        let geq = 2.0 * cap.c / h;
+                        (geq, geq * state.v_prev[idx] + state.i_prev[idx])
+                    }
+                };
+                let (pi, ni) = (self.node_unknown(cap.p), self.node_unknown(cap.n));
+                if let Some(i) = pi {
+                    a.add(i, i, geq);
+                    b[i] += ieq;
+                }
+                if let Some(i) = ni {
+                    a.add(i, i, geq);
+                    b[i] -= ieq;
+                }
+                if let (Some(i), Some(j)) = (pi, ni) {
+                    a.add(i, j, -geq);
+                    a.add(j, i, -geq);
+                }
+            }
+        }
+
+        for vs in &self.vsources {
+            let value = vs.wave.value(t) * src_scale;
+            let k = self.branch_unknown(vs.branch);
+            let (pi, ni) = (self.node_unknown(vs.p), self.node_unknown(vs.n));
+            if let Some(i) = pi {
+                a.add(i, k, 1.0);
+                a.add(k, i, 1.0);
+            }
+            if let Some(i) = ni {
+                a.add(i, k, -1.0);
+                a.add(k, i, -1.0);
+            }
+            b[k] = value;
+        }
+
+        for is in &self.isources {
+            let value = is.wave.value(t) * src_scale;
+            if let Some(i) = self.node_unknown(is.p) {
+                b[i] -= value;
+            }
+            if let Some(i) = self.node_unknown(is.n) {
+                b[i] += value;
+            }
+        }
+
+        for e in &self.vcvs {
+            let k = self.branch_unknown(e.branch);
+            let (pi, ni) = (self.node_unknown(e.p), self.node_unknown(e.n));
+            if let Some(i) = pi {
+                a.add(i, k, 1.0);
+                a.add(k, i, 1.0);
+            }
+            if let Some(i) = ni {
+                a.add(i, k, -1.0);
+                a.add(k, i, -1.0);
+            }
+            if let Some(i) = self.node_unknown(e.cp) {
+                a.add(k, i, -e.gain);
+            }
+            if let Some(i) = self.node_unknown(e.cn) {
+                a.add(k, i, e.gain);
+            }
+        }
+
+        for e in &self.vccs {
+            let (pi, ni) = (self.node_unknown(e.p), self.node_unknown(e.n));
+            let (cpi, cni) = (self.node_unknown(e.cp), self.node_unknown(e.cn));
+            if let Some(i) = pi {
+                if let Some(j) = cpi {
+                    a.add(i, j, e.gm);
+                }
+                if let Some(j) = cni {
+                    a.add(i, j, -e.gm);
+                }
+            }
+            if let Some(i) = ni {
+                if let Some(j) = cpi {
+                    a.add(i, j, -e.gm);
+                }
+                if let Some(j) = cni {
+                    a.add(i, j, e.gm);
+                }
+            }
+        }
+
+        for m in &self.mosfets {
+            let vg = self.v_at(x, m.g);
+            let vd = self.v_at(x, m.d);
+            let vs = self.v_at(x, m.s);
+            let vb = self.v_at(x, m.b);
+            let e = m.model.eval(m.w, m.l, vg, vd, vs, vb);
+            // Linearised drain current:
+            //   id ≈ ieq + Σ_t (∂id/∂v_t)·v_t
+            let ieq = e.id
+                - e.did_dvg * vg
+                - e.did_dvd * vd
+                - e.did_dvs * vs
+                - e.did_dvb * vb;
+            let terminals = [
+                (m.g, e.did_dvg),
+                (m.d, e.did_dvd),
+                (m.s, e.did_dvs),
+                (m.b, e.did_dvb),
+            ];
+            if let Some(di) = self.node_unknown(m.d) {
+                for (node, gpart) in terminals {
+                    if let Some(j) = self.node_unknown(node) {
+                        a.add(di, j, gpart);
+                    }
+                }
+                b[di] -= ieq;
+            }
+            if let Some(si) = self.node_unknown(m.s) {
+                for (node, gpart) in terminals {
+                    if let Some(j) = self.node_unknown(node) {
+                        a.add(si, j, -gpart);
+                    }
+                }
+                b[si] += ieq;
+            }
+        }
+    }
+
+    /// Runs damped Newton iteration at time `t`. On success, `x` holds the
+    /// converged solution; returns the number of iterations used.
+    fn newton(
+        &self,
+        x: &mut [f64],
+        t: f64,
+        gmin: f64,
+        src_scale: f64,
+        dyn_state: Option<(&DynState, f64, Integration)>,
+        opts: &SolveOptions,
+        context: &str,
+    ) -> Result<usize> {
+        let n = self.unknown_count();
+        let n_nodes = self.node_count - 1;
+        let mut a = DenseMatrix::new(n);
+        let mut rhs = vec![0.0; n];
+        // Progressive damping: steep regenerative loops (the Axon Hillock
+        // feedback flip) can trap clamped Newton in a 2-cycle; shrinking the
+        // voltage clamp every 25 iterations breaks the cycle while leaving
+        // well-behaved solves untouched.
+        let mut vlimit = opts.vstep_limit;
+        for iter in 0..opts.max_iter {
+            if iter > 0 && iter % 25 == 0 {
+                vlimit = (vlimit * 0.5).max(0.01);
+            }
+            self.stamp(&mut a, &mut rhs, x, t, gmin, src_scale, dyn_state);
+            a.solve_in_place(&mut rhs)?;
+            if iter + 10 >= opts.max_iter && std::env::var_os("NEUROFI_SPICE_DEBUG").is_some() {
+                let row: Vec<String> = (0..n.min(8))
+                    .map(|i| format!("{:+.4}->{:+.4}", x[i], rhs[i]))
+                    .collect();
+                eprintln!("  t={t:.4e} it={iter} [{}]", row.join(", "));
+            }
+            let mut converged = true;
+            for i in 0..n {
+                let new = rhs[i];
+                if !new.is_finite() {
+                    return Err(Error::Convergence {
+                        context: format!("{context} (non-finite solution)"),
+                        iterations: iter,
+                    });
+                }
+                let mut delta = new - x[i];
+                let tol = if i < n_nodes {
+                    opts.vntol + opts.reltol * new.abs().max(x[i].abs())
+                } else {
+                    opts.abstol + opts.reltol * new.abs().max(x[i].abs())
+                };
+                if delta.abs() > tol {
+                    converged = false;
+                }
+                if i < n_nodes && delta.abs() > vlimit {
+                    delta = delta.signum() * vlimit;
+                    converged = false;
+                }
+                x[i] += delta;
+            }
+            if converged && iter > 0 {
+                return Ok(iter + 1);
+            }
+        }
+        Err(Error::Convergence {
+            context: context.to_string(),
+            iterations: opts.max_iter,
+        })
+    }
+
+    /// Computes the DC operating point with sources evaluated at `t = 0`.
+    ///
+    /// Tries plain Newton first, then gmin stepping, then source stepping.
+    ///
+    /// # Errors
+    /// [`Error::Convergence`] if all strategies fail; [`Error::Singular`]
+    /// for structurally broken circuits.
+    pub fn op(&self, opts: &SolveOptions) -> Result<OpPoint> {
+        let mut x = self.initial_guess();
+        if self
+            .newton(&mut x, 0.0, opts.gmin, 1.0, None, opts, "dc operating point")
+            .is_ok()
+        {
+            return Ok(self.make_op(x));
+        }
+
+        // gmin stepping: start heavily damped, relax toward the real gmin.
+        let mut x = self.initial_guess();
+        let mut ok = true;
+        let mut exponent = 3.0;
+        while exponent <= 12.0 {
+            let gmin = 10.0f64.powf(-exponent).max(opts.gmin);
+            if self
+                .newton(&mut x, 0.0, gmin, 1.0, None, opts, "gmin stepping")
+                .is_err()
+            {
+                ok = false;
+                break;
+            }
+            exponent += 1.0;
+        }
+        // Finish at the caller's actual gmin (which may be below the floor
+        // of the stepping ramp, or zero).
+        if ok
+            && self
+                .newton(&mut x, 0.0, opts.gmin, 1.0, None, opts, "dc operating point")
+                .is_ok()
+        {
+            return Ok(self.make_op(x));
+        }
+
+        // Source stepping.
+        let mut x = vec![0.0; self.unknown_count()];
+        let steps = 20;
+        for k in 1..=steps {
+            let scale = k as f64 / steps as f64;
+            self.newton(
+                &mut x,
+                0.0,
+                opts.gmin.max(1.0e-9),
+                scale,
+                None,
+                opts,
+                "source stepping",
+            )?;
+        }
+        self.newton(&mut x, 0.0, opts.gmin, 1.0, None, opts, "dc operating point")?;
+        Ok(self.make_op(x))
+    }
+
+    /// DC transfer sweep: repeatedly solves the operating point while
+    /// overriding the waveform of source `source_name` with each DC value,
+    /// warm-starting each solve from the previous solution.
+    ///
+    /// Returns one [`OpPoint`] per sweep value.
+    ///
+    /// # Errors
+    /// Propagates the first solve failure, or [`Error::Netlist`] if the
+    /// named source does not exist. (The override is local to the sweep;
+    /// the circuit itself is not modified.)
+    pub fn dc_sweep(
+        &self,
+        source_name: &str,
+        values: &[f64],
+        opts: &SolveOptions,
+    ) -> Result<Vec<OpPoint>> {
+        let mut sweep = self.clone();
+        let idx = sweep
+            .vsources
+            .iter()
+            .position(|v| v.name.eq_ignore_ascii_case(source_name))
+            .ok_or_else(|| Error::Netlist(format!("no voltage source named '{source_name}'")))?;
+        let mut out = Vec::with_capacity(values.len());
+        let mut warm: Option<Vec<f64>> = None;
+        for &value in values {
+            sweep.vsources[idx].wave = Waveform::Dc(value);
+            let mut x = warm.clone().unwrap_or_else(|| sweep.initial_guess());
+            if sweep
+                .newton(&mut x, 0.0, opts.gmin, 1.0, None, opts, "dc sweep point")
+                .is_err()
+            {
+                // Fall back to the full strategy chain for this point.
+                let op = sweep.op(opts)?;
+                warm = Some(op.x.clone());
+                out.push(op);
+                continue;
+            }
+            warm = Some(x.clone());
+            out.push(sweep.make_op(x));
+        }
+        Ok(out)
+    }
+
+    fn initial_guess(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.unknown_count()];
+        // Nodes directly driven by voltage sources start at the source value;
+        // everything else at 0. This is enough to put rails in place.
+        for vs in &self.vsources {
+            let v = vs.wave.value(0.0);
+            if vs.n == 0 {
+                if let Some(i) = self.node_unknown(vs.p) {
+                    x[i] = v;
+                }
+            } else if vs.p == 0 {
+                if let Some(i) = self.node_unknown(vs.n) {
+                    x[i] = -v;
+                }
+            }
+        }
+        x
+    }
+
+    fn make_op(&self, x: Vec<f64>) -> OpPoint {
+        OpPoint {
+            node_count: self.node_count,
+            branch_names: self.vsources.iter().map(|v| v.name.clone()).collect(),
+            branch_offsets: self.vsources.iter().map(|v| v.branch).collect(),
+            x,
+        }
+    }
+
+    /// Runs a transient analysis.
+    ///
+    /// # Errors
+    /// [`Error::Convergence`] if a step fails even at the minimum step size;
+    /// [`Error::Singular`] for structurally broken circuits.
+    pub fn tran(&self, spec: &TranSpec) -> Result<TranResult> {
+        let opts = &spec.options;
+        let mut state = DynState {
+            v_prev: vec![0.0; self.caps.len()],
+            i_prev: vec![0.0; self.caps.len()],
+        };
+
+        let mut x;
+        if spec.uic {
+            x = self.initial_guess();
+            for (idx, cap) in self.caps.iter().enumerate() {
+                state.v_prev[idx] = cap.ic.unwrap_or(0.0);
+            }
+            // Consistent-start solve: with a vanishing step the capacitor
+            // companions become stiff voltage sources at their ICs, so this
+            // settles every non-capacitor node (inverter outputs, bias
+            // rails) onto the operating point implied by the ICs. Without
+            // it, the first real step launches from an all-zeros state and
+            // regenerative circuits may not converge.
+            let h0 = 1.0e-15;
+            self.newton(
+                &mut x,
+                0.0,
+                opts.gmin,
+                1.0,
+                Some((&state, h0, Integration::BackwardEuler)),
+                opts,
+                "uic initialisation",
+            )?;
+        } else {
+            let op = self.op(opts)?;
+            x = op.x.clone();
+            for (idx, cap) in self.caps.iter().enumerate() {
+                state.v_prev[idx] = self.v_at(&x, cap.p) - self.v_at(&x, cap.n);
+            }
+        }
+
+        // Collect breakpoints from every source waveform.
+        let mut breakpoints: Vec<f64> = Vec::new();
+        for vs in &self.vsources {
+            breakpoints.extend(vs.wave.breakpoints(spec.tstop));
+        }
+        for is in &self.isources {
+            breakpoints.extend(is.wave.breakpoints(spec.tstop));
+        }
+        breakpoints.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1.0e-15);
+        let mut bp_cursor = 0usize;
+
+        let mut result = TranResult {
+            node_count: self.node_count,
+            branch_names: self.vsources.iter().map(|v| v.name.clone()).collect(),
+            branch_offsets: self.vsources.iter().map(|v| v.branch).collect(),
+            times: Vec::new(),
+            data: Vec::new(),
+            unknowns: self.unknown_count(),
+        };
+        result.push(0.0, &x);
+
+        let dt_min = spec.dt / 1024.0;
+        let mut t = 0.0;
+        let mut accepted = 0usize;
+        while t < spec.tstop - 1.0e-18 {
+            // Next target time: base step, clipped to the next breakpoint.
+            while bp_cursor < breakpoints.len() && breakpoints[bp_cursor] <= t + 1.0e-15 {
+                bp_cursor += 1;
+            }
+            let mut h = spec.dt.min(spec.tstop - t);
+            if bp_cursor < breakpoints.len() {
+                let to_bp = breakpoints[bp_cursor] - t;
+                if to_bp > 1.0e-15 && to_bp < h {
+                    h = to_bp;
+                }
+            }
+
+            // Attempt the step, halving on convergence failure. The very
+            // first step always uses backward Euler: under `uic` the stored
+            // capacitor currents are unknown, and trapezoidal would turn
+            // that startup error into a persistent oscillation.
+            let method = if accepted == 0 {
+                Integration::BackwardEuler
+            } else {
+                spec.method
+            };
+            let mut step = h;
+            loop {
+                let mut x_try = x.clone();
+                match self.newton(
+                    &mut x_try,
+                    t + step,
+                    opts.gmin,
+                    1.0,
+                    Some((&state, step, method)),
+                    opts,
+                    "transient step",
+                ) {
+                    Ok(_) => {
+                        t += step;
+                        // Update companion state from the accepted solution.
+                        for (idx, cap) in self.caps.iter().enumerate() {
+                            let v_new = self.v_at(&x_try, cap.p) - self.v_at(&x_try, cap.n);
+                            let i_new = match method {
+                                Integration::BackwardEuler => {
+                                    cap.c / step * (v_new - state.v_prev[idx])
+                                }
+                                Integration::Trapezoidal => {
+                                    2.0 * cap.c / step * (v_new - state.v_prev[idx])
+                                        - state.i_prev[idx]
+                                }
+                            };
+                            state.v_prev[idx] = v_new;
+                            state.i_prev[idx] = i_new;
+                        }
+                        x = x_try;
+                        accepted += 1;
+                        if accepted % spec.record_every == 0 {
+                            result.push(t, &x);
+                        }
+                        break;
+                    }
+                    Err(err) => {
+                        step *= 0.5;
+                        if step < dt_min {
+                            return Err(match err {
+                                Error::Convergence { iterations, .. } => Error::Convergence {
+                                    context: format!(
+                                        "transient step at t={t:.3e}s (minimum step reached)"
+                                    ),
+                                    iterations,
+                                },
+                                other => other,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Always record the final point.
+        if *result.times.last().unwrap() < t {
+            result.push(t, &x);
+        }
+        Ok(result)
+    }
+}
+
+/// A solved DC operating point.
+#[derive(Debug, Clone)]
+pub struct OpPoint {
+    node_count: usize,
+    branch_names: Vec<String>,
+    branch_offsets: Vec<usize>,
+    x: Vec<f64>,
+}
+
+impl OpPoint {
+    /// Voltage at `node` (0 V for ground).
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        if node.index() == 0 {
+            0.0
+        } else {
+            self.x[node.index() - 1]
+        }
+    }
+
+    /// Current through the named voltage source (positive flowing from the
+    /// `p` terminal through the source to `n`), or `None` if no such source.
+    pub fn source_current(&self, name: &str) -> Option<f64> {
+        let idx = self
+            .branch_names
+            .iter()
+            .position(|n| n.eq_ignore_ascii_case(name))?;
+        Some(self.x[(self.node_count - 1) + self.branch_offsets[idx]])
+    }
+}
+
+/// Recorded transient waveforms.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    node_count: usize,
+    branch_names: Vec<String>,
+    branch_offsets: Vec<usize>,
+    unknowns: usize,
+    /// Accepted time points, seconds.
+    times: Vec<f64>,
+    /// Flattened unknown vectors, `times.len() × unknowns`.
+    data: Vec<f64>,
+}
+
+impl TranResult {
+    fn push(&mut self, t: f64, x: &[f64]) {
+        self.times.push(t);
+        self.data.extend_from_slice(x);
+    }
+
+    /// The recorded time points, seconds.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when nothing was recorded (cannot normally happen).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The waveform of `node` as an owned vector aligned with [`times`].
+    ///
+    /// [`times`]: TranResult::times
+    pub fn voltage(&self, node: NodeId) -> Vec<f64> {
+        if node.index() == 0 {
+            return vec![0.0; self.times.len()];
+        }
+        let col = node.index() - 1;
+        self.times
+            .iter()
+            .enumerate()
+            .map(|(row, _)| self.data[row * self.unknowns + col])
+            .collect()
+    }
+
+    /// The current waveform through the named voltage source, or `None` if
+    /// no such source exists.
+    pub fn source_current(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self
+            .branch_names
+            .iter()
+            .position(|n| n.eq_ignore_ascii_case(name))?;
+        let col = (self.node_count - 1) + self.branch_offsets[idx];
+        Some(
+            self.times
+                .iter()
+                .enumerate()
+                .map(|(row, _)| self.data[row * self.unknowns + col])
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+    use crate::units::{MEGA, NANO, PICO};
+
+    #[test]
+    fn resistive_divider_op() {
+        let mut net = Netlist::new();
+        let vin = net.node("in");
+        let mid = net.node("mid");
+        net.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(2.0))
+            .unwrap();
+        net.resistor("R1", vin, mid, 1.0e3).unwrap();
+        net.resistor("R2", mid, Netlist::GROUND, 1.0e3).unwrap();
+        let op = net.compile().unwrap().op(&Default::default()).unwrap();
+        assert!((op.voltage(mid) - 1.0).abs() < 1e-6);
+        // Source current: 2V across 2k => 1 mA flowing p->through->n,
+        // which by MNA convention is -1 mA (current enters the + terminal).
+        let i = op.source_current("V1").unwrap();
+        assert!((i + 1.0e-3).abs() < 1e-9, "i={i}");
+    }
+
+    #[test]
+    fn empty_netlist_rejected() {
+        let net = Netlist::new();
+        assert!(net.compile().is_err());
+    }
+
+    #[test]
+    fn rc_charge_matches_analytic() {
+        let mut net = Netlist::new();
+        let vin = net.node("in");
+        let out = net.node("out");
+        net.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(1.0))
+            .unwrap();
+        net.resistor("R1", vin, out, 1.0e3).unwrap();
+        net.capacitor("C1", out, Netlist::GROUND, 1.0e-9).unwrap();
+        let tau = 1.0e-6;
+        let spec = TranSpec::new(3.0 * tau, tau / 200.0).with_uic();
+        let res = net.compile().unwrap().tran(&spec).unwrap();
+        let v = res.voltage(out);
+        for (idx, &t) in res.times().iter().enumerate() {
+            let expect = 1.0 - (-t / tau).exp();
+            assert!(
+                (v[idx] - expect).abs() < 5.0e-3,
+                "t={t:.2e}: {} vs {}",
+                v[idx],
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn rc_trapezoidal_is_more_accurate_than_be() {
+        let build = || {
+            let mut net = Netlist::new();
+            let vin = net.node("in");
+            let out = net.node("out");
+            net.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(1.0))
+                .unwrap();
+            net.resistor("R1", vin, out, 1.0e3).unwrap();
+            net.capacitor("C1", out, Netlist::GROUND, 1.0e-9).unwrap();
+            net.compile().unwrap()
+        };
+        let tau = 1.0e-6;
+        let coarse = tau / 20.0;
+        let err = |res: &TranResult| {
+            let v = res.voltage(NodeId(2));
+            res.times()
+                .iter()
+                .zip(&v)
+                .map(|(&t, &vv)| (vv - (1.0 - (-t / tau).exp())).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let be = build().tran(&TranSpec::new(tau, coarse).with_uic()).unwrap();
+        let tr = build()
+            .tran(&TranSpec::new(tau, coarse).with_uic().with_trapezoidal())
+            .unwrap();
+        assert!(err(&tr) < err(&be), "trap {} vs be {}", err(&tr), err(&be));
+    }
+
+    #[test]
+    fn capacitor_initial_condition_respected() {
+        let mut net = Netlist::new();
+        let out = net.node("out");
+        net.resistor("R1", out, Netlist::GROUND, 1.0e3).unwrap();
+        net.capacitor_ic("C1", out, Netlist::GROUND, 1.0e-9, 0.8)
+            .unwrap();
+        let spec = TranSpec::new(1.0e-6, 5.0e-9).with_uic();
+        let res = net.compile().unwrap().tran(&spec).unwrap();
+        let v = res.voltage(out);
+        // Discharges from 0.8 V with tau = 1 us.
+        let end = *v.last().unwrap();
+        let expect = 0.8 * (-1.0f64).exp();
+        assert!((end - expect).abs() < 5e-3, "{end} vs {expect}");
+    }
+
+    #[test]
+    fn nmos_inverter_transfer() {
+        // NMOS common-source with resistive load: output must swing from
+        // VDD (input low) to near 0 (input high).
+        let mut net = Netlist::new();
+        let vdd = net.node("vdd");
+        let vin = net.node("in");
+        let out = net.node("out");
+        net.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(1.0))
+            .unwrap();
+        net.vsource("VIN", vin, Netlist::GROUND, Waveform::Dc(0.0))
+            .unwrap();
+        net.resistor("RL", vdd, out, 1.0 * MEGA).unwrap();
+        net.mosfet(
+            "M1",
+            out,
+            vin,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            MosModel::ptm65_nmos(),
+            1.0e-6,
+            65.0e-9,
+        )
+        .unwrap();
+        let circuit = net.compile().unwrap();
+        let ops = circuit
+            .dc_sweep("VIN", &[0.0, 0.2, 0.5, 0.8, 1.0], &Default::default())
+            .unwrap();
+        let vouts: Vec<f64> = ops.iter().map(|o| o.voltage(out)).collect();
+        assert!(vouts[0] > 0.95, "off: {}", vouts[0]);
+        assert!(vouts[4] < 0.1, "on: {}", vouts[4]);
+        // Monotone decreasing.
+        for pair in vouts.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-9);
+        }
+    }
+
+    #[test]
+    fn cmos_inverter_switching_threshold_near_half_vdd() {
+        let mut net = Netlist::new();
+        let vdd = net.node("vdd");
+        let vin = net.node("in");
+        let out = net.node("out");
+        net.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(1.0))
+            .unwrap();
+        net.vsource("VIN", vin, Netlist::GROUND, Waveform::Dc(0.5))
+            .unwrap();
+        net.mosfet(
+            "MN",
+            out,
+            vin,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            MosModel::ptm65_nmos(),
+            1.0e-6,
+            65.0e-9,
+        )
+        .unwrap();
+        net.mosfet(
+            "MP",
+            out,
+            vin,
+            vdd,
+            vdd,
+            MosModel::ptm65_pmos(),
+            2.5e-6,
+            65.0e-9,
+        )
+        .unwrap();
+        let circuit = net.compile().unwrap();
+        let values: Vec<f64> = (0..=40).map(|i| i as f64 / 40.0).collect();
+        let ops = circuit.dc_sweep("VIN", &values, &Default::default()).unwrap();
+        // Find where vout crosses vdd/2.
+        let mut vsw = None;
+        for w in ops.windows(2) {
+            let (v0, v1) = (w[0].voltage(out), w[1].voltage(out));
+            if v0 >= 0.5 && v1 < 0.5 {
+                vsw = Some(0.5 * (w[0].voltage(vin) + w[1].voltage(vin)));
+            }
+        }
+        let vsw = vsw.expect("inverter must switch");
+        assert!(vsw > 0.3 && vsw < 0.7, "vsw={vsw}");
+    }
+
+    #[test]
+    fn current_source_charges_capacitor_linearly() {
+        // The core of every I&F neuron: Iin integrating on Cmem.
+        let mut net = Netlist::new();
+        let mem = net.node("mem");
+        net.isource(
+            "IIN",
+            Netlist::GROUND,
+            mem,
+            Waveform::Dc(200.0 * NANO),
+        )
+        .unwrap();
+        net.capacitor("CMEM", mem, Netlist::GROUND, 1.0 * PICO).unwrap();
+        let spec = TranSpec::new(2.0e-6, 2.0e-9).with_uic();
+        let res = net.compile().unwrap().tran(&spec).unwrap();
+        let v = res.voltage(mem);
+        let t_end = *res.times().last().unwrap();
+        // dv/dt = I/C = 200 kV/s => 0.4 V at 2 us.
+        let expect = 200.0e-9 / 1.0e-12 * t_end;
+        let got = *v.last().unwrap();
+        assert!((got - expect).abs() / expect < 1e-3, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn vcvs_amplifies() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let y = net.node("y");
+        net.vsource("V1", a, Netlist::GROUND, Waveform::Dc(0.01))
+            .unwrap();
+        net.vcvs("E1", y, Netlist::GROUND, a, Netlist::GROUND, 100.0)
+            .unwrap();
+        net.resistor("RL", y, Netlist::GROUND, 1.0e3).unwrap();
+        let op = net.compile().unwrap().op(&Default::default()).unwrap();
+        assert!((op.voltage(y) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vccs_converts() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let y = net.node("y");
+        net.vsource("V1", a, Netlist::GROUND, Waveform::Dc(0.5))
+            .unwrap();
+        net.vccs("G1", Netlist::GROUND, y, a, Netlist::GROUND, 1.0e-3)
+            .unwrap();
+        net.resistor("RL", y, Netlist::GROUND, 1.0e3).unwrap();
+        let op = net.compile().unwrap().op(&Default::default()).unwrap();
+        // 0.5 V * 1 mS = 0.5 mA injected into y through 1k => 0.5 V.
+        assert!((op.voltage(y) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pulse_source_transient_tracks_waveform() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.vsource(
+            "V1",
+            a,
+            Netlist::GROUND,
+            Waveform::Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                delay: 100.0e-9,
+                rise: 10.0e-9,
+                fall: 10.0e-9,
+                width: 80.0e-9,
+                period: 200.0e-9,
+            },
+        )
+        .unwrap();
+        net.resistor("R1", a, Netlist::GROUND, 1.0e3).unwrap();
+        let res = net
+            .compile()
+            .unwrap()
+            .tran(&TranSpec::new(500.0e-9, 5.0e-9))
+            .unwrap();
+        let v = res.voltage(a);
+        let at = |tq: f64| {
+            let idx = res
+                .times()
+                .iter()
+                .position(|&t| (t - tq).abs() < 2.6e-9)
+                .unwrap_or_else(|| panic!("no sample near {tq}"));
+            v[idx]
+        };
+        assert!(at(50.0e-9) < 0.01); // before the first pulse
+        assert!(at(150.0e-9) > 0.99); // flat top (pulse spans 100-190 ns)
+        assert!(at(205.0e-9) < 0.05); // after the fall edge
+        assert!(at(350.0e-9) > 0.99); // second period flat top
+    }
+
+    #[test]
+    fn record_every_decimates() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0))
+            .unwrap();
+        net.resistor("R1", a, Netlist::GROUND, 1.0e3).unwrap();
+        let full = net
+            .compile()
+            .unwrap()
+            .tran(&TranSpec::new(1.0e-6, 1.0e-9))
+            .unwrap();
+        let thin = net
+            .compile()
+            .unwrap()
+            .tran(&TranSpec::new(1.0e-6, 1.0e-9).with_record_every(10))
+            .unwrap();
+        assert!(thin.len() < full.len() / 5);
+    }
+
+    #[test]
+    fn floating_node_reports_singular_without_gmin() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        let b = net.node("b");
+        net.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0))
+            .unwrap();
+        net.resistor("R1", a, Netlist::GROUND, 1.0e3).unwrap();
+        // Node b floats entirely.
+        net.capacitor("C1", b, b, 1.0e-12).unwrap();
+        let mut opts = SolveOptions::default();
+        opts.gmin = 0.0;
+        let res = net.compile().unwrap().op(&opts);
+        assert!(res.is_err());
+        // With default gmin it is fine (b pinned to ground).
+        let op = net.compile().unwrap().op(&Default::default()).unwrap();
+        assert_eq!(op.voltage(b), 0.0);
+    }
+}

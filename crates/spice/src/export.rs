@@ -1,0 +1,360 @@
+//! Netlist → SPICE-deck text export.
+//!
+//! The inverse of [`crate::parse`]: renders a programmatically-built
+//! [`Netlist`] as a SPICE-subset deck, so the neuron circuits assembled by
+//! `neurofi-analog` can be inspected, diffed, or simulated in external
+//! tools. Decks produced here parse back losslessly (see the round-trip
+//! tests), with one caveat: every MOSFET gets its own `.model` card since
+//! builder-constructed devices carry independent model structs.
+
+use std::fmt::Write as _;
+
+use crate::circuit::TranSpec;
+use crate::device::MosModel;
+use crate::netlist::{Element, Netlist};
+use crate::waveform::Waveform;
+
+/// Formats a number compactly with engineering precision (SPICE decks
+/// conventionally use plain scientific notation; parsers accept it).
+fn num(value: f64) -> String {
+    if value == 0.0 {
+        "0".to_string()
+    } else if value.is_infinite() {
+        // PULSE with no repetition: encode as a huge period.
+        "1e30".to_string()
+    } else {
+        format!("{value:.6e}")
+    }
+}
+
+fn waveform(wave: &Waveform) -> String {
+    match wave {
+        Waveform::Dc(v) => format!("DC {}", num(*v)),
+        Waveform::Pulse {
+            v1,
+            v2,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        } => format!(
+            "PULSE({} {} {} {} {} {} {})",
+            num(*v1),
+            num(*v2),
+            num(*delay),
+            num(*rise),
+            num(*fall),
+            num(*width),
+            num(*period)
+        ),
+        Waveform::Pwl(points) => {
+            let body: Vec<String> = points
+                .iter()
+                .flat_map(|(t, v)| [num(*t), num(*v)])
+                .collect();
+            format!("PWL({})", body.join(" "))
+        }
+        Waveform::Sin {
+            offset,
+            ampl,
+            freq,
+            delay,
+            damping,
+        } => format!(
+            "SIN({} {} {} {} {})",
+            num(*offset),
+            num(*ampl),
+            num(*freq),
+            num(*delay),
+            num(*damping)
+        ),
+    }
+}
+
+/// SPICE cards dispatch on the first letter of the element name; builder
+/// names carry no such constraint, so prepend the type letter when
+/// missing (e.g. capacitor `ah_CMEM` → `Cah_CMEM`).
+fn card_name(kind: char, name: &str) -> String {
+    if name
+        .chars()
+        .next()
+        .is_some_and(|c| c.eq_ignore_ascii_case(&kind))
+    {
+        name.to_string()
+    } else {
+        format!("{}{name}", kind.to_ascii_uppercase())
+    }
+}
+
+fn model_card(name: &str, model: &MosModel) -> String {
+    format!(
+        ".model {name} {} vt0={} kp={} lambda={} n={}",
+        model.mos_type,
+        num(model.vt0),
+        num(model.kp),
+        num(model.lambda),
+        num(model.n)
+    )
+}
+
+/// Renders a netlist (and optional transient directive) as a SPICE deck.
+///
+/// ```
+/// use neurofi_spice::{Netlist, Waveform};
+/// use neurofi_spice::export::to_deck;
+///
+/// let mut net = Netlist::new();
+/// let a = net.node("in");
+/// net.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0))?;
+/// net.resistor("R1", a, Netlist::GROUND, 1.0e3)?;
+/// let deck = to_deck("my bench", &net, None);
+/// assert!(deck.contains("R1 in 0 1.000000e3"));
+/// # Ok::<(), neurofi_spice::Error>(())
+/// ```
+pub fn to_deck(title: &str, netlist: &Netlist, tran: Option<&TranSpec>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", if title.is_empty() { "untitled" } else { title });
+    let node = |id| netlist.node_name(id);
+    let mut model_counter = 0usize;
+    let mut models: Vec<String> = Vec::new();
+    for element in netlist.elements() {
+        match element {
+            Element::Resistor { name, p, n, r } => {
+                let name = card_name('r', name);
+                let _ = writeln!(out, "{name} {} {} {}", node(*p), node(*n), num(*r));
+            }
+            Element::Capacitor { name, p, n, c, ic } => {
+                let name = card_name('c', name);
+                match ic {
+                    Some(v) => {
+                        let _ = writeln!(
+                            out,
+                            "{name} {} {} {} IC={}",
+                            node(*p),
+                            node(*n),
+                            num(*c),
+                            num(*v)
+                        );
+                    }
+                    None => {
+                        let _ =
+                            writeln!(out, "{name} {} {} {}", node(*p), node(*n), num(*c));
+                    }
+                }
+            }
+            Element::VSource { name, p, n, wave } => {
+                let name = card_name('v', name);
+                let _ = writeln!(out, "{name} {} {} {}", node(*p), node(*n), waveform(wave));
+            }
+            Element::ISource { name, p, n, wave } => {
+                let name = card_name('i', name);
+                let _ = writeln!(out, "{name} {} {} {}", node(*p), node(*n), waveform(wave));
+            }
+            Element::Mosfet {
+                name,
+                d,
+                g,
+                s,
+                b,
+                model,
+                w,
+                l,
+            } => {
+                model_counter += 1;
+                let name = card_name('m', name);
+                let model_name = format!("mod{model_counter}_{}", model.mos_type);
+                models.push(model_card(&model_name, model));
+                let _ = writeln!(
+                    out,
+                    "{name} {} {} {} {} {model_name} W={} L={}",
+                    node(*d),
+                    node(*g),
+                    node(*s),
+                    node(*b),
+                    num(*w),
+                    num(*l)
+                );
+            }
+            Element::Vcvs {
+                name,
+                p,
+                n,
+                cp,
+                cn,
+                gain,
+            } => {
+                let name = card_name('e', name);
+                let _ = writeln!(
+                    out,
+                    "{name} {} {} {} {} {}",
+                    node(*p),
+                    node(*n),
+                    node(*cp),
+                    node(*cn),
+                    num(*gain)
+                );
+            }
+            Element::Vccs {
+                name,
+                p,
+                n,
+                cp,
+                cn,
+                gm,
+            } => {
+                let name = card_name('g', name);
+                let _ = writeln!(
+                    out,
+                    "{name} {} {} {} {} {}",
+                    node(*p),
+                    node(*n),
+                    node(*cp),
+                    node(*cn),
+                    num(*gm)
+                );
+            }
+        }
+    }
+    for card in models {
+        let _ = writeln!(out, "{card}");
+    }
+    if let Some(spec) = tran {
+        let _ = writeln!(
+            out,
+            ".tran {} {}{}",
+            num(spec.dt),
+            num(spec.tstop),
+            if spec.uic { " uic" } else { "" }
+        );
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_deck;
+    use crate::units::{NANO, PICO};
+
+    fn rc_netlist() -> Netlist {
+        let mut net = Netlist::new();
+        let a = net.node("in");
+        let b = net.node("out");
+        net.vsource("V1", a, Netlist::GROUND, Waveform::Dc(1.0))
+            .unwrap();
+        net.resistor("R1", a, b, 2.2e3).unwrap();
+        net.capacitor_ic("C1", b, Netlist::GROUND, 4.7e-9, 0.25)
+            .unwrap();
+        net
+    }
+
+    #[test]
+    fn exports_basic_cards() {
+        let deck = to_deck("rc", &rc_netlist(), None);
+        assert!(deck.starts_with("rc\n"));
+        assert!(deck.contains("V1 in 0 DC 1"));
+        assert!(deck.contains("R1 in out 2.200000e3"));
+        assert!(deck.contains("IC=2.500000e-1"));
+        assert!(deck.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn round_trips_through_the_parser() {
+        let original = rc_netlist();
+        let deck = to_deck("round trip", &original, Some(&TranSpec::new(1e-6, 1e-9).with_uic()));
+        let parsed = parse_deck(&deck).unwrap();
+        assert_eq!(parsed.netlist.elements().len(), original.elements().len());
+        assert!(parsed.tran.unwrap().uic);
+        // Values survive the text round trip.
+        match parsed.netlist.find_element("C1").unwrap() {
+            Element::Capacitor { c, ic, .. } => {
+                assert!((c - 4.7e-9).abs() < 1e-15);
+                assert_eq!(*ic, Some(0.25));
+            }
+            other => panic!("wrong element {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mosfet_export_includes_model_cards() {
+        let mut net = Netlist::new();
+        let d = net.node("d");
+        let g = net.node("g");
+        net.vsource("VD", d, Netlist::GROUND, Waveform::Dc(1.0))
+            .unwrap();
+        net.vsource("VG", g, Netlist::GROUND, Waveform::Dc(0.6))
+            .unwrap();
+        net.mosfet(
+            "M1",
+            d,
+            g,
+            Netlist::GROUND,
+            Netlist::GROUND,
+            MosModel::ptm65_nmos(),
+            1.0e-6,
+            65.0 * NANO,
+        )
+        .unwrap();
+        let deck = to_deck("mos", &net, None);
+        assert!(deck.contains(".model mod1_nmos nmos"));
+        let parsed = parse_deck(&deck).unwrap();
+        match parsed.netlist.find_element("M1").unwrap() {
+            Element::Mosfet { model, .. } => {
+                assert!((model.vt0 - 0.423).abs() < 1e-9);
+            }
+            other => panic!("wrong element {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exported_neuron_scale_deck_parses_and_runs() {
+        // Integrator with a pulse source: export, parse, simulate.
+        let mut net = Netlist::new();
+        let mem = net.node("mem");
+        net.isource(
+            "IIN",
+            Netlist::GROUND,
+            mem,
+            Waveform::spike_train(200.0 * NANO, 12.5 * NANO, 25.0 * NANO, 0.0),
+        )
+        .unwrap();
+        net.capacitor("CMEM", mem, Netlist::GROUND, 1.0 * PICO).unwrap();
+        let deck = to_deck("integrator", &net, Some(&TranSpec::new(2.0e-6, 5.0e-9).with_uic()));
+        let parsed = parse_deck(&deck).unwrap();
+        let res = parsed
+            .netlist
+            .compile()
+            .unwrap()
+            .tran(&parsed.tran.unwrap())
+            .unwrap();
+        let v = res.voltage(parsed.netlist.find_node("mem").unwrap());
+        assert!(*v.last().unwrap() > 0.1, "integrated {:.3}", v.last().unwrap());
+    }
+
+    #[test]
+    fn infinite_period_is_encoded_finite() {
+        let mut net = Netlist::new();
+        let a = net.node("a");
+        net.vsource(
+            "V1",
+            a,
+            Netlist::GROUND,
+            Waveform::Pulse {
+                v1: 0.0,
+                v2: 1.0,
+                delay: 0.0,
+                rise: 1e-9,
+                fall: 1e-9,
+                width: 1e-6,
+                period: f64::INFINITY,
+            },
+        )
+        .unwrap();
+        net.resistor("R1", a, Netlist::GROUND, 1e3).unwrap();
+        let deck = to_deck("oneshot", &net, None);
+        assert!(!deck.contains("inf"));
+        assert!(parse_deck(&deck).is_ok());
+    }
+}

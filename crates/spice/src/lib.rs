@@ -1,0 +1,81 @@
+//! # neurofi-spice
+//!
+//! A compact, self-contained analog circuit simulator in the spirit of
+//! SPICE, purpose-built for the neuromorphic fault-injection studies in the
+//! `neurofi` workspace (reproduction of *"Analysis of Power-Oriented Fault
+//! Injection Attacks on Spiking Neural Networks"*, DATE 2022).
+//!
+//! The paper characterises its analog neuron circuits with HSPICE on PTM
+//! 65 nm model cards. Neither is redistributable, so this crate provides the
+//! closest open equivalent:
+//!
+//! * **Modified nodal analysis** (MNA) with dense partial-pivot LU — the
+//!   circuits of interest have fewer than ~25 nodes, where dense solves beat
+//!   any sparse machinery.
+//! * **Newton–Raphson** nonlinear iteration with voltage-step limiting,
+//!   `gmin` stepping and source stepping fall-backs.
+//! * **Transient analysis** using backward-Euler or trapezoidal companion
+//!   models, with automatic step halving when Newton fails to converge.
+//! * An **EKV-style MOSFET compact model** ([`device::MosModel`]): a single
+//!   smooth equation covering subthreshold, triode and saturation, with
+//!   analytic derivatives (crucial for the slow membrane-voltage ramps of
+//!   integrate-and-fire neurons, which sweep straight through the inverter
+//!   transition region).
+//! * A **SPICE-subset netlist parser** ([`parse`]) and waveform sources
+//!   (DC / PULSE / PWL / SIN).
+//! * **Measurement helpers** ([`measure`]): spike detection, threshold
+//!   crossings, period extraction, averages — the quantities the paper
+//!   reports.
+//!
+//! ## Quickstart: an RC low-pass step response
+//!
+//! ```
+//! use neurofi_spice::{Netlist, Waveform, TranSpec};
+//!
+//! # fn main() -> Result<(), neurofi_spice::Error> {
+//! let mut net = Netlist::new();
+//! let vin = net.node("in");
+//! let vout = net.node("out");
+//! net.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(1.0));
+//! net.resistor("R1", vin, vout, 1.0e3);
+//! net.capacitor("C1", vout, Netlist::GROUND, 1.0e-9);
+//!
+//! let result = net.compile()?.tran(&TranSpec::new(10.0e-6, 2.0e-9).with_uic())?;
+//! let v_end = *result.voltage(vout).last().unwrap();
+//! assert!((v_end - 1.0).abs() < 1e-3); // fully charged after 10 tau
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Module map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`netlist`] | circuit description & builder API |
+//! | [`device`] | MOSFET compact model and model cards |
+//! | [`waveform`] | time-dependent source values |
+//! | [`circuit`] | compiled circuit, DC and transient engines |
+//! | [`mna`] | dense matrix + LU solver |
+//! | [`parse`] | SPICE-subset text netlist parser |
+//! | [`measure`] | waveform measurement utilities |
+//! | [`units`] | engineering-notation helpers |
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod circuit;
+pub mod device;
+pub mod error;
+pub mod export;
+pub mod measure;
+pub mod mna;
+pub mod netlist;
+pub mod parse;
+pub mod units;
+pub mod waveform;
+
+pub use circuit::{Circuit, OpPoint, SolveOptions, TranResult, TranSpec};
+pub use device::{MosModel, MosType};
+pub use error::Error;
+pub use netlist::{Element, Netlist, NodeId};
+pub use waveform::Waveform;

@@ -1,0 +1,211 @@
+//! Waveform measurement utilities.
+//!
+//! These free functions operate on `(times, values)` slice pairs as produced
+//! by [`TranResult::voltage`](crate::TranResult::voltage) and implement the
+//! quantities the paper reports: threshold-crossing times, spike counts,
+//! time-to-first-spike, inter-spike periods and window averages.
+
+/// Which edge of a level crossing to detect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Value crosses the level from below.
+    Rising,
+    /// Value crosses the level from above.
+    Falling,
+}
+
+/// Times at which `values` crosses `level` on the given `edge`, linearly
+/// interpolated between samples.
+///
+/// # Panics
+/// Panics if `times` and `values` have different lengths.
+pub fn crossings(times: &[f64], values: &[f64], level: f64, edge: Edge) -> Vec<f64> {
+    assert_eq!(times.len(), values.len(), "times/values length mismatch");
+    let mut out = Vec::new();
+    for i in 1..values.len() {
+        let (v0, v1) = (values[i - 1], values[i]);
+        let hit = match edge {
+            Edge::Rising => v0 < level && v1 >= level,
+            Edge::Falling => v0 > level && v1 <= level,
+        };
+        if hit {
+            let frac = if (v1 - v0).abs() < f64::MIN_POSITIVE {
+                0.0
+            } else {
+                (level - v0) / (v1 - v0)
+            };
+            out.push(times[i - 1] + frac * (times[i] - times[i - 1]));
+        }
+    }
+    out
+}
+
+/// Rising-edge spike times: crossings of `threshold` from below.
+pub fn spike_times(times: &[f64], values: &[f64], threshold: f64) -> Vec<f64> {
+    crossings(times, values, threshold, Edge::Rising)
+}
+
+/// Number of spikes (rising crossings of `threshold`) in `[t0, t1]`.
+pub fn spike_count_in(times: &[f64], values: &[f64], threshold: f64, t0: f64, t1: f64) -> usize {
+    spike_times(times, values, threshold)
+        .into_iter()
+        .filter(|&t| t >= t0 && t <= t1)
+        .count()
+}
+
+/// Time of the first rising crossing of `threshold`, if any.
+pub fn time_to_first_spike(times: &[f64], values: &[f64], threshold: f64) -> Option<f64> {
+    spike_times(times, values, threshold).into_iter().next()
+}
+
+/// Mean period between consecutive spikes, if at least two spikes exist.
+pub fn mean_spike_period(times: &[f64], values: &[f64], threshold: f64) -> Option<f64> {
+    let spikes = spike_times(times, values, threshold);
+    if spikes.len() < 2 {
+        return None;
+    }
+    Some((spikes[spikes.len() - 1] - spikes[0]) / (spikes.len() - 1) as f64)
+}
+
+/// Largest sample value.
+pub fn maximum(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Smallest sample value.
+pub fn minimum(values: &[f64]) -> f64 {
+    values.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// Trapezoidal time-average of `values` over `[t0, t1]`.
+///
+/// Returns `None` when the window contains fewer than two samples.
+pub fn average_in(times: &[f64], values: &[f64], t0: f64, t1: f64) -> Option<f64> {
+    assert_eq!(times.len(), values.len(), "times/values length mismatch");
+    let mut area = 0.0;
+    let mut span = 0.0;
+    for i in 1..times.len() {
+        let (ta, tb) = (times[i - 1], times[i]);
+        if tb <= t0 || ta >= t1 {
+            continue;
+        }
+        let lo = ta.max(t0);
+        let hi = tb.min(t1);
+        if hi <= lo {
+            continue;
+        }
+        // Linear interpolation of the segment endpoints onto [lo, hi].
+        let f = |t: f64| {
+            if tb == ta {
+                values[i]
+            } else {
+                values[i - 1] + (values[i] - values[i - 1]) * (t - ta) / (tb - ta)
+            }
+        };
+        area += 0.5 * (f(lo) + f(hi)) * (hi - lo);
+        span += hi - lo;
+    }
+    if span > 0.0 {
+        Some(area / span)
+    } else {
+        None
+    }
+}
+
+/// Relative change `(value - reference) / reference`, in percent.
+///
+/// # Panics
+/// Panics if `reference` is zero.
+pub fn percent_change(value: f64, reference: f64) -> f64 {
+    assert!(reference != 0.0, "reference must be non-zero");
+    (value - reference) / reference * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> (Vec<f64>, Vec<f64>) {
+        let times: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let values: Vec<f64> = times.iter().map(|&t| t * 0.1).collect();
+        (times, values)
+    }
+
+    #[test]
+    fn rising_crossing_interpolates() {
+        let (t, v) = ramp();
+        let c = crossings(&t, &v, 0.55, Edge::Rising);
+        assert_eq!(c.len(), 1);
+        assert!((c[0] - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn falling_crossing() {
+        let times: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let values: Vec<f64> = times.iter().map(|&t| 1.0 - t * 0.1).collect();
+        let c = crossings(&times, &values, 0.35, Edge::Falling);
+        assert_eq!(c.len(), 1);
+        assert!((c[0] - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spike_counting_square_wave() {
+        // Three pulses.
+        let mut t = Vec::new();
+        let mut v = Vec::new();
+        for i in 0..300 {
+            t.push(i as f64);
+            v.push(if (i / 50) % 2 == 1 { 1.0 } else { 0.0 });
+        }
+        assert_eq!(spike_times(&t, &v, 0.5).len(), 3);
+        // Rising edges near t = 50, 150, 250; [0, 160] holds the first two.
+        assert_eq!(spike_count_in(&t, &v, 0.5, 0.0, 160.0), 2);
+        let period = mean_spike_period(&t, &v, 0.5).unwrap();
+        assert!((period - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn first_spike_time() {
+        let (t, v) = ramp();
+        assert!(time_to_first_spike(&t, &v, 0.95).is_some());
+        assert!(time_to_first_spike(&t, &v, 2.0).is_none());
+    }
+
+    #[test]
+    fn min_max() {
+        let v = [1.0, -3.0, 2.0];
+        assert_eq!(maximum(&v), 2.0);
+        assert_eq!(minimum(&v), -3.0);
+    }
+
+    #[test]
+    fn average_of_constant() {
+        let t: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        let v = vec![2.0; 11];
+        let a = average_in(&t, &v, 2.0, 8.0).unwrap();
+        assert!((a - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_of_ramp_over_window() {
+        let (t, v) = ramp();
+        // Average of 0.1*t over [0,10] = 0.5.
+        let a = average_in(&t, &v, 0.0, 10.0).unwrap();
+        assert!((a - 0.5).abs() < 1e-12);
+        // Over [4,6]: mean value = 0.5 as well.
+        let a = average_in(&t, &v, 4.0, 6.0).unwrap();
+        assert!((a - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_outside_window_is_none() {
+        let (t, v) = ramp();
+        assert!(average_in(&t, &v, 100.0, 200.0).is_none());
+    }
+
+    #[test]
+    fn percent_change_signs() {
+        assert!((percent_change(1.2, 1.0) - 20.0).abs() < 1e-12);
+        assert!((percent_change(0.8, 1.0) + 20.0).abs() < 1e-12);
+    }
+}

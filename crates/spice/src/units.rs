@@ -1,0 +1,186 @@
+//! Engineering-notation helpers and physical constants.
+//!
+//! All quantities in this crate are plain SI `f64`s (volts, amperes, ohms,
+//! farads, seconds). These helpers keep netlist-building code legible:
+//!
+//! ```
+//! use neurofi_spice::units::{NANO, PICO, MEGA};
+//! let c_mem = 1.0 * PICO;      // 1 pF
+//! let i_spike = 200.0 * NANO;  // 200 nA
+//! let r1 = 2.66 * MEGA;        // 2.66 MΩ
+//! ```
+
+/// 10⁻¹⁵ (femto).
+pub const FEMTO: f64 = 1.0e-15;
+/// 10⁻¹² (pico).
+pub const PICO: f64 = 1.0e-12;
+/// 10⁻⁹ (nano).
+pub const NANO: f64 = 1.0e-9;
+/// 10⁻⁶ (micro).
+pub const MICRO: f64 = 1.0e-6;
+/// 10⁻³ (milli).
+pub const MILLI: f64 = 1.0e-3;
+/// 10³ (kilo).
+pub const KILO: f64 = 1.0e3;
+/// 10⁶ (mega).
+pub const MEGA: f64 = 1.0e6;
+/// 10⁹ (giga).
+pub const GIGA: f64 = 1.0e9;
+/// 10¹² (tera).
+pub const TERA: f64 = 1.0e12;
+
+/// Thermal voltage kT/q at room temperature (300 K), in volts.
+pub const VT_ROOM: f64 = 0.025852;
+
+/// Parses a SPICE-style number with an optional engineering suffix.
+///
+/// Supported suffixes (case-insensitive): `f p n u m k meg g t`, plus
+/// `mil` is deliberately unsupported (it is a length, not a scale). Any
+/// trailing unit letters after the suffix are ignored, as in SPICE
+/// (`10pF` == `10p`). Returns `None` if the mantissa does not parse.
+///
+/// ```
+/// use neurofi_spice::units::parse_spice_number;
+/// assert_eq!(parse_spice_number("2.5k"), Some(2.5e3));
+/// assert_eq!(parse_spice_number("100n"), Some(100.0 * 1.0e-9));
+/// assert_eq!(parse_spice_number("3meg"), Some(3.0e6));
+/// assert_eq!(parse_spice_number("10pF"), Some(10.0e-12));
+/// assert_eq!(parse_spice_number("1e-9"), Some(1.0e-9));
+/// assert_eq!(parse_spice_number("volts"), None);
+/// ```
+pub fn parse_spice_number(text: &str) -> Option<f64> {
+    let t = text.trim();
+    if t.is_empty() {
+        return None;
+    }
+    // Longest prefix that parses as a plain float.
+    let mut split = 0usize;
+    for (idx, _) in t.char_indices().chain(std::iter::once((t.len(), ' '))) {
+        if idx == 0 {
+            continue;
+        }
+        if t[..idx].parse::<f64>().is_ok() {
+            split = idx;
+        }
+    }
+    if split == 0 {
+        return None;
+    }
+    let mantissa: f64 = t[..split].parse().ok()?;
+    let suffix = t[split..].to_ascii_lowercase();
+    let scale = if suffix.starts_with("meg") {
+        MEGA
+    } else {
+        match suffix.chars().next() {
+            None => 1.0,
+            Some('f') => FEMTO,
+            Some('p') => PICO,
+            Some('n') => NANO,
+            Some('u') => MICRO,
+            Some('m') => MILLI,
+            Some('k') => KILO,
+            Some('g') => GIGA,
+            Some('t') => TERA,
+            // Unknown letter: treat as a unit annotation (e.g. "10V").
+            Some(_) => 1.0,
+        }
+    };
+    Some(mantissa * scale)
+}
+
+/// Formats a value with an engineering suffix for human-readable reports.
+///
+/// ```
+/// use neurofi_spice::units::format_si;
+/// assert_eq!(format_si(2.0e-7, "A"), "200.00nA");
+/// assert_eq!(format_si(1.0, "V"), "1.00V");
+/// ```
+pub fn format_si(value: f64, unit: &str) -> String {
+    let a = value.abs();
+    let (scale, prefix) = if a == 0.0 {
+        (1.0, "")
+    } else if a >= TERA {
+        (TERA, "T")
+    } else if a >= GIGA {
+        (GIGA, "G")
+    } else if a >= MEGA {
+        (MEGA, "M")
+    } else if a >= KILO {
+        (KILO, "k")
+    } else if a >= 1.0 {
+        (1.0, "")
+    } else if a >= MILLI {
+        (MILLI, "m")
+    } else if a >= MICRO {
+        (MICRO, "u")
+    } else if a >= NANO {
+        (NANO, "n")
+    } else if a >= PICO {
+        (PICO, "p")
+    } else {
+        (FEMTO, "f")
+    };
+    format!("{:.2}{}{}", value / scale, prefix, unit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_numbers() {
+        assert_eq!(parse_spice_number("1.5"), Some(1.5));
+        assert_eq!(parse_spice_number("-3"), Some(-3.0));
+        assert_eq!(parse_spice_number("2e3"), Some(2000.0));
+    }
+
+    #[test]
+    fn parses_all_suffixes() {
+        let cases = [
+            ("1f", 1e-15),
+            ("1p", 1e-12),
+            ("1n", 1e-9),
+            ("1u", 1e-6),
+            ("1m", 1e-3),
+            ("1k", 1e3),
+            ("1meg", 1e6),
+            ("1g", 1e9),
+            ("1t", 1e12),
+        ];
+        for (text, expect) in cases {
+            let got = parse_spice_number(text).unwrap();
+            assert!(
+                (got - expect).abs() <= 1e-20 + 1e-12 * expect.abs(),
+                "{text}: {got} != {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn meg_is_not_milli() {
+        assert_eq!(parse_spice_number("2MEG"), Some(2.0e6));
+        assert_eq!(parse_spice_number("2M"), Some(2.0e-3));
+    }
+
+    #[test]
+    fn trailing_units_ignored() {
+        assert_eq!(parse_spice_number("10pF"), Some(10.0e-12));
+        assert_eq!(parse_spice_number("5V"), Some(5.0));
+        assert_eq!(parse_spice_number("1kOhm"), Some(1.0e3));
+    }
+
+    #[test]
+    fn garbage_is_rejected_gracefully() {
+        assert_eq!(parse_spice_number(""), None);
+        assert_eq!(parse_spice_number("abc"), None);
+        assert_eq!(parse_spice_number("--1"), None);
+    }
+
+    #[test]
+    fn format_si_covers_ranges() {
+        assert_eq!(format_si(0.0, "V"), "0.00V");
+        assert_eq!(format_si(1.5e3, "Hz"), "1.50kHz");
+        assert_eq!(format_si(2.2e-12, "F"), "2.20pF");
+        assert_eq!(format_si(-4.0e-9, "A"), "-4.00nA");
+    }
+}

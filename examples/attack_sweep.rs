@@ -1,0 +1,58 @@
+//! Reproduce a slice of the paper's Fig. 8 accuracy surfaces: threshold
+//! change × layer fraction for the excitatory and inhibitory layers.
+//!
+//! ```text
+//! cargo run --release --example attack_sweep -- [--full]
+//! ```
+
+use neurofi::core::attacks::ExperimentSetup;
+use neurofi::core::sweep::{threshold_sweep, SweepConfig};
+use neurofi::core::{TargetLayer, Table};
+
+fn main() -> Result<(), neurofi::core::Error> {
+    let full = std::env::args().any(|a| a == "--full");
+    let setup = if full {
+        ExperimentSetup::paper(42)
+    } else {
+        ExperimentSetup::quick(42)
+    };
+    let config = if full {
+        SweepConfig::paper_grid()
+    } else {
+        SweepConfig::quick_grid()
+    };
+
+    for (layer, figure, paper_worst) in [
+        (TargetLayer::Excitatory, "Fig. 8a", "−7.32%"),
+        (TargetLayer::Inhibitory, "Fig. 8b", "−84.52%"),
+    ] {
+        println!("sweeping the {layer} layer ({figure})...");
+        let result = threshold_sweep(&setup, Some(layer), &config)?;
+        let mut table = Table::new(
+            format!("{figure} — {layer}-layer threshold sweep"),
+            &["threshold change", "fraction", "accuracy", "vs baseline"],
+        );
+        for cell in &result.cells {
+            table.push_row(&[
+                format!("{:+.0}%", cell.rel_change * 100.0),
+                format!("{:.0}%", cell.fraction * 100.0),
+                format!("{:.1}%", cell.accuracy * 100.0),
+                format!("{:+.1}%", cell.relative_change_percent),
+            ]);
+        }
+        table.push_note(format!(
+            "baseline {:.1}%; paper worst case {paper_worst}",
+            result.baseline_accuracy * 100.0
+        ));
+        println!("{table}");
+        if let Some(worst) = result.worst_case() {
+            println!(
+                "worst case: {:+.0}% threshold on {:.0}% of the layer → {:+.1}% accuracy change\n",
+                worst.rel_change * 100.0,
+                worst.fraction * 100.0,
+                worst.relative_change_percent
+            );
+        }
+    }
+    Ok(())
+}

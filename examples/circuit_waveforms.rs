@@ -1,0 +1,68 @@
+//! Simulate both analog neurons at the transistor level and dump their
+//! waveforms (paper Figs. 3 and 4) as CSV files.
+//!
+//! ```text
+//! cargo run --release --example circuit_waveforms -- [OUT_DIR]
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use neurofi::analog::axon_hillock::{AxonHillock, InputSpec};
+use neurofi::analog::vamp_if::VoltageAmplifierIf;
+use neurofi::analog::NeuronWaveforms;
+
+fn write_csv(path: &PathBuf, wave: &NeuronWaveforms) -> std::io::Result<()> {
+    let mut csv = String::from("t_us,vmem_V,vout_V,supply_uA\n");
+    for i in 0..wave.times.len() {
+        csv.push_str(&format!(
+            "{:.4},{:.5},{:.5},{:.4}\n",
+            wave.times[i] * 1e6,
+            wave.vmem[i],
+            wave.vout[i],
+            wave.supply_current[i] * 1e6
+        ));
+    }
+    fs::write(path, csv)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = PathBuf::from(
+        std::env::args()
+            .nth(1)
+            .unwrap_or_else(|| "out".to_string()),
+    );
+    fs::create_dir_all(&out_dir)?;
+
+    println!("simulating the Axon Hillock neuron (Fig. 3)...");
+    let ah = AxonHillock::default();
+    let ah_wave = ah.simulate(1.0, &InputSpec::paper_axon_hillock(), 45.0e-6, 20.0e-9)?;
+    let spikes = ah_wave.output_spike_times();
+    println!(
+        "  {} spikes, mean period {:.2} us, threshold {:.3} V, avg power {:.2} uW",
+        spikes.len(),
+        ah_wave.mean_output_period().unwrap_or(f64::NAN) * 1e6,
+        ah.threshold(1.0)?,
+        ah_wave.average_supply_power() * 1e6
+    );
+    let ah_path = out_dir.join("fig3_axon_hillock.csv");
+    write_csv(&ah_path, &ah_wave)?;
+    println!("  wrote {}", ah_path.display());
+
+    println!("simulating the voltage-amplifier I&F neuron (Fig. 4)...");
+    let vif = VoltageAmplifierIf::default();
+    let vif_wave = vif.simulate(1.0, &InputSpec::paper_vamp_if(), 600.0e-6, 50.0e-9, true)?;
+    let mem_spikes =
+        neurofi::spice::measure::spike_times(&vif_wave.times, &vif_wave.vmem, 0.45);
+    println!(
+        "  {} membrane spikes, effective threshold {:.3} V, avg power {:.2} uW",
+        mem_spikes.len(),
+        vif.threshold(1.0)?,
+        vif_wave.average_supply_power() * 1e6
+    );
+    let vif_path = out_dir.join("fig4_vamp_if.csv");
+    write_csv(&vif_path, &vif_wave)?;
+    println!("  wrote {}", vif_path.display());
+
+    Ok(())
+}

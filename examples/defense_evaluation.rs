@@ -1,0 +1,83 @@
+//! Evaluate the paper's §V defenses against the black-box VDD attack:
+//! accuracy recovery and overhead accounting.
+//!
+//! ```text
+//! cargo run --release --example defense_evaluation
+//! ```
+
+use neurofi::analog::NeuronKind;
+use neurofi::core::attacks::ExperimentSetup;
+use neurofi::core::defense::{defended_vdd_attack, undefended_vdd_attack, Defense};
+use neurofi::core::{PowerTransferTable, Table};
+
+fn main() -> Result<(), neurofi::core::Error> {
+    let setup = ExperimentSetup::quick(42);
+    let transfer = PowerTransferTable::paper_nominal();
+    let vdd = 0.8; // the paper's worst-case supply
+
+    println!("Attack 5 at VDD = {vdd} V, undefended vs defended...\n");
+
+    let mut table = Table::new(
+        "Defense effectiveness (Attack 5, VDD = 0.8 V)",
+        &["configuration", "accuracy", "vs baseline"],
+    );
+
+    let undefended =
+        undefended_vdd_attack(&setup, vdd, &transfer, NeuronKind::VoltageAmplifierIf)?;
+    table.push_row(&[
+        "undefended".into(),
+        format!("{:.1}%", undefended.attacked_accuracy * 100.0),
+        format!("{:+.1}%", undefended.relative_change_percent()),
+    ]);
+
+    for (label, defenses, flavor) in [
+        (
+            "robust driver + bandgap Vthr",
+            vec![Defense::RobustDriver, Defense::BandgapThreshold],
+            NeuronKind::VoltageAmplifierIf,
+        ),
+        (
+            "robust driver + sized AH neuron",
+            vec![Defense::RobustDriver, Defense::sized_neuron_paper()],
+            NeuronKind::AxonHillock,
+        ),
+        (
+            "robust driver + comparator AH",
+            vec![Defense::RobustDriver, Defense::ComparatorFirstStage],
+            NeuronKind::AxonHillock,
+        ),
+    ] {
+        let outcome = defended_vdd_attack(&setup, vdd, &transfer, &defenses, flavor)?;
+        table.push_row(&[
+            label.into(),
+            format!("{:.1}%", outcome.attacked_accuracy * 100.0),
+            format!("{:+.1}%", outcome.relative_change_percent()),
+        ]);
+    }
+    table.push_note(format!(
+        "baseline accuracy {:.1}%",
+        undefended.baseline_accuracy * 100.0
+    ));
+    println!("{table}");
+
+    let mut overheads = Table::new(
+        "Defense overheads (paper §V)",
+        &["defense", "power", "area", "notes"],
+    );
+    for defense in [
+        Defense::RobustDriver,
+        Defense::BandgapThreshold,
+        Defense::sized_neuron_paper(),
+        Defense::ComparatorFirstStage,
+    ] {
+        let oh = defense.paper_overhead();
+        overheads.push_row(&[
+            format!("{defense:?}"),
+            format!("+{:.0}%", oh.power_percent),
+            format!("+{:.0}%", oh.area_percent),
+            oh.notes.into(),
+        ]);
+    }
+    println!("{overheads}");
+    Ok(())
+}

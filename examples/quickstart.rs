@@ -1,0 +1,40 @@
+//! Quickstart: train the paper's Diehl&Cook SNN on synthetic digits and
+//! measure the impact of Attack 3 (inhibitory-layer threshold fault).
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use neurofi::core::attacks::ExperimentSetup;
+use neurofi::core::{Attack, ThresholdAttack};
+
+fn main() -> Result<(), neurofi::core::Error> {
+    // The quick setup trains on 400 synthetic digits at 150 ms per sample
+    // (~seconds); swap in `ExperimentSetup::paper(42)` for the paper's
+    // full 1000-image protocol.
+    let setup = ExperimentSetup::quick(42);
+
+    println!("training baseline and attacked networks (Attack 3, −20% IL threshold)...");
+    let outcome = ThresholdAttack::inhibitory(-0.20, 1.0).run(&setup)?;
+
+    println!();
+    println!("attack:            {}", outcome.kind);
+    println!(
+        "baseline accuracy: {:.1}%",
+        outcome.baseline_accuracy * 100.0
+    );
+    println!(
+        "attacked accuracy: {:.1}%",
+        outcome.attacked_accuracy * 100.0
+    );
+    println!(
+        "relative change:   {:+.2}%  (paper worst case: {:+.2}%)",
+        outcome.relative_change_percent(),
+        outcome.kind.paper_worst_case_percent()
+    );
+    println!(
+        "activity:          {:.1} → {:.1} spikes/sample",
+        outcome.baseline.mean_activity, outcome.attacked.mean_activity
+    );
+    Ok(())
+}

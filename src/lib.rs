@@ -1,0 +1,38 @@
+//! # neurofi
+//!
+//! Facade crate for the `neurofi` workspace: a full Rust reproduction of
+//! *"Analysis of Power-Oriented Fault Injection Attacks on Spiking Neural
+//! Networks"* (DATE 2022).
+//!
+//! This crate re-exports the workspace members under stable paths:
+//!
+//! * [`spice`] — transient analog circuit simulator (MNA + Newton + EKV).
+//! * [`analog`] — the paper's neuron circuits (Axon Hillock, voltage-amplifier
+//!   I&F), current drivers, defense circuits and their characterisation.
+//! * [`snn`] — behavioural spiking-neural-network library (Diehl&Cook
+//!   network, Poisson encoding, STDP).
+//! * [`data`] — synthetic digit dataset (MNIST stand-in) and IDX loader.
+//! * [`core`] — the paper's contribution: threat models, the five
+//!   power-oriented attacks, defenses and the dummy-neuron detector.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use neurofi::core::{Attack, ThresholdAttack};
+//! use neurofi::core::attacks::ExperimentSetup;
+//!
+//! // Train the paper's Diehl&Cook SNN on synthetic digits and measure the
+//! // accuracy impact of a -20% inhibitory-layer threshold fault (Attack 3).
+//! let setup = ExperimentSetup::quick(42);
+//! let outcome = ThresholdAttack::inhibitory(-0.20, 1.0).run(&setup).unwrap();
+//! println!("baseline {:.1}%  attacked {:.1}%  (relative change {:+.1}%)",
+//!          100.0 * outcome.baseline_accuracy,
+//!          100.0 * outcome.attacked_accuracy,
+//!          outcome.relative_change_percent());
+//! ```
+
+pub use neurofi_analog as analog;
+pub use neurofi_core as core;
+pub use neurofi_data as data;
+pub use neurofi_snn as snn;
+pub use neurofi_spice as spice;

@@ -1,0 +1,94 @@
+//! Cross-crate integration: the transistor-level characterisation feeds
+//! the network-level attack models, reproducing the paper's circuit →
+//! BindsNET bridge.
+
+use neurofi::analog::characterize::measured_transfer_table;
+use neurofi::core::{FaultPlan, PowerTransferTable};
+
+#[test]
+fn measured_transfer_table_matches_paper_nominal_shape() {
+    let measured = measured_transfer_table(&[0.8, 1.0, 1.2]).unwrap();
+    let paper = PowerTransferTable::paper_nominal();
+    for vdd in [0.8, 1.0, 1.2] {
+        let m = measured.sample(vdd);
+        let p = paper.sample(vdd);
+        assert!(
+            (m.drive_scale - p.drive_scale).abs() < 0.08,
+            "drive at {vdd}: measured {:.3} vs paper {:.3}",
+            m.drive_scale,
+            p.drive_scale
+        );
+        assert!(
+            (m.if_threshold_scale - p.if_threshold_scale).abs() < 0.06,
+            "IF threshold at {vdd}: measured {:.3} vs paper {:.3}",
+            m.if_threshold_scale,
+            p.if_threshold_scale
+        );
+        assert!(
+            (m.ah_threshold_scale - p.ah_threshold_scale).abs() < 0.06,
+            "AH threshold at {vdd}: measured {:.3} vs paper {:.3}",
+            m.ah_threshold_scale,
+            p.ah_threshold_scale
+        );
+    }
+}
+
+#[test]
+fn circuit_measured_fault_plan_is_close_to_paper_plan() {
+    let measured = measured_transfer_table(&[0.8, 1.0, 1.2]).unwrap();
+    let from_measured = FaultPlan::from_vdd(0.8, &measured);
+    let from_paper = FaultPlan::from_vdd(0.8, &PowerTransferTable::paper_nominal());
+    let rel_m = from_measured.thresholds[0].rel_change;
+    let rel_p = from_paper.thresholds[0].rel_change;
+    assert!(
+        (rel_m - rel_p).abs() < 0.06,
+        "threshold corruption: measured {rel_m:.3} vs paper {rel_p:.3}"
+    );
+    let drive_m = from_measured.drive.unwrap().scale;
+    let drive_p = from_paper.drive.unwrap().scale;
+    assert!(
+        (drive_m - drive_p).abs() < 0.08,
+        "drive corruption: measured {drive_m:.3} vs paper {drive_p:.3}"
+    );
+}
+
+#[test]
+fn spice_deck_runs_through_the_facade() {
+    // The text-netlist path: parse, compile, simulate, measure.
+    let deck = neurofi::spice::parse::parse_deck(
+        "integrator bench\n\
+         IIN 0 mem PULSE(0 200n 0 1n 1n 10n 25n)\n\
+         CMEM mem 0 1p\n\
+         .tran 2n 5u uic\n\
+         .end\n",
+    )
+    .unwrap();
+    let spec = deck.tran.clone().unwrap();
+    let result = deck.netlist.compile().unwrap().tran(&spec).unwrap();
+    let mem = deck.netlist.find_node("mem").unwrap();
+    let v = result.voltage(mem);
+    let v_end = *v.last().unwrap();
+    // Average current 200nA·(12/25 duty incl. edges) on 1 pF for 5 µs
+    // ≈ 0.44 V; accept a broad band (edge shapes vary).
+    assert!(
+        v_end > 0.3 && v_end < 0.6,
+        "integrated membrane voltage {v_end:.3} out of band"
+    );
+}
+
+#[test]
+fn dummy_neuron_detection_pipeline() {
+    // Circuit-level dummy rates → core detector → flags at VDD extremes.
+    let dummy = neurofi::analog::dummy::DummyNeuron::new(neurofi::analog::NeuronKind::AxonHillock);
+    let window = 0.1;
+    let counts: Vec<(f64, f64)> = [0.8, 1.0, 1.2]
+        .iter()
+        .map(|&vdd| (vdd, dummy.expected_spike_count(vdd, window).unwrap()))
+        .collect();
+    let detector =
+        neurofi::core::DummyNeuronDetector::from_characterisation(&counts, 1.0).unwrap();
+    let rows = neurofi::core::detection::evaluate_series(&detector, &counts);
+    assert!(rows[0].flagged, "VDD=0.8 must be flagged");
+    assert!(!rows[1].flagged, "nominal must not be flagged");
+    assert!(rows[2].flagged, "VDD=1.2 must be flagged");
+}

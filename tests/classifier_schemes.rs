@@ -1,0 +1,56 @@
+//! Both Diehl&Cook prediction schemes (all-activity and proportion
+//! weighting) work end to end on a trained network and land in the same
+//! accuracy regime.
+
+use neurofi::core::attacks::ExperimentSetup;
+use neurofi::snn::classify::ClassProportions;
+use neurofi::snn::diehl_cook::DiehlCook2015;
+use neurofi::snn::predict_all_activity;
+use neurofi::snn::trainer::{train, TrainOptions};
+
+#[test]
+fn proportion_weighting_matches_all_activity_regime() {
+    let mut setup = ExperimentSetup::quick(42);
+    setup.n_train = 300;
+    setup.n_test = 120;
+    let (train_data, test_data) = setup.datasets();
+    let mut net = DiehlCook2015::new(setup.network.clone(), setup.network_seed);
+    let options = TrainOptions::default();
+    let report = train(&mut net, &train_data, &options);
+
+    let window = options
+        .assignment_window
+        .unwrap_or(report.spike_records.len())
+        .min(report.spike_records.len());
+    let start = report.spike_records.len() - window;
+    let proportions = ClassProportions::from_records(
+        &report.spike_records[start..],
+        &report.labels[start..],
+        options.n_classes,
+    );
+
+    net.set_sample_counter(1 << 32);
+    let mut all_activity_correct = 0usize;
+    let mut proportion_correct = 0usize;
+    for (image, label) in test_data.iter() {
+        let counts = net.run_sample(image, false);
+        if predict_all_activity(&counts, &report.assignments, options.n_classes)
+            == label as usize
+        {
+            all_activity_correct += 1;
+        }
+        if proportions.predict(&counts) == label as usize {
+            proportion_correct += 1;
+        }
+    }
+    let aa = all_activity_correct as f64 / test_data.len() as f64;
+    let pw = proportion_correct as f64 / test_data.len() as f64;
+    assert!(aa > 0.3, "all-activity accuracy {aa:.2} too low");
+    assert!(pw > 0.3, "proportion accuracy {pw:.2} too low");
+    // The schemes should agree within a broad band (BindsNET reports them
+    // within a few points of each other).
+    assert!(
+        (aa - pw).abs() < 0.25,
+        "schemes diverged: all-activity {aa:.2} vs proportion {pw:.2}"
+    );
+}
