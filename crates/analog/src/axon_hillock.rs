@@ -192,7 +192,12 @@ impl AxonHillock {
     ///
     /// # Errors
     /// Propagates netlist construction errors.
-    pub fn build(&self, net: &mut Netlist, prefix: &str, vdd_value: f64) -> Result<AxonHillockNodes> {
+    pub fn build(
+        &self,
+        net: &mut Netlist,
+        prefix: &str,
+        vdd_value: f64,
+    ) -> Result<AxonHillockNodes> {
         let gnd = Netlist::GROUND;
         let vdd = net.node(&format!("{prefix}_vdd"));
         let mem = net.node(&format!("{prefix}_mem"));

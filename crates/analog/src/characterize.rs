@@ -46,10 +46,7 @@ pub fn paper_amplitude_grid() -> Vec<f64> {
 ///
 /// # Errors
 /// Propagates solver failures.
-pub fn driver_amplitude_vs_vdd(
-    driver: &CurrentDriver,
-    vdds: &[f64],
-) -> Result<Vec<(f64, f64)>> {
+pub fn driver_amplitude_vs_vdd(driver: &CurrentDriver, vdds: &[f64]) -> Result<Vec<(f64, f64)>> {
     vdds.iter()
         .map(|&v| driver.output_amplitude(v).map(|a| (v, a)))
         .collect()
@@ -83,10 +80,7 @@ pub fn ah_threshold_vs_vdd(neuron: &AxonHillock, vdds: &[f64]) -> Result<Vec<(f6
 ///
 /// # Errors
 /// Propagates solver failures.
-pub fn if_threshold_vs_vdd(
-    neuron: &VoltageAmplifierIf,
-    vdds: &[f64],
-) -> Result<Vec<(f64, f64)>> {
+pub fn if_threshold_vs_vdd(neuron: &VoltageAmplifierIf, vdds: &[f64]) -> Result<Vec<(f64, f64)>> {
     vdds.iter()
         .map(|&v| neuron.threshold(v).map(|t| (v, t)))
         .collect()
@@ -97,14 +91,15 @@ pub fn if_threshold_vs_vdd(
 ///
 /// # Errors
 /// Propagates solver failures.
-pub fn ah_period_vs_amplitude(
-    neuron: &AxonHillock,
-    amplitudes: &[f64],
-) -> Result<Vec<(f64, f64)>> {
+pub fn ah_period_vs_amplitude(neuron: &AxonHillock, amplitudes: &[f64]) -> Result<Vec<(f64, f64)>> {
     let base = InputSpec::paper_axon_hillock();
     amplitudes
         .iter()
-        .map(|&a| neuron.spike_period(1.0, &base.with_amplitude(a)).map(|p| (a, p)))
+        .map(|&a| {
+            neuron
+                .spike_period(1.0, &base.with_amplitude(a))
+                .map(|p| (a, p))
+        })
         .collect()
 }
 
@@ -119,7 +114,11 @@ pub fn if_period_vs_amplitude(
     let base = InputSpec::paper_vamp_if();
     amplitudes
         .iter()
-        .map(|&a| neuron.spike_period(1.0, &base.with_amplitude(a)).map(|p| (a, p)))
+        .map(|&a| {
+            neuron
+                .spike_period(1.0, &base.with_amplitude(a))
+                .map(|p| (a, p))
+        })
         .collect()
 }
 
@@ -138,10 +137,7 @@ pub fn ah_period_vs_vdd(neuron: &AxonHillock, vdds: &[f64]) -> Result<Vec<(f64, 
 ///
 /// # Errors
 /// Propagates solver failures.
-pub fn if_period_vs_vdd(
-    neuron: &VoltageAmplifierIf,
-    vdds: &[f64],
-) -> Result<Vec<(f64, f64)>> {
+pub fn if_period_vs_vdd(neuron: &VoltageAmplifierIf, vdds: &[f64]) -> Result<Vec<(f64, f64)>> {
     let input = InputSpec::paper_vamp_if();
     vdds.iter()
         .map(|&v| neuron.spike_period(v, &input).map(|p| (v, p)))
@@ -202,7 +198,12 @@ pub fn dummy_rate_vs_vdd(kind: NeuronKind, vdds: &[f64]) -> Result<Vec<(f64, f64
 ///
 /// # Errors
 /// Propagates solver failures.
-pub fn neuron_average_power(kind: NeuronKind, ah: &AxonHillock, vif: &VoltageAmplifierIf, vdd: f64) -> Result<f64> {
+pub fn neuron_average_power(
+    kind: NeuronKind,
+    ah: &AxonHillock,
+    vif: &VoltageAmplifierIf,
+    vdd: f64,
+) -> Result<f64> {
     match kind {
         NeuronKind::AxonHillock => {
             let input = InputSpec::paper_axon_hillock();

@@ -130,7 +130,12 @@ impl CurrentDriver {
         let nodes = self.build(&mut net, "drv")?;
         net.vsource("VDD", nodes.vdd, Netlist::GROUND, Waveform::Dc(vdd))?;
         net.vsource("VCTL", nodes.ctrl, Netlist::GROUND, Waveform::Dc(vdd))?;
-        net.vsource("VOUT", nodes.out, Netlist::GROUND, Waveform::Dc(self.out_bias))?;
+        net.vsource(
+            "VOUT",
+            nodes.out,
+            Netlist::GROUND,
+            Waveform::Dc(self.out_bias),
+        )?;
         let op = net.compile()?.op(&SolveOptions::default())?;
         // The mirror sinks current out of the output node; that current is
         // supplied by VOUT, flowing n→p inside the source, i.e. a negative
@@ -147,7 +152,12 @@ impl CurrentDriver {
         let nodes = self.build(&mut net, "drv")?;
         net.vsource("VDD", nodes.vdd, Netlist::GROUND, Waveform::Dc(vdd))?;
         net.vsource("VCTL", nodes.ctrl, Netlist::GROUND, Waveform::Dc(vdd))?;
-        net.vsource("VOUT", nodes.out, Netlist::GROUND, Waveform::Dc(self.out_bias))?;
+        net.vsource(
+            "VOUT",
+            nodes.out,
+            Netlist::GROUND,
+            Waveform::Dc(self.out_bias),
+        )?;
         let op = net.compile()?.op(&SolveOptions::default())?;
         // VDD sources current into the circuit: branch current is negative
         // (flows n→p internally); consumption is its magnitude times VDD.
@@ -162,12 +172,23 @@ impl CurrentDriver {
     ///
     /// # Errors
     /// Propagates solver failures.
-    pub fn output_waveform(&self, vdd: f64, ctrl: Waveform, tstop: f64, dt: f64) -> Result<(Vec<f64>, Vec<f64>)> {
+    pub fn output_waveform(
+        &self,
+        vdd: f64,
+        ctrl: Waveform,
+        tstop: f64,
+        dt: f64,
+    ) -> Result<(Vec<f64>, Vec<f64>)> {
         let mut net = Netlist::new();
         let nodes = self.build(&mut net, "drv")?;
         net.vsource("VDD", nodes.vdd, Netlist::GROUND, Waveform::Dc(vdd))?;
         net.vsource("VCTL", nodes.ctrl, Netlist::GROUND, ctrl)?;
-        net.vsource("VOUT", nodes.out, Netlist::GROUND, Waveform::Dc(self.out_bias))?;
+        net.vsource(
+            "VOUT",
+            nodes.out,
+            Netlist::GROUND,
+            Waveform::Dc(self.out_bias),
+        )?;
         let res = net.compile()?.tran(&TranSpec::new(tstop, dt))?;
         let i: Vec<f64> = res
             .source_current("VOUT")
@@ -256,7 +277,12 @@ impl RobustCurrentDriver {
     ///
     /// # Errors
     /// Propagates netlist construction errors.
-    pub fn build(&self, net: &mut Netlist, prefix: &str, vdd_value: f64) -> Result<(NodeId, NodeId)> {
+    pub fn build(
+        &self,
+        net: &mut Netlist,
+        prefix: &str,
+        vdd_value: f64,
+    ) -> Result<(NodeId, NodeId)> {
         let gnd = Netlist::GROUND;
         let vdd = net.node(&format!("{prefix}_vdd"));
         let out = net.node(&format!("{prefix}_out"));
@@ -274,14 +300,7 @@ impl RobustCurrentDriver {
         // Op-amp: in+ = x, in− = vref, output node = gate.
         // v(gate) = gm·rout·(v(x) − vref): rising x raises the PMOS gate,
         // reducing its current — negative feedback.
-        net.vccs(
-            &format!("{prefix}_GOP"),
-            gnd,
-            gate,
-            x,
-            vref,
-            self.opamp_gm,
-        )?;
+        net.vccs(&format!("{prefix}_GOP"), gnd, gate, x, vref, self.opamp_gm)?;
         net.resistor(&format!("{prefix}_ROP"), gate, gnd, self.opamp_rout)?;
         net.capacitor(&format!("{prefix}_CC"), gate, gnd, 1.0e-12)?;
         net.mosfet(

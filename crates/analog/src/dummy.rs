@@ -91,7 +91,10 @@ mod tests {
         // Lower VDD lowers the threshold → the dummy fires faster; the
         // paper's detector needs ≥10% count deviation at a 0.2 V glitch.
         let pct = (low - nominal) / nominal * 100.0;
-        assert!(pct.abs() > 10.0, "rate change {pct:.1}% too small to detect");
+        assert!(
+            pct.abs() > 10.0,
+            "rate change {pct:.1}% too small to detect"
+        );
     }
 
     #[test]

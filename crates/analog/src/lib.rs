@@ -108,8 +108,7 @@ impl NeuronWaveforms {
     pub fn average_supply_power(&self) -> f64 {
         let t0 = *self.times.first().unwrap_or(&0.0);
         let t1 = *self.times.last().unwrap_or(&0.0);
-        neurofi_spice::measure::average_in(&self.times, &self.supply_current, t0, t1)
-            .unwrap_or(0.0)
+        neurofi_spice::measure::average_in(&self.times, &self.supply_current, t0, t1).unwrap_or(0.0)
             * self.vdd
     }
 }

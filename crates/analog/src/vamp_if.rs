@@ -365,7 +365,10 @@ impl VoltageAmplifierIf {
         let ops = circuit.dc_sweep("VMEM", &values, &SolveOptions::default())?;
         let level = 0.5 * vdd;
         for pair in ops.windows(2) {
-            let (y0, y1) = (pair[0].voltage(nodes.amp_out), pair[1].voltage(nodes.amp_out));
+            let (y0, y1) = (
+                pair[0].voltage(nodes.amp_out),
+                pair[1].voltage(nodes.amp_out),
+            );
             if y0 < level && y1 >= level {
                 let (x0, x1) = (pair[0].voltage(nodes.mem), pair[1].voltage(nodes.mem));
                 if (y1 - y0).abs() < f64::MIN_POSITIVE {
@@ -472,7 +475,11 @@ mod tests {
         assert!(!spikes.is_empty(), "neuron never fired");
         let after = spikes[0] + 30.0e-6;
         let idx = wave.times.iter().position(|&t| t > after).unwrap();
-        assert!(wave.vmem[idx] < 0.15, "membrane not reset: {}", wave.vmem[idx]);
+        assert!(
+            wave.vmem[idx] < 0.15,
+            "membrane not reset: {}",
+            wave.vmem[idx]
+        );
     }
 
     #[test]

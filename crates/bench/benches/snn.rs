@@ -33,8 +33,10 @@ fn bench_network_step(c: &mut Criterion) {
 
 fn bench_run_sample(c: &mut Criterion) {
     let image = SynthDigits::default().generate(1, 3);
-    let mut config = DiehlCookConfig::default();
-    config.sample_time_ms = 100.0;
+    let config = DiehlCookConfig {
+        sample_time_ms: 100.0,
+        ..Default::default()
+    };
     let mut group = c.benchmark_group("training");
     group.sample_size(20);
     group.bench_function("run_sample_100ms_train", |b| {

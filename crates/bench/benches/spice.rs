@@ -23,6 +23,7 @@ fn bench_mosfet_eval(c: &mut Criterion) {
     });
 }
 
+#[allow(clippy::needless_range_loop)] // index pairs build the matrix
 fn bench_lu_solve(c: &mut Criterion) {
     let n = 16;
     let build = || {

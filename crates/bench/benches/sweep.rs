@@ -1,0 +1,50 @@
+//! Performance benchmarks of the parallel sweep engine.
+//!
+//! Times the paper-shaped Fig. 8 grid (4 threshold changes × 6 fractions)
+//! at reduced training scale: once through the serial path, then on the
+//! work-stealing pool at 1/2/4/8 worker threads. The machine-readable
+//! companion is `repro bench`, which emits `BENCH_sweep.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use neurofi_bench::perf::{bench_grid, bench_setup};
+use neurofi_core::sweep::{threshold_sweep, BaselineCache, Parallelism};
+use neurofi_core::TargetLayer;
+use std::hint::black_box;
+
+fn bench_sweep_engine(c: &mut Criterion) {
+    let setup = bench_setup();
+    let config = bench_grid();
+    let mut group = c.benchmark_group("threshold_sweep_24cells");
+    group.sample_size(2);
+    group.bench_function("serial", |b| {
+        let s = setup.clone().with_parallelism(Parallelism::Serial);
+        b.iter(|| black_box(threshold_sweep(&s, Some(TargetLayer::Inhibitory), &config).unwrap()))
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("{threads}_threads"), |b| {
+            let s = setup
+                .clone()
+                .with_parallelism(Parallelism::Threads(threads));
+            b.iter(|| {
+                black_box(threshold_sweep(&s, Some(TargetLayer::Inhibitory), &config).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_cache(c: &mut Criterion) {
+    let setup = bench_setup();
+    let mut group = c.benchmark_group("baseline_cache");
+    group.sample_size(2);
+    group.bench_function("fresh_baseline", |b| b.iter(|| black_box(setup.baseline())));
+    group.bench_function("memoised_lookup", |b| {
+        let cache = BaselineCache::new(&setup);
+        cache.prime(&[42]);
+        b.iter(|| black_box(cache.get(42)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_engine, bench_baseline_cache);
+criterion_main!(benches);

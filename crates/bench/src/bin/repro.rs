@@ -3,12 +3,15 @@
 //! ```text
 //! repro all [--quick] [--out DIR]
 //! repro fig8b fig9a [--quick] [--out DIR]
+//! repro bench [--out DIR]
 //! repro list
 //! ```
 //!
 //! Each experiment prints a markdown table (measured values next to the
 //! paper's reported numbers) and, with `--out`, writes a CSV per
-//! experiment.
+//! experiment. `bench` runs the performance suite (parallel sweep engine
+//! at 1/2/4/8 threads plus the SNN and SPICE kernels) and writes the
+//! machine-readable `BENCH_sweep.json`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -17,9 +20,10 @@ use std::time::Instant;
 use neurofi_bench::{run_experiment, ExperimentId, Fidelity};
 
 fn usage() -> &'static str {
-    "usage: repro <all|list|EXPERIMENT...> [--quick] [--out DIR]\n\
+    "usage: repro <all|list|bench|EXPERIMENT...> [--quick] [--out DIR]\n\
      experiments: fig3 fig4 fig5b fig5c fig6a fig6b fig6c fig7b fig8a fig8b \
-     fig8c fig9a fig9b fig9c fig10c defenses overheads ext-glitch ext-weightfaults"
+     fig8c fig9a fig9b fig9c fig10c defenses overheads ext-glitch ext-weightfaults\n\
+     bench: performance suite (sweep engine + kernels) -> BENCH_sweep.json"
 }
 
 fn main() -> ExitCode {
@@ -32,11 +36,13 @@ fn main() -> ExitCode {
     let mut fidelity = Fidelity::Full;
     let mut out_dir: Option<PathBuf> = None;
     let mut selected: Vec<ExperimentId> = Vec::new();
+    let mut run_bench = false;
     let mut iter = args.iter().peekable();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => fidelity = Fidelity::Quick,
             "--full" => fidelity = Fidelity::Full,
+            "bench" => run_bench = true,
             "--out" => match iter.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
                 None => {
@@ -64,7 +70,7 @@ fn main() -> ExitCode {
             },
         }
     }
-    if selected.is_empty() {
+    if selected.is_empty() && !run_bench {
         eprintln!("no experiments selected\n{}", usage());
         return ExitCode::FAILURE;
     }
@@ -73,6 +79,29 @@ fn main() -> ExitCode {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create output directory {}: {e}", dir.display());
             return ExitCode::FAILURE;
+        }
+    }
+
+    if run_bench {
+        let started = Instant::now();
+        let report = neurofi_bench::run_perf_suite();
+        let path = out_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("."))
+            .join("BENCH_sweep.json");
+        let json = report.to_json();
+        println!("{json}");
+        if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "_bench completed in {:.1?}; wrote {}_\n",
+            started.elapsed(),
+            path.display()
+        );
+        if selected.is_empty() {
+            return ExitCode::SUCCESS;
         }
     }
 

@@ -2,13 +2,13 @@
 //! overhead numbers), built on `neurofi-analog`.
 
 use neurofi_analog::axon_hillock::{AxonHillock, InputSpec};
+use neurofi_analog::bandgap::BandgapOverhead;
 use neurofi_analog::characterize::{
     ah_period_vs_amplitude, ah_period_vs_vdd, ah_threshold_vs_vdd, driver_amplitude_vs_vdd,
     dummy_rate_vs_vdd, if_period_vs_amplitude, if_period_vs_vdd, if_threshold_vs_vdd,
     neuron_average_power, robust_driver_amplitude_vs_vdd, sizing_threshold_sweep,
     to_percent_change,
 };
-use neurofi_analog::bandgap::BandgapOverhead;
 use neurofi_analog::driver::{CurrentDriver, RobustCurrentDriver};
 use neurofi_analog::vamp_if::VoltageAmplifierIf;
 use neurofi_analog::{BandgapReference, NeuronKind};
@@ -80,8 +80,7 @@ pub fn fig4(fidelity: Fidelity) -> Result<Table, Error> {
             format!("{:.4}", wave.vout[i]),
         ]);
     }
-    let spikes =
-        neurofi_spice::measure::spike_times(&wave.times, &wave.vmem, 0.45);
+    let spikes = neurofi_spice::measure::spike_times(&wave.times, &wave.vmem, 0.45);
     table.push_note(format!(
         "measured: {} membrane spikes; linear ramp to Vthr=0.5 V, pull-up to VDD, \
          reset + explicit refractory (Ck discharge)",
@@ -289,7 +288,13 @@ pub fn fig9c(fidelity: Fidelity) -> Result<Table, Error> {
     let rows = sizing_threshold_sweep(&ratios, &vdds)?;
     let mut table = Table::new(
         "Fig. 9c — AH first-stage sizing vs threshold change under VDD attack",
-        &["N:P ratio", "vdd (V)", "threshold (V)", "change vs own nominal", "paper"],
+        &[
+            "N:P ratio",
+            "vdd (V)",
+            "threshold (V)",
+            "change vs own nominal",
+            "paper",
+        ],
     );
     for row in rows {
         let paper = if (row.ratio - 32.0).abs() < 1e-9 && (row.vdd - 0.8).abs() < 1e-9 {
@@ -332,15 +337,18 @@ pub fn fig10c(fidelity: Fidelity) -> Result<Table, Error> {
     for kind in kinds {
         let rates = dummy_rate_vs_vdd(kind, &grid)?;
         let counts: Vec<(f64, f64)> = rates.iter().map(|&(v, r)| (v, r * window)).collect();
-        let detector =
-            neurofi_core::DummyNeuronDetector::from_characterisation(&counts, 1.0)?;
+        let detector = neurofi_core::DummyNeuronDetector::from_characterisation(&counts, 1.0)?;
         for row in neurofi_core::detection::evaluate_series(&detector, &counts) {
             table.push_row(&[
                 kind.to_string(),
                 format!("{:.1}", row.vdd),
                 format!("{:.0}", row.count),
                 format!("{:+.1}%", row.deviation_percent),
-                if row.flagged { "YES".into() } else { "no".into() },
+                if row.flagged {
+                    "YES".into()
+                } else {
+                    "no".into()
+                },
             ]);
         }
     }
@@ -448,10 +456,7 @@ mod tests {
         let table = fig5b(Fidelity::Quick).unwrap();
         assert_eq!(table.len(), 3);
         // Parse the change column of the VDD=0.8 row.
-        let low_change: f64 = table.rows[0][2]
-            .trim_end_matches('%')
-            .parse()
-            .unwrap();
+        let low_change: f64 = table.rows[0][2].trim_end_matches('%').parse().unwrap();
         assert!(low_change < -20.0, "low change {low_change}");
     }
 

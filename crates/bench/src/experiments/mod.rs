@@ -63,8 +63,25 @@ impl ExperimentId {
     pub fn all() -> Vec<ExperimentId> {
         use ExperimentId::*;
         vec![
-            Fig3, Fig4, Fig5b, Fig5c, Fig6a, Fig6b, Fig6c, Fig7b, Fig8a, Fig8b, Fig8c,
-            Fig9a, Fig9b, Fig9c, Fig10c, Defenses, Overheads, ExtGlitch, ExtWeightFaults,
+            Fig3,
+            Fig4,
+            Fig5b,
+            Fig5c,
+            Fig6a,
+            Fig6b,
+            Fig6c,
+            Fig7b,
+            Fig8a,
+            Fig8b,
+            Fig8c,
+            Fig9a,
+            Fig9b,
+            Fig9c,
+            Fig10c,
+            Defenses,
+            Overheads,
+            ExtGlitch,
+            ExtWeightFaults,
         ]
     }
 

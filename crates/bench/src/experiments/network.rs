@@ -1,10 +1,17 @@
 //! Network-level figure reproductions (Figs. 7b, 8a–c, 9a and the §V
 //! defense-effectiveness comparison), built on `neurofi-core`.
 
+use std::sync::OnceLock;
+
 use neurofi_analog::{NeuronKind, PowerTransferTable};
 use neurofi_core::attacks::ExperimentSetup;
-use neurofi_core::defense::{defended_vdd_attack, undefended_vdd_attack, Defense};
-use neurofi_core::sweep::{theta_sweep, threshold_sweep, vdd_sweep, SweepConfig, SweepResult};
+use neurofi_core::defense::{
+    defended_vdd_attack_with_baseline, undefended_vdd_attack_with_baseline, Defense,
+};
+use neurofi_core::sweep::{
+    theta_sweep_cached, threshold_sweep_cached, vdd_sweep_cached, BaselineCache, SweepConfig,
+    SweepResult,
+};
 use neurofi_core::{Error, Table, TargetLayer};
 
 use super::Fidelity;
@@ -13,6 +20,18 @@ fn setup(fidelity: Fidelity) -> ExperimentSetup {
     match fidelity {
         Fidelity::Quick => ExperimentSetup::quick(42),
         Fidelity::Full => ExperimentSetup::paper(42),
+    }
+}
+
+/// Per-fidelity baseline cache shared by every sweep experiment in this
+/// process: `repro all` trains each per-seed fault-free baseline once
+/// instead of once per figure.
+fn shared_cache(fidelity: Fidelity) -> &'static BaselineCache {
+    static QUICK: OnceLock<BaselineCache> = OnceLock::new();
+    static FULL: OnceLock<BaselineCache> = OnceLock::new();
+    match fidelity {
+        Fidelity::Quick => QUICK.get_or_init(|| BaselineCache::new(&setup(Fidelity::Quick))),
+        Fidelity::Full => FULL.get_or_init(|| BaselineCache::new(&setup(Fidelity::Full))),
     }
 }
 
@@ -41,12 +60,11 @@ fn push_sweep_rows(table: &mut Table, result: &SweepResult, paper_worst: &str) {
 
 /// Fig. 7b: Attack 1 — accuracy versus theta (input-drive) change.
 pub fn fig7b(fidelity: Fidelity) -> Result<Table, Error> {
-    let setup = setup(fidelity);
     let thetas: Vec<f64> = match fidelity {
         Fidelity::Quick => vec![-0.20, 0.20],
         Fidelity::Full => vec![-0.20, -0.10, -0.05, 0.05, 0.10, 0.20],
     };
-    let result = theta_sweep(&setup, &thetas, &[42])?;
+    let result = theta_sweep_cached(shared_cache(fidelity), &thetas, &[42])?;
     let mut table = Table::new(
         "Fig. 7b — Attack 1: current-driver (theta) corruption vs accuracy",
         &["theta change", "fraction", "accuracy", "vs baseline"],
@@ -65,10 +83,12 @@ fn threshold_figure(
     title: &str,
     paper_worst: &str,
 ) -> Result<Table, Error> {
-    let setup = setup(fidelity);
     let config = sweep_config(fidelity);
-    let result = threshold_sweep(&setup, layer, &config)?;
-    let mut table = Table::new(title, &["threshold change", "fraction", "accuracy", "vs baseline"]);
+    let result = threshold_sweep_cached(shared_cache(fidelity), layer, &config)?;
+    let mut table = Table::new(
+        title,
+        &["threshold change", "fraction", "accuracy", "vs baseline"],
+    );
     push_sweep_rows(&mut table, &result, paper_worst);
     Ok(table)
 }
@@ -105,7 +125,6 @@ pub fn fig8c(fidelity: Fidelity) -> Result<Table, Error> {
 
 /// Fig. 9a: Attack 5 — global VDD sweep over the whole system.
 pub fn fig9a(fidelity: Fidelity) -> Result<Table, Error> {
-    let setup = setup(fidelity);
     let vdds = fidelity.vdd_grid();
     // Full fidelity uses the transfer table measured from our own
     // transistor-level characterisation; quick uses the paper's endpoints.
@@ -115,7 +134,7 @@ pub fn fig9a(fidelity: Fidelity) -> Result<Table, Error> {
             neurofi_analog::characterize::measured_transfer_table(&[0.8, 0.9, 1.0, 1.1, 1.2])?
         }
     };
-    let result = vdd_sweep(&setup, &vdds, &transfer, &[42])?;
+    let result = vdd_sweep_cached(shared_cache(fidelity), &vdds, &transfer, &[42])?;
     let mut table = Table::new(
         "Fig. 9a — Attack 5: global VDD manipulation (black box)",
         &["vdd (V)", "accuracy", "vs baseline", "paper"],
@@ -152,14 +171,22 @@ pub fn defenses(fidelity: Fidelity) -> Result<Table, Error> {
     let setup = setup(fidelity);
     let transfer = PowerTransferTable::paper_nominal();
     let vdd = 0.8;
+    // The fault-free baseline is shared with the sweep figures (seed 42):
+    // one training run serves all four defense configurations too.
+    let baseline = shared_cache(fidelity).get(setup.network_seed);
 
     let mut table = Table::new(
         "§V — defense effectiveness against Attack 5 (VDD = 0.8 V)",
         &["configuration", "accuracy", "vs baseline", "paper"],
     );
 
-    let undefended =
-        undefended_vdd_attack(&setup, vdd, &transfer, NeuronKind::VoltageAmplifierIf)?;
+    let undefended = undefended_vdd_attack_with_baseline(
+        &setup,
+        vdd,
+        &transfer,
+        NeuronKind::VoltageAmplifierIf,
+        baseline,
+    )?;
     table.push_row(&[
         "undefended (I&F flavor)".into(),
         format!("{:.1}%", undefended.attacked_accuracy * 100.0),
@@ -167,12 +194,13 @@ pub fn defenses(fidelity: Fidelity) -> Result<Table, Error> {
         "−84.93%".into(),
     ]);
 
-    let bandgap = defended_vdd_attack(
+    let bandgap = defended_vdd_attack_with_baseline(
         &setup,
         vdd,
         &transfer,
         &[Defense::RobustDriver, Defense::BandgapThreshold],
         NeuronKind::VoltageAmplifierIf,
+        baseline,
     )?;
     table.push_row(&[
         "robust driver + bandgap Vthr".into(),
@@ -181,12 +209,13 @@ pub fn defenses(fidelity: Fidelity) -> Result<Table, Error> {
         "≈0% degradation".into(),
     ]);
 
-    let sized = defended_vdd_attack(
+    let sized = defended_vdd_attack_with_baseline(
         &setup,
         vdd,
         &transfer,
         &[Defense::RobustDriver, Defense::sized_neuron_paper()],
         NeuronKind::AxonHillock,
+        baseline,
     )?;
     table.push_row(&[
         "robust driver + sized AH (32:1)".into(),
@@ -195,12 +224,13 @@ pub fn defenses(fidelity: Fidelity) -> Result<Table, Error> {
         "−3.49% degradation".into(),
     ]);
 
-    let comparator = defended_vdd_attack(
+    let comparator = defended_vdd_attack_with_baseline(
         &setup,
         vdd,
         &transfer,
         &[Defense::RobustDriver, Defense::ComparatorFirstStage],
         NeuronKind::AxonHillock,
+        baseline,
     )?;
     table.push_row(&[
         "robust driver + comparator AH".into(),
@@ -219,6 +249,7 @@ pub fn defenses(fidelity: Fidelity) -> Result<Table, Error> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use neurofi_core::sweep::threshold_sweep;
 
     // Full network sweeps are minutes-long; these tests exercise the
     // table plumbing at a deliberately tiny scale.

@@ -9,6 +9,7 @@
 //! repro all --quick            # smoke reproduction of every figure
 //! repro fig8b                  # full-fidelity Attack-3 surface
 //! repro overheads --out out/   # defense overhead table + CSV dump
+//! repro bench                  # perf suite -> BENCH_sweep.json
 //! ```
 //!
 //! | experiment | paper artifact | content |
@@ -35,5 +36,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod perf;
 
 pub use experiments::{run_experiment, ExperimentId, Fidelity};
+pub use perf::{run_perf_suite, PerfReport};

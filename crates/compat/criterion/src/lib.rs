@@ -1,0 +1,257 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io, so this workspace vendors
+//! a compact wall-clock benchmarking harness exposing the criterion API
+//! its benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`criterion_group!`], [`criterion_main!`],
+//! [`BatchSize`], and [`black_box`].
+//!
+//! Methodology: each routine is warmed up, then timed over enough
+//! iterations to fill a measurement window; the harness reports the mean
+//! and best ns/iter over several samples. There is no statistical
+//! regression machinery — the numbers are for human comparison and for
+//! the machine-readable dumps produced by the `repro` binary.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost (accepted for API
+/// compatibility; this harness always times per-invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// Timing statistics for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Mean nanoseconds per iteration over all samples.
+    pub mean_ns: f64,
+    /// Fastest sample's nanoseconds per iteration.
+    pub best_ns: f64,
+    /// Total iterations timed.
+    pub iterations: u64,
+}
+
+/// Per-benchmark measurement driver, handed to the closure of
+/// [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    result: Option<Sample>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Bencher {
+        Bencher {
+            samples,
+            result: None,
+        }
+    }
+
+    /// Times `routine` and records the statistics.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up and calibration: find an iteration count that fills
+        // the per-sample window.
+        let warmup = Duration::from_millis(30);
+        let window = Duration::from_millis(60);
+        let start = Instant::now();
+        let mut calib_iters = 0u64;
+        while start.elapsed() < warmup {
+            black_box(routine());
+            calib_iters += 1;
+        }
+        let per_iter = warmup.as_secs_f64() / calib_iters.max(1) as f64;
+        let iters_per_sample = ((window.as_secs_f64() / per_iter) as u64).clamp(1, 1_000_000_000);
+
+        let mut total_ns = 0.0f64;
+        let mut best_ns = f64::INFINITY;
+        let mut iterations = 0u64;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            total_ns += ns * iters_per_sample as f64;
+            best_ns = best_ns.min(ns);
+            iterations += iters_per_sample;
+        }
+        self.result = Some(Sample {
+            mean_ns: total_ns / iterations.max(1) as f64,
+            best_ns,
+            iterations,
+        });
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding the
+    /// setup cost from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut timed_ns = 0.0f64;
+        let mut best_ns = f64::INFINITY;
+        let mut iterations = 0u64;
+        let window = Duration::from_millis(60);
+        // Warm up once so lazily-initialised state does not pollute the
+        // first sample.
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let mut sample_ns = 0.0f64;
+            let mut sample_iters = 0u64;
+            let sample_start = Instant::now();
+            while sample_start.elapsed() < window {
+                let input = setup();
+                let t0 = Instant::now();
+                black_box(routine(input));
+                sample_ns += t0.elapsed().as_nanos() as f64;
+                sample_iters += 1;
+            }
+            timed_ns += sample_ns;
+            iterations += sample_iters;
+            best_ns = best_ns.min(sample_ns / sample_iters.max(1) as f64);
+        }
+        self.result = Some(Sample {
+            mean_ns: timed_ns / iterations.max(1) as f64,
+            best_ns,
+            iterations,
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1.0e9 {
+        format!("{:.3} s", ns / 1.0e9)
+    } else if ns >= 1.0e6 {
+        format!("{:.3} ms", ns / 1.0e6)
+    } else if ns >= 1.0e3 {
+        format!("{:.3} µs", ns / 1.0e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::new(samples);
+    f(&mut bencher);
+    match bencher.result {
+        Some(s) => println!(
+            "{name:<44} mean {:>12}/iter  best {:>12}/iter  ({} iters)",
+            format_ns(s.mean_ns),
+            format_ns(s.best_ns),
+            s.iterations
+        ),
+        None => println!("{name:<44} (no measurement recorded)"),
+    }
+}
+
+/// The benchmark registry/driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        run_one(name, 5, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            samples: 5,
+        }
+    }
+}
+
+/// A named benchmark group (`sample_size` maps onto the number of timing
+/// samples taken).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(2, 100);
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(
+            &format!("{}/{name}", self.name),
+            self.samples.min(10),
+            &mut f,
+        );
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a function running the given benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags like `--bench`; they are
+            // irrelevant to this harness.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_and_prints() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = Bencher::new(2);
+        b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.result.is_some());
+    }
+}

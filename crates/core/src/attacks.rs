@@ -13,6 +13,7 @@ use neurofi_snn::trainer::{evaluate, train, TrainOptions};
 
 use crate::error::Error;
 use crate::injection::{FaultPlan, TargetLayer};
+use crate::sweep::Parallelism;
 use crate::threat::AttackKind;
 
 /// A complete experiment description: network configuration, dataset
@@ -33,6 +34,9 @@ pub struct ExperimentSetup {
     pub train_options: TrainOptions,
     /// Synthetic digit generator configuration.
     pub generator: SynthDigits,
+    /// Worker-thread budget for the sweep engine (serial and parallel
+    /// sweeps are bit-identical; see [`crate::sweep`]).
+    pub parallelism: Parallelism,
 }
 
 impl ExperimentSetup {
@@ -47,6 +51,7 @@ impl ExperimentSetup {
             network_seed: seed,
             train_options: TrainOptions::default(),
             generator: SynthDigits::default(),
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -60,6 +65,13 @@ impl ExperimentSetup {
         setup.n_test = 150;
         setup.train_options.assignment_window = Some(200);
         setup
+    }
+
+    /// Returns a copy with the given sweep-engine parallelism.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> ExperimentSetup {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Returns a copy re-seeded for repeat measurements.
@@ -299,7 +311,10 @@ impl GlobalVddAttack {
     /// # Panics
     /// Panics if `vdd` is not positive and finite.
     pub fn new(vdd: f64) -> GlobalVddAttack {
-        assert!(vdd.is_finite() && vdd > 0.0, "vdd must be positive, got {vdd}");
+        assert!(
+            vdd.is_finite() && vdd > 0.0,
+            "vdd must be positive, got {vdd}"
+        );
         GlobalVddAttack {
             vdd,
             transfer: PowerTransferTable::paper_nominal(),
@@ -353,7 +368,10 @@ mod tests {
             ThresholdAttack::inhibitory(-0.2, 0.5).kind(),
             AttackKind::InhibitoryThreshold
         );
-        assert_eq!(ThresholdAttack::both(-0.2).kind(), AttackKind::BothLayerThreshold);
+        assert_eq!(
+            ThresholdAttack::both(-0.2).kind(),
+            AttackKind::BothLayerThreshold
+        );
         assert_eq!(GlobalVddAttack::new(0.8).kind(), AttackKind::GlobalVdd);
 
         let plan = ThresholdAttack::both(-0.2).fault_plan();
@@ -382,7 +400,11 @@ mod tests {
         setup.n_train = 250;
         setup.n_test = 100;
         let baseline = setup.baseline();
-        assert!(baseline.accuracy > 0.15, "baseline {:.2}", baseline.accuracy);
+        assert!(
+            baseline.accuracy > 0.15,
+            "baseline {:.2}",
+            baseline.accuracy
+        );
         let il = ThresholdAttack::inhibitory(-0.20, 1.0)
             .run_with_baseline(&setup, baseline)
             .unwrap();

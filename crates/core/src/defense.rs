@@ -14,7 +14,7 @@
 use neurofi_analog::transfer::TransferPoint;
 use neurofi_analog::{BandgapReference, NeuronKind, PowerTransferTable};
 
-use crate::attacks::{Attack, AttackOutcome, ExperimentSetup, GlobalVddAttack};
+use crate::attacks::{Attack, AttackOutcome, ExperimentSetup, GlobalVddAttack, RunMeasurement};
 use crate::error::Error;
 use crate::injection::FaultPlan;
 
@@ -101,13 +101,7 @@ impl Defense {
 
     /// Hardens a whole transfer table.
     pub fn harden_table(&self, table: &PowerTransferTable) -> PowerTransferTable {
-        PowerTransferTable::new(
-            table
-                .points()
-                .iter()
-                .map(|&p| self.harden(p))
-                .collect(),
-        )
+        PowerTransferTable::new(table.points().iter().map(|&p| self.harden(p)).collect())
     }
 }
 
@@ -137,6 +131,23 @@ pub fn defended_vdd_attack(
     defenses: &[Defense],
     flavor: NeuronKind,
 ) -> Result<AttackOutcome, Error> {
+    defended_vdd_attack_with_baseline(setup, vdd, transfer, defenses, flavor, setup.baseline())
+}
+
+/// [`defended_vdd_attack`] reusing a precomputed baseline measurement
+/// (e.g. from a [`crate::sweep::BaselineCache`]) instead of retraining
+/// the fault-free network.
+///
+/// # Errors
+/// Propagates attack failures.
+pub fn defended_vdd_attack_with_baseline(
+    setup: &ExperimentSetup,
+    vdd: f64,
+    transfer: &PowerTransferTable,
+    defenses: &[Defense],
+    flavor: NeuronKind,
+    baseline: RunMeasurement,
+) -> Result<AttackOutcome, Error> {
     let mut hardened = transfer.clone();
     for defense in defenses {
         hardened = defense.harden_table(&hardened);
@@ -152,7 +163,6 @@ pub fn defended_vdd_attack(
         scale: point.drive_scale,
     });
 
-    let baseline = setup.baseline();
     let attacked = setup.run_with_plan(&plan);
     Ok(AttackOutcome {
         kind: crate::threat::AttackKind::GlobalVdd,
@@ -175,12 +185,28 @@ pub fn undefended_vdd_attack(
     transfer: &PowerTransferTable,
     flavor: NeuronKind,
 ) -> Result<AttackOutcome, Error> {
+    undefended_vdd_attack_with_baseline(setup, vdd, transfer, flavor, setup.baseline())
+}
+
+/// [`undefended_vdd_attack`] reusing a precomputed baseline measurement.
+///
+/// # Errors
+/// Propagates attack failures.
+pub fn undefended_vdd_attack_with_baseline(
+    setup: &ExperimentSetup,
+    vdd: f64,
+    transfer: &PowerTransferTable,
+    flavor: NeuronKind,
+    baseline: RunMeasurement,
+) -> Result<AttackOutcome, Error> {
     match flavor {
         // The stock table's I&F column is what GlobalVddAttack uses.
         NeuronKind::VoltageAmplifierIf => GlobalVddAttack::new(vdd)
             .with_transfer(transfer.clone())
-            .run(setup),
-        NeuronKind::AxonHillock => defended_vdd_attack(setup, vdd, transfer, &[], flavor),
+            .run_with_baseline(setup, baseline),
+        NeuronKind::AxonHillock => {
+            defended_vdd_attack_with_baseline(setup, vdd, transfer, &[], flavor, baseline)
+        }
     }
 }
 
@@ -209,7 +235,9 @@ mod tests {
     #[test]
     fn sizing_shrinks_ah_sensitivity() {
         let table = PowerTransferTable::paper_nominal();
-        let p = Defense::sized_neuron_paper().harden_table(&table).sample(0.8);
+        let p = Defense::sized_neuron_paper()
+            .harden_table(&table)
+            .sample(0.8);
         // −17.91% × 0.29 ≈ −5.2%.
         assert!(
             (p.ah_threshold_scale - (1.0 - 0.1791 * 5.23 / 18.01)).abs() < 1e-6,
@@ -220,15 +248,17 @@ mod tests {
     #[test]
     fn comparator_pins_ah_threshold() {
         let table = PowerTransferTable::paper_nominal();
-        let p = Defense::ComparatorFirstStage.harden_table(&table).sample(0.8);
+        let p = Defense::ComparatorFirstStage
+            .harden_table(&table)
+            .sample(0.8);
         assert!((p.ah_threshold_scale - 1.0).abs() <= 0.0056 + 1e-9);
     }
 
     #[test]
     fn defenses_compose() {
         let table = PowerTransferTable::paper_nominal();
-        let hardened = Defense::BandgapThreshold
-            .harden_table(&Defense::RobustDriver.harden_table(&table));
+        let hardened =
+            Defense::BandgapThreshold.harden_table(&Defense::RobustDriver.harden_table(&table));
         let p = hardened.sample(0.8);
         assert!((p.drive_scale - 1.0).abs() <= 0.006);
         assert!((p.if_threshold_scale - 1.0).abs() <= 0.006);
@@ -258,8 +288,8 @@ mod tests {
         // With robust driver + bandgap threshold, the VDD=0.8 plan's
         // corruption shrinks to the bandgap residual.
         let table = PowerTransferTable::paper_nominal();
-        let hardened = Defense::BandgapThreshold
-            .harden_table(&Defense::RobustDriver.harden_table(&table));
+        let hardened =
+            Defense::BandgapThreshold.harden_table(&Defense::RobustDriver.harden_table(&table));
         let plan = FaultPlan::from_vdd(0.8, &hardened);
         for t in &plan.thresholds {
             assert!(t.rel_change.abs() <= 0.006, "{t:?}");

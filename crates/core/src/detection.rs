@@ -97,10 +97,7 @@ pub struct DetectionRow {
 }
 
 /// Evaluates a detector against a `(vdd, count)` series.
-pub fn evaluate_series(
-    detector: &DummyNeuronDetector,
-    series: &[(f64, f64)],
-) -> Vec<DetectionRow> {
+pub fn evaluate_series(detector: &DummyNeuronDetector, series: &[(f64, f64)]) -> Vec<DetectionRow> {
     series
         .iter()
         .map(|&(vdd, count)| DetectionRow {
@@ -127,11 +124,7 @@ pub struct DetectionSummary {
 
 /// Summarises detection over a series, treating points within `vdd_tol`
 /// of `vdd_nominal` as attack-free.
-pub fn summarize(
-    rows: &[DetectionRow],
-    vdd_nominal: f64,
-    vdd_tol: f64,
-) -> DetectionSummary {
+pub fn summarize(rows: &[DetectionRow], vdd_nominal: f64, vdd_tol: f64) -> DetectionSummary {
     let mut summary = DetectionSummary {
         detected: 0,
         missed: 0,

@@ -108,6 +108,9 @@ impl WeightFaultAttack {
                 }
             }
         }
+        // Scaled weights can land outside [w_min, w_max]; tell the
+        // connection so any further STDP restores bounds with a full clamp.
+        net.input_to_exc.mark_weights_dirty();
     }
 
     /// Trains cleanly, corrupts the stored weights, then evaluates.
@@ -216,7 +219,10 @@ impl TransientGlitchAttack {
         if n_train == 0 {
             return 0.0;
         }
-        let span = self.to_sample.min(n_train).saturating_sub(self.from_sample.min(n_train));
+        let span = self
+            .to_sample
+            .min(n_train)
+            .saturating_sub(self.from_sample.min(n_train));
         span as f64 / n_train as f64
     }
 }

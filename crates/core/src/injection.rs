@@ -98,7 +98,10 @@ impl FaultPlan {
     /// # Panics
     /// Panics if `scale` is not positive and finite.
     pub fn drive_only(scale: f64) -> FaultPlan {
-        assert!(scale.is_finite() && scale > 0.0, "drive scale must be positive");
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "drive scale must be positive"
+        );
         FaultPlan {
             thresholds: Vec::new(),
             drive: Some(DriveFault { scale }),
@@ -243,8 +246,10 @@ impl FaultPlan {
 
     /// True when the plan changes nothing.
     pub fn is_noop(&self) -> bool {
-        self.thresholds.iter().all(|t| t.rel_change == 0.0 || t.fraction == 0.0)
-            && self.drive.map_or(true, |d| d.scale == 1.0)
+        self.thresholds
+            .iter()
+            .all(|t| t.rel_change == 0.0 || t.fraction == 0.0)
+            && self.drive.is_none_or(|d| d.scale == 1.0)
     }
 }
 
@@ -283,8 +288,16 @@ mod tests {
     fn both_layers_plan_hits_both() {
         let mut n = net();
         FaultPlan::both_layer_threshold(0.1).apply(&mut n);
-        assert!(n.excitatory.threshold_scale.iter().all(|&s| (s - 1.1).abs() < 1e-6));
-        assert!(n.inhibitory.threshold_scale.iter().all(|&s| (s - 1.1).abs() < 1e-6));
+        assert!(n
+            .excitatory
+            .threshold_scale
+            .iter()
+            .all(|&s| (s - 1.1).abs() < 1e-6));
+        assert!(n
+            .inhibitory
+            .threshold_scale
+            .iter()
+            .all(|&s| (s - 1.1).abs() < 1e-6));
     }
 
     #[test]
@@ -307,7 +320,10 @@ mod tests {
         let effective = p.v_thresh * paper_net.excitatory.threshold_scale[0];
         let expect = p.v_rest + (p.v_thresh - p.v_rest) * 0.8;
         assert!((effective - expect).abs() < 1e-4);
-        assert!(effective < p.v_thresh, "easier to fire: closer to rest from above? ");
+        assert!(
+            effective < p.v_thresh,
+            "easier to fire: closer to rest from above? "
+        );
     }
 
     #[test]
@@ -329,7 +345,10 @@ mod tests {
             100
         );
         // Rounding: 0.25 of 10 = 2.5 -> 3 (round-half-up).
-        assert_eq!(FaultPlan::affected_indices(10, 0.25, Selection::FirstK).len(), 3);
+        assert_eq!(
+            FaultPlan::affected_indices(10, 0.25, Selection::FirstK).len(),
+            3
+        );
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //! * [`attacks`] — runnable implementations of Attacks 1–5 producing
 //!   baseline-vs-attacked accuracy outcomes (the data behind Figs. 7b,
 //!   8a–c, 9a).
-//! * [`sweep`] — the grid-sweep engine (threshold change × layer fraction
-//!   × seeds) that regenerates the paper's accuracy surfaces.
+//! * [`sweep`] — the parallel grid-sweep engine (threshold change × layer
+//!   fraction × seeds) that regenerates the paper's accuracy surfaces on a
+//!   work-stealing pool with memoised per-seed baselines
+//!   ([`BaselineCache`]); serial and parallel runs are bit-identical.
 //! * [`defense`] — the §V defenses (robust driver, bandgap threshold,
 //!   neuron sizing, comparator first stage) as transfer-function
 //!   hardenings, with overhead accounting.
@@ -58,4 +60,5 @@ pub use error::Error;
 pub use injection::{FaultPlan, Selection, TargetLayer, ThresholdConvention};
 pub use neurofi_analog::PowerTransferTable;
 pub use report::Table;
+pub use sweep::{BaselineCache, Parallelism, SweepConfig, SweepResult};
 pub use threat::{AccessLevel, AttackKind, PowerDomainScenario};

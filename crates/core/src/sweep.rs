@@ -1,12 +1,190 @@
 //! Grid-sweep engine regenerating the paper's accuracy surfaces
 //! (Figs. 7b, 8a, 8b, 8c, 9a).
+//!
+//! The paper's surfaces are embarrassingly parallel grids — every cell
+//! replays a full train-and-evaluate experiment — so the engine flattens
+//! each grid into independent cell jobs and runs them on a zero-dependency
+//! work-stealing pool ([`std::thread::scope`] workers pulling indices from
+//! an atomic cursor). Three properties make the parallel path safe:
+//!
+//! * **Per-cell deterministic seeding** — every cell derives its
+//!   experiments purely from `(setup, seed, cell coordinates)`, never from
+//!   execution order.
+//! * **Slot writes** — each job writes only its own result slot, so the
+//!   assembled [`SweepResult`] is bit-identical to a serial run regardless
+//!   of scheduling.
+//! * **Memoised baselines** — the per-seed fault-free baseline is computed
+//!   once in a [`BaselineCache`] and shared across every cell and every
+//!   attack kind, instead of being re-run per sweep as the serial engine
+//!   used to.
+//!
+//! The degree of parallelism is a property of the experiment
+//! ([`ExperimentSetup::parallelism`], a [`Parallelism`] knob), defaulting
+//! to one worker per available core.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use neurofi_analog::PowerTransferTable;
 
-use crate::attacks::{Attack, ExperimentSetup, GlobalVddAttack, InputCorruptionAttack, ThresholdAttack};
+use crate::attacks::{
+    Attack, ExperimentSetup, GlobalVddAttack, InputCorruptionAttack, RunMeasurement,
+    ThresholdAttack,
+};
 use crate::error::Error;
 use crate::injection::TargetLayer;
 use crate::threat::AttackKind;
+
+/// Degree of parallelism for sweep execution.
+///
+/// Serial and parallel execution produce bit-identical results; this knob
+/// only trades wall-clock time for CPU occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Run every cell on the calling thread.
+    Serial,
+    /// Use exactly this many worker threads (0 is treated as 1).
+    Threads(usize),
+    /// One worker per available hardware thread (the default).
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// The number of workers this knob resolves to on this machine.
+    pub fn worker_count(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+            Parallelism::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// Runs `n` independent jobs — one per index — and returns their results
+/// in index order.
+///
+/// With more than one worker, a scoped work-stealing pool claims indices
+/// from a shared atomic cursor; each job writes only its own slot, so the
+/// output is independent of scheduling. Panics in jobs propagate.
+pub(crate) fn run_indexed<T, F>(n: usize, parallelism: Parallelism, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = parallelism.worker_count().min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(job).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= n {
+                    break;
+                }
+                let result = job(index);
+                *slots[index].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every claimed index stores a result")
+        })
+        .collect()
+}
+
+/// Memoised fault-free baselines, keyed by seed.
+///
+/// Baseline runs are the most expensive shared work of a sweep campaign:
+/// every attack kind over the same [`ExperimentSetup`] needs the same
+/// per-seed fault-free measurement. The cache computes each one exactly
+/// once (in parallel when primed with several seeds) and hands out copies,
+/// and is safe to share across threads.
+#[derive(Debug)]
+pub struct BaselineCache {
+    setup: ExperimentSetup,
+    entries: Mutex<HashMap<u64, RunMeasurement>>,
+}
+
+impl BaselineCache {
+    /// Creates an empty cache bound to `setup` (seed fields are overridden
+    /// per entry via [`ExperimentSetup::with_seed`]).
+    pub fn new(setup: &ExperimentSetup) -> BaselineCache {
+        BaselineCache {
+            setup: setup.clone(),
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The experiment setup this cache measures baselines for.
+    pub fn setup(&self) -> &ExperimentSetup {
+        &self.setup
+    }
+
+    /// Number of memoised baselines.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("cache poisoned").len()
+    }
+
+    /// True when no baseline has been measured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The baseline measurement for `seed`, computing and memoising it on
+    /// first use. Identical to `setup.with_seed(seed).baseline()`.
+    pub fn get(&self, seed: u64) -> RunMeasurement {
+        if let Some(m) = self.entries.lock().expect("cache poisoned").get(&seed) {
+            return *m;
+        }
+        // Computed outside the lock so concurrent cell jobs are never
+        // serialised on a training run; a racing duplicate computes the
+        // same deterministic value.
+        let measured = self.setup.with_seed(seed).baseline();
+        *self
+            .entries
+            .lock()
+            .expect("cache poisoned")
+            .entry(seed)
+            .or_insert(measured)
+    }
+
+    /// Ensures every seed is memoised, computing missing ones in parallel
+    /// per the setup's [`Parallelism`].
+    pub fn prime(&self, seeds: &[u64]) {
+        let missing: Vec<u64> = {
+            let entries = self.entries.lock().expect("cache poisoned");
+            let mut missing: Vec<u64> = seeds
+                .iter()
+                .copied()
+                .filter(|s| !entries.contains_key(s))
+                .collect();
+            missing.sort_unstable();
+            missing.dedup();
+            missing
+        };
+        if missing.is_empty() {
+            return;
+        }
+        let measured = run_indexed(missing.len(), self.setup.parallelism, |i| {
+            self.setup.with_seed(missing[i]).baseline()
+        });
+        let mut entries = self.entries.lock().expect("cache poisoned");
+        for (seed, m) in missing.into_iter().zip(measured) {
+            entries.entry(seed).or_insert(m);
+        }
+    }
+}
 
 /// Sweep parameters for the threshold attacks.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,13 +242,19 @@ pub struct SweepResult {
 }
 
 impl SweepResult {
-    /// The cell with the most negative relative change.
+    /// The cell with the most negative relative change. NaN cells (which
+    /// cannot occur from the built-in attacks but may reach this type via
+    /// hand-assembled results) never panic and never win; if every cell is
+    /// NaN, the first cell is returned.
     pub fn worst_case(&self) -> Option<&SweepCell> {
-        self.cells.iter().min_by(|a, b| {
-            a.relative_change_percent
-                .partial_cmp(&b.relative_change_percent)
-                .unwrap()
-        })
+        self.cells
+            .iter()
+            .filter(|c| !c.relative_change_percent.is_nan())
+            .min_by(|a, b| {
+                a.relative_change_percent
+                    .total_cmp(&b.relative_change_percent)
+            })
+            .or_else(|| self.cells.first())
     }
 
     /// Looks up a cell by its coordinates.
@@ -85,9 +269,49 @@ fn mean(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len().max(1) as f64
 }
 
+/// Measures one grid cell: runs the attack for every seed (reusing the
+/// memoised baselines) and averages.
+fn measure_cell<A: Attack>(
+    cache: &BaselineCache,
+    seeds: &[u64],
+    rel_change: f64,
+    fraction: f64,
+    baseline_accuracy: f64,
+    attack: &A,
+) -> Result<SweepCell, Error> {
+    let mut accuracies = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let setup = cache.setup().with_seed(seed);
+        let baseline = cache.get(seed);
+        let outcome = attack.run_with_baseline(&setup, baseline)?;
+        accuracies.push(outcome.attacked_accuracy);
+    }
+    let accuracy = mean(&accuracies);
+    Ok(SweepCell {
+        rel_change,
+        fraction,
+        accuracy,
+        relative_change_percent: if baseline_accuracy > 0.0 {
+            (accuracy - baseline_accuracy) / baseline_accuracy * 100.0
+        } else {
+            0.0
+        },
+    })
+}
+
+/// Primes the cache for `seeds` and returns the mean baseline accuracy.
+fn primed_baseline_accuracy(cache: &BaselineCache, seeds: &[u64]) -> f64 {
+    cache.prime(seeds);
+    let per_seed: Vec<f64> = seeds.iter().map(|&s| cache.get(s).accuracy).collect();
+    mean(&per_seed)
+}
+
 /// Sweeps a threshold attack over `rel_changes × fractions × seeds`.
 /// `layer = None` sweeps Attack 4 (both layers; fractions other than 1.0
 /// are skipped since the paper defines Attack 4 at 100%).
+///
+/// Computes its own baselines; use [`threshold_sweep_cached`] to share a
+/// [`BaselineCache`] across several sweeps of the same setup.
 ///
 /// # Errors
 /// Propagates attack failures.
@@ -96,59 +320,56 @@ pub fn threshold_sweep(
     layer: Option<TargetLayer>,
     config: &SweepConfig,
 ) -> Result<SweepResult, Error> {
+    threshold_sweep_cached(&BaselineCache::new(setup), layer, config)
+}
+
+/// [`threshold_sweep`] against a shared [`BaselineCache`] (the setup is
+/// the cache's): per-seed baselines are computed at most once across all
+/// attack kinds swept through the same cache.
+///
+/// # Errors
+/// Propagates attack failures.
+pub fn threshold_sweep_cached(
+    cache: &BaselineCache,
+    layer: Option<TargetLayer>,
+    config: &SweepConfig,
+) -> Result<SweepResult, Error> {
     let kind = match layer {
         Some(TargetLayer::Excitatory) => AttackKind::ExcitatoryThreshold,
         Some(TargetLayer::Inhibitory) => AttackKind::InhibitoryThreshold,
         None => AttackKind::BothLayerThreshold,
     };
-    let per_seed: Vec<(ExperimentSetup, crate::attacks::RunMeasurement)> = config
-        .seeds
-        .iter()
-        .map(|&seed| {
-            let s = setup.with_seed(seed);
-            let baseline = s.baseline();
-            (s, baseline)
-        })
-        .collect();
-    let baseline_accuracy = mean(
-        &per_seed
-            .iter()
-            .map(|(_, b)| b.accuracy)
-            .collect::<Vec<f64>>(),
-    );
+    let baseline_accuracy = primed_baseline_accuracy(cache, &config.seeds);
 
-    let mut cells = Vec::new();
-    for &rel in &config.rel_changes {
-        for &fraction in &config.fractions {
-            if layer.is_none() && (fraction - 1.0).abs() > 1e-9 {
-                continue;
-            }
-            let mut accuracies = Vec::with_capacity(per_seed.len());
-            for (s, baseline) in &per_seed {
-                let attack = match layer {
-                    Some(l) => ThresholdAttack {
-                        layer: Some(l),
-                        rel_change: rel,
-                        fraction,
-                    },
-                    None => ThresholdAttack::both(rel),
-                };
-                let outcome = attack.run_with_baseline(s, *baseline)?;
-                accuracies.push(outcome.attacked_accuracy);
-            }
-            let accuracy = mean(&accuracies);
-            cells.push(SweepCell {
+    // Flatten the grid into independent cell jobs (Attack 4 keeps only the
+    // 100% fraction, as in the paper).
+    let grid: Vec<(f64, f64)> = config
+        .rel_changes
+        .iter()
+        .flat_map(|&rel| config.fractions.iter().map(move |&f| (rel, f)))
+        .filter(|&(_, f)| layer.is_some() || (f - 1.0).abs() <= 1e-9)
+        .collect();
+
+    let measured = run_indexed(grid.len(), cache.setup().parallelism, |i| {
+        let (rel, fraction) = grid[i];
+        let attack = match layer {
+            Some(l) => ThresholdAttack {
+                layer: Some(l),
                 rel_change: rel,
                 fraction,
-                accuracy,
-                relative_change_percent: if baseline_accuracy > 0.0 {
-                    (accuracy - baseline_accuracy) / baseline_accuracy * 100.0
-                } else {
-                    0.0
-                },
-            });
-        }
-    }
+            },
+            None => ThresholdAttack::both(rel),
+        };
+        measure_cell(
+            cache,
+            &config.seeds,
+            rel,
+            fraction,
+            baseline_accuracy,
+            &attack,
+        )
+    });
+    let cells = measured.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(SweepResult {
         kind,
         baseline_accuracy,
@@ -166,40 +387,31 @@ pub fn theta_sweep(
     theta_changes: &[f64],
     seeds: &[u64],
 ) -> Result<SweepResult, Error> {
-    let per_seed: Vec<(ExperimentSetup, crate::attacks::RunMeasurement)> = seeds
-        .iter()
-        .map(|&seed| {
-            let s = setup.with_seed(seed);
-            let baseline = s.baseline();
-            (s, baseline)
-        })
-        .collect();
-    let baseline_accuracy = mean(
-        &per_seed
-            .iter()
-            .map(|(_, b)| b.accuracy)
-            .collect::<Vec<f64>>(),
-    );
-    let mut cells = Vec::new();
-    for &theta in theta_changes {
-        let mut accuracies = Vec::new();
-        for (s, baseline) in &per_seed {
-            let outcome =
-                InputCorruptionAttack::new(theta).run_with_baseline(s, *baseline)?;
-            accuracies.push(outcome.attacked_accuracy);
-        }
-        let accuracy = mean(&accuracies);
-        cells.push(SweepCell {
-            rel_change: theta,
-            fraction: 1.0,
-            accuracy,
-            relative_change_percent: if baseline_accuracy > 0.0 {
-                (accuracy - baseline_accuracy) / baseline_accuracy * 100.0
-            } else {
-                0.0
-            },
-        });
-    }
+    theta_sweep_cached(&BaselineCache::new(setup), theta_changes, seeds)
+}
+
+/// [`theta_sweep`] against a shared [`BaselineCache`].
+///
+/// # Errors
+/// Propagates attack failures.
+pub fn theta_sweep_cached(
+    cache: &BaselineCache,
+    theta_changes: &[f64],
+    seeds: &[u64],
+) -> Result<SweepResult, Error> {
+    let baseline_accuracy = primed_baseline_accuracy(cache, seeds);
+    let measured = run_indexed(theta_changes.len(), cache.setup().parallelism, |i| {
+        let theta = theta_changes[i];
+        measure_cell(
+            cache,
+            seeds,
+            theta,
+            1.0,
+            baseline_accuracy,
+            &InputCorruptionAttack::new(theta),
+        )
+    });
+    let cells = measured.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(SweepResult {
         kind: AttackKind::InputSpikeCorruption,
         baseline_accuracy,
@@ -218,40 +430,26 @@ pub fn vdd_sweep(
     transfer: &PowerTransferTable,
     seeds: &[u64],
 ) -> Result<SweepResult, Error> {
-    let per_seed: Vec<(ExperimentSetup, crate::attacks::RunMeasurement)> = seeds
-        .iter()
-        .map(|&seed| {
-            let s = setup.with_seed(seed);
-            let baseline = s.baseline();
-            (s, baseline)
-        })
-        .collect();
-    let baseline_accuracy = mean(
-        &per_seed
-            .iter()
-            .map(|(_, b)| b.accuracy)
-            .collect::<Vec<f64>>(),
-    );
-    let mut cells = Vec::new();
-    for &vdd in vdds {
-        let mut accuracies = Vec::new();
-        for (s, baseline) in &per_seed {
-            let attack = GlobalVddAttack::new(vdd).with_transfer(transfer.clone());
-            let outcome = attack.run_with_baseline(s, *baseline)?;
-            accuracies.push(outcome.attacked_accuracy);
-        }
-        let accuracy = mean(&accuracies);
-        cells.push(SweepCell {
-            rel_change: vdd,
-            fraction: 1.0,
-            accuracy,
-            relative_change_percent: if baseline_accuracy > 0.0 {
-                (accuracy - baseline_accuracy) / baseline_accuracy * 100.0
-            } else {
-                0.0
-            },
-        });
-    }
+    vdd_sweep_cached(&BaselineCache::new(setup), vdds, transfer, seeds)
+}
+
+/// [`vdd_sweep`] against a shared [`BaselineCache`].
+///
+/// # Errors
+/// Propagates attack failures.
+pub fn vdd_sweep_cached(
+    cache: &BaselineCache,
+    vdds: &[f64],
+    transfer: &PowerTransferTable,
+    seeds: &[u64],
+) -> Result<SweepResult, Error> {
+    let baseline_accuracy = primed_baseline_accuracy(cache, seeds);
+    let measured = run_indexed(vdds.len(), cache.setup().parallelism, |i| {
+        let vdd = vdds[i];
+        let attack = GlobalVddAttack::new(vdd).with_transfer(transfer.clone());
+        measure_cell(cache, seeds, vdd, 1.0, baseline_accuracy, &attack)
+    });
+    let cells = measured.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(SweepResult {
         kind: AttackKind::GlobalVdd,
         baseline_accuracy,
@@ -280,8 +478,7 @@ mod tests {
             fractions: vec![0.0],
             seeds: vec![1],
         };
-        let result =
-            threshold_sweep(&setup, Some(TargetLayer::Inhibitory), &config).unwrap();
+        let result = threshold_sweep(&setup, Some(TargetLayer::Inhibitory), &config).unwrap();
         let cell = result.cell(-0.2, 0.0).unwrap();
         assert!((cell.accuracy - result.baseline_accuracy).abs() < 1e-9);
         assert!(cell.relative_change_percent.abs() < 1e-9);
@@ -325,6 +522,46 @@ mod tests {
     }
 
     #[test]
+    fn worst_case_survives_nan_cells() {
+        // A NaN cell must neither panic (the old partial_cmp().unwrap()
+        // did) nor win the minimum.
+        let nan_cell = SweepCell {
+            rel_change: 0.1,
+            fraction: 1.0,
+            accuracy: f64::NAN,
+            relative_change_percent: f64::NAN,
+        };
+        let real_cell = SweepCell {
+            rel_change: -0.1,
+            fraction: 1.0,
+            accuracy: 0.5,
+            relative_change_percent: -37.5,
+        };
+        // Negative NaN sorts before -inf under total_cmp; it must still
+        // never beat a real cell.
+        let neg_nan_cell = SweepCell {
+            relative_change_percent: f64::NAN.copysign(-1.0),
+            ..nan_cell
+        };
+        let result = SweepResult {
+            kind: AttackKind::ExcitatoryThreshold,
+            baseline_accuracy: 0.8,
+            cells: vec![nan_cell, neg_nan_cell, real_cell],
+        };
+        assert_eq!(result.worst_case().unwrap().rel_change, -0.1);
+        let all_nan = SweepResult {
+            kind: AttackKind::ExcitatoryThreshold,
+            baseline_accuracy: 0.8,
+            cells: vec![nan_cell],
+        };
+        assert!(all_nan
+            .worst_case()
+            .unwrap()
+            .relative_change_percent
+            .is_nan());
+    }
+
+    #[test]
     fn theta_sweep_produces_one_cell_per_change() {
         let setup = tiny_setup();
         let result = theta_sweep(&setup, &[-0.2, 0.2], &[1]).unwrap();
@@ -345,5 +582,106 @@ mod tests {
         let g = SweepConfig::paper_grid();
         assert_eq!(g.rel_changes.len(), 4);
         assert!(g.fractions.contains(&1.0) && g.fractions.contains(&0.0));
+    }
+
+    #[test]
+    fn parallel_sweeps_are_bit_identical_to_serial() {
+        let mut setup = tiny_setup();
+        setup.n_train = 60;
+        setup.n_test = 30;
+        setup.network.sample_time_ms = 60.0;
+        let config = SweepConfig {
+            rel_changes: vec![-0.2, 0.2],
+            fractions: vec![0.0, 1.0],
+            seeds: vec![1, 2],
+        };
+        let run = |parallelism: Parallelism| {
+            let s = setup.clone().with_parallelism(parallelism);
+            threshold_sweep(&s, Some(TargetLayer::Inhibitory), &config).unwrap()
+        };
+        let serial = run(Parallelism::Serial);
+        for threads in [2, 4] {
+            let parallel = run(Parallelism::Threads(threads));
+            assert_eq!(
+                serial.baseline_accuracy.to_bits(),
+                parallel.baseline_accuracy.to_bits(),
+                "baseline diverged at {threads} threads"
+            );
+            assert_eq!(serial.cells.len(), parallel.cells.len());
+            for (s, p) in serial.cells.iter().zip(&parallel.cells) {
+                assert_eq!(s.rel_change.to_bits(), p.rel_change.to_bits());
+                assert_eq!(s.fraction.to_bits(), p.fraction.to_bits());
+                assert_eq!(
+                    s.accuracy.to_bits(),
+                    p.accuracy.to_bits(),
+                    "cell ({}, {}) diverged at {threads} threads",
+                    s.rel_change,
+                    s.fraction
+                );
+                assert_eq!(
+                    s.relative_change_percent.to_bits(),
+                    p.relative_change_percent.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_cache_matches_fresh_baseline_run() {
+        let mut setup = tiny_setup();
+        setup.n_train = 60;
+        setup.n_test = 30;
+        let cache = BaselineCache::new(&setup);
+        let cached = cache.get(7);
+        let fresh = setup.with_seed(7).baseline();
+        assert_eq!(cached, fresh);
+        // Repeated lookups hit the memo (still the same value).
+        assert_eq!(cache.get(7), fresh);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn baseline_cache_is_shared_across_attack_kinds() {
+        let mut setup = tiny_setup();
+        setup.n_train = 60;
+        setup.n_test = 30;
+        setup.network.sample_time_ms = 60.0;
+        let config = SweepConfig {
+            rel_changes: vec![-0.2],
+            fractions: vec![1.0],
+            seeds: vec![3],
+        };
+        let cache = BaselineCache::new(&setup);
+        let el = threshold_sweep_cached(&cache, Some(TargetLayer::Excitatory), &config).unwrap();
+        let il = threshold_sweep_cached(&cache, Some(TargetLayer::Inhibitory), &config).unwrap();
+        let both = threshold_sweep_cached(&cache, None, &config).unwrap();
+        // One seed, three attack kinds: the baseline was measured once.
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            el.baseline_accuracy.to_bits(),
+            il.baseline_accuracy.to_bits()
+        );
+        assert_eq!(
+            el.baseline_accuracy.to_bits(),
+            both.baseline_accuracy.to_bits()
+        );
+    }
+
+    #[test]
+    fn parallelism_worker_counts() {
+        assert_eq!(Parallelism::Serial.worker_count(), 1);
+        assert_eq!(Parallelism::Threads(0).worker_count(), 1);
+        assert_eq!(Parallelism::Threads(6).worker_count(), 6);
+        assert!(Parallelism::Auto.worker_count() >= 1);
+    }
+
+    #[test]
+    fn run_indexed_preserves_index_order() {
+        for parallelism in [Parallelism::Serial, Parallelism::Threads(4)] {
+            let out = run_indexed(64, parallelism, |i| i * 3);
+            assert_eq!(out, (0..64).map(|i| i * 3).collect::<Vec<_>>());
+        }
+        let empty = run_indexed(0, Parallelism::Threads(4), |i| i);
+        assert!(empty.is_empty());
     }
 }

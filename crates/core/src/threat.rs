@@ -187,6 +187,8 @@ mod tests {
             assert!(text.contains(&format!("attack {}", kind.paper_id())));
         }
         assert_eq!(AccessLevel::BlackBox.to_string(), "black-box");
-        assert!(PowerDomainScenario::LocalGlitch.to_string().contains("glitch"));
+        assert!(PowerDomainScenario::LocalGlitch
+            .to_string()
+            .contains("glitch"));
     }
 }

@@ -107,8 +107,7 @@ impl SynthDigits {
             .map(|s| s.iter().map(|&p| map(p)).collect())
             .collect();
 
-        let pen = self.pen_half_width
-            * (1.0 + rng.gen_range(-self.pen_jitter..=self.pen_jitter));
+        let pen = self.pen_half_width * (1.0 + rng.gen_range(-self.pen_jitter..=self.pen_jitter));
         let softness = 0.55 * pen;
         let ink = 255.0 * rng.gen_range(self.min_intensity..=1.0);
 

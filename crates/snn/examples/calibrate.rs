@@ -19,19 +19,16 @@ fn main() {
         (128.0, 0.2),
         (64.0, 0.2),
     ] {
-        let mut config = DiehlCookConfig::default();
-        config.max_rate_hz = rate;
+        let mut config = DiehlCookConfig {
+            max_rate_hz: rate,
+            ..Default::default()
+        };
         config.excitatory.theta_plus = theta_plus;
         let mut net = DiehlCook2015::new(config, 42);
         let t0 = std::time::Instant::now();
         let report = train(&mut net, &train_data, &TrainOptions::default());
         let accuracy = evaluate(&mut net, &report.assignments, &test_data, 10);
-        let theta_max = net
-            .excitatory
-            .theta
-            .iter()
-            .cloned()
-            .fold(0.0f32, f32::max);
+        let theta_max = net.excitatory.theta.iter().cloned().fold(0.0f32, f32::max);
         println!(
             "rate={rate:>5} theta+={theta_plus:<5} acc={:.1}% act={:.0} theta_max={theta_max:.1}mV online={:?} ({:?})",
             accuracy * 100.0,

@@ -14,7 +14,11 @@
 /// Panics if `records` and `labels` lengths differ, records are empty, or
 /// the record widths are inconsistent.
 pub fn assign_labels(records: &[Vec<f32>], labels: &[u8], n_classes: usize) -> Vec<usize> {
-    assert_eq!(records.len(), labels.len(), "records/labels length mismatch");
+    assert_eq!(
+        records.len(),
+        labels.len(),
+        "records/labels length mismatch"
+    );
     assert!(!records.is_empty(), "cannot assign labels from no records");
     let n_neurons = records[0].len();
     assert!(
@@ -104,13 +108,16 @@ impl ClassProportions {
     ///
     /// # Panics
     /// Panics under the same conditions as [`assign_labels`].
-    pub fn from_records(
-        records: &[Vec<f32>],
-        labels: &[u8],
-        n_classes: usize,
-    ) -> ClassProportions {
-        assert_eq!(records.len(), labels.len(), "records/labels length mismatch");
-        assert!(!records.is_empty(), "cannot compute proportions from no records");
+    pub fn from_records(records: &[Vec<f32>], labels: &[u8], n_classes: usize) -> ClassProportions {
+        assert_eq!(
+            records.len(),
+            labels.len(),
+            "records/labels length mismatch"
+        );
+        assert!(
+            !records.is_empty(),
+            "cannot compute proportions from no records"
+        );
         let n_neurons = records[0].len();
         let mut class_sums = vec![vec![0.0f64; n_classes]; n_neurons];
         let mut class_counts = vec![0usize; n_classes];
@@ -165,7 +172,11 @@ impl ClassProportions {
     /// # Panics
     /// Panics if `counts.len()` differs from the neuron count.
     pub fn predict(&self, counts: &[f32]) -> usize {
-        assert_eq!(counts.len(), self.proportions.len(), "counts length mismatch");
+        assert_eq!(
+            counts.len(),
+            self.proportions.len(),
+            "counts length mismatch"
+        );
         let mut scores = vec![0.0f64; self.n_classes];
         for (neuron, &count) in counts.iter().enumerate() {
             if count > 0.0 {
@@ -262,7 +273,7 @@ mod tests {
         // Neuron 0 fired equally for both classes.
         let score0 = p.predict(&[1.0, 0.0]);
         let _ = score0; // ties allowed; just must not panic
-        // Neuron 1 fired only for class 0.
+                        // Neuron 1 fired only for class 0.
         assert_eq!(p.predict(&[0.0, 3.0]), 0);
     }
 

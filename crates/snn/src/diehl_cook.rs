@@ -446,8 +446,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "equally sized")]
     fn rejects_mismatched_populations() {
-        let mut config = DiehlCookConfig::default();
-        config.n_inhibitory = 50;
+        let config = DiehlCookConfig {
+            n_inhibitory: 50,
+            ..Default::default()
+        };
         DiehlCook2015::new(config, 0);
     }
 

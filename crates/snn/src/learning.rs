@@ -67,29 +67,61 @@ impl PostPreStdp {
     ) {
         assert_eq!(pre_spikes.len(), conn.w.rows(), "pre spike length mismatch");
         assert_eq!(pre_traces.len(), conn.w.rows(), "pre trace length mismatch");
-        assert_eq!(post_spikes.len(), conn.w.cols(), "post spike length mismatch");
-        assert_eq!(post_traces.len(), conn.w.cols(), "post trace length mismatch");
+        assert_eq!(
+            post_spikes.len(),
+            conn.w.cols(),
+            "post spike length mismatch"
+        );
+        assert_eq!(
+            post_traces.len(),
+            conn.w.cols(),
+            "post trace length mismatch"
+        );
 
-        let mut any = false;
-        // Depression on pre spikes.
+        // The result must equal "apply every update, then clamp the whole
+        // matrix" (the original semantics), but the work must scale with
+        // spike sparsity. Depression runs first and unclamped; the
+        // potentiation clamp fuses into the strided column walk it already
+        // pays for (each entry sees its row update before its column
+        // update, and re-clamping is idempotent, so this is bit-identical);
+        // finally the touched rows get one contiguous clamp pass. The
+        // depression delta is staged once per step in a buffer owned by
+        // the connection — the hot loop never allocates.
+        let (lo, hi) = (conn.w_min, conn.w_max);
+        let mut any_pre = false;
         if pre_spikes.iter().any(|&s| s > 0.0) {
-            let delta: Vec<f32> = post_traces.iter().map(|&t| -self.nu_pre * t).collect();
+            let delta = &mut conn.depression_scratch;
+            for (d, &t) in delta.iter_mut().zip(post_traces) {
+                *d = -self.nu_pre * t;
+            }
             for (i, &s) in pre_spikes.iter().enumerate() {
                 if s > 0.0 {
-                    conn.w.add_into_row(i, &delta);
-                    any = true;
+                    conn.w.add_into_row(i, &conn.depression_scratch);
+                    any_pre = true;
                 }
             }
         }
-        // Potentiation on post spikes.
+        let mut any_post = false;
         for (j, &s) in post_spikes.iter().enumerate() {
             if s > 0.0 {
-                conn.w.add_into_col(j, self.nu_post, pre_traces);
-                any = true;
+                conn.w
+                    .add_clamped_into_col(j, self.nu_post, pre_traces, lo, hi);
+                any_post = true;
             }
         }
-        if any {
-            conn.clamp_weights();
+        if conn.maybe_unclamped {
+            // Normalisation (or init) may have left out-of-range weights
+            // anywhere; one full clamp restores the in-bounds invariant the
+            // sparse path relies on.
+            if any_pre || any_post {
+                conn.clamp_weights();
+            }
+        } else if any_pre {
+            for (i, &s) in pre_spikes.iter().enumerate() {
+                if s > 0.0 {
+                    conn.w.clamp_row(i, lo, hi);
+                }
+            }
         }
     }
 
@@ -114,14 +146,19 @@ impl PostPreStdp {
         assert_eq!(deltas.cols(), conn.w.cols(), "delta shape mismatch");
         assert_eq!(pre_spikes.len(), conn.w.rows(), "pre spike length mismatch");
         assert_eq!(pre_traces.len(), conn.w.rows(), "pre trace length mismatch");
-        assert_eq!(post_spikes.len(), conn.w.cols(), "post spike length mismatch");
-        assert_eq!(post_traces.len(), conn.w.cols(), "post trace length mismatch");
-        if pre_spikes.iter().any(|&s| s > 0.0) {
-            let delta_row: Vec<f32> = post_traces.iter().map(|&t| -self.nu_pre * t).collect();
-            for (i, &s) in pre_spikes.iter().enumerate() {
-                if s > 0.0 {
-                    deltas.add_into_row(i, &delta_row);
-                }
+        assert_eq!(
+            post_spikes.len(),
+            conn.w.cols(),
+            "post spike length mismatch"
+        );
+        assert_eq!(
+            post_traces.len(),
+            conn.w.cols(),
+            "post trace length mismatch"
+        );
+        for (i, &s) in pre_spikes.iter().enumerate() {
+            if s > 0.0 {
+                deltas.add_scaled_into_row(i, -self.nu_pre, post_traces);
             }
         }
         for (j, &s) in post_spikes.iter().enumerate() {
@@ -154,7 +191,13 @@ mod tests {
             nu_pre: 0.1,
             nu_post: 0.0,
         };
-        rule.update(&mut c, &[1.0, 0.0, 0.0], &[0.0; 3], &[0.0, 0.0], &[1.0, 0.5]);
+        rule.update(
+            &mut c,
+            &[1.0, 0.0, 0.0],
+            &[0.0; 3],
+            &[0.0, 0.0],
+            &[1.0, 0.5],
+        );
         assert!((c.w.get(0, 0) - 0.4).abs() < 1e-6);
         assert!((c.w.get(0, 1) - 0.45).abs() < 1e-6);
         // Non-spiking rows untouched.
@@ -168,7 +211,13 @@ mod tests {
             nu_pre: 0.0,
             nu_post: 0.2,
         };
-        rule.update(&mut c, &[0.0; 3], &[1.0, 0.5, 0.0], &[0.0, 1.0], &[0.0, 0.0]);
+        rule.update(
+            &mut c,
+            &[0.0; 3],
+            &[1.0, 0.5, 0.0],
+            &[0.0, 1.0],
+            &[0.0, 0.0],
+        );
         assert!((c.w.get(0, 1) - 0.7).abs() < 1e-6);
         assert!((c.w.get(1, 1) - 0.6).abs() < 1e-6);
         assert_eq!(c.w.get(2, 1), 0.5);
@@ -185,7 +234,13 @@ mod tests {
             nu_pre: 1.0,
             nu_post: 1.0,
         };
-        rule.update(&mut c, &[1.0, 1.0, 1.0], &[1.0; 3], &[1.0, 1.0], &[1.0, 1.0]);
+        rule.update(
+            &mut c,
+            &[1.0, 1.0, 1.0],
+            &[1.0; 3],
+            &[1.0, 1.0],
+            &[1.0, 1.0],
+        );
         for &w in c.w.as_slice() {
             assert!((0.48..=0.55).contains(&w), "weight {w} escaped clamp");
         }
@@ -234,6 +289,47 @@ mod tests {
     }
 
     #[test]
+    fn sparse_clamp_matches_full_clamp_after_normalization() {
+        // Normalisation can push weights above w_max anywhere in the
+        // matrix; the first spiking update must fall back to a full clamp
+        // so the sparsity-scaled path stays bit-identical to the original
+        // clamp-everything semantics.
+        let mut c = DenseConnection::random(4, 3, 0.3, 0.0, 0.4, 9).with_norm(3.0);
+        c.clamp_weights();
+        c.normalize(); // columns rescale; some weights now exceed 0.4
+        assert!(c.w.as_slice().iter().any(|&w| w > c.w_max));
+        let rule = PostPreStdp {
+            nu_pre: 0.01,
+            nu_post: 0.01,
+        };
+        // Only row 0 / column 1 spike, yet every weight must be clamped.
+        rule.update(
+            &mut c,
+            &[1.0, 0.0, 0.0, 0.0],
+            &[1.0; 4],
+            &[0.0, 1.0, 0.0],
+            &[1.0; 3],
+        );
+        for &w in c.w.as_slice() {
+            assert!((c.w_min..=c.w_max).contains(&w), "weight {w} escaped clamp");
+        }
+        // Subsequent updates keep the invariant via the sparse path.
+        rule.update(
+            &mut c,
+            &[0.0, 1.0, 0.0, 0.0],
+            &[1.0; 4],
+            &[0.0, 0.0, 1.0],
+            &[1.0; 3],
+        );
+        for &w in c.w.as_slice() {
+            assert!(
+                (c.w_min..=c.w_max).contains(&w),
+                "weight {w} escaped sparse clamp"
+            );
+        }
+    }
+
+    #[test]
     fn causal_pairing_net_potentiates() {
         // Pre fires, then post fires shortly after: the potentiation term
         // (driven by the fresh pre trace) must dominate.
@@ -243,9 +339,21 @@ mod tests {
             nu_post: 0.01,
         };
         // Step 1: pre spike (post trace is zero — no depression).
-        rule.update(&mut c, &[1.0, 0.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 0.0], &[0.0, 0.0]);
+        rule.update(
+            &mut c,
+            &[1.0, 0.0, 0.0],
+            &[1.0, 0.0, 0.0],
+            &[0.0, 0.0],
+            &[0.0, 0.0],
+        );
         // Step 2: post spike with decayed pre trace 0.9.
-        rule.update(&mut c, &[0.0; 3], &[0.9, 0.0, 0.0], &[1.0, 0.0], &[1.0, 0.0]);
+        rule.update(
+            &mut c,
+            &[0.0; 3],
+            &[0.9, 0.0, 0.0],
+            &[1.0, 0.0],
+            &[1.0, 0.0],
+        );
         assert!(c.w.get(0, 0) > 0.5, "causal pair should potentiate");
     }
 }

@@ -156,11 +156,16 @@ impl LifLayer {
     pub fn step(&mut self, input: &[f32]) {
         assert_eq!(input.len(), self.len(), "input length mismatch");
         let p = &self.params;
+        // Decay stays in dedicated passes: they auto-vectorise, unlike the
+        // branchy membrane loop below (refractory skips, spike resets).
         decay(&mut self.traces, self.trace_decay);
         let adapt = p.theta_plus != 0.0 && self.adaptation_enabled;
         if adapt {
             decay(&mut self.theta, self.theta_decay);
         }
+        // The membrane loop walks five parallel arrays; indexing beats a
+        // five-way zip for clarity here.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..self.v.len() {
             self.spikes[i] = 0.0;
             if self.refractory_left[i] > 0.0 {
@@ -168,8 +173,8 @@ impl LifLayer {
                 continue;
             }
             // Leak toward rest, then integrate input.
-            self.v[i] = p.v_rest + (self.v[i] - p.v_rest) * self.v_decay
-                + input[i] * self.input_gain;
+            self.v[i] =
+                p.v_rest + (self.v[i] - p.v_rest) * self.v_decay + input[i] * self.input_gain;
             if self.v[i] >= self.effective_threshold(i) {
                 self.spikes[i] = 1.0;
                 self.traces[i] = 1.0;
@@ -217,7 +222,10 @@ impl InputLayer {
     /// Panics if `n` is zero or parameters are non-positive.
     pub fn new(n: usize, tau_trace: f32, dt_ms: f32) -> InputLayer {
         assert!(n > 0, "layer must contain at least one neuron");
-        assert!(tau_trace > 0.0 && dt_ms > 0.0, "time constants must be positive");
+        assert!(
+            tau_trace > 0.0 && dt_ms > 0.0,
+            "time constants must be positive"
+        );
         InputLayer {
             trace_decay: (-dt_ms / tau_trace).exp(),
             spikes: vec![0.0; n],
@@ -241,12 +249,13 @@ impl InputLayer {
     /// Panics if `spikes.len() != len()`.
     pub fn set_spikes(&mut self, spikes: &[f32]) {
         assert_eq!(spikes.len(), self.len(), "spike length mismatch");
-        decay(&mut self.traces, self.trace_decay);
-        for i in 0..spikes.len() {
-            self.spikes[i] = spikes[i];
-            if spikes[i] > 0.0 {
-                self.traces[i] = 1.0;
-            }
+        // Fused decay-and-load in one branch-free pass (the select
+        // vectorises): traces of spiking channels reset to 1, the rest
+        // decay — identical to a decay pass followed by spike loading.
+        for ((trace, out), &s) in self.traces.iter_mut().zip(&mut self.spikes).zip(spikes) {
+            *out = s;
+            let decayed = *trace * self.trace_decay;
+            *trace = if s > 0.0 { 1.0 } else { decayed };
         }
     }
 
@@ -278,7 +287,7 @@ mod tests {
         }
         // Needs 13 mV of depolarisation at ~2 mV/step (minus leak).
         let at = fired_at.expect("neuron should fire");
-        assert!(at >= 5 && at <= 30, "fired at step {at}");
+        assert!((5..=30).contains(&at), "fired at step {at}");
         assert_eq!(l.v[0], -60.0, "reset to v_reset");
     }
 

@@ -133,6 +133,59 @@ impl Matrix {
         }
     }
 
+    /// Adds `gain * values[c]` to every entry of `row` — the fused form of
+    /// [`Matrix::add_into_row`] that computes the scaled delta on the fly,
+    /// so spike-driven updates need no scratch vector.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != cols` or `row` is out of bounds.
+    #[inline]
+    pub fn add_scaled_into_row(&mut self, row: usize, gain: f32, values: &[f32]) {
+        assert_eq!(values.len(), self.cols, "values length mismatch");
+        for (w, v) in self.row_mut(row).iter_mut().zip(values) {
+            *w += gain * v;
+        }
+    }
+
+    /// Clamps every entry of `row` into `[lo, hi]` — the sparsity-scaled
+    /// companion of [`Matrix::clamp_all`] for updates that touched a
+    /// single presynaptic row.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `row` is out of bounds.
+    #[inline]
+    pub fn clamp_row(&mut self, row: usize, lo: f32, hi: f32) {
+        assert!(lo <= hi, "invalid clamp range");
+        for w in self.row_mut(row) {
+            *w = w.clamp(lo, hi);
+        }
+    }
+
+    /// `self[r][col] = clamp(self[r][col] + gain * values[r])` — the
+    /// postsynaptic STDP update with the bound clamp fused into the single
+    /// strided column walk.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != rows`, `col` is out of bounds, or
+    /// `lo > hi`.
+    #[inline]
+    pub fn add_clamped_into_col(
+        &mut self,
+        col: usize,
+        gain: f32,
+        values: &[f32],
+        lo: f32,
+        hi: f32,
+    ) {
+        assert_eq!(values.len(), self.rows, "values length mismatch");
+        assert!(col < self.cols, "column out of bounds");
+        assert!(lo <= hi, "invalid clamp range");
+        for (r, v) in values.iter().enumerate() {
+            let w = &mut self.data[r * self.cols + col];
+            *w = (*w + gain * v).clamp(lo, hi);
+        }
+    }
+
     /// Clamps every element into `[lo, hi]`.
     ///
     /// # Panics
@@ -161,7 +214,13 @@ impl Matrix {
         let sums = self.column_sums();
         let scales: Vec<f32> = sums
             .iter()
-            .map(|&s| if s.abs() > f32::EPSILON { target / s } else { 1.0 })
+            .map(|&s| {
+                if s.abs() > f32::EPSILON {
+                    target / s
+                } else {
+                    1.0
+                }
+            })
             .collect();
         for r in 0..self.rows {
             for (w, scale) in self.row_mut(r).iter_mut().zip(&scales) {
@@ -219,6 +278,41 @@ mod tests {
         m.add_into_row(0, &[1.0, -2.0, 3.0]);
         assert_eq!(m.row(0), &[1.0, -2.0, 3.0]);
         assert_eq!(m.row(1), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn scaled_row_update_matches_precomputed_delta() {
+        let mut fused = Matrix::zeros(2, 3);
+        let mut staged = Matrix::zeros(2, 3);
+        let values = [1.0f32, -2.0, 0.5];
+        let gain = -0.25f32;
+        fused.add_scaled_into_row(1, gain, &values);
+        let delta: Vec<f32> = values.iter().map(|v| gain * v).collect();
+        staged.add_into_row(1, &delta);
+        assert_eq!(fused, staged);
+    }
+
+    #[test]
+    fn clamp_row_touches_only_its_span() {
+        let mut m = Matrix::from_fn(3, 3, |_, _| 5.0);
+        m.clamp_row(0, 0.0, 1.0);
+        assert_eq!(m.row(0), &[1.0, 1.0, 1.0]);
+        assert_eq!(m.row(1), &[5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn clamped_col_update_matches_add_then_clamp() {
+        let mut fused = Matrix::from_fn(3, 2, |r, _| r as f32 * 0.4);
+        let mut staged = fused.clone();
+        let values = [1.0f32, 2.0, -4.0];
+        fused.add_clamped_into_col(1, 0.5, &values, 0.0, 1.0);
+        staged.add_into_col(1, 0.5, &values);
+        staged.clamp_all(0.0, 1.0);
+        for r in 0..3 {
+            assert_eq!(fused.get(r, 1).to_bits(), staged.get(r, 1).to_bits());
+            // Column 0 untouched by the fused update.
+            assert_eq!(fused.get(r, 0), r as f32 * 0.4);
+        }
     }
 
     #[test]

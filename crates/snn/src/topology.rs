@@ -13,7 +13,10 @@ use crate::tensor::Matrix;
 /// normalisation (the plastic input → excitatory pathway).
 #[derive(Debug, Clone)]
 pub struct DenseConnection {
-    /// Weight matrix, `[pre][post]`.
+    /// Weight matrix, `[pre][post]`. When writing out-of-range values
+    /// directly, call [`DenseConnection::mark_weights_dirty`] (or
+    /// [`DenseConnection::clamp_weights`]) afterwards so STDP's
+    /// sparsity-scaled clamping keeps its in-bounds invariant.
     pub w: Matrix,
     /// Lower weight bound.
     pub w_min: f32,
@@ -27,6 +30,14 @@ pub struct DenseConnection {
     /// current drivers (paper Attacks 1 and 5) without touching the
     /// learned weights.
     pub gain: f32,
+    /// Set when an operation (normalisation) may have pushed weights
+    /// outside `[w_min, w_max]`; cleared by a full clamp. While false,
+    /// every weight is known in-bounds, so STDP only needs to clamp the
+    /// rows/columns it touched.
+    pub(crate) maybe_unclamped: bool,
+    /// Reusable `cols`-sized buffer for the per-step depression delta, so
+    /// the STDP hot loop never allocates.
+    pub(crate) depression_scratch: Vec<f32>,
 }
 
 impl DenseConnection {
@@ -52,6 +63,10 @@ impl DenseConnection {
             w_max,
             norm: None,
             gain: 1.0,
+            // Random initialisation draws from [0, init_scale), which may
+            // exceed w_max for degenerate configurations.
+            maybe_unclamped: true,
+            depression_scratch: vec![0.0; post],
         }
     }
 
@@ -78,16 +93,30 @@ impl DenseConnection {
     }
 
     /// Renormalises incoming weights per postsynaptic neuron to the
-    /// configured target (no-op when `norm` is `None`).
+    /// configured target (no-op when `norm` is `None`). Rescaling can push
+    /// individual weights above `w_max` (matching BindsNET, which does not
+    /// clamp after normalisation); the excess is removed by the next STDP
+    /// clamp.
     pub fn normalize(&mut self) {
         if let Some(target) = self.norm {
             self.w.normalize_columns(target);
+            self.maybe_unclamped = true;
         }
+    }
+
+    /// Declares that `w` (or the bounds) may have been mutated directly
+    /// into an out-of-range state. Callers writing through the public `w`
+    /// field should invoke this so the next STDP update restores the
+    /// in-bounds invariant with a full clamp instead of the sparse
+    /// touched-rows/columns pass.
+    pub fn mark_weights_dirty(&mut self) {
+        self.maybe_unclamped = true;
     }
 
     /// Clamps all weights into `[w_min, w_max]`.
     pub fn clamp_weights(&mut self) {
         self.w.clamp_all(self.w_min, self.w_max);
+        self.maybe_unclamped = false;
     }
 }
 

@@ -140,11 +140,7 @@ pub fn train_with_hook(
     }
 
     let start = spike_records.len() - window;
-    let assignments = assign_labels(
-        &spike_records[start..],
-        &labels[start..],
-        options.n_classes,
-    );
+    let assignments = assign_labels(&spike_records[start..], &labels[start..], options.n_classes);
     TrainReport {
         assignments,
         mean_activity: total_spikes / data.len() as f64,

@@ -2,7 +2,7 @@
 
 use crate::device::MosModel;
 use crate::error::{Error, Result};
-use crate::mna::DenseMatrix;
+use crate::mna::{DenseMatrix, SolverWorkspace};
 use crate::netlist::{Element, Netlist, NodeId};
 use crate::waveform::Waveform;
 
@@ -294,7 +294,9 @@ impl Circuit {
                         branch,
                     });
                 }
-                Element::Vccs { p, n, cp, cn, gm, .. } => circuit.vccs.push(VccsElem {
+                Element::Vccs {
+                    p, n, cp, cn, gm, ..
+                } => circuit.vccs.push(VccsElem {
                     p: p.index(),
                     n: n.index(),
                     cp: cp.index(),
@@ -472,11 +474,7 @@ impl Circuit {
             let e = m.model.eval(m.w, m.l, vg, vd, vs, vb);
             // Linearised drain current:
             //   id ≈ ieq + Σ_t (∂id/∂v_t)·v_t
-            let ieq = e.id
-                - e.did_dvg * vg
-                - e.did_dvd * vd
-                - e.did_dvs * vs
-                - e.did_dvb * vb;
+            let ieq = e.id - e.did_dvg * vg - e.did_dvd * vd - e.did_dvs * vs - e.did_dvb * vb;
             let terminals = [
                 (m.g, e.did_dvg),
                 (m.d, e.did_dvd),
@@ -502,10 +500,14 @@ impl Circuit {
         }
     }
 
-    /// Runs damped Newton iteration at time `t`. On success, `x` holds the
-    /// converged solution; returns the number of iterations used.
+    /// Runs damped Newton iteration at time `t`, stamping and solving in
+    /// the caller's [`SolverWorkspace`] (no allocation per solve). On
+    /// success, `x` holds the converged solution; returns the number of
+    /// iterations used.
+    #[allow(clippy::too_many_arguments)]
     fn newton(
         &self,
+        ws: &mut SolverWorkspace,
         x: &mut [f64],
         t: f64,
         gmin: f64,
@@ -516,8 +518,8 @@ impl Circuit {
     ) -> Result<usize> {
         let n = self.unknown_count();
         let n_nodes = self.node_count - 1;
-        let mut a = DenseMatrix::new(n);
-        let mut rhs = vec![0.0; n];
+        debug_assert_eq!(ws.dim(), n, "workspace sized for a different circuit");
+        let SolverWorkspace { a, rhs } = ws;
         // Progressive damping: steep regenerative loops (the Axon Hillock
         // feedback flip) can trap clamped Newton in a 2-cycle; shrinking the
         // voltage clamp every 25 iterations breaks the cycle while leaving
@@ -527,8 +529,8 @@ impl Circuit {
             if iter > 0 && iter % 25 == 0 {
                 vlimit = (vlimit * 0.5).max(0.01);
             }
-            self.stamp(&mut a, &mut rhs, x, t, gmin, src_scale, dyn_state);
-            a.solve_in_place(&mut rhs)?;
+            self.stamp(a, rhs, x, t, gmin, src_scale, dyn_state);
+            a.solve_in_place(rhs)?;
             if iter + 10 >= opts.max_iter && std::env::var_os("NEUROFI_SPICE_DEBUG").is_some() {
                 let row: Vec<String> = (0..n.min(8))
                     .map(|i| format!("{:+.4}->{:+.4}", x[i], rhs[i]))
@@ -577,9 +579,25 @@ impl Circuit {
     /// [`Error::Convergence`] if all strategies fail; [`Error::Singular`]
     /// for structurally broken circuits.
     pub fn op(&self, opts: &SolveOptions) -> Result<OpPoint> {
+        let mut ws = SolverWorkspace::new(self.unknown_count());
+        self.op_with(&mut ws, opts)
+    }
+
+    /// [`Circuit::op`] reusing the caller's solver workspace (the sweep and
+    /// transient drivers call this so every strategy shares one allocation).
+    fn op_with(&self, ws: &mut SolverWorkspace, opts: &SolveOptions) -> Result<OpPoint> {
         let mut x = self.initial_guess();
         if self
-            .newton(&mut x, 0.0, opts.gmin, 1.0, None, opts, "dc operating point")
+            .newton(
+                ws,
+                &mut x,
+                0.0,
+                opts.gmin,
+                1.0,
+                None,
+                opts,
+                "dc operating point",
+            )
             .is_ok()
         {
             return Ok(self.make_op(x));
@@ -592,7 +610,7 @@ impl Circuit {
         while exponent <= 12.0 {
             let gmin = 10.0f64.powf(-exponent).max(opts.gmin);
             if self
-                .newton(&mut x, 0.0, gmin, 1.0, None, opts, "gmin stepping")
+                .newton(ws, &mut x, 0.0, gmin, 1.0, None, opts, "gmin stepping")
                 .is_err()
             {
                 ok = false;
@@ -604,7 +622,16 @@ impl Circuit {
         // of the stepping ramp, or zero).
         if ok
             && self
-                .newton(&mut x, 0.0, opts.gmin, 1.0, None, opts, "dc operating point")
+                .newton(
+                    ws,
+                    &mut x,
+                    0.0,
+                    opts.gmin,
+                    1.0,
+                    None,
+                    opts,
+                    "dc operating point",
+                )
                 .is_ok()
         {
             return Ok(self.make_op(x));
@@ -616,6 +643,7 @@ impl Circuit {
         for k in 1..=steps {
             let scale = k as f64 / steps as f64;
             self.newton(
+                ws,
                 &mut x,
                 0.0,
                 opts.gmin.max(1.0e-9),
@@ -625,7 +653,16 @@ impl Circuit {
                 "source stepping",
             )?;
         }
-        self.newton(&mut x, 0.0, opts.gmin, 1.0, None, opts, "dc operating point")?;
+        self.newton(
+            ws,
+            &mut x,
+            0.0,
+            opts.gmin,
+            1.0,
+            None,
+            opts,
+            "dc operating point",
+        )?;
         Ok(self.make_op(x))
     }
 
@@ -651,17 +688,27 @@ impl Circuit {
             .iter()
             .position(|v| v.name.eq_ignore_ascii_case(source_name))
             .ok_or_else(|| Error::Netlist(format!("no voltage source named '{source_name}'")))?;
+        let mut ws = SolverWorkspace::new(self.unknown_count());
         let mut out = Vec::with_capacity(values.len());
         let mut warm: Option<Vec<f64>> = None;
         for &value in values {
             sweep.vsources[idx].wave = Waveform::Dc(value);
             let mut x = warm.clone().unwrap_or_else(|| sweep.initial_guess());
             if sweep
-                .newton(&mut x, 0.0, opts.gmin, 1.0, None, opts, "dc sweep point")
+                .newton(
+                    &mut ws,
+                    &mut x,
+                    0.0,
+                    opts.gmin,
+                    1.0,
+                    None,
+                    opts,
+                    "dc sweep point",
+                )
                 .is_err()
             {
                 // Fall back to the full strategy chain for this point.
-                let op = sweep.op(opts)?;
+                let op = sweep.op_with(&mut ws, opts)?;
                 warm = Some(op.x.clone());
                 out.push(op);
                 continue;
@@ -707,6 +754,10 @@ impl Circuit {
     /// [`Error::Singular`] for structurally broken circuits.
     pub fn tran(&self, spec: &TranSpec) -> Result<TranResult> {
         let opts = &spec.options;
+        // One workspace for the whole analysis: every timestep's Newton
+        // solves (including step-halving retries) stamp into the same
+        // Jacobian/RHS buffers.
+        let mut ws = SolverWorkspace::new(self.unknown_count());
         let mut state = DynState {
             v_prev: vec![0.0; self.caps.len()],
             i_prev: vec![0.0; self.caps.len()],
@@ -726,6 +777,7 @@ impl Circuit {
             // regenerative circuits may not converge.
             let h0 = 1.0e-15;
             self.newton(
+                &mut ws,
                 &mut x,
                 0.0,
                 opts.gmin,
@@ -735,7 +787,7 @@ impl Circuit {
                 "uic initialisation",
             )?;
         } else {
-            let op = self.op(opts)?;
+            let op = self.op_with(&mut ws, opts)?;
             x = op.x.clone();
             for (idx, cap) in self.caps.iter().enumerate() {
                 state.v_prev[idx] = self.v_at(&x, cap.p) - self.v_at(&x, cap.n);
@@ -793,6 +845,7 @@ impl Circuit {
             loop {
                 let mut x_try = x.clone();
                 match self.newton(
+                    &mut ws,
                     &mut x_try,
                     t + step,
                     opts.gmin,
@@ -820,7 +873,7 @@ impl Circuit {
                         }
                         x = x_try;
                         accepted += 1;
-                        if accepted % spec.record_every == 0 {
+                        if accepted.is_multiple_of(spec.record_every) {
                             result.push(t, &x);
                         }
                         break;
@@ -1022,7 +1075,9 @@ mod tests {
                 .map(|(&t, &vv)| (vv - (1.0 - (-t / tau).exp())).abs())
                 .fold(0.0f64, f64::max)
         };
-        let be = build().tran(&TranSpec::new(tau, coarse).with_uic()).unwrap();
+        let be = build()
+            .tran(&TranSpec::new(tau, coarse).with_uic())
+            .unwrap();
         let tr = build()
             .tran(&TranSpec::new(tau, coarse).with_uic().with_trapezoidal())
             .unwrap();
@@ -1116,7 +1171,9 @@ mod tests {
         .unwrap();
         let circuit = net.compile().unwrap();
         let values: Vec<f64> = (0..=40).map(|i| i as f64 / 40.0).collect();
-        let ops = circuit.dc_sweep("VIN", &values, &Default::default()).unwrap();
+        let ops = circuit
+            .dc_sweep("VIN", &values, &Default::default())
+            .unwrap();
         // Find where vout crosses vdd/2.
         let mut vsw = None;
         for w in ops.windows(2) {
@@ -1134,14 +1191,10 @@ mod tests {
         // The core of every I&F neuron: Iin integrating on Cmem.
         let mut net = Netlist::new();
         let mem = net.node("mem");
-        net.isource(
-            "IIN",
-            Netlist::GROUND,
-            mem,
-            Waveform::Dc(200.0 * NANO),
-        )
-        .unwrap();
-        net.capacitor("CMEM", mem, Netlist::GROUND, 1.0 * PICO).unwrap();
+        net.isource("IIN", Netlist::GROUND, mem, Waveform::Dc(200.0 * NANO))
+            .unwrap();
+        net.capacitor("CMEM", mem, Netlist::GROUND, 1.0 * PICO)
+            .unwrap();
         let spec = TranSpec::new(2.0e-6, 2.0e-9).with_uic();
         let res = net.compile().unwrap().tran(&spec).unwrap();
         let v = res.voltage(mem);
@@ -1251,8 +1304,10 @@ mod tests {
         net.resistor("R1", a, Netlist::GROUND, 1.0e3).unwrap();
         // Node b floats entirely.
         net.capacitor("C1", b, b, 1.0e-12).unwrap();
-        let mut opts = SolveOptions::default();
-        opts.gmin = 0.0;
+        let opts = SolveOptions {
+            gmin: 0.0,
+            ..Default::default()
+        };
         let res = net.compile().unwrap().op(&opts);
         assert!(res.is_err());
         // With default gmin it is fine (b pinned to ground).

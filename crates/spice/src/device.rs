@@ -275,21 +275,41 @@ mod tests {
         let ds = fd(&|dv| model.eval(w, l, vg, vd, vs + dv, vb).id);
         let db = fd(&|dv| model.eval(w, l, vg, vd, vs, vb + dv).id);
         let tol = |a: f64| 1.0e-9 + 1.0e-4 * a.abs();
-        assert!((e.did_dvg - dg).abs() < tol(dg), "gate: {} vs {}", e.did_dvg, dg);
-        assert!((e.did_dvd - dd).abs() < tol(dd), "drain: {} vs {}", e.did_dvd, dd);
-        assert!((e.did_dvs - ds).abs() < tol(ds), "source: {} vs {}", e.did_dvs, ds);
-        assert!((e.did_dvb - db).abs() < tol(db), "bulk: {} vs {}", e.did_dvb, db);
+        assert!(
+            (e.did_dvg - dg).abs() < tol(dg),
+            "gate: {} vs {}",
+            e.did_dvg,
+            dg
+        );
+        assert!(
+            (e.did_dvd - dd).abs() < tol(dd),
+            "drain: {} vs {}",
+            e.did_dvd,
+            dd
+        );
+        assert!(
+            (e.did_dvs - ds).abs() < tol(ds),
+            "source: {} vs {}",
+            e.did_dvs,
+            ds
+        );
+        assert!(
+            (e.did_dvb - db).abs() < tol(db),
+            "bulk: {} vs {}",
+            e.did_dvb,
+            db
+        );
     }
 
     #[test]
     fn nmos_derivatives_match_finite_differences() {
         let m = MosModel::ptm65_nmos();
         for (vg, vd, vs) in [
-            (0.6, 1.0, 0.0),  // saturation
-            (0.9, 0.1, 0.0),  // triode
-            (0.2, 1.0, 0.0),  // subthreshold
-            (0.6, 0.0, 0.0),  // vds = 0
-            (0.6, -0.3, 0.0), // reverse
+            (0.6, 1.0, 0.0),   // saturation
+            (0.9, 0.1, 0.0),   // triode
+            (0.2, 1.0, 0.0),   // subthreshold
+            (0.6, 0.0, 0.0),   // vds = 0
+            (0.6, -0.3, 0.0),  // reverse
             (0.423, 0.5, 0.0), // right at threshold
         ] {
             fd_check(&m, vg, vd, vs, 0.0);
@@ -356,7 +376,7 @@ mod tests {
         let m = MosModel::ptm65_nmos();
         let short = m.eval(1.0e-6, 65.0e-9, 0.8, 1.0, 0.0, 0.0);
         let long = m.eval(8.0e-6, 520.0e-9, 0.8, 1.0, 0.0, 0.0); // same W/L
-        // Same W/L => similar current, but gds (did_dvd) must shrink.
+                                                                 // Same W/L => similar current, but gds (did_dvd) must shrink.
         assert!((short.id - long.id).abs() / short.id < 0.15);
         assert!(long.did_dvd < short.did_dvd * 0.4);
     }

@@ -138,8 +138,7 @@ pub fn to_deck(title: &str, netlist: &Netlist, tran: Option<&TranSpec>) -> Strin
                         );
                     }
                     None => {
-                        let _ =
-                            writeln!(out, "{name} {} {} {}", node(*p), node(*n), num(*c));
+                        let _ = writeln!(out, "{name} {} {} {}", node(*p), node(*n), num(*c));
                     }
                 }
             }
@@ -263,7 +262,11 @@ mod tests {
     #[test]
     fn round_trips_through_the_parser() {
         let original = rc_netlist();
-        let deck = to_deck("round trip", &original, Some(&TranSpec::new(1e-6, 1e-9).with_uic()));
+        let deck = to_deck(
+            "round trip",
+            &original,
+            Some(&TranSpec::new(1e-6, 1e-9).with_uic()),
+        );
         let parsed = parse_deck(&deck).unwrap();
         assert_eq!(parsed.netlist.elements().len(), original.elements().len());
         assert!(parsed.tran.unwrap().uic);
@@ -320,8 +323,13 @@ mod tests {
             Waveform::spike_train(200.0 * NANO, 12.5 * NANO, 25.0 * NANO, 0.0),
         )
         .unwrap();
-        net.capacitor("CMEM", mem, Netlist::GROUND, 1.0 * PICO).unwrap();
-        let deck = to_deck("integrator", &net, Some(&TranSpec::new(2.0e-6, 5.0e-9).with_uic()));
+        net.capacitor("CMEM", mem, Netlist::GROUND, 1.0 * PICO)
+            .unwrap();
+        let deck = to_deck(
+            "integrator",
+            &net,
+            Some(&TranSpec::new(2.0e-6, 5.0e-9).with_uic()),
+        );
         let parsed = parse_deck(&deck).unwrap();
         let res = parsed
             .netlist
@@ -330,7 +338,11 @@ mod tests {
             .tran(&parsed.tran.unwrap())
             .unwrap();
         let v = res.voltage(parsed.netlist.find_node("mem").unwrap());
-        assert!(*v.last().unwrap() > 0.1, "integrated {:.3}", v.last().unwrap());
+        assert!(
+            *v.last().unwrap() > 0.1,
+            "integrated {:.3}",
+            v.last().unwrap()
+        );
     }
 
     #[test]

@@ -2,10 +2,43 @@
 //!
 //! The neuron circuits in this workspace have at most a few dozen unknowns,
 //! a regime where a cache-friendly dense partial-pivot LU outperforms any
-//! sparse approach. The matrix is rebuilt (re-stamped) every Newton
-//! iteration, so [`DenseMatrix::reset`] is cheap and allocation-free.
+//! sparse approach. The Jacobian and right-hand side live in a
+//! [`SolverWorkspace`] owned by the analysis drivers (DC operating point,
+//! DC sweep, transient): the buffers are allocated once per analysis and
+//! re-stamped in place on every Newton iteration of every timestep —
+//! [`DenseMatrix::reset`] zeroes without reallocating, so the solver hot
+//! loop performs no heap allocation at all.
 
 use crate::error::{Error, Result};
+
+/// Reusable Newton-solver scratch: the MNA Jacobian and RHS vector.
+///
+/// The analysis drivers construct one workspace per analysis and thread it
+/// through every Newton solve, so repeated solves (sweep points, transient
+/// timesteps, step-halving retries) reuse the same allocation.
+#[derive(Debug, Clone)]
+pub struct SolverWorkspace {
+    /// The stamped/linearised system matrix.
+    pub a: DenseMatrix,
+    /// The right-hand side; [`DenseMatrix::solve_in_place`] overwrites it
+    /// with the solution.
+    pub rhs: Vec<f64>,
+}
+
+impl SolverWorkspace {
+    /// Creates a workspace for systems of `n` unknowns.
+    pub fn new(n: usize) -> SolverWorkspace {
+        SolverWorkspace {
+            a: DenseMatrix::new(n),
+            rhs: vec![0.0; n],
+        }
+    }
+
+    /// The system dimension this workspace is sized for.
+    pub fn dim(&self) -> usize {
+        self.a.dim()
+    }
+}
 
 /// A dense, row-major square matrix used as the MNA Jacobian.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,10 +132,7 @@ impl DenseMatrix {
                 // Row update: row := row - factor * pivot_row.
                 let (pivot_slice, row_slice) = {
                     let (head, tail) = self.data.split_at_mut(row * n);
-                    (
-                        &head[col * n + col..col * n + n],
-                        &mut tail[col..n],
-                    )
+                    (&head[col * n + col..col * n + n], &mut tail[col..n])
                 };
                 for (r, p) in row_slice.iter_mut().zip(pivot_slice.iter()) {
                     *r -= factor * p;
@@ -113,8 +143,8 @@ impl DenseMatrix {
         // Back substitution.
         for col in (0..n).rev() {
             let mut acc = b[col];
-            for k in (col + 1)..n {
-                acc -= self.get(col, k) * b[k];
+            for (k, bk) in b.iter().enumerate().take(n).skip(col + 1) {
+                acc -= self.get(col, k) * bk;
             }
             b[col] = acc / self.get(col, col);
         }
@@ -192,6 +222,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // index pairs build the matrix
     fn larger_system_roundtrip() {
         // Build a random-ish diagonally dominant system, solve, verify Ax=b.
         let n = 12;

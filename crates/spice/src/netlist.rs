@@ -265,7 +265,8 @@ impl Netlist {
     }
 
     fn check_positive(value: f64, what: &str, name: &str) -> Result<()> {
-        if !(value > 0.0) || !value.is_finite() {
+        let positive = value > 0.0 && value.is_finite();
+        if !positive {
             return Err(Error::Netlist(format!(
                 "{what} of '{name}' must be positive and finite, got {value}"
             )));

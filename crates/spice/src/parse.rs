@@ -234,17 +234,15 @@ fn parse_tran_card(line: &str, lineno: usize) -> Result<TranSpec> {
     }
     let dt = number(tokens[1], lineno)?;
     let tstop = number(tokens[2], lineno)?;
-    if !(dt > 0.0) || !(tstop > 0.0) || dt > tstop {
+    let valid = dt > 0.0 && tstop > 0.0 && dt <= tstop;
+    if !valid {
         return Err(Error::Parse {
             line: lineno,
             message: format!(".tran times out of range (dt={dt}, tstop={tstop})"),
         });
     }
     let mut spec = TranSpec::new(tstop, dt);
-    if tokens
-        .iter()
-        .any(|t| t.eq_ignore_ascii_case("uic"))
-    {
+    if tokens.iter().any(|t| t.eq_ignore_ascii_case("uic")) {
         spec = spec.with_uic();
     }
     Ok(spec)
@@ -402,7 +400,9 @@ fn parse_element_card(
                 }
             }
             match ic {
-                Some(v) => netlist.capacitor_ic(name, p, n, value, v).map_err(map_err)?,
+                Some(v) => netlist
+                    .capacitor_ic(name, p, n, value, v)
+                    .map_err(map_err)?,
                 None => netlist.capacitor(name, p, n, value).map_err(map_err)?,
             };
         }
@@ -423,10 +423,13 @@ fn parse_element_card(
             let s = netlist.node(tokens[3]);
             let b = netlist.node(tokens[4]);
             let model_name = tokens[5].to_ascii_lowercase();
-            let model = models.get(&model_name).cloned().ok_or_else(|| Error::Parse {
-                line: lineno,
-                message: format!("unknown model '{}'", tokens[5]),
-            })?;
+            let model = models
+                .get(&model_name)
+                .cloned()
+                .ok_or_else(|| Error::Parse {
+                    line: lineno,
+                    message: format!("unknown model '{}'", tokens[5]),
+                })?;
             let mut w = 1.0e-6;
             let mut l = 65.0e-9;
             for token in &tokens[6..] {
@@ -442,7 +445,9 @@ fn parse_element_card(
                     }
                 }
             }
-            netlist.mosfet(name, d, g, s, b, model, w, l).map_err(map_err)?;
+            netlist
+                .mosfet(name, d, g, s, b, model, w, l)
+                .map_err(map_err)?;
         }
         'e' | 'g' => {
             need(6)?;
@@ -542,10 +547,9 @@ mod tests {
 
     #[test]
     fn model_can_appear_after_use() {
-        let deck = parse_deck(
-            "t\nM1 d g 0 0 late W=1u L=65n\n.model late nmos\nVD d 0 1\nVG g 0 1\n",
-        )
-        .unwrap();
+        let deck =
+            parse_deck("t\nM1 d g 0 0 late W=1u L=65n\n.model late nmos\nVD d 0 1\nVG g 0 1\n")
+                .unwrap();
         assert_eq!(deck.netlist.elements().len(), 3);
     }
 

@@ -59,7 +59,7 @@ impl Waveform {
     /// assert!(train.value(10.0 * NANO) > 0.0);
     /// ```
     pub fn spike_train(amplitude: f64, width: f64, period: f64, delay: f64) -> Waveform {
-        let edge = (width * 0.05).min(1.0e-9).max(1.0e-12);
+        let edge = (width * 0.05).clamp(1.0e-12, 1.0e-9);
         Waveform::Pulse {
             v1: 0.0,
             v2: amplitude,

@@ -1,5 +1,7 @@
 //! Property-based tests of the circuit-simulation substrate.
 
+#![allow(clippy::needless_range_loop)] // index pairs build random matrices
+
 use proptest::prelude::*;
 
 use neurofi_spice::device::MosModel;

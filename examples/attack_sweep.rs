@@ -6,8 +6,8 @@
 //! ```
 
 use neurofi::core::attacks::ExperimentSetup;
-use neurofi::core::sweep::{threshold_sweep, SweepConfig};
-use neurofi::core::{TargetLayer, Table};
+use neurofi::core::sweep::{threshold_sweep_cached, BaselineCache, SweepConfig};
+use neurofi::core::{Table, TargetLayer};
 
 fn main() -> Result<(), neurofi::core::Error> {
     let full = std::env::args().any(|a| a == "--full");
@@ -22,12 +22,16 @@ fn main() -> Result<(), neurofi::core::Error> {
         SweepConfig::quick_grid()
     };
 
+    // Cells run on the work-stealing pool (one worker per core by
+    // default); the fault-free baselines are measured once and shared
+    // across both layer sweeps.
+    let cache = BaselineCache::new(&setup);
     for (layer, figure, paper_worst) in [
         (TargetLayer::Excitatory, "Fig. 8a", "−7.32%"),
         (TargetLayer::Inhibitory, "Fig. 8b", "−84.52%"),
     ] {
         println!("sweeping the {layer} layer ({figure})...");
-        let result = threshold_sweep(&setup, Some(layer), &config)?;
+        let result = threshold_sweep_cached(&cache, Some(layer), &config)?;
         let mut table = Table::new(
             format!("{figure} — {layer}-layer threshold sweep"),
             &["threshold change", "fraction", "accuracy", "vs baseline"],

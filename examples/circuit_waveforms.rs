@@ -27,11 +27,7 @@ fn write_csv(path: &PathBuf, wave: &NeuronWaveforms) -> std::io::Result<()> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let out_dir = PathBuf::from(
-        std::env::args()
-            .nth(1)
-            .unwrap_or_else(|| "out".to_string()),
-    );
+    let out_dir = PathBuf::from(std::env::args().nth(1).unwrap_or_else(|| "out".to_string()));
     fs::create_dir_all(&out_dir)?;
 
     println!("simulating the Axon Hillock neuron (Fig. 3)...");
@@ -52,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("simulating the voltage-amplifier I&F neuron (Fig. 4)...");
     let vif = VoltageAmplifierIf::default();
     let vif_wave = vif.simulate(1.0, &InputSpec::paper_vamp_if(), 600.0e-6, 50.0e-9, true)?;
-    let mem_spikes =
-        neurofi::spice::measure::spike_times(&vif_wave.times, &vif_wave.vmem, 0.45);
+    let mem_spikes = neurofi::spice::measure::spike_times(&vif_wave.times, &vif_wave.vmem, 0.45);
     println!(
         "  {} membrane spikes, effective threshold {:.3} V, avg power {:.2} uW",
         mem_spikes.len(),

@@ -22,8 +22,7 @@ fn main() -> Result<(), neurofi::core::Error> {
         &["configuration", "accuracy", "vs baseline"],
     );
 
-    let undefended =
-        undefended_vdd_attack(&setup, vdd, &transfer, NeuronKind::VoltageAmplifierIf)?;
+    let undefended = undefended_vdd_attack(&setup, vdd, &transfer, NeuronKind::VoltageAmplifierIf)?;
     table.push_row(&[
         "undefended".into(),
         format!("{:.1}%", undefended.attacked_accuracy * 100.0),

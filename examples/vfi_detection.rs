@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:.1}", row.vdd),
             format!("{:.0}", row.count),
             format!("{:+.1}%", row.deviation_percent),
-            if row.flagged { "YES".into() } else { "no".into() },
+            if row.flagged {
+                "YES".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     println!("\n{table}");

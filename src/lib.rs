@@ -13,7 +13,10 @@
 //!   network, Poisson encoding, STDP).
 //! * [`data`] — synthetic digit dataset (MNIST stand-in) and IDX loader.
 //! * [`core`] — the paper's contribution: threat models, the five
-//!   power-oriented attacks, defenses and the dummy-neuron detector.
+//!   power-oriented attacks, defenses, the dummy-neuron detector, and the
+//!   parallel grid-sweep engine (work-stealing cell pool + memoised
+//!   per-seed baselines; serial and parallel sweeps are bit-identical —
+//!   see [`core::sweep`]).
 //!
 //! ## Quickstart
 //!

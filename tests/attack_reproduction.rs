@@ -8,7 +8,9 @@
 //! the whole pipeline honest in minutes.
 
 use neurofi::analog::NeuronKind;
-use neurofi::core::attacks::{Attack, ExperimentSetup, GlobalVddAttack, InputCorruptionAttack, ThresholdAttack};
+use neurofi::core::attacks::{
+    Attack, ExperimentSetup, GlobalVddAttack, InputCorruptionAttack, ThresholdAttack,
+};
 use neurofi::core::defense::{defended_vdd_attack, Defense};
 use neurofi::core::PowerTransferTable;
 

@@ -85,8 +85,7 @@ fn dummy_neuron_detection_pipeline() {
         .iter()
         .map(|&vdd| (vdd, dummy.expected_spike_count(vdd, window).unwrap()))
         .collect();
-    let detector =
-        neurofi::core::DummyNeuronDetector::from_characterisation(&counts, 1.0).unwrap();
+    let detector = neurofi::core::DummyNeuronDetector::from_characterisation(&counts, 1.0).unwrap();
     let rows = neurofi::core::detection::evaluate_series(&detector, &counts);
     assert!(rows[0].flagged, "VDD=0.8 must be flagged");
     assert!(!rows[1].flagged, "nominal must not be flagged");

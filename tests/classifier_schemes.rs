@@ -34,9 +34,7 @@ fn proportion_weighting_matches_all_activity_regime() {
     let mut proportion_correct = 0usize;
     for (image, label) in test_data.iter() {
         let counts = net.run_sample(image, false);
-        if predict_all_activity(&counts, &report.assignments, options.n_classes)
-            == label as usize
-        {
+        if predict_all_activity(&counts, &report.assignments, options.n_classes) == label as usize {
             all_activity_correct += 1;
         }
         if proportions.predict(&counts) == label as usize {
