@@ -57,7 +57,7 @@ pub use driver::{CurrentDriver, RobustCurrentDriver};
 pub use dummy::DummyNeuron;
 /// Errors from this crate are simulator errors; re-exported for `?`-chains.
 pub use neurofi_spice::Error;
-pub use transfer::PowerTransferTable;
+pub use transfer::{PowerTransferTable, TransferPoint};
 pub use vamp_if::VoltageAmplifierIf;
 
 /// Which of the paper's two neuron designs a characterisation targets.

@@ -4,6 +4,8 @@
 //! repro all [--quick] [--out DIR]
 //! repro fig8b fig9a [--quick] [--out DIR]
 //! repro bench [--out DIR]
+//! repro coordinate [--grid NAME] [--workers N] [--journal PATH]
+//! repro work --connect HOST:PORT [--threads N]
 //! repro list
 //! ```
 //!
@@ -11,7 +13,9 @@
 //! paper's reported numbers) and, with `--out`, writes a CSV per
 //! experiment. `bench` runs the performance suite (parallel sweep engine
 //! at 1/2/4/8 threads plus the SNN and SPICE kernels) and writes the
-//! machine-readable `BENCH_sweep.json`.
+//! machine-readable `BENCH_sweep.json`. `coordinate`/`work` shard a
+//! sweep campaign across workers over TCP with checkpoint/resume (see
+//! `neurofi-dist`); the merged result is bit-identical to a serial run.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,10 +24,11 @@ use std::time::Instant;
 use neurofi_bench::{run_experiment, ExperimentId, Fidelity};
 
 fn usage() -> &'static str {
-    "usage: repro <all|list|bench|EXPERIMENT...> [--quick] [--out DIR]\n\
+    "usage: repro <all|list|bench|coordinate|work|EXPERIMENT...> [--quick] [--out DIR]\n\
      experiments: fig3 fig4 fig5b fig5c fig6a fig6b fig6c fig7b fig8a fig8b \
      fig8c fig9a fig9b fig9c fig10c defenses overheads ext-glitch ext-weightfaults\n\
-     bench: performance suite (sweep engine + kernels) -> BENCH_sweep.json"
+     bench: performance suite (sweep engine + kernels) -> BENCH_sweep.json\n\
+     coordinate/work: distributed sweep campaign (see `repro coordinate --help`)"
 }
 
 fn main() -> ExitCode {
@@ -31,6 +36,13 @@ fn main() -> ExitCode {
     if args.is_empty() {
         eprintln!("{}", usage());
         return ExitCode::FAILURE;
+    }
+
+    // The distributed subcommands own their argument lists entirely.
+    match args[0].as_str() {
+        "coordinate" => return neurofi_bench::orchestrate::coordinate_main(&args[1..]),
+        "work" => return neurofi_bench::orchestrate::work_main(&args[1..]),
+        _ => {}
     }
 
     let mut fidelity = Fidelity::Full;

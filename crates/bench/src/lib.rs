@@ -36,6 +36,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod orchestrate;
 pub mod perf;
 
 pub use experiments::{run_experiment, ExperimentId, Fidelity};

@@ -1,0 +1,410 @@
+//! CLI backends for the distributed-sweep subcommands:
+//! `repro coordinate` (shard a campaign over TCP workers) and
+//! `repro work` (join a campaign as a worker).
+//!
+//! Both return a process exit code and print human-oriented progress to
+//! stderr, results to stdout — any failed cell, failed worker, or
+//! failed verification exits nonzero so CI catches silent regressions.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use neurofi_core::{Parallelism, SweepResult, Table};
+use neurofi_dist::{
+    named_campaign, run_local_cluster, run_worker, CoordinatedSweep, Coordinator,
+    CoordinatorConfig, LocalClusterConfig, WorkerConfig, NAMED_CAMPAIGNS,
+};
+
+fn coordinate_usage() -> String {
+    format!(
+        "usage: repro coordinate [--grid NAME] [--workers N] [--bind ADDR] \
+         [--journal PATH] [--verify-serial] [--idle-timeout SECS] [--out DIR]\n\
+         grids: {}\n\
+         --workers N  spawn N local workers (over localhost TCP); with 0 \
+         (default when --bind is given) the coordinator waits for external \
+         `repro work --connect` peers",
+        NAMED_CAMPAIGNS.join(" ")
+    )
+}
+
+fn work_usage() -> &'static str {
+    "usage: repro work --connect HOST:PORT [--threads N] [--max-cells K] [--batch N]"
+}
+
+fn sweep_table(sweep: &SweepResult) -> Table {
+    let mut table = Table::new(
+        format!("Distributed sweep — attack {}", sweep.kind.paper_id()),
+        &["value", "fraction", "accuracy", "vs baseline"],
+    );
+    for cell in &sweep.cells {
+        table.push_row(&[
+            format!("{:+.3}", cell.rel_change),
+            format!("{:.0}%", cell.fraction * 100.0),
+            format!("{:.1}%", cell.accuracy * 100.0),
+            format!("{:+.2}%", cell.relative_change_percent),
+        ]);
+    }
+    table.push_note(format!(
+        "baseline accuracy {:.2}%",
+        sweep.baseline_accuracy * 100.0
+    ));
+    table
+}
+
+/// Bit-level comparison of two sweep results — the golden-merge check
+/// behind `--verify-serial`. Pure so the divergence detection itself is
+/// testable without training runs.
+pub fn diff_sweeps(serial: &SweepResult, merged: &SweepResult) -> Result<(), String> {
+    if serial.baseline_accuracy.to_bits() != merged.baseline_accuracy.to_bits() {
+        return Err(format!(
+            "baseline accuracy diverged: serial {:?} vs distributed {:?}",
+            serial.baseline_accuracy, merged.baseline_accuracy
+        ));
+    }
+    if serial.cells.len() != merged.cells.len() {
+        return Err(format!(
+            "cell count diverged: serial {} vs distributed {}",
+            serial.cells.len(),
+            merged.cells.len()
+        ));
+    }
+    for (i, (s, d)) in serial.cells.iter().zip(&merged.cells).enumerate() {
+        if s.accuracy.to_bits() != d.accuracy.to_bits()
+            || s.rel_change.to_bits() != d.rel_change.to_bits()
+            || s.fraction.to_bits() != d.fraction.to_bits()
+            || s.relative_change_percent.to_bits() != d.relative_change_percent.to_bits()
+        {
+            return Err(format!(
+                "cell {i} diverged: serial {s:?} vs distributed {d:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn verify_against_serial(
+    campaign: &neurofi_dist::CampaignSpec,
+    merged: &SweepResult,
+) -> Result<(), String> {
+    let serial = campaign
+        .run_serial()
+        .map_err(|e| format!("serial reference run failed: {e}"))?;
+    diff_sweeps(&serial, merged)
+}
+
+fn report_sweep(sweep: &CoordinatedSweep, out_dir: Option<&PathBuf>) -> Result<(), String> {
+    let table = sweep_table(&sweep.result);
+    println!("{}", table.to_markdown());
+    println!(
+        "_merged {} cells ({} resumed from checkpoint, {} computed) across {} worker(s)_\n",
+        sweep.total_cells, sweep.resumed_cells, sweep.computed_cells, sweep.workers_seen
+    );
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create output directory {}: {e}", dir.display()))?;
+        let path = dir.join("distributed_sweep.csv");
+        std::fs::write(&path, table.to_csv())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    Ok(())
+}
+
+/// `repro coordinate ...`: shard a named campaign grid, merge, report.
+pub fn coordinate_main(args: &[String]) -> ExitCode {
+    let mut grid = "fig8-reduced".to_string();
+    let mut workers = 0usize;
+    let mut workers_given = false;
+    let mut bind: Option<String> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut verify_serial = false;
+    let mut idle_timeout = Duration::from_secs(60);
+    let mut out_dir: Option<PathBuf> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--grid" => match take("--grid") {
+                Ok(v) => grid = v,
+                Err(e) => return usage_error(&e, &coordinate_usage()),
+            },
+            "--workers" => match take("--workers").and_then(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("bad worker count `{v}`"))
+            }) {
+                Ok(v) => {
+                    workers = v;
+                    workers_given = true;
+                }
+                Err(e) => return usage_error(&e, &coordinate_usage()),
+            },
+            "--bind" => match take("--bind") {
+                Ok(v) => bind = Some(v),
+                Err(e) => return usage_error(&e, &coordinate_usage()),
+            },
+            "--journal" => match take("--journal") {
+                Ok(v) => journal = Some(PathBuf::from(v)),
+                Err(e) => return usage_error(&e, &coordinate_usage()),
+            },
+            "--idle-timeout" => match take("--idle-timeout")
+                .and_then(|v| v.parse::<u64>().map_err(|_| format!("bad timeout `{v}`")))
+            {
+                Ok(v) => idle_timeout = Duration::from_secs(v),
+                Err(e) => return usage_error(&e, &coordinate_usage()),
+            },
+            "--out" => match take("--out") {
+                Ok(v) => out_dir = Some(PathBuf::from(v)),
+                Err(e) => return usage_error(&e, &coordinate_usage()),
+            },
+            "--verify-serial" => verify_serial = true,
+            "--help" | "-h" => {
+                println!("{}", coordinate_usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                return usage_error(&format!("unknown argument `{other}`"), &coordinate_usage())
+            }
+        }
+    }
+    if !workers_given && bind.is_none() {
+        // Bare `repro coordinate` would wait forever for peers that were
+        // never launched; default to a self-contained two-worker cluster.
+        workers = 2;
+    }
+
+    let Some(campaign) = named_campaign(&grid) else {
+        return usage_error(&format!("unknown grid `{grid}`"), &coordinate_usage());
+    };
+
+    eprintln!(
+        "coordinate: grid `{grid}` ({} cells), {} local worker(s){}",
+        campaign.plan().jobs.len(),
+        workers,
+        match &journal {
+            Some(p) => format!(", journal {}", p.display()),
+            None => String::new(),
+        }
+    );
+
+    let sweep = if workers > 0 {
+        let mut config = LocalClusterConfig::new(campaign.clone(), workers);
+        if let Some(bind) = bind {
+            config.bind = bind;
+        }
+        config.journal = journal;
+        config.idle_timeout = idle_timeout;
+        config.worker_parallelism = Parallelism::Auto;
+        run_local_cluster(&config).map(|report| {
+            for (i, worker) in report.workers.iter().enumerate() {
+                match worker {
+                    Ok(summary) => eprintln!(
+                        "worker {i}: {} cell(s), {}",
+                        summary.cells_executed,
+                        if summary.finished {
+                            "finished"
+                        } else {
+                            "left early"
+                        }
+                    ),
+                    Err(e) => eprintln!("worker {i}: failed after merge completed: {e}"),
+                }
+            }
+            report.sweep
+        })
+    } else {
+        let Some(bind) = bind else {
+            return usage_error(
+                "--workers 0 needs --bind (there would be nobody to serve)",
+                &coordinate_usage(),
+            );
+        };
+        let mut config = CoordinatorConfig::new(bind.clone(), campaign.clone());
+        config.journal = journal;
+        config.idle_timeout = idle_timeout;
+        Coordinator::bind(config).and_then(|coordinator| {
+            eprintln!(
+                "coordinate: listening on {} — start workers with \
+                 `repro work --connect HOST:PORT`",
+                coordinator
+                    .local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or(bind)
+            );
+            coordinator.serve()
+        })
+    };
+
+    let sweep = match sweep {
+        Ok(sweep) => sweep,
+        Err(e) => {
+            eprintln!("coordinate FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = report_sweep(&sweep, out_dir.as_ref()) {
+        eprintln!("coordinate FAILED: {e}");
+        return ExitCode::FAILURE;
+    }
+    if verify_serial {
+        eprintln!("verify: re-running the campaign serially for the golden comparison...");
+        match verify_against_serial(&campaign, &sweep.result) {
+            Ok(()) => {
+                println!("_verify-serial: distributed merge is bit-identical to the serial engine_")
+            }
+            Err(e) => {
+                eprintln!("coordinate FAILED verification: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro work ...`: join a campaign as a worker.
+pub fn work_main(args: &[String]) -> ExitCode {
+    let mut connect: Option<String> = None;
+    let mut parallelism = Parallelism::Auto;
+    let mut max_cells: Option<usize> = None;
+    let mut batch: Option<usize> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--connect" => match take("--connect") {
+                Ok(v) => connect = Some(v),
+                Err(e) => return usage_error(&e, work_usage()),
+            },
+            "--threads" => match take("--threads").and_then(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("bad thread count `{v}`"))
+            }) {
+                Ok(v) => parallelism = Parallelism::Threads(v),
+                Err(e) => return usage_error(&e, work_usage()),
+            },
+            "--max-cells" => match take("--max-cells").and_then(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("bad cell budget `{v}`"))
+            }) {
+                Ok(v) => max_cells = Some(v),
+                Err(e) => return usage_error(&e, work_usage()),
+            },
+            "--batch" => match take("--batch").and_then(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("bad batch size `{v}`"))
+            }) {
+                Ok(v) => batch = Some(v),
+                Err(e) => return usage_error(&e, work_usage()),
+            },
+            "--help" | "-h" => {
+                println!("{}", work_usage());
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`"), work_usage()),
+        }
+    }
+    let Some(connect) = connect else {
+        return usage_error("--connect is required", work_usage());
+    };
+
+    let config = WorkerConfig {
+        connect,
+        parallelism,
+        max_cells,
+        batch,
+        io_timeout: Duration::from_secs(60),
+    };
+    eprintln!(
+        "work: connecting to {} with {} thread(s)...",
+        config.connect,
+        parallelism.worker_count()
+    );
+    match run_worker(&config) {
+        Ok(summary) => {
+            eprintln!(
+                "work: executed {} cell(s); {}",
+                summary.cells_executed,
+                if summary.finished {
+                    "campaign finished"
+                } else {
+                    "cell budget reached, left campaign"
+                }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("work FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage_error(message: &str, usage: &str) -> ExitCode {
+    eprintln!("{message}\n{usage}");
+    ExitCode::FAILURE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neurofi_core::{AttackKind, SweepCell};
+
+    fn result(baseline: f64, accuracies: &[f64]) -> SweepResult {
+        SweepResult {
+            kind: AttackKind::InhibitoryThreshold,
+            baseline_accuracy: baseline,
+            cells: accuracies
+                .iter()
+                .enumerate()
+                .map(|(i, &accuracy)| SweepCell {
+                    rel_change: -0.2,
+                    fraction: i as f64 * 0.5,
+                    accuracy,
+                    relative_change_percent: (accuracy - baseline) / baseline * 100.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn diff_accepts_bit_identical_sweeps() {
+        let a = result(0.55, &[0.5, 0.3]);
+        let b = result(0.55, &[0.5, 0.3]);
+        assert!(diff_sweeps(&a, &b).is_ok());
+    }
+
+    #[test]
+    fn diff_catches_every_divergence_axis() {
+        let golden = result(0.55, &[0.5, 0.3]);
+        // One-ULP baseline drift.
+        let mut bad = result(0.55, &[0.5, 0.3]);
+        bad.baseline_accuracy = f64::from_bits(bad.baseline_accuracy.to_bits() + 1);
+        assert!(diff_sweeps(&golden, &bad).unwrap_err().contains("baseline"));
+        // Missing cell.
+        let bad = result(0.55, &[0.5]);
+        assert!(diff_sweeps(&golden, &bad).unwrap_err().contains("count"));
+        // One-ULP cell drift.
+        let mut bad = result(0.55, &[0.5, 0.3]);
+        bad.cells[1].accuracy = f64::from_bits(bad.cells[1].accuracy.to_bits() + 1);
+        assert!(diff_sweeps(&golden, &bad).unwrap_err().contains("cell 1"));
+        // Swapped slots (same multiset of values, wrong order).
+        let bad = result(0.55, &[0.3, 0.5]);
+        assert!(diff_sweeps(&golden, &bad).is_err());
+    }
+
+    #[test]
+    fn sweep_table_has_one_row_per_cell() {
+        let table = sweep_table(&result(0.55, &[0.5, 0.3, 0.1]));
+        assert_eq!(table.len(), 3);
+        assert!(table.to_markdown().contains("baseline accuracy"));
+    }
+}

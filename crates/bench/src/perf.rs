@@ -33,8 +33,19 @@ pub struct SweepTiming {
 /// The full performance report emitted as `BENCH_sweep.json`.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
+    /// Report schema version (bumped when keys change meaning).
+    pub schema_version: u32,
     /// Hardware threads the machine reports.
     pub available_parallelism: usize,
+    /// The sweep-pool width this runner is configured for: the
+    /// `NEUROFI_BENCH_WORKERS` override when set (CI runners pinned
+    /// below their hardware width report truthfully), otherwise the
+    /// `Auto` resolution. Perf numbers from heterogeneous runners are
+    /// only comparable when the configured width travels with them.
+    pub worker_count: usize,
+    /// `git rev-parse --short=12 HEAD` of the measured tree, when the
+    /// binary runs inside a git checkout (`None` → JSON `null`).
+    pub git_rev: Option<String>,
     /// Number of cells in the measured grid.
     pub grid_cells: usize,
     /// Serial-path wall-clock seconds for the grid.
@@ -53,9 +64,20 @@ impl PerfReport {
     /// Serialises the report as a stable, dependency-free JSON document.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
         out.push_str(&format!(
             "  \"available_parallelism\": {},\n",
             self.available_parallelism
+        ));
+        out.push_str(&format!("  \"worker_count\": {},\n", self.worker_count));
+        out.push_str(&format!(
+            "  \"git_rev\": {},\n",
+            match &self.git_rev {
+                // The rev is a hex string from `git rev-parse`; no JSON
+                // escaping can be needed.
+                Some(rev) => format!("\"{rev}\""),
+                None => "null".into(),
+            }
         ));
         out.push_str(&format!("  \"grid_cells\": {},\n", self.grid_cells));
         out.push_str(&format!(
@@ -89,6 +111,36 @@ impl PerfReport {
         out.push('}');
         out
     }
+}
+
+/// The current [`PerfReport`] schema version.
+pub const PERF_SCHEMA_VERSION: u32 = 2;
+
+/// The sweep-pool width this runner is configured for:
+/// `NEUROFI_BENCH_WORKERS` when set to a positive integer, otherwise
+/// what [`Parallelism::Auto`] resolves to.
+pub fn configured_worker_count() -> usize {
+    std::env::var("NEUROFI_BENCH_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| Parallelism::Auto.worker_count())
+}
+
+/// The short git revision of the working tree, if this process runs in
+/// a git checkout with `git` on the PATH. Attribution metadata only —
+/// failures degrade to `None`, never to an error.
+pub fn current_git_rev() -> Option<String> {
+    let output = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    let rev = String::from_utf8(output.stdout).ok()?;
+    let rev = rev.trim();
+    (!rev.is_empty() && rev.chars().all(|c| c.is_ascii_hexdigit())).then(|| rev.to_string())
 }
 
 /// The reduced-scale setup used for sweep timing: the paper grid's shape
@@ -203,7 +255,10 @@ pub fn run_perf_suite() -> PerfReport {
     eprintln!("bench: spice RC transient...");
     let spice_tran_ms = time_spice_tran_ms();
     PerfReport {
+        schema_version: PERF_SCHEMA_VERSION,
         available_parallelism: Parallelism::Auto.worker_count(),
+        worker_count: configured_worker_count(),
+        git_rev: current_git_rev(),
         grid_cells: config.rel_changes.len() * config.fractions.len(),
         sweep_serial_seconds,
         sweep_parallel,
@@ -220,7 +275,10 @@ mod tests {
     #[test]
     fn json_report_is_well_formed() {
         let report = PerfReport {
+            schema_version: PERF_SCHEMA_VERSION,
             available_parallelism: 4,
+            worker_count: 4,
+            git_rev: Some("0123456789ab".into()),
             grid_cells: 24,
             sweep_serial_seconds: 10.0,
             sweep_parallel: vec![
@@ -241,6 +299,9 @@ mod tests {
         };
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"worker_count\": 4"));
+        assert!(json.contains("\"git_rev\": \"0123456789ab\""));
         assert!(json.contains("\"sweep_parallel\": ["));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"speedup_vs_serial\": 3.850"));
@@ -248,6 +309,36 @@ mod tests {
         // cheap structural checks below.
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn worker_count_env_override() {
+        std::env::set_var("NEUROFI_BENCH_WORKERS", "3");
+        assert_eq!(configured_worker_count(), 3);
+        // Zero and garbage fall back to the Auto resolution.
+        std::env::set_var("NEUROFI_BENCH_WORKERS", "0");
+        assert!(configured_worker_count() >= 1);
+        std::env::set_var("NEUROFI_BENCH_WORKERS", "lots");
+        assert!(configured_worker_count() >= 1);
+        std::env::remove_var("NEUROFI_BENCH_WORKERS");
+        assert!(configured_worker_count() >= 1);
+    }
+
+    #[test]
+    fn missing_git_rev_serialises_as_null() {
+        let report = PerfReport {
+            schema_version: PERF_SCHEMA_VERSION,
+            available_parallelism: 1,
+            worker_count: 1,
+            git_rev: None,
+            grid_cells: 4,
+            sweep_serial_seconds: 1.0,
+            sweep_parallel: vec![],
+            diehl_cook_step_ns: 1.0,
+            run_sample_train_ms: 1.0,
+            spice_tran_ms: 1.0,
+        };
+        assert!(report.to_json().contains("\"git_rev\": null"));
     }
 
     #[test]

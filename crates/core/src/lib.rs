@@ -15,7 +15,10 @@
 //! * [`sweep`] — the parallel grid-sweep engine (threshold change × layer
 //!   fraction × seeds) that regenerates the paper's accuracy surfaces on a
 //!   work-stealing pool with memoised per-seed baselines
-//!   ([`BaselineCache`]); serial and parallel runs are bit-identical.
+//!   ([`BaselineCache`]); serial and parallel runs are bit-identical. The
+//!   engine is staged (enumerate → execute → assemble) so external
+//!   schedulers like the `neurofi-dist` coordinator can run the same
+//!   [`CellJob`]s on other machines.
 //! * [`defense`] — the §V defenses (robust driver, bandgap threshold,
 //!   neuron sizing, comparator first stage) as transfer-function
 //!   hardenings, with overhead accounting.
@@ -60,5 +63,8 @@ pub use error::Error;
 pub use injection::{FaultPlan, Selection, TargetLayer, ThresholdConvention};
 pub use neurofi_analog::PowerTransferTable;
 pub use report::Table;
-pub use sweep::{BaselineCache, Parallelism, SweepConfig, SweepResult};
+pub use sweep::{
+    BaselineCache, CellAttack, CellJob, CellResult, Parallelism, SweepCell, SweepConfig, SweepPlan,
+    SweepResult,
+};
 pub use threat::{AccessLevel, AttackKind, PowerDomainScenario};

@@ -21,6 +21,26 @@
 //! The degree of parallelism is a property of the experiment
 //! ([`ExperimentSetup::parallelism`], a [`Parallelism`] knob), defaulting
 //! to one worker per available core.
+//!
+//! ## Pipeline stages
+//!
+//! Every sweep is the composition of three separable public stages, so
+//! schedulers other than the in-process pool (notably the distributed
+//! coordinator in `neurofi-dist`) can drive the same cells:
+//!
+//! 1. **Enumerate** — [`plan_threshold_sweep`] / [`plan_theta_sweep`] /
+//!    [`plan_vdd_sweep`] flatten a grid into a [`SweepPlan`] of
+//!    index-addressed [`CellJob`]s.
+//! 2. **Execute** — [`execute_cell`] runs one [`CellJob`] against a
+//!    [`BaselineCache`] and returns a [`CellResult`]; cells are
+//!    independent and may run anywhere, in any order.
+//! 3. **Assemble** — [`assemble_sweep`] writes each [`CellResult`] into
+//!    its own slot and produces the final [`SweepResult`], rejecting
+//!    missing, duplicate, or out-of-range cells.
+//!
+//! Because a cell's value is a pure function of `(setup, job)` and
+//! assembly is slot-addressed, any schedule — serial, threaded, or
+//! sharded across machines — produces a bit-identical [`SweepResult`].
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -70,7 +90,11 @@ impl Parallelism {
 /// With more than one worker, a scoped work-stealing pool claims indices
 /// from a shared atomic cursor; each job writes only its own slot, so the
 /// output is independent of scheduling. Panics in jobs propagate.
-pub(crate) fn run_indexed<T, F>(n: usize, parallelism: Parallelism, job: F) -> Vec<T>
+///
+/// Public because it is the workspace's generic in-process pool: the
+/// sweep engine runs cells on it, and `neurofi-dist` workers run their
+/// assigned batches on it.
+pub fn run_indexed<T, F>(n: usize, parallelism: Parallelism, job: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -269,6 +293,172 @@ fn mean(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len().max(1) as f64
 }
 
+/// The attack one [`CellJob`] runs — a serializable, self-contained
+/// description (no closures, no tables) so jobs can cross process and
+/// machine boundaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CellAttack {
+    /// Attacks 2–4: threshold manipulation (`layer = None` is Attack 4,
+    /// both layers at 100%).
+    Threshold {
+        /// Target layer; `None` attacks both layers.
+        layer: Option<TargetLayer>,
+        /// Relative threshold change.
+        rel_change: f64,
+        /// Affected layer fraction.
+        fraction: f64,
+    },
+    /// Attack 1: input-drive (theta) corruption.
+    Theta {
+        /// Relative change of the per-spike membrane voltage.
+        theta_change: f64,
+    },
+    /// Attack 5: global VDD manipulation (the executor supplies the
+    /// VDD → parameter transfer table).
+    Vdd {
+        /// The manipulated supply voltage.
+        vdd: f64,
+    },
+}
+
+impl CellAttack {
+    /// The `(rel_change, fraction)` coordinates this attack occupies in a
+    /// [`SweepResult`] (theta and VDD sweeps carry their swept value in
+    /// `rel_change` and pin `fraction` to 1.0, as the figures do).
+    pub fn coordinates(&self) -> (f64, f64) {
+        match *self {
+            CellAttack::Threshold {
+                rel_change,
+                fraction,
+                ..
+            } => (rel_change, fraction),
+            CellAttack::Theta { theta_change } => (theta_change, 1.0),
+            CellAttack::Vdd { vdd } => (vdd, 1.0),
+        }
+    }
+}
+
+/// One unit of sweep work: which attack to run and which result slot the
+/// measurement belongs to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellJob {
+    /// Slot in the final [`SweepResult::cells`] vector.
+    pub index: usize,
+    /// The attack to run.
+    pub attack: CellAttack,
+}
+
+/// One executed cell: the measured [`SweepCell`] plus the slot it must be
+/// written to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellResult {
+    /// Slot in the final [`SweepResult::cells`] vector.
+    pub index: usize,
+    /// The measured cell.
+    pub cell: SweepCell,
+}
+
+/// The enumerated form of one sweep: every cell of the grid as an
+/// independent, index-addressed [`CellJob`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPlan {
+    /// Which attack family the plan sweeps.
+    pub kind: AttackKind,
+    /// Seeds every cell averages over.
+    pub seeds: Vec<u64>,
+    /// The cells, in result-slot order (`jobs[i].index == i`).
+    pub jobs: Vec<CellJob>,
+}
+
+/// Stage 1 (enumerate): flattens a threshold-attack grid into a
+/// [`SweepPlan`]. `layer = None` plans Attack 4, keeping only the 100%
+/// fraction as the paper defines it.
+pub fn plan_threshold_sweep(layer: Option<TargetLayer>, config: &SweepConfig) -> SweepPlan {
+    let kind = match layer {
+        Some(TargetLayer::Excitatory) => AttackKind::ExcitatoryThreshold,
+        Some(TargetLayer::Inhibitory) => AttackKind::InhibitoryThreshold,
+        None => AttackKind::BothLayerThreshold,
+    };
+    let jobs = config
+        .rel_changes
+        .iter()
+        .flat_map(|&rel| config.fractions.iter().map(move |&f| (rel, f)))
+        .filter(|&(_, f)| layer.is_some() || (f - 1.0).abs() <= 1e-9)
+        .enumerate()
+        .map(|(index, (rel_change, fraction))| CellJob {
+            index,
+            attack: CellAttack::Threshold {
+                layer,
+                rel_change,
+                fraction,
+            },
+        })
+        .collect();
+    SweepPlan {
+        kind,
+        seeds: config.seeds.clone(),
+        jobs,
+    }
+}
+
+/// Stage 1 (enumerate): one [`CellJob`] per theta change (Fig. 7b).
+pub fn plan_theta_sweep(theta_changes: &[f64], seeds: &[u64]) -> SweepPlan {
+    SweepPlan {
+        kind: AttackKind::InputSpikeCorruption,
+        seeds: seeds.to_vec(),
+        jobs: theta_changes
+            .iter()
+            .enumerate()
+            .map(|(index, &theta_change)| CellJob {
+                index,
+                attack: CellAttack::Theta { theta_change },
+            })
+            .collect(),
+    }
+}
+
+/// Stage 1 (enumerate): one [`CellJob`] per supply voltage (Fig. 9a).
+pub fn plan_vdd_sweep(vdds: &[f64], seeds: &[u64]) -> SweepPlan {
+    SweepPlan {
+        kind: AttackKind::GlobalVdd,
+        seeds: seeds.to_vec(),
+        jobs: vdds
+            .iter()
+            .enumerate()
+            .map(|(index, &vdd)| CellJob {
+                index,
+                attack: CellAttack::Vdd { vdd },
+            })
+            .collect(),
+    }
+}
+
+/// Primes `cache` for `seeds` and returns the mean baseline accuracy —
+/// the reference every cell's relative change is computed against.
+/// Deterministic: any executor (local or remote) derives the same value
+/// from the same setup.
+pub fn mean_baseline_accuracy(cache: &BaselineCache, seeds: &[u64]) -> f64 {
+    cache.prime(seeds);
+    let per_seed: Vec<f64> = seeds.iter().map(|&s| cache.get(s).accuracy).collect();
+    mean(&per_seed)
+}
+
+/// Builds the final cell from a measured mean accuracy, exactly as the
+/// serial engine always has (shared so every execution path is
+/// bit-identical by construction).
+fn finish_cell(rel_change: f64, fraction: f64, accuracy: f64, baseline_accuracy: f64) -> SweepCell {
+    SweepCell {
+        rel_change,
+        fraction,
+        accuracy,
+        relative_change_percent: if baseline_accuracy > 0.0 {
+            (accuracy - baseline_accuracy) / baseline_accuracy * 100.0
+        } else {
+            0.0
+        },
+    }
+}
+
 /// Measures one grid cell: runs the attack for every seed (reusing the
 /// memoised baselines) and averages.
 fn measure_cell<A: Attack>(
@@ -286,24 +476,175 @@ fn measure_cell<A: Attack>(
         let outcome = attack.run_with_baseline(&setup, baseline)?;
         accuracies.push(outcome.attacked_accuracy);
     }
-    let accuracy = mean(&accuracies);
-    Ok(SweepCell {
+    Ok(finish_cell(
         rel_change,
         fraction,
-        accuracy,
-        relative_change_percent: if baseline_accuracy > 0.0 {
-            (accuracy - baseline_accuracy) / baseline_accuracy * 100.0
-        } else {
-            0.0
-        },
+        mean(&accuracies),
+        baseline_accuracy,
+    ))
+}
+
+/// Stage 2 (execute): measures one [`CellJob`] against a
+/// [`BaselineCache`]. VDD jobs need the `transfer` table the campaign was
+/// characterised with.
+///
+/// Jobs are validated rather than trusted (they may arrive over a wire):
+/// impossible theta changes and non-positive VDDs are rejected as
+/// [`Error::Invalid`] instead of panicking.
+///
+/// # Errors
+/// Propagates attack failures; rejects invalid job parameters and VDD
+/// jobs without a transfer table.
+pub fn execute_cell(
+    cache: &BaselineCache,
+    seeds: &[u64],
+    baseline_accuracy: f64,
+    job: &CellJob,
+    transfer: Option<&PowerTransferTable>,
+) -> Result<CellResult, Error> {
+    let (rel_change, fraction) = job.attack.coordinates();
+    let cell = match job.attack {
+        CellAttack::Threshold {
+            layer,
+            rel_change,
+            fraction,
+        } => {
+            if !(0.0..=1.0).contains(&fraction) || !rel_change.is_finite() {
+                return Err(Error::Invalid(format!(
+                    "threshold cell {} has invalid parameters (rel_change {rel_change}, \
+                     fraction {fraction})",
+                    job.index
+                )));
+            }
+            let attack = match layer {
+                Some(l) => ThresholdAttack {
+                    layer: Some(l),
+                    rel_change,
+                    fraction,
+                },
+                None => ThresholdAttack::both(rel_change),
+            };
+            measure_cell(
+                cache,
+                seeds,
+                rel_change,
+                fraction,
+                baseline_accuracy,
+                &attack,
+            )?
+        }
+        CellAttack::Theta { theta_change } => {
+            if !(theta_change > -1.0 && theta_change.is_finite()) {
+                return Err(Error::Invalid(format!(
+                    "theta cell {} has impossible change {theta_change}",
+                    job.index
+                )));
+            }
+            measure_cell(
+                cache,
+                seeds,
+                rel_change,
+                fraction,
+                baseline_accuracy,
+                &InputCorruptionAttack::new(theta_change),
+            )?
+        }
+        CellAttack::Vdd { vdd } => {
+            if !(vdd.is_finite() && vdd > 0.0) {
+                return Err(Error::Invalid(format!(
+                    "vdd cell {} has non-positive supply {vdd}",
+                    job.index
+                )));
+            }
+            let transfer = transfer.ok_or_else(|| {
+                Error::Invalid(format!(
+                    "vdd cell {} needs a power-transfer table",
+                    job.index
+                ))
+            })?;
+            let attack = GlobalVddAttack::new(vdd).with_transfer(transfer.clone());
+            measure_cell(
+                cache,
+                seeds,
+                rel_change,
+                fraction,
+                baseline_accuracy,
+                &attack,
+            )?
+        }
+    };
+    Ok(CellResult {
+        index: job.index,
+        cell,
     })
 }
 
-/// Primes the cache for `seeds` and returns the mean baseline accuracy.
-fn primed_baseline_accuracy(cache: &BaselineCache, seeds: &[u64]) -> f64 {
-    cache.prime(seeds);
-    let per_seed: Vec<f64> = seeds.iter().map(|&s| cache.get(s).accuracy).collect();
-    mean(&per_seed)
+/// Stage 3 (assemble): writes every [`CellResult`] into its slot and
+/// returns the completed [`SweepResult`]. Results may arrive in any order
+/// (the in-process pool and the distributed coordinator both feed this);
+/// duplicate slots must carry identical cells (retries after a lost
+/// acknowledgement re-deliver the same deterministic measurement).
+///
+/// # Errors
+/// Rejects out-of-range indices, conflicting duplicates, and missing
+/// cells — an incomplete campaign never assembles silently.
+pub fn assemble_sweep(
+    kind: AttackKind,
+    baseline_accuracy: f64,
+    n_cells: usize,
+    results: impl IntoIterator<Item = CellResult>,
+) -> Result<SweepResult, Error> {
+    let mut slots: Vec<Option<SweepCell>> = vec![None; n_cells];
+    for result in results {
+        let slot = slots.get_mut(result.index).ok_or_else(|| {
+            Error::Invalid(format!(
+                "cell index {} outside the {n_cells}-cell grid",
+                result.index
+            ))
+        })?;
+        match slot {
+            Some(existing) if *existing != result.cell => {
+                return Err(Error::Invalid(format!(
+                    "conflicting duplicate results for cell {}",
+                    result.index
+                )));
+            }
+            _ => *slot = Some(result.cell),
+        }
+    }
+    let cells = slots
+        .into_iter()
+        .enumerate()
+        .map(|(index, slot)| {
+            slot.ok_or_else(|| Error::Invalid(format!("cell {index} was never measured")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SweepResult {
+        kind,
+        baseline_accuracy,
+        cells,
+    })
+}
+
+/// Runs every job of `plan` on the in-process pool and assembles the
+/// result — the shared backend of the `*_sweep_cached` entry points.
+fn run_plan(
+    cache: &BaselineCache,
+    plan: &SweepPlan,
+    transfer: Option<&PowerTransferTable>,
+) -> Result<SweepResult, Error> {
+    let baseline_accuracy = mean_baseline_accuracy(cache, &plan.seeds);
+    let measured = run_indexed(plan.jobs.len(), cache.setup().parallelism, |i| {
+        execute_cell(
+            cache,
+            &plan.seeds,
+            baseline_accuracy,
+            &plan.jobs[i],
+            transfer,
+        )
+    });
+    let results = measured.into_iter().collect::<Result<Vec<_>, _>>()?;
+    assemble_sweep(plan.kind, baseline_accuracy, plan.jobs.len(), results)
 }
 
 /// Sweeps a threshold attack over `rel_changes × fractions × seeds`.
@@ -334,47 +675,7 @@ pub fn threshold_sweep_cached(
     layer: Option<TargetLayer>,
     config: &SweepConfig,
 ) -> Result<SweepResult, Error> {
-    let kind = match layer {
-        Some(TargetLayer::Excitatory) => AttackKind::ExcitatoryThreshold,
-        Some(TargetLayer::Inhibitory) => AttackKind::InhibitoryThreshold,
-        None => AttackKind::BothLayerThreshold,
-    };
-    let baseline_accuracy = primed_baseline_accuracy(cache, &config.seeds);
-
-    // Flatten the grid into independent cell jobs (Attack 4 keeps only the
-    // 100% fraction, as in the paper).
-    let grid: Vec<(f64, f64)> = config
-        .rel_changes
-        .iter()
-        .flat_map(|&rel| config.fractions.iter().map(move |&f| (rel, f)))
-        .filter(|&(_, f)| layer.is_some() || (f - 1.0).abs() <= 1e-9)
-        .collect();
-
-    let measured = run_indexed(grid.len(), cache.setup().parallelism, |i| {
-        let (rel, fraction) = grid[i];
-        let attack = match layer {
-            Some(l) => ThresholdAttack {
-                layer: Some(l),
-                rel_change: rel,
-                fraction,
-            },
-            None => ThresholdAttack::both(rel),
-        };
-        measure_cell(
-            cache,
-            &config.seeds,
-            rel,
-            fraction,
-            baseline_accuracy,
-            &attack,
-        )
-    });
-    let cells = measured.into_iter().collect::<Result<Vec<_>, _>>()?;
-    Ok(SweepResult {
-        kind,
-        baseline_accuracy,
-        cells,
-    })
+    run_plan(cache, &plan_threshold_sweep(layer, config), None)
 }
 
 /// Sweeps Attack 1 over theta changes (Fig. 7b). Cells use the `fraction`
@@ -399,24 +700,7 @@ pub fn theta_sweep_cached(
     theta_changes: &[f64],
     seeds: &[u64],
 ) -> Result<SweepResult, Error> {
-    let baseline_accuracy = primed_baseline_accuracy(cache, seeds);
-    let measured = run_indexed(theta_changes.len(), cache.setup().parallelism, |i| {
-        let theta = theta_changes[i];
-        measure_cell(
-            cache,
-            seeds,
-            theta,
-            1.0,
-            baseline_accuracy,
-            &InputCorruptionAttack::new(theta),
-        )
-    });
-    let cells = measured.into_iter().collect::<Result<Vec<_>, _>>()?;
-    Ok(SweepResult {
-        kind: AttackKind::InputSpikeCorruption,
-        baseline_accuracy,
-        cells,
-    })
+    run_plan(cache, &plan_theta_sweep(theta_changes, seeds), None)
 }
 
 /// Sweeps Attack 5 over supply voltages (Fig. 9a). Cells use `rel_change`
@@ -443,18 +727,7 @@ pub fn vdd_sweep_cached(
     transfer: &PowerTransferTable,
     seeds: &[u64],
 ) -> Result<SweepResult, Error> {
-    let baseline_accuracy = primed_baseline_accuracy(cache, seeds);
-    let measured = run_indexed(vdds.len(), cache.setup().parallelism, |i| {
-        let vdd = vdds[i];
-        let attack = GlobalVddAttack::new(vdd).with_transfer(transfer.clone());
-        measure_cell(cache, seeds, vdd, 1.0, baseline_accuracy, &attack)
-    });
-    let cells = measured.into_iter().collect::<Result<Vec<_>, _>>()?;
-    Ok(SweepResult {
-        kind: AttackKind::GlobalVdd,
-        baseline_accuracy,
-        cells,
-    })
+    run_plan(cache, &plan_vdd_sweep(vdds, seeds), Some(transfer))
 }
 
 #[cfg(test)]
@@ -673,6 +946,150 @@ mod tests {
         assert_eq!(Parallelism::Threads(0).worker_count(), 1);
         assert_eq!(Parallelism::Threads(6).worker_count(), 6);
         assert!(Parallelism::Auto.worker_count() >= 1);
+    }
+
+    #[test]
+    fn plans_enumerate_in_slot_order() {
+        let config = SweepConfig {
+            rel_changes: vec![-0.2, 0.2],
+            fractions: vec![0.0, 0.5, 1.0],
+            seeds: vec![1, 2],
+        };
+        let plan = plan_threshold_sweep(Some(TargetLayer::Inhibitory), &config);
+        assert_eq!(plan.kind, AttackKind::InhibitoryThreshold);
+        assert_eq!(plan.jobs.len(), 6);
+        assert!(plan.jobs.iter().enumerate().all(|(i, j)| j.index == i));
+        // Attack 4 keeps only the 100% fraction.
+        let both = plan_threshold_sweep(None, &config);
+        assert_eq!(both.jobs.len(), 2);
+        assert!(both.jobs.iter().all(|j| j.attack.coordinates().1 == 1.0));
+        let theta = plan_theta_sweep(&[-0.2, 0.2], &[1]);
+        assert_eq!(theta.kind, AttackKind::InputSpikeCorruption);
+        assert_eq!(theta.jobs.len(), 2);
+        let vdd = plan_vdd_sweep(&[0.8, 1.0], &[1]);
+        assert_eq!(vdd.kind, AttackKind::GlobalVdd);
+        assert_eq!(vdd.jobs[1].attack, CellAttack::Vdd { vdd: 1.0 });
+    }
+
+    #[test]
+    fn staged_pipeline_matches_monolithic_sweep() {
+        let mut setup = tiny_setup();
+        setup.n_train = 60;
+        setup.n_test = 30;
+        setup.network.sample_time_ms = 60.0;
+        let config = SweepConfig {
+            rel_changes: vec![-0.2, 0.2],
+            fractions: vec![0.0, 1.0],
+            seeds: vec![1],
+        };
+        let cache = BaselineCache::new(&setup);
+        let reference =
+            threshold_sweep_cached(&cache, Some(TargetLayer::Inhibitory), &config).unwrap();
+
+        // Hand-drive the stages, executing cells in *reverse* order to
+        // prove assembly is slot-addressed, not arrival-ordered.
+        let plan = plan_threshold_sweep(Some(TargetLayer::Inhibitory), &config);
+        let baseline_accuracy = mean_baseline_accuracy(&cache, &plan.seeds);
+        let mut results = Vec::new();
+        for job in plan.jobs.iter().rev() {
+            results.push(execute_cell(&cache, &plan.seeds, baseline_accuracy, job, None).unwrap());
+        }
+        let staged =
+            assemble_sweep(plan.kind, baseline_accuracy, plan.jobs.len(), results).unwrap();
+        assert_eq!(staged.cells.len(), reference.cells.len());
+        for (a, b) in staged.cells.iter().zip(&reference.cells) {
+            assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
+            assert_eq!(
+                a.relative_change_percent.to_bits(),
+                b.relative_change_percent.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn assemble_rejects_incomplete_and_conflicting_results() {
+        let cell = SweepCell {
+            rel_change: -0.2,
+            fraction: 1.0,
+            accuracy: 0.5,
+            relative_change_percent: -10.0,
+        };
+        let ok = assemble_sweep(
+            AttackKind::InhibitoryThreshold,
+            0.55,
+            2,
+            vec![
+                CellResult { index: 1, cell },
+                CellResult { index: 0, cell },
+                // Identical duplicate (a retried delivery) is tolerated.
+                CellResult { index: 0, cell },
+            ],
+        )
+        .unwrap();
+        assert_eq!(ok.cells.len(), 2);
+
+        let missing = assemble_sweep(
+            AttackKind::InhibitoryThreshold,
+            0.55,
+            2,
+            vec![CellResult { index: 0, cell }],
+        );
+        assert!(missing.is_err());
+
+        let out_of_range = assemble_sweep(
+            AttackKind::InhibitoryThreshold,
+            0.55,
+            2,
+            vec![CellResult { index: 7, cell }],
+        );
+        assert!(out_of_range.is_err());
+
+        let conflicting = assemble_sweep(
+            AttackKind::InhibitoryThreshold,
+            0.55,
+            1,
+            vec![
+                CellResult { index: 0, cell },
+                CellResult {
+                    index: 0,
+                    cell: SweepCell {
+                        accuracy: 0.9,
+                        ..cell
+                    },
+                },
+            ],
+        );
+        assert!(conflicting.is_err());
+    }
+
+    #[test]
+    fn execute_cell_rejects_invalid_wire_jobs() {
+        let setup = tiny_setup();
+        let cache = BaselineCache::new(&setup);
+        let bad_theta = CellJob {
+            index: 0,
+            attack: CellAttack::Theta { theta_change: -2.0 },
+        };
+        assert!(execute_cell(&cache, &[1], 0.5, &bad_theta, None).is_err());
+        let bad_fraction = CellJob {
+            index: 0,
+            attack: CellAttack::Threshold {
+                layer: Some(TargetLayer::Inhibitory),
+                rel_change: -0.2,
+                fraction: 1.5,
+            },
+        };
+        assert!(execute_cell(&cache, &[1], 0.5, &bad_fraction, None).is_err());
+        let vdd_without_table = CellJob {
+            index: 0,
+            attack: CellAttack::Vdd { vdd: 0.8 },
+        };
+        assert!(execute_cell(&cache, &[1], 0.5, &vdd_without_table, None).is_err());
+        let bad_vdd = CellJob {
+            index: 0,
+            attack: CellAttack::Vdd { vdd: -0.1 },
+        };
+        assert!(execute_cell(&cache, &[1], 0.5, &bad_vdd, None).is_err());
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! Self-contained campaign descriptions.
+//!
+//! A [`CampaignSpec`] is everything a worker needs to reproduce the
+//! coordinator's experiment bit-for-bit: a named experiment preset plus
+//! the scale knobs that matter ([`SetupSpec`]), and the sweep grid with
+//! its attack family ([`SweepSpec`]). Workers never receive closures or
+//! tables by reference — the spec crosses the wire whole, and its
+//! [`digest`](CampaignSpec::digest) binds checkpoint journals to the
+//! exact campaign they were written for.
+//!
+//! Per-node execution details (worker threads, batch sizes) are
+//! deliberately *not* part of the spec: cell values are pure functions
+//! of `(setup, job)`, so scheduling never shows up in the results.
+
+use neurofi_analog::{PowerTransferTable, TransferPoint};
+use neurofi_core::attacks::ExperimentSetup;
+use neurofi_core::sweep::{
+    plan_theta_sweep, plan_threshold_sweep, plan_vdd_sweep, theta_sweep_cached,
+    threshold_sweep_cached, vdd_sweep_cached, SweepPlan, SweepResult,
+};
+use neurofi_core::{BaselineCache, Error, Parallelism, SweepConfig, TargetLayer};
+
+use crate::wire::{encode_campaign_spec, Encoder};
+
+/// The experiment preset a [`SetupSpec`] starts from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetupBase {
+    /// [`ExperimentSetup::quick`] — the reduced protocol.
+    Quick,
+    /// [`ExperimentSetup::paper`] — the paper's full protocol.
+    Paper,
+}
+
+/// A serializable experiment description: preset plus the scale knobs
+/// campaigns actually vary. [`materialize`](SetupSpec::materialize)
+/// turns it back into an [`ExperimentSetup`] on any machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SetupSpec {
+    /// Base preset.
+    pub base: SetupBase,
+    /// Experiment seed (the per-cell seeds come from the sweep).
+    pub seed: u64,
+    /// Training-set size.
+    pub n_train: usize,
+    /// Held-out evaluation-set size.
+    pub n_test: usize,
+    /// Per-sample exposure, milliseconds.
+    pub sample_time_ms: f64,
+    /// Assignment window override.
+    pub assignment_window: Option<usize>,
+}
+
+impl SetupSpec {
+    fn capture(base: SetupBase, setup: &ExperimentSetup, seed: u64) -> SetupSpec {
+        SetupSpec {
+            base,
+            seed,
+            n_train: setup.n_train,
+            n_test: setup.n_test,
+            sample_time_ms: setup.network.sample_time_ms,
+            assignment_window: setup.train_options.assignment_window,
+        }
+    }
+
+    /// Captures [`ExperimentSetup::quick`] at `seed`.
+    pub fn quick(seed: u64) -> SetupSpec {
+        SetupSpec::capture(SetupBase::Quick, &ExperimentSetup::quick(seed), seed)
+    }
+
+    /// Captures [`ExperimentSetup::paper`] at `seed`.
+    pub fn paper(seed: u64) -> SetupSpec {
+        SetupSpec::capture(SetupBase::Paper, &ExperimentSetup::paper(seed), seed)
+    }
+
+    /// The `repro bench` scale: the quick preset with abbreviated
+    /// training, so a full grid finishes in seconds per core.
+    pub fn bench(seed: u64) -> SetupSpec {
+        SetupSpec {
+            n_train: 40,
+            n_test: 20,
+            sample_time_ms: 40.0,
+            assignment_window: None,
+            ..SetupSpec::quick(seed)
+        }
+    }
+
+    /// Reconstructs the [`ExperimentSetup`] this spec describes.
+    /// Parallelism is left at the default; every node picks its own.
+    pub fn materialize(&self) -> ExperimentSetup {
+        let mut setup = match self.base {
+            SetupBase::Quick => ExperimentSetup::quick(self.seed),
+            SetupBase::Paper => ExperimentSetup::paper(self.seed),
+        };
+        setup.n_train = self.n_train;
+        setup.n_test = self.n_test;
+        setup.network.sample_time_ms = self.sample_time_ms;
+        setup.train_options.assignment_window = self.assignment_window;
+        setup
+    }
+}
+
+/// Which attack family a campaign sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepKindSpec {
+    /// Attacks 2–4 over `values × fractions` (`layer = None` is
+    /// Attack 4).
+    Threshold {
+        /// Target layer.
+        layer: Option<TargetLayer>,
+    },
+    /// Attack 1 over theta changes in `values`.
+    Theta,
+    /// Attack 5 over supply voltages in `values`, using this transfer
+    /// table (serialised point-by-point so heterogeneous workers share
+    /// one characterisation).
+    Vdd {
+        /// VDD → parameter transfer points, strictly increasing in VDD.
+        transfer: Vec<TransferPoint>,
+    },
+}
+
+/// The sweep grid of a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Attack family.
+    pub kind: SweepKindSpec,
+    /// Primary swept values: threshold changes, theta changes, or VDDs.
+    pub values: Vec<f64>,
+    /// Layer fractions (threshold sweeps only; empty otherwise).
+    pub fractions: Vec<f64>,
+    /// Seeds each cell averages over.
+    pub seeds: Vec<u64>,
+}
+
+/// A complete, wire-serializable sweep campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// The experiment every cell trains and evaluates.
+    pub setup: SetupSpec,
+    /// The grid to shard.
+    pub sweep: SweepSpec,
+}
+
+impl CampaignSpec {
+    /// Rejects specs that cannot run: empty grids, empty seed lists, or
+    /// an unusable VDD transfer table.
+    ///
+    /// # Errors
+    /// Returns [`Error::Invalid`] with the reason.
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.sweep.values.is_empty() {
+            return Err(Error::Invalid("campaign sweeps no values".into()));
+        }
+        if self.sweep.seeds.is_empty() {
+            return Err(Error::Invalid("campaign has no seeds".into()));
+        }
+        match &self.sweep.kind {
+            SweepKindSpec::Threshold { .. } if self.sweep.fractions.is_empty() => {
+                Err(Error::Invalid("threshold campaign has no fractions".into()))
+            }
+            SweepKindSpec::Vdd { transfer } => {
+                if transfer.len() < 2 {
+                    return Err(Error::Invalid(
+                        "vdd campaign needs at least two transfer points".into(),
+                    ));
+                }
+                if !transfer.windows(2).all(|w| w[0].vdd < w[1].vdd) {
+                    return Err(Error::Invalid(
+                        "vdd transfer points must be strictly increasing".into(),
+                    ));
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Reconstructs the experiment setup (see [`SetupSpec::materialize`]).
+    pub fn materialize(&self) -> ExperimentSetup {
+        self.setup.materialize()
+    }
+
+    /// Stage-1 enumeration of every cell in the campaign.
+    pub fn plan(&self) -> SweepPlan {
+        match &self.sweep.kind {
+            SweepKindSpec::Threshold { layer } => plan_threshold_sweep(
+                *layer,
+                &SweepConfig {
+                    rel_changes: self.sweep.values.clone(),
+                    fractions: self.sweep.fractions.clone(),
+                    seeds: self.sweep.seeds.clone(),
+                },
+            ),
+            SweepKindSpec::Theta => plan_theta_sweep(&self.sweep.values, &self.sweep.seeds),
+            SweepKindSpec::Vdd { .. } => plan_vdd_sweep(&self.sweep.values, &self.sweep.seeds),
+        }
+    }
+
+    /// The transfer table VDD cells execute against (`None` for other
+    /// families). Call [`validate`](CampaignSpec::validate) first; an
+    /// invalid table fails here too.
+    ///
+    /// # Errors
+    /// Returns [`Error::Invalid`] for unusable tables.
+    pub fn transfer_table(&self) -> Result<Option<PowerTransferTable>, Error> {
+        match &self.sweep.kind {
+            SweepKindSpec::Vdd { transfer } => {
+                self.validate()?;
+                Ok(Some(PowerTransferTable::new(transfer.clone())))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// FNV-1a digest over the canonical encoding — the identity that
+    /// binds checkpoint journals and worker handshakes to one campaign.
+    pub fn digest(&self) -> u64 {
+        let mut enc = Encoder::new();
+        encode_campaign_spec(&mut enc, self);
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in enc.finish() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Runs the whole campaign serially in this process — the reference
+    /// a distributed merge must match bit-for-bit.
+    ///
+    /// # Errors
+    /// Propagates validation and attack failures.
+    pub fn run_serial(&self) -> Result<SweepResult, Error> {
+        self.validate()?;
+        let setup = self.materialize().with_parallelism(Parallelism::Serial);
+        let cache = BaselineCache::new(&setup);
+        let config = SweepConfig {
+            rel_changes: self.sweep.values.clone(),
+            fractions: self.sweep.fractions.clone(),
+            seeds: self.sweep.seeds.clone(),
+        };
+        match &self.sweep.kind {
+            SweepKindSpec::Threshold { layer } => threshold_sweep_cached(&cache, *layer, &config),
+            SweepKindSpec::Theta => {
+                theta_sweep_cached(&cache, &self.sweep.values, &self.sweep.seeds)
+            }
+            SweepKindSpec::Vdd { transfer } => vdd_sweep_cached(
+                &cache,
+                &self.sweep.values,
+                &PowerTransferTable::new(transfer.clone()),
+                &self.sweep.seeds,
+            ),
+        }
+    }
+}
+
+/// Looks up a named campaign grid for the `repro` CLI and CI:
+///
+/// * `tiny` — 2 × 2 inhibitory-threshold grid at bench scale (4 cells;
+///   the CI smoke grid).
+/// * `fig8-reduced` — the paper's Fig. 8b grid *shape* (4 × 6) at bench
+///   scale; the distributed-vs-serial acceptance grid.
+/// * `fig8` — Fig. 8b at quick fidelity.
+/// * `fig8-full` — Fig. 8b at the paper's full protocol.
+pub fn named_campaign(name: &str) -> Option<CampaignSpec> {
+    let il = SweepKindSpec::Threshold {
+        layer: Some(TargetLayer::Inhibitory),
+    };
+    let paper_grid = SweepConfig::paper_grid();
+    match name {
+        // Fractions 0.75/0.9 are where the reduced-scale IL surface has
+        // visible structure; a flat surface could not catch slot
+        // mix-ups in the golden comparison.
+        "tiny" => Some(CampaignSpec {
+            setup: SetupSpec::bench(42),
+            sweep: SweepSpec {
+                kind: il,
+                values: vec![-0.20, 0.20],
+                fractions: vec![0.0, 0.75, 0.90],
+                seeds: vec![42],
+            },
+        }),
+        "fig8-reduced" => Some(CampaignSpec {
+            setup: SetupSpec::bench(42),
+            sweep: SweepSpec {
+                kind: il,
+                values: paper_grid.rel_changes,
+                fractions: paper_grid.fractions,
+                seeds: vec![42],
+            },
+        }),
+        "fig8" => Some(CampaignSpec {
+            setup: SetupSpec::quick(42),
+            sweep: SweepSpec {
+                kind: il,
+                values: paper_grid.rel_changes,
+                fractions: paper_grid.fractions,
+                seeds: vec![42],
+            },
+        }),
+        "fig8-full" => Some(CampaignSpec {
+            setup: SetupSpec::paper(42),
+            sweep: SweepSpec {
+                kind: il,
+                values: paper_grid.rel_changes,
+                fractions: paper_grid.fractions,
+                seeds: vec![42],
+            },
+        }),
+        _ => None,
+    }
+}
+
+/// The campaign names [`named_campaign`] accepts, for CLI help.
+pub const NAMED_CAMPAIGNS: &[&str] = &["tiny", "fig8-reduced", "fig8", "fig8-full"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_campaigns_resolve_and_validate() {
+        for name in NAMED_CAMPAIGNS {
+            let spec = named_campaign(name).unwrap();
+            spec.validate().unwrap();
+            assert!(!spec.plan().jobs.is_empty(), "{name} enumerates no cells");
+        }
+        assert!(named_campaign("nope").is_none());
+    }
+
+    #[test]
+    fn materialized_setup_round_trips_scale_knobs() {
+        let spec = SetupSpec::bench(7);
+        let setup = spec.materialize();
+        assert_eq!(setup.n_train, 40);
+        assert_eq!(setup.n_test, 20);
+        assert_eq!(setup.network.sample_time_ms, 40.0);
+        assert_eq!(setup.train_options.assignment_window, None);
+        assert_eq!(setup.network_seed, 7);
+        // Re-capturing the materialised setup is the identity.
+        let recaptured = SetupSpec::capture(SetupBase::Quick, &setup, 7);
+        assert_eq!(recaptured, spec);
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let a = named_campaign("tiny").unwrap();
+        let b = named_campaign("tiny").unwrap();
+        assert_eq!(a.digest(), b.digest());
+        let mut c = named_campaign("tiny").unwrap();
+        c.sweep.seeds = vec![43];
+        assert_ne!(a.digest(), c.digest());
+        let mut d = named_campaign("tiny").unwrap();
+        d.setup.n_train += 1;
+        assert_ne!(a.digest(), d.digest());
+    }
+
+    #[test]
+    fn validation_catches_degenerate_campaigns() {
+        let mut spec = named_campaign("tiny").unwrap();
+        spec.sweep.values.clear();
+        assert!(spec.validate().is_err());
+
+        let mut spec = named_campaign("tiny").unwrap();
+        spec.sweep.seeds.clear();
+        assert!(spec.validate().is_err());
+
+        let mut spec = named_campaign("tiny").unwrap();
+        spec.sweep.fractions.clear();
+        assert!(spec.validate().is_err());
+
+        let mut spec = named_campaign("tiny").unwrap();
+        spec.sweep.kind = SweepKindSpec::Vdd {
+            transfer: vec![TransferPoint {
+                vdd: 1.0,
+                drive_scale: 1.0,
+                ah_threshold_scale: 1.0,
+                if_threshold_scale: 1.0,
+            }],
+        };
+        assert!(spec.validate().is_err());
+        assert!(spec.transfer_table().is_err());
+    }
+
+    #[test]
+    fn vdd_campaign_builds_transfer_table() {
+        let points = PowerTransferTable::paper_nominal().points().to_vec();
+        let spec = CampaignSpec {
+            setup: SetupSpec::bench(42),
+            sweep: SweepSpec {
+                kind: SweepKindSpec::Vdd {
+                    transfer: points.clone(),
+                },
+                values: vec![0.8, 1.0],
+                fractions: vec![],
+                seeds: vec![42],
+            },
+        };
+        spec.validate().unwrap();
+        let table = spec.transfer_table().unwrap().unwrap();
+        assert_eq!(table.points(), points.as_slice());
+        assert_eq!(spec.plan().jobs.len(), 2);
+    }
+}

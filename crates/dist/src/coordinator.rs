@@ -1,0 +1,587 @@
+//! The campaign coordinator: shards the cell grid over TCP workers.
+//!
+//! Scheduling is pull-based work stealing at the granularity the PR 1
+//! in-process pool established: idle workers request batches, the
+//! coordinator pops pending cell indices, and a worker that dies (or
+//! times out) simply has its in-flight cells requeued for whoever asks
+//! next. Because every cell is a pure function of `(setup, job)` and the
+//! merge is slot-addressed ([`assemble_sweep`]), *any* interleaving of
+//! workers, retries, and resumes produces the same bit-exact
+//! [`SweepResult`] as a serial run.
+//!
+//! Completed cells are journaled before they are acknowledged, so a
+//! killed coordinator resumes from its checkpoint without recomputing
+//! finished cells (see [`crate::checkpoint`]).
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use neurofi_core::sweep::{assemble_sweep, CellResult, SweepPlan, SweepResult};
+
+use crate::campaign::CampaignSpec;
+use crate::checkpoint::Journal;
+use crate::wire::{Message, PROTOCOL_VERSION};
+use crate::DistError;
+
+/// How a coordinator serves one campaign.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Address to listen on (`127.0.0.1:0` picks a free port).
+    pub bind: String,
+    /// The campaign to shard.
+    pub campaign: CampaignSpec,
+    /// Checkpoint journal path; `None` disables checkpointing.
+    pub journal: Option<PathBuf>,
+    /// Socket read timeout per worker: a worker silent for this long is
+    /// declared dead and its in-flight cells are requeued.
+    pub worker_timeout: Duration,
+    /// How long the coordinator tolerates pending work with *no* workers
+    /// connected before giving up (the journal keeps the progress).
+    pub idle_timeout: Duration,
+    /// Maximum times one cell may be handed out before the campaign is
+    /// declared poisoned (a cell that kills every worker that touches it
+    /// must not retry forever).
+    pub max_attempts: u32,
+}
+
+impl CoordinatorConfig {
+    /// A config with the defaults: generous worker timeout (cells are
+    /// training runs), 60 s idle timeout, 5 attempts per cell.
+    pub fn new(bind: impl Into<String>, campaign: CampaignSpec) -> CoordinatorConfig {
+        CoordinatorConfig {
+            bind: bind.into(),
+            campaign,
+            journal: None,
+            worker_timeout: Duration::from_secs(600),
+            idle_timeout: Duration::from_secs(60),
+            max_attempts: 5,
+        }
+    }
+}
+
+/// The merged outcome of a coordinated campaign.
+#[derive(Debug, Clone)]
+pub struct CoordinatedSweep {
+    /// The assembled sweep — bit-identical to a serial run.
+    pub result: SweepResult,
+    /// Cells in the campaign grid.
+    pub total_cells: usize,
+    /// Cells recovered from the checkpoint journal (not recomputed).
+    pub resumed_cells: usize,
+    /// Cells measured by workers during this run.
+    pub computed_cells: usize,
+    /// Distinct worker connections that completed the handshake.
+    pub workers_seen: usize,
+}
+
+/// Why the serve loop stopped.
+enum Outcome {
+    Complete,
+    Failed(String),
+}
+
+struct State {
+    pending: VecDeque<usize>,
+    attempts: Vec<u32>,
+    completed: Vec<Option<CellResult>>,
+    n_done: usize,
+    baseline_accuracy: Option<f64>,
+    journal: Option<Journal>,
+    workers_connected: usize,
+    workers_seen: usize,
+    outcome: Option<Outcome>,
+}
+
+impl State {
+    fn total(&self) -> usize {
+        self.completed.len()
+    }
+
+    fn fail(&mut self, reason: String) {
+        if self.outcome.is_none() {
+            self.outcome = Some(Outcome::Failed(reason));
+        }
+    }
+
+    fn finish_if_done(&mut self) {
+        if self.n_done == self.total() && self.outcome.is_none() {
+            self.outcome = Some(Outcome::Complete);
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when pending work appears, completion flips, or the
+    /// campaign fails — anything a blocked scheduler call cares about.
+    changed: Condvar,
+    /// Every accepted connection (cloned handles), so shutdown can
+    /// unblock handler reads once the campaign is over.
+    streams: Mutex<Vec<TcpStream>>,
+    plan: SweepPlan,
+}
+
+/// After the campaign ends, how long handlers get to deliver a graceful
+/// `Finished`/`Abort` before their sockets are forcibly shut down.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// A bound coordinator, ready to serve. Splitting bind from serve lets
+/// callers learn the actual port (`bind = "127.0.0.1:0"`) before
+/// workers are launched — the local-cluster helper and tests rely on it.
+#[derive(Debug)]
+pub struct Coordinator {
+    listener: TcpListener,
+    config: CoordinatorConfig,
+}
+
+impl Coordinator {
+    /// Validates the campaign, binds the listener, and (if configured)
+    /// opens or resumes the checkpoint journal early so foreign journals
+    /// are refused before any worker connects.
+    ///
+    /// # Errors
+    /// Fails on invalid campaigns, unbindable addresses, or a journal
+    /// that belongs to a different campaign.
+    pub fn bind(config: CoordinatorConfig) -> Result<Coordinator, DistError> {
+        config.campaign.validate()?;
+        let listener = TcpListener::bind(&config.bind)?;
+        listener.set_nonblocking(true)?;
+        Ok(Coordinator { listener, config })
+    }
+
+    /// The address workers should connect to.
+    ///
+    /// # Errors
+    /// Propagates the (unlikely) socket introspection failure.
+    pub fn local_addr(&self) -> Result<SocketAddr, DistError> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Serves the campaign until every cell is measured (or the campaign
+    /// fails), then assembles the merged sweep.
+    ///
+    /// # Errors
+    /// * [`DistError::Incomplete`] when work remains but no workers have
+    ///   been connected for `idle_timeout` — the journal (if any) holds
+    ///   the progress and the same command resumes it.
+    /// * Poisoned cells (over `max_attempts`), divergent worker
+    ///   baselines, journal i/o failures, and protocol violations
+    ///   surface as their respective variants.
+    pub fn serve(self) -> Result<CoordinatedSweep, DistError> {
+        let plan = self.config.campaign.plan();
+        let total = plan.jobs.len();
+        let digest = self.config.campaign.digest();
+
+        let (journal, recovered) = match &self.config.journal {
+            Some(path) => {
+                let (journal, recovered) = Journal::open(path, digest, total)?;
+                (Some(journal), recovered)
+            }
+            None => (None, Default::default()),
+        };
+
+        let mut completed: Vec<Option<CellResult>> = vec![None; total];
+        let mut n_done = 0usize;
+        for result in &recovered.results {
+            if completed[result.index].is_none() {
+                completed[result.index] = Some(*result);
+                n_done += 1;
+            }
+        }
+        let resumed_cells = n_done;
+        let pending: VecDeque<usize> = (0..total).filter(|&i| completed[i].is_none()).collect();
+
+        let shared = Shared {
+            state: Mutex::new(State {
+                pending,
+                attempts: vec![0; total],
+                completed,
+                n_done,
+                baseline_accuracy: recovered.baseline_accuracy,
+                journal,
+                workers_connected: 0,
+                workers_seen: 0,
+                outcome: None,
+            }),
+            changed: Condvar::new(),
+            streams: Mutex::new(Vec::new()),
+            plan,
+        };
+        {
+            let mut state = shared.state.lock().expect("coordinator state poisoned");
+            state.finish_if_done();
+        }
+
+        let worker_timeout = self.config.worker_timeout;
+        let idle_timeout = self.config.idle_timeout;
+        let max_attempts = self.config.max_attempts;
+        let spec = &self.config.campaign;
+
+        std::thread::scope(|scope| {
+            let mut idle_since = Instant::now();
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let shared = &shared;
+                        scope.spawn(move || {
+                            serve_worker(stream, shared, spec, worker_timeout, max_attempts);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(e) => {
+                        let mut state = shared.state.lock().expect("coordinator state poisoned");
+                        state.fail(format!("listener failed: {e}"));
+                        shared.changed.notify_all();
+                    }
+                }
+
+                {
+                    let mut state = shared.state.lock().expect("coordinator state poisoned");
+                    if state.outcome.is_some() {
+                        break;
+                    }
+                    if state.workers_connected > 0 {
+                        idle_since = Instant::now();
+                    } else if idle_since.elapsed() > idle_timeout {
+                        state.fail(String::new()); // marker: idle abandonment
+                        shared.changed.notify_all();
+                        break;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            // Drain: wake blocked handlers so they deliver Finished/Abort
+            // to their workers; after a short grace, force-shutdown any
+            // connection still open (e.g. a worker mid-computation on
+            // cells that were requeued and finished elsewhere) so the
+            // scope join cannot hang on a silent socket.
+            let deadline = Instant::now() + DRAIN_GRACE;
+            loop {
+                shared.changed.notify_all();
+                {
+                    let state = shared.state.lock().expect("coordinator state poisoned");
+                    if state.workers_connected == 0 {
+                        break;
+                    }
+                }
+                if Instant::now() > deadline {
+                    for stream in shared
+                        .streams
+                        .lock()
+                        .expect("stream registry poisoned")
+                        .iter()
+                    {
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                    }
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        });
+
+        let state = shared
+            .state
+            .into_inner()
+            .expect("coordinator state poisoned");
+        match state.outcome {
+            Some(Outcome::Complete) => {
+                let baseline_accuracy = match state.baseline_accuracy {
+                    Some(b) => b,
+                    // Fully resumed from a journal written before any
+                    // baseline record existed (not produced by this
+                    // version, but cheap to tolerate): derive it locally.
+                    None => {
+                        let setup = self.config.campaign.materialize();
+                        let cache = neurofi_core::BaselineCache::new(&setup);
+                        neurofi_core::sweep::mean_baseline_accuracy(
+                            &cache,
+                            &self.config.campaign.sweep.seeds,
+                        )
+                    }
+                };
+                let results: Vec<CellResult> = state.completed.iter().flatten().copied().collect();
+                let result = assemble_sweep(shared.plan.kind, baseline_accuracy, total, results)?;
+                Ok(CoordinatedSweep {
+                    result,
+                    total_cells: total,
+                    resumed_cells,
+                    computed_cells: state.n_done - resumed_cells,
+                    workers_seen: state.workers_seen,
+                })
+            }
+            Some(Outcome::Failed(reason)) if reason.is_empty() => Err(DistError::Incomplete {
+                done: state.n_done,
+                total,
+                journal: self.config.journal.clone(),
+            }),
+            Some(Outcome::Failed(reason)) => Err(DistError::Protocol(reason)),
+            None => unreachable!("serve loop exits only with an outcome"),
+        }
+    }
+}
+
+/// Pops up to `max_cells` pending cells for a worker, blocking until
+/// work, completion, or failure. Returns `None` when the campaign is
+/// over (complete or failed).
+fn claim_batch(shared: &Shared, max_cells: usize, max_attempts: u32) -> Option<Vec<usize>> {
+    let mut state = shared.state.lock().expect("coordinator state poisoned");
+    loop {
+        if state.outcome.is_some() {
+            return None;
+        }
+        if !state.pending.is_empty() {
+            let take = max_cells.max(1).min(state.pending.len());
+            let mut batch = Vec::with_capacity(take);
+            for _ in 0..take {
+                let index = state.pending.pop_front().expect("checked non-empty");
+                state.attempts[index] += 1;
+                if state.attempts[index] > max_attempts {
+                    state.fail(format!(
+                        "cell {index} failed {max_attempts} assignment attempts; \
+                         campaign poisoned"
+                    ));
+                    shared.changed.notify_all();
+                    return None;
+                }
+                batch.push(index);
+            }
+            return Some(batch);
+        }
+        // No pending work: either everything is done/in flight elsewhere.
+        // Wait in slices so the caller can heartbeat its worker.
+        let (next, timeout) = shared
+            .changed
+            .wait_timeout(state, Duration::from_millis(500))
+            .expect("coordinator state poisoned");
+        state = next;
+        if timeout.timed_out() && state.outcome.is_none() && state.pending.is_empty() {
+            // Hand back an empty batch as a keep-alive; the worker will
+            // re-request.
+            return Some(Vec::new());
+        }
+    }
+}
+
+/// Records measured cells; journals each before acknowledging.
+fn record_results(
+    shared: &Shared,
+    in_flight: &mut Vec<usize>,
+    baseline_accuracy: f64,
+    results: &[CellResult],
+) -> Result<(), String> {
+    let mut state = shared.state.lock().expect("coordinator state poisoned");
+    match state.baseline_accuracy {
+        None => {
+            if let Some(journal) = state.journal.as_mut() {
+                if let Err(e) = journal.record_baseline(baseline_accuracy) {
+                    let reason = format!("journal write failed: {e}");
+                    state.fail(reason.clone());
+                    shared.changed.notify_all();
+                    return Err(reason);
+                }
+            }
+            state.baseline_accuracy = Some(baseline_accuracy);
+        }
+        Some(existing) => {
+            // Cross-worker determinism check: every node must derive the
+            // same baseline bits from the same spec.
+            if existing.to_bits() != baseline_accuracy.to_bits() {
+                let reason = format!(
+                    "worker baseline accuracy {baseline_accuracy:?} diverges from \
+                     campaign baseline {existing:?}: non-deterministic runner"
+                );
+                state.fail(reason.clone());
+                shared.changed.notify_all();
+                return Err(reason);
+            }
+        }
+    }
+    for result in results {
+        if result.index >= state.total() {
+            let reason = format!("worker reported cell {} outside the grid", result.index);
+            state.fail(reason.clone());
+            shared.changed.notify_all();
+            return Err(reason);
+        }
+        in_flight.retain(|&i| i != result.index);
+        match state.completed[result.index] {
+            // A duplicate delivery (the cell was requeued after a timeout
+            // and finished twice) must carry identical bits — this is the
+            // per-cell determinism cross-check. assemble_sweep never sees
+            // conflicting duplicates because only the first value is
+            // kept, so the comparison has to happen here.
+            Some(existing) => {
+                if !same_cell_bits(&existing, result) {
+                    let reason = format!(
+                        "cell {} measured twice with different bits \
+                         ({:?} vs {:?}): non-deterministic runner",
+                        result.index, existing.cell, result.cell
+                    );
+                    state.fail(reason.clone());
+                    shared.changed.notify_all();
+                    return Err(reason);
+                }
+            }
+            None => {
+                if let Some(journal) = state.journal.as_mut() {
+                    if let Err(e) = journal.record_cell(result) {
+                        let reason = format!("journal write failed: {e}");
+                        state.fail(reason.clone());
+                        shared.changed.notify_all();
+                        return Err(reason);
+                    }
+                }
+                state.completed[result.index] = Some(*result);
+                state.n_done += 1;
+            }
+        }
+    }
+    state.finish_if_done();
+    shared.changed.notify_all();
+    Ok(())
+}
+
+/// Bit-level equality of two deliveries of the same cell (`==` on the
+/// floats would treat `0.0 == -0.0` and miss NaN divergence).
+fn same_cell_bits(a: &CellResult, b: &CellResult) -> bool {
+    a.cell.rel_change.to_bits() == b.cell.rel_change.to_bits()
+        && a.cell.fraction.to_bits() == b.cell.fraction.to_bits()
+        && a.cell.accuracy.to_bits() == b.cell.accuracy.to_bits()
+        && a.cell.relative_change_percent.to_bits() == b.cell.relative_change_percent.to_bits()
+}
+
+/// Returns a dead worker's unacknowledged cells to the pending queue.
+fn requeue(shared: &Shared, in_flight: &mut Vec<usize>) {
+    if in_flight.is_empty() {
+        return;
+    }
+    let mut state = shared.state.lock().expect("coordinator state poisoned");
+    for &index in in_flight.iter() {
+        if state.completed[index].is_none() && !state.pending.contains(&index) {
+            state.pending.push_back(index);
+        }
+    }
+    in_flight.clear();
+    shared.changed.notify_all();
+}
+
+/// One worker connection, handshake to goodbye.
+fn serve_worker(
+    mut stream: TcpStream,
+    shared: &Shared,
+    spec: &CampaignSpec,
+    worker_timeout: Duration,
+    max_attempts: u32,
+) {
+    let _ = stream.set_read_timeout(Some(worker_timeout));
+    let _ = stream.set_write_timeout(Some(worker_timeout));
+    let _ = stream.set_nodelay(true);
+    if let Ok(clone) = stream.try_clone() {
+        shared
+            .streams
+            .lock()
+            .expect("stream registry poisoned")
+            .push(clone);
+    }
+
+    // Handshake: Hello in, Campaign out.
+    match Message::read_from(&mut stream) {
+        Ok(Message::Hello { protocol, .. }) if protocol == PROTOCOL_VERSION => {}
+        Ok(Message::Hello { protocol, .. }) => {
+            let _ = Message::Abort {
+                reason: format!(
+                    "protocol mismatch: worker speaks v{protocol}, coordinator v{PROTOCOL_VERSION}"
+                ),
+            }
+            .write_to(&mut stream);
+            return;
+        }
+        _ => return,
+    }
+    if (Message::Campaign { spec: spec.clone() })
+        .write_to(&mut stream)
+        .is_err()
+    {
+        return;
+    }
+    {
+        let mut state = shared.state.lock().expect("coordinator state poisoned");
+        state.workers_connected += 1;
+        state.workers_seen += 1;
+    }
+
+    let mut in_flight: Vec<usize> = Vec::new();
+    loop {
+        match Message::read_from(&mut stream) {
+            Ok(Message::Request { max_cells }) => {
+                match claim_batch(shared, max_cells as usize, max_attempts) {
+                    Some(batch) => {
+                        in_flight.extend(&batch);
+                        let jobs = batch.iter().map(|&i| shared.plan.jobs[i]).collect();
+                        if (Message::Assign { jobs }).write_to(&mut stream).is_err() {
+                            break;
+                        }
+                    }
+                    None => {
+                        // Campaign over: tell the worker why and stop.
+                        let state = shared.state.lock().expect("coordinator state poisoned");
+                        let goodbye = match &state.outcome {
+                            Some(Outcome::Failed(reason)) => Message::Abort {
+                                reason: if reason.is_empty() {
+                                    "campaign abandoned".into()
+                                } else {
+                                    reason.clone()
+                                },
+                            },
+                            _ => Message::Finished,
+                        };
+                        drop(state);
+                        let _ = goodbye.write_to(&mut stream);
+                        break;
+                    }
+                }
+            }
+            Ok(Message::Results {
+                baseline_accuracy,
+                results,
+            }) => {
+                if let Err(reason) =
+                    record_results(shared, &mut in_flight, baseline_accuracy, &results)
+                {
+                    let _ = Message::Abort { reason }.write_to(&mut stream);
+                    break;
+                }
+            }
+            Ok(Message::Abort { .. }) | Ok(_) | Err(_) => break,
+        }
+    }
+
+    requeue(shared, &mut in_flight);
+    let mut state = shared.state.lock().expect("coordinator state poisoned");
+    state.workers_connected -= 1;
+    drop(state);
+    shared.changed.notify_all();
+}
+
+/// Binds and serves in one call — the simple entry point when the bind
+/// address is already concrete.
+///
+/// # Errors
+/// See [`Coordinator::bind`] and [`Coordinator::serve`].
+pub fn run_coordinator(config: CoordinatorConfig) -> Result<CoordinatedSweep, DistError> {
+    Coordinator::bind(config)?.serve()
+}
+
+/// Resolves a bind/connect string early so misconfigured addresses fail
+/// with a clear error instead of a hung socket.
+///
+/// # Errors
+/// Fails when the string resolves to no address.
+pub fn resolve_addr(addr: &str) -> Result<SocketAddr, DistError> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| DistError::Protocol(format!("`{addr}` resolves to no address")))
+}

@@ -1,0 +1,261 @@
+//! # neurofi-dist
+//!
+//! Distributed sweep orchestration: shards the paper's
+//! `rel_changes × fractions × seeds × attack-kind` cell grids across
+//! worker processes and machines, with checkpoint/resume, while keeping
+//! the merged [`SweepResult`](neurofi_core::SweepResult) **bit-identical**
+//! to a serial in-process run.
+//!
+//! Built entirely on `std` (TCP from `std::net`, hand-rolled binary
+//! serialisation) because the workspace builds offline — no tokio, no
+//! serde, no crates.io.
+//!
+//! ## Architecture
+//!
+//! * [`campaign`] — [`CampaignSpec`]: a self-contained, serialisable
+//!   description of one sweep campaign (experiment preset, scale knobs,
+//!   grid, and attack family), with a digest that binds journals and
+//!   handshakes to the exact campaign.
+//! * [`wire`] — length-prefixed framing and defensive binary encoding of
+//!   the coordinator/worker [`Message`](wire::Message)s; floats travel
+//!   as IEEE-754 bit patterns.
+//! * [`coordinator`] — pull-based shard scheduler: workers request
+//!   batches, dead workers' cells are requeued, every completed cell is
+//!   journaled before it is acknowledged.
+//! * [`worker`] — executes batches on the PR 1 in-process pool with one
+//!   shared [`BaselineCache`](neurofi_core::BaselineCache) per process,
+//!   so multi-machine × multi-core runs nest cleanly.
+//! * [`checkpoint`] — the append-only journal interrupted campaigns
+//!   resume from without recomputing finished cells.
+//!
+//! ## Quickstart (in-process cluster over localhost TCP)
+//!
+//! ```no_run
+//! use neurofi_dist::{named_campaign, run_local_cluster, LocalClusterConfig};
+//!
+//! let campaign = named_campaign("tiny").unwrap();
+//! let report = run_local_cluster(&LocalClusterConfig::new(campaign, 2))?;
+//! println!("{} cells merged", report.sweep.result.cells.len());
+//! # Ok::<(), neurofi_dist::DistError>(())
+//! ```
+//!
+//! Across machines, run `repro coordinate` on one host and
+//! `repro work --connect host:port` on the rest.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod campaign;
+pub mod checkpoint;
+pub mod coordinator;
+pub mod wire;
+pub mod worker;
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use neurofi_core::Parallelism;
+
+pub use campaign::{
+    named_campaign, CampaignSpec, SetupBase, SetupSpec, SweepKindSpec, SweepSpec, NAMED_CAMPAIGNS,
+};
+pub use checkpoint::Journal;
+pub use coordinator::{
+    resolve_addr, run_coordinator, CoordinatedSweep, Coordinator, CoordinatorConfig,
+};
+pub use wire::{Message, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use worker::{run_worker, WorkerConfig, WorkerSummary};
+
+/// Any error produced by the distributed layer.
+#[derive(Debug)]
+pub enum DistError {
+    /// A socket or file operation failed.
+    Io(std::io::Error),
+    /// A frame or message could not be encoded/decoded.
+    Wire(WireError),
+    /// The peer violated the protocol (bad handshake, unexpected
+    /// message, divergent determinism fingerprint, poisoned cell, ...).
+    Protocol(String),
+    /// The peer abandoned the campaign and said why.
+    Aborted(String),
+    /// A checkpoint journal could not be used.
+    Journal(String),
+    /// Executing or assembling cells failed in the core engine.
+    Core(neurofi_core::Error),
+    /// The coordinator gave up with work remaining (no workers for the
+    /// idle timeout). The journal, when present, holds the progress;
+    /// rerunning the same command resumes it.
+    Incomplete {
+        /// Cells measured so far (journaled when a journal is set).
+        done: usize,
+        /// Cells in the campaign.
+        total: usize,
+        /// The journal holding the progress, if checkpointing was on.
+        journal: Option<PathBuf>,
+    },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Io(e) => write!(f, "i/o failed: {e}"),
+            DistError::Wire(e) => write!(f, "wire protocol failed: {e}"),
+            DistError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            DistError::Aborted(reason) => write!(f, "campaign aborted by peer: {reason}"),
+            DistError::Journal(msg) => write!(f, "checkpoint journal unusable: {msg}"),
+            DistError::Core(e) => write!(f, "sweep execution failed: {e}"),
+            DistError::Incomplete {
+                done,
+                total,
+                journal,
+            } => match journal {
+                Some(path) => write!(
+                    f,
+                    "campaign incomplete ({done}/{total} cells): no workers connected; \
+                     progress checkpointed in {} — rerun the same command to resume",
+                    path.display()
+                ),
+                None => write!(
+                    f,
+                    "campaign incomplete ({done}/{total} cells): no workers connected \
+                     and no --journal was set, so progress was not checkpointed"
+                ),
+            },
+        }
+    }
+}
+
+impl std::error::Error for DistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DistError::Io(e) => Some(e),
+            DistError::Wire(e) => Some(e),
+            DistError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DistError {
+    fn from(e: std::io::Error) -> DistError {
+        DistError::Io(e)
+    }
+}
+
+impl From<WireError> for DistError {
+    fn from(e: WireError) -> DistError {
+        // An i/o failure underneath the wire layer is an i/o failure.
+        match e {
+            WireError::Io(io) => DistError::Io(io),
+            other => DistError::Wire(other),
+        }
+    }
+}
+
+impl From<neurofi_core::Error> for DistError {
+    fn from(e: neurofi_core::Error) -> DistError {
+        DistError::Core(e)
+    }
+}
+
+/// Configuration for [`run_local_cluster`]: one coordinator plus `n`
+/// worker threads in this process, talking real TCP over localhost.
+#[derive(Debug, Clone)]
+pub struct LocalClusterConfig {
+    /// The campaign to run.
+    pub campaign: CampaignSpec,
+    /// Number of local workers to spawn.
+    pub workers: usize,
+    /// Bind address for the coordinator (default `127.0.0.1:0`).
+    pub bind: String,
+    /// Per-worker cell-level parallelism.
+    pub worker_parallelism: Parallelism,
+    /// Optional per-worker cell budget (workers vanish after this many
+    /// cells — used to exercise requeue/resume).
+    pub worker_max_cells: Option<usize>,
+    /// Checkpoint journal path.
+    pub journal: Option<PathBuf>,
+    /// Coordinator idle timeout (how long pending work may sit with no
+    /// connected workers before the run returns [`DistError::Incomplete`]).
+    pub idle_timeout: Duration,
+    /// Worker-side socket timeout. Scheduling replies are immediate
+    /// (the coordinator heartbeats while work is in flight elsewhere),
+    /// so this only guards against a dead coordinator.
+    pub io_timeout: Duration,
+    /// Coordinator-side silence tolerance per worker. This must cover a
+    /// worker's longest baseline-training plus batch-computation gap —
+    /// paper-scale cells take minutes — and is therefore much larger
+    /// than `io_timeout`.
+    pub worker_timeout: Duration,
+}
+
+impl LocalClusterConfig {
+    /// Defaults: loopback auto-port, serial workers (the cluster itself
+    /// provides the parallelism), no budget, no journal.
+    pub fn new(campaign: CampaignSpec, workers: usize) -> LocalClusterConfig {
+        LocalClusterConfig {
+            campaign,
+            workers,
+            bind: "127.0.0.1:0".into(),
+            worker_parallelism: Parallelism::Serial,
+            worker_max_cells: None,
+            journal: None,
+            idle_timeout: Duration::from_secs(10),
+            io_timeout: Duration::from_secs(60),
+            worker_timeout: Duration::from_secs(600),
+        }
+    }
+}
+
+/// What a local cluster run produced.
+#[derive(Debug)]
+pub struct LocalClusterReport {
+    /// The coordinator's merged sweep.
+    pub sweep: CoordinatedSweep,
+    /// Per-worker outcomes, in spawn order. Workers that error *after*
+    /// the campaign completed (their socket was shut down while they
+    /// were computing requeued duplicates) are reported, not fatal.
+    pub workers: Vec<Result<WorkerSummary, DistError>>,
+}
+
+/// Runs a coordinator and `n` in-process workers over localhost TCP and
+/// returns the merged sweep. The transport is the real wire protocol —
+/// this is the same code path as a multi-machine campaign, minus the
+/// machines.
+///
+/// # Errors
+/// Propagates the coordinator's failure (worker failures are reported in
+/// the [`LocalClusterReport`] but only fail the run when the coordinator
+/// also fails).
+pub fn run_local_cluster(config: &LocalClusterConfig) -> Result<LocalClusterReport, DistError> {
+    let mut coordinator_config =
+        CoordinatorConfig::new(config.bind.clone(), config.campaign.clone());
+    coordinator_config.journal = config.journal.clone();
+    coordinator_config.idle_timeout = config.idle_timeout;
+    coordinator_config.worker_timeout = config.worker_timeout;
+
+    let coordinator = Coordinator::bind(coordinator_config)?;
+    let addr = coordinator.local_addr()?;
+
+    std::thread::scope(|scope| {
+        let worker_handles: Vec<_> = (0..config.workers)
+            .map(|_| {
+                let worker_config = WorkerConfig {
+                    connect: addr.to_string(),
+                    parallelism: config.worker_parallelism,
+                    max_cells: config.worker_max_cells,
+                    batch: None,
+                    io_timeout: config.io_timeout,
+                };
+                scope.spawn(move || run_worker(&worker_config))
+            })
+            .collect();
+
+        let sweep = coordinator.serve();
+        let workers: Vec<Result<WorkerSummary, DistError>> = worker_handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect();
+        sweep.map(|sweep| LocalClusterReport { sweep, workers })
+    })
+}

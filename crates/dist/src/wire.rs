@@ -1,0 +1,752 @@
+//! Length-prefixed framing and hand-rolled binary serialisation.
+//!
+//! The workspace builds offline, so there is no serde / bincode / tokio:
+//! every value that crosses a socket is encoded by hand into a
+//! big-endian byte buffer and shipped as one frame (`u32` length prefix
+//! followed by the payload). Floats travel as IEEE-754 bit patterns,
+//! which is what makes the distributed merge *bit*-identical to a
+//! serial sweep rather than merely close.
+//!
+//! Decoding is defensive: frames larger than [`MAX_FRAME_LEN`] are
+//! rejected before any allocation, truncated buffers fail with
+//! [`WireError::Truncated`], and collection length prefixes are checked
+//! against the bytes actually present so a hostile or corrupt header
+//! cannot trigger an outsized allocation.
+
+use std::io::{Read, Write};
+
+use neurofi_analog::TransferPoint;
+use neurofi_core::sweep::{CellAttack, CellJob, CellResult, SweepCell};
+use neurofi_core::TargetLayer;
+
+use crate::campaign::{CampaignSpec, SetupBase, SetupSpec, SweepKindSpec, SweepSpec};
+
+/// Wire-protocol version; bumped on any incompatible encoding change.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a single frame's payload (16 MiB). The largest real
+/// message is an [`Message::Assign`] batch of cell jobs (~40 bytes per
+/// job), so this is generous headroom, not a constraint.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Errors produced while encoding, framing, or decoding.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket/stream failed.
+    Io(std::io::Error),
+    /// The buffer ended before the value was complete.
+    Truncated,
+    /// A frame header announced a payload larger than [`MAX_FRAME_LEN`].
+    Oversized(usize),
+    /// A payload had bytes left over after the message was decoded.
+    TrailingBytes(usize),
+    /// An enum tag or field had no valid interpretation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o failed: {e}"),
+            WireError::Truncated => write!(f, "frame truncated mid-value"),
+            WireError::Oversized(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::Invalid(msg) => write!(f, "invalid wire value: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> WireError {
+        WireError::Io(e)
+    }
+}
+
+/// Append-only big-endian encoder.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// A fresh, empty encoder.
+    pub fn new() -> Encoder {
+        Encoder::default()
+    }
+
+    /// The encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (bit-exact).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends a length prefix for a collection of `len` items.
+    pub fn seq_len(&mut self, len: usize) {
+        self.u32(len as u32);
+    }
+}
+
+/// Cursor-based decoder over one frame's payload.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Decodes from `buf`, starting at its beginning.
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless every byte was consumed.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::TrailingBytes(n)),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `usize` (rejecting values that overflow the platform).
+    pub fn usize(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.u64()?)
+            .map_err(|_| WireError::Invalid("usize overflows platform width".into()))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::Invalid("string is not UTF-8".into()))
+    }
+
+    /// Reads a collection length prefix, verifying that at least
+    /// `min_item_bytes * len` bytes are actually present — a corrupt
+    /// length can therefore never provoke an outsized allocation.
+    pub fn seq_len(&mut self, min_item_bytes: usize) -> Result<usize, WireError> {
+        let len = self.u32()? as usize;
+        if len.saturating_mul(min_item_bytes.max(1)) > self.remaining() {
+            return Err(WireError::Truncated);
+        }
+        Ok(len)
+    }
+}
+
+/// Writes `payload` as one length-prefixed frame.
+///
+/// # Errors
+/// Rejects oversized payloads; propagates stream failures.
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(payload.len()));
+    }
+    writer.write_all(&(payload.len() as u32).to_be_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame. Oversized length prefixes are
+/// rejected before the payload is allocated or read.
+///
+/// # Errors
+/// Propagates stream failures (including truncation mid-frame, which
+/// surfaces as [`WireError::Io`] with `UnexpectedEof`).
+pub fn read_frame(reader: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; 4];
+    reader.read_exact(&mut header)?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Everything coordinator and worker say to each other.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Worker → coordinator: introduce yourself.
+    Hello {
+        /// The worker's [`PROTOCOL_VERSION`].
+        protocol: u32,
+        /// Worker-pool threads the peer will run cells on.
+        threads: u32,
+    },
+    /// Coordinator → worker: the campaign to execute.
+    Campaign {
+        /// The full, self-contained campaign description.
+        spec: CampaignSpec,
+    },
+    /// Worker → coordinator: give me up to `max_cells` jobs.
+    Request {
+        /// Batch-size cap for the next assignment.
+        max_cells: u32,
+    },
+    /// Coordinator → worker: a shard of jobs (possibly empty, meaning
+    /// "nothing available yet — ask again").
+    Assign {
+        /// The assigned cell jobs.
+        jobs: Vec<CellJob>,
+    },
+    /// Worker → coordinator: measured cells plus the worker's locally
+    /// derived mean baseline accuracy (the coordinator cross-checks the
+    /// bits across workers to catch non-deterministic runners).
+    Results {
+        /// The worker's mean fault-free baseline accuracy.
+        baseline_accuracy: f64,
+        /// The measured cells.
+        results: Vec<CellResult>,
+    },
+    /// Coordinator → worker: the campaign is complete; disconnect.
+    Finished,
+    /// Either direction: the campaign is being abandoned.
+    Abort {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+const TAG_HELLO: u8 = 0;
+const TAG_CAMPAIGN: u8 = 1;
+const TAG_REQUEST: u8 = 2;
+const TAG_ASSIGN: u8 = 3;
+const TAG_RESULTS: u8 = 4;
+const TAG_FINISHED: u8 = 5;
+const TAG_ABORT: u8 = 6;
+
+fn encode_layer(enc: &mut Encoder, layer: Option<TargetLayer>) {
+    enc.u8(match layer {
+        None => 0,
+        Some(TargetLayer::Excitatory) => 1,
+        Some(TargetLayer::Inhibitory) => 2,
+    });
+}
+
+fn decode_layer(dec: &mut Decoder<'_>) -> Result<Option<TargetLayer>, WireError> {
+    match dec.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(TargetLayer::Excitatory)),
+        2 => Ok(Some(TargetLayer::Inhibitory)),
+        tag => Err(WireError::Invalid(format!("unknown layer tag {tag}"))),
+    }
+}
+
+/// Encodes one [`CellJob`].
+pub fn encode_cell_job(enc: &mut Encoder, job: &CellJob) {
+    enc.usize(job.index);
+    match job.attack {
+        CellAttack::Threshold {
+            layer,
+            rel_change,
+            fraction,
+        } => {
+            enc.u8(0);
+            encode_layer(enc, layer);
+            enc.f64(rel_change);
+            enc.f64(fraction);
+        }
+        CellAttack::Theta { theta_change } => {
+            enc.u8(1);
+            enc.f64(theta_change);
+        }
+        CellAttack::Vdd { vdd } => {
+            enc.u8(2);
+            enc.f64(vdd);
+        }
+    }
+}
+
+/// Decodes one [`CellJob`].
+///
+/// # Errors
+/// Fails on truncation or unknown attack tags.
+pub fn decode_cell_job(dec: &mut Decoder<'_>) -> Result<CellJob, WireError> {
+    let index = dec.usize()?;
+    let attack = match dec.u8()? {
+        0 => CellAttack::Threshold {
+            layer: decode_layer(dec)?,
+            rel_change: dec.f64()?,
+            fraction: dec.f64()?,
+        },
+        1 => CellAttack::Theta {
+            theta_change: dec.f64()?,
+        },
+        2 => CellAttack::Vdd { vdd: dec.f64()? },
+        tag => return Err(WireError::Invalid(format!("unknown attack tag {tag}"))),
+    };
+    Ok(CellJob { index, attack })
+}
+
+/// Encodes one [`CellResult`].
+pub fn encode_cell_result(enc: &mut Encoder, result: &CellResult) {
+    enc.usize(result.index);
+    enc.f64(result.cell.rel_change);
+    enc.f64(result.cell.fraction);
+    enc.f64(result.cell.accuracy);
+    enc.f64(result.cell.relative_change_percent);
+}
+
+/// Decodes one [`CellResult`].
+///
+/// # Errors
+/// Fails on truncation.
+pub fn decode_cell_result(dec: &mut Decoder<'_>) -> Result<CellResult, WireError> {
+    Ok(CellResult {
+        index: dec.usize()?,
+        cell: SweepCell {
+            rel_change: dec.f64()?,
+            fraction: dec.f64()?,
+            accuracy: dec.f64()?,
+            relative_change_percent: dec.f64()?,
+        },
+    })
+}
+
+fn encode_setup_spec(enc: &mut Encoder, spec: &SetupSpec) {
+    enc.u8(match spec.base {
+        SetupBase::Quick => 0,
+        SetupBase::Paper => 1,
+    });
+    enc.u64(spec.seed);
+    enc.usize(spec.n_train);
+    enc.usize(spec.n_test);
+    enc.f64(spec.sample_time_ms);
+    match spec.assignment_window {
+        None => enc.u8(0),
+        Some(w) => {
+            enc.u8(1);
+            enc.usize(w);
+        }
+    }
+}
+
+fn decode_setup_spec(dec: &mut Decoder<'_>) -> Result<SetupSpec, WireError> {
+    let base = match dec.u8()? {
+        0 => SetupBase::Quick,
+        1 => SetupBase::Paper,
+        tag => return Err(WireError::Invalid(format!("unknown setup base tag {tag}"))),
+    };
+    let seed = dec.u64()?;
+    let n_train = dec.usize()?;
+    let n_test = dec.usize()?;
+    let sample_time_ms = dec.f64()?;
+    let assignment_window = match dec.u8()? {
+        0 => None,
+        1 => Some(dec.usize()?),
+        tag => {
+            return Err(WireError::Invalid(format!(
+                "unknown option tag {tag} for assignment window"
+            )))
+        }
+    };
+    Ok(SetupSpec {
+        base,
+        seed,
+        n_train,
+        n_test,
+        sample_time_ms,
+        assignment_window,
+    })
+}
+
+fn encode_f64_seq(enc: &mut Encoder, values: &[f64]) {
+    enc.seq_len(values.len());
+    for &v in values {
+        enc.f64(v);
+    }
+}
+
+fn decode_f64_seq(dec: &mut Decoder<'_>) -> Result<Vec<f64>, WireError> {
+    let len = dec.seq_len(8)?;
+    (0..len).map(|_| dec.f64()).collect()
+}
+
+fn encode_sweep_spec(enc: &mut Encoder, spec: &SweepSpec) {
+    match &spec.kind {
+        SweepKindSpec::Threshold { layer } => {
+            enc.u8(0);
+            encode_layer(enc, *layer);
+        }
+        SweepKindSpec::Theta => enc.u8(1),
+        SweepKindSpec::Vdd { transfer } => {
+            enc.u8(2);
+            enc.seq_len(transfer.len());
+            for point in transfer {
+                enc.f64(point.vdd);
+                enc.f64(point.drive_scale);
+                enc.f64(point.ah_threshold_scale);
+                enc.f64(point.if_threshold_scale);
+            }
+        }
+    }
+    encode_f64_seq(enc, &spec.values);
+    encode_f64_seq(enc, &spec.fractions);
+    enc.seq_len(spec.seeds.len());
+    for &seed in &spec.seeds {
+        enc.u64(seed);
+    }
+}
+
+fn decode_sweep_spec(dec: &mut Decoder<'_>) -> Result<SweepSpec, WireError> {
+    let kind = match dec.u8()? {
+        0 => SweepKindSpec::Threshold {
+            layer: decode_layer(dec)?,
+        },
+        1 => SweepKindSpec::Theta,
+        2 => {
+            let len = dec.seq_len(32)?;
+            let transfer = (0..len)
+                .map(|_| {
+                    Ok(TransferPoint {
+                        vdd: dec.f64()?,
+                        drive_scale: dec.f64()?,
+                        ah_threshold_scale: dec.f64()?,
+                        if_threshold_scale: dec.f64()?,
+                    })
+                })
+                .collect::<Result<Vec<_>, WireError>>()?;
+            SweepKindSpec::Vdd { transfer }
+        }
+        tag => return Err(WireError::Invalid(format!("unknown sweep kind tag {tag}"))),
+    };
+    let values = decode_f64_seq(dec)?;
+    let fractions = decode_f64_seq(dec)?;
+    let n_seeds = dec.seq_len(8)?;
+    let seeds = (0..n_seeds)
+        .map(|_| dec.u64())
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SweepSpec {
+        kind,
+        values,
+        fractions,
+        seeds,
+    })
+}
+
+/// Encodes a full [`CampaignSpec`] (also the byte stream its digest is
+/// computed over).
+pub fn encode_campaign_spec(enc: &mut Encoder, spec: &CampaignSpec) {
+    encode_setup_spec(enc, &spec.setup);
+    encode_sweep_spec(enc, &spec.sweep);
+}
+
+/// Decodes a full [`CampaignSpec`].
+///
+/// # Errors
+/// Fails on truncation or unknown tags.
+pub fn decode_campaign_spec(dec: &mut Decoder<'_>) -> Result<CampaignSpec, WireError> {
+    Ok(CampaignSpec {
+        setup: decode_setup_spec(dec)?,
+        sweep: decode_sweep_spec(dec)?,
+    })
+}
+
+impl Message {
+    /// Encodes the message into one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        match self {
+            Message::Hello { protocol, threads } => {
+                enc.u8(TAG_HELLO);
+                enc.u32(*protocol);
+                enc.u32(*threads);
+            }
+            Message::Campaign { spec } => {
+                enc.u8(TAG_CAMPAIGN);
+                encode_campaign_spec(&mut enc, spec);
+            }
+            Message::Request { max_cells } => {
+                enc.u8(TAG_REQUEST);
+                enc.u32(*max_cells);
+            }
+            Message::Assign { jobs } => {
+                enc.u8(TAG_ASSIGN);
+                enc.seq_len(jobs.len());
+                for job in jobs {
+                    encode_cell_job(&mut enc, job);
+                }
+            }
+            Message::Results {
+                baseline_accuracy,
+                results,
+            } => {
+                enc.u8(TAG_RESULTS);
+                enc.f64(*baseline_accuracy);
+                enc.seq_len(results.len());
+                for result in results {
+                    encode_cell_result(&mut enc, result);
+                }
+            }
+            Message::Finished => enc.u8(TAG_FINISHED),
+            Message::Abort { reason } => {
+                enc.u8(TAG_ABORT);
+                enc.string(reason);
+            }
+        }
+        enc.finish()
+    }
+
+    /// Decodes one message from a complete frame payload, requiring that
+    /// every byte is consumed.
+    ///
+    /// # Errors
+    /// Fails on truncation, trailing bytes, or unknown tags.
+    pub fn decode(payload: &[u8]) -> Result<Message, WireError> {
+        let mut dec = Decoder::new(payload);
+        let message = match dec.u8()? {
+            TAG_HELLO => Message::Hello {
+                protocol: dec.u32()?,
+                threads: dec.u32()?,
+            },
+            TAG_CAMPAIGN => Message::Campaign {
+                spec: decode_campaign_spec(&mut dec)?,
+            },
+            TAG_REQUEST => Message::Request {
+                max_cells: dec.u32()?,
+            },
+            TAG_ASSIGN => {
+                let len = dec.seq_len(9)?;
+                let jobs = (0..len)
+                    .map(|_| decode_cell_job(&mut dec))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Message::Assign { jobs }
+            }
+            TAG_RESULTS => {
+                let baseline_accuracy = dec.f64()?;
+                let len = dec.seq_len(40)?;
+                let results = (0..len)
+                    .map(|_| decode_cell_result(&mut dec))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Message::Results {
+                    baseline_accuracy,
+                    results,
+                }
+            }
+            TAG_FINISHED => Message::Finished,
+            TAG_ABORT => Message::Abort {
+                reason: dec.string()?,
+            },
+            tag => return Err(WireError::Invalid(format!("unknown message tag {tag}"))),
+        };
+        dec.expect_end()?;
+        Ok(message)
+    }
+
+    /// Writes the message as one frame.
+    ///
+    /// # Errors
+    /// Propagates framing and stream failures.
+    pub fn write_to(&self, writer: &mut impl Write) -> Result<(), WireError> {
+        write_frame(writer, &self.encode())
+    }
+
+    /// Reads and decodes one framed message.
+    ///
+    /// # Errors
+    /// Propagates framing, stream, and decoding failures.
+    pub fn read_from(reader: &mut impl Read) -> Result<Message, WireError> {
+        Message::decode(&read_frame(reader)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_job() -> CellJob {
+        CellJob {
+            index: 5,
+            attack: CellAttack::Threshold {
+                layer: Some(TargetLayer::Inhibitory),
+                rel_change: -0.2,
+                fraction: 0.75,
+            },
+        }
+    }
+
+    #[test]
+    fn messages_round_trip() {
+        let spec = crate::campaign::named_campaign("tiny").unwrap();
+        let messages = vec![
+            Message::Hello {
+                protocol: PROTOCOL_VERSION,
+                threads: 4,
+            },
+            Message::Campaign { spec },
+            Message::Request { max_cells: 3 },
+            Message::Assign {
+                jobs: vec![
+                    sample_job(),
+                    CellJob {
+                        index: 0,
+                        attack: CellAttack::Theta { theta_change: 0.1 },
+                    },
+                    CellJob {
+                        index: 1,
+                        attack: CellAttack::Vdd { vdd: 0.8 },
+                    },
+                ],
+            },
+            Message::Results {
+                baseline_accuracy: 0.55,
+                results: vec![CellResult {
+                    index: 5,
+                    cell: SweepCell {
+                        rel_change: -0.2,
+                        fraction: 0.75,
+                        accuracy: 0.31,
+                        relative_change_percent: -43.6,
+                    },
+                }],
+            },
+            Message::Finished,
+            Message::Abort {
+                reason: "testing".into(),
+            },
+        ];
+        for message in messages {
+            let decoded = Message::decode(&message.encode()).unwrap();
+            assert_eq!(decoded, message);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_stream() {
+        let message = Message::Request { max_cells: 9 };
+        let mut buf = Vec::new();
+        message.write_to(&mut buf).unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(Message::read_from(&mut cursor).unwrap(), message);
+    }
+
+    #[test]
+    fn oversized_frame_header_is_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(u32::MAX).to_be_bytes());
+        bytes.extend_from_slice(&[0u8; 8]);
+        let mut cursor = Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_and_payloads_fail() {
+        let message = Message::Assign {
+            jobs: vec![sample_job()],
+        };
+        let mut framed = Vec::new();
+        message.write_to(&mut framed).unwrap();
+        // Cut the frame mid-payload: the stream read must fail.
+        let mut cursor = Cursor::new(framed[..framed.len() - 3].to_vec());
+        assert!(Message::read_from(&mut cursor).is_err());
+        // Cut the decoded payload: decoding must fail, not panic.
+        let payload = message.encode();
+        for cut in 0..payload.len() {
+            assert!(Message::decode(&payload[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = Message::Finished.encode();
+        payload.push(0);
+        assert!(matches!(
+            Message::decode(&payload),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn hostile_sequence_lengths_cannot_allocate() {
+        // An Assign frame claiming 2^32-1 jobs but carrying none: the
+        // length check must reject it as truncated instead of reserving.
+        let mut enc = Encoder::new();
+        enc.u8(3); // TAG_ASSIGN
+        enc.u32(u32::MAX);
+        assert!(matches!(
+            Message::decode(&enc.finish()),
+            Err(WireError::Truncated)
+        ));
+    }
+}

@@ -1,0 +1,177 @@
+//! The campaign worker: executes assigned cells on the in-process pool.
+//!
+//! A worker is deliberately stateless between batches: it connects,
+//! learns the [`CampaignSpec`] from the coordinator's handshake, and
+//! then pulls job batches until the coordinator says [`Message::Finished`].
+//! Cells run on the PR 1 work-stealing pool ([`Parallelism`]) and share
+//! one [`BaselineCache`], so a 4-machine × 4-core campaign nests the two
+//! levels of parallelism cleanly: the coordinator shards cells across
+//! machines, each worker shards its batch across cores, and per-seed
+//! baselines are trained at most once per worker process.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use neurofi_analog::PowerTransferTable;
+use neurofi_core::sweep::{execute_cell, mean_baseline_accuracy, run_indexed};
+use neurofi_core::{BaselineCache, Parallelism};
+
+use crate::wire::{Message, PROTOCOL_VERSION};
+use crate::DistError;
+
+/// How a worker connects and executes.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Coordinator address (`host:port`).
+    pub connect: String,
+    /// Cell-level parallelism on this node (the in-process pool).
+    pub parallelism: Parallelism,
+    /// Stop after executing this many cells and disconnect without
+    /// ceremony — deliberate preemption (spot instances, tests of the
+    /// coordinator's requeue path). `None` runs to completion.
+    pub max_cells: Option<usize>,
+    /// Cells requested per batch; defaults to the pool width so every
+    /// core has a cell.
+    pub batch: Option<usize>,
+    /// Socket timeout for coordinator replies (scheduling replies are
+    /// immediate — the coordinator heartbeats empty batches while work
+    /// is in flight elsewhere — so this guards against a dead peer, not
+    /// against slow cells).
+    pub io_timeout: Duration,
+}
+
+impl WorkerConfig {
+    /// A config with the defaults (auto parallelism, no cell budget).
+    pub fn new(connect: impl Into<String>) -> WorkerConfig {
+        WorkerConfig {
+            connect: connect.into(),
+            parallelism: Parallelism::Auto,
+            max_cells: None,
+            batch: None,
+            io_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// What one worker session accomplished.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerSummary {
+    /// Cells this worker measured and reported.
+    pub cells_executed: usize,
+    /// True when the coordinator ended the session with `Finished`
+    /// (false when the worker hit its `max_cells` budget and left).
+    pub finished: bool,
+}
+
+/// Connects to a coordinator and works until the campaign finishes, the
+/// cell budget runs out, or the coordinator aborts.
+///
+/// # Errors
+/// Propagates socket, protocol, and cell-execution failures, and
+/// surfaces a coordinator [`Message::Abort`] as [`DistError::Aborted`].
+pub fn run_worker(config: &WorkerConfig) -> Result<WorkerSummary, DistError> {
+    let mut stream = TcpStream::connect(&config.connect)?;
+    stream.set_read_timeout(Some(config.io_timeout))?;
+    stream.set_write_timeout(Some(config.io_timeout))?;
+    stream.set_nodelay(true)?;
+
+    let pool_width = config.parallelism.worker_count();
+    Message::Hello {
+        protocol: PROTOCOL_VERSION,
+        threads: pool_width as u32,
+    }
+    .write_to(&mut stream)?;
+
+    let spec = match Message::read_from(&mut stream)? {
+        Message::Campaign { spec } => spec,
+        Message::Abort { reason } => return Err(DistError::Aborted(reason)),
+        other => {
+            return Err(DistError::Protocol(format!(
+                "expected campaign handshake, got {other:?}"
+            )))
+        }
+    };
+    spec.validate()?;
+
+    let setup = spec.materialize().with_parallelism(config.parallelism);
+    let cache = BaselineCache::new(&setup);
+    let seeds = spec.sweep.seeds.clone();
+    let transfer: Option<PowerTransferTable> = spec.transfer_table()?;
+
+    // Train the per-seed baselines once, up front; every batch reuses
+    // them through the cache, and the resulting mean is this worker's
+    // determinism fingerprint (the coordinator cross-checks its bits).
+    let baseline_accuracy = mean_baseline_accuracy(&cache, &seeds);
+
+    let batch_size = config.batch.unwrap_or(pool_width).max(1);
+    let mut executed = 0usize;
+    loop {
+        let budget = match config.max_cells {
+            Some(max) => {
+                if executed >= max {
+                    // Preemption: vanish, exactly like a killed process.
+                    return Ok(WorkerSummary {
+                        cells_executed: executed,
+                        finished: false,
+                    });
+                }
+                (max - executed).min(batch_size)
+            }
+            None => batch_size,
+        };
+        Message::Request {
+            max_cells: budget as u32,
+        }
+        .write_to(&mut stream)?;
+
+        let jobs = match Message::read_from(&mut stream)? {
+            Message::Assign { jobs } => jobs,
+            Message::Finished => {
+                return Ok(WorkerSummary {
+                    cells_executed: executed,
+                    finished: true,
+                })
+            }
+            Message::Abort { reason } => return Err(DistError::Aborted(reason)),
+            other => {
+                return Err(DistError::Protocol(format!(
+                    "expected assignment, got {other:?}"
+                )))
+            }
+        };
+        if jobs.is_empty() {
+            // Keep-alive: nothing pending right now (work is in flight on
+            // other workers). Back off briefly and ask again.
+            std::thread::sleep(Duration::from_millis(50));
+            continue;
+        }
+
+        let measured = run_indexed(jobs.len(), config.parallelism, |i| {
+            execute_cell(
+                &cache,
+                &seeds,
+                baseline_accuracy,
+                &jobs[i],
+                transfer.as_ref(),
+            )
+        });
+        let results = measured
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| {
+                // A cell this node cannot execute poisons the whole
+                // campaign; tell the coordinator before bailing.
+                let _ = Message::Abort {
+                    reason: format!("worker cannot execute cell: {e}"),
+                }
+                .write_to(&mut stream);
+                DistError::Core(e)
+            })?;
+        executed += results.len();
+        Message::Results {
+            baseline_accuracy,
+            results,
+        }
+        .write_to(&mut stream)?;
+    }
+}

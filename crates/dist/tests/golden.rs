@@ -1,0 +1,143 @@
+//! Golden regression: a sharded sweep (coordinator + two in-process
+//! workers over localhost TCP) must be *bit*-identical to the serial
+//! engine, and an interrupted campaign must resume from its checkpoint
+//! journal without recomputing finished cells.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use neurofi_core::sweep::SweepResult;
+use neurofi_dist::{named_campaign, run_local_cluster, DistError, LocalClusterConfig};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("neurofi-dist-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn assert_bit_identical(distributed: &SweepResult, serial: &SweepResult) {
+    assert_eq!(distributed.kind, serial.kind);
+    assert_eq!(
+        distributed.baseline_accuracy.to_bits(),
+        serial.baseline_accuracy.to_bits(),
+        "baseline accuracy diverged"
+    );
+    assert_eq!(distributed.cells.len(), serial.cells.len());
+    for (d, s) in distributed.cells.iter().zip(&serial.cells) {
+        assert_eq!(d.rel_change.to_bits(), s.rel_change.to_bits());
+        assert_eq!(d.fraction.to_bits(), s.fraction.to_bits());
+        assert_eq!(
+            d.accuracy.to_bits(),
+            s.accuracy.to_bits(),
+            "cell ({}, {}) accuracy diverged",
+            s.rel_change,
+            s.fraction
+        );
+        assert_eq!(
+            d.relative_change_percent.to_bits(),
+            s.relative_change_percent.to_bits()
+        );
+    }
+}
+
+#[test]
+fn sharded_sweep_is_bit_identical_to_serial() {
+    let campaign = named_campaign("tiny").unwrap();
+    let serial = campaign.run_serial().unwrap();
+
+    // The golden grid must have structure: on a flat surface a slot
+    // mix-up would be invisible to the bit comparison.
+    let distinct: std::collections::HashSet<u64> =
+        serial.cells.iter().map(|c| c.accuracy.to_bits()).collect();
+    assert!(distinct.len() >= 2, "golden surface is flat");
+
+    let report = run_local_cluster(&LocalClusterConfig::new(campaign, 2)).unwrap();
+    assert_bit_identical(&report.sweep.result, &serial);
+    assert_eq!(report.sweep.total_cells, serial.cells.len());
+    assert_eq!(report.sweep.resumed_cells, 0);
+    assert_eq!(report.sweep.computed_cells, serial.cells.len());
+    assert_eq!(report.sweep.workers_seen, 2);
+
+    // Both workers ended with a graceful Finished and between them
+    // covered the whole grid.
+    let mut executed = 0;
+    for worker in &report.workers {
+        let summary = worker.as_ref().expect("worker failed");
+        assert!(summary.finished);
+        executed += summary.cells_executed;
+    }
+    assert_eq!(executed, serial.cells.len());
+}
+
+#[test]
+fn killed_workers_then_resume_completes_without_recompute() {
+    let dir = temp_dir("resume");
+    let journal = dir.join("campaign.journal");
+    let campaign = named_campaign("tiny").unwrap();
+    let total = campaign.plan().jobs.len();
+    assert_eq!(total, 6);
+
+    // Phase 1: two workers that each execute exactly one cell and then
+    // vanish mid-campaign (the preemption path). With nobody left to
+    // serve, the coordinator gives up quickly and checkpoints progress.
+    let mut interrupted = LocalClusterConfig::new(campaign.clone(), 2);
+    interrupted.journal = Some(journal.clone());
+    interrupted.worker_max_cells = Some(1);
+    interrupted.idle_timeout = Duration::from_millis(400);
+    let err = run_local_cluster(&interrupted).unwrap_err();
+    match err {
+        DistError::Incomplete {
+            done,
+            total: t,
+            journal: j,
+        } => {
+            assert_eq!(done, 2, "each preempted worker completed one cell");
+            assert_eq!(t, total);
+            assert_eq!(j.as_deref(), Some(journal.as_path()));
+        }
+        other => panic!("expected Incomplete, got {other}"),
+    }
+    let journal_text = std::fs::read_to_string(&journal).unwrap();
+    assert_eq!(
+        journal_text
+            .lines()
+            .filter(|l| l.starts_with("cell "))
+            .count(),
+        2,
+        "both finished cells were checkpointed:\n{journal_text}"
+    );
+
+    // Phase 2: resume with healthy workers. Only the two unfinished
+    // cells may be computed; the journal supplies the rest.
+    let mut resumed = LocalClusterConfig::new(campaign.clone(), 2);
+    resumed.journal = Some(journal.clone());
+    let report = run_local_cluster(&resumed).unwrap();
+    assert_eq!(report.sweep.resumed_cells, 2);
+    assert_eq!(report.sweep.computed_cells, total - 2);
+    let recomputed: usize = report
+        .workers
+        .iter()
+        .map(|w| w.as_ref().expect("worker failed").cells_executed)
+        .sum();
+    assert_eq!(
+        recomputed,
+        total - 2,
+        "finished cells must not be recomputed"
+    );
+
+    // The resumed merge is still bit-identical to the serial engine.
+    let serial = campaign.run_serial().unwrap();
+    assert_bit_identical(&report.sweep.result, &serial);
+
+    // Resuming a *complete* journal computes nothing at all.
+    let mut replay = LocalClusterConfig::new(campaign, 0);
+    replay.journal = Some(journal);
+    replay.idle_timeout = Duration::from_millis(400);
+    let report = run_local_cluster(&replay).unwrap();
+    assert_eq!(report.sweep.resumed_cells, total);
+    assert_eq!(report.sweep.computed_cells, 0);
+    assert_bit_identical(&report.sweep.result, &serial);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

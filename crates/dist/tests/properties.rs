@@ -1,0 +1,164 @@
+//! Property tests for the wire protocol (via the vendored proptest
+//! compat crate): encode/decode round-trips must be bit-exact, and
+//! malformed frames — truncated or oversized — must be rejected, never
+//! mis-decoded and never allowed to allocate unbounded memory.
+
+use std::io::Cursor;
+
+use neurofi_core::sweep::{CellAttack, CellJob, CellResult, SweepCell};
+use neurofi_core::TargetLayer;
+use neurofi_dist::wire::{
+    decode_cell_job, decode_cell_result, encode_cell_job, encode_cell_result, read_frame,
+    write_frame, Decoder, Encoder, Message, WireError,
+};
+use neurofi_dist::MAX_FRAME_LEN;
+use proptest::prelude::*;
+
+fn build_job(index: usize, tag: u8, layer_tag: u8, a: f64, b: f64) -> CellJob {
+    let attack = match tag % 3 {
+        0 => CellAttack::Threshold {
+            layer: match layer_tag % 3 {
+                0 => None,
+                1 => Some(TargetLayer::Excitatory),
+                _ => Some(TargetLayer::Inhibitory),
+            },
+            rel_change: a,
+            fraction: b,
+        },
+        1 => CellAttack::Theta { theta_change: a },
+        _ => CellAttack::Vdd { vdd: b },
+    };
+    CellJob { index, attack }
+}
+
+fn job_bits(job: &CellJob) -> (usize, u8, Option<u64>, u64, u64) {
+    match job.attack {
+        CellAttack::Threshold {
+            layer,
+            rel_change,
+            fraction,
+        } => (
+            job.index,
+            0,
+            layer.map(|l| l as u64),
+            rel_change.to_bits(),
+            fraction.to_bits(),
+        ),
+        CellAttack::Theta { theta_change } => (job.index, 1, None, theta_change.to_bits(), 0),
+        CellAttack::Vdd { vdd } => (job.index, 2, None, vdd.to_bits(), 0),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cell_jobs_round_trip_bit_exactly(
+        index in 0usize..1_000_000,
+        tag in 0u8..3,
+        layer_tag in 0u8..3,
+        a in -0.99f64..=2.0,
+        b in 0.0f64..=1.5,
+    ) {
+        let job = build_job(index, tag, layer_tag, a, b);
+        let mut enc = Encoder::new();
+        encode_cell_job(&mut enc, &job);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        let decoded = decode_cell_job(&mut dec).expect("round trip decodes");
+        dec.expect_end().expect("no trailing bytes");
+        prop_assert_eq!(job_bits(&decoded), job_bits(&job));
+    }
+
+    #[test]
+    fn cell_results_round_trip_bit_exactly(
+        index in 0usize..1_000_000,
+        rel in -0.5f64..=0.5,
+        frac in 0.0f64..=1.0,
+        acc in 0.0f64..=1.0,
+        chg in -100.0f64..=100.0,
+    ) {
+        let result = CellResult {
+            index,
+            cell: SweepCell {
+                rel_change: rel,
+                fraction: frac,
+                accuracy: acc,
+                relative_change_percent: chg,
+            },
+        };
+        let mut enc = Encoder::new();
+        encode_cell_result(&mut enc, &result);
+        let bytes = enc.finish();
+        let decoded = decode_cell_result(&mut Decoder::new(&bytes)).expect("decodes");
+        prop_assert_eq!(decoded.index, result.index);
+        prop_assert_eq!(decoded.cell.rel_change.to_bits(), rel.to_bits());
+        prop_assert_eq!(decoded.cell.fraction.to_bits(), frac.to_bits());
+        prop_assert_eq!(decoded.cell.accuracy.to_bits(), acc.to_bits());
+        prop_assert_eq!(decoded.cell.relative_change_percent.to_bits(), chg.to_bits());
+    }
+
+    #[test]
+    fn assign_messages_round_trip_through_frames(
+        n_jobs in 1usize..40,
+        tag in 0u8..3,
+        a in -0.9f64..=1.5,
+    ) {
+        let jobs: Vec<CellJob> = (0..n_jobs)
+            .map(|i| build_job(i, tag.wrapping_add(i as u8), i as u8, a, a.abs()))
+            .collect();
+        let message = Message::Assign { jobs };
+        let mut framed = Vec::new();
+        message.write_to(&mut framed).expect("frame writes");
+        let decoded = Message::read_from(&mut Cursor::new(framed)).expect("frame reads");
+        prop_assert_eq!(decoded, message);
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected_not_misdecoded(
+        n_jobs in 1usize..20,
+        cut_seed in 0u64..10_000,
+    ) {
+        let jobs: Vec<CellJob> = (0..n_jobs)
+            .map(|i| build_job(i, i as u8, i as u8, 0.1, 0.9))
+            .collect();
+        let payload = (Message::Assign { jobs }).encode();
+        // Any strict prefix must fail to decode.
+        let cut = (cut_seed as usize) % payload.len();
+        prop_assert!(Message::decode(&payload[..cut]).is_err());
+        // A frame cut mid-payload must fail the stream read.
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).expect("frame writes");
+        let keep = 4 + cut; // header survives, payload is short
+        prop_assert!(read_frame(&mut Cursor::new(framed[..keep].to_vec())).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_headers_are_rejected_before_allocation(
+        excess in 1u64..=(u32::MAX as u64 - MAX_FRAME_LEN as u64),
+    ) {
+        let claimed = (MAX_FRAME_LEN as u64 + excess) as u32;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&claimed.to_be_bytes());
+        // No payload follows — if the length were honoured this would
+        // either allocate gigabytes or block; it must fail fast instead.
+        match read_frame(&mut Cursor::new(bytes)) {
+            Err(WireError::Oversized(n)) => prop_assert_eq!(n, claimed as usize),
+            other => prop_assert!(false, "expected Oversized, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn hostile_sequence_lengths_never_allocate(
+        claimed in 1_000u32..=u32::MAX,
+    ) {
+        // An Assign message whose job count vastly exceeds the bytes
+        // present: the decoder must reject it as truncated instead of
+        // reserving `claimed * size_of::<CellJob>()` up front.
+        let mut enc = Encoder::new();
+        enc.u8(3); // Assign tag
+        enc.u32(claimed);
+        enc.u8(0); // a few stray bytes, far fewer than claimed jobs
+        prop_assert!(Message::decode(&enc.finish()).is_err());
+    }
+}
