@@ -4,7 +4,7 @@
 //! repro all [--quick] [--out DIR]
 //! repro fig8b fig9a [--quick] [--out DIR]
 //! repro bench [--out DIR]
-//! repro coordinate [--grid NAME] [--workers N] [--journal PATH]
+//! repro coordinate [--grid NAME]... [--workers N] [--journal PATH]
 //! repro work --connect HOST:PORT [--threads N]
 //! repro list
 //! ```
@@ -13,9 +13,10 @@
 //! paper's reported numbers) and, with `--out`, writes a CSV per
 //! experiment. `bench` runs the performance suite (parallel sweep engine
 //! at 1/2/4/8 threads plus the SNN and SPICE kernels) and writes the
-//! machine-readable `BENCH_sweep.json`. `coordinate`/`work` shard a
-//! sweep campaign across workers over TCP with checkpoint/resume (see
-//! `neurofi-dist`); the merged result is bit-identical to a serial run.
+//! machine-readable `BENCH_sweep.json`. `coordinate`/`work` shard sweep
+//! campaigns across workers over TCP with checkpoint/resume (see
+//! `neurofi-dist`); repeat `--grid` to queue several campaigns on one
+//! worker fleet. Every merged result is bit-identical to a serial run.
 
 use std::path::PathBuf;
 use std::process::ExitCode;

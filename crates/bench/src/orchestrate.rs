@@ -12,29 +12,37 @@ use std::time::Duration;
 
 use neurofi_core::{Parallelism, SweepResult, Table};
 use neurofi_dist::{
-    named_campaign, run_local_cluster, run_worker, CoordinatedSweep, Coordinator,
-    CoordinatorConfig, LocalClusterConfig, WorkerConfig, NAMED_CAMPAIGNS,
+    named_campaign, run_local_cluster, run_worker, CampaignSweep, Coordinator, CoordinatorConfig,
+    LocalClusterConfig, NamedCampaign, WorkerConfig, NAMED_CAMPAIGNS,
 };
 
 fn coordinate_usage() -> String {
     format!(
-        "usage: repro coordinate [--grid NAME] [--workers N] [--bind ADDR] \
-         [--journal PATH] [--verify-serial] [--idle-timeout SECS] [--out DIR]\n\
-         grids: {}\n\
+        "usage: repro coordinate [--grid NAME]... [--workers N] [--bind ADDR] \
+         [--journal PATH] [--verify-serial] [--idle-timeout SECS] \
+         [--worker-max-cells K] [--out DIR]\n\
+         grids: {} (repeat --grid to queue several campaigns on one \
+         coordinator/fleet; each keeps its own journal `PATH.<grid>`)\n\
          --workers N  spawn N local workers (over localhost TCP); with 0 \
          (default when --bind is given) the coordinator waits for external \
-         `repro work --connect` peers",
+         `repro work --connect` peers\n\
+         --worker-max-cells K  preempt each local worker after K cells \
+         (exercises the requeue/resume path; mainly for CI)",
         NAMED_CAMPAIGNS.join(" ")
     )
 }
 
 fn work_usage() -> &'static str {
-    "usage: repro work --connect HOST:PORT [--threads N] [--max-cells K] [--batch N]"
+    "usage: repro work --connect HOST:PORT [--threads N] [--max-cells K] \
+     [--batch N] [--ack-window N]"
 }
 
-fn sweep_table(sweep: &SweepResult) -> Table {
+fn sweep_table(name: &str, sweep: &SweepResult) -> Table {
     let mut table = Table::new(
-        format!("Distributed sweep — attack {}", sweep.kind.paper_id()),
+        format!(
+            "Distributed sweep `{name}` — attack {}",
+            sweep.kind.paper_id()
+        ),
         &["value", "fraction", "accuracy", "vs baseline"],
     );
     for cell in &sweep.cells {
@@ -93,32 +101,43 @@ fn verify_against_serial(
     diff_sweeps(&serial, merged)
 }
 
-fn report_sweep(sweep: &CoordinatedSweep, out_dir: Option<&PathBuf>) -> Result<(), String> {
-    let table = sweep_table(&sweep.result);
+fn report_sweep(
+    sweep: &CampaignSweep,
+    many: bool,
+    out_dir: Option<&PathBuf>,
+) -> Result<(), String> {
+    let table = sweep_table(&sweep.name, &sweep.result);
     println!("{}", table.to_markdown());
     println!(
-        "_merged {} cells ({} resumed from checkpoint, {} computed) across {} worker(s)_\n",
-        sweep.total_cells, sweep.resumed_cells, sweep.computed_cells, sweep.workers_seen
+        "_campaign `{}`: merged {} cells ({} resumed from checkpoint, {} computed)_\n",
+        sweep.name, sweep.total_cells, sweep.resumed_cells, sweep.computed_cells
     );
     if let Some(dir) = out_dir {
         std::fs::create_dir_all(dir)
             .map_err(|e| format!("cannot create output directory {}: {e}", dir.display()))?;
-        let path = dir.join("distributed_sweep.csv");
+        let file = if many {
+            format!("distributed_sweep.{}.csv", sweep.name)
+        } else {
+            "distributed_sweep.csv".into()
+        };
+        let path = dir.join(file);
         std::fs::write(&path, table.to_csv())
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     }
     Ok(())
 }
 
-/// `repro coordinate ...`: shard a named campaign grid, merge, report.
+/// `repro coordinate ...`: queue one or more named campaign grids on a
+/// single coordinator/fleet, merge each, report.
 pub fn coordinate_main(args: &[String]) -> ExitCode {
-    let mut grid = "fig8-reduced".to_string();
+    let mut grids: Vec<String> = Vec::new();
     let mut workers = 0usize;
     let mut workers_given = false;
     let mut bind: Option<String> = None;
     let mut journal: Option<PathBuf> = None;
     let mut verify_serial = false;
     let mut idle_timeout = Duration::from_secs(60);
+    let mut worker_max_cells: Option<usize> = None;
     let mut out_dir: Option<PathBuf> = None;
 
     let mut iter = args.iter();
@@ -130,7 +149,7 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
         };
         match arg.as_str() {
             "--grid" => match take("--grid") {
-                Ok(v) => grid = v,
+                Ok(v) => grids.push(v),
                 Err(e) => return usage_error(&e, &coordinate_usage()),
             },
             "--workers" => match take("--workers").and_then(|v| {
@@ -157,6 +176,13 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
                 Ok(v) => idle_timeout = Duration::from_secs(v),
                 Err(e) => return usage_error(&e, &coordinate_usage()),
             },
+            "--worker-max-cells" => match take("--worker-max-cells").and_then(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("bad cell budget `{v}`"))
+            }) {
+                Ok(v) => worker_max_cells = Some(v),
+                Err(e) => return usage_error(&e, &coordinate_usage()),
+            },
             "--out" => match take("--out") {
                 Ok(v) => out_dir = Some(PathBuf::from(v)),
                 Err(e) => return usage_error(&e, &coordinate_usage()),
@@ -176,28 +202,41 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
         // never launched; default to a self-contained two-worker cluster.
         workers = 2;
     }
+    if grids.is_empty() {
+        grids.push("fig8-reduced".into());
+    }
 
-    let Some(campaign) = named_campaign(&grid) else {
-        return usage_error(&format!("unknown grid `{grid}`"), &coordinate_usage());
-    };
+    let mut campaigns: Vec<NamedCampaign> = Vec::with_capacity(grids.len());
+    for grid in &grids {
+        let Some(spec) = named_campaign(grid) else {
+            return usage_error(&format!("unknown grid `{grid}`"), &coordinate_usage());
+        };
+        if campaigns.iter().any(|c| &c.name == grid) {
+            return usage_error(&format!("grid `{grid}` queued twice"), &coordinate_usage());
+        }
+        campaigns.push(NamedCampaign::new(grid.clone(), spec));
+    }
 
+    let total_cells: usize = campaigns.iter().map(|c| c.spec.plan().jobs.len()).sum();
     eprintln!(
-        "coordinate: grid `{grid}` ({} cells), {} local worker(s){}",
-        campaign.plan().jobs.len(),
+        "coordinate: {} campaign(s) [{}] ({total_cells} cells), {} local worker(s){}",
+        campaigns.len(),
+        grids.join(", "),
         workers,
         match &journal {
-            Some(p) => format!(", journal {}", p.display()),
+            Some(p) => format!(", journal base {}", p.display()),
             None => String::new(),
         }
     );
 
-    let sweep = if workers > 0 {
-        let mut config = LocalClusterConfig::new(campaign.clone(), workers);
+    let run = if workers > 0 {
+        let mut config = LocalClusterConfig::multi(campaigns.clone(), workers);
         if let Some(bind) = bind {
             config.bind = bind;
         }
         config.journal = journal;
         config.idle_timeout = idle_timeout;
+        config.worker_max_cells = worker_max_cells;
         config.worker_parallelism = Parallelism::Auto;
         run_local_cluster(&config).map(|report| {
             for (i, worker) in report.workers.iter().enumerate() {
@@ -214,7 +253,7 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
                     Err(e) => eprintln!("worker {i}: failed after merge completed: {e}"),
                 }
             }
-            report.sweep
+            report.run
         })
     } else {
         let Some(bind) = bind else {
@@ -223,7 +262,7 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
                 &coordinate_usage(),
             );
         };
-        let mut config = CoordinatorConfig::new(bind.clone(), campaign.clone());
+        let mut config = CoordinatorConfig::with_campaigns(bind.clone(), campaigns.clone());
         config.journal = journal;
         config.idle_timeout = idle_timeout;
         Coordinator::bind(config).and_then(|coordinator| {
@@ -239,26 +278,40 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
         })
     };
 
-    let sweep = match sweep {
-        Ok(sweep) => sweep,
+    let run = match run {
+        Ok(run) => run,
         Err(e) => {
             eprintln!("coordinate FAILED: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if let Err(e) = report_sweep(&sweep, out_dir.as_ref()) {
-        eprintln!("coordinate FAILED: {e}");
-        return ExitCode::FAILURE;
+    let many = run.campaigns.len() > 1;
+    for sweep in &run.campaigns {
+        if let Err(e) = report_sweep(sweep, many, out_dir.as_ref()) {
+            eprintln!("coordinate FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
     }
+    println!("_{} worker(s) served the fleet_\n", run.workers_seen);
     if verify_serial {
-        eprintln!("verify: re-running the campaign serially for the golden comparison...");
-        match verify_against_serial(&campaign, &sweep.result) {
-            Ok(()) => {
-                println!("_verify-serial: distributed merge is bit-identical to the serial engine_")
-            }
-            Err(e) => {
-                eprintln!("coordinate FAILED verification: {e}");
-                return ExitCode::FAILURE;
+        for (campaign, sweep) in campaigns.iter().zip(&run.campaigns) {
+            eprintln!(
+                "verify: re-running campaign `{}` serially for the golden comparison...",
+                campaign.name
+            );
+            match verify_against_serial(&campaign.spec, &sweep.result) {
+                Ok(()) => println!(
+                    "_verify-serial `{}`: distributed merge is bit-identical to the \
+                     serial engine_",
+                    campaign.name
+                ),
+                Err(e) => {
+                    eprintln!(
+                        "coordinate FAILED verification for `{}`: {e}",
+                        campaign.name
+                    );
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }
@@ -271,6 +324,7 @@ pub fn work_main(args: &[String]) -> ExitCode {
     let mut parallelism = Parallelism::Auto;
     let mut max_cells: Option<usize> = None;
     let mut batch: Option<usize> = None;
+    let mut ack_window: Option<usize> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -305,6 +359,13 @@ pub fn work_main(args: &[String]) -> ExitCode {
                 Ok(v) => batch = Some(v),
                 Err(e) => return usage_error(&e, work_usage()),
             },
+            "--ack-window" => match take("--ack-window").and_then(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("bad ack window `{v}`"))
+            }) {
+                Ok(v) => ack_window = Some(v),
+                Err(e) => return usage_error(&e, work_usage()),
+            },
             "--help" | "-h" => {
                 println!("{}", work_usage());
                 return ExitCode::SUCCESS;
@@ -316,13 +377,13 @@ pub fn work_main(args: &[String]) -> ExitCode {
         return usage_error("--connect is required", work_usage());
     };
 
-    let config = WorkerConfig {
-        connect,
-        parallelism,
-        max_cells,
-        batch,
-        io_timeout: Duration::from_secs(60),
-    };
+    let mut config = WorkerConfig::new(connect);
+    config.parallelism = parallelism;
+    config.max_cells = max_cells;
+    config.batch = batch;
+    if let Some(window) = ack_window {
+        config.ack_window = window;
+    }
     eprintln!(
         "work: connecting to {} with {} thread(s)...",
         config.connect,
@@ -403,8 +464,9 @@ mod tests {
 
     #[test]
     fn sweep_table_has_one_row_per_cell() {
-        let table = sweep_table(&result(0.55, &[0.5, 0.3, 0.1]));
+        let table = sweep_table("tiny", &result(0.55, &[0.5, 0.3, 0.1]));
         assert_eq!(table.len(), 3);
         assert!(table.to_markdown().contains("baseline accuracy"));
+        assert!(table.to_markdown().contains("`tiny`"));
     }
 }

@@ -141,6 +141,28 @@ pub struct CampaignSpec {
     pub sweep: SweepSpec,
 }
 
+/// One entry in a coordinator's campaign queue: a spec plus the name it
+/// is scheduled, journaled, and reported under. Names must be unique
+/// within one coordinator (per-campaign journal paths are derived from
+/// them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedCampaign {
+    /// Queue-unique human-readable name (usually the grid name).
+    pub name: String,
+    /// The campaign itself.
+    pub spec: CampaignSpec,
+}
+
+impl NamedCampaign {
+    /// Names a campaign for queueing.
+    pub fn new(name: impl Into<String>, spec: CampaignSpec) -> NamedCampaign {
+        NamedCampaign {
+            name: name.into(),
+            spec,
+        }
+    }
+}
+
 impl CampaignSpec {
     /// Rejects specs that cannot run: empty grids, empty seed lists, or
     /// an unusable VDD transfer table.
@@ -256,8 +278,12 @@ impl CampaignSpec {
 
 /// Looks up a named campaign grid for the `repro` CLI and CI:
 ///
-/// * `tiny` — 2 × 2 inhibitory-threshold grid at bench scale (4 cells;
+/// * `tiny` — 2 × 3 inhibitory-threshold grid at bench scale (6 cells;
 ///   the CI smoke grid).
+/// * `tiny-theta` — Attack 1 (theta corruption) line at bench scale;
+///   paired with `tiny` in the multi-campaign CI smoke because it is a
+///   *different attack kind* over the *same setup*, so queueing both
+///   exercises cross-campaign baseline sharing on each worker.
 /// * `fig8-reduced` — the paper's Fig. 8b grid *shape* (4 × 6) at bench
 ///   scale; the distributed-vs-serial acceptance grid.
 /// * `fig8` — Fig. 8b at quick fidelity.
@@ -277,6 +303,18 @@ pub fn named_campaign(name: &str) -> Option<CampaignSpec> {
                 kind: il,
                 values: vec![-0.20, 0.20],
                 fractions: vec![0.0, 0.75, 0.90],
+                seeds: vec![42],
+            },
+        }),
+        // Theta changes large enough that the reduced-scale accuracy
+        // line has structure (a flat line could not catch slot mix-ups
+        // in the golden comparison).
+        "tiny-theta" => Some(CampaignSpec {
+            setup: SetupSpec::bench(42),
+            sweep: SweepSpec {
+                kind: SweepKindSpec::Theta,
+                values: vec![-0.50, -0.20, 0.20, 0.50],
+                fractions: vec![],
                 seeds: vec![42],
             },
         }),
@@ -312,7 +350,7 @@ pub fn named_campaign(name: &str) -> Option<CampaignSpec> {
 }
 
 /// The campaign names [`named_campaign`] accepts, for CLI help.
-pub const NAMED_CAMPAIGNS: &[&str] = &["tiny", "fig8-reduced", "fig8", "fig8-full"];
+pub const NAMED_CAMPAIGNS: &[&str] = &["tiny", "tiny-theta", "fig8-reduced", "fig8", "fig8-full"];
 
 #[cfg(test)]
 mod tests {

@@ -1,70 +1,147 @@
-//! The campaign coordinator: shards the cell grid over TCP workers.
+//! The campaign coordinator: queues multiple campaigns and shards their
+//! cell grids over one shared TCP worker fleet.
 //!
 //! Scheduling is pull-based work stealing at the granularity the PR 1
 //! in-process pool established: idle workers request batches, the
-//! coordinator pops pending cell indices, and a worker that dies (or
-//! times out) simply has its in-flight cells requeued for whoever asks
-//! next. Because every cell is a pure function of `(setup, job)` and the
-//! merge is slot-addressed ([`assemble_sweep`]), *any* interleaving of
-//! workers, retries, and resumes produces the same bit-exact
-//! [`SweepResult`] as a serial run.
+//! coordinator pops pending cell indices from the first queued campaign
+//! that still has work, and a worker that dies (or times out) simply has
+//! its in-flight cells requeued for whoever asks next. Batches are sized
+//! by the `threads` each worker reported in its `Hello` (capacity-aware
+//! batching — a 16-core node gets 16× the cells of a 1-core node per
+//! round trip). Because every cell is a pure function of `(setup, job)`
+//! and each campaign's merge is slot-addressed ([`assemble_sweep`]),
+//! *any* interleaving of campaigns, workers, retries, and resumes
+//! produces the same bit-exact [`SweepResult`]s as serial runs.
 //!
-//! Completed cells are journaled before they are acknowledged, so a
-//! killed coordinator resumes from its checkpoint without recomputing
-//! finished cells (see [`crate::checkpoint`]).
+//! Completed cells are journaled — one journal per campaign, each bound
+//! to its campaign digest — before they are acknowledged back to the
+//! worker ([`Message::Ack`]), so a killed coordinator resumes every
+//! queued campaign from its checkpoint without recomputing finished
+//! cells (see [`crate::checkpoint`]).
+//!
+//! Failure accounting distinguishes *worker* failures from *cell*
+//! failures: a worker that dies or times out has its in-flight cells
+//! requeued without advancing the `max_attempts` poison cap (assignment
+//! is not evidence against a cell), while an explicit
+//! [`Message::Failed`] execution report counts toward it. A cell that
+//! fails execution `max_attempts` times — or is orphaned by
+//! `max_worker_losses` dying workers without ever reporting (the
+//! signature of a cell that crashes worker *processes*) — poisons **its
+//! campaign only**: the poisoned campaign stops scheduling, every other
+//! queued campaign runs to completion (and journals), and the run then
+//! ends failed, naming each poisoned campaign with its failure log.
 
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::path::PathBuf;
-use std::sync::{Condvar, Mutex};
+use std::path::{Path, PathBuf};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use neurofi_core::sweep::{assemble_sweep, CellResult, SweepPlan, SweepResult};
 
-use crate::campaign::CampaignSpec;
+use crate::campaign::NamedCampaign;
 use crate::checkpoint::Journal;
 use crate::wire::{Message, PROTOCOL_VERSION};
 use crate::DistError;
 
-/// How a coordinator serves one campaign.
+/// How a coordinator serves its campaign queue.
 #[derive(Debug, Clone)]
 pub struct CoordinatorConfig {
     /// Address to listen on (`127.0.0.1:0` picks a free port).
     pub bind: String,
-    /// The campaign to shard.
-    pub campaign: CampaignSpec,
-    /// Checkpoint journal path; `None` disables checkpointing.
+    /// The campaigns to shard, in queue order (earlier campaigns drain
+    /// first). Names must be unique.
+    pub campaigns: Vec<NamedCampaign>,
+    /// Checkpoint journal base path; `None` disables checkpointing.
+    /// With a single queued campaign the journal lives at exactly this
+    /// path; with several, each campaign journals to
+    /// `<path>.<campaign-name>` (see [`campaign_journal_path`]).
     pub journal: Option<PathBuf>,
     /// Socket read timeout per worker: a worker silent for this long is
     /// declared dead and its in-flight cells are requeued.
     pub worker_timeout: Duration,
     /// How long the coordinator tolerates pending work with *no* workers
-    /// connected before giving up (the journal keeps the progress).
+    /// connected before giving up (the journals keep the progress).
     pub idle_timeout: Duration,
-    /// Maximum times one cell may be handed out before the campaign is
-    /// declared poisoned (a cell that kills every worker that touches it
-    /// must not retry forever).
+    /// Maximum times one cell may *fail execution* (reported via
+    /// [`Message::Failed`]) before its campaign is declared poisoned.
+    /// Worker deaths and timeouts do not count toward this — a healthy
+    /// cell handed to five dying workers requeues for free.
     pub max_attempts: u32,
+    /// Termination backstop for cells whose execution kills the worker
+    /// *process* (no [`Message::Failed`] ever arrives): a cell orphaned
+    /// by this many dying/timing-out workers poisons its campaign. Much
+    /// larger than `max_attempts` so flaky fleets (spot preemption,
+    /// restarts) never false-poison a healthy cell, but a
+    /// worker-crashing cell cannot requeue forever.
+    pub max_worker_losses: u32,
 }
 
 impl CoordinatorConfig {
-    /// A config with the defaults: generous worker timeout (cells are
-    /// training runs), 60 s idle timeout, 5 attempts per cell.
-    pub fn new(bind: impl Into<String>, campaign: CampaignSpec) -> CoordinatorConfig {
+    /// A single-campaign config with the defaults: generous worker
+    /// timeout (cells are training runs), 60 s idle timeout, 5 execution
+    /// failures per cell, 50 worker losses per cell. The campaign is
+    /// queued under the name `main`.
+    pub fn new(bind: impl Into<String>, campaign: crate::CampaignSpec) -> CoordinatorConfig {
+        CoordinatorConfig::with_campaigns(bind, vec![NamedCampaign::new("main", campaign)])
+    }
+
+    /// A config queueing several campaigns with the defaults.
+    pub fn with_campaigns(
+        bind: impl Into<String>,
+        campaigns: Vec<NamedCampaign>,
+    ) -> CoordinatorConfig {
         CoordinatorConfig {
             bind: bind.into(),
-            campaign,
+            campaigns,
             journal: None,
             worker_timeout: Duration::from_secs(600),
             idle_timeout: Duration::from_secs(60),
             max_attempts: 5,
+            max_worker_losses: 50,
         }
     }
 }
 
-/// The merged outcome of a coordinated campaign.
+/// Cells a worker gets per reported thread and scheduling round trip.
+/// 2 keeps every core busy while the next request is in flight without
+/// hoarding cells a slow node would strand until its timeout.
+pub const CELLS_PER_THREAD: usize = 2;
+
+/// Capacity-aware batch sizing: how many cells to hand a worker that
+/// reported `threads` in its `Hello`, asked for at most `requested`, and
+/// faces `pending` unassigned cells. Scales linearly with the reported
+/// width, never exceeds the worker's own cap, and never over-claims the
+/// queue.
+pub fn capacity_batch(threads: u32, requested: u32, pending: usize) -> usize {
+    (threads.max(1) as usize)
+        .saturating_mul(CELLS_PER_THREAD)
+        .min(requested.max(1) as usize)
+        .min(pending)
+}
+
+/// The two per-cell poison caps, bundled for the handler threads.
+#[derive(Debug, Clone, Copy)]
+struct PoisonLimits {
+    max_attempts: u32,
+    max_worker_losses: u32,
+}
+
+/// The per-campaign journal path under `base`: `base` itself for a lone
+/// campaign, `base.<name>` when several campaigns share one coordinator.
+pub fn campaign_journal_path(base: &Path, name: &str, queued: usize) -> PathBuf {
+    if queued <= 1 {
+        base.to_path_buf()
+    } else {
+        PathBuf::from(format!("{}.{name}", base.display()))
+    }
+}
+
+/// One campaign's merged outcome within a [`CoordinatedRun`].
 #[derive(Debug, Clone)]
-pub struct CoordinatedSweep {
+pub struct CampaignSweep {
+    /// The campaign's queue name.
+    pub name: String,
     /// The assembled sweep — bit-identical to a serial run.
     pub result: SweepResult,
     /// Cells in the campaign grid.
@@ -73,6 +150,13 @@ pub struct CoordinatedSweep {
     pub resumed_cells: usize,
     /// Cells measured by workers during this run.
     pub computed_cells: usize,
+}
+
+/// The merged outcome of a coordinated run over every queued campaign.
+#[derive(Debug, Clone)]
+pub struct CoordinatedRun {
+    /// Per-campaign merges, in queue order.
+    pub campaigns: Vec<CampaignSweep>,
     /// Distinct worker connections that completed the handshake.
     pub workers_seen: usize,
 }
@@ -83,48 +167,169 @@ enum Outcome {
     Failed(String),
 }
 
-struct State {
+/// Scheduler state for one queued campaign.
+struct CampaignState {
+    name: String,
     pending: VecDeque<usize>,
-    attempts: Vec<u32>,
+    /// Execution failures per cell ([`Message::Failed`] reports only —
+    /// assignments alone are never counted, so a healthy cell can
+    /// survive any number of dying workers).
+    failures: Vec<u32>,
+    /// Times each cell was orphaned by a dying/timing-out worker. Not
+    /// part of the `max_attempts` poison cap, but bounded by the much
+    /// larger `max_worker_losses` so a cell that crashes worker
+    /// *processes* (and therefore never gets a [`Message::Failed`])
+    /// still cannot requeue forever.
+    orphaned: Vec<u32>,
+    /// Human-readable log of every execution failure, surfaced in the
+    /// poison diagnostic so the operator sees what actually happened.
+    failure_log: Vec<String>,
     completed: Vec<Option<CellResult>>,
     n_done: usize,
     baseline_accuracy: Option<f64>,
     journal: Option<Journal>,
+    /// Set when this campaign is poisoned. A failed campaign stops
+    /// scheduling its cells; the *other* queued campaigns keep running
+    /// to completion (their journals make the merges resumable), and
+    /// the run as a whole ends failed, naming every poisoned campaign.
+    failed: Option<String>,
+}
+
+impl CampaignState {
+    fn total(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Complete or poisoned — either way, nothing left to schedule.
+    fn settled(&self) -> bool {
+        self.failed.is_some() || self.n_done == self.total()
+    }
+
+    /// Poisons this campaign (first reason wins) and drops its pending
+    /// queue so no further cells are scheduled.
+    fn poison(&mut self, reason: String) {
+        if self.failed.is_none() {
+            self.failed = Some(reason);
+        }
+        self.pending.clear();
+    }
+
+    fn schedulable(&self) -> bool {
+        self.failed.is_none() && !self.pending.is_empty()
+    }
+}
+
+struct State {
+    campaigns: Vec<CampaignState>,
     workers_connected: usize,
     workers_seen: usize,
     outcome: Option<Outcome>,
 }
 
 impl State {
-    fn total(&self) -> usize {
-        self.completed.len()
-    }
-
     fn fail(&mut self, reason: String) {
         if self.outcome.is_none() {
             self.outcome = Some(Outcome::Failed(reason));
         }
     }
 
-    fn finish_if_done(&mut self) {
-        if self.n_done == self.total() && self.outcome.is_none() {
-            self.outcome = Some(Outcome::Complete);
+    /// Ends the run once every campaign is settled: `Complete` when all
+    /// succeeded, otherwise `Failed` naming every poisoned campaign
+    /// (healthy campaigns were still driven to completion and journaled
+    /// first).
+    fn settle_if_done(&mut self) {
+        if self.outcome.is_some() || !self.campaigns.iter().all(CampaignState::settled) {
+            return;
         }
+        let poisoned: Vec<&String> = self
+            .campaigns
+            .iter()
+            .filter_map(|c| c.failed.as_ref())
+            .collect();
+        if poisoned.is_empty() {
+            self.outcome = Some(Outcome::Complete);
+        } else {
+            let reasons: Vec<String> = poisoned.into_iter().cloned().collect();
+            self.fail(reasons.join("; "));
+        }
+    }
+
+    fn cells_done(&self) -> usize {
+        self.campaigns.iter().map(|c| c.n_done).sum()
+    }
+
+    fn cells_total(&self) -> usize {
+        self.campaigns.iter().map(CampaignState::total).sum()
     }
 }
 
 struct Shared {
     state: Mutex<State>,
     /// Signalled when pending work appears, completion flips, or the
-    /// campaign fails — anything a blocked scheduler call cares about.
+    /// run fails — anything a blocked scheduler call cares about.
     changed: Condvar,
     /// Every accepted connection (cloned handles), so shutdown can
-    /// unblock handler reads once the campaign is over.
+    /// unblock handler reads once the run is over.
     streams: Mutex<Vec<TcpStream>>,
-    plan: SweepPlan,
+    plans: Vec<SweepPlan>,
 }
 
-/// After the campaign ends, how long handlers get to deliver a graceful
+impl Shared {
+    /// Locks the scheduler state, recovering from mutex poisoning: if a
+    /// handler thread panicked mid-update, the run is marked failed with
+    /// a diagnostic and every caller keeps operating on the (possibly
+    /// torn, but no longer trusted) state long enough to deliver clean
+    /// `Abort`s to its workers — instead of cascading panics across
+    /// every connection.
+    fn lock_state(&self) -> MutexGuard<'_, State> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.fail(
+                    "a coordinator handler thread panicked mid-update; \
+                     failing the run (state can no longer be trusted)"
+                        .into(),
+                );
+                self.changed.notify_all();
+                guard
+            }
+        }
+    }
+
+    /// [`Condvar::wait_timeout`] with the same poison recovery as
+    /// [`Shared::lock_state`]. Returns the reacquired guard and whether
+    /// the wait timed out.
+    fn wait_changed<'a>(
+        &'a self,
+        guard: MutexGuard<'a, State>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, State>, bool) {
+        match self.changed.wait_timeout(guard, timeout) {
+            Ok((guard, result)) => (guard, result.timed_out()),
+            Err(poisoned) => {
+                let (mut guard, result) = poisoned.into_inner();
+                guard.fail(
+                    "a coordinator handler thread panicked mid-update; \
+                     failing the run (state can no longer be trusted)"
+                        .into(),
+                );
+                self.changed.notify_all();
+                (guard, result.timed_out())
+            }
+        }
+    }
+
+    /// Locks the stream registry, shedding poison (the registry is only
+    /// ever appended to, so a torn update cannot corrupt it).
+    fn lock_streams(&self) -> MutexGuard<'_, Vec<TcpStream>> {
+        self.streams
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// After the run ends, how long handlers get to deliver a graceful
 /// `Finished`/`Abort` before their sockets are forcibly shut down.
 const DRAIN_GRACE: Duration = Duration::from_secs(5);
 
@@ -138,15 +343,28 @@ pub struct Coordinator {
 }
 
 impl Coordinator {
-    /// Validates the campaign, binds the listener, and (if configured)
-    /// opens or resumes the checkpoint journal early so foreign journals
-    /// are refused before any worker connects.
+    /// Validates every queued campaign and binds the listener.
     ///
     /// # Errors
-    /// Fails on invalid campaigns, unbindable addresses, or a journal
-    /// that belongs to a different campaign.
+    /// Fails on an empty queue, duplicate campaign names, invalid
+    /// campaigns, or unbindable addresses.
     pub fn bind(config: CoordinatorConfig) -> Result<Coordinator, DistError> {
-        config.campaign.validate()?;
+        if config.campaigns.is_empty() {
+            return Err(DistError::Protocol("no campaigns queued".into()));
+        }
+        for (i, campaign) in config.campaigns.iter().enumerate() {
+            campaign.spec.validate()?;
+            if config.campaigns[..i]
+                .iter()
+                .any(|c| c.name == campaign.name)
+            {
+                return Err(DistError::Protocol(format!(
+                    "campaign name `{}` is queued twice; names must be unique \
+                     (they key journals and reports)",
+                    campaign.name
+                )));
+            }
+        }
         let listener = TcpListener::bind(&config.bind)?;
         listener.set_nonblocking(true)?;
         Ok(Coordinator { listener, config })
@@ -160,65 +378,86 @@ impl Coordinator {
         Ok(self.listener.local_addr()?)
     }
 
-    /// Serves the campaign until every cell is measured (or the campaign
-    /// fails), then assembles the merged sweep.
+    /// Serves the campaign queue until every campaign settles (all
+    /// cells measured, or the campaign poisoned), then assembles the
+    /// merged sweeps.
     ///
     /// # Errors
     /// * [`DistError::Incomplete`] when work remains but no workers have
-    ///   been connected for `idle_timeout` — the journal (if any) holds
-    ///   the progress and the same command resumes it.
-    /// * Poisoned cells (over `max_attempts`), divergent worker
-    ///   baselines, journal i/o failures, and protocol violations
-    ///   surface as their respective variants.
-    pub fn serve(self) -> Result<CoordinatedSweep, DistError> {
-        let plan = self.config.campaign.plan();
-        let total = plan.jobs.len();
-        let digest = self.config.campaign.digest();
+    ///   been connected for `idle_timeout` — the journals hold the
+    ///   progress and the same command resumes all campaigns.
+    /// * A poisoned campaign (over `max_attempts` execution failures or
+    ///   `max_worker_losses` orphaning worker deaths on one cell) fails
+    ///   the run *after* the healthy campaigns finish and journal; the
+    ///   error names each poisoned campaign with its failure log, and
+    ///   rerunning without the poisoned grid resumes the rest at zero
+    ///   cost.
+    /// * Divergent worker baselines, journal i/o failures, and protocol
+    ///   violations surface as their respective variants.
+    pub fn serve(self) -> Result<CoordinatedRun, DistError> {
+        let queued = self.config.campaigns.len();
+        let plans: Vec<SweepPlan> = self
+            .config
+            .campaigns
+            .iter()
+            .map(|c| c.spec.plan())
+            .collect();
 
-        let (journal, recovered) = match &self.config.journal {
-            Some(path) => {
-                let (journal, recovered) = Journal::open(path, digest, total)?;
-                (Some(journal), recovered)
+        let mut states = Vec::with_capacity(queued);
+        let mut resumed_cells = Vec::with_capacity(queued);
+        for (campaign, plan) in self.config.campaigns.iter().zip(&plans) {
+            let total = plan.jobs.len();
+            let (journal, recovered) = match &self.config.journal {
+                Some(base) => {
+                    let path = campaign_journal_path(base, &campaign.name, queued);
+                    let (journal, recovered) = Journal::open(&path, campaign.spec.digest(), total)?;
+                    (Some(journal), recovered)
+                }
+                None => (None, Default::default()),
+            };
+            let mut completed: Vec<Option<CellResult>> = vec![None; total];
+            let mut n_done = 0usize;
+            for result in &recovered.results {
+                if completed[result.index].is_none() {
+                    completed[result.index] = Some(*result);
+                    n_done += 1;
+                }
             }
-            None => (None, Default::default()),
-        };
-
-        let mut completed: Vec<Option<CellResult>> = vec![None; total];
-        let mut n_done = 0usize;
-        for result in &recovered.results {
-            if completed[result.index].is_none() {
-                completed[result.index] = Some(*result);
-                n_done += 1;
-            }
-        }
-        let resumed_cells = n_done;
-        let pending: VecDeque<usize> = (0..total).filter(|&i| completed[i].is_none()).collect();
-
-        let shared = Shared {
-            state: Mutex::new(State {
-                pending,
-                attempts: vec![0; total],
+            resumed_cells.push(n_done);
+            states.push(CampaignState {
+                name: campaign.name.clone(),
+                pending: (0..total).filter(|&i| completed[i].is_none()).collect(),
+                failures: vec![0; total],
+                orphaned: vec![0; total],
+                failure_log: Vec::new(),
                 completed,
                 n_done,
                 baseline_accuracy: recovered.baseline_accuracy,
                 journal,
+                failed: None,
+            });
+        }
+
+        let shared = Shared {
+            state: Mutex::new(State {
+                campaigns: states,
                 workers_connected: 0,
                 workers_seen: 0,
                 outcome: None,
             }),
             changed: Condvar::new(),
             streams: Mutex::new(Vec::new()),
-            plan,
+            plans,
         };
-        {
-            let mut state = shared.state.lock().expect("coordinator state poisoned");
-            state.finish_if_done();
-        }
+        shared.lock_state().settle_if_done();
 
         let worker_timeout = self.config.worker_timeout;
         let idle_timeout = self.config.idle_timeout;
-        let max_attempts = self.config.max_attempts;
-        let spec = &self.config.campaign;
+        let limits = PoisonLimits {
+            max_attempts: self.config.max_attempts,
+            max_worker_losses: self.config.max_worker_losses,
+        };
+        let campaigns = self.config.campaigns.as_slice();
 
         std::thread::scope(|scope| {
             let mut idle_since = Instant::now();
@@ -227,19 +466,19 @@ impl Coordinator {
                     Ok((stream, _peer)) => {
                         let shared = &shared;
                         scope.spawn(move || {
-                            serve_worker(stream, shared, spec, worker_timeout, max_attempts);
+                            serve_worker(stream, shared, campaigns, worker_timeout, limits);
                         });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
                     Err(e) => {
-                        let mut state = shared.state.lock().expect("coordinator state poisoned");
+                        let mut state = shared.lock_state();
                         state.fail(format!("listener failed: {e}"));
                         shared.changed.notify_all();
                     }
                 }
 
                 {
-                    let mut state = shared.state.lock().expect("coordinator state poisoned");
+                    let mut state = shared.lock_state();
                     if state.outcome.is_some() {
                         break;
                     }
@@ -261,19 +500,11 @@ impl Coordinator {
             let deadline = Instant::now() + DRAIN_GRACE;
             loop {
                 shared.changed.notify_all();
-                {
-                    let state = shared.state.lock().expect("coordinator state poisoned");
-                    if state.workers_connected == 0 {
-                        break;
-                    }
+                if shared.lock_state().workers_connected == 0 {
+                    break;
                 }
                 if Instant::now() > deadline {
-                    for stream in shared
-                        .streams
-                        .lock()
-                        .expect("stream registry poisoned")
-                        .iter()
-                    {
+                    for stream in shared.lock_streams().iter() {
                         let _ = stream.shutdown(std::net::Shutdown::Both);
                     }
                     break;
@@ -285,36 +516,54 @@ impl Coordinator {
         let state = shared
             .state
             .into_inner()
-            .expect("coordinator state poisoned");
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let (cells_done, cells_total) = (state.cells_done(), state.cells_total());
         match state.outcome {
             Some(Outcome::Complete) => {
-                let baseline_accuracy = match state.baseline_accuracy {
-                    Some(b) => b,
-                    // Fully resumed from a journal written before any
-                    // baseline record existed (not produced by this
-                    // version, but cheap to tolerate): derive it locally.
-                    None => {
-                        let setup = self.config.campaign.materialize();
-                        let cache = neurofi_core::BaselineCache::new(&setup);
-                        neurofi_core::sweep::mean_baseline_accuracy(
-                            &cache,
-                            &self.config.campaign.sweep.seeds,
-                        )
-                    }
-                };
-                let results: Vec<CellResult> = state.completed.iter().flatten().copied().collect();
-                let result = assemble_sweep(shared.plan.kind, baseline_accuracy, total, results)?;
-                Ok(CoordinatedSweep {
-                    result,
-                    total_cells: total,
-                    resumed_cells,
-                    computed_cells: state.n_done - resumed_cells,
+                let mut merged = Vec::with_capacity(queued);
+                for (((campaign, campaign_state), plan), resumed) in self
+                    .config
+                    .campaigns
+                    .iter()
+                    .zip(state.campaigns)
+                    .zip(&shared.plans)
+                    .zip(resumed_cells)
+                {
+                    let total = campaign_state.total();
+                    let baseline_accuracy = match campaign_state.baseline_accuracy {
+                        Some(b) => b,
+                        // Fully resumed from a journal written before any
+                        // baseline record existed (not produced by this
+                        // version, but cheap to tolerate): derive it
+                        // locally.
+                        None => {
+                            let setup = campaign.spec.materialize();
+                            let cache = neurofi_core::BaselineCache::new(&setup);
+                            neurofi_core::sweep::mean_baseline_accuracy(
+                                &cache,
+                                &campaign.spec.sweep.seeds,
+                            )
+                        }
+                    };
+                    let results: Vec<CellResult> =
+                        campaign_state.completed.iter().flatten().copied().collect();
+                    let result = assemble_sweep(plan.kind, baseline_accuracy, total, results)?;
+                    merged.push(CampaignSweep {
+                        name: campaign.name.clone(),
+                        result,
+                        total_cells: total,
+                        resumed_cells: resumed,
+                        computed_cells: campaign_state.n_done - resumed,
+                    });
+                }
+                Ok(CoordinatedRun {
+                    campaigns: merged,
                     workers_seen: state.workers_seen,
                 })
             }
             Some(Outcome::Failed(reason)) if reason.is_empty() => Err(DistError::Incomplete {
-                done: state.n_done,
-                total,
+                done: cells_done,
+                total: cells_total,
                 journal: self.config.journal.clone(),
             }),
             Some(Outcome::Failed(reason)) => Err(DistError::Protocol(reason)),
@@ -323,59 +572,71 @@ impl Coordinator {
     }
 }
 
-/// Pops up to `max_cells` pending cells for a worker, blocking until
-/// work, completion, or failure. Returns `None` when the campaign is
-/// over (complete or failed).
-fn claim_batch(shared: &Shared, max_cells: usize, max_attempts: u32) -> Option<Vec<usize>> {
-    let mut state = shared.state.lock().expect("coordinator state poisoned");
+/// Pops a capacity-sized batch of pending cells from the first queued
+/// campaign that has any, blocking until work, completion, or failure.
+/// Returns the campaign id with the batch, `Some((0, []))` as a
+/// keep-alive while all remaining work is in flight elsewhere, and
+/// `None` when the run is over (complete or failed).
+///
+/// Claiming never mutates failure counts — assignment is not evidence
+/// against a cell, and a popped batch can no longer be dropped on the
+/// floor by a mid-pop poison abort (poisoning happens in
+/// [`cell_failed`], outside any batch assembly).
+fn claim_batch(shared: &Shared, threads: u32, requested: u32) -> Option<(usize, Vec<usize>)> {
+    let mut state = shared.lock_state();
     loop {
         if state.outcome.is_some() {
             return None;
         }
-        if !state.pending.is_empty() {
-            let take = max_cells.max(1).min(state.pending.len());
-            let mut batch = Vec::with_capacity(take);
-            for _ in 0..take {
-                let index = state.pending.pop_front().expect("checked non-empty");
-                state.attempts[index] += 1;
-                if state.attempts[index] > max_attempts {
-                    state.fail(format!(
-                        "cell {index} failed {max_attempts} assignment attempts; \
-                         campaign poisoned"
-                    ));
-                    shared.changed.notify_all();
-                    return None;
-                }
-                batch.push(index);
-            }
-            return Some(batch);
+        if let Some(id) = state.campaigns.iter().position(CampaignState::schedulable) {
+            let campaign = &mut state.campaigns[id];
+            let take = capacity_batch(threads, requested, campaign.pending.len());
+            let batch: Vec<usize> = campaign.pending.drain(..take).collect();
+            return Some((id, batch));
         }
-        // No pending work: either everything is done/in flight elsewhere.
-        // Wait in slices so the caller can heartbeat its worker.
-        let (next, timeout) = shared
-            .changed
-            .wait_timeout(state, Duration::from_millis(500))
-            .expect("coordinator state poisoned");
+        // No schedulable work anywhere: everything is done, poisoned,
+        // or in flight elsewhere. Wait in slices so the caller can
+        // heartbeat its worker.
+        let (next, timed_out) = shared.wait_changed(state, Duration::from_millis(500));
         state = next;
-        if timeout.timed_out() && state.outcome.is_none() && state.pending.is_empty() {
+        if timed_out
+            && state.outcome.is_none()
+            && !state.campaigns.iter().any(CampaignState::schedulable)
+        {
             // Hand back an empty batch as a keep-alive; the worker will
             // re-request.
-            return Some(Vec::new());
+            return Some((0, Vec::new()));
         }
     }
 }
 
-/// Records measured cells; journals each before acknowledging.
+/// Records one acknowledgement window of measured cells for `campaign`;
+/// journals each cell before the caller acknowledges the window.
 fn record_results(
     shared: &Shared,
-    in_flight: &mut Vec<usize>,
+    in_flight: &mut Vec<(usize, usize)>,
+    campaign: usize,
     baseline_accuracy: f64,
     results: &[CellResult],
 ) -> Result<(), String> {
-    let mut state = shared.state.lock().expect("coordinator state poisoned");
-    match state.baseline_accuracy {
+    let mut state = shared.lock_state();
+    if campaign >= state.campaigns.len() {
+        let reason = format!("worker reported results for unknown campaign {campaign}");
+        state.fail(reason.clone());
+        shared.changed.notify_all();
+        return Err(reason);
+    }
+    let campaign_state = &mut state.campaigns[campaign];
+    if campaign_state.failed.is_some() {
+        // The campaign was poisoned while this window was in flight:
+        // drop the results (acked but unrecorded) and let the worker
+        // keep serving the surviving campaigns.
+        in_flight.retain(|&(c, _)| c != campaign);
+        return Ok(());
+    }
+    match campaign_state.baseline_accuracy {
         None => {
-            if let Some(journal) = state.journal.as_mut() {
+            if let Some(journal) = campaign_state.journal.as_mut() {
                 if let Err(e) = journal.record_baseline(baseline_accuracy) {
                     let reason = format!("journal write failed: {e}");
                     state.fail(reason.clone());
@@ -383,7 +644,7 @@ fn record_results(
                     return Err(reason);
                 }
             }
-            state.baseline_accuracy = Some(baseline_accuracy);
+            campaign_state.baseline_accuracy = Some(baseline_accuracy);
         }
         Some(existing) => {
             // Cross-worker determinism check: every node must derive the
@@ -400,14 +661,15 @@ fn record_results(
         }
     }
     for result in results {
-        if result.index >= state.total() {
+        let campaign_state = &mut state.campaigns[campaign];
+        if result.index >= campaign_state.total() {
             let reason = format!("worker reported cell {} outside the grid", result.index);
             state.fail(reason.clone());
             shared.changed.notify_all();
             return Err(reason);
         }
-        in_flight.retain(|&i| i != result.index);
-        match state.completed[result.index] {
+        in_flight.retain(|&(c, i)| !(c == campaign && i == result.index));
+        match campaign_state.completed[result.index] {
             // A duplicate delivery (the cell was requeued after a timeout
             // and finished twice) must carry identical bits — this is the
             // per-cell determinism cross-check. assemble_sweep never sees
@@ -426,7 +688,7 @@ fn record_results(
                 }
             }
             None => {
-                if let Some(journal) = state.journal.as_mut() {
+                if let Some(journal) = campaign_state.journal.as_mut() {
                     if let Err(e) = journal.record_cell(result) {
                         let reason = format!("journal write failed: {e}");
                         state.fail(reason.clone());
@@ -434,12 +696,69 @@ fn record_results(
                         return Err(reason);
                     }
                 }
-                state.completed[result.index] = Some(*result);
-                state.n_done += 1;
+                campaign_state.completed[result.index] = Some(*result);
+                campaign_state.n_done += 1;
             }
         }
     }
-    state.finish_if_done();
+    state.settle_if_done();
+    shared.changed.notify_all();
+    Ok(())
+}
+
+/// Records one explicit execution failure for a cell. The cell requeues
+/// unless it has now failed `max_attempts` times, in which case *its*
+/// campaign is poisoned with the accumulated failure log — the other
+/// queued campaigns keep running, and the reporting worker keeps
+/// serving them. Only this path and the `max_worker_losses` backstop
+/// advance the poison caps — ordinary worker deaths requeue for free.
+/// `Err` is returned only for protocol violations (which do abort the
+/// connection).
+fn cell_failed(
+    shared: &Shared,
+    in_flight: &mut Vec<(usize, usize)>,
+    campaign: usize,
+    index: usize,
+    reason: &str,
+    limits: PoisonLimits,
+) -> Result<(), String> {
+    let mut state = shared.lock_state();
+    if campaign >= state.campaigns.len() {
+        let reason = format!("worker reported a failure in unknown campaign {campaign}");
+        state.fail(reason.clone());
+        shared.changed.notify_all();
+        return Err(reason);
+    }
+    if index >= state.campaigns[campaign].total() {
+        let reason = format!("worker reported failing cell {index} outside the grid");
+        state.fail(reason.clone());
+        shared.changed.notify_all();
+        return Err(reason);
+    }
+    in_flight.retain(|&(c, i)| !(c == campaign && i == index));
+    let campaign_state = &mut state.campaigns[campaign];
+    if campaign_state.completed[index].is_some() || campaign_state.failed.is_some() {
+        // Finished elsewhere, or the campaign is already poisoned; the
+        // report is moot.
+        return Ok(());
+    }
+    campaign_state.failures[index] += 1;
+    campaign_state.failure_log.push(format!(
+        "cell {index} execution failure {}: {reason}",
+        campaign_state.failures[index]
+    ));
+    if campaign_state.failures[index] >= limits.max_attempts {
+        let log = campaign_state.failure_log.join("; ");
+        let poison = format!(
+            "campaign `{}` poisoned: cell {index} failed execution {} times \
+             (failure log: {log})",
+            campaign_state.name, limits.max_attempts
+        );
+        campaign_state.poison(poison);
+    } else if !campaign_state.pending.contains(&index) {
+        campaign_state.pending.push_back(index);
+    }
+    state.settle_if_done();
     shared.changed.notify_all();
     Ok(())
 }
@@ -453,18 +772,39 @@ fn same_cell_bits(a: &CellResult, b: &CellResult) -> bool {
         && a.cell.relative_change_percent.to_bits() == b.cell.relative_change_percent.to_bits()
 }
 
-/// Returns a dead worker's unacknowledged cells to the pending queue.
-fn requeue(shared: &Shared, in_flight: &mut Vec<usize>) {
+/// Returns a dead worker's unacknowledged cells to their campaigns'
+/// pending queues. Deliberately does *not* touch the `max_attempts`
+/// failure counts — a worker dying while holding a cell is evidence
+/// against the worker, not the cell — but each loss advances the cell's
+/// orphan tally: a cell whose execution crashes worker *processes*
+/// never produces a `Failed` report, so the much larger
+/// `max_worker_losses` backstop is the only thing standing between it
+/// and an infinite requeue loop.
+fn requeue(shared: &Shared, in_flight: &mut Vec<(usize, usize)>, limits: PoisonLimits) {
     if in_flight.is_empty() {
         return;
     }
-    let mut state = shared.state.lock().expect("coordinator state poisoned");
-    for &index in in_flight.iter() {
-        if state.completed[index].is_none() && !state.pending.contains(&index) {
-            state.pending.push_back(index);
+    let mut state = shared.lock_state();
+    for &(campaign, index) in in_flight.iter() {
+        let campaign_state = &mut state.campaigns[campaign];
+        if campaign_state.completed[index].is_some() || campaign_state.failed.is_some() {
+            continue;
+        }
+        campaign_state.orphaned[index] += 1;
+        if campaign_state.orphaned[index] >= limits.max_worker_losses {
+            let poison = format!(
+                "campaign `{}` poisoned: cell {index} was orphaned by {} \
+                 dying/timing-out workers without ever reporting an execution \
+                 failure — it is likely crashing worker processes",
+                campaign_state.name, limits.max_worker_losses
+            );
+            campaign_state.poison(poison);
+        } else if !campaign_state.pending.contains(&index) {
+            campaign_state.pending.push_back(index);
         }
     }
     in_flight.clear();
+    state.settle_if_done();
     shared.changed.notify_all();
 }
 
@@ -472,66 +812,74 @@ fn requeue(shared: &Shared, in_flight: &mut Vec<usize>) {
 fn serve_worker(
     mut stream: TcpStream,
     shared: &Shared,
-    spec: &CampaignSpec,
+    campaigns: &[NamedCampaign],
     worker_timeout: Duration,
-    max_attempts: u32,
+    limits: PoisonLimits,
 ) {
     let _ = stream.set_read_timeout(Some(worker_timeout));
     let _ = stream.set_write_timeout(Some(worker_timeout));
     let _ = stream.set_nodelay(true);
     if let Ok(clone) = stream.try_clone() {
-        shared
-            .streams
-            .lock()
-            .expect("stream registry poisoned")
-            .push(clone);
+        shared.lock_streams().push(clone);
     }
 
-    // Handshake: Hello in, Campaign out.
-    match Message::read_from(&mut stream) {
-        Ok(Message::Hello { protocol, .. }) if protocol == PROTOCOL_VERSION => {}
+    // Handshake: Hello in, the campaign queue out. The reported thread
+    // width drives capacity-aware batch sizing for this connection.
+    let threads = match Message::read_from(&mut stream) {
+        Ok(Message::Hello { protocol, threads }) if protocol == PROTOCOL_VERSION => threads,
         Ok(Message::Hello { protocol, .. }) => {
             let _ = Message::Abort {
                 reason: format!(
-                    "protocol mismatch: worker speaks v{protocol}, coordinator v{PROTOCOL_VERSION}"
+                    "protocol mismatch: worker speaks v{protocol}, coordinator v{PROTOCOL_VERSION} \
+                     (multi-campaign scheduling needs a v{PROTOCOL_VERSION} worker; \
+                     upgrade `repro work`)"
                 ),
             }
             .write_to(&mut stream);
             return;
         }
         _ => return,
-    }
-    if (Message::Campaign { spec: spec.clone() })
-        .write_to(&mut stream)
-        .is_err()
+    };
+    if (Message::Campaigns {
+        campaigns: campaigns.to_vec(),
+    })
+    .write_to(&mut stream)
+    .is_err()
     {
         return;
     }
     {
-        let mut state = shared.state.lock().expect("coordinator state poisoned");
+        let mut state = shared.lock_state();
         state.workers_connected += 1;
         state.workers_seen += 1;
     }
 
-    let mut in_flight: Vec<usize> = Vec::new();
+    let mut in_flight: Vec<(usize, usize)> = Vec::new();
     loop {
         match Message::read_from(&mut stream) {
             Ok(Message::Request { max_cells }) => {
-                match claim_batch(shared, max_cells as usize, max_attempts) {
-                    Some(batch) => {
-                        in_flight.extend(&batch);
-                        let jobs = batch.iter().map(|&i| shared.plan.jobs[i]).collect();
-                        if (Message::Assign { jobs }).write_to(&mut stream).is_err() {
+                match claim_batch(shared, threads, max_cells) {
+                    Some((campaign, batch)) => {
+                        in_flight.extend(batch.iter().map(|&i| (campaign, i)));
+                        let jobs = batch
+                            .iter()
+                            .map(|&i| shared.plans[campaign].jobs[i])
+                            .collect();
+                        let assign = Message::Assign {
+                            campaign: campaign as u32,
+                            jobs,
+                        };
+                        if assign.write_to(&mut stream).is_err() {
                             break;
                         }
                     }
                     None => {
-                        // Campaign over: tell the worker why and stop.
-                        let state = shared.state.lock().expect("coordinator state poisoned");
+                        // The run is over: tell the worker why and stop.
+                        let state = shared.lock_state();
                         let goodbye = match &state.outcome {
                             Some(Outcome::Failed(reason)) => Message::Abort {
                                 reason: if reason.is_empty() {
-                                    "campaign abandoned".into()
+                                    "run abandoned".into()
                                 } else {
                                     reason.clone()
                                 },
@@ -545,12 +893,47 @@ fn serve_worker(
                 }
             }
             Ok(Message::Results {
+                campaign,
                 baseline_accuracy,
                 results,
             }) => {
-                if let Err(reason) =
-                    record_results(shared, &mut in_flight, baseline_accuracy, &results)
-                {
+                match record_results(
+                    shared,
+                    &mut in_flight,
+                    campaign as usize,
+                    baseline_accuracy,
+                    &results,
+                ) {
+                    Ok(()) => {
+                        // Journaled: acknowledge the window so the worker
+                        // can drop it and stream the next.
+                        let ack = Message::Ack {
+                            campaign,
+                            received: results.len() as u32,
+                        };
+                        if ack.write_to(&mut stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(reason) => {
+                        let _ = Message::Abort { reason }.write_to(&mut stream);
+                        break;
+                    }
+                }
+            }
+            Ok(Message::Failed {
+                campaign,
+                index,
+                reason,
+            }) => {
+                if let Err(reason) = cell_failed(
+                    shared,
+                    &mut in_flight,
+                    campaign as usize,
+                    index as usize,
+                    &reason,
+                    limits,
+                ) {
                     let _ = Message::Abort { reason }.write_to(&mut stream);
                     break;
                 }
@@ -559,8 +942,8 @@ fn serve_worker(
         }
     }
 
-    requeue(shared, &mut in_flight);
-    let mut state = shared.state.lock().expect("coordinator state poisoned");
+    requeue(shared, &mut in_flight, limits);
+    let mut state = shared.lock_state();
     state.workers_connected -= 1;
     drop(state);
     shared.changed.notify_all();
@@ -571,7 +954,7 @@ fn serve_worker(
 ///
 /// # Errors
 /// See [`Coordinator::bind`] and [`Coordinator::serve`].
-pub fn run_coordinator(config: CoordinatorConfig) -> Result<CoordinatedSweep, DistError> {
+pub fn run_coordinator(config: CoordinatorConfig) -> Result<CoordinatedRun, DistError> {
     Coordinator::bind(config)?.serve()
 }
 
@@ -584,4 +967,202 @@ pub fn resolve_addr(addr: &str) -> Result<SocketAddr, DistError> {
     addr.to_socket_addrs()?
         .next()
         .ok_or_else(|| DistError::Protocol(format!("`{addr}` resolves to no address")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_batch_scales_with_reported_threads() {
+        // Linear in threads while the queue and the worker cap allow it.
+        assert_eq!(capacity_batch(1, u32::MAX, 100), CELLS_PER_THREAD);
+        assert_eq!(capacity_batch(4, u32::MAX, 100), 4 * CELLS_PER_THREAD);
+        assert_eq!(capacity_batch(16, u32::MAX, 100), 16 * CELLS_PER_THREAD);
+        // Clamped by the worker's own request cap...
+        assert_eq!(capacity_batch(16, 3, 100), 3);
+        // ...and by what is actually pending.
+        assert_eq!(capacity_batch(16, u32::MAX, 5), 5);
+        // Degenerate reports never produce a zero batch on a non-empty
+        // queue (that would spin), nor a claim on an empty one.
+        assert_eq!(capacity_batch(0, 0, 100), 1);
+        assert_eq!(capacity_batch(8, u32::MAX, 0), 0);
+    }
+
+    #[test]
+    fn journal_paths_are_exact_for_one_campaign_and_suffixed_for_many() {
+        let base = Path::new("/tmp/run.journal");
+        assert_eq!(
+            campaign_journal_path(base, "tiny", 1),
+            PathBuf::from("/tmp/run.journal")
+        );
+        assert_eq!(
+            campaign_journal_path(base, "tiny", 2),
+            PathBuf::from("/tmp/run.journal.tiny")
+        );
+        assert_eq!(
+            campaign_journal_path(base, "tiny-theta", 2),
+            PathBuf::from("/tmp/run.journal.tiny-theta")
+        );
+    }
+
+    const TEST_LIMITS: PoisonLimits = PoisonLimits {
+        max_attempts: 5,
+        max_worker_losses: 50,
+    };
+
+    fn test_campaign_state(name: &str, n_cells: usize) -> CampaignState {
+        CampaignState {
+            name: name.into(),
+            pending: (0..n_cells).collect(),
+            failures: vec![0; n_cells],
+            orphaned: vec![0; n_cells],
+            failure_log: Vec::new(),
+            completed: vec![None; n_cells],
+            n_done: 0,
+            baseline_accuracy: None,
+            journal: None,
+            failed: None,
+        }
+    }
+
+    fn test_shared(n_cells: usize) -> Shared {
+        let spec = crate::campaign::named_campaign("tiny").unwrap();
+        Shared {
+            state: Mutex::new(State {
+                campaigns: vec![test_campaign_state("main", n_cells)],
+                workers_connected: 0,
+                workers_seen: 0,
+                outcome: None,
+            }),
+            changed: Condvar::new(),
+            streams: Mutex::new(Vec::new()),
+            plans: vec![spec.plan()],
+        }
+    }
+
+    #[test]
+    fn poisoned_state_mutex_fails_the_run_instead_of_cascading_panics() {
+        let shared = test_shared(4);
+        // Poison the mutex the way a real handler would: panic while
+        // holding the guard.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = shared.state.lock().unwrap();
+            panic!("handler bug");
+        }));
+        assert!(result.is_err());
+        assert!(shared.state.is_poisoned());
+
+        // Every subsequent lock recovers, and the run is marked failed
+        // with a diagnostic instead of panicking.
+        let state = shared.lock_state();
+        match &state.outcome {
+            Some(Outcome::Failed(reason)) => assert!(reason.contains("panicked")),
+            _ => panic!("poisoned lock must fail the run"),
+        }
+        drop(state);
+        // A scheduler call on the poisoned state returns "run over"
+        // rather than panicking.
+        assert!(claim_batch(&shared, 4, u32::MAX).is_none());
+    }
+
+    #[test]
+    fn worker_deaths_requeue_without_advancing_the_poison_cap() {
+        let shared = test_shared(2);
+        // Simulate the cells being claimed and orphaned many more times
+        // than max_attempts: they must always requeue (only the much
+        // larger max_worker_losses backstop may eventually intervene).
+        for _ in 0..20 {
+            let (campaign, batch) = claim_batch(&shared, 1, 1).unwrap();
+            assert_eq!(campaign, 0);
+            let mut in_flight: Vec<(usize, usize)> = batch.iter().map(|&i| (campaign, i)).collect();
+            requeue(&shared, &mut in_flight, TEST_LIMITS);
+        }
+        let state = shared.lock_state();
+        assert!(state.outcome.is_none(), "healthy cells must never poison");
+        assert_eq!(state.campaigns[0].failures, vec![0, 0]);
+        assert_eq!(state.campaigns[0].orphaned, vec![10, 10]);
+        assert_eq!(state.campaigns[0].pending.len(), 2);
+    }
+
+    #[test]
+    fn worker_crashing_cells_hit_the_orphan_backstop() {
+        // A cell that crashes the worker process never sends Failed; the
+        // max_worker_losses backstop must still terminate the campaign.
+        let shared = test_shared(2);
+        let limits = PoisonLimits {
+            max_attempts: 5,
+            max_worker_losses: 3,
+        };
+        for _ in 0..3 {
+            let mut in_flight = vec![(0usize, 0usize)];
+            requeue(&shared, &mut in_flight, limits);
+        }
+        let state = shared.lock_state();
+        let reason = state.campaigns[0]
+            .failed
+            .as_ref()
+            .expect("campaign poisons");
+        assert!(reason.contains("orphaned by 3"), "diagnostic: {reason}");
+        assert!(
+            matches!(state.outcome, Some(Outcome::Failed(_))),
+            "a lone poisoned campaign settles the run"
+        );
+    }
+
+    #[test]
+    fn repeated_execution_failures_poison_only_their_campaign() {
+        let spec = crate::campaign::named_campaign("tiny").unwrap();
+        let shared = Shared {
+            state: Mutex::new(State {
+                campaigns: vec![
+                    test_campaign_state("doomed", 2),
+                    test_campaign_state("healthy", 2),
+                ],
+                workers_connected: 0,
+                workers_seen: 0,
+                outcome: None,
+            }),
+            changed: Condvar::new(),
+            streams: Mutex::new(Vec::new()),
+            plans: vec![spec.plan(), spec.plan()],
+        };
+        let mut in_flight = vec![(0usize, 0usize)];
+        for _ in 0..5 {
+            cell_failed(
+                &shared,
+                &mut in_flight,
+                0,
+                0,
+                "solver diverged",
+                TEST_LIMITS,
+            )
+            .expect("execution failures are not protocol violations");
+        }
+        let state = shared.lock_state();
+        let reason = state.campaigns[0]
+            .failed
+            .as_ref()
+            .expect("campaign poisons");
+        assert!(
+            reason.contains("`doomed`"),
+            "diagnostic names the campaign: {reason}"
+        );
+        assert!(
+            reason.contains("cell 0"),
+            "diagnostic names the cell: {reason}"
+        );
+        assert!(
+            reason.contains("solver diverged"),
+            "diagnostic keeps the log: {reason}"
+        );
+        // The other campaign is untouched and still schedulable; the run
+        // as a whole is not over yet.
+        assert!(state.campaigns[1].failed.is_none());
+        assert!(state.outcome.is_none(), "healthy campaigns keep running");
+        drop(state);
+        let (campaign, batch) = claim_batch(&shared, 1, u32::MAX).unwrap();
+        assert_eq!(campaign, 1, "scheduling skips the poisoned campaign");
+        assert!(!batch.is_empty());
+    }
 }

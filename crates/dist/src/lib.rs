@@ -15,27 +15,40 @@
 //! * [`campaign`] — [`CampaignSpec`]: a self-contained, serialisable
 //!   description of one sweep campaign (experiment preset, scale knobs,
 //!   grid, and attack family), with a digest that binds journals and
-//!   handshakes to the exact campaign.
+//!   handshakes to the exact campaign. [`NamedCampaign`] queues several
+//!   on one coordinator.
 //! * [`wire`] — length-prefixed framing and defensive binary encoding of
-//!   the coordinator/worker [`Message`](wire::Message)s; floats travel
-//!   as IEEE-754 bit patterns.
-//! * [`coordinator`] — pull-based shard scheduler: workers request
-//!   batches, dead workers' cells are requeued, every completed cell is
-//!   journaled before it is acknowledged.
-//! * [`worker`] — executes batches on the PR 1 in-process pool with one
-//!   shared [`BaselineCache`](neurofi_core::BaselineCache) per process,
-//!   so multi-machine × multi-core runs nest cleanly.
-//! * [`checkpoint`] — the append-only journal interrupted campaigns
-//!   resume from without recomputing finished cells.
+//!   the coordinator/worker [`Message`](wire::Message)s (v2:
+//!   campaign-tagged, with acknowledgement windows); floats travel as
+//!   IEEE-754 bit patterns.
+//! * [`coordinator`] — pull-based multi-campaign scheduler: one fleet
+//!   serves every queued campaign, batches are sized by each worker's
+//!   reported thread width, and dead workers' cells requeue without
+//!   advancing the poison cap (explicit execution failures advance it;
+//!   a large orphan backstop terminates worker-crashing cells; a
+//!   poisoned campaign never takes the healthy ones down with it).
+//!   Every completed cell is journaled before its window is acked.
+//! * [`worker`] — executes campaign-tagged batches on the PR 1
+//!   in-process pool; campaigns over the same setup share one
+//!   [`BaselineCache`](neurofi_core::BaselineCache) per process, so
+//!   per-seed baselines are trained once no matter how many attack
+//!   kinds are queued.
+//! * [`checkpoint`] — the append-only journals (one per campaign)
+//!   interrupted runs resume from without recomputing finished cells.
 //!
 //! ## Quickstart (in-process cluster over localhost TCP)
 //!
 //! ```no_run
-//! use neurofi_dist::{named_campaign, run_local_cluster, LocalClusterConfig};
+//! use neurofi_dist::{named_campaign, run_local_cluster, LocalClusterConfig, NamedCampaign};
 //!
-//! let campaign = named_campaign("tiny").unwrap();
-//! let report = run_local_cluster(&LocalClusterConfig::new(campaign, 2))?;
-//! println!("{} cells merged", report.sweep.result.cells.len());
+//! let campaigns = vec![
+//!     NamedCampaign::new("tiny", named_campaign("tiny").unwrap()),
+//!     NamedCampaign::new("tiny-theta", named_campaign("tiny-theta").unwrap()),
+//! ];
+//! let report = run_local_cluster(&LocalClusterConfig::multi(campaigns, 2))?;
+//! for sweep in &report.run.campaigns {
+//!     println!("campaign `{}`: {} cells merged", sweep.name, sweep.result.cells.len());
+//! }
 //! # Ok::<(), neurofi_dist::DistError>(())
 //! ```
 //!
@@ -57,14 +70,16 @@ use std::time::Duration;
 use neurofi_core::Parallelism;
 
 pub use campaign::{
-    named_campaign, CampaignSpec, SetupBase, SetupSpec, SweepKindSpec, SweepSpec, NAMED_CAMPAIGNS,
+    named_campaign, CampaignSpec, NamedCampaign, SetupBase, SetupSpec, SweepKindSpec, SweepSpec,
+    NAMED_CAMPAIGNS,
 };
 pub use checkpoint::Journal;
 pub use coordinator::{
-    resolve_addr, run_coordinator, CoordinatedSweep, Coordinator, CoordinatorConfig,
+    campaign_journal_path, capacity_batch, resolve_addr, run_coordinator, CampaignSweep,
+    CoordinatedRun, Coordinator, CoordinatorConfig, CELLS_PER_THREAD,
 };
 pub use wire::{Message, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
-pub use worker::{run_worker, WorkerConfig, WorkerSummary};
+pub use worker::{run_worker, WorkerConfig, WorkerSummary, DEFAULT_ACK_WINDOW};
 
 /// Any error produced by the distributed layer.
 #[derive(Debug)]
@@ -90,7 +105,9 @@ pub enum DistError {
         done: usize,
         /// Cells in the campaign.
         total: usize,
-        /// The journal holding the progress, if checkpointing was on.
+        /// The journal base path holding the progress, if checkpointing
+        /// was on (per-campaign files are derived from it — see
+        /// [`campaign_journal_path`]).
         journal: Option<PathBuf>,
     },
 }
@@ -112,7 +129,8 @@ impl std::fmt::Display for DistError {
                 Some(path) => write!(
                     f,
                     "campaign incomplete ({done}/{total} cells): no workers connected; \
-                     progress checkpointed in {} — rerun the same command to resume",
+                     progress checkpointed under {} — rerun the same command to resume \
+                     every queued campaign",
                     path.display()
                 ),
                 None => write!(
@@ -162,8 +180,8 @@ impl From<neurofi_core::Error> for DistError {
 /// worker threads in this process, talking real TCP over localhost.
 #[derive(Debug, Clone)]
 pub struct LocalClusterConfig {
-    /// The campaign to run.
-    pub campaign: CampaignSpec,
+    /// The campaigns to queue, in order.
+    pub campaigns: Vec<NamedCampaign>,
     /// Number of local workers to spawn.
     pub workers: usize,
     /// Bind address for the coordinator (default `127.0.0.1:0`).
@@ -190,11 +208,18 @@ pub struct LocalClusterConfig {
 }
 
 impl LocalClusterConfig {
-    /// Defaults: loopback auto-port, serial workers (the cluster itself
-    /// provides the parallelism), no budget, no journal.
+    /// Single-campaign defaults: loopback auto-port, serial workers
+    /// (the cluster itself provides the parallelism), no budget, no
+    /// journal. The campaign is queued under the name `main`.
     pub fn new(campaign: CampaignSpec, workers: usize) -> LocalClusterConfig {
+        LocalClusterConfig::multi(vec![NamedCampaign::new("main", campaign)], workers)
+    }
+
+    /// Queues several campaigns on one coordinator with the same
+    /// defaults.
+    pub fn multi(campaigns: Vec<NamedCampaign>, workers: usize) -> LocalClusterConfig {
         LocalClusterConfig {
-            campaign,
+            campaigns,
             workers,
             bind: "127.0.0.1:0".into(),
             worker_parallelism: Parallelism::Serial,
@@ -210,11 +235,11 @@ impl LocalClusterConfig {
 /// What a local cluster run produced.
 #[derive(Debug)]
 pub struct LocalClusterReport {
-    /// The coordinator's merged sweep.
-    pub sweep: CoordinatedSweep,
+    /// The coordinator's merged sweeps, one per queued campaign.
+    pub run: CoordinatedRun,
     /// Per-worker outcomes, in spawn order. Workers that error *after*
-    /// the campaign completed (their socket was shut down while they
-    /// were computing requeued duplicates) are reported, not fatal.
+    /// the run completed (their socket was shut down while they were
+    /// computing requeued duplicates) are reported, not fatal.
     pub workers: Vec<Result<WorkerSummary, DistError>>,
 }
 
@@ -229,7 +254,7 @@ pub struct LocalClusterReport {
 /// also fails).
 pub fn run_local_cluster(config: &LocalClusterConfig) -> Result<LocalClusterReport, DistError> {
     let mut coordinator_config =
-        CoordinatorConfig::new(config.bind.clone(), config.campaign.clone());
+        CoordinatorConfig::with_campaigns(config.bind.clone(), config.campaigns.clone());
     coordinator_config.journal = config.journal.clone();
     coordinator_config.idle_timeout = config.idle_timeout;
     coordinator_config.worker_timeout = config.worker_timeout;
@@ -241,21 +266,20 @@ pub fn run_local_cluster(config: &LocalClusterConfig) -> Result<LocalClusterRepo
         let worker_handles: Vec<_> = (0..config.workers)
             .map(|_| {
                 let worker_config = WorkerConfig {
-                    connect: addr.to_string(),
                     parallelism: config.worker_parallelism,
                     max_cells: config.worker_max_cells,
-                    batch: None,
                     io_timeout: config.io_timeout,
+                    ..WorkerConfig::new(addr.to_string())
                 };
                 scope.spawn(move || run_worker(&worker_config))
             })
             .collect();
 
-        let sweep = coordinator.serve();
+        let run = coordinator.serve();
         let workers: Vec<Result<WorkerSummary, DistError>> = worker_handles
             .into_iter()
             .map(|h| h.join().expect("worker thread panicked"))
             .collect();
-        sweep.map(|sweep| LocalClusterReport { sweep, workers })
+        run.map(|run| LocalClusterReport { run, workers })
     })
 }

@@ -19,10 +19,18 @@ use neurofi_analog::TransferPoint;
 use neurofi_core::sweep::{CellAttack, CellJob, CellResult, SweepCell};
 use neurofi_core::TargetLayer;
 
-use crate::campaign::{CampaignSpec, SetupBase, SetupSpec, SweepKindSpec, SweepSpec};
+use crate::campaign::{
+    CampaignSpec, NamedCampaign, SetupBase, SetupSpec, SweepKindSpec, SweepSpec,
+};
 
 /// Wire-protocol version; bumped on any incompatible encoding change.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2: multi-campaign coordination. The handshake carries every queued
+/// campaign ([`Message::Campaigns`]), `Assign`/`Results` frames are
+/// campaign-tagged, result windows are acknowledged ([`Message::Ack`]),
+/// and per-cell execution failures travel as [`Message::Failed`] instead
+/// of aborting the whole connection.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a single frame's payload (16 MiB). The largest real
 /// message is an [`Message::Assign`] batch of cell jobs (~40 bytes per
@@ -247,37 +255,71 @@ pub enum Message {
     Hello {
         /// The worker's [`PROTOCOL_VERSION`].
         protocol: u32,
-        /// Worker-pool threads the peer will run cells on.
+        /// Worker-pool threads the peer will run cells on. The
+        /// coordinator sizes batches from this (capacity-aware
+        /// scheduling), so it must reflect real execution width.
         threads: u32,
     },
-    /// Coordinator → worker: the campaign to execute.
-    Campaign {
-        /// The full, self-contained campaign description.
-        spec: CampaignSpec,
+    /// Coordinator → worker: every campaign queued on this coordinator.
+    /// Campaign ids used by the other messages are indices into this
+    /// list.
+    Campaigns {
+        /// The full, self-contained campaign descriptions, in queue
+        /// order.
+        campaigns: Vec<NamedCampaign>,
     },
-    /// Worker → coordinator: give me up to `max_cells` jobs.
+    /// Worker → coordinator: give me up to `max_cells` jobs (from any
+    /// campaign — the coordinator picks).
     Request {
-        /// Batch-size cap for the next assignment.
+        /// Batch-size cap for the next assignment (budget/CLI caps; the
+        /// coordinator further sizes the batch by the worker's reported
+        /// threads).
         max_cells: u32,
     },
-    /// Coordinator → worker: a shard of jobs (possibly empty, meaning
-    /// "nothing available yet — ask again").
+    /// Coordinator → worker: a shard of jobs from one campaign (possibly
+    /// empty, meaning "nothing available yet — ask again").
     Assign {
+        /// Which campaign the jobs belong to.
+        campaign: u32,
         /// The assigned cell jobs.
         jobs: Vec<CellJob>,
     },
-    /// Worker → coordinator: measured cells plus the worker's locally
-    /// derived mean baseline accuracy (the coordinator cross-checks the
-    /// bits across workers to catch non-deterministic runners).
+    /// Worker → coordinator: one acknowledgement window of measured
+    /// cells plus the worker's locally derived mean baseline accuracy
+    /// for the campaign (the coordinator cross-checks the bits across
+    /// workers to catch non-deterministic runners). The coordinator
+    /// journals the cells and answers with [`Message::Ack`].
     Results {
-        /// The worker's mean fault-free baseline accuracy.
+        /// Which campaign the cells belong to.
+        campaign: u32,
+        /// The worker's mean fault-free baseline accuracy for this
+        /// campaign.
         baseline_accuracy: f64,
         /// The measured cells.
         results: Vec<CellResult>,
     },
-    /// Coordinator → worker: the campaign is complete; disconnect.
+    /// Coordinator → worker: the preceding [`Message::Results`] window
+    /// was journaled; the worker may drop it and stream the next.
+    Ack {
+        /// The campaign the acknowledged window belonged to.
+        campaign: u32,
+        /// How many cells were received in the window.
+        received: u32,
+    },
+    /// Worker → coordinator: one cell failed to execute on this node
+    /// (the rest of the batch is unaffected). Counts toward the cell's
+    /// poison cap — unlike a worker death, which requeues for free.
+    Failed {
+        /// The campaign the failing cell belongs to.
+        campaign: u32,
+        /// The failing cell's slot index.
+        index: u64,
+        /// Why execution failed.
+        reason: String,
+    },
+    /// Coordinator → worker: every campaign is complete; disconnect.
     Finished,
-    /// Either direction: the campaign is being abandoned.
+    /// Either direction: the run is being abandoned.
     Abort {
         /// Human-readable reason.
         reason: String,
@@ -285,12 +327,14 @@ pub enum Message {
 }
 
 const TAG_HELLO: u8 = 0;
-const TAG_CAMPAIGN: u8 = 1;
+const TAG_CAMPAIGNS: u8 = 1;
 const TAG_REQUEST: u8 = 2;
 const TAG_ASSIGN: u8 = 3;
 const TAG_RESULTS: u8 = 4;
 const TAG_FINISHED: u8 = 5;
 const TAG_ABORT: u8 = 6;
+const TAG_ACK: u8 = 7;
+const TAG_FAILED: u8 = 8;
 
 fn encode_layer(enc: &mut Encoder, layer: Option<TargetLayer>) {
     enc.u8(match layer {
@@ -529,31 +573,53 @@ impl Message {
                 enc.u32(*protocol);
                 enc.u32(*threads);
             }
-            Message::Campaign { spec } => {
-                enc.u8(TAG_CAMPAIGN);
-                encode_campaign_spec(&mut enc, spec);
+            Message::Campaigns { campaigns } => {
+                enc.u8(TAG_CAMPAIGNS);
+                enc.seq_len(campaigns.len());
+                for campaign in campaigns {
+                    enc.string(&campaign.name);
+                    encode_campaign_spec(&mut enc, &campaign.spec);
+                }
             }
             Message::Request { max_cells } => {
                 enc.u8(TAG_REQUEST);
                 enc.u32(*max_cells);
             }
-            Message::Assign { jobs } => {
+            Message::Assign { campaign, jobs } => {
                 enc.u8(TAG_ASSIGN);
+                enc.u32(*campaign);
                 enc.seq_len(jobs.len());
                 for job in jobs {
                     encode_cell_job(&mut enc, job);
                 }
             }
             Message::Results {
+                campaign,
                 baseline_accuracy,
                 results,
             } => {
                 enc.u8(TAG_RESULTS);
+                enc.u32(*campaign);
                 enc.f64(*baseline_accuracy);
                 enc.seq_len(results.len());
                 for result in results {
                     encode_cell_result(&mut enc, result);
                 }
+            }
+            Message::Ack { campaign, received } => {
+                enc.u8(TAG_ACK);
+                enc.u32(*campaign);
+                enc.u32(*received);
+            }
+            Message::Failed {
+                campaign,
+                index,
+                reason,
+            } => {
+                enc.u8(TAG_FAILED);
+                enc.u32(*campaign);
+                enc.u64(*index);
+                enc.string(reason);
             }
             Message::Finished => enc.u8(TAG_FINISHED),
             Message::Abort { reason } => {
@@ -576,30 +642,53 @@ impl Message {
                 protocol: dec.u32()?,
                 threads: dec.u32()?,
             },
-            TAG_CAMPAIGN => Message::Campaign {
-                spec: decode_campaign_spec(&mut dec)?,
-            },
+            TAG_CAMPAIGNS => {
+                // Minimum entry: 4-byte name prefix + the smallest spec
+                // (34-byte setup + ~14-byte sweep); 8 is a safe floor.
+                let len = dec.seq_len(8)?;
+                let campaigns = (0..len)
+                    .map(|_| {
+                        Ok(NamedCampaign {
+                            name: dec.string()?,
+                            spec: decode_campaign_spec(&mut dec)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                Message::Campaigns { campaigns }
+            }
             TAG_REQUEST => Message::Request {
                 max_cells: dec.u32()?,
             },
             TAG_ASSIGN => {
+                let campaign = dec.u32()?;
                 let len = dec.seq_len(9)?;
                 let jobs = (0..len)
                     .map(|_| decode_cell_job(&mut dec))
                     .collect::<Result<Vec<_>, _>>()?;
-                Message::Assign { jobs }
+                Message::Assign { campaign, jobs }
             }
             TAG_RESULTS => {
+                let campaign = dec.u32()?;
                 let baseline_accuracy = dec.f64()?;
                 let len = dec.seq_len(40)?;
                 let results = (0..len)
                     .map(|_| decode_cell_result(&mut dec))
                     .collect::<Result<Vec<_>, _>>()?;
                 Message::Results {
+                    campaign,
                     baseline_accuracy,
                     results,
                 }
             }
+            TAG_ACK => Message::Ack {
+                campaign: dec.u32()?,
+                received: dec.u32()?,
+            },
+            TAG_FAILED => Message::Failed {
+                campaign: dec.u32()?,
+                index: dec.u64()?,
+                reason: dec.string()?,
+            },
             TAG_FINISHED => Message::Finished,
             TAG_ABORT => Message::Abort {
                 reason: dec.string()?,
@@ -645,15 +734,22 @@ mod tests {
 
     #[test]
     fn messages_round_trip() {
-        let spec = crate::campaign::named_campaign("tiny").unwrap();
+        let tiny = crate::campaign::named_campaign("tiny").unwrap();
+        let theta = crate::campaign::named_campaign("tiny-theta").unwrap();
         let messages = vec![
             Message::Hello {
                 protocol: PROTOCOL_VERSION,
                 threads: 4,
             },
-            Message::Campaign { spec },
+            Message::Campaigns {
+                campaigns: vec![
+                    NamedCampaign::new("tiny", tiny),
+                    NamedCampaign::new("tiny-theta", theta),
+                ],
+            },
             Message::Request { max_cells: 3 },
             Message::Assign {
+                campaign: 1,
                 jobs: vec![
                     sample_job(),
                     CellJob {
@@ -667,6 +763,7 @@ mod tests {
                 ],
             },
             Message::Results {
+                campaign: 0,
                 baseline_accuracy: 0.55,
                 results: vec![CellResult {
                     index: 5,
@@ -677,6 +774,15 @@ mod tests {
                         relative_change_percent: -43.6,
                     },
                 }],
+            },
+            Message::Ack {
+                campaign: 0,
+                received: 1,
+            },
+            Message::Failed {
+                campaign: 1,
+                index: 3,
+                reason: "solver diverged".into(),
             },
             Message::Finished,
             Message::Abort {
@@ -713,6 +819,7 @@ mod tests {
     #[test]
     fn truncated_frames_and_payloads_fail() {
         let message = Message::Assign {
+            campaign: 0,
             jobs: vec![sample_job()],
         };
         let mut framed = Vec::new();
@@ -743,6 +850,7 @@ mod tests {
         // length check must reject it as truncated instead of reserving.
         let mut enc = Encoder::new();
         enc.u8(3); // TAG_ASSIGN
+        enc.u32(0); // campaign id
         enc.u32(u32::MAX);
         assert!(matches!(
             Message::decode(&enc.finish()),

@@ -1,13 +1,23 @@
 //! The campaign worker: executes assigned cells on the in-process pool.
 //!
 //! A worker is deliberately stateless between batches: it connects,
-//! learns the [`CampaignSpec`] from the coordinator's handshake, and
-//! then pulls job batches until the coordinator says [`Message::Finished`].
-//! Cells run on the PR 1 work-stealing pool ([`Parallelism`]) and share
-//! one [`BaselineCache`], so a 4-machine × 4-core campaign nests the two
-//! levels of parallelism cleanly: the coordinator shards cells across
-//! machines, each worker shards its batch across cores, and per-seed
-//! baselines are trained at most once per worker process.
+//! learns every queued [`CampaignSpec`](crate::CampaignSpec) from the
+//! coordinator's handshake, and then pulls campaign-tagged job batches
+//! until the coordinator says [`Message::Finished`]. Cells run on the
+//! PR 1 work-stealing pool ([`Parallelism`]), and **baseline caches are
+//! shared across campaigns**: campaigns whose [`SetupSpec`] is identical
+//! (the common case — several attack kinds over one experiment) resolve
+//! to one [`BaselineCache`], so each per-seed baseline is trained at
+//! most once per worker process no matter how many campaigns use it.
+//!
+//! Results stream back in acknowledgement windows: the worker sends one
+//! [`Message::Results`] window, waits for the coordinator's
+//! [`Message::Ack`] (which guarantees the cells were journaled), then
+//! streams the next — so a huge grid never accumulates an unbounded
+//! unacknowledged backlog, and a killed worker loses at most one
+//! window. A cell that fails to execute is reported individually via
+//! [`Message::Failed`] (counting toward its poison cap) while the rest
+//! of the batch proceeds.
 
 use std::net::TcpStream;
 use std::time::Duration;
@@ -16,38 +26,50 @@ use neurofi_analog::PowerTransferTable;
 use neurofi_core::sweep::{execute_cell, mean_baseline_accuracy, run_indexed};
 use neurofi_core::{BaselineCache, Parallelism};
 
+use crate::campaign::{NamedCampaign, SetupSpec};
 use crate::wire::{Message, PROTOCOL_VERSION};
 use crate::DistError;
+
+/// Default acknowledgement-window size (cells per unacknowledged
+/// `Results` frame).
+pub const DEFAULT_ACK_WINDOW: usize = 32;
 
 /// How a worker connects and executes.
 #[derive(Debug, Clone)]
 pub struct WorkerConfig {
     /// Coordinator address (`host:port`).
     pub connect: String,
-    /// Cell-level parallelism on this node (the in-process pool).
+    /// Cell-level parallelism on this node (the in-process pool). The
+    /// pool width is reported in the `Hello` and drives the
+    /// coordinator's capacity-aware batch sizing.
     pub parallelism: Parallelism,
     /// Stop after executing this many cells and disconnect without
     /// ceremony — deliberate preemption (spot instances, tests of the
     /// coordinator's requeue path). `None` runs to completion.
     pub max_cells: Option<usize>,
-    /// Cells requested per batch; defaults to the pool width so every
-    /// core has a cell.
+    /// Hard cap on cells requested per batch. `None` (the default) lets
+    /// the coordinator size batches from the reported thread width.
     pub batch: Option<usize>,
-    /// Socket timeout for coordinator replies (scheduling replies are
-    /// immediate — the coordinator heartbeats empty batches while work
-    /// is in flight elsewhere — so this guards against a dead peer, not
-    /// against slow cells).
+    /// Cells per acknowledgement window when streaming results (0 is
+    /// treated as 1).
+    pub ack_window: usize,
+    /// Socket timeout for coordinator replies (scheduling and ack
+    /// replies are immediate — the coordinator heartbeats empty batches
+    /// while work is in flight elsewhere — so this guards against a
+    /// dead peer, not against slow cells).
     pub io_timeout: Duration,
 }
 
 impl WorkerConfig {
-    /// A config with the defaults (auto parallelism, no cell budget).
+    /// A config with the defaults (auto parallelism, coordinator-sized
+    /// batches, no cell budget).
     pub fn new(connect: impl Into<String>) -> WorkerConfig {
         WorkerConfig {
             connect: connect.into(),
             parallelism: Parallelism::Auto,
             max_cells: None,
             batch: None,
+            ack_window: DEFAULT_ACK_WINDOW,
             io_timeout: Duration::from_secs(60),
         }
     }
@@ -63,12 +85,57 @@ pub struct WorkerSummary {
     pub finished: bool,
 }
 
-/// Connects to a coordinator and works until the campaign finishes, the
-/// cell budget runs out, or the coordinator aborts.
+/// Per-campaign execution state on the worker: which shared cache the
+/// campaign resolves to, its transfer table, and the lazily derived mean
+/// baseline (computed on the campaign's first assigned batch; a cache
+/// hit when another campaign over the same setup already trained the
+/// seeds).
+struct CampaignRuntime {
+    seeds: Vec<u64>,
+    cache: usize,
+    transfer: Option<PowerTransferTable>,
+    baseline_accuracy: Option<f64>,
+}
+
+/// Builds the per-campaign runtimes, deduplicating baseline caches by
+/// [`SetupSpec`] equality so campaigns over the same experiment share
+/// per-seed baselines.
+fn build_runtimes(
+    campaigns: &[NamedCampaign],
+    parallelism: Parallelism,
+) -> Result<(Vec<BaselineCache>, Vec<CampaignRuntime>), DistError> {
+    let mut setups: Vec<SetupSpec> = Vec::new();
+    let mut caches: Vec<BaselineCache> = Vec::new();
+    let mut runtimes = Vec::with_capacity(campaigns.len());
+    for campaign in campaigns {
+        campaign.spec.validate()?;
+        let cache = match setups.iter().position(|s| *s == campaign.spec.setup) {
+            Some(i) => i,
+            None => {
+                let setup = campaign.spec.materialize().with_parallelism(parallelism);
+                setups.push(campaign.spec.setup.clone());
+                caches.push(BaselineCache::new(&setup));
+                caches.len() - 1
+            }
+        };
+        runtimes.push(CampaignRuntime {
+            seeds: campaign.spec.sweep.seeds.clone(),
+            cache,
+            transfer: campaign.spec.transfer_table()?,
+            baseline_accuracy: None,
+        });
+    }
+    Ok((caches, runtimes))
+}
+
+/// Connects to a coordinator and works until every queued campaign
+/// finishes, the cell budget runs out, or the coordinator aborts.
 ///
 /// # Errors
-/// Propagates socket, protocol, and cell-execution failures, and
-/// surfaces a coordinator [`Message::Abort`] as [`DistError::Aborted`].
+/// Propagates socket and protocol failures, and surfaces a coordinator
+/// [`Message::Abort`] as [`DistError::Aborted`]. A cell that fails
+/// execution is reported to the coordinator ([`Message::Failed`]) and
+/// does *not* end the session.
 pub fn run_worker(config: &WorkerConfig) -> Result<WorkerSummary, DistError> {
     let mut stream = TcpStream::connect(&config.connect)?;
     stream.set_read_timeout(Some(config.io_timeout))?;
@@ -82,28 +149,24 @@ pub fn run_worker(config: &WorkerConfig) -> Result<WorkerSummary, DistError> {
     }
     .write_to(&mut stream)?;
 
-    let spec = match Message::read_from(&mut stream)? {
-        Message::Campaign { spec } => spec,
+    let campaigns = match Message::read_from(&mut stream)? {
+        Message::Campaigns { campaigns } => campaigns,
         Message::Abort { reason } => return Err(DistError::Aborted(reason)),
         other => {
             return Err(DistError::Protocol(format!(
-                "expected campaign handshake, got {other:?}"
+                "expected campaign-queue handshake, got {other:?}"
             )))
         }
     };
-    spec.validate()?;
+    if campaigns.is_empty() {
+        return Err(DistError::Protocol(
+            "coordinator announced an empty campaign queue".into(),
+        ));
+    }
+    let (caches, mut runtimes) = build_runtimes(&campaigns, config.parallelism)?;
 
-    let setup = spec.materialize().with_parallelism(config.parallelism);
-    let cache = BaselineCache::new(&setup);
-    let seeds = spec.sweep.seeds.clone();
-    let transfer: Option<PowerTransferTable> = spec.transfer_table()?;
-
-    // Train the per-seed baselines once, up front; every batch reuses
-    // them through the cache, and the resulting mean is this worker's
-    // determinism fingerprint (the coordinator cross-checks its bits).
-    let baseline_accuracy = mean_baseline_accuracy(&cache, &seeds);
-
-    let batch_size = config.batch.unwrap_or(pool_width).max(1);
+    let batch_cap = config.batch.unwrap_or(u32::MAX as usize).max(1);
+    let ack_window = config.ack_window.max(1);
     let mut executed = 0usize;
     loop {
         let budget = match config.max_cells {
@@ -115,17 +178,17 @@ pub fn run_worker(config: &WorkerConfig) -> Result<WorkerSummary, DistError> {
                         finished: false,
                     });
                 }
-                (max - executed).min(batch_size)
+                (max - executed).min(batch_cap)
             }
-            None => batch_size,
+            None => batch_cap,
         };
         Message::Request {
-            max_cells: budget as u32,
+            max_cells: budget.min(u32::MAX as usize) as u32,
         }
         .write_to(&mut stream)?;
 
-        let jobs = match Message::read_from(&mut stream)? {
-            Message::Assign { jobs } => jobs,
+        let (campaign, jobs) = match Message::read_from(&mut stream)? {
+            Message::Assign { campaign, jobs } => (campaign, jobs),
             Message::Finished => {
                 return Ok(WorkerSummary {
                     cells_executed: executed,
@@ -145,33 +208,83 @@ pub fn run_worker(config: &WorkerConfig) -> Result<WorkerSummary, DistError> {
             std::thread::sleep(Duration::from_millis(50));
             continue;
         }
+        let runtime = runtimes.get_mut(campaign as usize).ok_or_else(|| {
+            DistError::Protocol(format!(
+                "coordinator assigned cells for unknown campaign {campaign}"
+            ))
+        })?;
+        let cache = &caches[runtime.cache];
 
-        let measured = run_indexed(jobs.len(), config.parallelism, |i| {
-            execute_cell(
-                &cache,
-                &seeds,
-                baseline_accuracy,
-                &jobs[i],
-                transfer.as_ref(),
-            )
-        });
-        let results = measured
-            .into_iter()
-            .collect::<Result<Vec<_>, _>>()
-            .map_err(|e| {
-                // A cell this node cannot execute poisons the whole
-                // campaign; tell the coordinator before bailing.
-                let _ = Message::Abort {
-                    reason: format!("worker cannot execute cell: {e}"),
+        // First batch of this campaign: derive the mean baseline. When
+        // another campaign over the same setup already trained these
+        // seeds this is a pure cache hit — the whole point of sharing
+        // the fleet across campaigns.
+        let baseline_accuracy = match runtime.baseline_accuracy {
+            Some(b) => b,
+            None => {
+                let b = mean_baseline_accuracy(cache, &runtime.seeds);
+                runtime.baseline_accuracy = Some(b);
+                b
+            }
+        };
+
+        // Execute and stream the batch in acknowledgement windows; each
+        // window is journaled by the coordinator before it is acked.
+        for window in jobs.chunks(ack_window) {
+            let measured = run_indexed(window.len(), config.parallelism, |i| {
+                execute_cell(
+                    cache,
+                    &runtime.seeds,
+                    baseline_accuracy,
+                    &window[i],
+                    runtime.transfer.as_ref(),
+                )
+            });
+            let mut results = Vec::with_capacity(window.len());
+            for (job, outcome) in window.iter().zip(measured) {
+                match outcome {
+                    Ok(result) => results.push(result),
+                    // A cell this node cannot execute: report it
+                    // individually (it counts toward the cell's poison
+                    // cap) and keep serving the rest of the batch.
+                    Err(e) => Message::Failed {
+                        campaign,
+                        index: job.index as u64,
+                        reason: e.to_string(),
+                    }
+                    .write_to(&mut stream)?,
                 }
-                .write_to(&mut stream);
-                DistError::Core(e)
-            })?;
-        executed += results.len();
-        Message::Results {
-            baseline_accuracy,
-            results,
+            }
+            if results.is_empty() {
+                continue;
+            }
+            let sent = results.len();
+            Message::Results {
+                campaign,
+                baseline_accuracy,
+                results,
+            }
+            .write_to(&mut stream)?;
+            match Message::read_from(&mut stream)? {
+                Message::Ack {
+                    campaign: acked,
+                    received,
+                } => {
+                    if acked != campaign || received as usize != sent {
+                        return Err(DistError::Protocol(format!(
+                            "acknowledgement mismatch: sent {sent} cells for campaign \
+                             {campaign}, ack covers {received} for campaign {acked}"
+                        )));
+                    }
+                }
+                Message::Abort { reason } => return Err(DistError::Aborted(reason)),
+                other => {
+                    return Err(DistError::Protocol(format!(
+                        "expected window acknowledgement, got {other:?}"
+                    )))
+                }
+            }
+            executed += sent;
         }
-        .write_to(&mut stream)?;
     }
 }

@@ -1,13 +1,16 @@
-//! Golden regression: a sharded sweep (coordinator + two in-process
-//! workers over localhost TCP) must be *bit*-identical to the serial
-//! engine, and an interrupted campaign must resume from its checkpoint
+//! Golden regression: sharded sweeps (coordinator + in-process workers
+//! over localhost TCP) must be *bit*-identical to the serial engine —
+//! including when several campaigns share one worker fleet — and
+//! interrupted runs must resume every campaign from its checkpoint
 //! journal without recomputing finished cells.
 
 use std::path::PathBuf;
 use std::time::Duration;
 
 use neurofi_core::sweep::SweepResult;
-use neurofi_dist::{named_campaign, run_local_cluster, DistError, LocalClusterConfig};
+use neurofi_dist::{
+    named_campaign, run_local_cluster, DistError, LocalClusterConfig, NamedCampaign,
+};
 
 fn temp_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("neurofi-dist-{name}-{}", std::process::id()));
@@ -53,11 +56,12 @@ fn sharded_sweep_is_bit_identical_to_serial() {
     assert!(distinct.len() >= 2, "golden surface is flat");
 
     let report = run_local_cluster(&LocalClusterConfig::new(campaign, 2)).unwrap();
-    assert_bit_identical(&report.sweep.result, &serial);
-    assert_eq!(report.sweep.total_cells, serial.cells.len());
-    assert_eq!(report.sweep.resumed_cells, 0);
-    assert_eq!(report.sweep.computed_cells, serial.cells.len());
-    assert_eq!(report.sweep.workers_seen, 2);
+    let sweep = &report.run.campaigns[0];
+    assert_bit_identical(&sweep.result, &serial);
+    assert_eq!(sweep.total_cells, serial.cells.len());
+    assert_eq!(sweep.resumed_cells, 0);
+    assert_eq!(sweep.computed_cells, serial.cells.len());
+    assert_eq!(report.run.workers_seen, 2);
 
     // Both workers ended with a graceful Finished and between them
     // covered the whole grid.
@@ -68,6 +72,50 @@ fn sharded_sweep_is_bit_identical_to_serial() {
         executed += summary.cells_executed;
     }
     assert_eq!(executed, serial.cells.len());
+}
+
+#[test]
+fn two_campaigns_share_one_fleet_and_stay_bit_identical() {
+    // Two *different attack kinds* over the same experiment setup: the
+    // worker-side baseline cache is keyed by setup, so the second
+    // campaign's baselines are pure cache hits.
+    let campaigns = vec![
+        NamedCampaign::new("tiny", named_campaign("tiny").unwrap()),
+        NamedCampaign::new("tiny-theta", named_campaign("tiny-theta").unwrap()),
+    ];
+    let serial_tiny = campaigns[0].spec.run_serial().unwrap();
+    let serial_theta = campaigns[1].spec.run_serial().unwrap();
+    assert_ne!(
+        serial_tiny.kind, serial_theta.kind,
+        "the two campaigns must sweep different attack kinds"
+    );
+    let distinct: std::collections::HashSet<u64> = serial_theta
+        .cells
+        .iter()
+        .map(|c| c.accuracy.to_bits())
+        .collect();
+    assert!(distinct.len() >= 2, "theta golden surface is flat");
+
+    let total = campaigns[0].spec.plan().jobs.len() + campaigns[1].spec.plan().jobs.len();
+    let report = run_local_cluster(&LocalClusterConfig::multi(campaigns, 2)).unwrap();
+    assert_eq!(report.run.campaigns.len(), 2);
+    assert_eq!(report.run.campaigns[0].name, "tiny");
+    assert_eq!(report.run.campaigns[1].name, "tiny-theta");
+    assert_bit_identical(&report.run.campaigns[0].result, &serial_tiny);
+    assert_bit_identical(&report.run.campaigns[1].result, &serial_theta);
+    assert_eq!(
+        report.run.workers_seen, 2,
+        "one fleet serves both campaigns"
+    );
+
+    // One connection per worker served both campaigns: the cells both
+    // workers executed across all campaigns cover both grids exactly.
+    let executed: usize = report
+        .workers
+        .iter()
+        .map(|w| w.as_ref().expect("worker failed").cells_executed)
+        .sum();
+    assert_eq!(executed, total);
 }
 
 #[test]
@@ -108,13 +156,14 @@ fn killed_workers_then_resume_completes_without_recompute() {
         "both finished cells were checkpointed:\n{journal_text}"
     );
 
-    // Phase 2: resume with healthy workers. Only the two unfinished
+    // Phase 2: resume with healthy workers. Only the four unfinished
     // cells may be computed; the journal supplies the rest.
     let mut resumed = LocalClusterConfig::new(campaign.clone(), 2);
     resumed.journal = Some(journal.clone());
     let report = run_local_cluster(&resumed).unwrap();
-    assert_eq!(report.sweep.resumed_cells, 2);
-    assert_eq!(report.sweep.computed_cells, total - 2);
+    let sweep = &report.run.campaigns[0];
+    assert_eq!(sweep.resumed_cells, 2);
+    assert_eq!(sweep.computed_cells, total - 2);
     let recomputed: usize = report
         .workers
         .iter()
@@ -128,16 +177,85 @@ fn killed_workers_then_resume_completes_without_recompute() {
 
     // The resumed merge is still bit-identical to the serial engine.
     let serial = campaign.run_serial().unwrap();
-    assert_bit_identical(&report.sweep.result, &serial);
+    assert_bit_identical(&sweep.result, &serial);
 
     // Resuming a *complete* journal computes nothing at all.
     let mut replay = LocalClusterConfig::new(campaign, 0);
     replay.journal = Some(journal);
     replay.idle_timeout = Duration::from_millis(400);
     let report = run_local_cluster(&replay).unwrap();
-    assert_eq!(report.sweep.resumed_cells, total);
-    assert_eq!(report.sweep.computed_cells, 0);
-    assert_bit_identical(&report.sweep.result, &serial);
+    let sweep = &report.run.campaigns[0];
+    assert_eq!(sweep.resumed_cells, total);
+    assert_eq!(sweep.computed_cells, 0);
+    assert_bit_identical(&sweep.result, &serial);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn multi_campaign_kill_and_resume_skips_finished_cells_in_every_campaign() {
+    let dir = temp_dir("multi-resume");
+    let journal = dir.join("run.journal");
+    let campaigns = vec![
+        NamedCampaign::new("tiny", named_campaign("tiny").unwrap()),
+        NamedCampaign::new("tiny-theta", named_campaign("tiny-theta").unwrap()),
+    ];
+    let totals: Vec<usize> = campaigns.iter().map(|c| c.spec.plan().jobs.len()).collect();
+    let total: usize = totals.iter().sum();
+
+    // Phase 1: preempted workers leave the run incomplete; each
+    // campaign journals to its own digest-bound file.
+    let mut interrupted = LocalClusterConfig::multi(campaigns.clone(), 2);
+    interrupted.journal = Some(journal.clone());
+    interrupted.worker_max_cells = Some(2);
+    interrupted.idle_timeout = Duration::from_millis(400);
+    let err = run_local_cluster(&interrupted).unwrap_err();
+    let done = match err {
+        DistError::Incomplete { done, total: t, .. } => {
+            assert_eq!(t, total);
+            assert!(done >= 1 && done < total, "run must be genuinely partial");
+            done
+        }
+        other => panic!("expected Incomplete, got {other}"),
+    };
+    assert!(
+        journal.with_file_name("run.journal.tiny").exists(),
+        "per-campaign journal `run.journal.tiny` missing"
+    );
+    assert!(
+        journal.with_file_name("run.journal.tiny-theta").exists(),
+        "per-campaign journal `run.journal.tiny-theta` missing"
+    );
+
+    // Phase 2: resume with healthy workers; finished cells from *both*
+    // campaigns are recovered, only the remainder is computed.
+    let mut resumed = LocalClusterConfig::multi(campaigns.clone(), 2);
+    resumed.journal = Some(journal.clone());
+    let report = run_local_cluster(&resumed).unwrap();
+    let resumed_total: usize = report.run.campaigns.iter().map(|c| c.resumed_cells).sum();
+    let computed_total: usize = report.run.campaigns.iter().map(|c| c.computed_cells).sum();
+    assert_eq!(resumed_total, done, "every journaled cell must be resumed");
+    assert_eq!(computed_total, total - done);
+    let recomputed: usize = report
+        .workers
+        .iter()
+        .map(|w| w.as_ref().expect("worker failed").cells_executed)
+        .sum();
+    assert_eq!(recomputed, total - done, "zero recompute across campaigns");
+
+    for (campaign, sweep) in campaigns.iter().zip(&report.run.campaigns) {
+        assert_bit_identical(&sweep.result, &campaign.spec.run_serial().unwrap());
+    }
+
+    // Phase 3: replaying the fully complete journals computes nothing.
+    let mut replay = LocalClusterConfig::multi(campaigns, 0);
+    replay.journal = Some(journal);
+    replay.idle_timeout = Duration::from_millis(400);
+    let report = run_local_cluster(&replay).unwrap();
+    for (sweep, &t) in report.run.campaigns.iter().zip(&totals) {
+        assert_eq!(sweep.resumed_cells, t);
+        assert_eq!(sweep.computed_cells, 0);
+    }
 
     let _ = std::fs::remove_dir_all(&dir);
 }

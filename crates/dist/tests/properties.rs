@@ -100,6 +100,7 @@ proptest! {
 
     #[test]
     fn assign_messages_round_trip_through_frames(
+        campaign in 0u32..64,
         n_jobs in 1usize..40,
         tag in 0u8..3,
         a in -0.9f64..=1.5,
@@ -107,11 +108,52 @@ proptest! {
         let jobs: Vec<CellJob> = (0..n_jobs)
             .map(|i| build_job(i, tag.wrapping_add(i as u8), i as u8, a, a.abs()))
             .collect();
-        let message = Message::Assign { jobs };
+        let message = Message::Assign { campaign, jobs };
         let mut framed = Vec::new();
         message.write_to(&mut framed).expect("frame writes");
         let decoded = Message::read_from(&mut Cursor::new(framed)).expect("frame reads");
         prop_assert_eq!(decoded, message);
+    }
+
+    #[test]
+    fn campaign_tagged_results_and_acks_round_trip(
+        campaign in 0u32..64,
+        n_results in 1usize..30,
+        baseline in 0.0f64..=1.0,
+        acc in 0.0f64..=1.0,
+    ) {
+        let results: Vec<CellResult> = (0..n_results)
+            .map(|i| CellResult {
+                index: i,
+                cell: SweepCell {
+                    rel_change: -0.2,
+                    fraction: i as f64 / n_results as f64,
+                    accuracy: acc,
+                    relative_change_percent: (acc - baseline) * 100.0,
+                },
+            })
+            .collect();
+        let message = Message::Results {
+            campaign,
+            baseline_accuracy: baseline,
+            results,
+        };
+        let decoded = Message::decode(&message.encode()).expect("results decode");
+        prop_assert_eq!(&decoded, &message);
+        // The window acknowledgement the coordinator answers with.
+        let ack = Message::Ack { campaign, received: n_results as u32 };
+        prop_assert_eq!(Message::decode(&ack.encode()).expect("ack decodes"), ack);
+    }
+
+    #[test]
+    fn failed_cell_reports_round_trip(
+        campaign in 0u32..64,
+        index in 0u64..1_000_000,
+        reason_seed in 0usize..4,
+    ) {
+        let reason = ["solver diverged", "NaN accuracy", "", "oom"][reason_seed].to_string();
+        let message = Message::Failed { campaign, index, reason };
+        prop_assert_eq!(Message::decode(&message.encode()).expect("decodes"), message);
     }
 
     #[test]
@@ -122,7 +164,7 @@ proptest! {
         let jobs: Vec<CellJob> = (0..n_jobs)
             .map(|i| build_job(i, i as u8, i as u8, 0.1, 0.9))
             .collect();
-        let payload = (Message::Assign { jobs }).encode();
+        let payload = (Message::Assign { campaign: 3, jobs }).encode();
         // Any strict prefix must fail to decode.
         let cut = (cut_seed as usize) % payload.len();
         prop_assert!(Message::decode(&payload[..cut]).is_err());
@@ -157,8 +199,36 @@ proptest! {
         // reserving `claimed * size_of::<CellJob>()` up front.
         let mut enc = Encoder::new();
         enc.u8(3); // Assign tag
+        enc.u32(0); // campaign id
         enc.u32(claimed);
         enc.u8(0); // a few stray bytes, far fewer than claimed jobs
         prop_assert!(Message::decode(&enc.finish()).is_err());
+        // Same for a hostile campaign-queue handshake.
+        let mut enc = Encoder::new();
+        enc.u8(1); // Campaigns tag
+        enc.u32(claimed);
+        enc.u8(0);
+        prop_assert!(Message::decode(&enc.finish()).is_err());
+    }
+
+    #[test]
+    fn truncated_campaign_queues_are_rejected(
+        cut_seed in 0u64..10_000,
+    ) {
+        let campaigns = vec![
+            neurofi_dist::NamedCampaign::new(
+                "tiny",
+                neurofi_dist::named_campaign("tiny").unwrap(),
+            ),
+            neurofi_dist::NamedCampaign::new(
+                "tiny-theta",
+                neurofi_dist::named_campaign("tiny-theta").unwrap(),
+            ),
+        ];
+        let message = Message::Campaigns { campaigns };
+        let payload = message.encode();
+        prop_assert_eq!(Message::decode(&payload).expect("whole queue decodes"), message);
+        let cut = (cut_seed as usize) % payload.len();
+        prop_assert!(Message::decode(&payload[..cut]).is_err());
     }
 }

@@ -1,0 +1,306 @@
+//! Scheduler-level integration tests over real localhost TCP: capacity-
+//! aware batch sizing from the `Hello` thread report, the worker-death
+//! requeue path (which must never poison healthy cells), explicit
+//! execution-failure poisoning, and old-protocol rejection.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use neurofi_dist::{
+    named_campaign, run_worker, Coordinator, CoordinatorConfig, DistError, Message, NamedCampaign,
+    WorkerConfig, CELLS_PER_THREAD, PROTOCOL_VERSION,
+};
+
+/// A hand-driven worker connection: handshake as a v2 worker reporting
+/// `threads`, return the stream ready for Request/Assign traffic.
+fn fake_worker(addr: &str, threads: u32) -> TcpStream {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    Message::Hello {
+        protocol: PROTOCOL_VERSION,
+        threads,
+    }
+    .write_to(&mut stream)
+    .unwrap();
+    match Message::read_from(&mut stream).unwrap() {
+        Message::Campaigns { campaigns } => assert!(!campaigns.is_empty()),
+        other => panic!("expected campaign queue, got {other:?}"),
+    }
+    stream
+}
+
+/// Requests until a non-empty batch arrives (an empty `Assign` is the
+/// coordinator's keep-alive while requeues from a previous connection
+/// are still settling).
+fn request_batch(stream: &mut TcpStream, max_cells: u32) -> (u32, usize) {
+    loop {
+        Message::Request { max_cells }.write_to(stream).unwrap();
+        match Message::read_from(stream).unwrap() {
+            Message::Assign { jobs, .. } if jobs.is_empty() => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Message::Assign { campaign, jobs } => return (campaign, jobs.len()),
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn batch_sizes_scale_with_reported_worker_threads() {
+    // fig8-reduced enumerates 24 cells — plenty pending for both claims.
+    let mut config = CoordinatorConfig::new("127.0.0.1:0", named_campaign("fig8-reduced").unwrap());
+    config.idle_timeout = Duration::from_secs(2);
+    let coordinator = Coordinator::bind(config).unwrap();
+    let addr = coordinator.local_addr().unwrap().to_string();
+    let serve = std::thread::spawn(move || coordinator.serve());
+
+    let mut narrow = fake_worker(&addr, 1);
+    let (_, narrow_batch) = request_batch(&mut narrow, u32::MAX);
+    let mut wide = fake_worker(&addr, 4);
+    let (_, wide_batch) = request_batch(&mut wide, u32::MAX);
+
+    assert_eq!(narrow_batch, CELLS_PER_THREAD);
+    assert_eq!(wide_batch, 4 * CELLS_PER_THREAD);
+    assert!(
+        wide_batch > narrow_batch,
+        "batch size must scale with the reported thread width"
+    );
+
+    // A worker's own cap still wins over its capacity.
+    let mut capped = fake_worker(&addr, 8);
+    let (_, capped_batch) = request_batch(&mut capped, 3);
+    assert_eq!(capped_batch, 3);
+
+    // Nobody executes anything; dropping the connections requeues every
+    // claimed cell and the coordinator eventually gives up idle.
+    drop(narrow);
+    drop(wide);
+    drop(capped);
+    match serve.join().unwrap() {
+        Err(DistError::Incomplete { done, total, .. }) => {
+            assert_eq!(done, 0);
+            assert_eq!(total, 24);
+        }
+        other => panic!("expected Incomplete after idle abandonment, got {other:?}"),
+    }
+}
+
+#[test]
+fn repeatedly_killed_workers_never_poison_healthy_cells() {
+    // Regression for the PR 2 bug where `claim_batch` counted
+    // *assignments* toward the poison cap: a healthy grid whose workers
+    // kept dying was declared poisoned after 5 assignments. Kill more
+    // workers than max_attempts, each holding the whole grid, then let
+    // one healthy worker finish the campaign.
+    let campaign = named_campaign("tiny").unwrap();
+    let serial = campaign.run_serial().unwrap();
+    let mut config = CoordinatorConfig::new("127.0.0.1:0", campaign);
+    config.idle_timeout = Duration::from_secs(30);
+    config.max_attempts = 5;
+    let coordinator = Coordinator::bind(config).unwrap();
+    let addr = coordinator.local_addr().unwrap().to_string();
+    let serve = std::thread::spawn(move || coordinator.serve());
+
+    for kill in 0..7 {
+        // threads=3 → capacity 6 = the whole tiny grid in one batch.
+        let mut doomed = fake_worker(&addr, 3);
+        let (_, batch) = request_batch(&mut doomed, u32::MAX);
+        assert!(batch > 0, "kill {kill}: worker must receive cells");
+        drop(doomed); // dies holding every cell it claimed
+    }
+
+    let summary = run_worker(&WorkerConfig::new(addr)).unwrap();
+    assert!(summary.finished);
+    assert_eq!(summary.cells_executed, serial.cells.len());
+
+    let run = serve.join().unwrap().expect(
+        "a campaign whose workers died 7 times must still complete \
+         (worker deaths are not cell failures)",
+    );
+    let merged = &run.campaigns[0].result;
+    assert_eq!(merged.cells.len(), serial.cells.len());
+    for (d, s) in merged.cells.iter().zip(&serial.cells) {
+        assert_eq!(d.accuracy.to_bits(), s.accuracy.to_bits());
+    }
+}
+
+#[test]
+fn repeated_execution_failures_poison_the_campaign_with_a_diagnostic() {
+    let mut config = CoordinatorConfig::new("127.0.0.1:0", named_campaign("tiny").unwrap());
+    config.idle_timeout = Duration::from_secs(30);
+    config.max_attempts = 2;
+    let coordinator = Coordinator::bind(config).unwrap();
+    let addr = coordinator.local_addr().unwrap().to_string();
+    let serve = std::thread::spawn(move || coordinator.serve());
+
+    // Fail every cell we are handed, one at a time, until some cell
+    // accumulates max_attempts execution failures and the coordinator
+    // aborts us with the poison diagnostic.
+    let mut stream = fake_worker(&addr, 1);
+    let mut abort_reason = None;
+    for _ in 0..100 {
+        if (Message::Request { max_cells: 1 })
+            .write_to(&mut stream)
+            .is_err()
+        {
+            break;
+        }
+        match Message::read_from(&mut stream) {
+            Ok(Message::Assign { campaign, jobs }) => {
+                if jobs.is_empty() {
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+                let report = Message::Failed {
+                    campaign,
+                    index: jobs[0].index as u64,
+                    reason: "synthetic failure".into(),
+                };
+                if report.write_to(&mut stream).is_err() {
+                    break;
+                }
+            }
+            Ok(Message::Abort { reason }) => {
+                abort_reason = Some(reason);
+                break;
+            }
+            Ok(other) => panic!("unexpected message {other:?}"),
+            Err(_) => break,
+        }
+    }
+    let reason = abort_reason.expect("the coordinator must abort the failing worker");
+    assert!(reason.contains("poisoned"), "diagnostic: {reason}");
+    assert!(
+        reason.contains("synthetic failure"),
+        "the failure log must surface the worker-reported reason: {reason}"
+    );
+    match serve.join().unwrap() {
+        Err(DistError::Protocol(message)) => {
+            assert!(message.contains("poisoned"), "serve error: {message}")
+        }
+        other => panic!("expected a poisoned-campaign failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn poisoned_campaign_does_not_sink_healthy_campaigns() {
+    let dir = std::env::temp_dir().join(format!("neurofi-dist-poison-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("run.journal");
+
+    let mut config = CoordinatorConfig::with_campaigns(
+        "127.0.0.1:0",
+        vec![
+            NamedCampaign::new("doomed", named_campaign("tiny").unwrap()),
+            NamedCampaign::new("healthy", named_campaign("tiny-theta").unwrap()),
+        ],
+    );
+    config.idle_timeout = Duration::from_secs(30);
+    config.max_attempts = 1;
+    config.journal = Some(journal.clone());
+    let coordinator = Coordinator::bind(config).unwrap();
+    let addr = coordinator.local_addr().unwrap().to_string();
+    let serve = std::thread::spawn(move || coordinator.serve());
+
+    // A saboteur poisons campaign 0 with a single execution-failure
+    // report (max_attempts = 1) and vanishes.
+    let mut saboteur = fake_worker(&addr, 1);
+    (Message::Request { max_cells: 1 })
+        .write_to(&mut saboteur)
+        .unwrap();
+    let (campaign, index) = match Message::read_from(&mut saboteur).unwrap() {
+        Message::Assign { campaign, jobs } if !jobs.is_empty() => (campaign, jobs[0].index),
+        other => panic!("expected a non-empty assignment, got {other:?}"),
+    };
+    assert_eq!(campaign, 0, "the queue drains FIFO, so cell 0 is doomed's");
+    Message::Failed {
+        campaign,
+        index: index as u64,
+        reason: "synthetic segfault".into(),
+    }
+    .write_to(&mut saboteur)
+    .unwrap();
+    drop(saboteur);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // A healthy worker still serves the surviving campaign to
+    // completion, then learns the run failed (the poisoned campaign is
+    // named in the goodbye).
+    match run_worker(&WorkerConfig::new(addr)).unwrap_err() {
+        DistError::Aborted(reason) => {
+            assert!(
+                reason.contains("`doomed`"),
+                "goodbye names the campaign: {reason}"
+            )
+        }
+        other => panic!("expected the run-failed goodbye, got {other:?}"),
+    }
+
+    match serve.join().unwrap() {
+        Err(DistError::Protocol(message)) => {
+            assert!(
+                message.contains("`doomed`"),
+                "error names the campaign: {message}"
+            );
+            assert!(
+                message.contains("synthetic segfault"),
+                "error keeps the log: {message}"
+            );
+        }
+        other => panic!("expected a poisoned-campaign failure, got {other:?}"),
+    }
+
+    // The healthy campaign ran to completion and journaled every cell,
+    // so rerunning without the poisoned grid resumes at zero cost.
+    let healthy = std::fs::read_to_string(journal.with_file_name("run.journal.healthy")).unwrap();
+    assert_eq!(
+        healthy.lines().filter(|l| l.starts_with("cell ")).count(),
+        4,
+        "healthy campaign must finish and journal despite the poisoned one:\n{healthy}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn old_protocol_workers_are_rejected_with_a_clear_error() {
+    let mut config = CoordinatorConfig::new("127.0.0.1:0", named_campaign("tiny").unwrap());
+    config.idle_timeout = Duration::from_secs(2);
+    let coordinator = Coordinator::bind(config).unwrap();
+    let addr = coordinator.local_addr().unwrap().to_string();
+    let serve = std::thread::spawn(move || coordinator.serve());
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // A PR 2 (v1) worker's handshake: same frame shape, old version.
+    Message::Hello {
+        protocol: 1,
+        threads: 4,
+    }
+    .write_to(&mut stream)
+    .unwrap();
+    match Message::read_from(&mut stream).unwrap() {
+        Message::Abort { reason } => {
+            assert!(reason.contains("protocol mismatch"), "got: {reason}");
+            assert!(
+                reason.contains("v1"),
+                "names the worker's version: {reason}"
+            );
+            assert!(
+                reason.contains(&format!("v{PROTOCOL_VERSION}")),
+                "names the coordinator's version: {reason}"
+            );
+        }
+        other => panic!("expected Abort, got {other:?}"),
+    }
+    // The rejected worker never joined, so the coordinator idles out.
+    assert!(matches!(
+        serve.join().unwrap(),
+        Err(DistError::Incomplete { .. })
+    ));
+}
