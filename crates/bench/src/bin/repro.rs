@@ -4,8 +4,9 @@
 //! repro all [--quick] [--out DIR]
 //! repro fig8b fig9a [--quick] [--out DIR]
 //! repro bench [--out DIR]
-//! repro coordinate [--grid NAME]... [--workers N] [--journal PATH]
+//! repro coordinate [--grid NAME]... [--workers N] [--journal PATH] [--fair]
 //! repro work --connect HOST:PORT [--threads N]
+//! repro submit --grid NAME --to HOST:PORT [--weight W]
 //! repro list
 //! ```
 //!
@@ -16,7 +17,10 @@
 //! machine-readable `BENCH_sweep.json`. `coordinate`/`work` shard sweep
 //! campaigns across workers over TCP with checkpoint/resume (see
 //! `neurofi-dist`); repeat `--grid` to queue several campaigns on one
-//! worker fleet. Every merged result is bit-identical to a serial run.
+//! worker fleet, `submit` enqueues another grid on a *running*
+//! coordinator, and `--fair` interleaves campaigns by weighted
+//! round-robin instead of FIFO. Every merged result is bit-identical to
+//! a serial run regardless of scheduling.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,11 +29,12 @@ use std::time::Instant;
 use neurofi_bench::{run_experiment, ExperimentId, Fidelity};
 
 fn usage() -> &'static str {
-    "usage: repro <all|list|bench|coordinate|work|EXPERIMENT...> [--quick] [--out DIR]\n\
+    "usage: repro <all|list|bench|coordinate|work|submit|EXPERIMENT...> [--quick] [--out DIR]\n\
      experiments: fig3 fig4 fig5b fig5c fig6a fig6b fig6c fig7b fig8a fig8b \
      fig8c fig9a fig9b fig9c fig10c defenses overheads ext-glitch ext-weightfaults\n\
      bench: performance suite (sweep engine + kernels) -> BENCH_sweep.json\n\
-     coordinate/work: distributed sweep campaign (see `repro coordinate --help`)"
+     coordinate/work/submit: distributed sweep campaigns with live \
+     submission (see `repro coordinate --help`, `repro submit --help`)"
 }
 
 fn main() -> ExitCode {
@@ -43,6 +48,7 @@ fn main() -> ExitCode {
     match args[0].as_str() {
         "coordinate" => return neurofi_bench::orchestrate::coordinate_main(&args[1..]),
         "work" => return neurofi_bench::orchestrate::work_main(&args[1..]),
+        "submit" => return neurofi_bench::orchestrate::submit_main(&args[1..]),
         _ => {}
     }
 

@@ -1,8 +1,9 @@
 //! CLI backends for the distributed-sweep subcommands:
-//! `repro coordinate` (shard a campaign over TCP workers) and
-//! `repro work` (join a campaign as a worker).
+//! `repro coordinate` (shard campaigns over TCP workers), `repro work`
+//! (join as a worker), and `repro submit` (enqueue a campaign on a
+//! *running* coordinator — the protocol v3 control plane).
 //!
-//! Both return a process exit code and print human-oriented progress to
+//! All return a process exit code and print human-oriented progress to
 //! stderr, results to stdout — any failed cell, failed worker, or
 //! failed verification exits nonzero so CI catches silent regressions.
 
@@ -12,17 +13,22 @@ use std::time::Duration;
 
 use neurofi_core::{Parallelism, SweepResult, Table};
 use neurofi_dist::{
-    named_campaign, run_local_cluster, run_worker, CampaignSweep, Coordinator, CoordinatorConfig,
-    LocalClusterConfig, NamedCampaign, WorkerConfig, NAMED_CAMPAIGNS,
+    named_campaign, run_local_cluster, run_worker, submit_campaign, CampaignSweep, Coordinator,
+    CoordinatorConfig, LocalClusterConfig, NamedCampaign, PolicyKind, WorkerConfig,
+    NAMED_CAMPAIGNS,
 };
 
 fn coordinate_usage() -> String {
     format!(
         "usage: repro coordinate [--grid NAME]... [--workers N] [--bind ADDR] \
-         [--journal PATH] [--verify-serial] [--idle-timeout SECS] \
-         [--worker-max-cells K] [--out DIR]\n\
+         [--journal PATH] [--fair] [--weight GRID=W]... [--verify-serial] \
+         [--idle-timeout SECS] [--worker-max-cells K] [--out DIR]\n\
          grids: {} (repeat --grid to queue several campaigns on one \
-         coordinator/fleet; each keeps its own journal `PATH.<grid>`)\n\
+         coordinator/fleet; each keeps its own journal `PATH.<grid>`; more \
+         campaigns can be enqueued live with `repro submit`)\n\
+         --fair  weighted round-robin across campaigns instead of FIFO \
+         (a campaign with --weight GRID=W gets W consecutive batches per \
+         rotation; default weight 1)\n\
          --workers N  spawn N local workers (over localhost TCP); with 0 \
          (default when --bind is given) the coordinator waits for external \
          `repro work --connect` peers\n\
@@ -35,6 +41,19 @@ fn coordinate_usage() -> String {
 fn work_usage() -> &'static str {
     "usage: repro work --connect HOST:PORT [--threads N] [--max-cells K] \
      [--batch N] [--ack-window N]"
+}
+
+fn submit_usage() -> String {
+    format!(
+        "usage: repro submit --grid NAME --to HOST:PORT [--weight W] [--name NAME]\n\
+         grids: {}\n\
+         Enqueues the grid on a *running* coordinator (started with \
+         `repro coordinate`). The campaign is journaled and scheduled \
+         exactly like a bind-time campaign; --name overrides the queue \
+         name when the same grid should be queued twice under different \
+         names, --weight sets its --fair round-robin share.",
+        NAMED_CAMPAIGNS.join(" ")
+    )
 }
 
 fn sweep_table(name: &str, sweep: &SweepResult) -> Table {
@@ -135,6 +154,8 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
     let mut workers_given = false;
     let mut bind: Option<String> = None;
     let mut journal: Option<PathBuf> = None;
+    let mut policy = PolicyKind::Fifo;
+    let mut weights: Vec<(String, u32)> = Vec::new();
     let mut verify_serial = false;
     let mut idle_timeout = Duration::from_secs(60);
     let mut worker_max_cells: Option<usize> = None;
@@ -187,6 +208,11 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
                 Ok(v) => out_dir = Some(PathBuf::from(v)),
                 Err(e) => return usage_error(&e, &coordinate_usage()),
             },
+            "--fair" => policy = PolicyKind::WeightedRoundRobin,
+            "--weight" => match take("--weight").and_then(|v| parse_weight(&v)) {
+                Ok(pair) => weights.push(pair),
+                Err(e) => return usage_error(&e, &coordinate_usage()),
+            },
             "--verify-serial" => verify_serial = true,
             "--help" | "-h" => {
                 println!("{}", coordinate_usage());
@@ -214,14 +240,30 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
         if campaigns.iter().any(|c| &c.name == grid) {
             return usage_error(&format!("grid `{grid}` queued twice"), &coordinate_usage());
         }
-        campaigns.push(NamedCampaign::new(grid.clone(), spec));
+        let weight = weights
+            .iter()
+            .find(|(name, _)| name == grid)
+            .map_or(1, |&(_, w)| w);
+        campaigns.push(NamedCampaign::new(grid.clone(), spec).with_weight(weight));
+    }
+    for (name, _) in &weights {
+        if !campaigns.iter().any(|c| &c.name == name) {
+            return usage_error(
+                &format!("--weight names unqueued grid `{name}`"),
+                &coordinate_usage(),
+            );
+        }
     }
 
     let total_cells: usize = campaigns.iter().map(|c| c.spec.plan().jobs.len()).sum();
     eprintln!(
-        "coordinate: {} campaign(s) [{}] ({total_cells} cells), {} local worker(s){}",
+        "coordinate: {} campaign(s) [{}] ({total_cells} cells), {} scheduling, {} local worker(s){}",
         campaigns.len(),
         grids.join(", "),
+        match policy {
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::WeightedRoundRobin => "fair (weighted round-robin)",
+        },
         workers,
         match &journal {
             Some(p) => format!(", journal base {}", p.display()),
@@ -235,6 +277,7 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
             config.bind = bind;
         }
         config.journal = journal;
+        config.policy = policy;
         config.idle_timeout = idle_timeout;
         config.worker_max_cells = worker_max_cells;
         config.worker_parallelism = Parallelism::Auto;
@@ -264,6 +307,7 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
         };
         let mut config = CoordinatorConfig::with_campaigns(bind.clone(), campaigns.clone());
         config.journal = journal;
+        config.policy = policy;
         config.idle_timeout = idle_timeout;
         Coordinator::bind(config).and_then(|coordinator| {
             eprintln!(
@@ -404,6 +448,89 @@ pub fn work_main(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("work FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses a `--weight GRID=W` argument.
+fn parse_weight(value: &str) -> Result<(String, u32), String> {
+    let (name, weight) = value
+        .split_once('=')
+        .ok_or_else(|| format!("bad weight `{value}` (expected GRID=W)"))?;
+    let weight: u32 = weight
+        .parse()
+        .map_err(|_| format!("bad weight `{value}` (W must be a positive integer)"))?;
+    if name.is_empty() || weight == 0 {
+        return Err(format!(
+            "bad weight `{value}` (grid name and a weight >= 1 required)"
+        ));
+    }
+    Ok((name.to_string(), weight))
+}
+
+/// `repro submit ...`: enqueue a named grid on a running coordinator.
+pub fn submit_main(args: &[String]) -> ExitCode {
+    let mut grid: Option<String> = None;
+    let mut to: Option<String> = None;
+    let mut weight = 1u32;
+    let mut queue_name: Option<String> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--grid" => match take("--grid") {
+                Ok(v) => grid = Some(v),
+                Err(e) => return usage_error(&e, &submit_usage()),
+            },
+            "--to" => match take("--to") {
+                Ok(v) => to = Some(v),
+                Err(e) => return usage_error(&e, &submit_usage()),
+            },
+            "--weight" => match take("--weight")
+                .and_then(|v| v.parse::<u32>().map_err(|_| format!("bad weight `{v}`")))
+            {
+                Ok(v) if v >= 1 => weight = v,
+                Ok(_) => return usage_error("--weight must be >= 1", &submit_usage()),
+                Err(e) => return usage_error(&e, &submit_usage()),
+            },
+            "--name" => match take("--name") {
+                Ok(v) => queue_name = Some(v),
+                Err(e) => return usage_error(&e, &submit_usage()),
+            },
+            "--help" | "-h" => {
+                println!("{}", submit_usage());
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`"), &submit_usage()),
+        }
+    }
+    let Some(grid) = grid else {
+        return usage_error("--grid is required", &submit_usage());
+    };
+    let Some(to) = to else {
+        return usage_error("--to is required", &submit_usage());
+    };
+    let Some(spec) = named_campaign(&grid) else {
+        return usage_error(&format!("unknown grid `{grid}`"), &submit_usage());
+    };
+    let campaign =
+        NamedCampaign::new(queue_name.unwrap_or_else(|| grid.clone()), spec).with_weight(weight);
+    let name = campaign.name.clone();
+    let cells = campaign.spec.plan().jobs.len();
+    eprintln!("submit: enqueueing `{name}` ({cells} cells, weight {weight}) on {to}...");
+    match submit_campaign(&to, campaign) {
+        Ok(id) => {
+            println!("submitted campaign `{name}` as id {id}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("submit FAILED: {e}");
             ExitCode::FAILURE
         }
     }

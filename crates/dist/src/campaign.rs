@@ -149,17 +149,30 @@ pub struct CampaignSpec {
 pub struct NamedCampaign {
     /// Queue-unique human-readable name (usually the grid name).
     pub name: String,
+    /// Scheduling weight under the weighted-round-robin policy: a
+    /// campaign with weight `w` is served `w` consecutive batches per
+    /// rotation. Ignored by FIFO scheduling and by workers (cell values
+    /// are scheduling-independent); not part of the campaign digest.
+    pub weight: u32,
     /// The campaign itself.
     pub spec: CampaignSpec,
 }
 
 impl NamedCampaign {
-    /// Names a campaign for queueing.
+    /// Names a campaign for queueing at the default weight 1.
     pub fn new(name: impl Into<String>, spec: CampaignSpec) -> NamedCampaign {
         NamedCampaign {
             name: name.into(),
+            weight: 1,
             spec,
         }
+    }
+
+    /// Sets the weighted-round-robin scheduling weight (0 is treated as
+    /// 1 by the scheduler).
+    pub fn with_weight(mut self, weight: u32) -> NamedCampaign {
+        self.weight = weight;
+        self
     }
 }
 

@@ -1,0 +1,57 @@
+//! Control-plane client: submit campaigns to a *running* coordinator.
+//!
+//! A control connection opens with [`Message::Submit`] instead of a
+//! worker `Hello`. The coordinator validates the campaign, binds it a
+//! digest-checked journal exactly as bind-time campaigns get, announces
+//! it to every connected worker, and replies [`Message::SubmitOk`] with
+//! the assigned campaign id — or [`Message::Abort`] with the reason
+//! (duplicate name, invalid spec, foreign journal, run already over).
+//!
+//! `repro submit --grid NAME --to HOST:PORT` is the CLI front end.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::campaign::NamedCampaign;
+use crate::transport::{Connection, TcpConnection};
+use crate::wire::{Message, PROTOCOL_VERSION};
+use crate::DistError;
+
+/// How long a submitter waits for the coordinator's verdict. Enqueueing
+/// is a queue append plus one journal open, so replies are immediate;
+/// this guards against a dead peer.
+pub const SUBMIT_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Submits one campaign to the coordinator at `addr` over TCP and
+/// returns the campaign id it was enqueued under.
+///
+/// # Errors
+/// Propagates connect/link failures; a coordinator rejection surfaces
+/// as [`DistError::Aborted`] with the coordinator's reason.
+pub fn submit_campaign(addr: &str, campaign: NamedCampaign) -> Result<u32, DistError> {
+    let stream = TcpStream::connect(addr)?;
+    let mut conn = TcpConnection::new(stream);
+    conn.set_recv_timeout(Some(SUBMIT_TIMEOUT));
+    submit_on(&mut conn, campaign)
+}
+
+/// Submits one campaign over an already-established [`Connection`] —
+/// the transport-generic core of [`submit_campaign`], also driven
+/// directly by the deterministic loopback tests. The connection can be
+/// reused for further submissions.
+///
+/// # Errors
+/// See [`submit_campaign`].
+pub fn submit_on<C: Connection>(conn: &mut C, campaign: NamedCampaign) -> Result<u32, DistError> {
+    conn.send(&Message::Submit {
+        protocol: PROTOCOL_VERSION,
+        campaign,
+    })?;
+    match conn.recv()? {
+        Message::SubmitOk { id } => Ok(id),
+        Message::Abort { reason } => Err(DistError::Aborted(reason)),
+        other => Err(DistError::Protocol(format!(
+            "expected a submission verdict, got {other:?}"
+        ))),
+    }
+}

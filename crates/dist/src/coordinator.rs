@@ -1,17 +1,27 @@
 //! The campaign coordinator: queues multiple campaigns and shards their
-//! cell grids over one shared TCP worker fleet.
+//! cell grids over one shared worker fleet.
 //!
 //! Scheduling is pull-based work stealing at the granularity the PR 1
 //! in-process pool established: idle workers request batches, the
-//! coordinator pops pending cell indices from the first queued campaign
-//! that still has work, and a worker that dies (or times out) simply has
-//! its in-flight cells requeued for whoever asks next. Batches are sized
-//! by the `threads` each worker reported in its `Hello` (capacity-aware
-//! batching — a 16-core node gets 16× the cells of a 1-core node per
-//! round trip). Because every cell is a pure function of `(setup, job)`
-//! and each campaign's merge is slot-addressed ([`assemble_sweep`]),
-//! *any* interleaving of campaigns, workers, retries, and resumes
-//! produces the same bit-exact [`SweepResult`]s as serial runs.
+//! coordinator pops pending cell indices from the campaign its
+//! [`SchedulingPolicy`] picks (FIFO by default; weighted round-robin
+//! under `--fair`, so interleaved campaigns all make latency progress),
+//! and a worker that dies (or times out) simply has its in-flight cells
+//! requeued for whoever asks next. Batches are sized by the `threads`
+//! each worker reported in its `Hello` (capacity-aware batching — a
+//! 16-core node gets 16× the cells of a 1-core node per round trip).
+//! Because every cell is a pure function of `(setup, job)` and each
+//! campaign's merge is slot-addressed ([`assemble_sweep`]), *any*
+//! interleaving of campaigns, workers, retries, resumes, and scheduling
+//! policies produces the same bit-exact [`SweepResult`]s as serial runs.
+//!
+//! The campaign queue is **live** (protocol v3): a control client may
+//! [`Submit`](Message::Submit) a campaign to a running coordinator
+//! (`repro submit`). The submission is validated, bound a digest-checked
+//! journal exactly as bind-time campaigns are, announced to every
+//! connected worker ([`Message::CampaignAnnounce`] — pushed before the
+//! first reply that references the new campaign id), and scheduled by
+//! the same policy as everything else.
 //!
 //! Completed cells are journaled — one journal per campaign, each bound
 //! to its campaign digest — before they are acknowledged back to the
@@ -32,7 +42,7 @@
 //! ends failed, naming each poisoned campaign with its failure log.
 
 use std::collections::VecDeque;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::path::{Path, PathBuf};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
@@ -41,6 +51,8 @@ use neurofi_core::sweep::{assemble_sweep, CellResult, SweepPlan, SweepResult};
 
 use crate::campaign::NamedCampaign;
 use crate::checkpoint::Journal;
+use crate::schedule::{Candidate, PolicyKind, SchedulingPolicy};
+use crate::transport::{Canceller, Connection, Listener, TcpServerListener};
 use crate::wire::{Message, PROTOCOL_VERSION};
 use crate::DistError;
 
@@ -49,14 +61,15 @@ use crate::DistError;
 pub struct CoordinatorConfig {
     /// Address to listen on (`127.0.0.1:0` picks a free port).
     pub bind: String,
-    /// The campaigns to shard, in queue order (earlier campaigns drain
-    /// first). Names must be unique.
+    /// The campaigns to queue at bind time (more may arrive live via
+    /// [`Message::Submit`]). Names must be unique.
     pub campaigns: Vec<NamedCampaign>,
     /// Checkpoint journal base path; `None` disables checkpointing.
-    /// With a single queued campaign the journal lives at exactly this
-    /// path; with several, each campaign journals to
+    /// Every campaign — bind-time or submitted — journals to
     /// `<path>.<campaign-name>` (see [`campaign_journal_path`]).
     pub journal: Option<PathBuf>,
+    /// Cross-campaign scheduling policy (FIFO unless `--fair`).
+    pub policy: PolicyKind,
     /// Socket read timeout per worker: a worker silent for this long is
     /// declared dead and its in-flight cells are requeued.
     pub worker_timeout: Duration,
@@ -78,10 +91,10 @@ pub struct CoordinatorConfig {
 }
 
 impl CoordinatorConfig {
-    /// A single-campaign config with the defaults: generous worker
-    /// timeout (cells are training runs), 60 s idle timeout, 5 execution
-    /// failures per cell, 50 worker losses per cell. The campaign is
-    /// queued under the name `main`.
+    /// A single-campaign config with the defaults: FIFO scheduling,
+    /// generous worker timeout (cells are training runs), 60 s idle
+    /// timeout, 5 execution failures per cell, 50 worker losses per
+    /// cell. The campaign is queued under the name `main`.
     pub fn new(bind: impl Into<String>, campaign: crate::CampaignSpec) -> CoordinatorConfig {
         CoordinatorConfig::with_campaigns(bind, vec![NamedCampaign::new("main", campaign)])
     }
@@ -95,6 +108,7 @@ impl CoordinatorConfig {
             bind: bind.into(),
             campaigns,
             journal: None,
+            policy: PolicyKind::Fifo,
             worker_timeout: Duration::from_secs(600),
             idle_timeout: Duration::from_secs(60),
             max_attempts: 5,
@@ -127,14 +141,16 @@ struct PoisonLimits {
     max_worker_losses: u32,
 }
 
-/// The per-campaign journal path under `base`: `base` itself for a lone
-/// campaign, `base.<name>` when several campaigns share one coordinator.
-pub fn campaign_journal_path(base: &Path, name: &str, queued: usize) -> PathBuf {
-    if queued <= 1 {
-        base.to_path_buf()
-    } else {
-        PathBuf::from(format!("{}.{name}", base.display()))
-    }
+/// The per-campaign journal path under `base`: always `base.<name>`.
+///
+/// The suffix is unconditional (PR 3 used the bare base path for a lone
+/// campaign) because with live submission the number of campaigns a run
+/// will ultimately serve is unknowable at bind time — a path that
+/// depended on it could not resume reliably. The journal header's
+/// campaign digest still guards against name collisions across
+/// different grids.
+pub fn campaign_journal_path(base: &Path, name: &str) -> PathBuf {
+    PathBuf::from(format!("{}.{name}", base.display()))
 }
 
 /// One campaign's merged outcome within a [`CoordinatedRun`].
@@ -152,7 +168,8 @@ pub struct CampaignSweep {
     pub computed_cells: usize,
 }
 
-/// The merged outcome of a coordinated run over every queued campaign.
+/// The merged outcome of a coordinated run over every queued campaign
+/// (bind-time and live-submitted, in queue order).
 #[derive(Debug, Clone)]
 pub struct CoordinatedRun {
     /// Per-campaign merges, in queue order.
@@ -169,7 +186,11 @@ enum Outcome {
 
 /// Scheduler state for one queued campaign.
 struct CampaignState {
-    name: String,
+    /// The campaign as queued (name, scheduling weight, spec).
+    campaign: NamedCampaign,
+    /// Stage-1 enumeration of the campaign's cells (job lookup for
+    /// assignments).
+    plan: SweepPlan,
     pending: VecDeque<usize>,
     /// Execution failures per cell ([`Message::Failed`] reports only —
     /// assignments alone are never counted, so a healthy cell can
@@ -186,6 +207,8 @@ struct CampaignState {
     failure_log: Vec<String>,
     completed: Vec<Option<CellResult>>,
     n_done: usize,
+    /// Cells recovered from the journal when this campaign was queued.
+    resumed: usize,
     baseline_accuracy: Option<f64>,
     journal: Option<Journal>,
     /// Set when this campaign is poisoned. A failed campaign stops
@@ -196,6 +219,49 @@ struct CampaignState {
 }
 
 impl CampaignState {
+    /// Builds the scheduler state for one campaign: enumerates its
+    /// plan, opens (and replays) its digest-bound journal when
+    /// checkpointing is on, and seeds `completed` from the recovery.
+    /// Used identically for bind-time campaigns and live submissions.
+    fn create(
+        campaign: NamedCampaign,
+        journal_base: Option<&Path>,
+    ) -> Result<CampaignState, DistError> {
+        campaign.spec.validate()?;
+        let plan = campaign.spec.plan();
+        let total = plan.jobs.len();
+        let (journal, recovered) = match journal_base {
+            Some(base) => {
+                let path = campaign_journal_path(base, &campaign.name);
+                let (journal, recovered) = Journal::open(&path, campaign.spec.digest(), total)?;
+                (Some(journal), recovered)
+            }
+            None => (None, Default::default()),
+        };
+        let mut completed: Vec<Option<CellResult>> = vec![None; total];
+        let mut n_done = 0usize;
+        for result in &recovered.results {
+            if completed[result.index].is_none() {
+                completed[result.index] = Some(*result);
+                n_done += 1;
+            }
+        }
+        Ok(CampaignState {
+            campaign,
+            plan,
+            pending: (0..total).filter(|&i| completed[i].is_none()).collect(),
+            failures: vec![0; total],
+            orphaned: vec![0; total],
+            failure_log: Vec::new(),
+            completed,
+            n_done,
+            resumed: n_done,
+            baseline_accuracy: recovered.baseline_accuracy,
+            journal,
+            failed: None,
+        })
+    }
+
     fn total(&self) -> usize {
         self.completed.len()
     }
@@ -221,8 +287,15 @@ impl CampaignState {
 
 struct State {
     campaigns: Vec<CampaignState>,
+    /// Picks which campaign serves each batch claim.
+    policy: Box<dyn SchedulingPolicy>,
     workers_connected: usize,
     workers_seen: usize,
+    /// Campaigns accepted by live submission. The serve loop treats a
+    /// growing count as activity, so an accepted submission resets the
+    /// idle-abandonment clock — a coordinator that just told a client
+    /// `SubmitOk` must give workers a chance to arrive for it.
+    submissions_accepted: usize,
     outcome: Option<Outcome>,
 }
 
@@ -265,13 +338,18 @@ impl State {
 
 struct Shared {
     state: Mutex<State>,
-    /// Signalled when pending work appears, completion flips, or the
-    /// run fails — anything a blocked scheduler call cares about.
+    /// Signalled when pending work appears, completion flips, the run
+    /// fails, or a campaign is submitted — anything a blocked scheduler
+    /// call cares about.
     changed: Condvar,
-    /// Every accepted connection (cloned handles), so shutdown can
-    /// unblock handler reads once the run is over.
-    streams: Mutex<Vec<TcpStream>>,
-    plans: Vec<SweepPlan>,
+    /// One canceller slot per accepted connection, so shutdown can
+    /// unblock handler reads once the run is over. A handler clears its
+    /// slot when its connection ends — a long-lived coordinator churns
+    /// through connections without pinning dead handles (and their
+    /// duplicated fds) for the whole run.
+    conns: Mutex<Vec<Option<Canceller>>>,
+    /// Journal base for campaigns submitted after bind.
+    journal_base: Option<PathBuf>,
 }
 
 impl Shared {
@@ -320,22 +398,58 @@ impl Shared {
         }
     }
 
-    /// Locks the stream registry, shedding poison (the registry is only
-    /// ever appended to, so a torn update cannot corrupt it).
-    fn lock_streams(&self) -> MutexGuard<'_, Vec<TcpStream>> {
-        self.streams
+    /// Locks the canceller registry, shedding poison (the registry is
+    /// only ever appended to, so a torn update cannot corrupt it).
+    fn lock_conns(&self) -> MutexGuard<'_, Vec<Option<Canceller>>> {
+        self.conns
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Registers a connection's canceller, returning the slot to clear
+    /// when the connection ends.
+    fn register_conn(&self, canceller: Canceller) -> usize {
+        let mut conns = self.lock_conns();
+        conns.push(Some(canceller));
+        conns.len() - 1
+    }
+
+    /// Severs every connection still registered (idle control clients,
+    /// half-open handshakes, workers mid-computation).
+    fn cancel_all_conns(&self) {
+        for cancel in self.lock_conns().iter().flatten() {
+            cancel();
+        }
     }
 }
 
 /// After the run ends, how long handlers get to deliver a graceful
-/// `Finished`/`Abort` before their sockets are forcibly shut down.
+/// `Finished`/`Abort` before their connections are forcibly severed.
 const DRAIN_GRACE: Duration = Duration::from_secs(5);
 
-/// A bound coordinator, ready to serve. Splitting bind from serve lets
-/// callers learn the actual port (`bind = "127.0.0.1:0"`) before
-/// workers are launched — the local-cluster helper and tests rely on it.
+/// Validates a campaign queue: non-empty, valid specs, unique names.
+fn validate_queue(campaigns: &[NamedCampaign]) -> Result<(), DistError> {
+    if campaigns.is_empty() {
+        return Err(DistError::Protocol("no campaigns queued".into()));
+    }
+    for (i, campaign) in campaigns.iter().enumerate() {
+        campaign.spec.validate()?;
+        if campaigns[..i].iter().any(|c| c.name == campaign.name) {
+            return Err(DistError::Protocol(format!(
+                "campaign name `{}` is queued twice; names must be unique \
+                 (they key journals and reports)",
+                campaign.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// A bound coordinator, ready to serve over TCP. Splitting bind from
+/// serve lets callers learn the actual port (`bind = "127.0.0.1:0"`)
+/// before workers are launched — the local-cluster helper and CI rely
+/// on it. Tests that need determinism instead drive [`serve_transport`]
+/// directly over a loopback listener.
 #[derive(Debug)]
 pub struct Coordinator {
     listener: TcpListener,
@@ -349,24 +463,8 @@ impl Coordinator {
     /// Fails on an empty queue, duplicate campaign names, invalid
     /// campaigns, or unbindable addresses.
     pub fn bind(config: CoordinatorConfig) -> Result<Coordinator, DistError> {
-        if config.campaigns.is_empty() {
-            return Err(DistError::Protocol("no campaigns queued".into()));
-        }
-        for (i, campaign) in config.campaigns.iter().enumerate() {
-            campaign.spec.validate()?;
-            if config.campaigns[..i]
-                .iter()
-                .any(|c| c.name == campaign.name)
-            {
-                return Err(DistError::Protocol(format!(
-                    "campaign name `{}` is queued twice; names must be unique \
-                     (they key journals and reports)",
-                    campaign.name
-                )));
-            }
-        }
+        validate_queue(&config.campaigns)?;
         let listener = TcpListener::bind(&config.bind)?;
-        listener.set_nonblocking(true)?;
         Ok(Coordinator { listener, config })
     }
 
@@ -383,199 +481,178 @@ impl Coordinator {
     /// merged sweeps.
     ///
     /// # Errors
-    /// * [`DistError::Incomplete`] when work remains but no workers have
-    ///   been connected for `idle_timeout` — the journals hold the
-    ///   progress and the same command resumes all campaigns.
-    /// * A poisoned campaign (over `max_attempts` execution failures or
-    ///   `max_worker_losses` orphaning worker deaths on one cell) fails
-    ///   the run *after* the healthy campaigns finish and journal; the
-    ///   error names each poisoned campaign with its failure log, and
-    ///   rerunning without the poisoned grid resumes the rest at zero
-    ///   cost.
-    /// * Divergent worker baselines, journal i/o failures, and protocol
-    ///   violations surface as their respective variants.
+    /// See [`serve_transport`].
     pub fn serve(self) -> Result<CoordinatedRun, DistError> {
-        let queued = self.config.campaigns.len();
-        let plans: Vec<SweepPlan> = self
-            .config
-            .campaigns
-            .iter()
-            .map(|c| c.spec.plan())
-            .collect();
-
-        let mut states = Vec::with_capacity(queued);
-        let mut resumed_cells = Vec::with_capacity(queued);
-        for (campaign, plan) in self.config.campaigns.iter().zip(&plans) {
-            let total = plan.jobs.len();
-            let (journal, recovered) = match &self.config.journal {
-                Some(base) => {
-                    let path = campaign_journal_path(base, &campaign.name, queued);
-                    let (journal, recovered) = Journal::open(&path, campaign.spec.digest(), total)?;
-                    (Some(journal), recovered)
-                }
-                None => (None, Default::default()),
-            };
-            let mut completed: Vec<Option<CellResult>> = vec![None; total];
-            let mut n_done = 0usize;
-            for result in &recovered.results {
-                if completed[result.index].is_none() {
-                    completed[result.index] = Some(*result);
-                    n_done += 1;
-                }
-            }
-            resumed_cells.push(n_done);
-            states.push(CampaignState {
-                name: campaign.name.clone(),
-                pending: (0..total).filter(|&i| completed[i].is_none()).collect(),
-                failures: vec![0; total],
-                orphaned: vec![0; total],
-                failure_log: Vec::new(),
-                completed,
-                n_done,
-                baseline_accuracy: recovered.baseline_accuracy,
-                journal,
-                failed: None,
-            });
-        }
-
-        let shared = Shared {
-            state: Mutex::new(State {
-                campaigns: states,
-                workers_connected: 0,
-                workers_seen: 0,
-                outcome: None,
-            }),
-            changed: Condvar::new(),
-            streams: Mutex::new(Vec::new()),
-            plans,
-        };
-        shared.lock_state().settle_if_done();
-
-        let worker_timeout = self.config.worker_timeout;
-        let idle_timeout = self.config.idle_timeout;
-        let limits = PoisonLimits {
-            max_attempts: self.config.max_attempts,
-            max_worker_losses: self.config.max_worker_losses,
-        };
-        let campaigns = self.config.campaigns.as_slice();
-
-        std::thread::scope(|scope| {
-            let mut idle_since = Instant::now();
-            loop {
-                match self.listener.accept() {
-                    Ok((stream, _peer)) => {
-                        let shared = &shared;
-                        scope.spawn(move || {
-                            serve_worker(stream, shared, campaigns, worker_timeout, limits);
-                        });
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
-                    Err(e) => {
-                        let mut state = shared.lock_state();
-                        state.fail(format!("listener failed: {e}"));
-                        shared.changed.notify_all();
-                    }
-                }
-
-                {
-                    let mut state = shared.lock_state();
-                    if state.outcome.is_some() {
-                        break;
-                    }
-                    if state.workers_connected > 0 {
-                        idle_since = Instant::now();
-                    } else if idle_since.elapsed() > idle_timeout {
-                        state.fail(String::new()); // marker: idle abandonment
-                        shared.changed.notify_all();
-                        break;
-                    }
-                }
-                std::thread::sleep(Duration::from_millis(20));
-            }
-            // Drain: wake blocked handlers so they deliver Finished/Abort
-            // to their workers; after a short grace, force-shutdown any
-            // connection still open (e.g. a worker mid-computation on
-            // cells that were requeued and finished elsewhere) so the
-            // scope join cannot hang on a silent socket.
-            let deadline = Instant::now() + DRAIN_GRACE;
-            loop {
-                shared.changed.notify_all();
-                if shared.lock_state().workers_connected == 0 {
-                    break;
-                }
-                if Instant::now() > deadline {
-                    for stream in shared.lock_streams().iter() {
-                        let _ = stream.shutdown(std::net::Shutdown::Both);
-                    }
-                    break;
-                }
-                std::thread::sleep(Duration::from_millis(20));
-            }
-        });
-
-        let state = shared
-            .state
-            .into_inner()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        let (cells_done, cells_total) = (state.cells_done(), state.cells_total());
-        match state.outcome {
-            Some(Outcome::Complete) => {
-                let mut merged = Vec::with_capacity(queued);
-                for (((campaign, campaign_state), plan), resumed) in self
-                    .config
-                    .campaigns
-                    .iter()
-                    .zip(state.campaigns)
-                    .zip(&shared.plans)
-                    .zip(resumed_cells)
-                {
-                    let total = campaign_state.total();
-                    let baseline_accuracy = match campaign_state.baseline_accuracy {
-                        Some(b) => b,
-                        // Fully resumed from a journal written before any
-                        // baseline record existed (not produced by this
-                        // version, but cheap to tolerate): derive it
-                        // locally.
-                        None => {
-                            let setup = campaign.spec.materialize();
-                            let cache = neurofi_core::BaselineCache::new(&setup);
-                            neurofi_core::sweep::mean_baseline_accuracy(
-                                &cache,
-                                &campaign.spec.sweep.seeds,
-                            )
-                        }
-                    };
-                    let results: Vec<CellResult> =
-                        campaign_state.completed.iter().flatten().copied().collect();
-                    let result = assemble_sweep(plan.kind, baseline_accuracy, total, results)?;
-                    merged.push(CampaignSweep {
-                        name: campaign.name.clone(),
-                        result,
-                        total_cells: total,
-                        resumed_cells: resumed,
-                        computed_cells: campaign_state.n_done - resumed,
-                    });
-                }
-                Ok(CoordinatedRun {
-                    campaigns: merged,
-                    workers_seen: state.workers_seen,
-                })
-            }
-            Some(Outcome::Failed(reason)) if reason.is_empty() => Err(DistError::Incomplete {
-                done: cells_done,
-                total: cells_total,
-                journal: self.config.journal.clone(),
-            }),
-            Some(Outcome::Failed(reason)) => Err(DistError::Protocol(reason)),
-            None => unreachable!("serve loop exits only with an outcome"),
-        }
+        serve_transport(TcpServerListener::new(self.listener)?, self.config)
     }
 }
 
-/// Pops a capacity-sized batch of pending cells from the first queued
-/// campaign that has any, blocking until work, completion, or failure.
-/// Returns the campaign id with the batch, `Some((0, []))` as a
-/// keep-alive while all remaining work is in flight elsewhere, and
+/// Serves a campaign queue over any [`Listener`] until every campaign
+/// settles, then assembles the merged sweeps. This is the whole
+/// coordinator — [`Coordinator::serve`] runs it over TCP, tests run it
+/// over a [`LoopbackHub`](crate::transport::LoopbackHub) listener for
+/// deterministic scheduling tests.
+///
+/// # Errors
+/// * [`DistError::Incomplete`] when work remains but no workers have
+///   been connected for `idle_timeout` — the journals hold the
+///   progress and the same command resumes all campaigns.
+/// * A poisoned campaign (over `max_attempts` execution failures or
+///   `max_worker_losses` orphaning worker deaths on one cell) fails
+///   the run *after* the healthy campaigns finish and journal; the
+///   error names each poisoned campaign with its failure log, and
+///   rerunning without the poisoned grid resumes the rest at zero
+///   cost.
+/// * Divergent worker baselines, journal i/o failures, and protocol
+///   violations surface as their respective variants.
+pub fn serve_transport<L: Listener>(
+    mut listener: L,
+    config: CoordinatorConfig,
+) -> Result<CoordinatedRun, DistError> {
+    validate_queue(&config.campaigns)?;
+    let mut states = Vec::with_capacity(config.campaigns.len());
+    for campaign in &config.campaigns {
+        states.push(CampaignState::create(
+            campaign.clone(),
+            config.journal.as_deref(),
+        )?);
+    }
+
+    let shared = Shared {
+        state: Mutex::new(State {
+            campaigns: states,
+            policy: config.policy.build(),
+            workers_connected: 0,
+            workers_seen: 0,
+            submissions_accepted: 0,
+            outcome: None,
+        }),
+        changed: Condvar::new(),
+        conns: Mutex::new(Vec::new()),
+        journal_base: config.journal.clone(),
+    };
+    shared.lock_state().settle_if_done();
+
+    let worker_timeout = config.worker_timeout;
+    let idle_timeout = config.idle_timeout;
+    let limits = PoisonLimits {
+        max_attempts: config.max_attempts,
+        max_worker_losses: config.max_worker_losses,
+    };
+
+    std::thread::scope(|scope| {
+        let mut idle_since = Instant::now();
+        let mut submissions_seen = 0usize;
+        loop {
+            match listener.poll_accept() {
+                Ok(Some(conn)) => {
+                    let shared = &shared;
+                    scope.spawn(move || serve_conn(conn, shared, worker_timeout, limits));
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    let mut state = shared.lock_state();
+                    state.fail(format!("listener failed: {e}"));
+                    shared.changed.notify_all();
+                }
+            }
+
+            {
+                let mut state = shared.lock_state();
+                if state.outcome.is_some() {
+                    break;
+                }
+                // Connected workers *and* accepted submissions count as
+                // activity: a coordinator that just replied `SubmitOk`
+                // must give workers a chance to arrive for the new
+                // campaign instead of idling out moments later.
+                if state.workers_connected > 0 || state.submissions_accepted != submissions_seen {
+                    submissions_seen = state.submissions_accepted;
+                    idle_since = Instant::now();
+                } else if idle_since.elapsed() > idle_timeout {
+                    state.fail(String::new()); // marker: idle abandonment
+                    shared.changed.notify_all();
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // Drain: wake blocked handlers so they deliver Finished/Abort
+        // to their workers; after a short grace, force-sever any
+        // connection still open (e.g. a worker mid-computation on
+        // cells that were requeued and finished elsewhere). Once every
+        // *worker* is gone, sever whatever remains anyway — an idle
+        // control client (or a peer that never finished its handshake)
+        // would otherwise pin its handler in `recv` until the worker
+        // timeout, stalling the scope join for minutes after the merge
+        // is ready.
+        let deadline = Instant::now() + DRAIN_GRACE;
+        loop {
+            shared.changed.notify_all();
+            if shared.lock_state().workers_connected == 0 || Instant::now() > deadline {
+                shared.cancel_all_conns();
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    });
+
+    let state = shared
+        .state
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let (cells_done, cells_total) = (state.cells_done(), state.cells_total());
+    match state.outcome {
+        Some(Outcome::Complete) => {
+            let mut merged = Vec::with_capacity(state.campaigns.len());
+            for campaign_state in state.campaigns {
+                let total = campaign_state.total();
+                let baseline_accuracy = match campaign_state.baseline_accuracy {
+                    Some(b) => b,
+                    // Fully resumed from a journal written before any
+                    // baseline record existed (not produced by this
+                    // version, but cheap to tolerate): derive it
+                    // locally.
+                    None => {
+                        let setup = campaign_state.campaign.spec.materialize();
+                        let cache = neurofi_core::BaselineCache::new(&setup);
+                        neurofi_core::sweep::mean_baseline_accuracy(
+                            &cache,
+                            &campaign_state.campaign.spec.sweep.seeds,
+                        )
+                    }
+                };
+                let results: Vec<CellResult> =
+                    campaign_state.completed.iter().flatten().copied().collect();
+                let result =
+                    assemble_sweep(campaign_state.plan.kind, baseline_accuracy, total, results)?;
+                merged.push(CampaignSweep {
+                    name: campaign_state.campaign.name.clone(),
+                    result,
+                    total_cells: total,
+                    resumed_cells: campaign_state.resumed,
+                    computed_cells: campaign_state.n_done - campaign_state.resumed,
+                });
+            }
+            Ok(CoordinatedRun {
+                campaigns: merged,
+                workers_seen: state.workers_seen,
+            })
+        }
+        Some(Outcome::Failed(reason)) if reason.is_empty() => Err(DistError::Incomplete {
+            done: cells_done,
+            total: cells_total,
+            journal: config.journal.clone(),
+        }),
+        Some(Outcome::Failed(reason)) => Err(DistError::Protocol(reason)),
+        None => unreachable!("serve loop exits only with an outcome"),
+    }
+}
+
+/// Pops a capacity-sized batch of pending cells from the campaign the
+/// scheduling policy picks, blocking until work, completion, or
+/// failure. Returns the campaign id with the batch, `Some((0, []))` as
+/// a keep-alive while all remaining work is in flight elsewhere, and
 /// `None` when the run is over (complete or failed).
 ///
 /// Claiming never mutates failure counts — assignment is not evidence
@@ -588,7 +665,26 @@ fn claim_batch(shared: &Shared, threads: u32, requested: u32) -> Option<(usize, 
         if state.outcome.is_some() {
             return None;
         }
-        if let Some(id) = state.campaigns.iter().position(CampaignState::schedulable) {
+        let candidates: Vec<Candidate> = state
+            .campaigns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.schedulable())
+            .map(|(id, c)| Candidate {
+                id,
+                weight: c.campaign.weight,
+                pending: c.pending.len(),
+            })
+            .collect();
+        if !candidates.is_empty() {
+            let picked = state.policy.pick(&candidates);
+            // A policy returning a non-candidate degrades to FIFO
+            // rather than panicking or stalling.
+            let id = if candidates.iter().any(|c| c.id == picked) {
+                picked
+            } else {
+                candidates[0].id
+            };
             let campaign = &mut state.campaigns[id];
             let take = capacity_batch(threads, requested, campaign.pending.len());
             let batch: Vec<usize> = campaign.pending.drain(..take).collect();
@@ -752,7 +848,7 @@ fn cell_failed(
         let poison = format!(
             "campaign `{}` poisoned: cell {index} failed execution {} times \
              (failure log: {log})",
-            campaign_state.name, limits.max_attempts
+            campaign_state.campaign.name, limits.max_attempts
         );
         campaign_state.poison(poison);
     } else if !campaign_state.pending.contains(&index) {
@@ -796,7 +892,7 @@ fn requeue(shared: &Shared, in_flight: &mut Vec<(usize, usize)>, limits: PoisonL
                 "campaign `{}` poisoned: cell {index} was orphaned by {} \
                  dying/timing-out workers without ever reporting an execution \
                  failure — it is likely crashing worker processes",
-                campaign_state.name, limits.max_worker_losses
+                campaign_state.campaign.name, limits.max_worker_losses
             );
             campaign_state.poison(poison);
         } else if !campaign_state.pending.contains(&index) {
@@ -808,44 +904,161 @@ fn requeue(shared: &Shared, in_flight: &mut Vec<(usize, usize)>, limits: PoisonL
     shared.changed.notify_all();
 }
 
-/// One worker connection, handshake to goodbye.
-fn serve_worker(
-    mut stream: TcpStream,
+/// Enqueues a live-submitted campaign: validates it, binds (and
+/// replays) its digest-checked journal exactly as a bind-time campaign
+/// gets, appends it to the queue, and wakes every blocked scheduler
+/// call so idle workers pick it up immediately. Returns the new
+/// campaign id.
+fn enqueue_submission(shared: &Shared, campaign: NamedCampaign) -> Result<u32, String> {
+    fn admissible(state: &State, name: &str) -> Result<(), String> {
+        if state.outcome.is_some() {
+            return Err("the run is already over; submit to a fresh coordinator".into());
+        }
+        if state.campaigns.iter().any(|c| c.campaign.name == name) {
+            return Err(format!(
+                "campaign name `{name}` is already queued on this coordinator"
+            ));
+        }
+        Ok(())
+    }
+    // Cheap pre-check so obviously inadmissible submissions never touch
+    // the filesystem.
+    admissible(&shared.lock_state(), &campaign.name)?;
+    // Plan enumeration and journal open/replay can be slow for big
+    // resumed grids — build the state *outside* the scheduler lock so
+    // the fleet's claim/record handlers never stall behind a
+    // submission. (`CampaignState::create` also validates the spec.)
+    let name = campaign.name.clone();
+    let campaign_state = CampaignState::create(campaign, shared.journal_base.as_deref())
+        .map_err(|e| format!("cannot enqueue campaign `{name}`: {e}"))?;
+    let mut state = shared.lock_state();
+    // Re-check under the lock: a racing duplicate submission (or the
+    // run ending) may have won while the journal was replaying.
+    admissible(&state, &name)?;
+    state.campaigns.push(campaign_state);
+    state.submissions_accepted += 1;
+    let id = (state.campaigns.len() - 1) as u32;
+    // A submission that resumes fully from its journal may settle the
+    // whole run right here.
+    state.settle_if_done();
+    shared.changed.notify_all();
+    Ok(id)
+}
+
+/// One accepted connection: dispatch on its first frame. Workers open
+/// with `Hello`, control clients with `Submit`; both carry their
+/// protocol version and are rejected with a versioned `Abort` on
+/// mismatch.
+fn serve_conn<C: Connection>(
+    mut conn: C,
     shared: &Shared,
-    campaigns: &[NamedCampaign],
     worker_timeout: Duration,
     limits: PoisonLimits,
 ) {
-    let _ = stream.set_read_timeout(Some(worker_timeout));
-    let _ = stream.set_write_timeout(Some(worker_timeout));
-    let _ = stream.set_nodelay(true);
-    if let Ok(clone) = stream.try_clone() {
-        shared.lock_streams().push(clone);
+    conn.set_recv_timeout(Some(worker_timeout));
+    let slot = shared.register_conn(conn.canceller());
+
+    match conn.recv() {
+        Ok(Message::Hello { protocol, threads }) if protocol == PROTOCOL_VERSION => {
+            serve_worker(conn, shared, threads, limits);
+        }
+        Ok(Message::Submit { protocol, campaign }) if protocol == PROTOCOL_VERSION => {
+            serve_control(conn, shared, campaign);
+        }
+        Ok(Message::Hello { protocol, .. }) | Ok(Message::Submit { protocol, .. }) => {
+            let _ = conn.send(&Message::Abort {
+                reason: format!(
+                    "protocol mismatch: peer speaks v{protocol}, coordinator v{PROTOCOL_VERSION} \
+                     (the v{PROTOCOL_VERSION} control plane needs v{PROTOCOL_VERSION} peers; \
+                     upgrade `repro work` / `repro submit`)"
+                ),
+            });
+        }
+        _ => {}
     }
 
-    // Handshake: Hello in, the campaign queue out. The reported thread
-    // width drives capacity-aware batch sizing for this connection.
-    let threads = match Message::read_from(&mut stream) {
-        Ok(Message::Hello { protocol, threads }) if protocol == PROTOCOL_VERSION => threads,
-        Ok(Message::Hello { protocol, .. }) => {
-            let _ = Message::Abort {
-                reason: format!(
-                    "protocol mismatch: worker speaks v{protocol}, coordinator v{PROTOCOL_VERSION} \
-                     (multi-campaign scheduling needs a v{PROTOCOL_VERSION} worker; \
-                     upgrade `repro work`)"
-                ),
+    // The connection is over: release its canceller (and, for TCP, the
+    // duplicated fd it pins) so a long-lived coordinator's registry
+    // does not grow with every worker churn or submit invocation.
+    shared.lock_conns()[slot] = None;
+}
+
+/// A control connection: the first `Submit` was already read; keep
+/// accepting further `Submit` frames until the client disconnects.
+/// Validation or journal failures abort the connection with the reason
+/// but never touch the run.
+fn serve_control<C: Connection>(mut conn: C, shared: &Shared, first: NamedCampaign) {
+    let mut next = Some(first);
+    loop {
+        let campaign = match next.take() {
+            Some(campaign) => campaign,
+            None => match conn.recv() {
+                Ok(Message::Submit { protocol, campaign }) if protocol == PROTOCOL_VERSION => {
+                    campaign
+                }
+                Ok(Message::Submit { protocol, .. }) => {
+                    let _ = conn.send(&Message::Abort {
+                        reason: format!(
+                            "protocol mismatch: submitter speaks v{protocol}, \
+                             coordinator v{PROTOCOL_VERSION}"
+                        ),
+                    });
+                    return;
+                }
+                // Disconnect or anything else ends the control session.
+                _ => return,
+            },
+        };
+        match enqueue_submission(shared, campaign) {
+            Ok(id) => {
+                if conn.send(&Message::SubmitOk { id }).is_err() {
+                    return;
+                }
             }
-            .write_to(&mut stream);
-            return;
+            Err(reason) => {
+                let _ = conn.send(&Message::Abort { reason });
+                return;
+            }
         }
-        _ => return,
+    }
+}
+
+/// Pushes a `CampaignAnnounce` for every campaign queued after this
+/// connection's last announcement, so the worker knows every campaign
+/// id before the reply that may reference it.
+fn announce_new<C: Connection>(
+    conn: &mut C,
+    shared: &Shared,
+    announced: &mut usize,
+) -> Result<(), DistError> {
+    loop {
+        let next = {
+            let state = shared.lock_state();
+            if state.campaigns.len() <= *announced {
+                return Ok(());
+            }
+            state.campaigns[*announced].campaign.clone()
+        };
+        conn.send(&Message::CampaignAnnounce {
+            id: *announced as u32,
+            campaign: next,
+        })?;
+        *announced += 1;
+    }
+}
+
+/// One worker connection, from completed handshake to goodbye.
+fn serve_worker<C: Connection>(mut conn: C, shared: &Shared, threads: u32, limits: PoisonLimits) {
+    // Handshake reply: the current campaign queue. Campaigns submitted
+    // later reach this worker via `CampaignAnnounce` pushes.
+    let (campaigns, mut announced) = {
+        let state = shared.lock_state();
+        let campaigns: Vec<NamedCampaign> =
+            state.campaigns.iter().map(|c| c.campaign.clone()).collect();
+        let announced = campaigns.len();
+        (campaigns, announced)
     };
-    if (Message::Campaigns {
-        campaigns: campaigns.to_vec(),
-    })
-    .write_to(&mut stream)
-    .is_err()
-    {
+    if conn.send(&Message::Campaigns { campaigns }).is_err() {
         return;
     }
     {
@@ -856,20 +1069,29 @@ fn serve_worker(
 
     let mut in_flight: Vec<(usize, usize)> = Vec::new();
     loop {
-        match Message::read_from(&mut stream) {
+        match conn.recv() {
             Ok(Message::Request { max_cells }) => {
                 match claim_batch(shared, threads, max_cells) {
                     Some((campaign, batch)) => {
                         in_flight.extend(batch.iter().map(|&i| (campaign, i)));
-                        let jobs = batch
-                            .iter()
-                            .map(|&i| shared.plans[campaign].jobs[i])
-                            .collect();
+                        let jobs = {
+                            let state = shared.lock_state();
+                            batch
+                                .iter()
+                                .map(|&i| state.campaigns[campaign].plan.jobs[i])
+                                .collect()
+                        };
+                        // The claimed campaign may have been submitted
+                        // after this worker's handshake: announce before
+                        // the Assign that references its id.
+                        if announce_new(&mut conn, shared, &mut announced).is_err() {
+                            break;
+                        }
                         let assign = Message::Assign {
                             campaign: campaign as u32,
                             jobs,
                         };
-                        if assign.write_to(&mut stream).is_err() {
+                        if conn.send(&assign).is_err() {
                             break;
                         }
                     }
@@ -887,7 +1109,7 @@ fn serve_worker(
                             _ => Message::Finished,
                         };
                         drop(state);
-                        let _ = goodbye.write_to(&mut stream);
+                        let _ = conn.send(&goodbye);
                         break;
                     }
                 }
@@ -906,17 +1128,22 @@ fn serve_worker(
                 ) {
                     Ok(()) => {
                         // Journaled: acknowledge the window so the worker
-                        // can drop it and stream the next.
+                        // can drop it and stream the next. Announcements
+                        // piggyback on the ack so idle-free workers still
+                        // learn about submissions promptly.
+                        if announce_new(&mut conn, shared, &mut announced).is_err() {
+                            break;
+                        }
                         let ack = Message::Ack {
                             campaign,
                             received: results.len() as u32,
                         };
-                        if ack.write_to(&mut stream).is_err() {
+                        if conn.send(&ack).is_err() {
                             break;
                         }
                     }
                     Err(reason) => {
-                        let _ = Message::Abort { reason }.write_to(&mut stream);
+                        let _ = conn.send(&Message::Abort { reason });
                         break;
                     }
                 }
@@ -934,7 +1161,7 @@ fn serve_worker(
                     &reason,
                     limits,
                 ) {
-                    let _ = Message::Abort { reason }.write_to(&mut stream);
+                    let _ = conn.send(&Message::Abort { reason });
                     break;
                 }
             }
@@ -990,18 +1217,14 @@ mod tests {
     }
 
     #[test]
-    fn journal_paths_are_exact_for_one_campaign_and_suffixed_for_many() {
+    fn journal_paths_are_suffixed_by_campaign_name() {
         let base = Path::new("/tmp/run.journal");
         assert_eq!(
-            campaign_journal_path(base, "tiny", 1),
-            PathBuf::from("/tmp/run.journal")
-        );
-        assert_eq!(
-            campaign_journal_path(base, "tiny", 2),
+            campaign_journal_path(base, "tiny"),
             PathBuf::from("/tmp/run.journal.tiny")
         );
         assert_eq!(
-            campaign_journal_path(base, "tiny-theta", 2),
+            campaign_journal_path(base, "tiny-theta"),
             PathBuf::from("/tmp/run.journal.tiny-theta")
         );
     }
@@ -1012,33 +1235,41 @@ mod tests {
     };
 
     fn test_campaign_state(name: &str, n_cells: usize) -> CampaignState {
+        let spec = crate::campaign::named_campaign("tiny").unwrap();
         CampaignState {
-            name: name.into(),
+            campaign: NamedCampaign::new(name, spec.clone()),
+            plan: spec.plan(),
             pending: (0..n_cells).collect(),
             failures: vec![0; n_cells],
             orphaned: vec![0; n_cells],
             failure_log: Vec::new(),
             completed: vec![None; n_cells],
             n_done: 0,
+            resumed: 0,
             baseline_accuracy: None,
             journal: None,
             failed: None,
         }
     }
 
-    fn test_shared(n_cells: usize) -> Shared {
-        let spec = crate::campaign::named_campaign("tiny").unwrap();
+    fn test_shared_with(campaigns: Vec<CampaignState>, policy: PolicyKind) -> Shared {
         Shared {
             state: Mutex::new(State {
-                campaigns: vec![test_campaign_state("main", n_cells)],
+                campaigns,
+                policy: policy.build(),
                 workers_connected: 0,
                 workers_seen: 0,
+                submissions_accepted: 0,
                 outcome: None,
             }),
             changed: Condvar::new(),
-            streams: Mutex::new(Vec::new()),
-            plans: vec![spec.plan()],
+            conns: Mutex::new(Vec::new()),
+            journal_base: None,
         }
+    }
+
+    fn test_shared(n_cells: usize) -> Shared {
+        test_shared_with(vec![test_campaign_state("main", n_cells)], PolicyKind::Fifo)
     }
 
     #[test]
@@ -1112,21 +1343,13 @@ mod tests {
 
     #[test]
     fn repeated_execution_failures_poison_only_their_campaign() {
-        let spec = crate::campaign::named_campaign("tiny").unwrap();
-        let shared = Shared {
-            state: Mutex::new(State {
-                campaigns: vec![
-                    test_campaign_state("doomed", 2),
-                    test_campaign_state("healthy", 2),
-                ],
-                workers_connected: 0,
-                workers_seen: 0,
-                outcome: None,
-            }),
-            changed: Condvar::new(),
-            streams: Mutex::new(Vec::new()),
-            plans: vec![spec.plan(), spec.plan()],
-        };
+        let shared = test_shared_with(
+            vec![
+                test_campaign_state("doomed", 2),
+                test_campaign_state("healthy", 2),
+            ],
+            PolicyKind::Fifo,
+        );
         let mut in_flight = vec![(0usize, 0usize)];
         for _ in 0..5 {
             cell_failed(
@@ -1164,5 +1387,72 @@ mod tests {
         let (campaign, batch) = claim_batch(&shared, 1, u32::MAX).unwrap();
         assert_eq!(campaign, 1, "scheduling skips the poisoned campaign");
         assert!(!batch.is_empty());
+    }
+
+    #[test]
+    fn fair_claims_interleave_campaigns_batch_by_batch() {
+        let shared = test_shared_with(
+            vec![
+                test_campaign_state("front", 6),
+                test_campaign_state("back", 6),
+            ],
+            PolicyKind::WeightedRoundRobin,
+        );
+        // One-cell batches: the claim order is exactly the policy's pick
+        // order.
+        let order: Vec<usize> = (0..12)
+            .map(|_| claim_batch(&shared, 1, 1).unwrap().0)
+            .collect();
+        assert_eq!(
+            order,
+            vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1],
+            "equal-weight fair scheduling must alternate strictly"
+        );
+    }
+
+    #[test]
+    fn submissions_enqueue_and_are_scheduled() {
+        let shared = test_shared(2);
+        let submitted = NamedCampaign::new(
+            "late",
+            crate::campaign::named_campaign("tiny-theta").unwrap(),
+        );
+        let id = enqueue_submission(&shared, submitted).expect("submission accepted");
+        assert_eq!(id, 1);
+        // Duplicate names are refused with a reason.
+        let duplicate = NamedCampaign::new(
+            "late",
+            crate::campaign::named_campaign("tiny-theta").unwrap(),
+        );
+        let err = enqueue_submission(&shared, duplicate).unwrap_err();
+        assert!(err.contains("already queued"), "diagnostic: {err}");
+        // The new campaign's cells are schedulable (FIFO serves the
+        // bind-time campaign first, then the submission).
+        let state = shared.lock_state();
+        assert_eq!(state.campaigns.len(), 2);
+        assert_eq!(
+            state.submissions_accepted, 1,
+            "accepted submissions count as serve-loop activity \
+             (rejected duplicates do not)"
+        );
+        assert_eq!(state.campaigns[1].pending.len(), 4);
+        drop(state);
+        let (campaign, _) = claim_batch(&shared, 8, u32::MAX).unwrap();
+        assert_eq!(campaign, 0);
+        let (campaign, batch) = claim_batch(&shared, 8, u32::MAX).unwrap();
+        assert_eq!(campaign, 1, "the submitted campaign is scheduled next");
+        assert_eq!(batch.len(), 4);
+    }
+
+    #[test]
+    fn submissions_after_the_run_ends_are_refused() {
+        let shared = test_shared(2);
+        shared.lock_state().fail("done".into());
+        let submitted = NamedCampaign::new(
+            "late",
+            crate::campaign::named_campaign("tiny-theta").unwrap(),
+        );
+        let err = enqueue_submission(&shared, submitted).unwrap_err();
+        assert!(err.contains("already over"), "diagnostic: {err}");
     }
 }

@@ -16,23 +16,37 @@
 //!   description of one sweep campaign (experiment preset, scale knobs,
 //!   grid, and attack family), with a digest that binds journals and
 //!   handshakes to the exact campaign. [`NamedCampaign`] queues several
-//!   on one coordinator.
+//!   on one coordinator, each with a scheduling weight.
 //! * [`wire`] — length-prefixed framing and defensive binary encoding of
-//!   the coordinator/worker [`Message`](wire::Message)s (v2:
-//!   campaign-tagged, with acknowledgement windows); floats travel as
-//!   IEEE-754 bit patterns.
+//!   the coordinator/worker [`Message`](wire::Message)s (v3: the control
+//!   plane — live [`Submit`](wire::Message::Submit) /
+//!   [`CampaignAnnounce`](wire::Message::CampaignAnnounce) frames and
+//!   per-campaign scheduling weights); floats travel as IEEE-754 bit
+//!   patterns.
+//! * [`transport`] — the [`Connection`](transport::Connection) /
+//!   [`Listener`](transport::Listener) abstraction the coordinator and
+//!   worker are generic over: TCP in production, a deterministic
+//!   in-process [`LoopbackHub`](transport::LoopbackHub) in the scheduler
+//!   tests (no ports, no timing sleeps).
+//! * [`schedule`] — pluggable cross-campaign
+//!   [`SchedulingPolicy`](schedule::SchedulingPolicy): FIFO for
+//!   compatibility, weighted round-robin (`--fair`) so interleaved
+//!   campaigns all make latency progress. Policies cannot affect merged
+//!   results — cells are pure and merges slot-addressed.
 //! * [`coordinator`] — pull-based multi-campaign scheduler: one fleet
 //!   serves every queued campaign, batches are sized by each worker's
 //!   reported thread width, and dead workers' cells requeue without
 //!   advancing the poison cap (explicit execution failures advance it;
 //!   a large orphan backstop terminates worker-crashing cells; a
 //!   poisoned campaign never takes the healthy ones down with it).
-//!   Every completed cell is journaled before its window is acked.
+//!   Campaigns may be submitted to a *running* coordinator; every
+//!   completed cell is journaled before its window is acked.
+//! * [`control`] — the submission client (`repro submit`).
 //! * [`worker`] — executes campaign-tagged batches on the PR 1
 //!   in-process pool; campaigns over the same setup share one
 //!   [`BaselineCache`](neurofi_core::BaselineCache) per process, so
 //!   per-seed baselines are trained once no matter how many attack
-//!   kinds are queued.
+//!   kinds are queued or submitted.
 //! * [`checkpoint`] — the append-only journals (one per campaign)
 //!   interrupted runs resume from without recomputing finished cells.
 //!
@@ -60,7 +74,10 @@
 
 pub mod campaign;
 pub mod checkpoint;
+pub mod control;
 pub mod coordinator;
+pub mod schedule;
+pub mod transport;
 pub mod wire;
 pub mod worker;
 
@@ -74,12 +91,18 @@ pub use campaign::{
     NAMED_CAMPAIGNS,
 };
 pub use checkpoint::Journal;
+pub use control::{submit_campaign, submit_on};
 pub use coordinator::{
-    campaign_journal_path, capacity_batch, resolve_addr, run_coordinator, CampaignSweep,
-    CoordinatedRun, Coordinator, CoordinatorConfig, CELLS_PER_THREAD,
+    campaign_journal_path, capacity_batch, resolve_addr, run_coordinator, serve_transport,
+    CampaignSweep, CoordinatedRun, Coordinator, CoordinatorConfig, CELLS_PER_THREAD,
+};
+pub use schedule::{Candidate, Fifo, PolicyKind, SchedulingPolicy, WeightedRoundRobin};
+pub use transport::{
+    loopback_pair, Connection, Listener, LoopbackConn, LoopbackHub, LoopbackListener,
+    TcpConnection, TcpServerListener,
 };
 pub use wire::{Message, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
-pub use worker::{run_worker, WorkerConfig, WorkerSummary, DEFAULT_ACK_WINDOW};
+pub use worker::{run_worker, run_worker_on, WorkerConfig, WorkerSummary, DEFAULT_ACK_WINDOW};
 
 /// Any error produced by the distributed layer.
 #[derive(Debug)]
@@ -182,6 +205,8 @@ impl From<neurofi_core::Error> for DistError {
 pub struct LocalClusterConfig {
     /// The campaigns to queue, in order.
     pub campaigns: Vec<NamedCampaign>,
+    /// Cross-campaign scheduling policy (FIFO unless overridden).
+    pub policy: schedule::PolicyKind,
     /// Number of local workers to spawn.
     pub workers: usize,
     /// Bind address for the coordinator (default `127.0.0.1:0`).
@@ -220,6 +245,7 @@ impl LocalClusterConfig {
     pub fn multi(campaigns: Vec<NamedCampaign>, workers: usize) -> LocalClusterConfig {
         LocalClusterConfig {
             campaigns,
+            policy: schedule::PolicyKind::Fifo,
             workers,
             bind: "127.0.0.1:0".into(),
             worker_parallelism: Parallelism::Serial,
@@ -256,6 +282,7 @@ pub fn run_local_cluster(config: &LocalClusterConfig) -> Result<LocalClusterRepo
     let mut coordinator_config =
         CoordinatorConfig::with_campaigns(config.bind.clone(), config.campaigns.clone());
     coordinator_config.journal = config.journal.clone();
+    coordinator_config.policy = config.policy;
     coordinator_config.idle_timeout = config.idle_timeout;
     coordinator_config.worker_timeout = config.worker_timeout;
 

@@ -1,0 +1,396 @@
+//! Message transports: the coordinator/worker conversation, abstracted
+//! over its byte carrier.
+//!
+//! PR 2/3 talked straight to [`TcpStream`]s, which meant every
+//! scheduler-level test had to bind real ports and sleep-poll around
+//! socket latency. The [`Connection`]/[`Listener`] traits factor the
+//! transport out of the protocol: production uses [`TcpConnection`] /
+//! [`TcpServerListener`] (identical wire behaviour to before), while
+//! tests use the in-process [`LoopbackHub`], whose connections are
+//! deterministic — a dropped end is observed *immediately* by the peer
+//! (no timeouts), messages arrive in order, and nothing depends on the
+//! kernel's socket scheduling — so tests can script worker arrival,
+//! death, and live submission order exactly.
+//!
+//! Both transports carry the same [`Message`]s; the coordinator and
+//! worker are generic over the trait, so the loopback path exercises the
+//! real scheduler and protocol code, not a mock.
+
+use std::collections::VecDeque;
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::wire::Message;
+use crate::DistError;
+
+/// A handle that severs a connection from any thread, unblocking a
+/// blocked [`Connection::recv`] on it. The coordinator keeps one per
+/// accepted connection so shutdown can force-disconnect stragglers.
+pub type Canceller = Box<dyn Fn() + Send + 'static>;
+
+/// One bidirectional, ordered message channel between a coordinator and
+/// a peer (worker or control client).
+pub trait Connection: Send {
+    /// Sends one message.
+    ///
+    /// # Errors
+    /// Fails when the link is down.
+    fn send(&mut self, message: &Message) -> Result<(), DistError>;
+
+    /// Receives the next message, blocking up to the configured receive
+    /// timeout.
+    ///
+    /// # Errors
+    /// Fails on a severed link, a timeout, or a malformed frame.
+    fn recv(&mut self) -> Result<Message, DistError>;
+
+    /// Bounds how long [`recv`](Connection::recv) may block (`None`
+    /// blocks until the link closes).
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>);
+
+    /// A handle that severs this link from another thread.
+    fn canceller(&self) -> Canceller;
+}
+
+/// Accepts inbound [`Connection`]s for a coordinator.
+pub trait Listener: Send {
+    /// The connection type this listener produces.
+    type Conn: Connection;
+
+    /// Non-blocking accept: `Ok(None)` when nothing is waiting.
+    ///
+    /// # Errors
+    /// Fails when the listener itself is broken (fails the run).
+    fn poll_accept(&mut self) -> Result<Option<Self::Conn>, DistError>;
+}
+
+// ---------------------------------------------------------------------
+// TCP
+// ---------------------------------------------------------------------
+
+/// The production transport: length-prefixed frames over one
+/// [`TcpStream`].
+#[derive(Debug)]
+pub struct TcpConnection {
+    stream: TcpStream,
+}
+
+impl TcpConnection {
+    /// Wraps a connected stream (enabling `TCP_NODELAY` — frames are
+    /// small and latency-sensitive).
+    pub fn new(stream: TcpStream) -> TcpConnection {
+        let _ = stream.set_nodelay(true);
+        TcpConnection { stream }
+    }
+}
+
+impl Connection for TcpConnection {
+    fn send(&mut self, message: &Message) -> Result<(), DistError> {
+        Ok(message.write_to(&mut self.stream)?)
+    }
+
+    fn recv(&mut self) -> Result<Message, DistError> {
+        Ok(Message::read_from(&mut self.stream)?)
+    }
+
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) {
+        // Sends share the bound: a peer that stops draining its socket
+        // is as dead as one that stops sending.
+        let _ = self.stream.set_read_timeout(timeout);
+        let _ = self.stream.set_write_timeout(timeout);
+    }
+
+    fn canceller(&self) -> Canceller {
+        match self.stream.try_clone() {
+            Ok(clone) => Box::new(move || {
+                let _ = clone.shutdown(std::net::Shutdown::Both);
+            }),
+            // No handle, no force-shutdown; the drain grace period still
+            // bounds how long this connection can hold up exit.
+            Err(_) => Box::new(|| {}),
+        }
+    }
+}
+
+/// The production listener: a non-blocking [`TcpListener`].
+#[derive(Debug)]
+pub struct TcpServerListener {
+    listener: TcpListener,
+}
+
+impl TcpServerListener {
+    /// Wraps a bound listener, switching it to non-blocking accepts.
+    ///
+    /// # Errors
+    /// Propagates the mode switch failing.
+    pub fn new(listener: TcpListener) -> Result<TcpServerListener, DistError> {
+        listener.set_nonblocking(true)?;
+        Ok(TcpServerListener { listener })
+    }
+}
+
+impl Listener for TcpServerListener {
+    type Conn = TcpConnection;
+
+    fn poll_accept(&mut self) -> Result<Option<TcpConnection>, DistError> {
+        match self.listener.accept() {
+            Ok((stream, _peer)) => Ok(Some(TcpConnection::new(stream))),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(DistError::Io(e)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Loopback
+// ---------------------------------------------------------------------
+
+/// One direction of a loopback link: an ordered message queue plus a
+/// closed flag, guarded by a mutex/condvar pair.
+#[derive(Debug, Default)]
+struct Pipe {
+    state: Mutex<PipeState>,
+    ready: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct PipeState {
+    queue: VecDeque<Message>,
+    closed: bool,
+}
+
+impl Pipe {
+    fn close(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .closed = true;
+        self.ready.notify_all();
+    }
+}
+
+fn loopback_io(kind: std::io::ErrorKind, message: &str) -> DistError {
+    DistError::Io(std::io::Error::new(kind, message))
+}
+
+/// One end of an in-process loopback link. Dropping either end severs
+/// the link: the peer drains any messages already queued (exactly like
+/// bytes already in a socket buffer) and then sees end-of-stream
+/// *immediately* — no timeout has to expire, which is what makes
+/// loopback scheduler tests deterministic.
+#[derive(Debug)]
+pub struct LoopbackConn {
+    tx: Arc<Pipe>,
+    rx: Arc<Pipe>,
+    recv_timeout: Option<Duration>,
+}
+
+impl Connection for LoopbackConn {
+    fn send(&mut self, message: &Message) -> Result<(), DistError> {
+        let mut state = self
+            .tx
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if state.closed {
+            return Err(loopback_io(
+                std::io::ErrorKind::BrokenPipe,
+                "loopback peer disconnected",
+            ));
+        }
+        state.queue.push_back(message.clone());
+        self.tx.ready.notify_all();
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Message, DistError> {
+        let mut state = self
+            .rx
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        loop {
+            if let Some(message) = state.queue.pop_front() {
+                return Ok(message);
+            }
+            if state.closed {
+                return Err(loopback_io(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "loopback link closed",
+                ));
+            }
+            state = match self.recv_timeout {
+                None => self
+                    .rx
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()),
+                Some(timeout) => {
+                    let (state, result) = self
+                        .rx
+                        .ready
+                        .wait_timeout(state, timeout)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    if result.timed_out() && state.queue.is_empty() && !state.closed {
+                        return Err(loopback_io(
+                            std::io::ErrorKind::TimedOut,
+                            "loopback recv timed out",
+                        ));
+                    }
+                    state
+                }
+            };
+        }
+    }
+
+    fn set_recv_timeout(&mut self, timeout: Option<Duration>) {
+        self.recv_timeout = timeout;
+    }
+
+    fn canceller(&self) -> Canceller {
+        let tx = Arc::clone(&self.tx);
+        let rx = Arc::clone(&self.rx);
+        Box::new(move || {
+            tx.close();
+            rx.close();
+        })
+    }
+}
+
+impl Drop for LoopbackConn {
+    fn drop(&mut self) {
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+/// Creates a connected loopback pair directly (no hub): `(a, b)` where
+/// whatever `a` sends, `b` receives, and vice versa.
+pub fn loopback_pair() -> (LoopbackConn, LoopbackConn) {
+    let forward = Arc::new(Pipe::default());
+    let backward = Arc::new(Pipe::default());
+    (
+        LoopbackConn {
+            tx: Arc::clone(&forward),
+            rx: Arc::clone(&backward),
+            recv_timeout: None,
+        },
+        LoopbackConn {
+            tx: backward,
+            rx: forward,
+            recv_timeout: None,
+        },
+    )
+}
+
+/// An in-process "network": test threads [`connect`](LoopbackHub::connect)
+/// to it, the coordinator accepts from it via
+/// [`listener`](LoopbackHub::listener). Clone freely — all clones share
+/// one accept queue.
+#[derive(Debug, Clone, Default)]
+pub struct LoopbackHub {
+    incoming: Arc<Mutex<VecDeque<LoopbackConn>>>,
+}
+
+impl LoopbackHub {
+    /// A fresh hub with an empty accept queue.
+    pub fn new() -> LoopbackHub {
+        LoopbackHub::default()
+    }
+
+    /// Opens a connection to the hub's coordinator and returns the
+    /// client end; the server end is queued for the listener.
+    pub fn connect(&self) -> LoopbackConn {
+        let (client, server) = loopback_pair();
+        self.incoming
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push_back(server);
+        client
+    }
+
+    /// The accept side, for [`serve_transport`](crate::serve_transport).
+    pub fn listener(&self) -> LoopbackListener {
+        LoopbackListener { hub: self.clone() }
+    }
+}
+
+/// Accepts connections opened on a [`LoopbackHub`].
+#[derive(Debug)]
+pub struct LoopbackListener {
+    hub: LoopbackHub,
+}
+
+impl Listener for LoopbackListener {
+    type Conn = LoopbackConn;
+
+    fn poll_accept(&mut self) -> Result<Option<LoopbackConn>, DistError> {
+        Ok(self
+            .hub
+            .incoming
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .pop_front())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_pair_delivers_in_order_and_both_directions() {
+        let (mut a, mut b) = loopback_pair();
+        a.send(&Message::Request { max_cells: 1 }).unwrap();
+        a.send(&Message::Request { max_cells: 2 }).unwrap();
+        assert_eq!(b.recv().unwrap(), Message::Request { max_cells: 1 });
+        assert_eq!(b.recv().unwrap(), Message::Request { max_cells: 2 });
+        b.send(&Message::Finished).unwrap();
+        assert_eq!(a.recv().unwrap(), Message::Finished);
+    }
+
+    #[test]
+    fn dropping_one_end_drains_then_closes_the_peer() {
+        let (mut a, mut b) = loopback_pair();
+        a.send(&Message::Finished).unwrap();
+        drop(a);
+        // The queued message survives the close (like buffered socket
+        // bytes), then the closure is visible with no timeout involved.
+        assert_eq!(b.recv().unwrap(), Message::Finished);
+        assert!(b.recv().is_err());
+        assert!(b.send(&Message::Finished).is_err());
+    }
+
+    #[test]
+    fn canceller_unblocks_a_blocked_recv() {
+        let (mut a, b) = loopback_pair();
+        let cancel = b.canceller();
+        let waiter = std::thread::spawn(move || a.recv());
+        cancel();
+        assert!(waiter.join().unwrap().is_err());
+        drop(b);
+    }
+
+    #[test]
+    fn recv_timeout_fires_only_without_traffic() {
+        let (mut a, mut b) = loopback_pair();
+        a.set_recv_timeout(Some(Duration::from_millis(10)));
+        assert!(
+            matches!(a.recv(), Err(DistError::Io(e)) if e.kind() == std::io::ErrorKind::TimedOut)
+        );
+        b.send(&Message::Finished).unwrap();
+        assert_eq!(a.recv().unwrap(), Message::Finished);
+    }
+
+    #[test]
+    fn hub_queues_connections_for_the_listener() {
+        let hub = LoopbackHub::new();
+        let mut listener = hub.listener();
+        assert!(listener.poll_accept().unwrap().is_none());
+        let mut client = hub.connect();
+        let mut server = listener.poll_accept().unwrap().expect("queued");
+        client.send(&Message::Request { max_cells: 7 }).unwrap();
+        assert_eq!(server.recv().unwrap(), Message::Request { max_cells: 7 });
+    }
+}

@@ -30,7 +30,14 @@ use crate::campaign::{
 /// campaign-tagged, result windows are acknowledged ([`Message::Ack`]),
 /// and per-cell execution failures travel as [`Message::Failed`] instead
 /// of aborting the whole connection.
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// v3: the control plane. A running coordinator accepts live campaign
+/// submission ([`Message::Submit`] → [`Message::SubmitOk`]) and pushes
+/// [`Message::CampaignAnnounce`] frames to connected workers before the
+/// first reply that references the new campaign id. Campaign-queue
+/// entries additionally carry their scheduling weight (the weighted
+/// round-robin policy knob), which changes the `Campaigns` frame layout.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Upper bound on a single frame's payload (16 MiB). The largest real
 /// message is an [`Message::Assign`] batch of cell jobs (~40 bytes per
@@ -324,6 +331,34 @@ pub enum Message {
         /// Human-readable reason.
         reason: String,
     },
+    /// Control client → coordinator: enqueue this campaign on the
+    /// *running* coordinator (it is scheduled, journaled, and merged
+    /// exactly as a bind-time campaign would be). Sent as the first
+    /// frame of a control connection, in place of a worker `Hello`.
+    Submit {
+        /// The submitter's [`PROTOCOL_VERSION`].
+        protocol: u32,
+        /// The campaign to enqueue (name, scheduling weight, spec).
+        campaign: NamedCampaign,
+    },
+    /// Coordinator → control client: the submitted campaign was
+    /// validated, journal-bound, and enqueued under this campaign id.
+    /// Rejections travel as [`Message::Abort`] with the reason.
+    SubmitOk {
+        /// The queue id the campaign was enqueued under.
+        id: u32,
+    },
+    /// Coordinator → worker: a campaign was submitted after your
+    /// handshake. Announcements are pushed before the first `Assign` or
+    /// `Ack` that references the new id, so a worker always knows a
+    /// campaign before it sees the id on the wire.
+    CampaignAnnounce {
+        /// The new campaign's queue id (always the next unused id —
+        /// announcements arrive in queue order).
+        id: u32,
+        /// The full campaign description.
+        campaign: NamedCampaign,
+    },
 }
 
 const TAG_HELLO: u8 = 0;
@@ -335,6 +370,9 @@ const TAG_FINISHED: u8 = 5;
 const TAG_ABORT: u8 = 6;
 const TAG_ACK: u8 = 7;
 const TAG_FAILED: u8 = 8;
+const TAG_SUBMIT: u8 = 9;
+const TAG_SUBMIT_OK: u8 = 10;
+const TAG_ANNOUNCE: u8 = 11;
 
 fn encode_layer(enc: &mut Encoder, layer: Option<TargetLayer>) {
     enc.u8(match layer {
@@ -563,6 +601,27 @@ pub fn decode_campaign_spec(dec: &mut Decoder<'_>) -> Result<CampaignSpec, WireE
     })
 }
 
+/// Encodes a [`NamedCampaign`] queue entry (name, scheduling weight,
+/// spec) — the v3 layout shared by `Campaigns`, `Submit`, and
+/// `CampaignAnnounce` frames.
+pub fn encode_named_campaign(enc: &mut Encoder, campaign: &NamedCampaign) {
+    enc.string(&campaign.name);
+    enc.u32(campaign.weight);
+    encode_campaign_spec(enc, &campaign.spec);
+}
+
+/// Decodes a [`NamedCampaign`] queue entry.
+///
+/// # Errors
+/// Fails on truncation or unknown tags.
+pub fn decode_named_campaign(dec: &mut Decoder<'_>) -> Result<NamedCampaign, WireError> {
+    Ok(NamedCampaign {
+        name: dec.string()?,
+        weight: dec.u32()?,
+        spec: decode_campaign_spec(dec)?,
+    })
+}
+
 impl Message {
     /// Encodes the message into one frame payload.
     pub fn encode(&self) -> Vec<u8> {
@@ -577,8 +636,7 @@ impl Message {
                 enc.u8(TAG_CAMPAIGNS);
                 enc.seq_len(campaigns.len());
                 for campaign in campaigns {
-                    enc.string(&campaign.name);
-                    encode_campaign_spec(&mut enc, &campaign.spec);
+                    encode_named_campaign(&mut enc, campaign);
                 }
             }
             Message::Request { max_cells } => {
@@ -626,6 +684,20 @@ impl Message {
                 enc.u8(TAG_ABORT);
                 enc.string(reason);
             }
+            Message::Submit { protocol, campaign } => {
+                enc.u8(TAG_SUBMIT);
+                enc.u32(*protocol);
+                encode_named_campaign(&mut enc, campaign);
+            }
+            Message::SubmitOk { id } => {
+                enc.u8(TAG_SUBMIT_OK);
+                enc.u32(*id);
+            }
+            Message::CampaignAnnounce { id, campaign } => {
+                enc.u8(TAG_ANNOUNCE);
+                enc.u32(*id);
+                encode_named_campaign(&mut enc, campaign);
+            }
         }
         enc.finish()
     }
@@ -643,16 +715,12 @@ impl Message {
                 threads: dec.u32()?,
             },
             TAG_CAMPAIGNS => {
-                // Minimum entry: 4-byte name prefix + the smallest spec
-                // (34-byte setup + ~14-byte sweep); 8 is a safe floor.
+                // Minimum entry: 4-byte name prefix + 4-byte weight + the
+                // smallest spec (34-byte setup + ~14-byte sweep); 8 is a
+                // safe floor.
                 let len = dec.seq_len(8)?;
                 let campaigns = (0..len)
-                    .map(|_| {
-                        Ok(NamedCampaign {
-                            name: dec.string()?,
-                            spec: decode_campaign_spec(&mut dec)?,
-                        })
-                    })
+                    .map(|_| decode_named_campaign(&mut dec))
                     .collect::<Result<Vec<_>, WireError>>()?;
                 Message::Campaigns { campaigns }
             }
@@ -692,6 +760,15 @@ impl Message {
             TAG_FINISHED => Message::Finished,
             TAG_ABORT => Message::Abort {
                 reason: dec.string()?,
+            },
+            TAG_SUBMIT => Message::Submit {
+                protocol: dec.u32()?,
+                campaign: decode_named_campaign(&mut dec)?,
+            },
+            TAG_SUBMIT_OK => Message::SubmitOk { id: dec.u32()? },
+            TAG_ANNOUNCE => Message::CampaignAnnounce {
+                id: dec.u32()?,
+                campaign: decode_named_campaign(&mut dec)?,
             },
             tag => return Err(WireError::Invalid(format!("unknown message tag {tag}"))),
         };
@@ -744,7 +821,7 @@ mod tests {
             Message::Campaigns {
                 campaigns: vec![
                     NamedCampaign::new("tiny", tiny),
-                    NamedCampaign::new("tiny-theta", theta),
+                    NamedCampaign::new("tiny-theta", theta).with_weight(4),
                 ],
             },
             Message::Request { max_cells: 3 },
@@ -787,6 +864,23 @@ mod tests {
             Message::Finished,
             Message::Abort {
                 reason: "testing".into(),
+            },
+            Message::Submit {
+                protocol: PROTOCOL_VERSION,
+                campaign: NamedCampaign::new(
+                    "late",
+                    crate::campaign::named_campaign("tiny-theta").unwrap(),
+                )
+                .with_weight(3),
+            },
+            Message::SubmitOk { id: 2 },
+            Message::CampaignAnnounce {
+                id: 2,
+                campaign: NamedCampaign::new(
+                    "late",
+                    crate::campaign::named_campaign("tiny-theta").unwrap(),
+                )
+                .with_weight(3),
             },
         ];
         for message in messages {

@@ -2,13 +2,15 @@
 //!
 //! A worker is deliberately stateless between batches: it connects,
 //! learns every queued [`CampaignSpec`](crate::CampaignSpec) from the
-//! coordinator's handshake, and then pulls campaign-tagged job batches
-//! until the coordinator says [`Message::Finished`]. Cells run on the
-//! PR 1 work-stealing pool ([`Parallelism`]), and **baseline caches are
-//! shared across campaigns**: campaigns whose [`SetupSpec`] is identical
-//! (the common case — several attack kinds over one experiment) resolve
-//! to one [`BaselineCache`], so each per-seed baseline is trained at
-//! most once per worker process no matter how many campaigns use it.
+//! coordinator's handshake — plus any campaign submitted later, via
+//! [`Message::CampaignAnnounce`] pushes — and then pulls campaign-tagged
+//! job batches until the coordinator says [`Message::Finished`]. Cells
+//! run on the PR 1 work-stealing pool ([`Parallelism`]), and **baseline
+//! caches are shared across campaigns**: campaigns whose [`SetupSpec`]
+//! is identical (the common case — several attack kinds over one
+//! experiment) resolve to one [`BaselineCache`], so each per-seed
+//! baseline is trained at most once per process no matter how many
+//! campaigns are queued or submitted.
 //!
 //! Results stream back in acknowledgement windows: the worker sends one
 //! [`Message::Results`] window, waits for the coordinator's
@@ -18,6 +20,10 @@
 //! window. A cell that fails to execute is reported individually via
 //! [`Message::Failed`] (counting toward its poison cap) while the rest
 //! of the batch proceeds.
+//!
+//! The worker is generic over [`Connection`]: production runs it over
+//! TCP ([`run_worker`]), the deterministic scheduler tests run the same
+//! code over an in-process loopback link ([`run_worker_on`]).
 
 use std::net::TcpStream;
 use std::time::Duration;
@@ -27,6 +33,7 @@ use neurofi_core::sweep::{execute_cell, mean_baseline_accuracy, run_indexed};
 use neurofi_core::{BaselineCache, Parallelism};
 
 use crate::campaign::{NamedCampaign, SetupSpec};
+use crate::transport::{Connection, TcpConnection};
 use crate::wire::{Message, PROTOCOL_VERSION};
 use crate::DistError;
 
@@ -97,59 +104,145 @@ struct CampaignRuntime {
     baseline_accuracy: Option<f64>,
 }
 
-/// Builds the per-campaign runtimes, deduplicating baseline caches by
-/// [`SetupSpec`] equality so campaigns over the same experiment share
-/// per-seed baselines.
-fn build_runtimes(
-    campaigns: &[NamedCampaign],
+/// Every campaign this worker knows, with baseline caches deduplicated
+/// by [`SetupSpec`] equality so campaigns over the same experiment
+/// share per-seed baselines. Grows when the coordinator announces a
+/// live-submitted campaign.
+struct WorkerRuntimes {
     parallelism: Parallelism,
-) -> Result<(Vec<BaselineCache>, Vec<CampaignRuntime>), DistError> {
-    let mut setups: Vec<SetupSpec> = Vec::new();
-    let mut caches: Vec<BaselineCache> = Vec::new();
-    let mut runtimes = Vec::with_capacity(campaigns.len());
-    for campaign in campaigns {
+    setups: Vec<SetupSpec>,
+    caches: Vec<BaselineCache>,
+    campaigns: Vec<CampaignRuntime>,
+}
+
+impl WorkerRuntimes {
+    fn new(campaigns: &[NamedCampaign], parallelism: Parallelism) -> Result<Self, DistError> {
+        let mut runtimes = WorkerRuntimes {
+            parallelism,
+            setups: Vec::new(),
+            caches: Vec::new(),
+            campaigns: Vec::new(),
+        };
+        for campaign in campaigns {
+            runtimes.add(campaign)?;
+        }
+        Ok(runtimes)
+    }
+
+    /// Registers one campaign, resolving it to an existing baseline
+    /// cache when its setup matches one already built.
+    fn add(&mut self, campaign: &NamedCampaign) -> Result<(), DistError> {
         campaign.spec.validate()?;
-        let cache = match setups.iter().position(|s| *s == campaign.spec.setup) {
+        let cache = match self.setups.iter().position(|s| *s == campaign.spec.setup) {
             Some(i) => i,
             None => {
-                let setup = campaign.spec.materialize().with_parallelism(parallelism);
-                setups.push(campaign.spec.setup.clone());
-                caches.push(BaselineCache::new(&setup));
-                caches.len() - 1
+                let setup = campaign
+                    .spec
+                    .materialize()
+                    .with_parallelism(self.parallelism);
+                self.setups.push(campaign.spec.setup.clone());
+                self.caches.push(BaselineCache::new(&setup));
+                self.caches.len() - 1
             }
         };
-        runtimes.push(CampaignRuntime {
+        self.campaigns.push(CampaignRuntime {
             seeds: campaign.spec.sweep.seeds.clone(),
             cache,
             transfer: campaign.spec.transfer_table()?,
             baseline_accuracy: None,
         });
+        Ok(())
     }
-    Ok((caches, runtimes))
+
+    /// Handles one [`Message::CampaignAnnounce`]: announcements arrive
+    /// in queue order, so the announced id must be the next unused one.
+    fn announce(&mut self, id: u32, campaign: &NamedCampaign) -> Result<(), DistError> {
+        if id as usize != self.campaigns.len() {
+            return Err(DistError::Protocol(format!(
+                "coordinator announced campaign `{}` as id {id}, expected {}",
+                campaign.name,
+                self.campaigns.len()
+            )));
+        }
+        self.add(campaign)
+    }
+
+    /// The campaign's mean baseline accuracy, derived on first use (a
+    /// pure cache hit when another campaign over the same setup already
+    /// trained these seeds — the whole point of sharing the fleet).
+    fn baseline(&mut self, id: usize) -> f64 {
+        if let Some(b) = self.campaigns[id].baseline_accuracy {
+            return b;
+        }
+        let cache = &self.caches[self.campaigns[id].cache];
+        let b = mean_baseline_accuracy(cache, &self.campaigns[id].seeds);
+        self.campaigns[id].baseline_accuracy = Some(b);
+        b
+    }
 }
 
-/// Connects to a coordinator and works until every queued campaign
-/// finishes, the cell budget runs out, or the coordinator aborts.
+/// Receives the next protocol message, buffering any
+/// [`Message::CampaignAnnounce`] pushed ahead of the actual reply (the
+/// caller applies the buffer to its [`WorkerRuntimes`] before touching
+/// a campaign id — the coordinator guarantees the announce precedes the
+/// first reply referencing the id).
+fn recv_reply<C: Connection>(
+    conn: &mut C,
+    pending: &mut Vec<(u32, NamedCampaign)>,
+) -> Result<Message, DistError> {
+    loop {
+        match conn.recv()? {
+            Message::CampaignAnnounce { id, campaign } => pending.push((id, campaign)),
+            other => return Ok(other),
+        }
+    }
+}
+
+/// Registers every buffered announcement, in arrival order.
+fn apply_announcements(
+    runtimes: &mut WorkerRuntimes,
+    pending: &mut Vec<(u32, NamedCampaign)>,
+) -> Result<(), DistError> {
+    for (id, campaign) in pending.drain(..) {
+        runtimes.announce(id, &campaign)?;
+    }
+    Ok(())
+}
+
+/// Connects to a coordinator over TCP and works until every queued
+/// campaign finishes, the cell budget runs out, or the coordinator
+/// aborts.
 ///
 /// # Errors
-/// Propagates socket and protocol failures, and surfaces a coordinator
+/// See [`run_worker_on`]; additionally propagates connect failures.
+pub fn run_worker(config: &WorkerConfig) -> Result<WorkerSummary, DistError> {
+    let stream = TcpStream::connect(&config.connect)?;
+    let mut conn = TcpConnection::new(stream);
+    conn.set_recv_timeout(Some(config.io_timeout));
+    run_worker_on(conn, config)
+}
+
+/// Works an already-established [`Connection`] until every queued
+/// campaign finishes, the cell budget runs out, or the coordinator
+/// aborts. This is the whole worker — [`run_worker`] runs it over TCP,
+/// deterministic tests run it over a loopback link.
+///
+/// # Errors
+/// Propagates link and protocol failures, and surfaces a coordinator
 /// [`Message::Abort`] as [`DistError::Aborted`]. A cell that fails
 /// execution is reported to the coordinator ([`Message::Failed`]) and
 /// does *not* end the session.
-pub fn run_worker(config: &WorkerConfig) -> Result<WorkerSummary, DistError> {
-    let mut stream = TcpStream::connect(&config.connect)?;
-    stream.set_read_timeout(Some(config.io_timeout))?;
-    stream.set_write_timeout(Some(config.io_timeout))?;
-    stream.set_nodelay(true)?;
-
+pub fn run_worker_on<C: Connection>(
+    mut conn: C,
+    config: &WorkerConfig,
+) -> Result<WorkerSummary, DistError> {
     let pool_width = config.parallelism.worker_count();
-    Message::Hello {
+    conn.send(&Message::Hello {
         protocol: PROTOCOL_VERSION,
         threads: pool_width as u32,
-    }
-    .write_to(&mut stream)?;
+    })?;
 
-    let campaigns = match Message::read_from(&mut stream)? {
+    let campaigns = match conn.recv()? {
         Message::Campaigns { campaigns } => campaigns,
         Message::Abort { reason } => return Err(DistError::Aborted(reason)),
         other => {
@@ -163,7 +256,8 @@ pub fn run_worker(config: &WorkerConfig) -> Result<WorkerSummary, DistError> {
             "coordinator announced an empty campaign queue".into(),
         ));
     }
-    let (caches, mut runtimes) = build_runtimes(&campaigns, config.parallelism)?;
+    let mut runtimes = WorkerRuntimes::new(&campaigns, config.parallelism)?;
+    let mut pending: Vec<(u32, NamedCampaign)> = Vec::new();
 
     let batch_cap = config.batch.unwrap_or(u32::MAX as usize).max(1);
     let ack_window = config.ack_window.max(1);
@@ -182,12 +276,11 @@ pub fn run_worker(config: &WorkerConfig) -> Result<WorkerSummary, DistError> {
             }
             None => batch_cap,
         };
-        Message::Request {
+        conn.send(&Message::Request {
             max_cells: budget.min(u32::MAX as usize) as u32,
-        }
-        .write_to(&mut stream)?;
+        })?;
 
-        let (campaign, jobs) = match Message::read_from(&mut stream)? {
+        let (campaign, jobs) = match recv_reply(&mut conn, &mut pending)? {
             Message::Assign { campaign, jobs } => (campaign, jobs),
             Message::Finished => {
                 return Ok(WorkerSummary {
@@ -202,31 +295,26 @@ pub fn run_worker(config: &WorkerConfig) -> Result<WorkerSummary, DistError> {
                 )))
             }
         };
+        // Any campaign submitted since the last reply was announced
+        // ahead of this Assign: register it before resolving the id.
+        apply_announcements(&mut runtimes, &mut pending)?;
         if jobs.is_empty() {
             // Keep-alive: nothing pending right now (work is in flight on
             // other workers). Back off briefly and ask again.
             std::thread::sleep(Duration::from_millis(50));
             continue;
         }
-        let runtime = runtimes.get_mut(campaign as usize).ok_or_else(|| {
-            DistError::Protocol(format!(
+        if campaign as usize >= runtimes.campaigns.len() {
+            return Err(DistError::Protocol(format!(
                 "coordinator assigned cells for unknown campaign {campaign}"
-            ))
-        })?;
-        let cache = &caches[runtime.cache];
+            )));
+        }
 
-        // First batch of this campaign: derive the mean baseline. When
-        // another campaign over the same setup already trained these
-        // seeds this is a pure cache hit — the whole point of sharing
-        // the fleet across campaigns.
-        let baseline_accuracy = match runtime.baseline_accuracy {
-            Some(b) => b,
-            None => {
-                let b = mean_baseline_accuracy(cache, &runtime.seeds);
-                runtime.baseline_accuracy = Some(b);
-                b
-            }
-        };
+        // First batch of this campaign: derive the mean baseline (a
+        // cache hit when another campaign shares the setup).
+        let baseline_accuracy = runtimes.baseline(campaign as usize);
+        let runtime = &runtimes.campaigns[campaign as usize];
+        let cache = &runtimes.caches[runtime.cache];
 
         // Execute and stream the batch in acknowledgement windows; each
         // window is journaled by the coordinator before it is acked.
@@ -247,33 +335,31 @@ pub fn run_worker(config: &WorkerConfig) -> Result<WorkerSummary, DistError> {
                     // A cell this node cannot execute: report it
                     // individually (it counts toward the cell's poison
                     // cap) and keep serving the rest of the batch.
-                    Err(e) => Message::Failed {
+                    Err(e) => conn.send(&Message::Failed {
                         campaign,
                         index: job.index as u64,
                         reason: e.to_string(),
-                    }
-                    .write_to(&mut stream)?,
+                    })?,
                 }
             }
             if results.is_empty() {
                 continue;
             }
             let sent = results.len();
-            Message::Results {
+            conn.send(&Message::Results {
                 campaign,
                 baseline_accuracy,
                 results,
-            }
-            .write_to(&mut stream)?;
-            match Message::read_from(&mut stream)? {
+            })?;
+            match recv_reply(&mut conn, &mut pending)? {
                 Message::Ack {
-                    campaign: acked,
+                    campaign: acked_campaign,
                     received,
                 } => {
-                    if acked != campaign || received as usize != sent {
+                    if acked_campaign != campaign || received as usize != sent {
                         return Err(DistError::Protocol(format!(
                             "acknowledgement mismatch: sent {sent} cells for campaign \
-                             {campaign}, ack covers {received} for campaign {acked}"
+                             {campaign}, ack covers {received} for campaign {acked_campaign}"
                         )));
                     }
                 }

@@ -1,0 +1,174 @@
+//! Torn-write recovery coverage for the checkpoint journal.
+//!
+//! PR 2's unit tests exercised exactly one truncation point; this suite
+//! truncates a journal at *every byte offset* — from the end of the
+//! header to the full file — and asserts that replay recovers exactly
+//! the longest valid prefix of durable records, truncates the torn
+//! bytes, and accepts post-recovery appends on a clean boundary. This
+//! is the property the coordinator's crash-resume guarantee rests on: a
+//! crash mid-append may cost at most the record being written.
+
+use std::path::PathBuf;
+
+use neurofi_core::sweep::{CellResult, SweepCell};
+use neurofi_dist::Journal;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("neurofi-dist-ckpt-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cell(index: usize, accuracy: f64) -> CellResult {
+    CellResult {
+        index,
+        cell: SweepCell {
+            rel_change: -0.2,
+            fraction: 0.5,
+            accuracy,
+            relative_change_percent: accuracy * -10.0,
+        },
+    }
+}
+
+const DIGEST: u64 = 0xfeed_beef;
+const N_CELLS: usize = 8;
+
+/// Writes a reference journal (baseline + 3 cells with awkward float
+/// bits) and returns its bytes plus the byte offset where each durable
+/// record — header included — *ends*.
+fn reference_journal(dir: &std::path::Path) -> (Vec<u8>, Vec<usize>) {
+    let path = dir.join("reference.journal");
+    let (mut journal, _) = Journal::open(&path, DIGEST, N_CELLS).unwrap();
+    journal.record_baseline(0.5625f64.next_up()).unwrap();
+    journal.record_cell(&cell(2, 0.1f64.next_up())).unwrap();
+    journal
+        .record_cell(&cell(0, f64::from_bits(0x3fe0_0000_0000_0001)))
+        .unwrap();
+    journal.record_cell(&cell(5, 0.75)).unwrap();
+    drop(journal);
+    let bytes = std::fs::read(&path).unwrap();
+    let mut boundaries = Vec::new();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            boundaries.push(i + 1);
+        }
+    }
+    assert_eq!(
+        boundaries.len(),
+        5,
+        "header + baseline + 3 cells, one newline each"
+    );
+    (bytes, boundaries)
+}
+
+/// The number of durable records recovered from a journal truncated to
+/// `len` bytes: every record whose complete line (newline included)
+/// survives. The header is boundary 0 and holds no records.
+fn expected_records(boundaries: &[usize], len: usize) -> usize {
+    boundaries[1..].iter().filter(|&&end| end <= len).count()
+}
+
+#[test]
+fn truncation_at_every_byte_offset_recovers_the_longest_valid_prefix() {
+    let dir = temp_dir("every-offset");
+    let (bytes, boundaries) = reference_journal(&dir);
+    let header_end = boundaries[0];
+
+    for len in header_end..=bytes.len() {
+        let path = dir.join(format!("cut-{len}.journal"));
+        std::fs::write(&path, &bytes[..len]).unwrap();
+
+        let (mut journal, recovered) = Journal::open(&path, DIGEST, N_CELLS)
+            .unwrap_or_else(|e| panic!("replay failed at cut {len}: {e}"));
+        let n_durable = expected_records(&boundaries, len);
+        // Record 1 is the baseline; the rest are cells.
+        let expect_baseline = n_durable >= 1;
+        let expect_cells = n_durable.saturating_sub(1);
+        assert_eq!(
+            recovered.baseline_accuracy.is_some(),
+            expect_baseline,
+            "cut {len}: baseline survival"
+        );
+        assert_eq!(
+            recovered.results.len(),
+            expect_cells,
+            "cut {len}: exactly the durable cells must be recovered"
+        );
+        // Recovered prefix is bit-exact and in journal order.
+        let reference = [
+            cell(2, 0.1f64.next_up()),
+            cell(0, f64::from_bits(0x3fe0_0000_0000_0001)),
+            cell(5, 0.75),
+        ];
+        for (got, want) in recovered.results.iter().zip(&reference) {
+            assert_eq!(got.index, want.index, "cut {len}");
+            assert_eq!(
+                got.cell.accuracy.to_bits(),
+                want.cell.accuracy.to_bits(),
+                "cut {len}: bit-exact recovery"
+            );
+        }
+        if expect_baseline {
+            assert_eq!(
+                recovered.baseline_accuracy.unwrap().to_bits(),
+                0.5625f64.next_up().to_bits(),
+                "cut {len}"
+            );
+        }
+
+        // Recovery truncated the torn tail, so a post-recovery append
+        // lands on a clean line boundary and survives the next replay.
+        journal.record_cell(&cell(7, 0.25)).unwrap();
+        drop(journal);
+        let (_journal, reopened) = Journal::open(&path, DIGEST, N_CELLS)
+            .unwrap_or_else(|e| panic!("post-recovery replay failed at cut {len}: {e}"));
+        assert_eq!(
+            reopened.results.len(),
+            expect_cells + 1,
+            "cut {len}: the post-recovery append must be durable"
+        );
+        assert_eq!(reopened.results.last().unwrap().index, 7, "cut {len}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncation_inside_the_header_is_refused_not_misread() {
+    let dir = temp_dir("header");
+    let (bytes, boundaries) = reference_journal(&dir);
+    let header_end = boundaries[0];
+    // A journal cut anywhere inside its header no longer identifies its
+    // campaign: replay must refuse it (mismatched or empty header)
+    // rather than starting a fresh journal over torn bytes.
+    for len in 1..header_end {
+        let path = dir.join(format!("hdr-{len}.journal"));
+        std::fs::write(&path, &bytes[..len]).unwrap();
+        assert!(
+            Journal::open(&path, DIGEST, N_CELLS).is_err(),
+            "cut {len}: a torn header must be refused"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_file_corruption_is_an_error_not_a_silent_skip() {
+    // A corrupt record with a *valid* record after it is not a torn
+    // tail — it is corruption, and replay must fail loudly instead of
+    // resuming over a hole in the history.
+    let dir = temp_dir("midfile");
+    let path = dir.join("corrupt.journal");
+    let (mut journal, _) = Journal::open(&path, DIGEST, N_CELLS).unwrap();
+    journal.record_cell(&cell(1, 0.5)).unwrap();
+    journal.record_cell(&cell(2, 0.5)).unwrap();
+    drop(journal);
+    let text = std::fs::read_to_string(&path).unwrap();
+    let corrupted = text.replacen("cell 1", "cell x", 1);
+    assert_ne!(text, corrupted);
+    std::fs::write(&path, corrupted).unwrap();
+    assert!(Journal::open(&path, DIGEST, N_CELLS).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -9,7 +9,8 @@ use std::time::Duration;
 
 use neurofi_core::sweep::SweepResult;
 use neurofi_dist::{
-    named_campaign, run_local_cluster, DistError, LocalClusterConfig, NamedCampaign,
+    campaign_journal_path, named_campaign, run_local_cluster, DistError, LocalClusterConfig,
+    NamedCampaign,
 };
 
 fn temp_dir(name: &str) -> PathBuf {
@@ -146,7 +147,9 @@ fn killed_workers_then_resume_completes_without_recompute() {
         }
         other => panic!("expected Incomplete, got {other}"),
     }
-    let journal_text = std::fs::read_to_string(&journal).unwrap();
+    // Journals are always suffixed by campaign name (the single
+    // bind-time campaign is queued as `main`).
+    let journal_text = std::fs::read_to_string(campaign_journal_path(&journal, "main")).unwrap();
     assert_eq!(
         journal_text
             .lines()

@@ -214,21 +214,107 @@ proptest! {
     #[test]
     fn truncated_campaign_queues_are_rejected(
         cut_seed in 0u64..10_000,
+        weight_a in 1u32..1000,
+        weight_b in 1u32..1000,
     ) {
         let campaigns = vec![
             neurofi_dist::NamedCampaign::new(
                 "tiny",
                 neurofi_dist::named_campaign("tiny").unwrap(),
-            ),
+            ).with_weight(weight_a),
             neurofi_dist::NamedCampaign::new(
                 "tiny-theta",
                 neurofi_dist::named_campaign("tiny-theta").unwrap(),
-            ),
+            ).with_weight(weight_b),
         ];
         let message = Message::Campaigns { campaigns };
         let payload = message.encode();
+        // The v3 queue round-trips whole — including the per-campaign
+        // scheduling weights (policy fields).
         prop_assert_eq!(Message::decode(&payload).expect("whole queue decodes"), message);
         let cut = (cut_seed as usize) % payload.len();
         prop_assert!(Message::decode(&payload[..cut]).is_err());
+    }
+
+    #[test]
+    fn submit_frames_round_trip_with_policy_fields(
+        weight in 1u32..=u32::MAX,
+        grid_seed in 0usize..3,
+        name_seed in 0usize..4,
+    ) {
+        let grid = ["tiny", "tiny-theta", "fig8-reduced"][grid_seed];
+        let name = ["tiny", "late", "a", "grid-with-a-long-queue-name"][name_seed];
+        let campaign = neurofi_dist::NamedCampaign::new(
+            name,
+            neurofi_dist::named_campaign(grid).unwrap(),
+        ).with_weight(weight);
+        let message = Message::Submit {
+            protocol: neurofi_dist::PROTOCOL_VERSION,
+            campaign,
+        };
+        let payload = message.encode();
+        prop_assert_eq!(Message::decode(&payload).expect("submit decodes"), message);
+        // Any strict prefix is rejected, never mis-decoded.
+        for cut in 0..payload.len() {
+            prop_assert!(Message::decode(&payload[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn announce_and_submit_ok_frames_round_trip(
+        id in 0u32..=u32::MAX,
+        weight in 1u32..10_000,
+        cut_seed in 0u64..10_000,
+    ) {
+        let campaign = neurofi_dist::NamedCampaign::new(
+            "announced",
+            neurofi_dist::named_campaign("tiny-theta").unwrap(),
+        ).with_weight(weight);
+        let message = Message::CampaignAnnounce { id, campaign };
+        let payload = message.encode();
+        prop_assert_eq!(Message::decode(&payload).expect("announce decodes"), message);
+        let cut = (cut_seed as usize) % payload.len();
+        prop_assert!(Message::decode(&payload[..cut]).is_err());
+
+        let ok = Message::SubmitOk { id };
+        prop_assert_eq!(Message::decode(&ok.encode()).expect("ok decodes"), ok);
+    }
+
+    #[test]
+    fn oversized_submit_frames_are_rejected_before_the_wire(
+        extra in 1usize..4096,
+    ) {
+        // A Submit whose campaign name alone overflows the frame cap
+        // must be refused at write time, not shipped or mis-framed.
+        let campaign = neurofi_dist::NamedCampaign::new(
+            "x".repeat(MAX_FRAME_LEN + extra),
+            neurofi_dist::named_campaign("tiny").unwrap(),
+        );
+        let message = Message::Submit {
+            protocol: neurofi_dist::PROTOCOL_VERSION,
+            campaign,
+        };
+        let mut framed = Vec::new();
+        match write_frame(&mut framed, &message.encode()) {
+            Err(WireError::Oversized(n)) => prop_assert!(n > MAX_FRAME_LEN),
+            other => prop_assert!(false, "expected Oversized, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn hostile_submit_and_announce_payloads_never_allocate(
+        claimed in 1_000u32..=u32::MAX,
+    ) {
+        // A Submit (tag 9) / CampaignAnnounce (tag 11) whose campaign
+        // name claims a multi-gigabyte length with no bytes behind it
+        // must be rejected as truncated instead of allocating.
+        for tag in [9u8, 11u8] {
+            let mut enc = Encoder::new();
+            enc.u8(tag);
+            enc.u32(3); // protocol / id
+            enc.u32(claimed); // hostile name length
+            enc.u8(0); // a single stray byte, far fewer than claimed
+            prop_assert!(Message::decode(&enc.finish()).is_err());
+        }
     }
 }

@@ -1,77 +1,188 @@
-//! Scheduler-level integration tests over real localhost TCP: capacity-
-//! aware batch sizing from the `Hello` thread report, the worker-death
-//! requeue path (which must never poison healthy cells), explicit
-//! execution-failure poisoning, and old-protocol rejection.
+//! Deterministic scheduler tests over the in-process loopback
+//! transport: no real sockets, no ports, no timing sleeps. Worker
+//! arrival, death, and live campaign submission are *scripted* — a
+//! dropped loopback end is observed immediately by the coordinator, so
+//! the tests assert exact scheduling orders instead of sleep-polling
+//! around socket latency.
+//!
+//! Covered here: capacity-aware batch sizing, the worker-death requeue
+//! path (which must never poison healthy cells), explicit
+//! execution-failure poisoning, old-protocol rejection (v1 *and* v2),
+//! live submission (announce ordering, journal binding, kill + resume,
+//! bit-identical merges), and `--fair` weighted-round-robin
+//! interleaving bounds.
 
-use std::net::TcpStream;
+use std::path::PathBuf;
 use std::time::Duration;
 
+use neurofi_core::sweep::{CellJob, CellResult, SweepCell, SweepResult};
 use neurofi_dist::{
-    named_campaign, run_worker, Coordinator, CoordinatorConfig, DistError, Message, NamedCampaign,
-    WorkerConfig, CELLS_PER_THREAD, PROTOCOL_VERSION,
+    campaign_journal_path, named_campaign, run_worker_on, serve_transport, submit_on, Connection,
+    CoordinatedRun, CoordinatorConfig, DistError, LoopbackConn, LoopbackHub, Message,
+    NamedCampaign, PolicyKind, WorkerConfig, CELLS_PER_THREAD, PROTOCOL_VERSION,
 };
 
-/// A hand-driven worker connection: handshake as a v2 worker reporting
-/// `threads`, return the stream ready for Request/Assign traffic.
-fn fake_worker(addr: &str, threads: u32) -> TcpStream {
-    let mut stream = TcpStream::connect(addr).unwrap();
-    stream
-        .set_read_timeout(Some(Duration::from_secs(30)))
-        .unwrap();
-    Message::Hello {
+fn temp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("neurofi-dist-sched-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawns a coordinator serving `config` over the hub's listener.
+fn spawn_coordinator(
+    hub: &LoopbackHub,
+    config: CoordinatorConfig,
+) -> std::thread::JoinHandle<Result<CoordinatedRun, DistError>> {
+    let listener = hub.listener();
+    std::thread::spawn(move || serve_transport(listener, config))
+}
+
+/// A scripted worker connection: handshake as a v3 worker reporting
+/// `threads`, return the connection and the announced campaign queue.
+fn scripted_worker(hub: &LoopbackHub, threads: u32) -> (LoopbackConn, Vec<NamedCampaign>) {
+    let mut conn = hub.connect();
+    conn.send(&Message::Hello {
         protocol: PROTOCOL_VERSION,
         threads,
-    }
-    .write_to(&mut stream)
+    })
     .unwrap();
-    match Message::read_from(&mut stream).unwrap() {
-        Message::Campaigns { campaigns } => assert!(!campaigns.is_empty()),
+    match conn.recv().unwrap() {
+        Message::Campaigns { campaigns } => {
+            assert!(!campaigns.is_empty());
+            (conn, campaigns)
+        }
         other => panic!("expected campaign queue, got {other:?}"),
     }
-    stream
+}
+
+/// What a scripted `Request` came back with.
+enum Reply {
+    Assign(u32, Vec<CellJob>),
+    Finished,
+    Abort(String),
+}
+
+/// Sends one `Request` and reads up to the reply, recording any
+/// `CampaignAnnounce` frames pushed ahead of it.
+fn request(
+    conn: &mut LoopbackConn,
+    max_cells: u32,
+    announces: &mut Vec<(u32, NamedCampaign)>,
+) -> Reply {
+    conn.send(&Message::Request { max_cells }).unwrap();
+    loop {
+        match conn.recv().unwrap() {
+            Message::CampaignAnnounce { id, campaign } => announces.push((id, campaign)),
+            Message::Assign { campaign, jobs } => return Reply::Assign(campaign, jobs),
+            Message::Finished => return Reply::Finished,
+            Message::Abort { reason } => return Reply::Abort(reason),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
 }
 
 /// Requests until a non-empty batch arrives (an empty `Assign` is the
-/// coordinator's keep-alive while requeues from a previous connection
-/// are still settling).
-fn request_batch(stream: &mut TcpStream, max_cells: u32) -> (u32, usize) {
+/// coordinator's keep-alive while requeues from a dropped connection
+/// are still settling — rare on loopback, but possible).
+fn request_batch(
+    conn: &mut LoopbackConn,
+    max_cells: u32,
+    announces: &mut Vec<(u32, NamedCampaign)>,
+) -> (u32, Vec<CellJob>) {
     loop {
-        Message::Request { max_cells }.write_to(stream).unwrap();
-        match Message::read_from(stream).unwrap() {
-            Message::Assign { jobs, .. } if jobs.is_empty() => {
-                std::thread::sleep(Duration::from_millis(20));
-            }
-            Message::Assign { campaign, jobs } => return (campaign, jobs.len()),
-            other => panic!("expected assignment, got {other:?}"),
+        match request(conn, max_cells, announces) {
+            Reply::Assign(_, jobs) if jobs.is_empty() => continue,
+            Reply::Assign(campaign, jobs) => return (campaign, jobs),
+            Reply::Finished => panic!("run finished while a batch was expected"),
+            Reply::Abort(reason) => panic!("aborted while a batch was expected: {reason}"),
         }
+    }
+}
+
+/// Reports synthetic (but per-cell deterministic) results for a batch
+/// and consumes the acknowledgement. Scheduler tests only exercise
+/// ordering, so cells need not be executed — the coordinator cannot
+/// tell, and duplicate deliveries stay bit-consistent because the
+/// values are a pure function of the cell index.
+fn report_synthetic(
+    conn: &mut LoopbackConn,
+    campaign: u32,
+    jobs: &[CellJob],
+    announces: &mut Vec<(u32, NamedCampaign)>,
+) {
+    let results: Vec<CellResult> = jobs
+        .iter()
+        .map(|job| CellResult {
+            index: job.index,
+            cell: SweepCell {
+                rel_change: 0.0,
+                fraction: 0.0,
+                accuracy: job.index as f64 * 0.01,
+                relative_change_percent: job.index as f64,
+            },
+        })
+        .collect();
+    let sent = results.len();
+    conn.send(&Message::Results {
+        campaign,
+        baseline_accuracy: 0.5,
+        results,
+    })
+    .unwrap();
+    loop {
+        match conn.recv().unwrap() {
+            Message::CampaignAnnounce { id, campaign } => announces.push((id, campaign)),
+            Message::Ack {
+                campaign: acked,
+                received,
+            } => {
+                assert_eq!(acked, campaign);
+                assert_eq!(received as usize, sent);
+                return;
+            }
+            other => panic!("expected ack, got {other:?}"),
+        }
+    }
+}
+
+fn assert_bit_identical(distributed: &SweepResult, serial: &SweepResult) {
+    assert_eq!(distributed.kind, serial.kind);
+    assert_eq!(
+        distributed.baseline_accuracy.to_bits(),
+        serial.baseline_accuracy.to_bits(),
+        "baseline accuracy diverged"
+    );
+    assert_eq!(distributed.cells.len(), serial.cells.len());
+    for (d, s) in distributed.cells.iter().zip(&serial.cells) {
+        assert_eq!(d.accuracy.to_bits(), s.accuracy.to_bits());
+        assert_eq!(d.rel_change.to_bits(), s.rel_change.to_bits());
+        assert_eq!(d.fraction.to_bits(), s.fraction.to_bits());
     }
 }
 
 #[test]
 fn batch_sizes_scale_with_reported_worker_threads() {
-    // fig8-reduced enumerates 24 cells — plenty pending for both claims.
-    let mut config = CoordinatorConfig::new("127.0.0.1:0", named_campaign("fig8-reduced").unwrap());
+    // fig8-reduced enumerates 24 cells — plenty pending for all claims.
+    let mut config = CoordinatorConfig::new("loopback", named_campaign("fig8-reduced").unwrap());
     config.idle_timeout = Duration::from_secs(2);
-    let coordinator = Coordinator::bind(config).unwrap();
-    let addr = coordinator.local_addr().unwrap().to_string();
-    let serve = std::thread::spawn(move || coordinator.serve());
+    let hub = LoopbackHub::new();
+    let serve = spawn_coordinator(&hub, config);
+    let mut announces = Vec::new();
 
-    let mut narrow = fake_worker(&addr, 1);
-    let (_, narrow_batch) = request_batch(&mut narrow, u32::MAX);
-    let mut wide = fake_worker(&addr, 4);
-    let (_, wide_batch) = request_batch(&mut wide, u32::MAX);
+    let (mut narrow, _) = scripted_worker(&hub, 1);
+    let (_, narrow_batch) = request_batch(&mut narrow, u32::MAX, &mut announces);
+    let (mut wide, _) = scripted_worker(&hub, 4);
+    let (_, wide_batch) = request_batch(&mut wide, u32::MAX, &mut announces);
 
-    assert_eq!(narrow_batch, CELLS_PER_THREAD);
-    assert_eq!(wide_batch, 4 * CELLS_PER_THREAD);
-    assert!(
-        wide_batch > narrow_batch,
-        "batch size must scale with the reported thread width"
-    );
+    assert_eq!(narrow_batch.len(), CELLS_PER_THREAD);
+    assert_eq!(wide_batch.len(), 4 * CELLS_PER_THREAD);
 
     // A worker's own cap still wins over its capacity.
-    let mut capped = fake_worker(&addr, 8);
-    let (_, capped_batch) = request_batch(&mut capped, 3);
-    assert_eq!(capped_batch, 3);
+    let (mut capped, _) = scripted_worker(&hub, 8);
+    let (_, capped_batch) = request_batch(&mut capped, 3, &mut announces);
+    assert_eq!(capped_batch.len(), 3);
 
     // Nobody executes anything; dropping the connections requeues every
     // claimed cell and the coordinator eventually gives up idle.
@@ -85,6 +196,7 @@ fn batch_sizes_scale_with_reported_worker_threads() {
         }
         other => panic!("expected Incomplete after idle abandonment, got {other:?}"),
     }
+    assert!(announces.is_empty(), "nothing was submitted");
 }
 
 #[test]
@@ -92,26 +204,27 @@ fn repeatedly_killed_workers_never_poison_healthy_cells() {
     // Regression for the PR 2 bug where `claim_batch` counted
     // *assignments* toward the poison cap: a healthy grid whose workers
     // kept dying was declared poisoned after 5 assignments. Kill more
-    // workers than max_attempts, each holding the whole grid, then let
-    // one healthy worker finish the campaign.
+    // scripted workers than max_attempts, each holding the whole grid,
+    // then let one *real* worker (run over the same loopback transport)
+    // finish the campaign.
     let campaign = named_campaign("tiny").unwrap();
     let serial = campaign.run_serial().unwrap();
-    let mut config = CoordinatorConfig::new("127.0.0.1:0", campaign);
+    let mut config = CoordinatorConfig::new("loopback", campaign);
     config.idle_timeout = Duration::from_secs(30);
     config.max_attempts = 5;
-    let coordinator = Coordinator::bind(config).unwrap();
-    let addr = coordinator.local_addr().unwrap().to_string();
-    let serve = std::thread::spawn(move || coordinator.serve());
+    let hub = LoopbackHub::new();
+    let serve = spawn_coordinator(&hub, config);
+    let mut announces = Vec::new();
 
     for kill in 0..7 {
         // threads=3 → capacity 6 = the whole tiny grid in one batch.
-        let mut doomed = fake_worker(&addr, 3);
-        let (_, batch) = request_batch(&mut doomed, u32::MAX);
-        assert!(batch > 0, "kill {kill}: worker must receive cells");
+        let (mut doomed, _) = scripted_worker(&hub, 3);
+        let (_, batch) = request_batch(&mut doomed, u32::MAX, &mut announces);
+        assert!(!batch.is_empty(), "kill {kill}: worker must receive cells");
         drop(doomed); // dies holding every cell it claimed
     }
 
-    let summary = run_worker(&WorkerConfig::new(addr)).unwrap();
+    let summary = run_worker_on(hub.connect(), &WorkerConfig::new("loopback")).unwrap();
     assert!(summary.finished);
     assert_eq!(summary.cells_executed, serial.cells.len());
 
@@ -119,63 +232,48 @@ fn repeatedly_killed_workers_never_poison_healthy_cells() {
         "a campaign whose workers died 7 times must still complete \
          (worker deaths are not cell failures)",
     );
-    let merged = &run.campaigns[0].result;
-    assert_eq!(merged.cells.len(), serial.cells.len());
-    for (d, s) in merged.cells.iter().zip(&serial.cells) {
-        assert_eq!(d.accuracy.to_bits(), s.accuracy.to_bits());
-    }
+    assert_bit_identical(&run.campaigns[0].result, &serial);
 }
 
 #[test]
 fn repeated_execution_failures_poison_the_campaign_with_a_diagnostic() {
-    let mut config = CoordinatorConfig::new("127.0.0.1:0", named_campaign("tiny").unwrap());
+    let mut config = CoordinatorConfig::new("loopback", named_campaign("tiny").unwrap());
     config.idle_timeout = Duration::from_secs(30);
     config.max_attempts = 2;
-    let coordinator = Coordinator::bind(config).unwrap();
-    let addr = coordinator.local_addr().unwrap().to_string();
-    let serve = std::thread::spawn(move || coordinator.serve());
+    let hub = LoopbackHub::new();
+    let serve = spawn_coordinator(&hub, config);
+    let mut announces = Vec::new();
 
     // Fail every cell we are handed, one at a time, until some cell
     // accumulates max_attempts execution failures and the coordinator
-    // aborts us with the poison diagnostic.
-    let mut stream = fake_worker(&addr, 1);
-    let mut abort_reason = None;
-    for _ in 0..100 {
-        if (Message::Request { max_cells: 1 })
-            .write_to(&mut stream)
-            .is_err()
-        {
-            break;
-        }
-        match Message::read_from(&mut stream) {
-            Ok(Message::Assign { campaign, jobs }) => {
+    // ends the run with the poison diagnostic.
+    let (mut conn, _) = scripted_worker(&hub, 1);
+    let abort_reason = loop {
+        match request(&mut conn, 1, &mut announces) {
+            Reply::Assign(campaign, jobs) => {
                 if jobs.is_empty() {
-                    std::thread::sleep(Duration::from_millis(20));
                     continue;
                 }
-                let report = Message::Failed {
+                conn.send(&Message::Failed {
                     campaign,
                     index: jobs[0].index as u64,
                     reason: "synthetic failure".into(),
-                };
-                if report.write_to(&mut stream).is_err() {
-                    break;
-                }
+                })
+                .unwrap();
             }
-            Ok(Message::Abort { reason }) => {
-                abort_reason = Some(reason);
-                break;
-            }
-            Ok(other) => panic!("unexpected message {other:?}"),
-            Err(_) => break,
+            Reply::Abort(reason) => break reason,
+            Reply::Finished => panic!("a poisoned lone campaign cannot finish cleanly"),
         }
-    }
-    let reason = abort_reason.expect("the coordinator must abort the failing worker");
-    assert!(reason.contains("poisoned"), "diagnostic: {reason}");
+    };
     assert!(
-        reason.contains("synthetic failure"),
-        "the failure log must surface the worker-reported reason: {reason}"
+        abort_reason.contains("poisoned"),
+        "diagnostic: {abort_reason}"
     );
+    assert!(
+        abort_reason.contains("synthetic failure"),
+        "the failure log must surface the worker-reported reason: {abort_reason}"
+    );
+    drop(conn);
     match serve.join().unwrap() {
         Err(DistError::Protocol(message)) => {
             assert!(message.contains("poisoned"), "serve error: {message}")
@@ -185,59 +283,214 @@ fn repeated_execution_failures_poison_the_campaign_with_a_diagnostic() {
 }
 
 #[test]
-fn poisoned_campaign_does_not_sink_healthy_campaigns() {
-    let dir = std::env::temp_dir().join(format!("neurofi-dist-poison-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
-    let journal = dir.join("run.journal");
+fn old_protocol_peers_are_rejected_with_a_clear_error() {
+    let mut config = CoordinatorConfig::new("loopback", named_campaign("tiny").unwrap());
+    config.idle_timeout = Duration::from_millis(400);
+    let hub = LoopbackHub::new();
+    let serve = spawn_coordinator(&hub, config);
 
+    // A PR 2 (v1) and a PR 3 (v2) worker handshake: same frame shape,
+    // old versions — both must be turned away naming both versions.
+    for old in [1u32, 2] {
+        let mut conn = hub.connect();
+        conn.send(&Message::Hello {
+            protocol: old,
+            threads: 4,
+        })
+        .unwrap();
+        match conn.recv().unwrap() {
+            Message::Abort { reason } => {
+                assert!(reason.contains("protocol mismatch"), "got: {reason}");
+                assert!(
+                    reason.contains(&format!("v{old}")),
+                    "names the worker's version: {reason}"
+                );
+                assert!(
+                    reason.contains(&format!("v{PROTOCOL_VERSION}")),
+                    "names the coordinator's version: {reason}"
+                );
+            }
+            other => panic!("expected Abort, got {other:?}"),
+        }
+    }
+
+    // An old-protocol *submitter* is rejected the same way.
+    let mut control = hub.connect();
+    control
+        .send(&Message::Submit {
+            protocol: 2,
+            campaign: NamedCampaign::new("late", named_campaign("tiny-theta").unwrap()),
+        })
+        .unwrap();
+    match control.recv().unwrap() {
+        Message::Abort { reason } => {
+            assert!(reason.contains("protocol mismatch"), "got: {reason}");
+        }
+        other => panic!("expected Abort, got {other:?}"),
+    }
+
+    // No rejected peer ever joined, so the coordinator idles out.
+    assert!(matches!(
+        serve.join().unwrap(),
+        Err(DistError::Incomplete { .. })
+    ));
+}
+
+#[test]
+fn fair_scheduling_interleaves_equal_weight_campaigns_strictly() {
+    // tiny = 6 cells (campaign 0), tiny-theta = 4 cells (campaign 1).
     let mut config = CoordinatorConfig::with_campaigns(
-        "127.0.0.1:0",
+        "loopback",
+        vec![
+            NamedCampaign::new("tiny", named_campaign("tiny").unwrap()),
+            NamedCampaign::new("tiny-theta", named_campaign("tiny-theta").unwrap()),
+        ],
+    );
+    config.policy = PolicyKind::WeightedRoundRobin;
+    config.idle_timeout = Duration::from_secs(30);
+    let hub = LoopbackHub::new();
+    let serve = spawn_coordinator(&hub, config);
+    let mut announces = Vec::new();
+
+    // One scripted worker claiming 1-cell batches: the claim order *is*
+    // the policy's pick order, with no concurrency noise.
+    let (mut conn, _) = scripted_worker(&hub, 1);
+    let mut order = Vec::new();
+    for _ in 0..10 {
+        let (campaign, jobs) = request_batch(&mut conn, 1, &mut announces);
+        assert_eq!(jobs.len(), 1);
+        order.push(campaign as usize);
+        report_synthetic(&mut conn, campaign, &jobs, &mut announces);
+    }
+    assert_eq!(
+        order,
+        vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 0],
+        "equal weights must alternate strictly until the smaller grid drains"
+    );
+    // Interleaving bound: while both campaigns had pending cells (the
+    // first 8 claims), neither waited more than sum-of-weights = 2
+    // consecutive claims.
+    for window in order[..8].windows(2) {
+        assert_ne!(
+            window[0], window[1],
+            "a campaign waited too long: {order:?}"
+        );
+    }
+
+    match request(&mut conn, 1, &mut announces) {
+        Reply::Finished => {}
+        other => panic!(
+            "all cells reported: expected Finished, got {:?}",
+            match other {
+                Reply::Assign(c, j) => format!("Assign({c}, {} jobs)", j.len()),
+                Reply::Abort(r) => format!("Abort({r})"),
+                Reply::Finished => unreachable!(),
+            }
+        ),
+    }
+    let run = serve.join().unwrap().expect("run completes");
+    assert_eq!(run.campaigns.len(), 2);
+    assert_eq!(run.campaigns[0].computed_cells, 6);
+    assert_eq!(run.campaigns[1].computed_cells, 4);
+}
+
+#[test]
+fn weighted_fairness_grants_proportional_turns() {
+    let mut config = CoordinatorConfig::with_campaigns(
+        "loopback",
+        vec![
+            NamedCampaign::new("tiny", named_campaign("tiny").unwrap()).with_weight(2),
+            NamedCampaign::new("tiny-theta", named_campaign("tiny-theta").unwrap()),
+        ],
+    );
+    config.policy = PolicyKind::WeightedRoundRobin;
+    config.idle_timeout = Duration::from_secs(30);
+    let hub = LoopbackHub::new();
+    let serve = spawn_coordinator(&hub, config);
+    let mut announces = Vec::new();
+
+    let (mut conn, campaigns) = scripted_worker(&hub, 1);
+    assert_eq!(campaigns[0].weight, 2, "the handshake carries weights");
+    let mut order = Vec::new();
+    for _ in 0..10 {
+        let (campaign, jobs) = request_batch(&mut conn, 1, &mut announces);
+        order.push(campaign as usize);
+        report_synthetic(&mut conn, campaign, &jobs, &mut announces);
+    }
+    assert_eq!(
+        order,
+        vec![0, 0, 1, 0, 0, 1, 0, 0, 1, 1],
+        "weight 2 grants two consecutive batches per rotation"
+    );
+    // Weight-proportional wait bound: while both campaigns were
+    // pending, campaign 1 never waited more than weight(0) = 2 claims,
+    // campaign 0 never more than weight(1) = 1.
+    let both_pending = &order[..9];
+    let mut since = [0usize; 2];
+    for &pick in both_pending {
+        since[pick] = 0;
+        since[1 - pick] += 1;
+        assert!(since[0] <= 1, "campaign 0 starved: {order:?}");
+        assert!(since[1] <= 2, "campaign 1 starved: {order:?}");
+    }
+
+    assert!(matches!(
+        request(&mut conn, 1, &mut announces),
+        Reply::Finished
+    ));
+    serve.join().unwrap().expect("run completes");
+}
+
+#[test]
+fn poisoning_one_campaign_never_stalls_the_other() {
+    let dir = temp_dir("poison-fair");
+    let journal = dir.join("run.journal");
+    let mut config = CoordinatorConfig::with_campaigns(
+        "loopback",
         vec![
             NamedCampaign::new("doomed", named_campaign("tiny").unwrap()),
             NamedCampaign::new("healthy", named_campaign("tiny-theta").unwrap()),
         ],
     );
-    config.idle_timeout = Duration::from_secs(30);
+    config.policy = PolicyKind::WeightedRoundRobin;
     config.max_attempts = 1;
     config.journal = Some(journal.clone());
-    let coordinator = Coordinator::bind(config).unwrap();
-    let addr = coordinator.local_addr().unwrap().to_string();
-    let serve = std::thread::spawn(move || coordinator.serve());
+    config.idle_timeout = Duration::from_secs(30);
+    let hub = LoopbackHub::new();
+    let serve = spawn_coordinator(&hub, config);
+    let mut announces = Vec::new();
 
-    // A saboteur poisons campaign 0 with a single execution-failure
-    // report (max_attempts = 1) and vanishes.
-    let mut saboteur = fake_worker(&addr, 1);
-    (Message::Request { max_cells: 1 })
-        .write_to(&mut saboteur)
-        .unwrap();
-    let (campaign, index) = match Message::read_from(&mut saboteur).unwrap() {
-        Message::Assign { campaign, jobs } if !jobs.is_empty() => (campaign, jobs[0].index),
-        other => panic!("expected a non-empty assignment, got {other:?}"),
-    };
-    assert_eq!(campaign, 0, "the queue drains FIFO, so cell 0 is doomed's");
-    Message::Failed {
+    // The first claim comes from `doomed` (rotation starts at id 0);
+    // one execution-failure report poisons it outright.
+    let (mut conn, _) = scripted_worker(&hub, 1);
+    let (campaign, jobs) = request_batch(&mut conn, 1, &mut announces);
+    assert_eq!(campaign, 0);
+    conn.send(&Message::Failed {
         campaign,
-        index: index as u64,
+        index: jobs[0].index as u64,
         reason: "synthetic segfault".into(),
-    }
-    .write_to(&mut saboteur)
+    })
     .unwrap();
-    drop(saboteur);
-    std::thread::sleep(Duration::from_millis(100));
 
-    // A healthy worker still serves the surviving campaign to
-    // completion, then learns the run failed (the poisoned campaign is
-    // named in the goodbye).
-    match run_worker(&WorkerConfig::new(addr)).unwrap_err() {
-        DistError::Aborted(reason) => {
+    // Every subsequent claim must come from `healthy` — the poisoned
+    // campaign never blocks the rotation — and the run completes the
+    // healthy campaign before failing.
+    for _ in 0..4 {
+        let (campaign, jobs) = request_batch(&mut conn, 1, &mut announces);
+        assert_eq!(campaign, 1, "the poisoned campaign must be skipped");
+        report_synthetic(&mut conn, campaign, &jobs, &mut announces);
+    }
+    match request(&mut conn, 1, &mut announces) {
+        Reply::Abort(reason) => {
             assert!(
                 reason.contains("`doomed`"),
                 "goodbye names the campaign: {reason}"
-            )
+            );
         }
-        other => panic!("expected the run-failed goodbye, got {other:?}"),
+        Reply::Finished => panic!("a run with a poisoned campaign cannot finish cleanly"),
+        Reply::Assign(c, j) => panic!("unexpected assignment ({c}, {} jobs)", j.len()),
     }
+    drop(conn);
 
     match serve.join().unwrap() {
         Err(DistError::Protocol(message)) => {
@@ -253,54 +506,235 @@ fn poisoned_campaign_does_not_sink_healthy_campaigns() {
         other => panic!("expected a poisoned-campaign failure, got {other:?}"),
     }
 
-    // The healthy campaign ran to completion and journaled every cell,
-    // so rerunning without the poisoned grid resumes at zero cost.
-    let healthy = std::fs::read_to_string(journal.with_file_name("run.journal.healthy")).unwrap();
+    // The healthy campaign ran to completion and journaled every cell.
+    let healthy = std::fs::read_to_string(campaign_journal_path(&journal, "healthy")).unwrap();
     assert_eq!(
         healthy.lines().filter(|l| l.starts_with("cell ")).count(),
         4,
         "healthy campaign must finish and journal despite the poisoned one:\n{healthy}"
     );
-
     let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
-fn old_protocol_workers_are_rejected_with_a_clear_error() {
-    let mut config = CoordinatorConfig::new("127.0.0.1:0", named_campaign("tiny").unwrap());
-    config.idle_timeout = Duration::from_secs(2);
-    let coordinator = Coordinator::bind(config).unwrap();
-    let addr = coordinator.local_addr().unwrap().to_string();
-    let serve = std::thread::spawn(move || coordinator.serve());
+fn live_submission_is_announced_before_any_frame_references_it() {
+    let mut config = CoordinatorConfig::new("loopback", named_campaign("tiny").unwrap());
+    config.idle_timeout = Duration::from_secs(30);
+    let hub = LoopbackHub::new();
+    let serve = spawn_coordinator(&hub, config);
+    let mut announces = Vec::new();
 
-    let mut stream = TcpStream::connect(&addr).unwrap();
-    stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
-        .unwrap();
-    // A PR 2 (v1) worker's handshake: same frame shape, old version.
-    Message::Hello {
-        protocol: 1,
-        threads: 4,
+    // The worker handshakes while only `main` is queued.
+    let (mut conn, campaigns) = scripted_worker(&hub, 1);
+    assert_eq!(campaigns.len(), 1);
+    let (campaign, jobs) = request_batch(&mut conn, 1, &mut announces);
+    assert_eq!(campaign, 0);
+    report_synthetic(&mut conn, campaign, &jobs, &mut announces);
+    assert!(announces.is_empty(), "nothing submitted yet");
+
+    // A control client submits a second campaign mid-run.
+    let mut control = hub.connect();
+    let id = submit_on(
+        &mut control,
+        NamedCampaign::new("late-theta", named_campaign("tiny-theta").unwrap()).with_weight(7),
+    )
+    .expect("submission accepted");
+    assert_eq!(id, 1);
+    // Duplicate names are rejected with the coordinator's reason.
+    match submit_on(
+        &mut control,
+        NamedCampaign::new("late-theta", named_campaign("tiny-theta").unwrap()),
+    ) {
+        Err(DistError::Aborted(reason)) => {
+            assert!(reason.contains("already queued"), "got: {reason}")
+        }
+        other => panic!("duplicate submission must be refused, got {other:?}"),
     }
-    .write_to(&mut stream)
-    .unwrap();
-    match Message::read_from(&mut stream).unwrap() {
-        Message::Abort { reason } => {
-            assert!(reason.contains("protocol mismatch"), "got: {reason}");
+
+    // The very next reply to this (pre-submission) worker must be
+    // preceded by the announcement — before any frame references id 1.
+    let mut order = vec![0usize];
+    loop {
+        let (campaign, jobs) = request_batch(&mut conn, 1, &mut announces);
+        if campaign == 1 {
             assert!(
-                reason.contains("v1"),
-                "names the worker's version: {reason}"
-            );
-            assert!(
-                reason.contains(&format!("v{PROTOCOL_VERSION}")),
-                "names the coordinator's version: {reason}"
+                !announces.is_empty(),
+                "an Assign referenced campaign 1 before its announcement"
             );
         }
-        other => panic!("expected Abort, got {other:?}"),
+        order.push(campaign as usize);
+        report_synthetic(&mut conn, campaign, &jobs, &mut announces);
+        if order.len() == 10 {
+            break;
+        }
     }
-    // The rejected worker never joined, so the coordinator idles out.
+    assert_eq!(announces.len(), 1, "exactly one announcement");
+    let (announced_id, announced) = &announces[0];
+    assert_eq!(*announced_id, 1);
+    assert_eq!(announced.name, "late-theta");
+    assert_eq!(
+        announced.weight, 7,
+        "announcements carry the scheduling weight"
+    );
+    // FIFO: the bind-time campaign drains first, then the submission.
+    assert_eq!(order, vec![0, 0, 0, 0, 0, 0, 1, 1, 1, 1]);
+
     assert!(matches!(
-        serve.join().unwrap(),
-        Err(DistError::Incomplete { .. })
+        request(&mut conn, 1, &mut announces),
+        Reply::Finished
     ));
+    let run = serve.join().unwrap().expect("run completes");
+    assert_eq!(run.campaigns.len(), 2);
+    assert_eq!(run.campaigns[1].name, "late-theta");
+    assert_eq!(run.campaigns[1].total_cells, 4);
+}
+
+#[test]
+fn an_idle_control_connection_does_not_stall_run_exit() {
+    // Regression: a control client may keep its connection open for
+    // further submissions. Once every worker is done, the run must end
+    // promptly by severing the idle control link — not block the scope
+    // join until the 600 s worker timeout expires on its recv.
+    let mut config = CoordinatorConfig::new("loopback", named_campaign("tiny").unwrap());
+    config.idle_timeout = Duration::from_secs(30);
+    let hub = LoopbackHub::new();
+    let serve = spawn_coordinator(&hub, config);
+    let mut announces = Vec::new();
+
+    // Submit, then stay connected without ever sending another frame.
+    let mut control = hub.connect();
+    let id = submit_on(
+        &mut control,
+        NamedCampaign::new("late", named_campaign("tiny-theta").unwrap()),
+    )
+    .unwrap();
+    assert_eq!(id, 1);
+
+    // A scripted worker completes both campaigns.
+    let (mut conn, campaigns) = scripted_worker(&hub, 8);
+    assert_eq!(
+        campaigns.len(),
+        2,
+        "a post-submission handshake already carries the new campaign"
+    );
+    loop {
+        match request(&mut conn, u32::MAX, &mut announces) {
+            Reply::Assign(_, jobs) if jobs.is_empty() => continue,
+            Reply::Assign(campaign, jobs) => {
+                report_synthetic(&mut conn, campaign, &jobs, &mut announces)
+            }
+            Reply::Finished => break,
+            Reply::Abort(reason) => panic!("unexpected abort: {reason}"),
+        }
+    }
+
+    // Joins promptly (the test itself is the timeout: a regression here
+    // blocks for the 600 s default worker timeout).
+    let run = serve.join().unwrap().expect("run completes");
+    assert_eq!(run.campaigns.len(), 2);
+    // The idle control link was severed by the drain.
+    assert!(control.recv().is_err());
+}
+
+#[test]
+fn live_submission_merges_bit_identical_and_survives_kill_plus_resume() {
+    // The acceptance path, end to end and fully deterministic: a
+    // campaign submitted to a *running* coordinator is executed by real
+    // workers (over loopback), interrupted by worker death, resumed by
+    // a fresh coordinator from its digest-bound journal, and merges
+    // bit-identical to its serial run with zero recomputation of
+    // journaled cells.
+    let dir = temp_dir("submit-resume");
+    let journal = dir.join("run.journal");
+    let tiny = named_campaign("tiny").unwrap();
+    let theta = named_campaign("tiny-theta").unwrap();
+    let serial_tiny = tiny.run_serial().unwrap();
+    let serial_theta = theta.run_serial().unwrap();
+
+    // Phase 1: coordinator starts with only `tiny`; `tiny-theta`
+    // arrives by live submission. Workers are preempted (killed) after
+    // tiny cell budgets, so the run is left genuinely partial.
+    let mut config = CoordinatorConfig::with_campaigns(
+        "loopback",
+        vec![NamedCampaign::new("tiny", tiny.clone())],
+    );
+    config.journal = Some(journal.clone());
+    config.idle_timeout = Duration::from_secs(2);
+    let hub = LoopbackHub::new();
+    let serve = spawn_coordinator(&hub, config);
+
+    // Worker 1: executes exactly 2 cells of `tiny`, then vanishes —
+    // run inline, so the schedule is fully sequential.
+    let mut worker_config = WorkerConfig::new("loopback");
+    worker_config.max_cells = Some(2);
+    let summary = run_worker_on(hub.connect(), &worker_config).unwrap();
+    assert!(
+        !summary.finished,
+        "worker 1 must be preempted, not finished"
+    );
+    assert_eq!(summary.cells_executed, 2);
+
+    // Live submission while the coordinator is running.
+    let mut control = hub.connect();
+    let id = submit_on(
+        &mut control,
+        NamedCampaign::new("tiny-theta", theta.clone()),
+    )
+    .expect("submission accepted");
+    assert_eq!(id, 1);
+    drop(control);
+
+    // Worker 2: 3 more cells (FIFO: still `tiny`), then vanishes.
+    worker_config.max_cells = Some(3);
+    let summary = run_worker_on(hub.connect(), &worker_config).unwrap();
+    assert!(!summary.finished);
+    assert_eq!(summary.cells_executed, 3);
+
+    // Nobody is left: the coordinator checkpoints and gives up.
+    match serve.join().unwrap() {
+        Err(DistError::Incomplete { done, total, .. }) => {
+            assert_eq!(done, 5, "5 cells were executed before the kills");
+            assert_eq!(total, 6 + 4, "both campaigns count toward the total");
+        }
+        other => panic!("expected Incomplete, got {other:?}"),
+    }
+    // Both campaigns journaled — the submitted one exactly like the
+    // bind-time one.
+    assert!(campaign_journal_path(&journal, "tiny").exists());
+    assert!(campaign_journal_path(&journal, "tiny-theta").exists());
+
+    // Phase 2: resume. The submitted campaign is now simply queued at
+    // bind time — its journal is digest-bound, so it resumes no
+    // differently from how it was created.
+    let mut config = CoordinatorConfig::with_campaigns(
+        "loopback",
+        vec![
+            NamedCampaign::new("tiny", tiny),
+            NamedCampaign::new("tiny-theta", theta),
+        ],
+    );
+    config.journal = Some(journal.clone());
+    config.idle_timeout = Duration::from_secs(2);
+    let hub = LoopbackHub::new();
+    let serve = spawn_coordinator(&hub, config);
+    let healthy = std::thread::spawn({
+        let conn = hub.connect();
+        move || run_worker_on(conn, &WorkerConfig::new("loopback"))
+    });
+    let run = serve.join().unwrap().expect("resumed run completes");
+    let summary = healthy.join().unwrap().unwrap();
+    assert!(summary.finished);
+
+    assert_eq!(run.campaigns[0].resumed_cells, 5, "tiny resumes 5 cells");
+    assert_eq!(run.campaigns[0].computed_cells, 1);
+    assert_eq!(run.campaigns[1].resumed_cells, 0);
+    assert_eq!(run.campaigns[1].computed_cells, 4);
+    assert_eq!(
+        summary.cells_executed, 5,
+        "zero recomputation of journaled cells"
+    );
+    assert_bit_identical(&run.campaigns[0].result, &serial_tiny);
+    assert_bit_identical(&run.campaigns[1].result, &serial_theta);
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
