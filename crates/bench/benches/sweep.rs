@@ -7,7 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use neurofi_bench::perf::{bench_grid, bench_setup};
-use neurofi_core::sweep::{threshold_sweep, BaselineCache, Parallelism};
+use neurofi_core::sweep::{threshold_sweep_cached, BaselineCache, Parallelism};
 use neurofi_core::TargetLayer;
 use std::hint::black_box;
 
@@ -18,7 +18,16 @@ fn bench_sweep_engine(c: &mut Criterion) {
     group.sample_size(2);
     group.bench_function("serial", |b| {
         let s = setup.clone().with_parallelism(Parallelism::Serial);
-        b.iter(|| black_box(threshold_sweep(&s, Some(TargetLayer::Inhibitory), &config).unwrap()))
+        b.iter(|| {
+            black_box(
+                threshold_sweep_cached(
+                    &BaselineCache::new(&s),
+                    Some(TargetLayer::Inhibitory),
+                    &config,
+                )
+                .unwrap(),
+            )
+        })
     });
     for threads in [1usize, 2, 4, 8] {
         group.bench_function(&format!("{threads}_threads"), |b| {
@@ -26,7 +35,14 @@ fn bench_sweep_engine(c: &mut Criterion) {
                 .clone()
                 .with_parallelism(Parallelism::Threads(threads));
             b.iter(|| {
-                black_box(threshold_sweep(&s, Some(TargetLayer::Inhibitory), &config).unwrap())
+                black_box(
+                    threshold_sweep_cached(
+                        &BaselineCache::new(&s),
+                        Some(TargetLayer::Inhibitory),
+                        &config,
+                    )
+                    .unwrap(),
+                )
             })
         });
     }

@@ -3,24 +3,28 @@
 //! ```text
 //! repro all [--quick] [--out DIR]
 //! repro fig8b fig9a [--quick] [--out DIR]
+//! repro sweep --attack threshold-inhibitory --axis "rel_change=-20%,20%" ...
 //! repro bench [--out DIR]
-//! repro coordinate [--grid NAME]... [--workers N] [--journal PATH] [--fair]
+//! repro coordinate [--grid NAME]... [--spec FILE]... [--workers N] [--fair]
 //! repro work --connect HOST:PORT [--threads N]
-//! repro submit --grid NAME --to HOST:PORT [--weight W]
+//! repro submit (--grid NAME | --spec FILE | --attack ... --axis ...) --to HOST:PORT
 //! repro list
 //! ```
 //!
 //! Each experiment prints a markdown table (measured values next to the
 //! paper's reported numbers) and, with `--out`, writes a CSV per
-//! experiment. `bench` runs the performance suite (parallel sweep engine
-//! at 1/2/4/8 threads plus the SNN and SPICE kernels) and writes the
-//! machine-readable `BENCH_sweep.json`. `coordinate`/`work` shard sweep
-//! campaigns across workers over TCP with checkpoint/resume (see
-//! `neurofi-dist`); repeat `--grid` to queue several campaigns on one
-//! worker fleet, `submit` enqueues another grid on a *running*
-//! coordinator, and `--fair` interleaves campaigns by weighted
-//! round-robin instead of FIFO. Every merged result is bit-identical to
-//! a serial run regardless of scheduling.
+//! experiment. `sweep` runs an arbitrary declarative N-axis scenario
+//! (attack family × typed axes — see `repro sweep --help` for the
+//! grammar) locally through the same engine. `bench` runs the
+//! performance suite (parallel sweep engine at 1/2/4/8 threads plus the
+//! SNN and SPICE kernels) and writes the machine-readable
+//! `BENCH_sweep.json`. `coordinate`/`work` shard sweep campaigns across
+//! workers over TCP with checkpoint/resume (see `neurofi-dist`); repeat
+//! `--grid`/`--spec` to queue several campaigns on one worker fleet,
+//! `submit` enqueues another scenario — catalog preset or arbitrary
+//! custom grid — on a *running* coordinator, and `--fair` interleaves
+//! campaigns by weighted round-robin instead of FIFO. Every merged
+//! result is bit-identical to a serial run regardless of scheduling.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,12 +33,14 @@ use std::time::Instant;
 use neurofi_bench::{run_experiment, ExperimentId, Fidelity};
 
 fn usage() -> &'static str {
-    "usage: repro <all|list|bench|coordinate|work|submit|EXPERIMENT...> [--quick] [--out DIR]\n\
+    "usage: repro <all|list|bench|sweep|coordinate|work|submit|EXPERIMENT...> [--quick] [--out DIR]\n\
      experiments: fig3 fig4 fig5b fig5c fig6a fig6b fig6c fig7b fig8a fig8b \
      fig8c fig9a fig9b fig9c fig10c defenses overheads ext-glitch ext-weightfaults\n\
+     sweep: run a declarative N-axis scenario locally (see `repro sweep --help`)\n\
      bench: performance suite (sweep engine + kernels) -> BENCH_sweep.json\n\
      coordinate/work/submit: distributed sweep campaigns with live \
-     submission (see `repro coordinate --help`, `repro submit --help`)"
+     submission of arbitrary scenarios (see `repro coordinate --help`, \
+     `repro submit --help`)"
 }
 
 fn main() -> ExitCode {
@@ -44,8 +50,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    // The distributed subcommands own their argument lists entirely.
+    // The scenario and distributed subcommands own their argument
+    // lists entirely.
     match args[0].as_str() {
+        "sweep" => return neurofi_bench::scenario_cli::sweep_main(&args[1..]),
         "coordinate" => return neurofi_bench::orchestrate::coordinate_main(&args[1..]),
         "work" => return neurofi_bench::orchestrate::work_main(&args[1..]),
         "submit" => return neurofi_bench::orchestrate::submit_main(&args[1..]),

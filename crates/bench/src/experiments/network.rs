@@ -249,7 +249,7 @@ pub fn defenses(fidelity: Fidelity) -> Result<Table, Error> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use neurofi_core::sweep::threshold_sweep;
+    use neurofi_core::sweep::threshold_sweep_cached;
 
     // Full network sweeps are minutes-long; these tests exercise the
     // table plumbing at a deliberately tiny scale.
@@ -265,8 +265,8 @@ mod tests {
     #[test]
     fn sweep_tables_have_expected_shape() {
         let s = tiny(Fidelity::Quick);
-        let result = threshold_sweep(
-            &s,
+        let result = threshold_sweep_cached(
+            &BaselineCache::new(&s),
             Some(TargetLayer::Inhibitory),
             &SweepConfig {
                 rel_changes: vec![-0.2],

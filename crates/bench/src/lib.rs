@@ -38,6 +38,7 @@
 pub mod experiments;
 pub mod orchestrate;
 pub mod perf;
+pub mod scenario_cli;
 
 pub use experiments::{run_experiment, ExperimentId, Fidelity};
 pub use perf::{run_perf_suite, PerfReport};

@@ -20,12 +20,13 @@ use neurofi_dist::{
 
 fn coordinate_usage() -> String {
     format!(
-        "usage: repro coordinate [--grid NAME]... [--workers N] [--bind ADDR] \
-         [--journal PATH] [--fair] [--weight GRID=W]... [--verify-serial] \
-         [--idle-timeout SECS] [--worker-max-cells K] [--out DIR]\n\
+        "usage: repro coordinate [--grid NAME]... [--spec FILE]... [--workers N] \
+         [--bind ADDR] [--journal PATH] [--fair] [--weight GRID=W]... \
+         [--verify-serial] [--idle-timeout SECS] [--worker-max-cells K] [--out DIR]\n\
          grids: {} (repeat --grid to queue several campaigns on one \
-         coordinator/fleet; each keeps its own journal `PATH.<grid>`; more \
-         campaigns can be enqueued live with `repro submit`)\n\
+         coordinator/fleet; each keeps its own journal `PATH.<grid>`; --spec \
+         queues a custom scenario file in the axis grammar — see `repro sweep \
+         --help`; more campaigns can be enqueued live with `repro submit`)\n\
          --fair  weighted round-robin across campaigns instead of FIFO \
          (a campaign with --weight GRID=W gets W consecutive batches per \
          rotation; default weight 1)\n\
@@ -45,32 +46,61 @@ fn work_usage() -> &'static str {
 
 fn submit_usage() -> String {
     format!(
-        "usage: repro submit --grid NAME --to HOST:PORT [--weight W] [--name NAME]\n\
+        "usage: repro submit (--grid NAME | --spec FILE | --attack FAMILY --axis \
+         NAME=VALUES...) --to HOST:PORT [--seeds LIST] [--setup bench|quick|paper] \
+         [--setup-seed N] [--transfer paper|POINTS] [--weight W] [--name NAME]\n\
          grids: {}\n\
-         Enqueues the grid on a *running* coordinator (started with \
-         `repro coordinate`). The campaign is journaled and scheduled \
-         exactly like a bind-time campaign; --name overrides the queue \
-         name when the same grid should be queued twice under different \
-         names, --weight sets its --fair round-robin share.",
+         Enqueues the scenario on a *running* coordinator (started with \
+         `repro coordinate`) — a catalog preset, a spec file, or an inline \
+         axis grammar (arbitrary grids, not just catalog names; see \
+         `repro sweep --help` for the grammar). The campaign is journaled \
+         and scheduled exactly like a bind-time campaign; --name overrides \
+         the queue name, --weight sets its --fair round-robin share.",
         NAMED_CAMPAIGNS.join(" ")
     )
 }
 
-fn sweep_table(name: &str, sweep: &SweepResult) -> Table {
-    let mut table = Table::new(
-        format!(
-            "Distributed sweep `{name}` — attack {}",
-            sweep.kind.paper_id()
-        ),
-        &["value", "fraction", "accuracy", "vs baseline"],
-    );
-    for cell in &sweep.cells {
-        table.push_row(&[
-            format!("{:+.3}", cell.rel_change),
-            format!("{:.0}%", cell.fraction * 100.0),
-            format!("{:.1}%", cell.accuracy * 100.0),
-            format!("{:+.2}%", cell.relative_change_percent),
-        ]);
+/// One row per cell. Results that carry their resolved axes get one
+/// column per axis — a cross-product grid (e.g. threshold × vdd) would
+/// otherwise print indistinguishable duplicate `(value, fraction)`
+/// rows; hand-assembled results fall back to the legacy coordinate
+/// pair.
+pub(crate) fn sweep_table(name: &str, sweep: &SweepResult) -> Table {
+    let title = format!("Sweep `{name}` — attack {}", sweep.kind.paper_id());
+    if sweep.axes.is_empty() {
+        let mut table = Table::new(title, &["value", "fraction", "accuracy", "vs baseline"]);
+        for cell in &sweep.cells {
+            table.push_row(&[
+                format!("{:+.3}", cell.rel_change),
+                format!("{:.0}%", cell.fraction * 100.0),
+                format!("{:.1}%", cell.accuracy * 100.0),
+                format!("{:+.2}%", cell.relative_change_percent),
+            ]);
+        }
+        table.push_note(format!(
+            "baseline accuracy {:.2}%",
+            sweep.baseline_accuracy * 100.0
+        ));
+        return table;
+    }
+    let mut headers: Vec<String> = sweep.axes.iter().map(|a| a.kind.to_string()).collect();
+    headers.push("accuracy".into());
+    headers.push("vs baseline".into());
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(title, &header_refs);
+    for (flat, cell) in sweep.cells.iter().enumerate() {
+        let indices = sweep
+            .axis_indices(flat)
+            .expect("every assembled cell decomposes into axis indices");
+        let mut row: Vec<String> = sweep
+            .axes
+            .iter()
+            .zip(&indices)
+            .map(|(axis, &i)| axis.value_label(i).unwrap_or_default())
+            .collect();
+        row.push(format!("{:.1}%", cell.accuracy * 100.0));
+        row.push(format!("{:+.2}%", cell.relative_change_percent));
+        table.push_row(&row);
     }
     table.push_note(format!(
         "baseline accuracy {:.2}%",
@@ -110,14 +140,15 @@ pub fn diff_sweeps(serial: &SweepResult, merged: &SweepResult) -> Result<(), Str
     Ok(())
 }
 
-fn verify_against_serial(
-    campaign: &neurofi_dist::CampaignSpec,
-    merged: &SweepResult,
-) -> Result<(), String> {
-    let serial = campaign
+/// Re-runs a merged campaign serially and demands bit identity. Works
+/// for bind-time *and* live-submitted campaigns: the [`CampaignSweep`]
+/// carries the spec that produced it.
+fn verify_against_serial(sweep: &CampaignSweep) -> Result<(), String> {
+    let serial = sweep
+        .spec
         .run_serial()
         .map_err(|e| format!("serial reference run failed: {e}"))?;
-    diff_sweeps(&serial, merged)
+    diff_sweeps(&serial, &sweep.result)
 }
 
 fn report_sweep(
@@ -150,6 +181,7 @@ fn report_sweep(
 /// single coordinator/fleet, merge each, report.
 pub fn coordinate_main(args: &[String]) -> ExitCode {
     let mut grids: Vec<String> = Vec::new();
+    let mut spec_files: Vec<PathBuf> = Vec::new();
     let mut workers = 0usize;
     let mut workers_given = false;
     let mut bind: Option<String> = None;
@@ -171,6 +203,10 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
         match arg.as_str() {
             "--grid" => match take("--grid") {
                 Ok(v) => grids.push(v),
+                Err(e) => return usage_error(&e, &coordinate_usage()),
+            },
+            "--spec" => match take("--spec") {
+                Ok(v) => spec_files.push(PathBuf::from(v)),
                 Err(e) => return usage_error(&e, &coordinate_usage()),
             },
             "--workers" => match take("--workers").and_then(|v| {
@@ -228,11 +264,11 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
         // never launched; default to a self-contained two-worker cluster.
         workers = 2;
     }
-    if grids.is_empty() {
+    if grids.is_empty() && spec_files.is_empty() {
         grids.push("fig8-reduced".into());
     }
 
-    let mut campaigns: Vec<NamedCampaign> = Vec::with_capacity(grids.len());
+    let mut campaigns: Vec<NamedCampaign> = Vec::with_capacity(grids.len() + spec_files.len());
     for grid in &grids {
         let Some(spec) = named_campaign(grid) else {
             return usage_error(&format!("unknown grid `{grid}`"), &coordinate_usage());
@@ -240,11 +276,29 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
         if campaigns.iter().any(|c| &c.name == grid) {
             return usage_error(&format!("grid `{grid}` queued twice"), &coordinate_usage());
         }
-        let weight = weights
-            .iter()
-            .find(|(name, _)| name == grid)
-            .map_or(1, |&(_, w)| w);
-        campaigns.push(NamedCampaign::new(grid.clone(), spec).with_weight(weight));
+        campaigns.push(NamedCampaign::new(grid.clone(), spec));
+    }
+    for path in &spec_files {
+        let spec_arg = crate::scenario_cli::SpecArgs {
+            spec_file: Some(path.clone()),
+            ..Default::default()
+        };
+        let campaign = match spec_arg.build("spec") {
+            Ok(campaign) => campaign,
+            Err(e) => return usage_error(&e, &coordinate_usage()),
+        };
+        if campaigns.iter().any(|c| c.name == campaign.name) {
+            return usage_error(
+                &format!("campaign `{}` queued twice", campaign.name),
+                &coordinate_usage(),
+            );
+        }
+        campaigns.push(campaign);
+    }
+    for campaign in &mut campaigns {
+        if let Some(&(_, w)) = weights.iter().find(|(name, _)| name == &campaign.name) {
+            campaign.weight = w;
+        }
     }
     for (name, _) in &weights {
         if !campaigns.iter().any(|c| &c.name == name) {
@@ -255,11 +309,12 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
         }
     }
 
+    let names: Vec<&str> = campaigns.iter().map(|c| c.name.as_str()).collect();
     let total_cells: usize = campaigns.iter().map(|c| c.spec.plan().jobs.len()).sum();
     eprintln!(
         "coordinate: {} campaign(s) [{}] ({total_cells} cells), {} scheduling, {} local worker(s){}",
         campaigns.len(),
-        grids.join(", "),
+        names.join(", "),
         match policy {
             PolicyKind::Fifo => "fifo",
             PolicyKind::WeightedRoundRobin => "fair (weighted round-robin)",
@@ -338,22 +393,22 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
     }
     println!("_{} worker(s) served the fleet_\n", run.workers_seen);
     if verify_serial {
-        for (campaign, sweep) in campaigns.iter().zip(&run.campaigns) {
+        // Every merged campaign is verified — including ones submitted
+        // to the running coordinator after bind (the merge carries its
+        // spec).
+        for sweep in &run.campaigns {
             eprintln!(
                 "verify: re-running campaign `{}` serially for the golden comparison...",
-                campaign.name
+                sweep.name
             );
-            match verify_against_serial(&campaign.spec, &sweep.result) {
+            match verify_against_serial(sweep) {
                 Ok(()) => println!(
                     "_verify-serial `{}`: distributed merge is bit-identical to the \
                      serial engine_",
-                    campaign.name
+                    sweep.name
                 ),
                 Err(e) => {
-                    eprintln!(
-                        "coordinate FAILED verification for `{}`: {e}",
-                        campaign.name
-                    );
+                    eprintln!("coordinate FAILED verification for `{}`: {e}", sweep.name);
                     return ExitCode::FAILURE;
                 }
             }
@@ -469,11 +524,12 @@ fn parse_weight(value: &str) -> Result<(String, u32), String> {
     Ok((name.to_string(), weight))
 }
 
-/// `repro submit ...`: enqueue a named grid on a running coordinator.
+/// `repro submit ...`: enqueue a scenario — catalog preset, spec file,
+/// or inline axis grammar — on a running coordinator.
 pub fn submit_main(args: &[String]) -> ExitCode {
-    let mut grid: Option<String> = None;
+    let mut spec_args = crate::scenario_cli::SpecArgs::default();
     let mut to: Option<String> = None;
-    let mut weight = 1u32;
+    let mut weight: Option<u32> = None;
     let mut queue_name: Option<String> = None;
 
     let mut iter = args.iter();
@@ -484,10 +540,6 @@ pub fn submit_main(args: &[String]) -> ExitCode {
                 .ok_or_else(|| format!("{flag} needs a value"))
         };
         match arg.as_str() {
-            "--grid" => match take("--grid") {
-                Ok(v) => grid = Some(v),
-                Err(e) => return usage_error(&e, &submit_usage()),
-            },
             "--to" => match take("--to") {
                 Ok(v) => to = Some(v),
                 Err(e) => return usage_error(&e, &submit_usage()),
@@ -495,7 +547,7 @@ pub fn submit_main(args: &[String]) -> ExitCode {
             "--weight" => match take("--weight")
                 .and_then(|v| v.parse::<u32>().map_err(|_| format!("bad weight `{v}`")))
             {
-                Ok(v) if v >= 1 => weight = v,
+                Ok(v) if v >= 1 => weight = Some(v),
                 Ok(_) => return usage_error("--weight must be >= 1", &submit_usage()),
                 Err(e) => return usage_error(&e, &submit_usage()),
             },
@@ -507,23 +559,34 @@ pub fn submit_main(args: &[String]) -> ExitCode {
                 println!("{}", submit_usage());
                 return ExitCode::SUCCESS;
             }
-            other => return usage_error(&format!("unknown argument `{other}`"), &submit_usage()),
+            other => match spec_args.take_arg(other, || take(other)) {
+                Ok(true) => {}
+                Ok(false) => {
+                    return usage_error(&format!("unknown argument `{other}`"), &submit_usage())
+                }
+                Err(e) => return usage_error(&e, &submit_usage()),
+            },
         }
     }
-    let Some(grid) = grid else {
-        return usage_error("--grid is required", &submit_usage());
-    };
     let Some(to) = to else {
         return usage_error("--to is required", &submit_usage());
     };
-    let Some(spec) = named_campaign(&grid) else {
-        return usage_error(&format!("unknown grid `{grid}`"), &submit_usage());
+    let mut campaign = match spec_args.build("submitted") {
+        Ok(campaign) => campaign,
+        Err(e) => return usage_error(&e, &submit_usage()),
     };
-    let campaign =
-        NamedCampaign::new(queue_name.unwrap_or_else(|| grid.clone()), spec).with_weight(weight);
+    if let Some(name) = queue_name {
+        campaign.name = name;
+    }
+    if let Some(weight) = weight {
+        campaign.weight = weight;
+    }
     let name = campaign.name.clone();
-    let cells = campaign.spec.plan().jobs.len();
-    eprintln!("submit: enqueueing `{name}` ({cells} cells, weight {weight}) on {to}...");
+    eprintln!(
+        "submit: enqueueing {} (weight {}) on {to}...",
+        crate::scenario_cli::describe_campaign(&campaign),
+        campaign.weight
+    );
     match submit_campaign(&to, campaign) {
         Ok(id) => {
             println!("submitted campaign `{name}` as id {id}");
@@ -560,6 +623,7 @@ mod tests {
                     relative_change_percent: (accuracy - baseline) / baseline * 100.0,
                 })
                 .collect(),
+            axes: Vec::new(),
         }
     }
 

@@ -12,7 +12,8 @@
 use std::time::Instant;
 
 use neurofi_core::attacks::ExperimentSetup;
-use neurofi_core::sweep::{threshold_sweep, Parallelism, SweepConfig};
+use neurofi_core::scenario::ScenarioSpec;
+use neurofi_core::sweep::{threshold_sweep_cached, BaselineCache, Parallelism, SweepConfig};
 use neurofi_core::TargetLayer;
 use neurofi_data::SynthDigits;
 use neurofi_snn::diehl_cook::{DiehlCook2015, DiehlCookConfig};
@@ -28,6 +29,69 @@ pub struct SweepTiming {
     pub seconds: f64,
     /// Serial wall-clock divided by this configuration's wall-clock.
     pub speedup_vs_serial: f64,
+}
+
+/// The resolved scenario a sweep measurement ran: the attack family
+/// and every axis with its values, so benchmark rows are attributable
+/// to the exact grid that produced them (schema v3).
+#[derive(Debug, Clone)]
+pub struct ScenarioMeta {
+    /// Attack-family name (e.g. `threshold-inhibitory`).
+    pub attack: String,
+    /// `(axis name, value tokens)` pairs, in sweep order. Tokens are
+    /// the grammar's lossless labels, already JSON-ready: reals and
+    /// seeds as bare literals, layers as quoted strings.
+    pub axes: Vec<(String, Vec<String>)>,
+    /// Seeds each cell averaged over.
+    pub seeds: Vec<u64>,
+}
+
+impl ScenarioMeta {
+    /// Captures the resolved axes of a scenario spec, losslessly: real
+    /// values in shortest round-trippable form, seeds as full 64-bit
+    /// integers, layers by name.
+    pub fn capture(spec: &ScenarioSpec) -> ScenarioMeta {
+        use neurofi_core::scenario::AxisValues;
+        ScenarioMeta {
+            attack: spec.family.name().to_string(),
+            axes: spec
+                .axes
+                .iter()
+                .map(|axis| {
+                    let quoted = matches!(axis.values, AxisValues::Layer(_));
+                    let values = (0..axis.values.len())
+                        .map(|i| {
+                            let label = axis.value_label(i).expect("index is in range");
+                            if quoted {
+                                format!("\"{label}\"")
+                            } else {
+                                label
+                            }
+                        })
+                        .collect();
+                    (axis.kind.name().to_string(), values)
+                })
+                .collect(),
+            seeds: spec.baseline_seeds().to_vec(),
+        }
+    }
+
+    fn to_json(&self, out: &mut String) {
+        out.push_str("  \"sweep_scenario\": {\n");
+        out.push_str(&format!("    \"attack\": \"{}\",\n", self.attack));
+        out.push_str("    \"axes\": [\n");
+        for (i, (name, values)) in self.axes.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"name\": \"{name}\", \"values\": [{}]}}{}\n",
+                values.join(", "),
+                if i + 1 < self.axes.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("    ],\n");
+        let seeds: Vec<String> = self.seeds.iter().map(|s| s.to_string()).collect();
+        out.push_str(&format!("    \"seeds\": [{}]\n", seeds.join(", ")));
+        out.push_str("  },\n");
+    }
 }
 
 /// The full performance report emitted as `BENCH_sweep.json`.
@@ -48,6 +112,9 @@ pub struct PerfReport {
     pub git_rev: Option<String>,
     /// Number of cells in the measured grid.
     pub grid_cells: usize,
+    /// The resolved scenario (attack family, axes, seeds) the sweep
+    /// timings measured.
+    pub sweep_scenario: ScenarioMeta,
     /// Serial-path wall-clock seconds for the grid.
     pub sweep_serial_seconds: f64,
     /// Parallel-path timings at 1, 2, 4, 8 threads.
@@ -80,6 +147,7 @@ impl PerfReport {
             }
         ));
         out.push_str(&format!("  \"grid_cells\": {},\n", self.grid_cells));
+        self.sweep_scenario.to_json(&mut out);
         out.push_str(&format!(
             "  \"sweep_serial_seconds\": {:.6},\n",
             self.sweep_serial_seconds
@@ -114,7 +182,10 @@ impl PerfReport {
 }
 
 /// The current [`PerfReport`] schema version.
-pub const PERF_SCHEMA_VERSION: u32 = 2;
+///
+/// v3 added `sweep_scenario` — the resolved attack family, axes, and
+/// seeds of the measured grid.
+pub const PERF_SCHEMA_VERSION: u32 = 3;
 
 /// The sweep-pool width this runner is configured for:
 /// `NEUROFI_BENCH_WORKERS` when set to a positive integer, otherwise
@@ -168,8 +239,14 @@ pub fn bench_grid() -> SweepConfig {
 fn time_sweep(setup: &ExperimentSetup, config: &SweepConfig, parallelism: Parallelism) -> f64 {
     let setup = setup.clone().with_parallelism(parallelism);
     let start = Instant::now();
-    let result = threshold_sweep(&setup, Some(TargetLayer::Inhibitory), config)
-        .expect("bench sweep cannot fail");
+    // A fresh cache per measurement: the timing covers baselines plus
+    // cells, exactly as it always has.
+    let result = threshold_sweep_cached(
+        &BaselineCache::new(&setup),
+        Some(TargetLayer::Inhibitory),
+        config,
+    )
+    .expect("bench sweep cannot fail");
     assert_eq!(
         result.cells.len(),
         config.rel_changes.len() * config.fractions.len()
@@ -260,6 +337,10 @@ pub fn run_perf_suite() -> PerfReport {
         worker_count: configured_worker_count(),
         git_rev: current_git_rev(),
         grid_cells: config.rel_changes.len() * config.fractions.len(),
+        sweep_scenario: ScenarioMeta::capture(&ScenarioSpec::threshold(
+            Some(TargetLayer::Inhibitory),
+            &config,
+        )),
         sweep_serial_seconds,
         sweep_parallel,
         diehl_cook_step_ns,
@@ -272,6 +353,17 @@ pub fn run_perf_suite() -> PerfReport {
 mod tests {
     use super::*;
 
+    fn test_scenario_meta() -> ScenarioMeta {
+        ScenarioMeta {
+            attack: "threshold-inhibitory".into(),
+            axes: vec![
+                ("rel_change".into(), vec!["-0.2".into(), "0.2".into()]),
+                ("fraction".into(), vec!["0".into(), "1".into()]),
+            ],
+            seeds: vec![42],
+        }
+    }
+
     #[test]
     fn json_report_is_well_formed() {
         let report = PerfReport {
@@ -280,6 +372,7 @@ mod tests {
             worker_count: 4,
             git_rev: Some("0123456789ab".into()),
             grid_cells: 24,
+            sweep_scenario: test_scenario_meta(),
             sweep_serial_seconds: 10.0,
             sweep_parallel: vec![
                 SweepTiming {
@@ -299,9 +392,14 @@ mod tests {
         };
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("\"worker_count\": 4"));
         assert!(json.contains("\"git_rev\": \"0123456789ab\""));
+        // The grid is attributable: attack family, axes, seeds.
+        assert!(json.contains("\"attack\": \"threshold-inhibitory\""));
+        assert!(json.contains("{\"name\": \"rel_change\", \"values\": [-0.2, 0.2]},"));
+        assert!(json.contains("{\"name\": \"fraction\", \"values\": [0, 1]}"));
+        assert!(json.contains("\"seeds\": [42]"));
         assert!(json.contains("\"sweep_parallel\": ["));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"speedup_vs_serial\": 3.850"));
@@ -332,6 +430,7 @@ mod tests {
             worker_count: 1,
             git_rev: None,
             grid_cells: 4,
+            sweep_scenario: test_scenario_meta(),
             sweep_serial_seconds: 1.0,
             sweep_parallel: vec![],
             diehl_cook_step_ns: 1.0,

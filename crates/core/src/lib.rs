@@ -12,13 +12,20 @@
 //! * [`attacks`] — runnable implementations of Attacks 1–5 producing
 //!   baseline-vs-attacked accuracy outcomes (the data behind Figs. 7b,
 //!   8a–c, 9a).
-//! * [`sweep`] — the parallel grid-sweep engine (threshold change × layer
-//!   fraction × seeds) that regenerates the paper's accuracy surfaces on a
-//!   work-stealing pool with memoised per-seed baselines
-//!   ([`BaselineCache`]); serial and parallel runs are bit-identical. The
-//!   engine is staged (enumerate → execute → assemble) so external
-//!   schedulers like the `neurofi-dist` coordinator can run the same
-//!   [`CellJob`]s on other machines.
+//! * [`scenario`] — declarative N-axis scenario specifications
+//!   ([`ScenarioSpec`]): an attack family plus an ordered list of typed
+//!   axes (`rel_change`, `fraction`, `theta_change`, `vdd`, `layer`,
+//!   `polarity`, `seed`), with a textual grammar, that one generic
+//!   planner flattens into the sweep pipeline — the paper's grids and
+//!   arbitrary cross products (e.g. threshold × VDD) alike.
+//! * [`sweep`] — the parallel grid-sweep engine that regenerates the
+//!   paper's accuracy surfaces on a work-stealing pool with memoised
+//!   per-seed baselines ([`BaselineCache`]); serial and parallel runs
+//!   are bit-identical. The engine is staged (enumerate → execute →
+//!   assemble) so external schedulers like the `neurofi-dist`
+//!   coordinator can run the same [`CellJob`]s on other machines, and
+//!   results are addressed by axis indices
+//!   ([`sweep::SweepResult::cell_at`]).
 //! * [`defense`] — the §V defenses (robust driver, bandgap threshold,
 //!   neuron sizing, comparator first stage) as transfer-function
 //!   hardenings, with overhead accounting.
@@ -53,6 +60,7 @@ pub mod error;
 pub mod extensions;
 pub mod injection;
 pub mod report;
+pub mod scenario;
 pub mod sweep;
 pub mod threat;
 
@@ -63,6 +71,7 @@ pub use error::Error;
 pub use injection::{FaultPlan, Selection, TargetLayer, ThresholdConvention};
 pub use neurofi_analog::PowerTransferTable;
 pub use report::Table;
+pub use scenario::{AttackFamily, Axis, AxisKind, AxisValues, LayerSel, ScenarioSpec};
 pub use sweep::{
     BaselineCache, CellAttack, CellJob, CellResult, Parallelism, SweepCell, SweepConfig, SweepPlan,
     SweepResult,

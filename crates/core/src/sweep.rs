@@ -1,22 +1,21 @@
 //! Grid-sweep engine regenerating the paper's accuracy surfaces
-//! (Figs. 7b, 8a, 8b, 8c, 9a).
+//! (Figs. 7b, 8a, 8b, 8c, 9a) — and any N-axis scenario beyond them.
 //!
-//! The paper's surfaces are embarrassingly parallel grids — every cell
-//! replays a full train-and-evaluate experiment — so the engine flattens
-//! each grid into independent cell jobs and runs them on a zero-dependency
-//! work-stealing pool ([`std::thread::scope`] workers pulling indices from
-//! an atomic cursor). Three properties make the parallel path safe:
+//! Every sweep is an embarrassingly parallel grid: each cell replays a
+//! full train-and-evaluate experiment, so the engine flattens a grid
+//! into independent cell jobs and runs them on a zero-dependency
+//! work-stealing pool ([`std::thread::scope`] workers pulling indices
+//! from an atomic cursor). Three properties make the parallel path safe:
 //!
 //! * **Per-cell deterministic seeding** — every cell derives its
-//!   experiments purely from `(setup, seed, cell coordinates)`, never from
+//!   experiments purely from `(setup, seed, cell parameters)`, never from
 //!   execution order.
 //! * **Slot writes** — each job writes only its own result slot, so the
 //!   assembled [`SweepResult`] is bit-identical to a serial run regardless
 //!   of scheduling.
 //! * **Memoised baselines** — the per-seed fault-free baseline is computed
 //!   once in a [`BaselineCache`] and shared across every cell and every
-//!   attack kind, instead of being re-run per sweep as the serial engine
-//!   used to.
+//!   attack kind.
 //!
 //! The degree of parallelism is a property of the experiment
 //! ([`ExperimentSetup::parallelism`], a [`Parallelism`] knob), defaulting
@@ -28,15 +27,28 @@
 //! schedulers other than the in-process pool (notably the distributed
 //! coordinator in `neurofi-dist`) can drive the same cells:
 //!
-//! 1. **Enumerate** — [`plan_threshold_sweep`] / [`plan_theta_sweep`] /
-//!    [`plan_vdd_sweep`] flatten a grid into a [`SweepPlan`] of
-//!    index-addressed [`CellJob`]s.
+//! 1. **Enumerate** — a declarative
+//!    [`ScenarioSpec`](crate::scenario::ScenarioSpec) (an attack family
+//!    plus an ordered list of typed axes — `rel_change`, `fraction`,
+//!    `theta_change`, `vdd`, `layer`, `polarity`, `seed`) is flattened
+//!    by **one generic planner** ([`ScenarioSpec::plan`]) into a
+//!    [`SweepPlan`] of index-addressed [`CellJob`]s, row-major over the
+//!    axes. The paper's three grids are thin wrappers
+//!    ([`plan_threshold_sweep`] / [`plan_theta_sweep`] /
+//!    [`plan_vdd_sweep`]) that build the corresponding spec; custom
+//!    cross products (e.g. threshold × VDD) go through the same planner
+//!    with no engine changes.
 //! 2. **Execute** — [`execute_cell`] runs one [`CellJob`] against a
 //!    [`BaselineCache`] and returns a [`CellResult`]; cells are
-//!    independent and may run anywhere, in any order.
+//!    independent and may run anywhere, in any order. A job's
+//!    [`CellAttack`] is a *resolved composite*: its threshold, theta,
+//!    and VDD components stack into one
+//!    [`FaultPlan`](crate::injection::FaultPlan).
 //! 3. **Assemble** — [`assemble_sweep`] writes each [`CellResult`] into
 //!    its own slot and produces the final [`SweepResult`], rejecting
-//!    missing, duplicate, or out-of-range cells.
+//!    missing, duplicate, or out-of-range cells. The result carries the
+//!    plan's resolved axes, so cells are addressed by **axis indices**
+//!    ([`SweepResult::cell_at`]) — not by float comparisons.
 //!
 //! Because a cell's value is a pure function of `(setup, job)` and
 //! assembly is slot-addressed, any schedule — serial, threaded, or
@@ -48,12 +60,12 @@ use std::sync::Mutex;
 
 use neurofi_analog::PowerTransferTable;
 
-use crate::attacks::{
-    Attack, ExperimentSetup, GlobalVddAttack, InputCorruptionAttack, RunMeasurement,
-    ThresholdAttack,
-};
+use crate::attacks::{Attack, ExperimentSetup, RunMeasurement};
 use crate::error::Error;
-use crate::injection::TargetLayer;
+use crate::injection::{
+    DriveFault, FaultPlan, Selection, TargetLayer, ThresholdConvention, ThresholdFault,
+};
+use crate::scenario::{AttackFamily, Axis, ScenarioSpec};
 use crate::threat::AttackKind;
 
 /// Degree of parallelism for sweep execution.
@@ -210,7 +222,9 @@ impl BaselineCache {
     }
 }
 
-/// Sweep parameters for the threshold attacks.
+/// Sweep parameters for the threshold attacks — the legacy grid form,
+/// kept as the input of the [`plan_threshold_sweep`] wrapper and the
+/// [`ScenarioSpec::threshold`] preset builder.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepConfig {
     /// Relative threshold changes (the paper sweeps ±10%, ±20%).
@@ -244,9 +258,12 @@ impl SweepConfig {
 /// One measured sweep cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepCell {
-    /// Relative threshold change of the cell.
+    /// The primary swept value of the cell: the threshold change for
+    /// threshold families, the theta change for theta, the supply
+    /// voltage for VDD.
     pub rel_change: f64,
-    /// Affected layer fraction of the cell.
+    /// Affected layer fraction of the cell (1.0 for non-threshold
+    /// families, as the figures pin it).
     pub fraction: f64,
     /// Mean attacked accuracy over seeds.
     pub accuracy: f64,
@@ -261,8 +278,12 @@ pub struct SweepResult {
     pub kind: AttackKind,
     /// Mean baseline accuracy over seeds.
     pub baseline_accuracy: f64,
-    /// All measured cells, in `rel_changes × fractions` order.
+    /// All measured cells, row-major over [`SweepResult::axes`].
     pub cells: Vec<SweepCell>,
+    /// The resolved axes of the scenario that produced the result
+    /// (empty for hand-assembled results). Cells are addressed by axis
+    /// indices through [`SweepResult::cell_at`].
+    pub axes: Vec<Axis>,
 }
 
 impl SweepResult {
@@ -281,10 +302,56 @@ impl SweepResult {
             .or_else(|| self.cells.first())
     }
 
-    /// Looks up a cell by its coordinates.
+    /// The per-axis point counts (empty for hand-assembled results).
+    pub fn shape(&self) -> Vec<usize> {
+        self.axes.iter().map(|a| a.values.len()).collect()
+    }
+
+    /// The axis indices of the cell at `flat` (the inverse of
+    /// [`SweepResult::cell_at`]'s row-major flattening). `None` for
+    /// out-of-range slots or results without axes.
+    pub fn axis_indices(&self, flat: usize) -> Option<Vec<usize>> {
+        if self.axes.is_empty() || flat >= self.cells.len() {
+            return None;
+        }
+        let mut indices = vec![0usize; self.axes.len()];
+        let mut rest = flat;
+        for (slot, axis) in indices.iter_mut().zip(&self.axes).rev() {
+            let len = axis.values.len().max(1);
+            *slot = rest % len;
+            rest /= len;
+        }
+        Some(indices)
+    }
+
+    /// Addresses a cell by its axis indices (row-major, one index per
+    /// axis) — the epsilon-free lookup. Returns `None` for shape
+    /// mismatches, out-of-range indices, or results without axes.
+    pub fn cell_at(&self, indices: &[usize]) -> Option<&SweepCell> {
+        if self.axes.is_empty() || indices.len() != self.axes.len() {
+            return None;
+        }
+        let mut flat = 0usize;
+        for (axis, &i) in self.axes.iter().zip(indices) {
+            if i >= axis.values.len() {
+                return None;
+            }
+            flat = flat * axis.values.len() + i;
+        }
+        self.cells.get(flat)
+    }
+
+    /// Looks up a cell by its `(primary value, fraction)` coordinates
+    /// with **bit-exact** matching — coordinates are axis values copied
+    /// verbatim into the cells, so recomputing the same expression (even
+    /// a float artefact like `0.1 + 0.2`) finds its cell, and two axis
+    /// points closer than any epsilon stay distinguishable. Use
+    /// [`SweepResult::cell_at`] to address cells by axis indices
+    /// instead.
     pub fn cell(&self, rel_change: f64, fraction: f64) -> Option<&SweepCell> {
         self.cells.iter().find(|c| {
-            (c.rel_change - rel_change).abs() < 1e-9 && (c.fraction - fraction).abs() < 1e-9
+            c.rel_change.to_bits() == rel_change.to_bits()
+                && c.fraction.to_bits() == fraction.to_bits()
         })
     }
 }
@@ -293,47 +360,81 @@ fn mean(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len().max(1) as f64
 }
 
-/// The attack one [`CellJob`] runs — a serializable, self-contained
-/// description (no closures, no tables) so jobs can cross process and
-/// machine boundaries.
+/// The attack one [`CellJob`] runs: the family plus the **resolved
+/// composite parameters** of every scenario axis — a serialisable,
+/// self-contained description (no closures, no tables) so jobs can
+/// cross process and machine boundaries.
+///
+/// The components stack into one [`FaultPlan`]: the optional VDD
+/// component contributes the transfer-table faults, the optional theta
+/// component scales the drive on top, and the optional threshold
+/// component overrides the targeted layer fraction last. Pure
+/// single-family cells reduce exactly to the paper's five attacks.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub enum CellAttack {
-    /// Attacks 2–4: threshold manipulation (`layer = None` is Attack 4,
-    /// both layers at 100%).
-    Threshold {
-        /// Target layer; `None` attacks both layers.
-        layer: Option<TargetLayer>,
-        /// Relative threshold change.
-        rel_change: f64,
-        /// Affected layer fraction.
-        fraction: f64,
-    },
-    /// Attack 1: input-drive (theta) corruption.
-    Theta {
-        /// Relative change of the per-spike membrane voltage.
-        theta_change: f64,
-    },
-    /// Attack 5: global VDD manipulation (the executor supplies the
-    /// VDD → parameter transfer table).
-    Vdd {
-        /// The manipulated supply voltage.
-        vdd: f64,
-    },
+pub struct CellAttack {
+    /// The scenario's attack family, with the threshold layer selection
+    /// resolved per cell (a `layer` axis overrides the family default).
+    pub family: AttackFamily,
+    /// Threshold component: relative threshold change, if any.
+    pub rel_change: Option<f64>,
+    /// Threshold component: affected layer fraction (1.0 unless a
+    /// `fraction` axis set it).
+    pub fraction: f64,
+    /// Drive component: relative theta change, if any.
+    pub theta_change: Option<f64>,
+    /// Global supply component: the manipulated VDD, if any (the
+    /// executor supplies the VDD → parameter transfer table).
+    pub vdd: Option<f64>,
+    /// Per-cell seed override (set by a `seed` axis); `None` averages
+    /// over the plan's seed list.
+    pub seed: Option<u64>,
 }
 
 impl CellAttack {
-    /// The `(rel_change, fraction)` coordinates this attack occupies in a
-    /// [`SweepResult`] (theta and VDD sweeps carry their swept value in
-    /// `rel_change` and pin `fraction` to 1.0, as the figures do).
+    /// A pure threshold cell (Attacks 2–4; `layer = None` is Attack 4).
+    pub fn threshold(layer: Option<TargetLayer>, rel_change: f64, fraction: f64) -> CellAttack {
+        CellAttack {
+            family: AttackFamily::Threshold(crate::scenario::LayerSel::from_target(layer)),
+            rel_change: Some(rel_change),
+            fraction,
+            theta_change: None,
+            vdd: None,
+            seed: None,
+        }
+    }
+
+    /// A pure theta cell (Attack 1).
+    pub fn theta(theta_change: f64) -> CellAttack {
+        CellAttack {
+            family: AttackFamily::Theta,
+            rel_change: None,
+            fraction: 1.0,
+            theta_change: Some(theta_change),
+            vdd: None,
+            seed: None,
+        }
+    }
+
+    /// A pure VDD cell (Attack 5).
+    pub fn vdd(vdd: f64) -> CellAttack {
+        CellAttack {
+            family: AttackFamily::Vdd,
+            rel_change: None,
+            fraction: 1.0,
+            theta_change: None,
+            vdd: Some(vdd),
+            seed: None,
+        }
+    }
+
+    /// The `(primary value, fraction)` coordinates this attack's cell
+    /// reports: the family's primary change plus the threshold fraction
+    /// (non-threshold families pin 1.0, as the figures do).
     pub fn coordinates(&self) -> (f64, f64) {
-        match *self {
-            CellAttack::Threshold {
-                rel_change,
-                fraction,
-                ..
-            } => (rel_change, fraction),
-            CellAttack::Theta { theta_change } => (theta_change, 1.0),
-            CellAttack::Vdd { vdd } => (vdd, 1.0),
+        match self.family {
+            AttackFamily::Threshold(_) => (self.rel_change.unwrap_or(0.0), self.fraction),
+            AttackFamily::Theta => (self.theta_change.unwrap_or(0.0), 1.0),
+            AttackFamily::Vdd => (self.vdd.unwrap_or(0.0), 1.0),
         }
     }
 }
@@ -359,78 +460,47 @@ pub struct CellResult {
 }
 
 /// The enumerated form of one sweep: every cell of the grid as an
-/// independent, index-addressed [`CellJob`].
+/// independent, index-addressed [`CellJob`], plus the resolved axes the
+/// slots are row-major over.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepPlan {
     /// Which attack family the plan sweeps.
     pub kind: AttackKind,
-    /// Seeds every cell averages over.
+    /// Seeds every cell averages over (a `seed` axis lists its values
+    /// here so baselines are primed, while each cell carries its own
+    /// override).
     pub seeds: Vec<u64>,
+    /// The resolved scenario axes (slot order is row-major over them).
+    pub axes: Vec<Axis>,
     /// The cells, in result-slot order (`jobs[i].index == i`).
     pub jobs: Vec<CellJob>,
 }
 
 /// Stage 1 (enumerate): flattens a threshold-attack grid into a
-/// [`SweepPlan`]. `layer = None` plans Attack 4, keeping only the 100%
-/// fraction as the paper defines it.
+/// [`SweepPlan`] — a thin wrapper building the corresponding
+/// [`ScenarioSpec`]. `layer = None` plans Attack 4, keeping only the
+/// 100% fraction as the paper defines it.
 pub fn plan_threshold_sweep(layer: Option<TargetLayer>, config: &SweepConfig) -> SweepPlan {
-    let kind = match layer {
-        Some(TargetLayer::Excitatory) => AttackKind::ExcitatoryThreshold,
-        Some(TargetLayer::Inhibitory) => AttackKind::InhibitoryThreshold,
-        None => AttackKind::BothLayerThreshold,
-    };
-    let jobs = config
-        .rel_changes
-        .iter()
-        .flat_map(|&rel| config.fractions.iter().map(move |&f| (rel, f)))
-        .filter(|&(_, f)| layer.is_some() || (f - 1.0).abs() <= 1e-9)
-        .enumerate()
-        .map(|(index, (rel_change, fraction))| CellJob {
-            index,
-            attack: CellAttack::Threshold {
-                layer,
-                rel_change,
-                fraction,
-            },
-        })
-        .collect();
-    SweepPlan {
-        kind,
-        seeds: config.seeds.clone(),
-        jobs,
-    }
+    ScenarioSpec::threshold(layer, config).plan()
 }
 
-/// Stage 1 (enumerate): one [`CellJob`] per theta change (Fig. 7b).
+/// Stage 1 (enumerate): one [`CellJob`] per theta change (Fig. 7b) — a
+/// thin wrapper over the scenario planner.
 pub fn plan_theta_sweep(theta_changes: &[f64], seeds: &[u64]) -> SweepPlan {
-    SweepPlan {
-        kind: AttackKind::InputSpikeCorruption,
-        seeds: seeds.to_vec(),
-        jobs: theta_changes
-            .iter()
-            .enumerate()
-            .map(|(index, &theta_change)| CellJob {
-                index,
-                attack: CellAttack::Theta { theta_change },
-            })
-            .collect(),
-    }
+    ScenarioSpec::theta(theta_changes, seeds).plan()
 }
 
-/// Stage 1 (enumerate): one [`CellJob`] per supply voltage (Fig. 9a).
+/// Stage 1 (enumerate): one [`CellJob`] per supply voltage (Fig. 9a) —
+/// a thin wrapper over the scenario planner. The transfer table is an
+/// execution concern ([`execute_cell`]), not a planning one.
 pub fn plan_vdd_sweep(vdds: &[f64], seeds: &[u64]) -> SweepPlan {
-    SweepPlan {
-        kind: AttackKind::GlobalVdd,
+    ScenarioSpec {
+        family: AttackFamily::Vdd,
+        axes: vec![Axis::real(crate::scenario::AxisKind::Vdd, vdds.to_vec())],
         seeds: seeds.to_vec(),
-        jobs: vdds
-            .iter()
-            .enumerate()
-            .map(|(index, &vdd)| CellJob {
-                index,
-                attack: CellAttack::Vdd { vdd },
-            })
-            .collect(),
+        transfer: None,
     }
+    .plan()
 }
 
 /// Primes `cache` for `seeds` and returns the mean baseline accuracy —
@@ -484,17 +554,127 @@ fn measure_cell<A: Attack>(
     ))
 }
 
+/// A resolved composite attack: the [`FaultPlan`] a cell's components
+/// stacked into, runnable through the standard [`Attack`] protocol.
+struct ComposedAttack {
+    kind: AttackKind,
+    plan: FaultPlan,
+}
+
+impl Attack for ComposedAttack {
+    fn kind(&self) -> AttackKind {
+        self.kind
+    }
+
+    fn fault_plan(&self) -> FaultPlan {
+        self.plan.clone()
+    }
+}
+
+/// Validates one wire-crossing [`CellAttack`] and stacks its components
+/// into a [`FaultPlan`]. Component order is fixed (VDD table faults,
+/// then the theta drive scale on top, then the threshold override), so
+/// every executor derives the identical plan.
+fn compose_fault_plan(
+    attack: &CellAttack,
+    transfer: Option<&PowerTransferTable>,
+    index: usize,
+) -> Result<FaultPlan, Error> {
+    // Family ↔ component consistency: jobs may arrive over a wire, so
+    // impossible combinations are rejected instead of panicking.
+    match attack.family {
+        AttackFamily::Threshold(_) if attack.rel_change.is_none() => {
+            return Err(Error::Invalid(format!(
+                "threshold cell {index} has no rel_change component"
+            )))
+        }
+        AttackFamily::Theta if attack.theta_change.is_none() => {
+            return Err(Error::Invalid(format!(
+                "theta cell {index} has no theta_change component"
+            )))
+        }
+        AttackFamily::Vdd if attack.vdd.is_none() => {
+            return Err(Error::Invalid(format!(
+                "vdd cell {index} has no vdd component"
+            )))
+        }
+        _ => {}
+    }
+    if attack.rel_change.is_some() && !matches!(attack.family, AttackFamily::Threshold(_)) {
+        return Err(Error::Invalid(format!(
+            "cell {index} has a threshold component but family `{}` names no layer",
+            attack.family
+        )));
+    }
+
+    let mut plan = match attack.vdd {
+        Some(vdd) => {
+            if !(vdd.is_finite() && vdd > 0.0) {
+                return Err(Error::Invalid(format!(
+                    "vdd cell {index} has non-positive supply {vdd}"
+                )));
+            }
+            let transfer = transfer.ok_or_else(|| {
+                Error::Invalid(format!("vdd cell {index} needs a power-transfer table"))
+            })?;
+            FaultPlan::from_vdd(vdd, transfer)
+        }
+        None => FaultPlan::none(),
+    };
+    if let Some(theta) = attack.theta_change {
+        if !(theta > -1.0 && theta.is_finite()) {
+            return Err(Error::Invalid(format!(
+                "theta cell {index} has impossible change {theta}"
+            )));
+        }
+        let scale = match plan.drive {
+            Some(drive) => drive.scale * (1.0 + theta),
+            None => 1.0 + theta,
+        };
+        plan.drive = Some(DriveFault { scale });
+    }
+    if let Some(rel_change) = attack.rel_change {
+        let rel_ok = rel_change.is_finite() && rel_change > -1.0 && rel_change < 1.0;
+        if !rel_ok || !(0.0..=1.0).contains(&attack.fraction) {
+            return Err(Error::Invalid(format!(
+                "threshold cell {index} has invalid parameters (rel_change {rel_change}, \
+                 fraction {})",
+                attack.fraction
+            )));
+        }
+        let AttackFamily::Threshold(sel) = attack.family else {
+            unreachable!("family checked above");
+        };
+        let layers: &[TargetLayer] = match sel.target() {
+            Some(TargetLayer::Excitatory) => &[TargetLayer::Excitatory],
+            Some(TargetLayer::Inhibitory) => &[TargetLayer::Inhibitory],
+            None => &[TargetLayer::Excitatory, TargetLayer::Inhibitory],
+        };
+        for &layer in layers {
+            plan.thresholds.push(ThresholdFault {
+                layer,
+                rel_change,
+                fraction: attack.fraction,
+                selection: Selection::FirstK,
+                convention: ThresholdConvention::PaperSignedScale,
+            });
+        }
+    }
+    Ok(plan)
+}
+
 /// Stage 2 (execute): measures one [`CellJob`] against a
-/// [`BaselineCache`]. VDD jobs need the `transfer` table the campaign was
-/// characterised with.
+/// [`BaselineCache`]. Cells with a VDD component need the `transfer`
+/// table the campaign was characterised with. A cell with a `seed`
+/// override measures that single seed; others average over `seeds`.
 ///
 /// Jobs are validated rather than trusted (they may arrive over a wire):
-/// impossible theta changes and non-positive VDDs are rejected as
+/// impossible parameters and family/component mismatches are rejected as
 /// [`Error::Invalid`] instead of panicking.
 ///
 /// # Errors
 /// Propagates attack failures; rejects invalid job parameters and VDD
-/// jobs without a transfer table.
+/// components without a transfer table.
 pub fn execute_cell(
     cache: &BaselineCache,
     seeds: &[u64],
@@ -502,94 +682,67 @@ pub fn execute_cell(
     job: &CellJob,
     transfer: Option<&PowerTransferTable>,
 ) -> Result<CellResult, Error> {
-    let (rel_change, fraction) = job.attack.coordinates();
-    let cell = match job.attack {
-        CellAttack::Threshold {
-            layer,
-            rel_change,
-            fraction,
-        } => {
-            if !(0.0..=1.0).contains(&fraction) || !rel_change.is_finite() {
-                return Err(Error::Invalid(format!(
-                    "threshold cell {} has invalid parameters (rel_change {rel_change}, \
-                     fraction {fraction})",
-                    job.index
-                )));
-            }
-            let attack = match layer {
-                Some(l) => ThresholdAttack {
-                    layer: Some(l),
-                    rel_change,
-                    fraction,
-                },
-                None => ThresholdAttack::both(rel_change),
-            };
-            measure_cell(
-                cache,
-                seeds,
-                rel_change,
-                fraction,
-                baseline_accuracy,
-                &attack,
-            )?
-        }
-        CellAttack::Theta { theta_change } => {
-            if !(theta_change > -1.0 && theta_change.is_finite()) {
-                return Err(Error::Invalid(format!(
-                    "theta cell {} has impossible change {theta_change}",
-                    job.index
-                )));
-            }
-            measure_cell(
-                cache,
-                seeds,
-                rel_change,
-                fraction,
-                baseline_accuracy,
-                &InputCorruptionAttack::new(theta_change),
-            )?
-        }
-        CellAttack::Vdd { vdd } => {
-            if !(vdd.is_finite() && vdd > 0.0) {
-                return Err(Error::Invalid(format!(
-                    "vdd cell {} has non-positive supply {vdd}",
-                    job.index
-                )));
-            }
-            let transfer = transfer.ok_or_else(|| {
-                Error::Invalid(format!(
-                    "vdd cell {} needs a power-transfer table",
-                    job.index
-                ))
-            })?;
-            let attack = GlobalVddAttack::new(vdd).with_transfer(transfer.clone());
-            measure_cell(
-                cache,
-                seeds,
-                rel_change,
-                fraction,
-                baseline_accuracy,
-                &attack,
-            )?
-        }
+    let plan = compose_fault_plan(&job.attack, transfer, job.index)?;
+    let attack = ComposedAttack {
+        kind: job.attack.family.kind(),
+        plan,
     };
+    let seed_override;
+    let seeds = match job.attack.seed {
+        Some(seed) => {
+            seed_override = [seed];
+            &seed_override[..]
+        }
+        None => seeds,
+    };
+    let (rel_change, fraction) = job.attack.coordinates();
+    let cell = measure_cell(
+        cache,
+        seeds,
+        rel_change,
+        fraction,
+        baseline_accuracy,
+        &attack,
+    )?;
     Ok(CellResult {
         index: job.index,
         cell,
     })
 }
 
-/// Stage 3 (assemble): writes every [`CellResult`] into its slot and
-/// returns the completed [`SweepResult`]. Results may arrive in any order
-/// (the in-process pool and the distributed coordinator both feed this);
-/// duplicate slots must carry identical cells (retries after a lost
-/// acknowledgement re-deliver the same deterministic measurement).
+/// Stage 3 (assemble): writes every [`CellResult`] into its plan slot
+/// and returns the completed [`SweepResult`], carrying the plan's
+/// resolved axes so cells stay addressable by axis indices. Results may
+/// arrive in any order (the in-process pool and the distributed
+/// coordinator both feed this); duplicate slots must carry identical
+/// cells (retries after a lost acknowledgement re-deliver the same
+/// deterministic measurement).
 ///
 /// # Errors
 /// Rejects out-of-range indices, conflicting duplicates, and missing
 /// cells — an incomplete campaign never assembles silently.
 pub fn assemble_sweep(
+    plan: &SweepPlan,
+    baseline_accuracy: f64,
+    results: impl IntoIterator<Item = CellResult>,
+) -> Result<SweepResult, Error> {
+    assemble_cells(
+        plan.kind,
+        plan.axes.clone(),
+        baseline_accuracy,
+        plan.jobs.len(),
+        results,
+    )
+}
+
+/// The slot-addressed core of [`assemble_sweep`], for callers without a
+/// plan (hand-built results; `axes` may be empty).
+///
+/// # Errors
+/// See [`assemble_sweep`].
+pub fn assemble_cells(
     kind: AttackKind,
+    axes: Vec<Axis>,
     baseline_accuracy: f64,
     n_cells: usize,
     results: impl IntoIterator<Item = CellResult>,
@@ -623,11 +776,12 @@ pub fn assemble_sweep(
         kind,
         baseline_accuracy,
         cells,
+        axes,
     })
 }
 
 /// Runs every job of `plan` on the in-process pool and assembles the
-/// result — the shared backend of the `*_sweep_cached` entry points.
+/// result — the shared backend of every `*_sweep_cached` entry point.
 fn run_plan(
     cache: &BaselineCache,
     plan: &SweepPlan,
@@ -644,18 +798,38 @@ fn run_plan(
         )
     });
     let results = measured.into_iter().collect::<Result<Vec<_>, _>>()?;
-    assemble_sweep(plan.kind, baseline_accuracy, plan.jobs.len(), results)
+    assemble_sweep(plan, baseline_accuracy, results)
+}
+
+/// Runs an arbitrary N-axis scenario against a shared [`BaselineCache`]
+/// — the engine's single front door. Validates the spec, resolves its
+/// transfer table, plans, executes on the in-process pool, and
+/// assembles.
+///
+/// # Errors
+/// Propagates validation and attack failures.
+pub fn scenario_sweep_cached(
+    cache: &BaselineCache,
+    spec: &ScenarioSpec,
+) -> Result<SweepResult, Error> {
+    spec.validate()?;
+    let transfer = spec.transfer_table()?;
+    run_plan(cache, &spec.plan(), transfer.as_ref())
+}
+
+/// [`scenario_sweep_cached`] with a fresh cache for `setup`.
+///
+/// # Errors
+/// See [`scenario_sweep_cached`].
+pub fn scenario_sweep(setup: &ExperimentSetup, spec: &ScenarioSpec) -> Result<SweepResult, Error> {
+    scenario_sweep_cached(&BaselineCache::new(setup), spec)
 }
 
 /// Sweeps a threshold attack over `rel_changes × fractions × seeds`.
 /// `layer = None` sweeps Attack 4 (both layers; fractions other than 1.0
 /// are skipped since the paper defines Attack 4 at 100%).
-///
-/// Computes its own baselines; use [`threshold_sweep_cached`] to share a
-/// [`BaselineCache`] across several sweeps of the same setup.
-///
-/// # Errors
-/// Propagates attack failures.
+#[deprecated(note = "use `threshold_sweep_cached` with a shared `BaselineCache` \
+            (or `scenario_sweep_cached` for arbitrary axes)")]
 pub fn threshold_sweep(
     setup: &ExperimentSetup,
     layer: Option<TargetLayer>,
@@ -664,9 +838,10 @@ pub fn threshold_sweep(
     threshold_sweep_cached(&BaselineCache::new(setup), layer, config)
 }
 
-/// [`threshold_sweep`] against a shared [`BaselineCache`] (the setup is
-/// the cache's): per-seed baselines are computed at most once across all
-/// attack kinds swept through the same cache.
+/// Sweeps a threshold attack over `rel_changes × fractions × seeds`
+/// against a shared [`BaselineCache`] (the setup is the cache's):
+/// per-seed baselines are computed at most once across all attack kinds
+/// swept through the same cache. `layer = None` sweeps Attack 4.
 ///
 /// # Errors
 /// Propagates attack failures.
@@ -678,11 +853,8 @@ pub fn threshold_sweep_cached(
     run_plan(cache, &plan_threshold_sweep(layer, config), None)
 }
 
-/// Sweeps Attack 1 over theta changes (Fig. 7b). Cells use the `fraction`
-/// field to carry 1.0 (drivers are attacked globally).
-///
-/// # Errors
-/// Propagates attack failures.
+/// Sweeps Attack 1 over theta changes (Fig. 7b).
+#[deprecated(note = "use `theta_sweep_cached` with a shared `BaselineCache`")]
 pub fn theta_sweep(
     setup: &ExperimentSetup,
     theta_changes: &[f64],
@@ -691,7 +863,9 @@ pub fn theta_sweep(
     theta_sweep_cached(&BaselineCache::new(setup), theta_changes, seeds)
 }
 
-/// [`theta_sweep`] against a shared [`BaselineCache`].
+/// Sweeps Attack 1 over theta changes (Fig. 7b) against a shared
+/// [`BaselineCache`]. Cells use the `fraction` field to carry 1.0
+/// (drivers are attacked globally).
 ///
 /// # Errors
 /// Propagates attack failures.
@@ -703,11 +877,8 @@ pub fn theta_sweep_cached(
     run_plan(cache, &plan_theta_sweep(theta_changes, seeds), None)
 }
 
-/// Sweeps Attack 5 over supply voltages (Fig. 9a). Cells use `rel_change`
-/// to carry the VDD value.
-///
-/// # Errors
-/// Propagates attack failures.
+/// Sweeps Attack 5 over supply voltages (Fig. 9a).
+#[deprecated(note = "use `vdd_sweep_cached` with a shared `BaselineCache`")]
 pub fn vdd_sweep(
     setup: &ExperimentSetup,
     vdds: &[f64],
@@ -717,7 +888,8 @@ pub fn vdd_sweep(
     vdd_sweep_cached(&BaselineCache::new(setup), vdds, transfer, seeds)
 }
 
-/// [`vdd_sweep`] against a shared [`BaselineCache`].
+/// Sweeps Attack 5 over supply voltages (Fig. 9a) against a shared
+/// [`BaselineCache`]. Cells use `rel_change` to carry the VDD value.
 ///
 /// # Errors
 /// Propagates attack failures.
@@ -733,6 +905,7 @@ pub fn vdd_sweep_cached(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::{AxisKind, LayerSel};
 
     fn tiny_setup() -> ExperimentSetup {
         let mut setup = ExperimentSetup::quick(11);
@@ -751,7 +924,9 @@ mod tests {
             fractions: vec![0.0],
             seeds: vec![1],
         };
-        let result = threshold_sweep(&setup, Some(TargetLayer::Inhibitory), &config).unwrap();
+        let cache = BaselineCache::new(&setup);
+        let result =
+            threshold_sweep_cached(&cache, Some(TargetLayer::Inhibitory), &config).unwrap();
         let cell = result.cell(-0.2, 0.0).unwrap();
         assert!((cell.accuracy - result.baseline_accuracy).abs() < 1e-9);
         assert!(cell.relative_change_percent.abs() < 1e-9);
@@ -765,7 +940,8 @@ mod tests {
             fractions: vec![0.0, 0.5, 1.0],
             seeds: vec![1],
         };
-        let result = threshold_sweep(&setup, None, &config).unwrap();
+        let cache = BaselineCache::new(&setup);
+        let result = threshold_sweep_cached(&cache, None, &config).unwrap();
         assert_eq!(result.kind, AttackKind::BothLayerThreshold);
         assert_eq!(result.cells.len(), 2); // one per rel_change, only f=1.0
         assert!(result.cells.iter().all(|c| c.fraction == 1.0));
@@ -790,6 +966,7 @@ mod tests {
                     relative_change_percent: -25.0,
                 },
             ],
+            axes: Vec::new(),
         };
         assert_eq!(result.worst_case().unwrap().rel_change, -0.2);
     }
@@ -820,12 +997,14 @@ mod tests {
             kind: AttackKind::ExcitatoryThreshold,
             baseline_accuracy: 0.8,
             cells: vec![nan_cell, neg_nan_cell, real_cell],
+            axes: Vec::new(),
         };
         assert_eq!(result.worst_case().unwrap().rel_change, -0.1);
         let all_nan = SweepResult {
             kind: AttackKind::ExcitatoryThreshold,
             baseline_accuracy: 0.8,
             cells: vec![nan_cell],
+            axes: Vec::new(),
         };
         assert!(all_nan
             .worst_case()
@@ -837,7 +1016,8 @@ mod tests {
     #[test]
     fn theta_sweep_produces_one_cell_per_change() {
         let setup = tiny_setup();
-        let result = theta_sweep(&setup, &[-0.2, 0.2], &[1]).unwrap();
+        let cache = BaselineCache::new(&setup);
+        let result = theta_sweep_cached(&cache, &[-0.2, 0.2], &[1]).unwrap();
         assert_eq!(result.cells.len(), 2);
         assert_eq!(result.kind, AttackKind::InputSpikeCorruption);
     }
@@ -846,7 +1026,8 @@ mod tests {
     fn vdd_sweep_nominal_point_matches_baseline() {
         let setup = tiny_setup();
         let transfer = PowerTransferTable::paper_nominal();
-        let result = vdd_sweep(&setup, &[1.0], &transfer, &[1]).unwrap();
+        let cache = BaselineCache::new(&setup);
+        let result = vdd_sweep_cached(&cache, &[1.0], &transfer, &[1]).unwrap();
         assert!((result.cells[0].accuracy - result.baseline_accuracy).abs() < 1e-9);
     }
 
@@ -870,7 +1051,12 @@ mod tests {
         };
         let run = |parallelism: Parallelism| {
             let s = setup.clone().with_parallelism(parallelism);
-            threshold_sweep(&s, Some(TargetLayer::Inhibitory), &config).unwrap()
+            threshold_sweep_cached(
+                &BaselineCache::new(&s),
+                Some(TargetLayer::Inhibitory),
+                &config,
+            )
+            .unwrap()
         };
         let serial = run(Parallelism::Serial);
         for threads in [2, 4] {
@@ -959,6 +1145,7 @@ mod tests {
         assert_eq!(plan.kind, AttackKind::InhibitoryThreshold);
         assert_eq!(plan.jobs.len(), 6);
         assert!(plan.jobs.iter().enumerate().all(|(i, j)| j.index == i));
+        assert_eq!(plan.axes.len(), 2, "the plan carries its resolved axes");
         // Attack 4 keeps only the 100% fraction.
         let both = plan_threshold_sweep(None, &config);
         assert_eq!(both.jobs.len(), 2);
@@ -968,7 +1155,7 @@ mod tests {
         assert_eq!(theta.jobs.len(), 2);
         let vdd = plan_vdd_sweep(&[0.8, 1.0], &[1]);
         assert_eq!(vdd.kind, AttackKind::GlobalVdd);
-        assert_eq!(vdd.jobs[1].attack, CellAttack::Vdd { vdd: 1.0 });
+        assert_eq!(vdd.jobs[1].attack, CellAttack::vdd(1.0));
     }
 
     #[test]
@@ -994,8 +1181,7 @@ mod tests {
         for job in plan.jobs.iter().rev() {
             results.push(execute_cell(&cache, &plan.seeds, baseline_accuracy, job, None).unwrap());
         }
-        let staged =
-            assemble_sweep(plan.kind, baseline_accuracy, plan.jobs.len(), results).unwrap();
+        let staged = assemble_sweep(&plan, baseline_accuracy, results).unwrap();
         assert_eq!(staged.cells.len(), reference.cells.len());
         for (a, b) in staged.cells.iter().zip(&reference.cells) {
             assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits());
@@ -1007,6 +1193,36 @@ mod tests {
     }
 
     #[test]
+    fn composite_cells_with_nominal_vdd_match_the_pure_threshold_sweep() {
+        // threshold × vdd with the supply pinned at nominal must be
+        // bit-identical to the pure threshold sweep: the composed
+        // FaultPlan's extra components are exact no-ops (scale 1.0,
+        // rel_change 0.0), so this proves composition changes nothing
+        // it should not.
+        let mut setup = tiny_setup();
+        setup.n_train = 60;
+        setup.n_test = 30;
+        setup.network.sample_time_ms = 60.0;
+        let config = SweepConfig {
+            rel_changes: vec![-0.2, 0.2],
+            fractions: vec![1.0],
+            seeds: vec![1],
+        };
+        let cache = BaselineCache::new(&setup);
+        let pure = threshold_sweep_cached(&cache, Some(TargetLayer::Inhibitory), &config).unwrap();
+
+        let mut spec = ScenarioSpec::threshold(Some(TargetLayer::Inhibitory), &config);
+        spec.axes.push(Axis::real(AxisKind::Vdd, vec![1.0]));
+        spec.transfer = Some(PowerTransferTable::paper_nominal().points().to_vec());
+        let composite = scenario_sweep_cached(&cache, &spec).unwrap();
+
+        assert_eq!(composite.cells.len(), pure.cells.len());
+        for (c, p) in composite.cells.iter().zip(&pure.cells) {
+            assert_eq!(c.accuracy.to_bits(), p.accuracy.to_bits());
+        }
+    }
+
+    #[test]
     fn assemble_rejects_incomplete_and_conflicting_results() {
         let cell = SweepCell {
             rel_change: -0.2,
@@ -1014,8 +1230,9 @@ mod tests {
             accuracy: 0.5,
             relative_change_percent: -10.0,
         };
-        let ok = assemble_sweep(
+        let ok = assemble_cells(
             AttackKind::InhibitoryThreshold,
+            Vec::new(),
             0.55,
             2,
             vec![
@@ -1028,24 +1245,27 @@ mod tests {
         .unwrap();
         assert_eq!(ok.cells.len(), 2);
 
-        let missing = assemble_sweep(
+        let missing = assemble_cells(
             AttackKind::InhibitoryThreshold,
+            Vec::new(),
             0.55,
             2,
             vec![CellResult { index: 0, cell }],
         );
         assert!(missing.is_err());
 
-        let out_of_range = assemble_sweep(
+        let out_of_range = assemble_cells(
             AttackKind::InhibitoryThreshold,
+            Vec::new(),
             0.55,
             2,
             vec![CellResult { index: 7, cell }],
         );
         assert!(out_of_range.is_err());
 
-        let conflicting = assemble_sweep(
+        let conflicting = assemble_cells(
             AttackKind::InhibitoryThreshold,
+            Vec::new(),
             0.55,
             1,
             vec![
@@ -1063,33 +1283,173 @@ mod tests {
     }
 
     #[test]
+    fn cell_lookup_resolves_float_artifacts_exactly() {
+        // 0.1 + 0.2 is one ULP away from 0.3 in f64. The old epsilon
+        // lookup could not tell two such axis points apart (both were
+        // "within 1e-9"); the bit-exact lookup resolves each, and the
+        // axis-index lookup needs no float comparison at all.
+        let artifact: f64 = 0.1 + 0.2;
+        assert_ne!(artifact.to_bits(), 0.3f64.to_bits());
+        let config = SweepConfig {
+            rel_changes: vec![0.3, artifact],
+            fractions: vec![1.0],
+            seeds: vec![1],
+        };
+        let plan = plan_threshold_sweep(Some(TargetLayer::Inhibitory), &config);
+        let results = plan.jobs.iter().map(|job| {
+            let (rel_change, fraction) = job.attack.coordinates();
+            CellResult {
+                index: job.index,
+                cell: SweepCell {
+                    rel_change,
+                    fraction,
+                    accuracy: job.index as f64,
+                    relative_change_percent: 0.0,
+                },
+            }
+        });
+        let result = assemble_sweep(&plan, 0.5, results).unwrap();
+        assert_eq!(result.cell(0.3, 1.0).unwrap().accuracy, 0.0);
+        assert_eq!(result.cell(0.1 + 0.2, 1.0).unwrap().accuracy, 1.0);
+        assert!(result.cell(0.30000001, 1.0).is_none());
+        // Axis-index addressing: rel_change axis slot 1, fraction slot 0.
+        assert_eq!(result.shape(), vec![2, 1]);
+        assert_eq!(result.cell_at(&[0, 0]).unwrap().accuracy, 0.0);
+        assert_eq!(result.cell_at(&[1, 0]).unwrap().accuracy, 1.0);
+        assert!(result.cell_at(&[2, 0]).is_none());
+        assert!(result.cell_at(&[0]).is_none(), "shape mismatch");
+    }
+
+    #[test]
     fn execute_cell_rejects_invalid_wire_jobs() {
         let setup = tiny_setup();
         let cache = BaselineCache::new(&setup);
         let bad_theta = CellJob {
             index: 0,
-            attack: CellAttack::Theta { theta_change: -2.0 },
+            attack: CellAttack::theta(-2.0),
         };
         assert!(execute_cell(&cache, &[1], 0.5, &bad_theta, None).is_err());
         let bad_fraction = CellJob {
             index: 0,
-            attack: CellAttack::Threshold {
-                layer: Some(TargetLayer::Inhibitory),
-                rel_change: -0.2,
-                fraction: 1.5,
-            },
+            attack: CellAttack::threshold(Some(TargetLayer::Inhibitory), -0.2, 1.5),
         };
         assert!(execute_cell(&cache, &[1], 0.5, &bad_fraction, None).is_err());
+        let bad_rel = CellJob {
+            index: 0,
+            attack: CellAttack::threshold(Some(TargetLayer::Inhibitory), 1.5, 1.0),
+        };
+        assert!(execute_cell(&cache, &[1], 0.5, &bad_rel, None).is_err());
         let vdd_without_table = CellJob {
             index: 0,
-            attack: CellAttack::Vdd { vdd: 0.8 },
+            attack: CellAttack::vdd(0.8),
         };
         assert!(execute_cell(&cache, &[1], 0.5, &vdd_without_table, None).is_err());
         let bad_vdd = CellJob {
             index: 0,
-            attack: CellAttack::Vdd { vdd: -0.1 },
+            attack: CellAttack::vdd(-0.1),
         };
         assert!(execute_cell(&cache, &[1], 0.5, &bad_vdd, None).is_err());
+        // Family/component mismatches from a hostile peer are errors,
+        // not panics: a threshold component with no layer-naming family,
+        // and a family whose primary component is missing.
+        let orphan_threshold = CellJob {
+            index: 0,
+            attack: CellAttack {
+                rel_change: Some(-0.2),
+                ..CellAttack::theta(0.1)
+            },
+        };
+        assert!(execute_cell(&cache, &[1], 0.5, &orphan_threshold, None).is_err());
+        let empty_family = CellJob {
+            index: 0,
+            attack: CellAttack {
+                family: AttackFamily::Threshold(LayerSel::Inhibitory),
+                rel_change: None,
+                fraction: 1.0,
+                theta_change: None,
+                vdd: None,
+                seed: None,
+            },
+        };
+        assert!(execute_cell(&cache, &[1], 0.5, &empty_family, None).is_err());
+    }
+
+    #[test]
+    fn composed_fault_plans_match_the_legacy_attacks() {
+        use crate::attacks::{GlobalVddAttack, InputCorruptionAttack, ThresholdAttack};
+
+        // Pure cells must compose the exact FaultPlans the paper's five
+        // attack implementations produce — this is what keeps the new
+        // planner bit-identical to the legacy entry points.
+        let threshold = compose_fault_plan(
+            &CellAttack::threshold(Some(TargetLayer::Inhibitory), -0.2, 0.75),
+            None,
+            0,
+        )
+        .unwrap();
+        assert_eq!(
+            threshold,
+            ThresholdAttack::inhibitory(-0.2, 0.75).fault_plan()
+        );
+        let both = compose_fault_plan(&CellAttack::threshold(None, -0.2, 1.0), None, 0).unwrap();
+        assert_eq!(both, ThresholdAttack::both(-0.2).fault_plan());
+        let theta = compose_fault_plan(&CellAttack::theta(-0.2), None, 0).unwrap();
+        assert_eq!(theta, InputCorruptionAttack::new(-0.2).fault_plan());
+        let table = PowerTransferTable::paper_nominal();
+        let vdd = compose_fault_plan(&CellAttack::vdd(0.8), Some(&table), 0).unwrap();
+        assert_eq!(vdd, GlobalVddAttack::new(0.8).fault_plan());
+
+        // A composite stacks: vdd table faults, theta on the drive,
+        // threshold override appended last.
+        let composite = compose_fault_plan(
+            &CellAttack {
+                theta_change: Some(-0.1),
+                vdd: Some(0.9),
+                ..CellAttack::threshold(Some(TargetLayer::Inhibitory), -0.2, 0.5)
+            },
+            Some(&table),
+            0,
+        )
+        .unwrap();
+        assert_eq!(composite.thresholds.len(), 3, "vdd pair + override");
+        assert_eq!(composite.thresholds[2].layer, TargetLayer::Inhibitory);
+        assert_eq!(composite.thresholds[2].fraction, 0.5);
+        let vdd_drive = GlobalVddAttack::new(0.9).fault_plan().drive.unwrap().scale;
+        assert_eq!(
+            composite.drive.unwrap().scale.to_bits(),
+            (vdd_drive * 0.9).to_bits()
+        );
+    }
+
+    #[test]
+    fn seed_override_cells_measure_that_seed_only() {
+        let mut setup = tiny_setup();
+        setup.n_train = 60;
+        setup.n_test = 30;
+        setup.network.sample_time_ms = 60.0;
+        let cache = BaselineCache::new(&setup);
+        let baseline_accuracy = mean_baseline_accuracy(&cache, &[1, 2]);
+        let job_for = |seed: Option<u64>| CellJob {
+            index: 0,
+            attack: CellAttack {
+                seed,
+                ..CellAttack::theta(0.0)
+            },
+        };
+        // theta = 0 is a no-op, so each cell's accuracy is its seeds'
+        // mean baseline: the override pins a single seed.
+        let pinned =
+            execute_cell(&cache, &[1, 2], baseline_accuracy, &job_for(Some(2)), None).unwrap();
+        assert_eq!(
+            pinned.cell.accuracy.to_bits(),
+            cache.get(2).accuracy.to_bits()
+        );
+        let averaged =
+            execute_cell(&cache, &[1, 2], baseline_accuracy, &job_for(None), None).unwrap();
+        assert_eq!(
+            averaged.cell.accuracy.to_bits(),
+            baseline_accuracy.to_bits()
+        );
     }
 
     #[test]

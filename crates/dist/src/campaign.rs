@@ -2,25 +2,32 @@
 //!
 //! A [`CampaignSpec`] is everything a worker needs to reproduce the
 //! coordinator's experiment bit-for-bit: a named experiment preset plus
-//! the scale knobs that matter ([`SetupSpec`]), and the sweep grid with
-//! its attack family ([`SweepSpec`]). Workers never receive closures or
-//! tables by reference — the spec crosses the wire whole, and its
-//! [`digest`](CampaignSpec::digest) binds checkpoint journals to the
-//! exact campaign they were written for.
+//! the scale knobs that matter ([`SetupSpec`]), and a declarative
+//! N-axis [`ScenarioSpec`] — the attack family, the typed axes, the
+//! seeds, and (for VDD components) the transfer table. Workers never
+//! receive closures or tables by reference — the spec crosses the wire
+//! whole, and its [`digest`](CampaignSpec::digest) binds checkpoint
+//! journals to the exact campaign they were written for.
+//!
+//! The catalog ([`named_campaign`]) is nothing but **named presets that
+//! expand to specs**; `repro submit` can enqueue arbitrary grids the
+//! catalog never heard of, in the same [`ScenarioSpec`] grammar
+//! (`attack = …` / `axis rel_change = …` lines), via
+//! [`parse_campaign_text`].
 //!
 //! Per-node execution details (worker threads, batch sizes) are
 //! deliberately *not* part of the spec: cell values are pure functions
 //! of `(setup, job)`, so scheduling never shows up in the results.
 
-use neurofi_analog::{PowerTransferTable, TransferPoint};
 use neurofi_core::attacks::ExperimentSetup;
-use neurofi_core::sweep::{
-    plan_theta_sweep, plan_threshold_sweep, plan_vdd_sweep, theta_sweep_cached,
-    threshold_sweep_cached, vdd_sweep_cached, SweepPlan, SweepResult,
+use neurofi_core::scenario::{parse_spec_line, spec_lines, ScenarioSpec, SpecLine};
+use neurofi_core::sweep::{scenario_sweep_cached, SweepPlan, SweepResult};
+use neurofi_core::{
+    BaselineCache, Error, Parallelism, PowerTransferTable, SweepConfig, TargetLayer,
 };
-use neurofi_core::{BaselineCache, Error, Parallelism, SweepConfig, TargetLayer};
 
 use crate::wire::{encode_campaign_spec, Encoder};
+use crate::DistError;
 
 /// The experiment preset a [`SetupSpec`] starts from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +91,17 @@ impl SetupSpec {
         }
     }
 
+    /// Looks up a setup scale by its spec-file/CLI name (`bench`,
+    /// `quick`, `paper`).
+    pub fn named(name: &str, seed: u64) -> Option<SetupSpec> {
+        match name {
+            "bench" => Some(SetupSpec::bench(seed)),
+            "quick" => Some(SetupSpec::quick(seed)),
+            "paper" => Some(SetupSpec::paper(seed)),
+            _ => None,
+        }
+    }
+
     /// Reconstructs the [`ExperimentSetup`] this spec describes.
     /// Parallelism is left at the default; every node picks its own.
     pub fn materialize(&self) -> ExperimentSetup {
@@ -99,46 +117,15 @@ impl SetupSpec {
     }
 }
 
-/// Which attack family a campaign sweeps.
-#[derive(Debug, Clone, PartialEq)]
-pub enum SweepKindSpec {
-    /// Attacks 2–4 over `values × fractions` (`layer = None` is
-    /// Attack 4).
-    Threshold {
-        /// Target layer.
-        layer: Option<TargetLayer>,
-    },
-    /// Attack 1 over theta changes in `values`.
-    Theta,
-    /// Attack 5 over supply voltages in `values`, using this transfer
-    /// table (serialised point-by-point so heterogeneous workers share
-    /// one characterisation).
-    Vdd {
-        /// VDD → parameter transfer points, strictly increasing in VDD.
-        transfer: Vec<TransferPoint>,
-    },
-}
-
-/// The sweep grid of a campaign.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SweepSpec {
-    /// Attack family.
-    pub kind: SweepKindSpec,
-    /// Primary swept values: threshold changes, theta changes, or VDDs.
-    pub values: Vec<f64>,
-    /// Layer fractions (threshold sweeps only; empty otherwise).
-    pub fractions: Vec<f64>,
-    /// Seeds each cell averages over.
-    pub seeds: Vec<u64>,
-}
-
-/// A complete, wire-serializable sweep campaign.
+/// A complete, wire-serializable sweep campaign: the experiment plus
+/// the declarative scenario it sweeps.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
     /// The experiment every cell trains and evaluates.
     pub setup: SetupSpec,
-    /// The grid to shard.
-    pub sweep: SweepSpec,
+    /// The N-axis scenario to shard (attack family, axes, seeds,
+    /// transfer table).
+    pub scenario: ScenarioSpec,
 }
 
 /// One entry in a coordinator's campaign queue: a spec plus the name it
@@ -177,37 +164,15 @@ impl NamedCampaign {
 }
 
 impl CampaignSpec {
-    /// Rejects specs that cannot run: empty grids, empty seed lists, or
-    /// an unusable VDD transfer table.
+    /// Rejects specs that cannot run (see
+    /// [`ScenarioSpec::validate`]): empty or duplicate axes, missing
+    /// primary axes, out-of-range values, missing seeds, an unusable
+    /// VDD transfer table, or hostile sizes.
     ///
     /// # Errors
     /// Returns [`Error::Invalid`] with the reason.
     pub fn validate(&self) -> Result<(), Error> {
-        if self.sweep.values.is_empty() {
-            return Err(Error::Invalid("campaign sweeps no values".into()));
-        }
-        if self.sweep.seeds.is_empty() {
-            return Err(Error::Invalid("campaign has no seeds".into()));
-        }
-        match &self.sweep.kind {
-            SweepKindSpec::Threshold { .. } if self.sweep.fractions.is_empty() => {
-                Err(Error::Invalid("threshold campaign has no fractions".into()))
-            }
-            SweepKindSpec::Vdd { transfer } => {
-                if transfer.len() < 2 {
-                    return Err(Error::Invalid(
-                        "vdd campaign needs at least two transfer points".into(),
-                    ));
-                }
-                if !transfer.windows(2).all(|w| w[0].vdd < w[1].vdd) {
-                    return Err(Error::Invalid(
-                        "vdd transfer points must be strictly increasing".into(),
-                    ));
-                }
-                Ok(())
-            }
-            _ => Ok(()),
-        }
+        self.scenario.validate()
     }
 
     /// Reconstructs the experiment setup (see [`SetupSpec::materialize`]).
@@ -215,36 +180,19 @@ impl CampaignSpec {
         self.setup.materialize()
     }
 
-    /// Stage-1 enumeration of every cell in the campaign.
+    /// Stage-1 enumeration of every cell in the campaign through the
+    /// generic scenario planner.
     pub fn plan(&self) -> SweepPlan {
-        match &self.sweep.kind {
-            SweepKindSpec::Threshold { layer } => plan_threshold_sweep(
-                *layer,
-                &SweepConfig {
-                    rel_changes: self.sweep.values.clone(),
-                    fractions: self.sweep.fractions.clone(),
-                    seeds: self.sweep.seeds.clone(),
-                },
-            ),
-            SweepKindSpec::Theta => plan_theta_sweep(&self.sweep.values, &self.sweep.seeds),
-            SweepKindSpec::Vdd { .. } => plan_vdd_sweep(&self.sweep.values, &self.sweep.seeds),
-        }
+        self.scenario.plan()
     }
 
-    /// The transfer table VDD cells execute against (`None` for other
-    /// families). Call [`validate`](CampaignSpec::validate) first; an
-    /// invalid table fails here too.
+    /// The transfer table VDD components execute against (`None` when
+    /// the scenario has no `vdd` axis).
     ///
     /// # Errors
-    /// Returns [`Error::Invalid`] for unusable tables.
+    /// Returns [`Error::Invalid`] for missing or unusable tables.
     pub fn transfer_table(&self) -> Result<Option<PowerTransferTable>, Error> {
-        match &self.sweep.kind {
-            SweepKindSpec::Vdd { transfer } => {
-                self.validate()?;
-                Ok(Some(PowerTransferTable::new(transfer.clone())))
-            }
-            _ => Ok(None),
-        }
+        self.scenario.transfer_table()
     }
 
     /// FNV-1a digest over the canonical encoding — the identity that
@@ -266,30 +214,118 @@ impl CampaignSpec {
     /// # Errors
     /// Propagates validation and attack failures.
     pub fn run_serial(&self) -> Result<SweepResult, Error> {
-        self.validate()?;
         let setup = self.materialize().with_parallelism(Parallelism::Serial);
-        let cache = BaselineCache::new(&setup);
-        let config = SweepConfig {
-            rel_changes: self.sweep.values.clone(),
-            fractions: self.sweep.fractions.clone(),
-            seeds: self.sweep.seeds.clone(),
-        };
-        match &self.sweep.kind {
-            SweepKindSpec::Threshold { layer } => threshold_sweep_cached(&cache, *layer, &config),
-            SweepKindSpec::Theta => {
-                theta_sweep_cached(&cache, &self.sweep.values, &self.sweep.seeds)
-            }
-            SweepKindSpec::Vdd { transfer } => vdd_sweep_cached(
-                &cache,
-                &self.sweep.values,
-                &PowerTransferTable::new(transfer.clone()),
-                &self.sweep.seeds,
-            ),
-        }
+        scenario_sweep_cached(&BaselineCache::new(&setup), &self.scenario)
     }
 }
 
-/// Looks up a named campaign grid for the `repro` CLI and CI:
+/// What [`parse_campaign_text`] extracts from a campaign spec file: the
+/// optional queue name and weight, plus the campaign itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedCampaign {
+    /// The `name = …` line, when present (callers pick their own
+    /// default otherwise).
+    pub name: Option<String>,
+    /// The `weight = …` line (default 1).
+    pub weight: u32,
+    /// The campaign: `setup` / `setup-seed` lines plus the scenario
+    /// grammar.
+    pub spec: CampaignSpec,
+}
+
+impl ParsedCampaign {
+    /// Converts into a queue entry, naming it `fallback` when the file
+    /// had no `name` line.
+    pub fn into_named(self, fallback: &str) -> NamedCampaign {
+        let weight = self.weight;
+        NamedCampaign::new(self.name.unwrap_or_else(|| fallback.to_string()), self.spec)
+            .with_weight(weight)
+    }
+}
+
+/// Parses a campaign spec file: the [`ScenarioSpec`] grammar plus the
+/// campaign-level keys `name = …`, `weight = …`, `setup = bench|quick|paper`
+/// (default `bench`), and `setup-seed = N` (default 42).
+///
+/// ```text
+/// name = cross
+/// setup = bench
+/// attack = threshold-inhibitory
+/// axis rel_change = -0.2, 0.2
+/// axis vdd = 0.9, 1
+/// seeds = 42
+/// transfer = paper
+/// ```
+///
+/// # Errors
+/// Rejects malformed lines, unknown keys, and invalid scenarios (the
+/// returned spec is validated).
+pub fn parse_campaign_text(text: &str) -> Result<ParsedCampaign, DistError> {
+    let mut name: Option<String> = None;
+    let mut weight: u32 = 1;
+    let mut weight_given = false;
+    let mut base: Option<String> = None;
+    let mut setup_seed: u64 = 42;
+    let mut setup_seed_given = false;
+    let mut scenario_lines: Vec<&str> = Vec::new();
+    for line in spec_lines(text).map_err(DistError::Core)? {
+        match parse_spec_line(line).map_err(DistError::Core)? {
+            SpecLine::Other(key, value) => match key {
+                "name" => {
+                    if name.replace(value.to_string()).is_some() {
+                        return Err(DistError::Protocol("duplicate `name` line".into()));
+                    }
+                }
+                "weight" => {
+                    if weight_given {
+                        return Err(DistError::Protocol("duplicate `weight` line".into()));
+                    }
+                    weight_given = true;
+                    weight = value
+                        .parse::<u32>()
+                        .map_err(|_| DistError::Protocol(format!("`{value}` is not a weight")))?;
+                    if weight == 0 {
+                        return Err(DistError::Protocol("weight must be >= 1".into()));
+                    }
+                }
+                "setup" => {
+                    if base.replace(value.to_string()).is_some() {
+                        return Err(DistError::Protocol("duplicate `setup` line".into()));
+                    }
+                }
+                "setup-seed" => {
+                    if setup_seed_given {
+                        return Err(DistError::Protocol("duplicate `setup-seed` line".into()));
+                    }
+                    setup_seed_given = true;
+                    setup_seed = value
+                        .parse::<u64>()
+                        .map_err(|_| DistError::Protocol(format!("`{value}` is not a seed")))?;
+                }
+                other => {
+                    return Err(DistError::Protocol(format!(
+                        "unknown key `{other}` (keys: name, weight, setup, setup-seed, \
+                         attack, axis NAME, seeds, transfer)"
+                    )))
+                }
+            },
+            _ => scenario_lines.push(line),
+        }
+    }
+    let base = base.unwrap_or_else(|| "bench".into());
+    let Some(setup) = SetupSpec::named(&base, setup_seed) else {
+        return Err(DistError::Protocol(format!(
+            "unknown setup `{base}` (setups: bench quick paper)"
+        )));
+    };
+    let scenario: ScenarioSpec = scenario_lines.join("\n").parse().map_err(DistError::Core)?;
+    let spec = CampaignSpec { setup, scenario };
+    spec.validate().map_err(DistError::Core)?;
+    Ok(ParsedCampaign { name, weight, spec })
+}
+
+/// Looks up a named campaign preset for the `repro` CLI and CI — each
+/// is nothing but a [`ScenarioSpec`] with a setup scale:
 ///
 /// * `tiny` — 2 × 3 inhibitory-threshold grid at bench scale (6 cells;
 ///   the CI smoke grid).
@@ -302,9 +338,7 @@ impl CampaignSpec {
 /// * `fig8` — Fig. 8b at quick fidelity.
 /// * `fig8-full` — Fig. 8b at the paper's full protocol.
 pub fn named_campaign(name: &str) -> Option<CampaignSpec> {
-    let il = SweepKindSpec::Threshold {
-        layer: Some(TargetLayer::Inhibitory),
-    };
+    let il = Some(TargetLayer::Inhibitory);
     let paper_grid = SweepConfig::paper_grid();
     match name {
         // Fractions 0.75/0.9 are where the reduced-scale IL surface has
@@ -312,51 +346,33 @@ pub fn named_campaign(name: &str) -> Option<CampaignSpec> {
         // mix-ups in the golden comparison.
         "tiny" => Some(CampaignSpec {
             setup: SetupSpec::bench(42),
-            sweep: SweepSpec {
-                kind: il,
-                values: vec![-0.20, 0.20],
-                fractions: vec![0.0, 0.75, 0.90],
-                seeds: vec![42],
-            },
+            scenario: ScenarioSpec::threshold(
+                il,
+                &SweepConfig {
+                    rel_changes: vec![-0.20, 0.20],
+                    fractions: vec![0.0, 0.75, 0.90],
+                    seeds: vec![42],
+                },
+            ),
         }),
         // Theta changes large enough that the reduced-scale accuracy
         // line has structure (a flat line could not catch slot mix-ups
         // in the golden comparison).
         "tiny-theta" => Some(CampaignSpec {
             setup: SetupSpec::bench(42),
-            sweep: SweepSpec {
-                kind: SweepKindSpec::Theta,
-                values: vec![-0.50, -0.20, 0.20, 0.50],
-                fractions: vec![],
-                seeds: vec![42],
-            },
+            scenario: ScenarioSpec::theta(&[-0.50, -0.20, 0.20, 0.50], &[42]),
         }),
         "fig8-reduced" => Some(CampaignSpec {
             setup: SetupSpec::bench(42),
-            sweep: SweepSpec {
-                kind: il,
-                values: paper_grid.rel_changes,
-                fractions: paper_grid.fractions,
-                seeds: vec![42],
-            },
+            scenario: ScenarioSpec::threshold(il, &paper_grid),
         }),
         "fig8" => Some(CampaignSpec {
             setup: SetupSpec::quick(42),
-            sweep: SweepSpec {
-                kind: il,
-                values: paper_grid.rel_changes,
-                fractions: paper_grid.fractions,
-                seeds: vec![42],
-            },
+            scenario: ScenarioSpec::threshold(il, &paper_grid),
         }),
         "fig8-full" => Some(CampaignSpec {
             setup: SetupSpec::paper(42),
-            sweep: SweepSpec {
-                kind: il,
-                values: paper_grid.rel_changes,
-                fractions: paper_grid.fractions,
-                seeds: vec![42],
-            },
+            scenario: ScenarioSpec::threshold(il, &paper_grid),
         }),
         _ => None,
     }
@@ -368,6 +384,8 @@ pub const NAMED_CAMPAIGNS: &[&str] = &["tiny", "tiny-theta", "fig8-reduced", "fi
 #[cfg(test)]
 mod tests {
     use super::*;
+    use neurofi_core::scenario::{AttackFamily, Axis, AxisKind, LayerSel};
+    use neurofi_core::sweep::CellAttack;
 
     #[test]
     fn named_campaigns_resolve_and_validate() {
@@ -377,6 +395,69 @@ mod tests {
             assert!(!spec.plan().jobs.is_empty(), "{name} enumerates no cells");
         }
         assert!(named_campaign("nope").is_none());
+    }
+
+    /// Golden grid expansion: each catalog preset must enumerate the
+    /// exact index-addressed grid it produced before the scenario
+    /// redesign (coordinates bit-for-bit, slots in the same order) —
+    /// journals and published figures depend on it.
+    #[test]
+    fn preset_expansion_matches_the_pre_redesign_grids() {
+        let coords = |name: &str| -> Vec<(u64, u64)> {
+            named_campaign(name)
+                .unwrap()
+                .plan()
+                .jobs
+                .iter()
+                .map(|j| {
+                    let (a, b) = j.attack.coordinates();
+                    (a.to_bits(), b.to_bits())
+                })
+                .collect()
+        };
+        let bits = |pairs: &[(f64, f64)]| -> Vec<(u64, u64)> {
+            pairs
+                .iter()
+                .map(|&(a, b)| (a.to_bits(), b.to_bits()))
+                .collect()
+        };
+        assert_eq!(
+            coords("tiny"),
+            bits(&[
+                (-0.20, 0.0),
+                (-0.20, 0.75),
+                (-0.20, 0.90),
+                (0.20, 0.0),
+                (0.20, 0.75),
+                (0.20, 0.90),
+            ])
+        );
+        assert_eq!(
+            coords("tiny-theta"),
+            bits(&[(-0.50, 1.0), (-0.20, 1.0), (0.20, 1.0), (0.50, 1.0)])
+        );
+        // The three fig8 presets share one grid shape: the paper's
+        // 4 rel-changes × 6 fractions, rel-change-major.
+        let mut fig8_grid = Vec::new();
+        for rel in [-0.20, -0.10, 0.10, 0.20] {
+            for fraction in [0.0, 0.25, 0.50, 0.75, 0.90, 1.0] {
+                fig8_grid.push((rel, fraction));
+            }
+        }
+        for name in ["fig8-reduced", "fig8", "fig8-full"] {
+            assert_eq!(coords(name), bits(&fig8_grid), "{name} grid moved");
+        }
+        // Every preset still averages over the paper seed and reports
+        // the kinds the figures were published under.
+        assert_eq!(named_campaign("tiny").unwrap().plan().seeds, vec![42]);
+        assert_eq!(
+            named_campaign("tiny").unwrap().scenario.family,
+            AttackFamily::Threshold(LayerSel::Inhibitory)
+        );
+        assert_eq!(
+            named_campaign("tiny-theta").unwrap().scenario.family,
+            AttackFamily::Theta
+        );
     }
 
     #[test]
@@ -391,6 +472,11 @@ mod tests {
         // Re-capturing the materialised setup is the identity.
         let recaptured = SetupSpec::capture(SetupBase::Quick, &setup, 7);
         assert_eq!(recaptured, spec);
+        // Named lookup covers every scale.
+        for name in ["bench", "quick", "paper"] {
+            assert!(SetupSpec::named(name, 1).is_some());
+        }
+        assert!(SetupSpec::named("huge", 1).is_none());
     }
 
     #[test]
@@ -399,57 +485,103 @@ mod tests {
         let b = named_campaign("tiny").unwrap();
         assert_eq!(a.digest(), b.digest());
         let mut c = named_campaign("tiny").unwrap();
-        c.sweep.seeds = vec![43];
+        c.scenario.seeds = vec![43];
         assert_ne!(a.digest(), c.digest());
         let mut d = named_campaign("tiny").unwrap();
         d.setup.n_train += 1;
         assert_ne!(a.digest(), d.digest());
+        let mut e = named_campaign("tiny").unwrap();
+        e.scenario.axes.push(Axis::seeds(vec![1]));
+        assert_ne!(a.digest(), e.digest());
     }
 
     #[test]
     fn validation_catches_degenerate_campaigns() {
         let mut spec = named_campaign("tiny").unwrap();
-        spec.sweep.values.clear();
+        spec.scenario.axes[0] = Axis::real(AxisKind::RelChange, vec![]);
         assert!(spec.validate().is_err());
 
         let mut spec = named_campaign("tiny").unwrap();
-        spec.sweep.seeds.clear();
+        spec.scenario.seeds.clear();
         assert!(spec.validate().is_err());
 
         let mut spec = named_campaign("tiny").unwrap();
-        spec.sweep.fractions.clear();
-        assert!(spec.validate().is_err());
-
-        let mut spec = named_campaign("tiny").unwrap();
-        spec.sweep.kind = SweepKindSpec::Vdd {
-            transfer: vec![TransferPoint {
-                vdd: 1.0,
-                drive_scale: 1.0,
-                ah_threshold_scale: 1.0,
-                if_threshold_scale: 1.0,
-            }],
-        };
-        assert!(spec.validate().is_err());
+        spec.scenario
+            .axes
+            .push(Axis::real(AxisKind::Vdd, vec![0.9]));
+        assert!(
+            spec.validate().is_err(),
+            "vdd axis without a transfer table"
+        );
         assert!(spec.transfer_table().is_err());
     }
 
     #[test]
     fn vdd_campaign_builds_transfer_table() {
-        let points = PowerTransferTable::paper_nominal().points().to_vec();
+        let table = PowerTransferTable::paper_nominal();
         let spec = CampaignSpec {
             setup: SetupSpec::bench(42),
-            sweep: SweepSpec {
-                kind: SweepKindSpec::Vdd {
-                    transfer: points.clone(),
-                },
-                values: vec![0.8, 1.0],
-                fractions: vec![],
-                seeds: vec![42],
-            },
+            scenario: neurofi_core::ScenarioSpec::vdd(&[0.8, 1.0], &table, &[42]),
         };
         spec.validate().unwrap();
-        let table = spec.transfer_table().unwrap().unwrap();
-        assert_eq!(table.points(), points.as_slice());
+        let built = spec.transfer_table().unwrap().unwrap();
+        assert_eq!(built.points(), table.points());
         assert_eq!(spec.plan().jobs.len(), 2);
+        assert_eq!(spec.plan().jobs[1].attack, CellAttack::vdd(1.0));
+    }
+
+    #[test]
+    fn campaign_files_parse_and_validate() {
+        let parsed = parse_campaign_text(
+            "# a custom cross product the catalog never heard of\n\
+             name = cross\n\
+             weight = 2\n\
+             setup = bench\n\
+             setup-seed = 7\n\
+             attack = threshold-inhibitory\n\
+             axis rel_change = -0.2, 0.2\n\
+             axis vdd = 0.9, 1\n\
+             seeds = 42\n\
+             transfer = paper\n",
+        )
+        .unwrap();
+        assert_eq!(parsed.name.as_deref(), Some("cross"));
+        assert_eq!(parsed.weight, 2);
+        assert_eq!(parsed.spec.setup, SetupSpec::bench(7));
+        assert_eq!(parsed.spec.plan().jobs.len(), 4);
+        let named = parsed.into_named("fallback");
+        assert_eq!(named.name, "cross");
+        assert_eq!(named.weight, 2);
+
+        // Defaults: bench setup, seed 42, weight 1, caller-named.
+        let minimal =
+            parse_campaign_text("attack = theta\naxis theta_change = -0.2, 0.2\nseeds = 1\n")
+                .unwrap();
+        assert_eq!(minimal.spec.setup, SetupSpec::bench(42));
+        assert_eq!(minimal.into_named("fallback").name, "fallback");
+
+        // Rejections: unknown keys, unknown setups, invalid scenarios,
+        // degenerate weights.
+        assert!(parse_campaign_text("bogus = 1\nattack = theta\n").is_err());
+        assert!(parse_campaign_text(
+            "setup = huge\nattack = theta\naxis theta_change = 0.1\nseeds = 1\n"
+        )
+        .is_err());
+        assert!(
+            parse_campaign_text("attack = theta\nseeds = 1\n").is_err(),
+            "no axes"
+        );
+        assert!(parse_campaign_text(
+            "weight = 0\nattack = theta\naxis theta_change = 0.1\nseeds = 1\n"
+        )
+        .is_err());
+        // Duplicate campaign-level lines are rejected, never last-wins
+        // (a silently overridden setup-seed would change every result).
+        for duplicated in ["weight = 2", "setup-seed = 7", "name = x", "setup = bench"] {
+            let text = format!(
+                "{duplicated}\n{duplicated}\nattack = theta\naxis theta_change = 0.1\nseeds = 1\n"
+            );
+            assert!(parse_campaign_text(&text).is_err(), "{duplicated} last-won");
+        }
     }
 }

@@ -158,6 +158,10 @@ pub fn campaign_journal_path(base: &Path, name: &str) -> PathBuf {
 pub struct CampaignSweep {
     /// The campaign's queue name.
     pub name: String,
+    /// The campaign that produced the merge (bind-time or
+    /// live-submitted) — callers can re-run it serially for golden
+    /// verification without knowing how it was enqueued.
+    pub spec: crate::CampaignSpec,
     /// The assembled sweep — bit-identical to a serial run.
     pub result: SweepResult,
     /// Cells in the campaign grid.
@@ -618,16 +622,16 @@ pub fn serve_transport<L: Listener>(
                         let cache = neurofi_core::BaselineCache::new(&setup);
                         neurofi_core::sweep::mean_baseline_accuracy(
                             &cache,
-                            &campaign_state.campaign.spec.sweep.seeds,
+                            campaign_state.campaign.spec.scenario.baseline_seeds(),
                         )
                     }
                 };
                 let results: Vec<CellResult> =
                     campaign_state.completed.iter().flatten().copied().collect();
-                let result =
-                    assemble_sweep(campaign_state.plan.kind, baseline_accuracy, total, results)?;
+                let result = assemble_sweep(&campaign_state.plan, baseline_accuracy, results)?;
                 merged.push(CampaignSweep {
                     name: campaign_state.campaign.name.clone(),
+                    spec: campaign_state.campaign.spec.clone(),
                     result,
                     total_cells: total,
                     resumed_cells: campaign_state.resumed,

@@ -13,16 +13,20 @@
 //! ## Architecture
 //!
 //! * [`campaign`] — [`CampaignSpec`]: a self-contained, serialisable
-//!   description of one sweep campaign (experiment preset, scale knobs,
-//!   grid, and attack family), with a digest that binds journals and
-//!   handshakes to the exact campaign. [`NamedCampaign`] queues several
-//!   on one coordinator, each with a scheduling weight.
+//!   description of one sweep campaign (experiment preset and scale
+//!   knobs plus a declarative N-axis
+//!   [`ScenarioSpec`](neurofi_core::ScenarioSpec)), with a digest that
+//!   binds journals and handshakes to the exact campaign. The preset
+//!   catalog ([`named_campaign`]) and the spec-file grammar
+//!   ([`parse_campaign_text`]) both expand to the same specs.
+//!   [`NamedCampaign`] queues several on one coordinator, each with a
+//!   scheduling weight.
 //! * [`wire`] — length-prefixed framing and defensive binary encoding of
-//!   the coordinator/worker [`Message`](wire::Message)s (v3: the control
-//!   plane — live [`Submit`](wire::Message::Submit) /
-//!   [`CampaignAnnounce`](wire::Message::CampaignAnnounce) frames and
-//!   per-campaign scheduling weights); floats travel as IEEE-754 bit
-//!   patterns.
+//!   the coordinator/worker [`Message`](wire::Message)s (v4: campaigns
+//!   carry whole scenario specs, and cell jobs carry resolved composite
+//!   attacks, so live [`Submit`](wire::Message::Submit) frames can
+//!   enqueue *arbitrary* cross-product grids — not just catalog names);
+//!   floats travel as IEEE-754 bit patterns.
 //! * [`transport`] — the [`Connection`](transport::Connection) /
 //!   [`Listener`](transport::Listener) abstraction the coordinator and
 //!   worker are generic over: TCP in production, a deterministic
@@ -87,8 +91,8 @@ use std::time::Duration;
 use neurofi_core::Parallelism;
 
 pub use campaign::{
-    named_campaign, CampaignSpec, NamedCampaign, SetupBase, SetupSpec, SweepKindSpec, SweepSpec,
-    NAMED_CAMPAIGNS,
+    named_campaign, parse_campaign_text, CampaignSpec, NamedCampaign, ParsedCampaign, SetupBase,
+    SetupSpec, NAMED_CAMPAIGNS,
 };
 pub use checkpoint::Journal;
 pub use control::{submit_campaign, submit_on};

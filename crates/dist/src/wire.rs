@@ -16,12 +16,10 @@
 use std::io::{Read, Write};
 
 use neurofi_analog::TransferPoint;
+use neurofi_core::scenario::{AttackFamily, Axis, AxisKind, AxisValues, LayerSel, ScenarioSpec};
 use neurofi_core::sweep::{CellAttack, CellJob, CellResult, SweepCell};
-use neurofi_core::TargetLayer;
 
-use crate::campaign::{
-    CampaignSpec, NamedCampaign, SetupBase, SetupSpec, SweepKindSpec, SweepSpec,
-};
+use crate::campaign::{CampaignSpec, NamedCampaign, SetupBase, SetupSpec};
 
 /// Wire-protocol version; bumped on any incompatible encoding change.
 ///
@@ -37,7 +35,14 @@ use crate::campaign::{
 /// first reply that references the new campaign id. Campaign-queue
 /// entries additionally carry their scheduling weight (the weighted
 /// round-robin policy knob), which changes the `Campaigns` frame layout.
-pub const PROTOCOL_VERSION: u32 = 3;
+///
+/// v4: declarative scenarios. Campaigns carry a full N-axis
+/// [`ScenarioSpec`] (attack family, typed axes, seeds, transfer table)
+/// instead of the three hardcoded grid shapes, so `repro submit` can
+/// enqueue arbitrary cross products; cell jobs carry the resolved
+/// composite [`CellAttack`] (optional threshold, theta, VDD, and seed
+/// components) instead of a single-family coordinate pair.
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Upper bound on a single frame's payload (16 MiB). The largest real
 /// message is an [`Message::Assign`] batch of cell jobs (~40 bytes per
@@ -374,44 +379,76 @@ const TAG_SUBMIT: u8 = 9;
 const TAG_SUBMIT_OK: u8 = 10;
 const TAG_ANNOUNCE: u8 = 11;
 
-fn encode_layer(enc: &mut Encoder, layer: Option<TargetLayer>) {
-    enc.u8(match layer {
-        None => 0,
-        Some(TargetLayer::Excitatory) => 1,
-        Some(TargetLayer::Inhibitory) => 2,
+fn encode_layer_sel(enc: &mut Encoder, sel: LayerSel) {
+    enc.u8(match sel {
+        LayerSel::Excitatory => 0,
+        LayerSel::Inhibitory => 1,
+        LayerSel::Both => 2,
     });
 }
 
-fn decode_layer(dec: &mut Decoder<'_>) -> Result<Option<TargetLayer>, WireError> {
+fn decode_layer_sel(dec: &mut Decoder<'_>) -> Result<LayerSel, WireError> {
     match dec.u8()? {
-        0 => Ok(None),
-        1 => Ok(Some(TargetLayer::Excitatory)),
-        2 => Ok(Some(TargetLayer::Inhibitory)),
+        0 => Ok(LayerSel::Excitatory),
+        1 => Ok(LayerSel::Inhibitory),
+        2 => Ok(LayerSel::Both),
         tag => Err(WireError::Invalid(format!("unknown layer tag {tag}"))),
     }
 }
 
-/// Encodes one [`CellJob`].
+fn encode_family(enc: &mut Encoder, family: AttackFamily) {
+    match family {
+        AttackFamily::Threshold(sel) => {
+            enc.u8(0);
+            encode_layer_sel(enc, sel);
+        }
+        AttackFamily::Theta => enc.u8(1),
+        AttackFamily::Vdd => enc.u8(2),
+    }
+}
+
+fn decode_family(dec: &mut Decoder<'_>) -> Result<AttackFamily, WireError> {
+    match dec.u8()? {
+        0 => Ok(AttackFamily::Threshold(decode_layer_sel(dec)?)),
+        1 => Ok(AttackFamily::Theta),
+        2 => Ok(AttackFamily::Vdd),
+        tag => Err(WireError::Invalid(format!("unknown family tag {tag}"))),
+    }
+}
+
+fn encode_opt_f64(enc: &mut Encoder, value: Option<f64>) {
+    match value {
+        None => enc.u8(0),
+        Some(v) => {
+            enc.u8(1);
+            enc.f64(v);
+        }
+    }
+}
+
+fn decode_opt_f64(dec: &mut Decoder<'_>) -> Result<Option<f64>, WireError> {
+    match dec.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(dec.f64()?)),
+        tag => Err(WireError::Invalid(format!("unknown option tag {tag}"))),
+    }
+}
+
+/// Encodes one [`CellJob`]: the slot index plus the resolved composite
+/// [`CellAttack`] (family, then the optional threshold / theta / VDD /
+/// seed components).
 pub fn encode_cell_job(enc: &mut Encoder, job: &CellJob) {
     enc.usize(job.index);
-    match job.attack {
-        CellAttack::Threshold {
-            layer,
-            rel_change,
-            fraction,
-        } => {
-            enc.u8(0);
-            encode_layer(enc, layer);
-            enc.f64(rel_change);
-            enc.f64(fraction);
-        }
-        CellAttack::Theta { theta_change } => {
+    encode_family(enc, job.attack.family);
+    encode_opt_f64(enc, job.attack.rel_change);
+    enc.f64(job.attack.fraction);
+    encode_opt_f64(enc, job.attack.theta_change);
+    encode_opt_f64(enc, job.attack.vdd);
+    match job.attack.seed {
+        None => enc.u8(0),
+        Some(seed) => {
             enc.u8(1);
-            enc.f64(theta_change);
-        }
-        CellAttack::Vdd { vdd } => {
-            enc.u8(2);
-            enc.f64(vdd);
+            enc.u64(seed);
         }
     }
 }
@@ -419,22 +456,30 @@ pub fn encode_cell_job(enc: &mut Encoder, job: &CellJob) {
 /// Decodes one [`CellJob`].
 ///
 /// # Errors
-/// Fails on truncation or unknown attack tags.
+/// Fails on truncation or unknown tags.
 pub fn decode_cell_job(dec: &mut Decoder<'_>) -> Result<CellJob, WireError> {
     let index = dec.usize()?;
-    let attack = match dec.u8()? {
-        0 => CellAttack::Threshold {
-            layer: decode_layer(dec)?,
-            rel_change: dec.f64()?,
-            fraction: dec.f64()?,
-        },
-        1 => CellAttack::Theta {
-            theta_change: dec.f64()?,
-        },
-        2 => CellAttack::Vdd { vdd: dec.f64()? },
-        tag => return Err(WireError::Invalid(format!("unknown attack tag {tag}"))),
+    let family = decode_family(dec)?;
+    let rel_change = decode_opt_f64(dec)?;
+    let fraction = dec.f64()?;
+    let theta_change = decode_opt_f64(dec)?;
+    let vdd = decode_opt_f64(dec)?;
+    let seed = match dec.u8()? {
+        0 => None,
+        1 => Some(dec.u64()?),
+        tag => return Err(WireError::Invalid(format!("unknown option tag {tag}"))),
     };
-    Ok(CellJob { index, attack })
+    Ok(CellJob {
+        index,
+        attack: CellAttack {
+            family,
+            rel_change,
+            fraction,
+            theta_change,
+            vdd,
+            seed,
+        },
+    })
 }
 
 /// Encodes one [`CellResult`].
@@ -509,27 +554,96 @@ fn decode_setup_spec(dec: &mut Decoder<'_>) -> Result<SetupSpec, WireError> {
     })
 }
 
-fn encode_f64_seq(enc: &mut Encoder, values: &[f64]) {
-    enc.seq_len(values.len());
-    for &v in values {
-        enc.f64(v);
+fn axis_kind_tag(kind: AxisKind) -> u8 {
+    match kind {
+        AxisKind::RelChange => 0,
+        AxisKind::Fraction => 1,
+        AxisKind::ThetaChange => 2,
+        AxisKind::Vdd => 3,
+        AxisKind::Layer => 4,
+        AxisKind::Polarity => 5,
+        AxisKind::Seed => 6,
     }
 }
 
-fn decode_f64_seq(dec: &mut Decoder<'_>) -> Result<Vec<f64>, WireError> {
-    let len = dec.seq_len(8)?;
-    (0..len).map(|_| dec.f64()).collect()
+fn decode_axis_kind(dec: &mut Decoder<'_>) -> Result<AxisKind, WireError> {
+    match dec.u8()? {
+        0 => Ok(AxisKind::RelChange),
+        1 => Ok(AxisKind::Fraction),
+        2 => Ok(AxisKind::ThetaChange),
+        3 => Ok(AxisKind::Vdd),
+        4 => Ok(AxisKind::Layer),
+        5 => Ok(AxisKind::Polarity),
+        6 => Ok(AxisKind::Seed),
+        tag => Err(WireError::Invalid(format!("unknown axis tag {tag}"))),
+    }
 }
 
-fn encode_sweep_spec(enc: &mut Encoder, spec: &SweepSpec) {
-    match &spec.kind {
-        SweepKindSpec::Threshold { layer } => {
-            enc.u8(0);
-            encode_layer(enc, *layer);
+fn encode_axis(enc: &mut Encoder, axis: &Axis) {
+    enc.u8(axis_kind_tag(axis.kind));
+    match &axis.values {
+        AxisValues::Real(values) => {
+            enc.seq_len(values.len());
+            for &v in values {
+                enc.f64(v);
+            }
         }
-        SweepKindSpec::Theta => enc.u8(1),
-        SweepKindSpec::Vdd { transfer } => {
-            enc.u8(2);
+        AxisValues::Layer(values) => {
+            enc.seq_len(values.len());
+            for &sel in values {
+                encode_layer_sel(enc, sel);
+            }
+        }
+        AxisValues::Seed(values) => {
+            enc.seq_len(values.len());
+            for &seed in values {
+                enc.u64(seed);
+            }
+        }
+    }
+}
+
+/// The value representation is implied by the axis kind, so a decoded
+/// axis can never carry a kind/values mismatch.
+fn decode_axis(dec: &mut Decoder<'_>) -> Result<Axis, WireError> {
+    let kind = decode_axis_kind(dec)?;
+    let values = match kind {
+        AxisKind::Layer => {
+            let len = dec.seq_len(1)?;
+            AxisValues::Layer(
+                (0..len)
+                    .map(|_| decode_layer_sel(dec))
+                    .collect::<Result<Vec<_>, _>>()?,
+            )
+        }
+        AxisKind::Seed => {
+            let len = dec.seq_len(8)?;
+            AxisValues::Seed((0..len).map(|_| dec.u64()).collect::<Result<Vec<_>, _>>()?)
+        }
+        _ => {
+            let len = dec.seq_len(8)?;
+            AxisValues::Real((0..len).map(|_| dec.f64()).collect::<Result<Vec<_>, _>>()?)
+        }
+    };
+    Ok(Axis { kind, values })
+}
+
+/// Encodes a full N-axis [`ScenarioSpec`]: family, axes, seeds, and the
+/// optional transfer table.
+pub fn encode_scenario_spec(enc: &mut Encoder, spec: &ScenarioSpec) {
+    encode_family(enc, spec.family);
+    enc.seq_len(spec.axes.len());
+    for axis in &spec.axes {
+        encode_axis(enc, axis);
+    }
+    enc.seq_len(spec.seeds.len());
+    for &seed in &spec.seeds {
+        enc.u64(seed);
+    }
+    match &spec.transfer {
+        None => enc.u8(0),
+        Some(transfer) => {
+            enc.u8(1);
             enc.seq_len(transfer.len());
             for point in transfer {
                 enc.f64(point.vdd);
@@ -539,47 +653,51 @@ fn encode_sweep_spec(enc: &mut Encoder, spec: &SweepSpec) {
             }
         }
     }
-    encode_f64_seq(enc, &spec.values);
-    encode_f64_seq(enc, &spec.fractions);
-    enc.seq_len(spec.seeds.len());
-    for &seed in &spec.seeds {
-        enc.u64(seed);
-    }
 }
 
-fn decode_sweep_spec(dec: &mut Decoder<'_>) -> Result<SweepSpec, WireError> {
-    let kind = match dec.u8()? {
-        0 => SweepKindSpec::Threshold {
-            layer: decode_layer(dec)?,
-        },
-        1 => SweepKindSpec::Theta,
-        2 => {
-            let len = dec.seq_len(32)?;
-            let transfer = (0..len)
-                .map(|_| {
-                    Ok(TransferPoint {
-                        vdd: dec.f64()?,
-                        drive_scale: dec.f64()?,
-                        ah_threshold_scale: dec.f64()?,
-                        if_threshold_scale: dec.f64()?,
-                    })
-                })
-                .collect::<Result<Vec<_>, WireError>>()?;
-            SweepKindSpec::Vdd { transfer }
-        }
-        tag => return Err(WireError::Invalid(format!("unknown sweep kind tag {tag}"))),
-    };
-    let values = decode_f64_seq(dec)?;
-    let fractions = decode_f64_seq(dec)?;
+/// Decodes a full [`ScenarioSpec`].
+///
+/// # Errors
+/// Fails on truncation or unknown tags.
+pub fn decode_scenario_spec(dec: &mut Decoder<'_>) -> Result<ScenarioSpec, WireError> {
+    let family = decode_family(dec)?;
+    // Minimum axis: 1 kind byte + 4-byte empty value list.
+    let n_axes = dec.seq_len(5)?;
+    let axes = (0..n_axes)
+        .map(|_| decode_axis(dec))
+        .collect::<Result<Vec<_>, _>>()?;
     let n_seeds = dec.seq_len(8)?;
     let seeds = (0..n_seeds)
         .map(|_| dec.u64())
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(SweepSpec {
-        kind,
-        values,
-        fractions,
+    let transfer = match dec.u8()? {
+        0 => None,
+        1 => {
+            let len = dec.seq_len(32)?;
+            Some(
+                (0..len)
+                    .map(|_| {
+                        Ok(TransferPoint {
+                            vdd: dec.f64()?,
+                            drive_scale: dec.f64()?,
+                            ah_threshold_scale: dec.f64()?,
+                            if_threshold_scale: dec.f64()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?,
+            )
+        }
+        tag => {
+            return Err(WireError::Invalid(format!(
+                "unknown option tag {tag} for transfer table"
+            )))
+        }
+    };
+    Ok(ScenarioSpec {
+        family,
+        axes,
         seeds,
+        transfer,
     })
 }
 
@@ -587,7 +705,7 @@ fn decode_sweep_spec(dec: &mut Decoder<'_>) -> Result<SweepSpec, WireError> {
 /// computed over).
 pub fn encode_campaign_spec(enc: &mut Encoder, spec: &CampaignSpec) {
     encode_setup_spec(enc, &spec.setup);
-    encode_sweep_spec(enc, &spec.sweep);
+    encode_scenario_spec(enc, &spec.scenario);
 }
 
 /// Decodes a full [`CampaignSpec`].
@@ -597,7 +715,7 @@ pub fn encode_campaign_spec(enc: &mut Encoder, spec: &CampaignSpec) {
 pub fn decode_campaign_spec(dec: &mut Decoder<'_>) -> Result<CampaignSpec, WireError> {
     Ok(CampaignSpec {
         setup: decode_setup_spec(dec)?,
-        sweep: decode_sweep_spec(dec)?,
+        scenario: decode_scenario_spec(dec)?,
     })
 }
 
@@ -716,8 +834,8 @@ impl Message {
             },
             TAG_CAMPAIGNS => {
                 // Minimum entry: 4-byte name prefix + 4-byte weight + the
-                // smallest spec (34-byte setup + ~14-byte sweep); 8 is a
-                // safe floor.
+                // smallest spec (34-byte setup + a ~15-byte axis-less
+                // scenario); 8 is a safe floor.
                 let len = dec.seq_len(8)?;
                 let campaigns = (0..len)
                     .map(|_| decode_named_campaign(&mut dec))
@@ -729,7 +847,10 @@ impl Message {
             },
             TAG_ASSIGN => {
                 let campaign = dec.u32()?;
-                let len = dec.seq_len(9)?;
+                // Minimum job: 8-byte index + 1-byte family + the three
+                // 1-byte component tags + 8-byte fraction + 1-byte seed
+                // tag; 16 is a safe floor.
+                let len = dec.seq_len(16)?;
                 let jobs = (0..len)
                     .map(|_| decode_cell_job(&mut dec))
                     .collect::<Result<Vec<_>, _>>()?;
@@ -801,11 +922,7 @@ mod tests {
     fn sample_job() -> CellJob {
         CellJob {
             index: 5,
-            attack: CellAttack::Threshold {
-                layer: Some(TargetLayer::Inhibitory),
-                rel_change: -0.2,
-                fraction: 0.75,
-            },
+            attack: CellAttack::threshold(Some(neurofi_core::TargetLayer::Inhibitory), -0.2, 0.75),
         }
     }
 
@@ -831,11 +948,22 @@ mod tests {
                     sample_job(),
                     CellJob {
                         index: 0,
-                        attack: CellAttack::Theta { theta_change: 0.1 },
+                        attack: CellAttack::theta(0.1),
                     },
                     CellJob {
                         index: 1,
-                        attack: CellAttack::Vdd { vdd: 0.8 },
+                        attack: CellAttack::vdd(0.8),
+                    },
+                    // A resolved composite cell (threshold × vdd with a
+                    // pinned seed) — the v4 payload the three hardcoded
+                    // planners could never express.
+                    CellJob {
+                        index: 2,
+                        attack: CellAttack {
+                            vdd: Some(0.9),
+                            seed: Some(7),
+                            ..CellAttack::threshold(None, -0.1, 1.0)
+                        },
                     },
                 ],
             },

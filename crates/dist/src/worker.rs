@@ -146,7 +146,7 @@ impl WorkerRuntimes {
             }
         };
         self.campaigns.push(CampaignRuntime {
-            seeds: campaign.spec.sweep.seeds.clone(),
+            seeds: campaign.spec.scenario.baseline_seeds().to_vec(),
             cache,
             transfer: campaign.spec.transfer_table()?,
             baseline_accuracy: None,

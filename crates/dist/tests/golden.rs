@@ -262,3 +262,46 @@ fn multi_campaign_kill_and_resume_skips_finished_cells_in_every_campaign() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn custom_cross_product_scenario_is_bit_identical_to_serial() {
+    // A scenario only expressible as a custom spec — a threshold grid
+    // crossed with a VDD axis, an attack surface the paper never ran —
+    // must shard and merge bit-identically to its serial run, exactly
+    // like the catalog presets. The spec arrives through the textual
+    // grammar, the same path `repro submit --spec` uses.
+    let parsed = neurofi_dist::parse_campaign_text(
+        "name = cross\n\
+         setup = bench\n\
+         attack = threshold-inhibitory\n\
+         axis rel_change = -0.2, 0.2\n\
+         axis vdd = 0.9, 1\n\
+         seeds = 42\n\
+         transfer = paper\n",
+    )
+    .unwrap();
+    let campaign = parsed.into_named("cross");
+    assert!(
+        neurofi_dist::named_campaign(&campaign.name).is_none(),
+        "the scenario must not be a catalog preset"
+    );
+    let serial = campaign.spec.run_serial().unwrap();
+    assert_eq!(serial.cells.len(), 4);
+    // The surface must have structure (the depressed-VDD column behaves
+    // differently), or slot mix-ups would be invisible.
+    let distinct: std::collections::HashSet<u64> =
+        serial.cells.iter().map(|c| c.accuracy.to_bits()).collect();
+    assert!(distinct.len() >= 2, "cross-product surface is flat");
+
+    let report = run_local_cluster(&LocalClusterConfig::multi(vec![campaign], 2)).unwrap();
+    let sweep = &report.run.campaigns[0];
+    assert_eq!(sweep.name, "cross");
+    assert_bit_identical(&sweep.result, &serial);
+    // Results are addressable by axis indices: cell (rel=-0.2, vdd=1.0)
+    // sits at slot [0, 1] of the 2 × 2 surface.
+    assert_eq!(sweep.result.shape(), vec![2, 2]);
+    assert_eq!(
+        sweep.result.cell_at(&[0, 1]).unwrap().accuracy.to_bits(),
+        serial.cells[1].accuracy.to_bits()
+    );
+}

@@ -5,48 +5,65 @@
 
 use std::io::Cursor;
 
+use neurofi_core::scenario::{AttackFamily, Axis, AxisKind, LayerSel, ScenarioSpec};
 use neurofi_core::sweep::{CellAttack, CellJob, CellResult, SweepCell};
 use neurofi_core::TargetLayer;
 use neurofi_dist::wire::{
-    decode_cell_job, decode_cell_result, encode_cell_job, encode_cell_result, read_frame,
-    write_frame, Decoder, Encoder, Message, WireError,
+    decode_cell_job, decode_cell_result, decode_scenario_spec, encode_cell_job, encode_cell_result,
+    encode_scenario_spec, read_frame, write_frame, Decoder, Encoder, Message, WireError,
 };
 use neurofi_dist::MAX_FRAME_LEN;
 use proptest::prelude::*;
 
+/// A v4 composite cell: the family from `tag`, plus optional extra
+/// components (theta, vdd, seed) toggled by `layer_tag`'s bits — so the
+/// round trips cover pure legacy cells *and* cross-product cells.
 fn build_job(index: usize, tag: u8, layer_tag: u8, a: f64, b: f64) -> CellJob {
-    let attack = match tag % 3 {
-        0 => CellAttack::Threshold {
-            layer: match layer_tag % 3 {
+    let mut attack = match tag % 3 {
+        0 => CellAttack::threshold(
+            match layer_tag % 3 {
                 0 => None,
                 1 => Some(TargetLayer::Excitatory),
                 _ => Some(TargetLayer::Inhibitory),
             },
-            rel_change: a,
-            fraction: b,
-        },
-        1 => CellAttack::Theta { theta_change: a },
-        _ => CellAttack::Vdd { vdd: b },
+            a,
+            b,
+        ),
+        1 => CellAttack::theta(a),
+        _ => CellAttack::vdd(b),
     };
+    if layer_tag & 4 != 0 {
+        attack.vdd = Some(b.abs() + 0.1);
+    }
+    if layer_tag & 8 != 0 {
+        attack.theta_change = Some(a);
+    }
+    if layer_tag & 16 != 0 {
+        attack.seed = Some(index as u64);
+    }
     CellJob { index, attack }
 }
 
-fn job_bits(job: &CellJob) -> (usize, u8, Option<u64>, u64, u64) {
-    match job.attack {
-        CellAttack::Threshold {
-            layer,
-            rel_change,
-            fraction,
-        } => (
-            job.index,
-            0,
-            layer.map(|l| l as u64),
-            rel_change.to_bits(),
-            fraction.to_bits(),
-        ),
-        CellAttack::Theta { theta_change } => (job.index, 1, None, theta_change.to_bits(), 0),
-        CellAttack::Vdd { vdd } => (job.index, 2, None, vdd.to_bits(), 0),
-    }
+type JobBits = (
+    usize,
+    AttackFamily,
+    Option<u64>,
+    u64,
+    Option<u64>,
+    Option<u64>,
+    Option<u64>,
+);
+
+fn job_bits(job: &CellJob) -> JobBits {
+    (
+        job.index,
+        job.attack.family,
+        job.attack.rel_change.map(f64::to_bits),
+        job.attack.fraction.to_bits(),
+        job.attack.theta_change.map(f64::to_bits),
+        job.attack.vdd.map(f64::to_bits),
+        job.attack.seed,
+    )
 }
 
 proptest! {
@@ -56,7 +73,7 @@ proptest! {
     fn cell_jobs_round_trip_bit_exactly(
         index in 0usize..1_000_000,
         tag in 0u8..3,
-        layer_tag in 0u8..3,
+        layer_tag in 0u8..32,
         a in -0.99f64..=2.0,
         b in 0.0f64..=1.5,
     ) {
@@ -299,6 +316,112 @@ proptest! {
             Err(WireError::Oversized(n)) => prop_assert!(n > MAX_FRAME_LEN),
             other => prop_assert!(false, "expected Oversized, got {:?}", other),
         }
+    }
+
+    #[test]
+    fn scenario_specs_round_trip_on_the_wire_and_in_the_grammar(
+        rel_a in -0.99f64..=0.99,
+        rel_b in -0.99f64..=0.99,
+        fraction in 0.0f64..=1.0,
+        vdd in 0.1f64..=2.0,
+        n_seeds in 1usize..5,
+        vdd_toggle in 0u8..2,
+        layer_toggle in 0u8..2,
+    ) {
+        let (with_vdd, with_layer) = (vdd_toggle == 1, layer_toggle == 1);
+        let mut axes = vec![
+            Axis::real(AxisKind::RelChange, vec![rel_a, rel_b]),
+            Axis::real(AxisKind::Fraction, vec![fraction]),
+        ];
+        if with_vdd {
+            axes.push(Axis::real(AxisKind::Vdd, vec![vdd]));
+        }
+        if with_layer {
+            axes.push(Axis::layers(vec![LayerSel::Excitatory, LayerSel::Both]));
+        }
+        let spec = ScenarioSpec {
+            family: AttackFamily::Threshold(LayerSel::Inhibitory),
+            axes,
+            seeds: (0..n_seeds as u64).collect(),
+            transfer: with_vdd.then(|| {
+                neurofi_core::PowerTransferTable::paper_nominal().points().to_vec()
+            }),
+        };
+        spec.validate().expect("generated specs are valid");
+
+        // Wire round trip (protocol v4): bit-exact.
+        let mut enc = Encoder::new();
+        encode_scenario_spec(&mut enc, &spec);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        let wired = decode_scenario_spec(&mut dec).expect("wire round trip");
+        dec.expect_end().expect("no trailing bytes");
+        prop_assert_eq!(&wired, &spec);
+        // Any strict prefix is rejected, never mis-decoded.
+        for cut in 0..bytes.len() {
+            prop_assert!(decode_scenario_spec(&mut Decoder::new(&bytes[..cut])).is_err());
+        }
+
+        // Grammar round trip: parse(display(spec)) is the identity,
+        // including float artefacts, because Display uses shortest
+        // round-trippable representations.
+        let text = spec.to_string();
+        let reparsed: ScenarioSpec = text.parse().expect("grammar round trip");
+        prop_assert_eq!(&reparsed, &spec);
+    }
+
+    #[test]
+    fn hostile_scenario_payloads_never_allocate(
+        claimed in 1_000u32..=u32::MAX,
+        stage in 0usize..3,
+    ) {
+        // A scenario whose axis count, axis length, or transfer-point
+        // count claims a multi-gigabyte sequence with no bytes behind
+        // it must be rejected as truncated instead of allocating.
+        let mut enc = Encoder::new();
+        enc.u8(1); // family: theta
+        match stage {
+            0 => enc.u32(claimed), // hostile axis count
+            1 => {
+                enc.u32(1); // one axis
+                enc.u8(0); // rel_change
+                enc.u32(claimed); // hostile value count
+            }
+            _ => {
+                enc.u32(0); // no axes
+                enc.u32(0); // no seeds
+                enc.u8(1); // transfer present
+                enc.u32(claimed); // hostile point count
+            }
+        }
+        enc.u8(0); // a stray byte, far fewer than claimed
+        let bytes = enc.finish();
+        prop_assert!(decode_scenario_spec(&mut Decoder::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn grammar_rejects_empty_axes_and_hostile_lengths(
+        n_values in 0usize..3,
+        hostile_len in 65usize..4_096,
+    ) {
+        // Empty axes are rejected at parse time and by validation.
+        if n_values == 0 {
+            prop_assert!(Axis::parse("rel_change=").is_err());
+        }
+        // Overlong axis names are rejected before any lookup, mirroring
+        // the wire layer's guards.
+        let mut long_name = "a".repeat(hostile_len);
+        long_name.push_str("=1");
+        let overlong = Axis::parse(&long_name);
+        prop_assert!(overlong.is_err());
+        // Hostile point counts are rejected before expansion.
+        prop_assert!(Axis::parse("rel_change=0..0.5/999999999").is_err());
+        // Oversized spec text is rejected before line-splitting work.
+        let oversized = format!(
+            "attack = theta\n# {}",
+            "x".repeat(neurofi_core::scenario::MAX_SPEC_TEXT)
+        );
+        prop_assert!(oversized.parse::<ScenarioSpec>().is_err());
     }
 
     #[test]

@@ -289,9 +289,10 @@ fn old_protocol_peers_are_rejected_with_a_clear_error() {
     let hub = LoopbackHub::new();
     let serve = spawn_coordinator(&hub, config);
 
-    // A PR 2 (v1) and a PR 3 (v2) worker handshake: same frame shape,
-    // old versions — both must be turned away naming both versions.
-    for old in [1u32, 2] {
+    // A PR 2 (v1), PR 3 (v2), and PR 4 (v3) worker handshake: same
+    // frame shape, old versions — all must be turned away naming both
+    // versions.
+    for old in [1u32, 2, 3] {
         let mut conn = hub.connect();
         conn.send(&Message::Hello {
             protocol: old,
