@@ -6,7 +6,7 @@
 //! repro sweep --attack threshold-inhibitory --axis "rel_change=-20%,20%" ...
 //! repro bench [--out DIR]
 //! repro coordinate [--grid NAME]... [--spec FILE]... [--workers N] [--fair]
-//! repro work --connect HOST:PORT [--threads N]
+//! repro work --connect HOST:PORT [--threads N] [--retry N] [--backoff MS]
 //! repro submit (--grid NAME | --spec FILE | --attack ... --axis ...) --to HOST:PORT
 //! repro list
 //! ```
@@ -23,8 +23,11 @@
 //! `--grid`/`--spec` to queue several campaigns on one worker fleet,
 //! `submit` enqueues another scenario — catalog preset or arbitrary
 //! custom grid — on a *running* coordinator, and `--fair` interleaves
-//! campaigns by weighted round-robin instead of FIFO. Every merged
-//! result is bit-identical to a serial run regardless of scheduling.
+//! campaigns by weighted round-robin instead of FIFO. Workers reconnect
+//! through link losses with capped jittered backoff (`--retry`/
+//! `--backoff`), and submission is idempotent, so retries are safe on
+//! both sides. Every merged result is bit-identical to a serial run
+//! regardless of scheduling or faults.
 
 use std::path::PathBuf;
 use std::process::ExitCode;

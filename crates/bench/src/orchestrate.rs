@@ -13,9 +13,9 @@ use std::time::Duration;
 
 use neurofi_core::{Parallelism, SweepResult, Table};
 use neurofi_dist::{
-    named_campaign, run_local_cluster, run_worker, submit_campaign, CampaignSweep, Coordinator,
-    CoordinatorConfig, LocalClusterConfig, NamedCampaign, PolicyKind, WorkerConfig,
-    NAMED_CAMPAIGNS,
+    named_campaign, run_local_cluster, run_worker, submit_campaign_retrying, CampaignSweep,
+    Coordinator, CoordinatorConfig, LocalClusterConfig, NamedCampaign, PolicyKind, RetryPolicy,
+    WorkerConfig, NAMED_CAMPAIGNS,
 };
 
 fn coordinate_usage() -> String {
@@ -41,7 +41,13 @@ fn coordinate_usage() -> String {
 
 fn work_usage() -> &'static str {
     "usage: repro work --connect HOST:PORT [--threads N] [--max-cells K] \
-     [--batch N] [--ack-window N]"
+     [--batch N] [--ack-window N] [--retry N] [--backoff MS]\n\
+     --retry N  give up after N consecutive failed dials/sessions \
+     (default 4; a completed handshake resets the count, so a long-lived \
+     worker rides through any number of separated link flaps; a worker \
+     started before its coordinator binds keeps dialling)\n\
+     --backoff MS  base reconnect delay, doubled per consecutive failure \
+     and jittered (default 250, capped at 5000)"
 }
 
 fn submit_usage() -> String {
@@ -55,7 +61,12 @@ fn submit_usage() -> String {
          axis grammar (arbitrary grids, not just catalog names; see \
          `repro sweep --help` for the grammar). The campaign is journaled \
          and scheduled exactly like a bind-time campaign; --name overrides \
-         the queue name, --weight sets its --fair round-robin share.",
+         the queue name, --weight sets its --fair round-robin share.\n\
+         --retry N  retry link failures up to N times with backoff \
+         (default 4) — safe because enqueueing is idempotent: a retry \
+         after a lost acknowledgement returns the existing campaign id\n\
+         --backoff MS  base retry delay, doubled per attempt and jittered \
+         (default 250, capped at 5000)",
         NAMED_CAMPAIGNS.join(" ")
     )
 }
@@ -424,6 +435,8 @@ pub fn work_main(args: &[String]) -> ExitCode {
     let mut max_cells: Option<usize> = None;
     let mut batch: Option<usize> = None;
     let mut ack_window: Option<usize> = None;
+    let mut retries: Option<u32> = None;
+    let mut backoff: Option<u64> = None;
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -465,6 +478,19 @@ pub fn work_main(args: &[String]) -> ExitCode {
                 Ok(v) => ack_window = Some(v),
                 Err(e) => return usage_error(&e, work_usage()),
             },
+            "--retry" => match take("--retry").and_then(|v| {
+                v.parse::<u32>()
+                    .map_err(|_| format!("bad retry count `{v}`"))
+            }) {
+                Ok(v) => retries = Some(v),
+                Err(e) => return usage_error(&e, work_usage()),
+            },
+            "--backoff" => match take("--backoff")
+                .and_then(|v| v.parse::<u64>().map_err(|_| format!("bad backoff `{v}`")))
+            {
+                Ok(v) => backoff = Some(v),
+                Err(e) => return usage_error(&e, work_usage()),
+            },
             "--help" | "-h" => {
                 println!("{}", work_usage());
                 return ExitCode::SUCCESS;
@@ -483,6 +509,15 @@ pub fn work_main(args: &[String]) -> ExitCode {
     if let Some(window) = ack_window {
         config.ack_window = window;
     }
+    if let Some(retries) = retries {
+        config.retry.max_retries = retries;
+    }
+    if let Some(backoff) = backoff {
+        config.retry.backoff = Duration::from_millis(backoff);
+    }
+    // Per-process jitter seed so a fleet restarted together does not
+    // redial in lockstep.
+    config.retry.seed ^= u64::from(std::process::id());
     eprintln!(
         "work: connecting to {} with {} thread(s)...",
         config.connect,
@@ -531,6 +566,8 @@ pub fn submit_main(args: &[String]) -> ExitCode {
     let mut to: Option<String> = None;
     let mut weight: Option<u32> = None;
     let mut queue_name: Option<String> = None;
+    let mut retry = RetryPolicy::default();
+    retry.seed ^= u64::from(std::process::id());
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -553,6 +590,19 @@ pub fn submit_main(args: &[String]) -> ExitCode {
             },
             "--name" => match take("--name") {
                 Ok(v) => queue_name = Some(v),
+                Err(e) => return usage_error(&e, &submit_usage()),
+            },
+            "--retry" => match take("--retry").and_then(|v| {
+                v.parse::<u32>()
+                    .map_err(|_| format!("bad retry count `{v}`"))
+            }) {
+                Ok(v) => retry.max_retries = v,
+                Err(e) => return usage_error(&e, &submit_usage()),
+            },
+            "--backoff" => match take("--backoff")
+                .and_then(|v| v.parse::<u64>().map_err(|_| format!("bad backoff `{v}`")))
+            {
+                Ok(v) => retry.backoff = Duration::from_millis(v),
                 Err(e) => return usage_error(&e, &submit_usage()),
             },
             "--help" | "-h" => {
@@ -587,7 +637,7 @@ pub fn submit_main(args: &[String]) -> ExitCode {
         crate::scenario_cli::describe_campaign(&campaign),
         campaign.weight
     );
-    match submit_campaign(&to, campaign) {
+    match submit_campaign_retrying(&to, &campaign, &retry) {
         Ok(id) => {
             println!("submitted campaign `{name}` as id {id}");
             ExitCode::SUCCESS

@@ -8,14 +8,24 @@
 //! (duplicate name, invalid spec, foreign journal, run already over).
 //!
 //! `repro submit --grid NAME --to HOST:PORT` is the CLI front end.
+//!
+//! Submission is **idempotent**, which makes retrying safe: the
+//! coordinator answers a resubmission whose name *and* digest match an
+//! already-enqueued campaign with the existing id rather than a
+//! duplicate-name abort. So when the link dies between the `Submit`
+//! going out and the `SubmitOk` coming back — the client cannot know
+//! whether the campaign was enqueued — [`submit_with_retry`] simply
+//! dials again and resubmits; whichever attempt's reply gets through
+//! returns the one true id.
 
 use std::net::TcpStream;
 use std::time::Duration;
 
 use crate::campaign::NamedCampaign;
+use crate::chaos::SplitMix64;
 use crate::transport::{Connection, TcpConnection};
 use crate::wire::{Message, PROTOCOL_VERSION};
-use crate::DistError;
+use crate::{DistError, RetryPolicy};
 
 /// How long a submitter waits for the coordinator's verdict. Enqueueing
 /// is a queue append plus one journal open, so replies are immediate;
@@ -43,6 +53,16 @@ pub fn submit_campaign(addr: &str, campaign: NamedCampaign) -> Result<u32, DistE
 /// # Errors
 /// See [`submit_campaign`].
 pub fn submit_on<C: Connection>(conn: &mut C, campaign: NamedCampaign) -> Result<u32, DistError> {
+    // Fail fast client-side: the coordinator's reader would refuse to
+    // allocate an overlong name anyway, but that surfaces as an opaque
+    // dropped connection rather than this message.
+    if campaign.name.len() > crate::wire::MAX_NAME_LEN {
+        return Err(DistError::Protocol(format!(
+            "campaign name of {} bytes exceeds the {}-byte wire cap",
+            campaign.name.len(),
+            crate::wire::MAX_NAME_LEN
+        )));
+    }
     conn.send(&Message::Submit {
         protocol: PROTOCOL_VERSION,
         campaign,
@@ -54,4 +74,63 @@ pub fn submit_on<C: Connection>(conn: &mut C, campaign: NamedCampaign) -> Result
             "expected a submission verdict, got {other:?}"
         ))),
     }
+}
+
+/// Submits one campaign through connections produced by `connect`,
+/// retrying link failures with the policy's capped, jittered backoff.
+/// Safe to retry because enqueueing is idempotent (see module docs): a
+/// resubmission after a lost `SubmitOk` returns the existing id.
+///
+/// # Errors
+/// A coordinator verdict ([`DistError::Aborted`]) or protocol violation
+/// returns immediately — retrying would get the same answer. Link
+/// errors return once the retry budget is exhausted.
+pub fn submit_with_retry<C, F>(
+    mut connect: F,
+    campaign: &NamedCampaign,
+    retry: &RetryPolicy,
+) -> Result<u32, DistError>
+where
+    C: Connection,
+    F: FnMut() -> Result<C, DistError>,
+{
+    let mut rng = SplitMix64::new(retry.seed);
+    let mut attempt = 0u32;
+    loop {
+        let result = connect().and_then(|mut conn| submit_on(&mut conn, campaign.clone()));
+        match result {
+            Ok(id) => return Ok(id),
+            Err(error @ (DistError::Aborted(_) | DistError::Protocol(_))) => return Err(error),
+            Err(error) => {
+                if attempt >= retry.max_retries {
+                    return Err(error);
+                }
+                std::thread::sleep(retry.delay(attempt, &mut rng));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// [`submit_with_retry`] over TCP: dials `addr` fresh for each attempt,
+/// so a coordinator that was briefly unreachable (or not yet bound) is
+/// retried rather than fatal.
+///
+/// # Errors
+/// See [`submit_with_retry`].
+pub fn submit_campaign_retrying(
+    addr: &str,
+    campaign: &NamedCampaign,
+    retry: &RetryPolicy,
+) -> Result<u32, DistError> {
+    submit_with_retry(
+        || {
+            let stream = TcpStream::connect(addr)?;
+            let mut conn = TcpConnection::new(stream);
+            conn.set_recv_timeout(Some(SUBMIT_TIMEOUT));
+            Ok(conn)
+        },
+        campaign,
+        retry,
+    )
 }

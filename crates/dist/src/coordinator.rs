@@ -438,6 +438,13 @@ fn validate_queue(campaigns: &[NamedCampaign]) -> Result<(), DistError> {
     }
     for (i, campaign) in campaigns.iter().enumerate() {
         campaign.spec.validate()?;
+        if campaign.name.len() > crate::wire::MAX_NAME_LEN {
+            return Err(DistError::Protocol(format!(
+                "campaign name of {} bytes exceeds the {}-byte wire cap",
+                campaign.name.len(),
+                crate::wire::MAX_NAME_LEN
+            )));
+        }
         if campaigns[..i].iter().any(|c| c.name == campaign.name) {
             return Err(DistError::Protocol(format!(
                 "campaign name `{}` is queued twice; names must be unique \
@@ -544,43 +551,64 @@ pub fn serve_transport<L: Listener>(
         max_worker_losses: config.max_worker_losses,
     };
 
+    // The listener's canceller is the shutdown signal for the accept
+    // thread: it unblocks the blocking accept and makes every later
+    // accept return `None`.
+    let unblock_accept = listener.canceller();
+
     std::thread::scope(|scope| {
-        let mut idle_since = Instant::now();
-        let mut submissions_seen = 0usize;
-        loop {
-            match listener.poll_accept() {
+        let shared = &shared;
+        // Accept thread: parks in the kernel (TCP) or on the hub's
+        // condvar (loopback) — no polling — and spawns one handler per
+        // peer. It exits when the canceller fires or the listener
+        // breaks.
+        scope.spawn(move || loop {
+            match listener.accept() {
                 Ok(Some(conn)) => {
-                    let shared = &shared;
                     scope.spawn(move || serve_conn(conn, shared, worker_timeout, limits));
                 }
-                Ok(None) => {}
+                Ok(None) => break, // cancelled: run is over
                 Err(e) => {
                     let mut state = shared.lock_state();
                     state.fail(format!("listener failed: {e}"));
                     shared.changed.notify_all();
+                    break;
                 }
             }
+        });
 
-            {
-                let mut state = shared.lock_state();
-                if state.outcome.is_some() {
-                    break;
-                }
-                // Connected workers *and* accepted submissions count as
-                // activity: a coordinator that just replied `SubmitOk`
-                // must give workers a chance to arrive for the new
-                // campaign instead of idling out moments later.
-                if state.workers_connected > 0 || state.submissions_accepted != submissions_seen {
-                    submissions_seen = state.submissions_accepted;
-                    idle_since = Instant::now();
-                } else if idle_since.elapsed() > idle_timeout {
-                    state.fail(String::new()); // marker: idle abandonment
-                    shared.changed.notify_all();
-                    break;
-                }
+        // Main loop: sleep on the `changed` condvar, re-checking
+        // outcome and idleness on every wake. The bounded slice exists
+        // only so the idle deadline is noticed promptly when *nothing*
+        // happens; all real transitions (completion, failure, worker
+        // arrival/departure, submission) signal the condvar.
+        let mut idle_since = Instant::now();
+        let mut submissions_seen = 0usize;
+        let slice = idle_timeout
+            .min(Duration::from_millis(500))
+            .max(Duration::from_millis(10));
+        let mut state = shared.lock_state();
+        loop {
+            if state.outcome.is_some() {
+                break;
             }
-            std::thread::sleep(Duration::from_millis(20));
+            // Connected workers *and* accepted submissions count as
+            // activity: a coordinator that just replied `SubmitOk`
+            // must give workers a chance to arrive for the new
+            // campaign instead of idling out moments later.
+            if state.workers_connected > 0 || state.submissions_accepted != submissions_seen {
+                submissions_seen = state.submissions_accepted;
+                idle_since = Instant::now();
+            } else if idle_since.elapsed() > idle_timeout {
+                state.fail(String::new()); // marker: idle abandonment
+                shared.changed.notify_all();
+                break;
+            }
+            state = shared.wait_changed(state, slice).0;
         }
+        drop(state);
+        unblock_accept();
+
         // Drain: wake blocked handlers so they deliver Finished/Abort
         // to their workers; after a short grace, force-sever any
         // connection still open (e.g. a worker mid-computation on
@@ -589,16 +617,19 @@ pub fn serve_transport<L: Listener>(
         // control client (or a peer that never finished its handshake)
         // would otherwise pin its handler in `recv` until the worker
         // timeout, stalling the scope join for minutes after the merge
-        // is ready.
+        // is ready. Handler exits signal `changed`, so the drain waits
+        // on the condvar too (the slice re-notifies stragglers).
         let deadline = Instant::now() + DRAIN_GRACE;
+        let mut state = shared.lock_state();
         loop {
             shared.changed.notify_all();
-            if shared.lock_state().workers_connected == 0 || Instant::now() > deadline {
-                shared.cancel_all_conns();
+            if state.workers_connected == 0 || Instant::now() > deadline {
                 break;
             }
-            std::thread::sleep(Duration::from_millis(20));
+            state = shared.wait_changed(state, Duration::from_millis(50)).0;
         }
+        drop(state);
+        shared.cancel_all_conns();
     });
 
     let state = shared
@@ -914,20 +945,33 @@ fn requeue(shared: &Shared, in_flight: &mut Vec<(usize, usize)>, limits: PoisonL
 /// call so idle workers pick it up immediately. Returns the new
 /// campaign id.
 fn enqueue_submission(shared: &Shared, campaign: NamedCampaign) -> Result<u32, String> {
-    fn admissible(state: &State, name: &str) -> Result<(), String> {
+    // `Ok(Some(id))` short-circuits: the campaign is already enqueued
+    // and this submission is a retry. A client whose `SubmitOk` was
+    // lost cannot know whether its submit landed, so resubmitting must
+    // be idempotent — same name *and* same digest answer with the
+    // existing id; same name but a different spec is still an error
+    // (two different campaigns cannot share a journal or a report row).
+    fn admissible(state: &State, name: &str, digest: u64) -> Result<Option<u32>, String> {
         if state.outcome.is_some() {
             return Err("the run is already over; submit to a fresh coordinator".into());
         }
-        if state.campaigns.iter().any(|c| c.campaign.name == name) {
+        if let Some(id) = state.campaigns.iter().position(|c| c.campaign.name == name) {
+            if state.campaigns[id].campaign.spec.digest() == digest {
+                return Ok(Some(id as u32));
+            }
             return Err(format!(
-                "campaign name `{name}` is already queued on this coordinator"
+                "campaign name `{name}` is already queued on this coordinator \
+                 with a different spec; pick another name"
             ));
         }
-        Ok(())
+        Ok(None)
     }
+    let digest = campaign.spec.digest();
     // Cheap pre-check so obviously inadmissible submissions never touch
     // the filesystem.
-    admissible(&shared.lock_state(), &campaign.name)?;
+    if let Some(id) = admissible(&shared.lock_state(), &campaign.name, digest)? {
+        return Ok(id);
+    }
     // Plan enumeration and journal open/replay can be slow for big
     // resumed grids — build the state *outside* the scheduler lock so
     // the fleet's claim/record handlers never stall behind a
@@ -938,7 +982,9 @@ fn enqueue_submission(shared: &Shared, campaign: NamedCampaign) -> Result<u32, S
     let mut state = shared.lock_state();
     // Re-check under the lock: a racing duplicate submission (or the
     // run ending) may have won while the journal was replaying.
-    admissible(&state, &name)?;
+    if let Some(id) = admissible(&state, &name, digest)? {
+        return Ok(id);
+    }
     state.campaigns.push(campaign_state);
     state.submissions_accepted += 1;
     let id = (state.campaigns.len() - 1) as u32;
@@ -1069,6 +1115,9 @@ fn serve_worker<C: Connection>(mut conn: C, shared: &Shared, threads: u32, limit
         let mut state = shared.lock_state();
         state.workers_connected += 1;
         state.workers_seen += 1;
+        // The main loop sleeps on `changed` and must observe worker
+        // arrival promptly — it resets the idle clock.
+        shared.changed.notify_all();
     }
 
     let mut in_flight: Vec<(usize, usize)> = Vec::new();
@@ -1423,21 +1472,30 @@ mod tests {
         );
         let id = enqueue_submission(&shared, submitted).expect("submission accepted");
         assert_eq!(id, 1);
-        // Duplicate names are refused with a reason.
+        // An identical resubmission (same name, same digest) is a retry
+        // after a lost `SubmitOk`: it must answer with the existing id,
+        // not enqueue a second instance and not abort.
         let duplicate = NamedCampaign::new(
             "late",
             crate::campaign::named_campaign("tiny-theta").unwrap(),
         );
-        let err = enqueue_submission(&shared, duplicate).unwrap_err();
-        assert!(err.contains("already queued"), "diagnostic: {err}");
+        assert_eq!(
+            enqueue_submission(&shared, duplicate).expect("idempotent resubmission"),
+            1
+        );
+        // Same name, different spec: that is a genuine conflict.
+        let conflicting =
+            NamedCampaign::new("late", crate::campaign::named_campaign("tiny").unwrap());
+        let err = enqueue_submission(&shared, conflicting).unwrap_err();
+        assert!(err.contains("different spec"), "diagnostic: {err}");
         // The new campaign's cells are schedulable (FIFO serves the
         // bind-time campaign first, then the submission).
         let state = shared.lock_state();
-        assert_eq!(state.campaigns.len(), 2);
+        assert_eq!(state.campaigns.len(), 2, "no second instance enqueued");
         assert_eq!(
             state.submissions_accepted, 1,
             "accepted submissions count as serve-loop activity \
-             (rejected duplicates do not)"
+             (idempotent retries and rejected conflicts do not)"
         );
         assert_eq!(state.campaigns[1].pending.len(), 4);
         drop(state);

@@ -77,6 +77,7 @@
 #![deny(missing_debug_implementations)]
 
 pub mod campaign;
+pub mod chaos;
 pub mod checkpoint;
 pub mod control;
 pub mod coordinator;
@@ -94,8 +95,11 @@ pub use campaign::{
     named_campaign, parse_campaign_text, CampaignSpec, NamedCampaign, ParsedCampaign, SetupBase,
     SetupSpec, NAMED_CAMPAIGNS,
 };
+pub use chaos::{
+    ChaosConnection, ChaosDialer, ChaosListener, ConnectionFaults, FaultSchedule, SplitMix64,
+};
 pub use checkpoint::Journal;
-pub use control::{submit_campaign, submit_on};
+pub use control::{submit_campaign, submit_campaign_retrying, submit_on, submit_with_retry};
 pub use coordinator::{
     campaign_journal_path, capacity_batch, resolve_addr, run_coordinator, serve_transport,
     CampaignSweep, CoordinatedRun, Coordinator, CoordinatorConfig, CELLS_PER_THREAD,
@@ -105,8 +109,13 @@ pub use transport::{
     loopback_pair, Connection, Listener, LoopbackConn, LoopbackHub, LoopbackListener,
     TcpConnection, TcpServerListener,
 };
-pub use wire::{Message, WireError, MAX_FRAME_LEN, PROTOCOL_VERSION};
-pub use worker::{run_worker, run_worker_on, WorkerConfig, WorkerSummary, DEFAULT_ACK_WINDOW};
+pub use wire::{
+    clamp_str, Message, WireError, MAX_FRAME_LEN, MAX_NAME_LEN, MAX_REASON_LEN, PROTOCOL_VERSION,
+};
+pub use worker::{
+    run_worker, run_worker_on, run_worker_reconnecting, WorkerConfig, WorkerSummary,
+    DEFAULT_ACK_WINDOW,
+};
 
 /// Any error produced by the distributed layer.
 #[derive(Debug)]
@@ -203,6 +212,76 @@ impl From<neurofi_core::Error> for DistError {
     }
 }
 
+/// How a client (worker or submitter) retries a failed link: capped
+/// exponential backoff with seeded jitter.
+///
+/// Attempt `n` (0-based) sleeps `backoff × 2ⁿ`, capped at
+/// `max_backoff`, then scaled by a jitter factor in `[0.5, 1.5)` drawn
+/// from a [`SplitMix64`] stream seeded with `seed` — so two workers
+/// given different seeds do not reconnect in lockstep, yet a given
+/// seed's timing replays exactly (which the chaos suite relies on).
+///
+/// Retries are *consecutive-failure* bounded: a worker that completes a
+/// handshake resets its failure count, so a long-lived worker rides
+/// through any number of separated link flaps, while a coordinator
+/// that is truly gone is given up on after `max_retries + 1` dials.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// How many consecutive failed attempts to retry before giving up
+    /// (0 = fail on the first error, preserving pre-retry behaviour).
+    pub max_retries: u32,
+    /// Base delay before the first retry.
+    pub backoff: Duration,
+    /// Ceiling on the exponentially grown delay.
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 4,
+            backoff: Duration::from_millis(250),
+            max_backoff: Duration::from_secs(5),
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (single-shot, pre-retry behaviour).
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Default backoff shape with the given retry budget.
+    pub fn with_retries(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Same policy, different jitter seed (give each worker its own).
+    pub fn with_seed(mut self, seed: u64) -> RetryPolicy {
+        self.seed = seed;
+        self
+    }
+
+    /// The sleep before retry number `attempt` (0-based), jittered by
+    /// `rng`.
+    pub fn delay(&self, attempt: u32, rng: &mut SplitMix64) -> Duration {
+        let doublings = attempt.min(16);
+        let grown = self.backoff.saturating_mul(1u32 << doublings);
+        let capped = grown.min(self.max_backoff);
+        capped.mul_f64(0.5 + rng.unit_f64())
+    }
+}
+
 /// Configuration for [`run_local_cluster`]: one coordinator plus `n`
 /// worker threads in this process, talking real TCP over localhost.
 #[derive(Debug, Clone)]
@@ -234,6 +313,12 @@ pub struct LocalClusterConfig {
     /// paper-scale cells take minutes — and is therefore much larger
     /// than `io_timeout`.
     pub worker_timeout: Duration,
+    /// Worker reconnect policy. Defaults to [`RetryPolicy::none`]: an
+    /// in-process cluster's coordinator and workers die together, so
+    /// reconnect attempts after the run ends would only delay exit.
+    /// Long-lived multi-machine workers (`repro work`) default to
+    /// retrying instead.
+    pub worker_retry: RetryPolicy,
 }
 
 impl LocalClusterConfig {
@@ -258,6 +343,7 @@ impl LocalClusterConfig {
             idle_timeout: Duration::from_secs(10),
             io_timeout: Duration::from_secs(60),
             worker_timeout: Duration::from_secs(600),
+            worker_retry: RetryPolicy::none(),
         }
     }
 }
@@ -295,11 +381,15 @@ pub fn run_local_cluster(config: &LocalClusterConfig) -> Result<LocalClusterRepo
 
     std::thread::scope(|scope| {
         let worker_handles: Vec<_> = (0..config.workers)
-            .map(|_| {
+            .map(|i| {
                 let worker_config = WorkerConfig {
                     parallelism: config.worker_parallelism,
                     max_cells: config.worker_max_cells,
                     io_timeout: config.io_timeout,
+                    retry: config
+                        .worker_retry
+                        .clone()
+                        .with_seed(config.worker_retry.seed.wrapping_add(i as u64)),
                     ..WorkerConfig::new(addr.to_string())
                 };
                 scope.spawn(move || run_worker(&worker_config))

@@ -17,7 +17,8 @@
 //! real scheduler and protocol code, not a mock.
 
 use std::collections::VecDeque;
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -63,6 +64,19 @@ pub trait Listener: Send {
     /// # Errors
     /// Fails when the listener itself is broken (fails the run).
     fn poll_accept(&mut self) -> Result<Option<Self::Conn>, DistError>;
+
+    /// Blocking accept: parks until a peer arrives or the listener is
+    /// cancelled. `Ok(None)` means cancelled — the accept loop should
+    /// exit; it is *not* a transient condition to retry.
+    ///
+    /// # Errors
+    /// Fails when the listener itself is broken (fails the run).
+    fn accept(&mut self) -> Result<Option<Self::Conn>, DistError>;
+
+    /// A handle that unblocks a blocked [`accept`](Listener::accept)
+    /// from another thread and makes every later accept return
+    /// `Ok(None)`.
+    fn canceller(&self) -> Canceller;
 }
 
 // ---------------------------------------------------------------------
@@ -113,20 +127,44 @@ impl Connection for TcpConnection {
     }
 }
 
-/// The production listener: a non-blocking [`TcpListener`].
+/// The production listener over a bound [`TcpListener`].
+///
+/// Supports both accept styles: [`poll_accept`](Listener::poll_accept)
+/// flips the socket non-blocking, [`accept`](Listener::accept) parks in
+/// the kernel. Cancellation of a blocking accept has no portable
+/// `std`-only primitive, so the canceller raises a flag and then dials
+/// the listener's own address: the self-connection wakes `accept`, which
+/// sees the flag and reports `Ok(None)`.
 #[derive(Debug)]
 pub struct TcpServerListener {
     listener: TcpListener,
+    cancelled: Arc<AtomicBool>,
+    wake_addr: Option<SocketAddr>,
 }
 
 impl TcpServerListener {
-    /// Wraps a bound listener, switching it to non-blocking accepts.
+    /// Wraps a bound listener.
     ///
     /// # Errors
-    /// Propagates the mode switch failing.
+    /// Propagates the initial non-blocking mode switch failing.
     pub fn new(listener: TcpListener) -> Result<TcpServerListener, DistError> {
         listener.set_nonblocking(true)?;
-        Ok(TcpServerListener { listener })
+        // A listener bound to the unspecified address can still be woken
+        // through loopback on the same port.
+        let wake_addr = listener.local_addr().ok().map(|mut addr| {
+            if addr.ip().is_unspecified() {
+                match addr {
+                    SocketAddr::V4(_) => addr.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
+                    SocketAddr::V6(_) => addr.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
+                }
+            }
+            addr
+        });
+        Ok(TcpServerListener {
+            listener,
+            cancelled: Arc::new(AtomicBool::new(false)),
+            wake_addr,
+        })
     }
 }
 
@@ -134,11 +172,53 @@ impl Listener for TcpServerListener {
     type Conn = TcpConnection;
 
     fn poll_accept(&mut self) -> Result<Option<TcpConnection>, DistError> {
+        if self.cancelled.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        self.listener.set_nonblocking(true)?;
         match self.listener.accept() {
             Ok((stream, _peer)) => Ok(Some(TcpConnection::new(stream))),
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
             Err(e) => Err(DistError::Io(e)),
         }
+    }
+
+    fn accept(&mut self) -> Result<Option<TcpConnection>, DistError> {
+        self.listener.set_nonblocking(false)?;
+        loop {
+            if self.cancelled.load(Ordering::SeqCst) {
+                return Ok(None);
+            }
+            match self.listener.accept() {
+                // The accepted stream may be the canceller's wake-up
+                // self-connection; checking the flag after accept drops
+                // it on the floor either way.
+                Ok((stream, _peer)) => {
+                    if self.cancelled.load(Ordering::SeqCst) {
+                        return Ok(None);
+                    }
+                    return Ok(Some(TcpConnection::new(stream)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    if self.cancelled.load(Ordering::SeqCst) {
+                        return Ok(None);
+                    }
+                    return Err(DistError::Io(e));
+                }
+            }
+        }
+    }
+
+    fn canceller(&self) -> Canceller {
+        let cancelled = Arc::clone(&self.cancelled);
+        let wake_addr = self.wake_addr;
+        Box::new(move || {
+            cancelled.store(true, Ordering::SeqCst);
+            if let Some(addr) = wake_addr {
+                let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+            }
+        })
     }
 }
 
@@ -284,13 +364,27 @@ pub fn loopback_pair() -> (LoopbackConn, LoopbackConn) {
     )
 }
 
+#[derive(Debug, Default)]
+struct HubState {
+    incoming: VecDeque<LoopbackConn>,
+    closed: bool,
+}
+
+#[derive(Debug, Default)]
+struct HubShared {
+    state: Mutex<HubState>,
+    arrived: Condvar,
+}
+
 /// An in-process "network": test threads [`connect`](LoopbackHub::connect)
 /// to it, the coordinator accepts from it via
 /// [`listener`](LoopbackHub::listener). Clone freely — all clones share
-/// one accept queue.
+/// one accept queue. Once a listener's canceller fires the hub is
+/// closed: later connects return an already-severed client end, exactly
+/// like dialling a coordinator that has exited.
 #[derive(Debug, Clone, Default)]
 pub struct LoopbackHub {
-    incoming: Arc<Mutex<VecDeque<LoopbackConn>>>,
+    shared: Arc<HubShared>,
 }
 
 impl LoopbackHub {
@@ -300,13 +394,21 @@ impl LoopbackHub {
     }
 
     /// Opens a connection to the hub's coordinator and returns the
-    /// client end; the server end is queued for the listener.
+    /// client end; the server end is queued for the listener. On a
+    /// closed hub the client end comes back already severed.
     pub fn connect(&self) -> LoopbackConn {
         let (client, server) = loopback_pair();
-        self.incoming
+        let mut state = self
+            .shared
+            .state
             .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .push_back(server);
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if state.closed {
+            drop(server);
+        } else {
+            state.incoming.push_back(server);
+            self.shared.arrived.notify_all();
+        }
         client
     }
 
@@ -328,10 +430,44 @@ impl Listener for LoopbackListener {
     fn poll_accept(&mut self) -> Result<Option<LoopbackConn>, DistError> {
         Ok(self
             .hub
-            .incoming
+            .shared
+            .state
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .incoming
             .pop_front())
+    }
+
+    fn accept(&mut self) -> Result<Option<LoopbackConn>, DistError> {
+        let shared = &self.hub.shared;
+        let mut state = shared
+            .state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        loop {
+            if let Some(conn) = state.incoming.pop_front() {
+                return Ok(Some(conn));
+            }
+            if state.closed {
+                return Ok(None);
+            }
+            state = shared
+                .arrived
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    fn canceller(&self) -> Canceller {
+        let shared = Arc::clone(&self.hub.shared);
+        Box::new(move || {
+            shared
+                .state
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .closed = true;
+            shared.arrived.notify_all();
+        })
     }
 }
 
@@ -392,5 +528,45 @@ mod tests {
         let mut server = listener.poll_accept().unwrap().expect("queued");
         client.send(&Message::Request { max_cells: 7 }).unwrap();
         assert_eq!(server.recv().unwrap(), Message::Request { max_cells: 7 });
+    }
+
+    #[test]
+    fn blocking_accept_parks_until_a_peer_or_the_canceller_arrives() {
+        let hub = LoopbackHub::new();
+        let mut listener = hub.listener();
+        let cancel = listener.canceller();
+        let accepter = std::thread::spawn(move || {
+            let first = listener.accept();
+            let second = listener.accept();
+            (first, second)
+        });
+        let mut client = hub.connect();
+        std::thread::sleep(Duration::from_millis(20));
+        cancel();
+        let (first, second) = accepter.join().unwrap();
+        let mut server = first.unwrap().expect("first accept yields the connection");
+        assert!(second.unwrap().is_none(), "cancelled accept returns None");
+        client.send(&Message::Finished).unwrap();
+        assert_eq!(server.recv().unwrap(), Message::Finished);
+    }
+
+    #[test]
+    fn connecting_to_a_closed_hub_returns_a_severed_end() {
+        let hub = LoopbackHub::new();
+        hub.listener().canceller()();
+        let mut client = hub.connect();
+        assert!(client.send(&Message::Finished).is_err());
+        assert!(client.recv().is_err());
+    }
+
+    #[test]
+    fn tcp_blocking_accept_is_unblocked_by_its_canceller() {
+        let bound = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut listener = TcpServerListener::new(bound).unwrap();
+        let cancel = listener.canceller();
+        let accepter = std::thread::spawn(move || listener.accept());
+        std::thread::sleep(Duration::from_millis(30));
+        cancel();
+        assert!(accepter.join().unwrap().unwrap().is_none());
     }
 }

@@ -49,6 +49,34 @@ pub const PROTOCOL_VERSION: u32 = 4;
 /// job), so this is generous headroom, not a constraint.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
 
+/// Upper bound on a campaign name on the wire. Names key journals,
+/// report rows, and the idempotent-resubmission check, so they are
+/// never silently truncated: an overlong name is rejected at both ends
+/// (the reader refuses to allocate it, [`validate_queue`] and the
+/// submission path refuse to send it).
+///
+/// [`validate_queue`]: crate::coordinator
+pub const MAX_NAME_LEN: usize = 256;
+
+/// Upper bound on a free-text reason field (`Failed` execution reports,
+/// `Abort` reasons — which can carry a poisoned campaign's whole
+/// failure log). Unlike names, reasons are diagnostics: writers clamp
+/// them to this cap at encode time (on a char boundary) rather than
+/// failing, and readers refuse to allocate past it.
+pub const MAX_REASON_LEN: usize = 64 * 1024;
+
+/// Truncates `s` to at most `max` bytes on a `char` boundary.
+pub fn clamp_str(s: &str, max: usize) -> &str {
+    if s.len() <= max {
+        return s;
+    }
+    let mut end = max;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
+}
+
 /// Errors produced while encoding, framing, or decoding.
 #[derive(Debug)]
 pub enum WireError {
@@ -208,12 +236,28 @@ impl<'a> Decoder<'a> {
             .map_err(|_| WireError::Invalid("usize overflows platform width".into()))
     }
 
-    /// Reads a length-prefixed UTF-8 string.
+    /// Reads a length-prefixed UTF-8 string, capped at
+    /// [`MAX_REASON_LEN`] (the most permissive field cap — prefer
+    /// [`capped_string`](Decoder::capped_string) with the field's own
+    /// cap).
     pub fn string(&mut self) -> Result<String, WireError> {
+        self.capped_string("string", MAX_REASON_LEN)
+    }
+
+    /// Reads a length-prefixed UTF-8 string, rejecting any announced
+    /// length over `max` *before* allocating — the shared allocation
+    /// guard every variable-length text field decodes through. `what`
+    /// names the field in the error.
+    pub fn capped_string(&mut self, what: &str, max: usize) -> Result<String, WireError> {
         let len = self.u32()? as usize;
+        if len > max {
+            return Err(WireError::Invalid(format!(
+                "{what} of {len} bytes exceeds its {max}-byte cap"
+            )));
+        }
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
-            .map_err(|_| WireError::Invalid("string is not UTF-8".into()))
+            .map_err(|_| WireError::Invalid(format!("{what} is not UTF-8")))
     }
 
     /// Reads a collection length prefix, verifying that at least
@@ -734,7 +778,7 @@ pub fn encode_named_campaign(enc: &mut Encoder, campaign: &NamedCampaign) {
 /// Fails on truncation or unknown tags.
 pub fn decode_named_campaign(dec: &mut Decoder<'_>) -> Result<NamedCampaign, WireError> {
     Ok(NamedCampaign {
-        name: dec.string()?,
+        name: dec.capped_string("campaign name", MAX_NAME_LEN)?,
         weight: dec.u32()?,
         spec: decode_campaign_spec(dec)?,
     })
@@ -795,12 +839,12 @@ impl Message {
                 enc.u8(TAG_FAILED);
                 enc.u32(*campaign);
                 enc.u64(*index);
-                enc.string(reason);
+                enc.string(clamp_str(reason, MAX_REASON_LEN));
             }
             Message::Finished => enc.u8(TAG_FINISHED),
             Message::Abort { reason } => {
                 enc.u8(TAG_ABORT);
-                enc.string(reason);
+                enc.string(clamp_str(reason, MAX_REASON_LEN));
             }
             Message::Submit { protocol, campaign } => {
                 enc.u8(TAG_SUBMIT);
@@ -876,11 +920,11 @@ impl Message {
             TAG_FAILED => Message::Failed {
                 campaign: dec.u32()?,
                 index: dec.u64()?,
-                reason: dec.string()?,
+                reason: dec.capped_string("failure reason", MAX_REASON_LEN)?,
             },
             TAG_FINISHED => Message::Finished,
             TAG_ABORT => Message::Abort {
-                reason: dec.string()?,
+                reason: dec.capped_string("abort reason", MAX_REASON_LEN)?,
             },
             TAG_SUBMIT => Message::Submit {
                 protocol: dec.u32()?,

@@ -24,6 +24,31 @@
 //! The worker is generic over [`Connection`]: production runs it over
 //! TCP ([`run_worker`]), the deterministic scheduler tests run the same
 //! code over an in-process loopback link ([`run_worker_on`]).
+//!
+//! ## Sessions and reconnection
+//!
+//! A link to the coordinator is one *session*; the worker's life is a
+//! loop of sessions ([`run_worker_reconnecting`]). When a session dies
+//! — the link severed, a frame lost or corrupted, the conversation
+//! desynchronised by a duplicated frame — the worker drops the
+//! connection, sleeps a capped exponential backoff with seeded jitter
+//! ([`RetryPolicy`]), redials, re-handshakes, and resumes pulling.
+//! Three properties make this safe with no worker-side journal:
+//!
+//! * the coordinator requeues a dead worker's in-flight cells, and its
+//!   duplicate-delivery tolerance accepts a re-executed cell as long as
+//!   the bits match, so the lost unacked window is simply re-executed;
+//! * [`WorkerRuntimes`] (baseline caches keyed by setup) survives
+//!   across sessions in-process, so a reconnect retrains nothing;
+//! * the re-handshake is *reconciled* against what the worker already
+//!   knows: campaign ids must map to the same name + digest as before,
+//!   otherwise the peer is not the coordinator this worker was serving
+//!   and the mismatch is a loud protocol error, not silent corruption.
+//!
+//! Only consecutive failures count against the retry budget — a
+//! completed handshake resets it — so a long-lived worker rides through
+//! unlimited *separated* link flaps, and a worker started before its
+//! coordinator binds the port keeps dialling until it arrives.
 
 use std::net::TcpStream;
 use std::time::Duration;
@@ -33,9 +58,10 @@ use neurofi_core::sweep::{execute_cell, mean_baseline_accuracy, run_indexed};
 use neurofi_core::{BaselineCache, Parallelism};
 
 use crate::campaign::{NamedCampaign, SetupSpec};
+use crate::chaos::SplitMix64;
 use crate::transport::{Connection, TcpConnection};
 use crate::wire::{Message, PROTOCOL_VERSION};
-use crate::DistError;
+use crate::{DistError, RetryPolicy};
 
 /// Default acknowledgement-window size (cells per unacknowledged
 /// `Results` frame).
@@ -65,11 +91,14 @@ pub struct WorkerConfig {
     /// while work is in flight elsewhere — so this guards against a
     /// dead peer, not against slow cells).
     pub io_timeout: Duration,
+    /// Reconnect policy for lost sessions and failed dials. The count
+    /// bounds *consecutive* failures: a completed handshake resets it.
+    pub retry: RetryPolicy,
 }
 
 impl WorkerConfig {
     /// A config with the defaults (auto parallelism, coordinator-sized
-    /// batches, no cell budget).
+    /// batches, no cell budget, default reconnect backoff).
     pub fn new(connect: impl Into<String>) -> WorkerConfig {
         WorkerConfig {
             connect: connect.into(),
@@ -78,6 +107,7 @@ impl WorkerConfig {
             batch: None,
             ack_window: DEFAULT_ACK_WINDOW,
             io_timeout: Duration::from_secs(60),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -98,6 +128,8 @@ pub struct WorkerSummary {
 /// hit when another campaign over the same setup already trained the
 /// seeds).
 struct CampaignRuntime {
+    name: String,
+    digest: u64,
     seeds: Vec<u64>,
     cache: usize,
     transfer: Option<PowerTransferTable>,
@@ -146,6 +178,8 @@ impl WorkerRuntimes {
             }
         };
         self.campaigns.push(CampaignRuntime {
+            name: campaign.name.clone(),
+            digest: campaign.spec.digest(),
             seeds: campaign.spec.scenario.baseline_seeds().to_vec(),
             cache,
             transfer: campaign.spec.transfer_table()?,
@@ -154,10 +188,30 @@ impl WorkerRuntimes {
         Ok(())
     }
 
-    /// Handles one [`Message::CampaignAnnounce`]: announcements arrive
-    /// in queue order, so the announced id must be the next unused one.
+    /// Whether slot `id` already holds exactly this campaign.
+    fn matches(&self, id: usize, campaign: &NamedCampaign) -> bool {
+        let known = &self.campaigns[id];
+        known.name == campaign.name && known.digest == campaign.spec.digest()
+    }
+
+    /// Handles one [`Message::CampaignAnnounce`]. Announcements arrive
+    /// in queue order, so the id is either the next unused one (new
+    /// campaign) or an already-known slot — which is fine as long as it
+    /// names the *same* campaign (a duplicated announce frame, or a
+    /// re-handshake after reconnect, must be idempotent).
     fn announce(&mut self, id: u32, campaign: &NamedCampaign) -> Result<(), DistError> {
-        if id as usize != self.campaigns.len() {
+        let id = id as usize;
+        if id < self.campaigns.len() {
+            if self.matches(id, campaign) {
+                return Ok(());
+            }
+            return Err(DistError::Protocol(format!(
+                "coordinator announced campaign `{}` as id {id}, but this worker already \
+                 holds `{}` there",
+                campaign.name, self.campaigns[id].name
+            )));
+        }
+        if id != self.campaigns.len() {
             return Err(DistError::Protocol(format!(
                 "coordinator announced campaign `{}` as id {id}, expected {}",
                 campaign.name,
@@ -165,6 +219,39 @@ impl WorkerRuntimes {
             )));
         }
         self.add(campaign)
+    }
+
+    /// Reconciles a re-handshake's campaign queue against what this
+    /// worker already knows: every known id must still map to the same
+    /// name and digest (otherwise the peer is a *different* coordinator
+    /// and executing its cells against cached baselines would be
+    /// corruption), and genuinely new campaigns are appended.
+    fn reconcile(&mut self, campaigns: &[NamedCampaign]) -> Result<(), DistError> {
+        if campaigns.len() < self.campaigns.len() {
+            return Err(DistError::Protocol(format!(
+                "re-handshake announced {} campaigns but this worker already knows {} — \
+                 the coordinator is not the one this worker was serving",
+                campaigns.len(),
+                self.campaigns.len()
+            )));
+        }
+        for (id, campaign) in campaigns.iter().enumerate() {
+            if id < self.campaigns.len() {
+                if !self.matches(id, campaign) {
+                    return Err(DistError::Protocol(format!(
+                        "re-handshake maps id {id} to campaign `{}` (digest {:#x}) but this \
+                         worker knows `{}` (digest {:#x}) there",
+                        campaign.name,
+                        campaign.spec.digest(),
+                        self.campaigns[id].name,
+                        self.campaigns[id].digest,
+                    )));
+                }
+            } else {
+                self.add(campaign)?;
+            }
+        }
+        Ok(())
     }
 
     /// The campaign's mean baseline accuracy, derived on first use (a
@@ -209,95 +296,118 @@ fn apply_announcements(
     Ok(())
 }
 
-/// Connects to a coordinator over TCP and works until every queued
-/// campaign finishes, the cell budget runs out, or the coordinator
-/// aborts.
-///
-/// # Errors
-/// See [`run_worker_on`]; additionally propagates connect failures.
-pub fn run_worker(config: &WorkerConfig) -> Result<WorkerSummary, DistError> {
-    let stream = TcpStream::connect(&config.connect)?;
-    let mut conn = TcpConnection::new(stream);
-    conn.set_recv_timeout(Some(config.io_timeout));
-    run_worker_on(conn, config)
+/// How one session over one connection ended.
+enum SessionEnd {
+    /// The coordinator said [`Message::Finished`]: every campaign done.
+    Finished,
+    /// This worker's `max_cells` budget ran out (deliberate preemption).
+    Budget,
+    /// The link died or the conversation desynchronised (a dropped,
+    /// duplicated, or truncated frame). Recoverable: drop the
+    /// connection, redial, re-handshake — the coordinator requeues the
+    /// unacked window and tolerates bit-identical re-delivery.
+    Lost {
+        /// Whether the handshake completed before the loss (resets the
+        /// consecutive-failure count: the coordinator was alive).
+        handshaken: bool,
+        /// What went wrong (surfaced if the retry budget runs out).
+        error: DistError,
+    },
+    /// Unrecoverable: the coordinator aborted, rejected the protocol
+    /// version, or is demonstrably not the coordinator this worker was
+    /// serving. Retrying would loop on the same answer.
+    Fatal(DistError),
 }
 
-/// Works an already-established [`Connection`] until every queued
-/// campaign finishes, the cell budget runs out, or the coordinator
-/// aborts. This is the whole worker — [`run_worker`] runs it over TCP,
-/// deterministic tests run it over a loopback link.
+/// One session: handshake (or re-handshake), then pull/execute/stream
+/// until the run ends, the budget runs out, or the link dies.
 ///
-/// # Errors
-/// Propagates link and protocol failures, and surfaces a coordinator
-/// [`Message::Abort`] as [`DistError::Aborted`]. A cell that fails
-/// execution is reported to the coordinator ([`Message::Failed`]) and
-/// does *not* end the session.
-pub fn run_worker_on<C: Connection>(
+/// `runtimes_slot` and `executed` belong to the worker's whole life,
+/// not the session — baseline caches survive reconnects (nothing is
+/// retrained) and the cell budget counts across sessions.
+fn worker_session<C: Connection>(
     mut conn: C,
     config: &WorkerConfig,
-) -> Result<WorkerSummary, DistError> {
+    runtimes_slot: &mut Option<WorkerRuntimes>,
+    executed: &mut usize,
+) -> SessionEnd {
+    let lost = |handshaken: bool, error: DistError| SessionEnd::Lost { handshaken, error };
+    let desync = |handshaken: bool, context: &str, got: &Message| SessionEnd::Lost {
+        handshaken,
+        error: DistError::Protocol(format!(
+            "session desynchronised: expected {context}, got {got:?}"
+        )),
+    };
+
+    conn.set_recv_timeout(Some(config.io_timeout));
     let pool_width = config.parallelism.worker_count();
-    conn.send(&Message::Hello {
+    if let Err(e) = conn.send(&Message::Hello {
         protocol: PROTOCOL_VERSION,
         threads: pool_width as u32,
-    })?;
+    }) {
+        return lost(false, e);
+    }
 
-    let campaigns = match conn.recv()? {
-        Message::Campaigns { campaigns } => campaigns,
-        Message::Abort { reason } => return Err(DistError::Aborted(reason)),
-        other => {
-            return Err(DistError::Protocol(format!(
-                "expected campaign-queue handshake, got {other:?}"
-            )))
-        }
+    let campaigns = match conn.recv() {
+        Ok(Message::Campaigns { campaigns }) => campaigns,
+        Ok(Message::Abort { reason }) => return SessionEnd::Fatal(DistError::Aborted(reason)),
+        Ok(other) => return desync(false, "campaign-queue handshake", &other),
+        Err(e) => return lost(false, e),
     };
     if campaigns.is_empty() {
-        return Err(DistError::Protocol(
+        return SessionEnd::Fatal(DistError::Protocol(
             "coordinator announced an empty campaign queue".into(),
         ));
     }
-    let mut runtimes = WorkerRuntimes::new(&campaigns, config.parallelism)?;
+    match runtimes_slot {
+        None => match WorkerRuntimes::new(&campaigns, config.parallelism) {
+            Ok(runtimes) => *runtimes_slot = Some(runtimes),
+            Err(e) => return SessionEnd::Fatal(e),
+        },
+        // Reconnect: the queue must still be the one this worker knows.
+        Some(runtimes) => {
+            if let Err(e) = runtimes.reconcile(&campaigns) {
+                return SessionEnd::Fatal(e);
+            }
+        }
+    }
+    let runtimes = runtimes_slot.as_mut().expect("runtimes installed above");
     let mut pending: Vec<(u32, NamedCampaign)> = Vec::new();
 
     let batch_cap = config.batch.unwrap_or(u32::MAX as usize).max(1);
     let ack_window = config.ack_window.max(1);
-    let mut executed = 0usize;
     loop {
         let budget = match config.max_cells {
             Some(max) => {
-                if executed >= max {
+                if *executed >= max {
                     // Preemption: vanish, exactly like a killed process.
-                    return Ok(WorkerSummary {
-                        cells_executed: executed,
-                        finished: false,
-                    });
+                    return SessionEnd::Budget;
                 }
-                (max - executed).min(batch_cap)
+                (max - *executed).min(batch_cap)
             }
             None => batch_cap,
         };
-        conn.send(&Message::Request {
+        if let Err(e) = conn.send(&Message::Request {
             max_cells: budget.min(u32::MAX as usize) as u32,
-        })?;
+        }) {
+            return lost(true, e);
+        }
 
-        let (campaign, jobs) = match recv_reply(&mut conn, &mut pending)? {
-            Message::Assign { campaign, jobs } => (campaign, jobs),
-            Message::Finished => {
-                return Ok(WorkerSummary {
-                    cells_executed: executed,
-                    finished: true,
-                })
-            }
-            Message::Abort { reason } => return Err(DistError::Aborted(reason)),
-            other => {
-                return Err(DistError::Protocol(format!(
-                    "expected assignment, got {other:?}"
-                )))
-            }
+        let (campaign, jobs) = match recv_reply(&mut conn, &mut pending) {
+            Ok(Message::Assign { campaign, jobs }) => (campaign, jobs),
+            Ok(Message::Finished) => return SessionEnd::Finished,
+            Ok(Message::Abort { reason }) => return SessionEnd::Fatal(DistError::Aborted(reason)),
+            Ok(other) => return desync(true, "assignment", &other),
+            Err(e) => return lost(true, e),
         };
         // Any campaign submitted since the last reply was announced
-        // ahead of this Assign: register it before resolving the id.
-        apply_announcements(&mut runtimes, &mut pending)?;
+        // ahead of this Assign: register it before resolving the id. A
+        // mismatched announcement sequence means frames were lost or
+        // duplicated in flight — reconnecting re-learns the queue, and
+        // a genuinely different coordinator is caught at re-handshake.
+        if let Err(e) = apply_announcements(runtimes, &mut pending) {
+            return lost(true, e);
+        }
         if jobs.is_empty() {
             // Keep-alive: nothing pending right now (work is in flight on
             // other workers). Back off briefly and ask again.
@@ -305,9 +415,15 @@ pub fn run_worker_on<C: Connection>(
             continue;
         }
         if campaign as usize >= runtimes.campaigns.len() {
-            return Err(DistError::Protocol(format!(
-                "coordinator assigned cells for unknown campaign {campaign}"
-            )));
+            // An Assign referencing a campaign this worker never saw
+            // announced: the announce frame was lost in flight. A
+            // re-handshake re-learns the full queue.
+            return lost(
+                true,
+                DistError::Protocol(format!(
+                    "coordinator assigned cells for unknown campaign {campaign}"
+                )),
+            );
         }
 
         // First batch of this campaign: derive the mean baseline (a
@@ -335,42 +451,163 @@ pub fn run_worker_on<C: Connection>(
                     // A cell this node cannot execute: report it
                     // individually (it counts toward the cell's poison
                     // cap) and keep serving the rest of the batch.
-                    Err(e) => conn.send(&Message::Failed {
-                        campaign,
-                        index: job.index as u64,
-                        reason: e.to_string(),
-                    })?,
+                    Err(e) => {
+                        if let Err(send_err) = conn.send(&Message::Failed {
+                            campaign,
+                            index: job.index as u64,
+                            reason: e.to_string(),
+                        }) {
+                            return lost(true, send_err);
+                        }
+                    }
                 }
             }
             if results.is_empty() {
                 continue;
             }
             let sent = results.len();
-            conn.send(&Message::Results {
+            if let Err(e) = conn.send(&Message::Results {
                 campaign,
                 baseline_accuracy,
                 results,
-            })?;
-            match recv_reply(&mut conn, &mut pending)? {
-                Message::Ack {
+            }) {
+                return lost(true, e);
+            }
+            match recv_reply(&mut conn, &mut pending) {
+                Ok(Message::Ack {
                     campaign: acked_campaign,
                     received,
-                } => {
+                }) => {
                     if acked_campaign != campaign || received as usize != sent {
-                        return Err(DistError::Protocol(format!(
-                            "acknowledgement mismatch: sent {sent} cells for campaign \
-                             {campaign}, ack covers {received} for campaign {acked_campaign}"
-                        )));
+                        // A stale ack from a duplicated frame: resync by
+                        // reconnecting (the coordinator journals before
+                        // acking, so nothing is lost either way).
+                        return lost(
+                            true,
+                            DistError::Protocol(format!(
+                                "acknowledgement mismatch: sent {sent} cells for campaign \
+                                 {campaign}, ack covers {received} for campaign {acked_campaign}"
+                            )),
+                        );
                     }
                 }
-                Message::Abort { reason } => return Err(DistError::Aborted(reason)),
-                other => {
-                    return Err(DistError::Protocol(format!(
-                        "expected window acknowledgement, got {other:?}"
-                    )))
+                Ok(Message::Abort { reason }) => {
+                    return SessionEnd::Fatal(DistError::Aborted(reason))
                 }
+                Ok(other) => return desync(true, "window acknowledgement", &other),
+                Err(e) => return lost(true, e),
             }
-            executed += sent;
+            *executed += sent;
+        }
+    }
+}
+
+/// Connects to a coordinator over TCP and works until every queued
+/// campaign finishes, the cell budget runs out, or the coordinator
+/// aborts — reconnecting through link losses per the config's
+/// [`RetryPolicy`]. A worker started before its coordinator binds the
+/// port keeps dialling until the retry budget runs out.
+///
+/// # Errors
+/// See [`run_worker_reconnecting`].
+pub fn run_worker(config: &WorkerConfig) -> Result<WorkerSummary, DistError> {
+    run_worker_reconnecting(
+        || {
+            let stream = TcpStream::connect(&config.connect)?;
+            Ok(TcpConnection::new(stream))
+        },
+        config,
+    )
+}
+
+/// Works an already-established [`Connection`] for exactly one session —
+/// no reconnection. [`run_worker`] wraps the same session logic in the
+/// retry loop; deterministic single-session tests call this directly.
+///
+/// # Errors
+/// Propagates link and protocol failures, and surfaces a coordinator
+/// [`Message::Abort`] as [`DistError::Aborted`]. A cell that fails
+/// execution is reported to the coordinator ([`Message::Failed`]) and
+/// does *not* end the session.
+pub fn run_worker_on<C: Connection>(
+    conn: C,
+    config: &WorkerConfig,
+) -> Result<WorkerSummary, DistError> {
+    let mut runtimes = None;
+    let mut executed = 0usize;
+    match worker_session(conn, config, &mut runtimes, &mut executed) {
+        SessionEnd::Finished => Ok(WorkerSummary {
+            cells_executed: executed,
+            finished: true,
+        }),
+        SessionEnd::Budget => Ok(WorkerSummary {
+            cells_executed: executed,
+            finished: false,
+        }),
+        SessionEnd::Lost { error, .. } | SessionEnd::Fatal(error) => Err(error),
+    }
+}
+
+/// The worker's whole life as a loop of sessions over connections
+/// produced by `connect`: dial, handshake, pull and execute until the
+/// link dies, then back off (capped exponential with seeded jitter),
+/// redial, re-handshake, resume. Baseline caches and the cell budget
+/// persist across sessions, so a reconnect retrains nothing and
+/// recomputes nothing that was acknowledged.
+///
+/// Only *consecutive* failures count against `retry.max_retries`; any
+/// completed handshake resets the count, so a long-lived worker rides
+/// through unlimited separated link flaps.
+///
+/// # Errors
+/// Returns the last error once the retry budget is exhausted, and
+/// immediately on fatal conditions (coordinator [`Message::Abort`],
+/// protocol-version rejection, or a re-handshake proving the peer is a
+/// different coordinator).
+pub fn run_worker_reconnecting<C, F>(
+    mut connect: F,
+    config: &WorkerConfig,
+) -> Result<WorkerSummary, DistError>
+where
+    C: Connection,
+    F: FnMut() -> Result<C, DistError>,
+{
+    let mut rng = SplitMix64::new(config.retry.seed);
+    let mut runtimes: Option<WorkerRuntimes> = None;
+    let mut executed = 0usize;
+    let mut consecutive_failures = 0u32;
+    loop {
+        let end = match connect() {
+            Ok(conn) => worker_session(conn, config, &mut runtimes, &mut executed),
+            Err(error) => SessionEnd::Lost {
+                handshaken: false,
+                error,
+            },
+        };
+        match end {
+            SessionEnd::Finished => {
+                return Ok(WorkerSummary {
+                    cells_executed: executed,
+                    finished: true,
+                })
+            }
+            SessionEnd::Budget => {
+                return Ok(WorkerSummary {
+                    cells_executed: executed,
+                    finished: false,
+                })
+            }
+            SessionEnd::Fatal(error) => return Err(error),
+            SessionEnd::Lost { handshaken, error } => {
+                if handshaken {
+                    consecutive_failures = 0;
+                }
+                if consecutive_failures >= config.retry.max_retries {
+                    return Err(error);
+                }
+                std::thread::sleep(config.retry.delay(consecutive_failures, &mut rng));
+                consecutive_failures += 1;
+            }
         }
     }
 }

@@ -425,6 +425,102 @@ proptest! {
     }
 
     #[test]
+    fn campaign_names_round_trip_to_the_cap_and_are_refused_past_it(
+        len in 1usize..=256,
+        excess in 1usize..2048,
+    ) {
+        // MAX_NAME_LEN is a hard cap, not a truncation point: any name
+        // up to it round-trips byte-exact, any name past it is refused
+        // by the reader with the field named — never clamped, never
+        // allocated.
+        let spec = neurofi_dist::named_campaign("tiny").unwrap();
+        let fits = neurofi_dist::NamedCampaign::new("n".repeat(len), spec.clone());
+        prop_assert_eq!(len <= neurofi_dist::MAX_NAME_LEN, true);
+        let message = Message::Submit {
+            protocol: neurofi_dist::PROTOCOL_VERSION,
+            campaign: fits,
+        };
+        prop_assert_eq!(Message::decode(&message.encode()).expect("capped name decodes"), message);
+
+        let oversize = neurofi_dist::NamedCampaign::new(
+            "n".repeat(neurofi_dist::MAX_NAME_LEN + excess),
+            spec,
+        );
+        for message in [
+            Message::Submit { protocol: neurofi_dist::PROTOCOL_VERSION, campaign: oversize.clone() },
+            Message::CampaignAnnounce { id: 1, campaign: oversize.clone() },
+        ] {
+            match Message::decode(&message.encode()) {
+                Err(WireError::Invalid(what)) => prop_assert!(
+                    what.contains("campaign name"),
+                    "the refusal must name the field: {}", what
+                ),
+                other => prop_assert!(false, "oversize name must be refused, got {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn reason_fields_round_trip_under_the_cap_and_clamp_at_encode(
+        len in 0usize..2048,
+        excess in 1usize..128,
+    ) {
+        // Reasons are diagnostics: under MAX_REASON_LEN they round-trip
+        // byte-exact; past it the *writer* clamps on a char boundary
+        // (losing diagnostic tail beats losing the frame), so the
+        // reader always sees a within-cap, valid-UTF-8 string.
+        let reason = "r".repeat(len);
+        let message = Message::Failed { campaign: 3, index: 7, reason };
+        prop_assert_eq!(Message::decode(&message.encode()).expect("decodes"), message);
+
+        // A multi-byte char straddling the cap must clamp to the char
+        // boundary below it, not split the char.
+        let oversize = "é".repeat((neurofi_dist::MAX_REASON_LEN + excess).div_ceil(2));
+        prop_assert!(oversize.len() > neurofi_dist::MAX_REASON_LEN);
+        for message in [
+            Message::Abort { reason: oversize.clone() },
+            Message::Failed { campaign: 0, index: 0, reason: oversize.clone() },
+        ] {
+            let reason = match Message::decode(&message.encode()).expect("clamped frame decodes") {
+                Message::Abort { reason } | Message::Failed { reason, .. } => reason,
+                other => { prop_assert!(false, "unexpected decode {:?}", other); unreachable!() }
+            };
+            prop_assert!(reason.len() <= neurofi_dist::MAX_REASON_LEN);
+            prop_assert!(oversize.starts_with(&reason), "clamping must only drop the tail");
+        }
+    }
+
+    #[test]
+    fn forged_oversize_reason_frames_are_rejected_before_allocation(
+        excess in 1u64..=(u32::MAX as u64 - neurofi_dist::MAX_REASON_LEN as u64),
+    ) {
+        // A hostile peer bypassing the encode-side clamp (raw length
+        // prefix over the cap) must be refused by the reader's
+        // allocation guard whether or not the bytes are present.
+        let claimed = (neurofi_dist::MAX_REASON_LEN as u64 + excess) as u32;
+        let mut enc = Encoder::new();
+        enc.u8(6); // Abort tag
+        enc.u32(claimed);
+        enc.u8(b'x'); // far fewer bytes than claimed
+        prop_assert!(matches!(
+            Message::decode(&enc.finish()),
+            Err(WireError::Invalid(_))
+        ));
+        // Same guard on Failed reports — with every claimed byte
+        // actually present, so only the cap (not truncation) can reject.
+        let present = (claimed as usize).min(neurofi_dist::MAX_REASON_LEN + 4096);
+        let mut enc = Encoder::new();
+        enc.u8(8); // Failed tag
+        enc.u32(0); // campaign
+        enc.u64(0); // index
+        enc.string(&"x".repeat(present)); // raw length prefix + bytes, no clamp
+        prop_assert!(matches!(
+            Message::decode(&enc.finish()),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
     fn hostile_submit_and_announce_payloads_never_allocate(
         claimed in 1_000u32..=u32::MAX,
     ) {

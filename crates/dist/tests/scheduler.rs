@@ -541,15 +541,24 @@ fn live_submission_is_announced_before_any_frame_references_it() {
     )
     .expect("submission accepted");
     assert_eq!(id, 1);
-    // Duplicate names are rejected with the coordinator's reason.
-    match submit_on(
+    // Resubmitting the same name with the same spec is idempotent: the
+    // coordinator answers with the existing id instead of enqueueing a
+    // duplicate, so a client that lost the first SubmitOk can retry.
+    let resubmitted = submit_on(
         &mut control,
         NamedCampaign::new("late-theta", named_campaign("tiny-theta").unwrap()),
+    )
+    .expect("identical resubmission is idempotent");
+    assert_eq!(resubmitted, id);
+    // The same name bound to a *different* spec is still refused.
+    match submit_on(
+        &mut control,
+        NamedCampaign::new("late-theta", named_campaign("tiny").unwrap()),
     ) {
         Err(DistError::Aborted(reason)) => {
-            assert!(reason.contains("already queued"), "got: {reason}")
+            assert!(reason.contains("different spec"), "got: {reason}")
         }
-        other => panic!("duplicate submission must be refused, got {other:?}"),
+        other => panic!("conflicting submission must be refused, got {other:?}"),
     }
 
     // The very next reply to this (pre-submission) worker must be
