@@ -5,9 +5,12 @@
 //! repro fig8b fig9a [--quick] [--out DIR]
 //! repro sweep --attack threshold-inhibitory --axis "rel_change=-20%,20%" ...
 //! repro bench [--out DIR]
-//! repro coordinate [--grid NAME]... [--spec FILE]... [--workers N] [--fair]
+//! repro coordinate [--grid NAME]... [--spec FILE]... [--workers N] [--fair] [--store PATH]
 //! repro work --connect HOST:PORT [--threads N] [--retry N] [--backoff MS]
 //! repro submit (--grid NAME | --spec FILE | --attack ... --axis ...) --to HOST:PORT
+//! repro serve --bind ADDR [--store PATH] [--journal PATH]
+//! repro status --to HOST:PORT [--campaign NAME]
+//! repro store <stat|compact> --store PATH [--max-records N] [--max-age-days D]
 //! repro list
 //! ```
 //!
@@ -27,7 +30,11 @@
 //! through link losses with capped jittered backoff (`--retry`/
 //! `--backoff`), and submission is idempotent, so retries are safe on
 //! both sides. Every merged result is bit-identical to a serial run
-//! regardless of scheduling or faults.
+//! regardless of scheduling or faults. `serve` runs the coordinator as
+//! a long-lived service that outlives queue drain, `status` polls its
+//! per-campaign progress, and `--store` plugs in the content-addressed
+//! result store so overlapping campaigns dedup to store hits instead of
+//! recomputing (`store stat`/`store compact` maintain it offline).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -36,14 +43,18 @@ use std::time::Instant;
 use neurofi_bench::{run_experiment, ExperimentId, Fidelity};
 
 fn usage() -> &'static str {
-    "usage: repro <all|list|bench|sweep|coordinate|work|submit|EXPERIMENT...> [--quick] [--out DIR]\n\
+    "usage: repro <all|list|bench|sweep|coordinate|work|submit|serve|status|store|EXPERIMENT...> [--quick] [--out DIR]\n\
      experiments: fig3 fig4 fig5b fig5c fig6a fig6b fig6c fig7b fig8a fig8b \
      fig8c fig9a fig9b fig9c fig10c defenses overheads ext-glitch ext-weightfaults\n\
      sweep: run a declarative N-axis scenario locally (see `repro sweep --help`)\n\
      bench: performance suite (sweep engine + kernels) -> BENCH_sweep.json\n\
      coordinate/work/submit: distributed sweep campaigns with live \
      submission of arbitrary scenarios (see `repro coordinate --help`, \
-     `repro submit --help`)"
+     `repro submit --help`)\n\
+     serve/status: always-on coordinator service + progress queries \
+     (see `repro serve --help`)\n\
+     store: content-addressed result store maintenance \
+     (see `repro store --help`)"
 }
 
 fn main() -> ExitCode {
@@ -60,6 +71,9 @@ fn main() -> ExitCode {
         "coordinate" => return neurofi_bench::orchestrate::coordinate_main(&args[1..]),
         "work" => return neurofi_bench::orchestrate::work_main(&args[1..]),
         "submit" => return neurofi_bench::orchestrate::submit_main(&args[1..]),
+        "serve" => return neurofi_bench::orchestrate::serve_main(&args[1..]),
+        "status" => return neurofi_bench::orchestrate::status_main(&args[1..]),
+        "store" => return neurofi_bench::orchestrate::store_main(&args[1..]),
         _ => {}
     }
 

@@ -1,7 +1,11 @@
 //! CLI backends for the distributed-sweep subcommands:
 //! `repro coordinate` (shard campaigns over TCP workers), `repro work`
-//! (join as a worker), and `repro submit` (enqueue a campaign on a
-//! *running* coordinator — the protocol v3 control plane).
+//! (join as a worker), `repro submit` (enqueue a campaign on a *running*
+//! coordinator), `repro serve` (a coordinator that outlives queue drain
+//! and accepts submissions indefinitely), `repro status` (query a
+//! running coordinator's per-campaign progress over the v5 control
+//! plane), and `repro store` (offline stat/compact of the
+//! content-addressed result store).
 //!
 //! All return a process exit code and print human-oriented progress to
 //! stderr, results to stdout — any failed cell, failed worker, or
@@ -9,19 +13,20 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, SystemTime};
 
 use neurofi_core::{Parallelism, SweepResult, Table};
 use neurofi_dist::{
-    named_campaign, run_local_cluster, run_worker, submit_campaign_retrying, CampaignSweep,
-    Coordinator, CoordinatorConfig, LocalClusterConfig, NamedCampaign, PolicyKind, RetryPolicy,
-    WorkerConfig, NAMED_CAMPAIGNS,
+    named_campaign, query_status, run_local_cluster, run_worker, submit_campaign_retrying,
+    CampaignProgress, CampaignSweep, Coordinator, CoordinatorConfig, LocalClusterConfig,
+    NamedCampaign, PolicyKind, RetryPolicy, WorkerConfig, NAMED_CAMPAIGNS,
 };
+use neurofi_store::{EvictionPolicy, Store};
 
 fn coordinate_usage() -> String {
     format!(
         "usage: repro coordinate [--grid NAME]... [--spec FILE]... [--workers N] \
-         [--bind ADDR] [--journal PATH] [--fair] [--weight GRID=W]... \
+         [--bind ADDR] [--journal PATH] [--store PATH] [--fair] [--weight GRID=W]... \
          [--verify-serial] [--idle-timeout SECS] [--worker-max-cells K] [--out DIR]\n\
          grids: {} (repeat --grid to queue several campaigns on one \
          coordinator/fleet; each keeps its own journal `PATH.<grid>`; --spec \
@@ -34,9 +39,48 @@ fn coordinate_usage() -> String {
          (default when --bind is given) the coordinator waits for external \
          `repro work --connect` peers\n\
          --worker-max-cells K  preempt each local worker after K cells \
-         (exercises the requeue/resume path; mainly for CI)",
+         (exercises the requeue/resume path; mainly for CI)\n\
+         --store PATH  content-addressed result store: cells already \
+         present (from *any* earlier campaign, under any name) are filled \
+         as store hits before workers are assigned, and newly computed \
+         cells are recorded for future runs",
         NAMED_CAMPAIGNS.join(" ")
     )
+}
+
+fn serve_usage() -> String {
+    format!(
+        "usage: repro serve --bind ADDR [--store PATH] [--journal PATH] \
+         [--grid NAME]... [--spec FILE]... [--fair] [--weight GRID=W]...\n\
+         grids: {}\n\
+         A persistent coordinator: binds ADDR, serves `repro work` peers, \
+         and keeps accepting `repro submit` campaigns indefinitely — it \
+         does NOT exit when the queue drains (stop it with a signal). \
+         Results land in per-campaign journals (`--journal` base) and, \
+         with --store, in the content-addressed store shared across every \
+         campaign ever submitted. Poll it with `repro status --to ADDR`.",
+        NAMED_CAMPAIGNS.join(" ")
+    )
+}
+
+fn status_usage() -> &'static str {
+    "usage: repro status --to HOST:PORT [--campaign NAME]\n\
+     One progress snapshot per campaign on the running coordinator \
+     (queued / running / done / resumed / store-hit cell counts, in \
+     queue order); --campaign restricts the report to one name. Exits \
+     nonzero if a reported campaign has failed."
+}
+
+fn store_usage() -> &'static str {
+    "usage: repro store <stat|compact> --store PATH [--max-records N] [--max-age-days D]\n\
+     Offline maintenance of a content-addressed result store (no \
+     coordinator needed; do not run against a store a live `repro serve` \
+     has open).\n\
+     stat     print record counts, file size, and stamp range\n\
+     compact  rewrite the store dropping evicted records: --max-age-days \
+     drops records older than D days, --max-records keeps only the N \
+     newest (both optional; with neither, compaction just rewrites \
+     the file dropping dead bytes)"
 }
 
 fn work_usage() -> &'static str {
@@ -169,8 +213,15 @@ fn report_sweep(
 ) -> Result<(), String> {
     let table = sweep_table(&sweep.name, &sweep.result);
     println!("{}", table.to_markdown());
+    // The zero-hit format is frozen: CI greps the exact
+    // `... N computed)` suffix on runs without a store.
+    let hits = if sweep.store_hit_cells > 0 {
+        format!(", {} store hits", sweep.store_hit_cells)
+    } else {
+        String::new()
+    };
     println!(
-        "_campaign `{}`: merged {} cells ({} resumed from checkpoint, {} computed)_\n",
+        "_campaign `{}`: merged {} cells ({} resumed from checkpoint, {} computed{hits})_\n",
         sweep.name, sweep.total_cells, sweep.resumed_cells, sweep.computed_cells
     );
     if let Some(dir) = out_dir {
@@ -197,6 +248,7 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
     let mut workers_given = false;
     let mut bind: Option<String> = None;
     let mut journal: Option<PathBuf> = None;
+    let mut store: Option<PathBuf> = None;
     let mut policy = PolicyKind::Fifo;
     let mut weights: Vec<(String, u32)> = Vec::new();
     let mut verify_serial = false;
@@ -236,6 +288,10 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
             },
             "--journal" => match take("--journal") {
                 Ok(v) => journal = Some(PathBuf::from(v)),
+                Err(e) => return usage_error(&e, &coordinate_usage()),
+            },
+            "--store" => match take("--store") {
+                Ok(v) => store = Some(PathBuf::from(v)),
                 Err(e) => return usage_error(&e, &coordinate_usage()),
             },
             "--idle-timeout" => match take("--idle-timeout")
@@ -279,46 +335,10 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
         grids.push("fig8-reduced".into());
     }
 
-    let mut campaigns: Vec<NamedCampaign> = Vec::with_capacity(grids.len() + spec_files.len());
-    for grid in &grids {
-        let Some(spec) = named_campaign(grid) else {
-            return usage_error(&format!("unknown grid `{grid}`"), &coordinate_usage());
-        };
-        if campaigns.iter().any(|c| &c.name == grid) {
-            return usage_error(&format!("grid `{grid}` queued twice"), &coordinate_usage());
-        }
-        campaigns.push(NamedCampaign::new(grid.clone(), spec));
-    }
-    for path in &spec_files {
-        let spec_arg = crate::scenario_cli::SpecArgs {
-            spec_file: Some(path.clone()),
-            ..Default::default()
-        };
-        let campaign = match spec_arg.build("spec") {
-            Ok(campaign) => campaign,
-            Err(e) => return usage_error(&e, &coordinate_usage()),
-        };
-        if campaigns.iter().any(|c| c.name == campaign.name) {
-            return usage_error(
-                &format!("campaign `{}` queued twice", campaign.name),
-                &coordinate_usage(),
-            );
-        }
-        campaigns.push(campaign);
-    }
-    for campaign in &mut campaigns {
-        if let Some(&(_, w)) = weights.iter().find(|(name, _)| name == &campaign.name) {
-            campaign.weight = w;
-        }
-    }
-    for (name, _) in &weights {
-        if !campaigns.iter().any(|c| &c.name == name) {
-            return usage_error(
-                &format!("--weight names unqueued grid `{name}`"),
-                &coordinate_usage(),
-            );
-        }
-    }
+    let campaigns = match build_campaigns(&grids, &spec_files, &weights) {
+        Ok(campaigns) => campaigns,
+        Err(e) => return usage_error(&e, &coordinate_usage()),
+    };
 
     let names: Vec<&str> = campaigns.iter().map(|c| c.name.as_str()).collect();
     let total_cells: usize = campaigns.iter().map(|c| c.spec.plan().jobs.len()).sum();
@@ -343,6 +363,7 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
             config.bind = bind;
         }
         config.journal = journal;
+        config.store = store;
         config.policy = policy;
         config.idle_timeout = idle_timeout;
         config.worker_max_cells = worker_max_cells;
@@ -373,6 +394,7 @@ pub fn coordinate_main(args: &[String]) -> ExitCode {
         };
         let mut config = CoordinatorConfig::with_campaigns(bind.clone(), campaigns.clone());
         config.journal = journal;
+        config.store = store;
         config.policy = policy;
         config.idle_timeout = idle_timeout;
         Coordinator::bind(config).and_then(|coordinator| {
@@ -543,6 +565,48 @@ pub fn work_main(args: &[String]) -> ExitCode {
     }
 }
 
+/// Resolves `--grid` presets and `--spec` files into the campaign
+/// queue, applying `--weight` overrides — shared by `repro coordinate`
+/// and `repro serve`.
+fn build_campaigns(
+    grids: &[String],
+    spec_files: &[PathBuf],
+    weights: &[(String, u32)],
+) -> Result<Vec<NamedCampaign>, String> {
+    let mut campaigns: Vec<NamedCampaign> = Vec::with_capacity(grids.len() + spec_files.len());
+    for grid in grids {
+        let Some(spec) = named_campaign(grid) else {
+            return Err(format!("unknown grid `{grid}`"));
+        };
+        if campaigns.iter().any(|c| &c.name == grid) {
+            return Err(format!("grid `{grid}` queued twice"));
+        }
+        campaigns.push(NamedCampaign::new(grid.clone(), spec));
+    }
+    for path in spec_files {
+        let spec_arg = crate::scenario_cli::SpecArgs {
+            spec_file: Some(path.clone()),
+            ..Default::default()
+        };
+        let campaign = spec_arg.build("spec")?;
+        if campaigns.iter().any(|c| c.name == campaign.name) {
+            return Err(format!("campaign `{}` queued twice", campaign.name));
+        }
+        campaigns.push(campaign);
+    }
+    for campaign in &mut campaigns {
+        if let Some(&(_, w)) = weights.iter().find(|(name, _)| name == &campaign.name) {
+            campaign.weight = w;
+        }
+    }
+    for (name, _) in weights {
+        if !campaigns.iter().any(|c| &c.name == name) {
+            return Err(format!("--weight names unqueued grid `{name}`"));
+        }
+    }
+    Ok(campaigns)
+}
+
 /// Parses a `--weight GRID=W` argument.
 fn parse_weight(value: &str) -> Result<(String, u32), String> {
     let (name, weight) = value
@@ -644,6 +708,320 @@ pub fn submit_main(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("submit FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro serve ...`: a persistent coordinator. Unlike `coordinate`, it
+/// never exits when the queue drains — it keeps serving workers and
+/// accepting `repro submit` campaigns until killed. Merged results live
+/// in the journals and (with `--store`) the content-addressed store;
+/// progress is observable with `repro status`.
+pub fn serve_main(args: &[String]) -> ExitCode {
+    let mut grids: Vec<String> = Vec::new();
+    let mut spec_files: Vec<PathBuf> = Vec::new();
+    let mut bind: Option<String> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut store: Option<PathBuf> = None;
+    let mut policy = PolicyKind::Fifo;
+    let mut weights: Vec<(String, u32)> = Vec::new();
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--grid" => match take("--grid") {
+                Ok(v) => grids.push(v),
+                Err(e) => return usage_error(&e, &serve_usage()),
+            },
+            "--spec" => match take("--spec") {
+                Ok(v) => spec_files.push(PathBuf::from(v)),
+                Err(e) => return usage_error(&e, &serve_usage()),
+            },
+            "--bind" => match take("--bind") {
+                Ok(v) => bind = Some(v),
+                Err(e) => return usage_error(&e, &serve_usage()),
+            },
+            "--journal" => match take("--journal") {
+                Ok(v) => journal = Some(PathBuf::from(v)),
+                Err(e) => return usage_error(&e, &serve_usage()),
+            },
+            "--store" => match take("--store") {
+                Ok(v) => store = Some(PathBuf::from(v)),
+                Err(e) => return usage_error(&e, &serve_usage()),
+            },
+            "--fair" => policy = PolicyKind::WeightedRoundRobin,
+            "--weight" => match take("--weight").and_then(|v| parse_weight(&v)) {
+                Ok(pair) => weights.push(pair),
+                Err(e) => return usage_error(&e, &serve_usage()),
+            },
+            "--help" | "-h" => {
+                println!("{}", serve_usage());
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`"), &serve_usage()),
+        }
+    }
+    let Some(bind) = bind else {
+        return usage_error(
+            "--bind is required (the service exists to be dialled)",
+            &serve_usage(),
+        );
+    };
+    let campaigns = match build_campaigns(&grids, &spec_files, &weights) {
+        Ok(campaigns) => campaigns,
+        Err(e) => return usage_error(&e, &serve_usage()),
+    };
+
+    let mut config = CoordinatorConfig::with_campaigns(bind.clone(), campaigns);
+    config.journal = journal;
+    config.store = store.clone();
+    config.policy = policy;
+    config.persistent = true;
+    let result = Coordinator::bind(config).and_then(|coordinator| {
+        eprintln!(
+            "serve: listening on {}{} — `repro submit --to` enqueues, `repro status --to` \
+             polls, `repro work --connect` computes; runs until killed",
+            coordinator
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or(bind),
+            match &store {
+                Some(p) => format!(", store {}", p.display()),
+                None => String::new(),
+            }
+        );
+        coordinator.serve()
+    });
+    // A persistent coordinator only returns on a service-level failure
+    // (bind error, unusable journal/store) — drained queues keep it
+    // alive, so Ok is unreachable short of an internal invariant break.
+    match result {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("serve FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro status ...`: one progress snapshot from a running
+/// coordinator, per campaign in queue order.
+pub fn status_main(args: &[String]) -> ExitCode {
+    let mut to: Option<String> = None;
+    let mut filter: Option<String> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--to" => match take("--to") {
+                Ok(v) => to = Some(v),
+                Err(e) => return usage_error(&e, status_usage()),
+            },
+            "--campaign" => match take("--campaign") {
+                Ok(v) => filter = Some(v),
+                Err(e) => return usage_error(&e, status_usage()),
+            },
+            "--help" | "-h" => {
+                println!("{}", status_usage());
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`"), status_usage()),
+        }
+    }
+    let Some(to) = to else {
+        return usage_error("--to is required", status_usage());
+    };
+
+    let campaigns = match query_status(&to) {
+        Ok(campaigns) => campaigns,
+        Err(e) => {
+            eprintln!("status FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let shown: Vec<&CampaignProgress> = match &filter {
+        Some(name) => {
+            let picked: Vec<&CampaignProgress> =
+                campaigns.iter().filter(|c| &c.name == name).collect();
+            if picked.is_empty() {
+                eprintln!("status FAILED: coordinator at {to} has no campaign `{name}`");
+                return ExitCode::FAILURE;
+            }
+            picked
+        }
+        None => campaigns.iter().collect(),
+    };
+    if shown.is_empty() {
+        println!("_coordinator at {to}: no campaigns queued yet_");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut table = Table::new(
+        format!("Coordinator status — {to}"),
+        &[
+            "campaign",
+            "queued",
+            "running",
+            "done",
+            "resumed",
+            "store hits",
+            "total",
+            "state",
+        ],
+    );
+    let mut any_failed = false;
+    for c in &shown {
+        any_failed |= c.failed;
+        table.push_row(&[
+            c.name.clone(),
+            c.queued.to_string(),
+            c.running.to_string(),
+            c.done.to_string(),
+            c.resumed.to_string(),
+            c.store_hits.to_string(),
+            c.total.to_string(),
+            if c.failed {
+                "FAILED".into()
+            } else if c.done == c.total {
+                "done".to_string()
+            } else {
+                "active".to_string()
+            },
+        ]);
+    }
+    println!("{}", table.to_markdown());
+    // One grep-friendly line per campaign for scripts and CI.
+    for c in &shown {
+        println!(
+            "_campaign `{}`: {}/{} done, {} queued, {} running, {} resumed, {} store hits{}_",
+            c.name,
+            c.done,
+            c.total,
+            c.queued,
+            c.running,
+            c.resumed,
+            c.store_hits,
+            if c.failed { ", FAILED" } else { "" }
+        );
+    }
+    if any_failed {
+        eprintln!("status: at least one campaign has failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro store <stat|compact> ...`: offline maintenance of a
+/// content-addressed result store — no coordinator involved.
+pub fn store_main(args: &[String]) -> ExitCode {
+    let Some(verb) = args.first().map(String::as_str) else {
+        return usage_error("a subcommand (stat or compact) is required", store_usage());
+    };
+    if matches!(verb, "--help" | "-h") {
+        println!("{}", store_usage());
+        return ExitCode::SUCCESS;
+    }
+    if !matches!(verb, "stat" | "compact") {
+        return usage_error(&format!("unknown store subcommand `{verb}`"), store_usage());
+    }
+
+    let mut path: Option<PathBuf> = None;
+    let mut policy = EvictionPolicy::default();
+    let mut iter = args[1..].iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--store" => match take("--store") {
+                Ok(v) => path = Some(PathBuf::from(v)),
+                Err(e) => return usage_error(&e, store_usage()),
+            },
+            "--max-records" => match take("--max-records").and_then(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("bad record cap `{v}`"))
+            }) {
+                Ok(v) => policy.max_records = Some(v),
+                Err(e) => return usage_error(&e, store_usage()),
+            },
+            "--max-age-days" => match take("--max-age-days")
+                .and_then(|v| v.parse::<u64>().map_err(|_| format!("bad age cap `{v}`")))
+            {
+                Ok(v) => policy.max_age_secs = Some(v * 86_400),
+                Err(e) => return usage_error(&e, store_usage()),
+            },
+            "--help" | "-h" => {
+                println!("{}", store_usage());
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`"), store_usage()),
+        }
+    }
+    let Some(path) = path else {
+        return usage_error("--store is required", store_usage());
+    };
+
+    let mut store = match Store::open(&path) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("store FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if verb == "stat" {
+        let stats = match store.stat() {
+            Ok(stats) => stats,
+            Err(e) => {
+                eprintln!("store stat FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "store {}: {} cell(s), {} baseline(s), {} bytes on disk",
+            path.display(),
+            stats.cells,
+            stats.baselines,
+            stats.file_bytes
+        );
+        match (stats.oldest_stamp, stats.newest_stamp) {
+            (Some(oldest), Some(newest)) => {
+                println!("stamps: oldest {oldest}, newest {newest} (unix seconds)");
+            }
+            _ => println!("store is empty"),
+        }
+        return ExitCode::SUCCESS;
+    }
+    let now = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    match store.compact(&policy, now) {
+        Ok(report) => {
+            println!(
+                "store {}: kept {} record(s), evicted {}, {} -> {} bytes",
+                path.display(),
+                report.kept,
+                report.evicted,
+                report.bytes_before,
+                report.bytes_after
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("store compact FAILED: {e}");
             ExitCode::FAILURE
         }
     }

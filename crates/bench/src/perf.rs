@@ -16,6 +16,7 @@ use neurofi_core::scenario::ScenarioSpec;
 use neurofi_core::sweep::{threshold_sweep_cached, BaselineCache, Parallelism, SweepConfig};
 use neurofi_core::TargetLayer;
 use neurofi_data::SynthDigits;
+use neurofi_dist::{named_campaign, run_local_cluster, LocalClusterConfig, NamedCampaign};
 use neurofi_snn::diehl_cook::{DiehlCook2015, DiehlCookConfig};
 use neurofi_snn::PoissonEncoder;
 use neurofi_spice::{Netlist, TranSpec, Waveform};
@@ -94,6 +95,26 @@ impl ScenarioMeta {
     }
 }
 
+/// Content-addressed result-store dedup counters (schema v4): the
+/// `tiny` catalog grid is run twice against a fresh store — a cold pass
+/// (every cell a store miss, computed by workers) and a warm pass under
+/// a different campaign name (every cell a store hit, zero cells
+/// executed).
+#[derive(Debug, Clone, Copy)]
+pub struct StoreDedup {
+    /// Warm-pass cells satisfied from the store without execution.
+    pub store_hits: u64,
+    /// Cold-pass cells that missed the store and were computed.
+    pub store_misses: u64,
+    /// Warm-pass hits over warm-pass total — 1.0 means the second
+    /// submission of an identical spec executed nothing.
+    pub dedup_ratio: f64,
+    /// Wall-clock seconds of the cold (computing) pass.
+    pub cold_seconds: f64,
+    /// Wall-clock seconds of the warm (all-hits) pass.
+    pub warm_seconds: f64,
+}
+
 /// The full performance report emitted as `BENCH_sweep.json`.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -125,6 +146,9 @@ pub struct PerfReport {
     pub run_sample_train_ms: f64,
     /// Mean milliseconds per 1000-step RC transient analysis.
     pub spice_tran_ms: f64,
+    /// Result-store hit/miss counters and dedup ratio from the
+    /// cold+warm store pass.
+    pub result_store: StoreDedup,
 }
 
 impl PerfReport {
@@ -175,7 +199,32 @@ impl PerfReport {
             "  \"run_sample_train_ms\": {:.3},\n",
             self.run_sample_train_ms
         ));
-        out.push_str(&format!("  \"spice_tran_ms\": {:.3}\n", self.spice_tran_ms));
+        out.push_str(&format!(
+            "  \"spice_tran_ms\": {:.3},\n",
+            self.spice_tran_ms
+        ));
+        out.push_str("  \"result_store\": {\n");
+        out.push_str(&format!(
+            "    \"store_hits\": {},\n",
+            self.result_store.store_hits
+        ));
+        out.push_str(&format!(
+            "    \"store_misses\": {},\n",
+            self.result_store.store_misses
+        ));
+        out.push_str(&format!(
+            "    \"dedup_ratio\": {:.3},\n",
+            self.result_store.dedup_ratio
+        ));
+        out.push_str(&format!(
+            "    \"cold_seconds\": {:.6},\n",
+            self.result_store.cold_seconds
+        ));
+        out.push_str(&format!(
+            "    \"warm_seconds\": {:.6}\n",
+            self.result_store.warm_seconds
+        ));
+        out.push_str("  }\n");
         out.push('}');
         out
     }
@@ -184,8 +233,10 @@ impl PerfReport {
 /// The current [`PerfReport`] schema version.
 ///
 /// v3 added `sweep_scenario` — the resolved attack family, axes, and
-/// seeds of the measured grid.
-pub const PERF_SCHEMA_VERSION: u32 = 3;
+/// seeds of the measured grid. v4 added `result_store` — the
+/// content-addressed store's hit/miss counters and dedup ratio from a
+/// cold+warm pass of the `tiny` grid.
+pub const PERF_SCHEMA_VERSION: u32 = 4;
 
 /// The sweep-pool width this runner is configured for:
 /// `NEUROFI_BENCH_WORKERS` when set to a positive integer, otherwise
@@ -308,6 +359,36 @@ fn time_spice_tran_ms() -> f64 {
     start.elapsed().as_secs_f64() * 1.0e3 / f64::from(iters)
 }
 
+fn measure_store_dedup() -> StoreDedup {
+    let store_path =
+        std::env::temp_dir().join(format!("neurofi-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_file(&store_path);
+    let run = |name: &str| {
+        let spec = named_campaign("tiny").expect("tiny is a catalog grid");
+        let campaign = NamedCampaign::new(name.to_string(), spec);
+        let mut config = LocalClusterConfig::multi(vec![campaign], 2);
+        config.store = Some(store_path.clone());
+        let start = Instant::now();
+        let report = run_local_cluster(&config).expect("bench dedup cluster cannot fail");
+        (start.elapsed().as_secs_f64(), report)
+    };
+    let (cold_seconds, cold) = run("bench-cold");
+    // A different campaign name proves the key is the cell content, not
+    // the campaign: the warm pass must fill entirely from the store.
+    let (warm_seconds, warm) = run("bench-warm");
+    let _ = std::fs::remove_file(&store_path);
+    let store_misses = cold.run.campaigns[0].computed_cells as u64;
+    let store_hits = warm.run.campaigns[0].store_hit_cells as u64;
+    let warm_total = warm.run.campaigns[0].total_cells as u64;
+    StoreDedup {
+        store_hits,
+        store_misses,
+        dedup_ratio: store_hits as f64 / warm_total.max(1) as f64,
+        cold_seconds,
+        warm_seconds,
+    }
+}
+
 /// Runs the full measurement suite: the sweep grid serially and at 1, 2,
 /// 4, 8 worker threads, plus the two kernel timings.
 pub fn run_perf_suite() -> PerfReport {
@@ -331,6 +412,8 @@ pub fn run_perf_suite() -> PerfReport {
     let run_sample_train_ms = time_run_sample_train_ms();
     eprintln!("bench: spice RC transient...");
     let spice_tran_ms = time_spice_tran_ms();
+    eprintln!("bench: result-store dedup (cold + warm pass)...");
+    let result_store = measure_store_dedup();
     PerfReport {
         schema_version: PERF_SCHEMA_VERSION,
         available_parallelism: Parallelism::Auto.worker_count(),
@@ -346,6 +429,7 @@ pub fn run_perf_suite() -> PerfReport {
         diehl_cook_step_ns,
         run_sample_train_ms,
         spice_tran_ms,
+        result_store,
     }
 }
 
@@ -389,10 +473,21 @@ mod tests {
             diehl_cook_step_ns: 12345.6,
             run_sample_train_ms: 1.5,
             spice_tran_ms: 2.25,
+            result_store: StoreDedup {
+                store_hits: 6,
+                store_misses: 6,
+                dedup_ratio: 1.0,
+                cold_seconds: 4.2,
+                warm_seconds: 0.01,
+            },
         };
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
-        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"result_store\": {"));
+        assert!(json.contains("\"store_hits\": 6"));
+        assert!(json.contains("\"store_misses\": 6"));
+        assert!(json.contains("\"dedup_ratio\": 1.000"));
         assert!(json.contains("\"worker_count\": 4"));
         assert!(json.contains("\"git_rev\": \"0123456789ab\""));
         // The grid is attributable: attack family, axes, seeds.
@@ -436,6 +531,13 @@ mod tests {
             diehl_cook_step_ns: 1.0,
             run_sample_train_ms: 1.0,
             spice_tran_ms: 1.0,
+            result_store: StoreDedup {
+                store_hits: 0,
+                store_misses: 0,
+                dedup_ratio: 0.0,
+                cold_seconds: 0.0,
+                warm_seconds: 0.0,
+            },
         };
         assert!(report.to_json().contains("\"git_rev\": null"));
     }

@@ -825,19 +825,6 @@ pub fn scenario_sweep(setup: &ExperimentSetup, spec: &ScenarioSpec) -> Result<Sw
     scenario_sweep_cached(&BaselineCache::new(setup), spec)
 }
 
-/// Sweeps a threshold attack over `rel_changes × fractions × seeds`.
-/// `layer = None` sweeps Attack 4 (both layers; fractions other than 1.0
-/// are skipped since the paper defines Attack 4 at 100%).
-#[deprecated(note = "use `threshold_sweep_cached` with a shared `BaselineCache` \
-            (or `scenario_sweep_cached` for arbitrary axes)")]
-pub fn threshold_sweep(
-    setup: &ExperimentSetup,
-    layer: Option<TargetLayer>,
-    config: &SweepConfig,
-) -> Result<SweepResult, Error> {
-    threshold_sweep_cached(&BaselineCache::new(setup), layer, config)
-}
-
 /// Sweeps a threshold attack over `rel_changes × fractions × seeds`
 /// against a shared [`BaselineCache`] (the setup is the cache's):
 /// per-seed baselines are computed at most once across all attack kinds
@@ -853,16 +840,6 @@ pub fn threshold_sweep_cached(
     run_plan(cache, &plan_threshold_sweep(layer, config), None)
 }
 
-/// Sweeps Attack 1 over theta changes (Fig. 7b).
-#[deprecated(note = "use `theta_sweep_cached` with a shared `BaselineCache`")]
-pub fn theta_sweep(
-    setup: &ExperimentSetup,
-    theta_changes: &[f64],
-    seeds: &[u64],
-) -> Result<SweepResult, Error> {
-    theta_sweep_cached(&BaselineCache::new(setup), theta_changes, seeds)
-}
-
 /// Sweeps Attack 1 over theta changes (Fig. 7b) against a shared
 /// [`BaselineCache`]. Cells use the `fraction` field to carry 1.0
 /// (drivers are attacked globally).
@@ -875,17 +852,6 @@ pub fn theta_sweep_cached(
     seeds: &[u64],
 ) -> Result<SweepResult, Error> {
     run_plan(cache, &plan_theta_sweep(theta_changes, seeds), None)
-}
-
-/// Sweeps Attack 5 over supply voltages (Fig. 9a).
-#[deprecated(note = "use `vdd_sweep_cached` with a shared `BaselineCache`")]
-pub fn vdd_sweep(
-    setup: &ExperimentSetup,
-    vdds: &[f64],
-    transfer: &PowerTransferTable,
-    seeds: &[u64],
-) -> Result<SweepResult, Error> {
-    vdd_sweep_cached(&BaselineCache::new(setup), vdds, transfer, seeds)
 }
 
 /// Sweeps Attack 5 over supply voltages (Fig. 9a) against a shared

@@ -26,7 +26,9 @@ use neurofi_core::{
     BaselineCache, Error, Parallelism, PowerTransferTable, SweepConfig, TargetLayer,
 };
 
-use crate::wire::{encode_campaign_spec, Encoder};
+use neurofi_core::sweep::CellAttack;
+
+use crate::wire::{encode_attack, encode_campaign_spec, encode_setup_spec, Encoder};
 use crate::DistError;
 
 /// The experiment preset a [`SetupSpec`] starts from.
@@ -200,12 +202,69 @@ impl CampaignSpec {
     pub fn digest(&self) -> u64 {
         let mut enc = Encoder::new();
         encode_campaign_spec(&mut enc, self);
-        let mut hash = 0xcbf2_9ce4_8422_2325u64;
-        for byte in enc.finish() {
-            hash ^= u64::from(byte);
-            hash = hash.wrapping_mul(0x100_0000_01b3);
+        fnv1a(&enc.finish())
+    }
+
+    /// Content digest of one resolved cell — the cross-campaign result
+    /// store's cache key. It hashes exactly what the cell's measured
+    /// value depends on, and nothing it doesn't:
+    ///
+    /// * the resolved [`SetupSpec`] (experiment preset + scale knobs);
+    /// * the resolved composite [`CellAttack`] (the fault plan,
+    ///   including any per-cell seed override);
+    /// * the campaign's baseline seeds (they set both the per-cell mean
+    ///   and the baseline accuracy that `relative_change_percent` is
+    ///   computed against);
+    /// * the transfer table, but only when the cell has a VDD component
+    ///   (threshold/theta cells never read it, so two campaigns
+    ///   differing only in table share their non-VDD cells).
+    ///
+    /// Campaign *name*, scheduling weight, axis ordering, and grid shape
+    /// are deliberately absent: overlapping grids from different
+    /// submitters hash their shared cells identically. The encoding is
+    /// pinned by the golden digest vectors — any drift here silently
+    /// repoints cache keys, which the golden test turns into a loud
+    /// failure.
+    pub fn cell_digest(&self, attack: &CellAttack) -> u64 {
+        let mut enc = Encoder::new();
+        enc.u8(1); // domain tag: cell (vs baseline)
+        encode_setup_spec(&mut enc, &self.setup);
+        encode_attack(&mut enc, attack);
+        let seeds = self.scenario.baseline_seeds();
+        enc.seq_len(seeds.len());
+        for &seed in seeds {
+            enc.u64(seed);
         }
-        hash
+        match (&self.scenario.transfer, attack.vdd) {
+            (Some(transfer), Some(_)) => {
+                enc.u8(1);
+                enc.seq_len(transfer.len());
+                for point in transfer {
+                    enc.f64(point.vdd);
+                    enc.f64(point.drive_scale);
+                    enc.f64(point.ah_threshold_scale);
+                    enc.f64(point.if_threshold_scale);
+                }
+            }
+            _ => enc.u8(0),
+        }
+        fnv1a(&enc.finish())
+    }
+
+    /// Content digest of the campaign's fault-free baseline accuracy —
+    /// the store key for the mean baseline shared by every cell of the
+    /// grid. Depends only on the resolved setup and the baseline seeds
+    /// (never on attacks or the transfer table).
+    pub fn baseline_digest(&self) -> u64 {
+        let mut enc = Encoder::new();
+        enc.u8(0); // domain tag: baseline (vs cell)
+        encode_setup_spec(&mut enc, &self.setup);
+        let seeds = self.scenario.baseline_seeds();
+        enc.seq_len(seeds.len());
+        for &seed in seeds {
+            enc.u64(seed);
+        }
+        fnv1a(&enc.finish())
     }
 
     /// Runs the whole campaign serially in this process — the reference
@@ -217,6 +276,17 @@ impl CampaignSpec {
         let setup = self.materialize().with_parallelism(Parallelism::Serial);
         scenario_sweep_cached(&BaselineCache::new(&setup), &self.scenario)
     }
+}
+
+/// FNV-1a over canonical wire bytes — the one hash every digest in the
+/// control plane (campaign identity, cell keys, baseline keys) uses.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
 }
 
 /// What [`parse_campaign_text`] extracts from a campaign spec file: the
@@ -493,6 +563,60 @@ mod tests {
         let mut e = named_campaign("tiny").unwrap();
         e.scenario.axes.push(Axis::seeds(vec![1]));
         assert_ne!(a.digest(), e.digest());
+    }
+
+    #[test]
+    fn cell_digests_key_content_not_campaign() {
+        let a = named_campaign("tiny").unwrap();
+        // A wider grid (extra fraction value) is a *different campaign*
+        // but still shares tiny's cells — the store must hit on them.
+        let mut b = named_campaign("tiny").unwrap();
+        b.scenario.axes[1] = Axis::real(AxisKind::Fraction, vec![0.0, 0.5, 0.75, 0.90]);
+        b.validate().unwrap();
+        assert_ne!(a.digest(), b.digest());
+        for job in a.plan().jobs {
+            assert_eq!(a.cell_digest(&job.attack), b.cell_digest(&job.attack));
+        }
+        assert_eq!(a.baseline_digest(), b.baseline_digest());
+
+        // Anything the measured value depends on repoints the key.
+        let attack = a.plan().jobs[3].attack;
+        let mut c = named_campaign("tiny").unwrap();
+        c.setup.n_train += 1;
+        assert_ne!(a.cell_digest(&attack), c.cell_digest(&attack));
+        assert_ne!(a.baseline_digest(), c.baseline_digest());
+        let mut d = named_campaign("tiny").unwrap();
+        d.scenario.seeds = vec![43];
+        assert_ne!(a.cell_digest(&attack), d.cell_digest(&attack));
+        assert_ne!(a.baseline_digest(), d.baseline_digest());
+        let mut other = attack;
+        other.fraction = 0.5;
+        assert_ne!(a.cell_digest(&attack), a.cell_digest(&other));
+        // Cell and baseline keyspaces never collide on equal inputs.
+        assert_ne!(a.cell_digest(&attack), a.baseline_digest());
+    }
+
+    #[test]
+    fn transfer_table_keys_only_vdd_cells() {
+        let table = PowerTransferTable::paper_nominal();
+        let a = CampaignSpec {
+            setup: SetupSpec::bench(42),
+            scenario: neurofi_core::ScenarioSpec::vdd(&[0.8, 1.0], &table, &[42]),
+        };
+        let mut b = a.clone();
+        b.scenario.transfer.as_mut().unwrap()[0].drive_scale *= 1.01;
+        let vdd_attack = a.plan().jobs[0].attack;
+        assert_ne!(
+            a.cell_digest(&vdd_attack),
+            b.cell_digest(&vdd_attack),
+            "vdd cells execute against the table, so its bits are key material"
+        );
+        let threshold_attack = CellAttack::threshold(None, -0.2, 0.75);
+        assert_eq!(
+            a.cell_digest(&threshold_attack),
+            b.cell_digest(&threshold_attack),
+            "non-vdd cells never read the table, so they share across tables"
+        );
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Control-plane client: submit campaigns to a *running* coordinator.
+//! Control-plane client: submit campaigns to — and query the progress
+//! of — a *running* coordinator.
 //!
 //! A control connection opens with [`Message::Submit`] instead of a
 //! worker `Hello`. The coordinator validates the campaign, binds it a
@@ -7,7 +8,12 @@
 //! the assigned campaign id — or [`Message::Abort`] with the reason
 //! (duplicate name, invalid spec, foreign journal, run already over).
 //!
-//! `repro submit --grid NAME --to HOST:PORT` is the CLI front end.
+//! A status connection (v5) opens with [`Message::Status`] instead and
+//! receives one [`Message::Progress`] snapshot per poll: per-campaign
+//! queued / running / done / resumed / store-hit counters.
+//!
+//! `repro submit --grid NAME --to HOST:PORT` and
+//! `repro status --to HOST:PORT` are the CLI front ends.
 //!
 //! Submission is **idempotent**, which makes retrying safe: the
 //! coordinator answers a resubmission whose name *and* digest match an
@@ -24,7 +30,7 @@ use std::time::Duration;
 use crate::campaign::NamedCampaign;
 use crate::chaos::SplitMix64;
 use crate::transport::{Connection, TcpConnection};
-use crate::wire::{Message, PROTOCOL_VERSION};
+use crate::wire::{CampaignProgress, Message, PROTOCOL_VERSION};
 use crate::{DistError, RetryPolicy};
 
 /// How long a submitter waits for the coordinator's verdict. Enqueueing
@@ -109,6 +115,39 @@ where
                 attempt += 1;
             }
         }
+    }
+}
+
+/// Queries the coordinator at `addr` for one progress snapshot of every
+/// campaign it is serving, in queue order.
+///
+/// # Errors
+/// Propagates connect/link failures; a coordinator rejection (e.g. a
+/// protocol-version mismatch) surfaces as [`DistError::Aborted`].
+pub fn query_status(addr: &str) -> Result<Vec<CampaignProgress>, DistError> {
+    let stream = TcpStream::connect(addr)?;
+    let mut conn = TcpConnection::new(stream);
+    conn.set_recv_timeout(Some(SUBMIT_TIMEOUT));
+    query_status_on(&mut conn)
+}
+
+/// One status poll over an already-established [`Connection`] — the
+/// transport-generic core of [`query_status`], also driven directly by
+/// the deterministic loopback tests. The connection can be reused for
+/// further polls.
+///
+/// # Errors
+/// See [`query_status`].
+pub fn query_status_on<C: Connection>(conn: &mut C) -> Result<Vec<CampaignProgress>, DistError> {
+    conn.send(&Message::Status {
+        protocol: PROTOCOL_VERSION,
+    })?;
+    match conn.recv()? {
+        Message::Progress { campaigns } => Ok(campaigns),
+        Message::Abort { reason } => Err(DistError::Aborted(reason)),
+        other => Err(DistError::Protocol(format!(
+            "expected a progress snapshot, got {other:?}"
+        ))),
     }
 }
 

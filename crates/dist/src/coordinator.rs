@@ -48,12 +48,13 @@ use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use neurofi_core::sweep::{assemble_sweep, CellResult, SweepPlan, SweepResult};
+use neurofi_store::Store;
 
 use crate::campaign::NamedCampaign;
 use crate::checkpoint::Journal;
 use crate::schedule::{Candidate, PolicyKind, SchedulingPolicy};
 use crate::transport::{Canceller, Connection, Listener, TcpServerListener};
-use crate::wire::{Message, PROTOCOL_VERSION};
+use crate::wire::{CampaignProgress, Message, PROTOCOL_VERSION};
 use crate::DistError;
 
 /// How a coordinator serves its campaign queue.
@@ -68,6 +69,21 @@ pub struct CoordinatorConfig {
     /// Every campaign — bind-time or submitted — journals to
     /// `<path>.<campaign-name>` (see [`campaign_journal_path`]).
     pub journal: Option<PathBuf>,
+    /// Content-addressed result store path; `None` disables the store.
+    /// Unlike journals (one per campaign, an in-flight ack/resume log),
+    /// the store is one file shared by *every* campaign this coordinator
+    /// will ever serve: cells are keyed by content digest
+    /// ([`CampaignSpec::cell_digest`](crate::CampaignSpec::cell_digest)),
+    /// so overlapping submissions dedupe to store hits before any cell
+    /// reaches a worker.
+    pub store: Option<PathBuf>,
+    /// Service mode: when `true`, the coordinator outlives queue drain —
+    /// it never settles `Complete`, never idles out, accepts an empty
+    /// bind-time queue, and keeps accepting submissions until the
+    /// process is killed (`repro serve`). Progress is observable via
+    /// [`Message::Status`] queries, and the journals + store make a
+    /// killed service resumable.
+    pub persistent: bool,
     /// Cross-campaign scheduling policy (FIFO unless `--fair`).
     pub policy: PolicyKind,
     /// Socket read timeout per worker: a worker silent for this long is
@@ -108,6 +124,8 @@ impl CoordinatorConfig {
             bind: bind.into(),
             campaigns,
             journal: None,
+            store: None,
+            persistent: false,
             policy: PolicyKind::Fifo,
             worker_timeout: Duration::from_secs(600),
             idle_timeout: Duration::from_secs(60),
@@ -168,6 +186,10 @@ pub struct CampaignSweep {
     pub total_cells: usize,
     /// Cells recovered from the checkpoint journal (not recomputed).
     pub resumed_cells: usize,
+    /// Cells satisfied by the content-addressed result store — measured
+    /// by some earlier campaign (any name, any submitter) and never
+    /// assigned to a worker in this run.
+    pub store_hit_cells: usize,
     /// Cells measured by workers during this run.
     pub computed_cells: usize,
 }
@@ -213,6 +235,13 @@ struct CampaignState {
     n_done: usize,
     /// Cells recovered from the journal when this campaign was queued.
     resumed: usize,
+    /// Cells satisfied by the result store when this campaign was
+    /// queued (cross-campaign dedup — never assigned to a worker).
+    store_hits: usize,
+    /// Per-cell content digests (store keys), index-aligned with the
+    /// plan. Computed once at enqueue so the record path never re-walks
+    /// the spec.
+    digests: Vec<u64>,
     baseline_accuracy: Option<f64>,
     journal: Option<Journal>,
     /// Set when this campaign is poisoned. A failed campaign stops
@@ -225,16 +254,20 @@ struct CampaignState {
 impl CampaignState {
     /// Builds the scheduler state for one campaign: enumerates its
     /// plan, opens (and replays) its digest-bound journal when
-    /// checkpointing is on, and seeds `completed` from the recovery.
-    /// Used identically for bind-time campaigns and live submissions.
+    /// checkpointing is on, seeds `completed` from the recovery, then
+    /// consults the content-addressed store — journal-recovered cells
+    /// drain *into* it, and every still-missing cell it already holds
+    /// is filled as a store hit (never assigned to a worker). Used
+    /// identically for bind-time campaigns and live submissions.
     fn create(
         campaign: NamedCampaign,
         journal_base: Option<&Path>,
+        store: Option<&Mutex<Store>>,
     ) -> Result<CampaignState, DistError> {
         campaign.spec.validate()?;
         let plan = campaign.spec.plan();
         let total = plan.jobs.len();
-        let (journal, recovered) = match journal_base {
+        let (mut journal, recovered) = match journal_base {
             Some(base) => {
                 let path = campaign_journal_path(base, &campaign.name);
                 let (journal, recovered) = Journal::open(&path, campaign.spec.digest(), total)?;
@@ -250,6 +283,58 @@ impl CampaignState {
                 n_done += 1;
             }
         }
+        let resumed = n_done;
+        let digests: Vec<u64> = plan
+            .jobs
+            .iter()
+            .map(|job| campaign.spec.cell_digest(&job.attack))
+            .collect();
+        let mut baseline_accuracy = recovered.baseline_accuracy;
+        let mut store_hits = 0usize;
+        if let Some(store) = store {
+            let mut store = lock_store(store);
+            // Journal-recovered cells drain into the store first, so
+            // progress made under this campaign's name is visible to
+            // every overlapping campaign. A conflict here means two
+            // runs measured different bits for the same content —
+            // surface it, never cache over it.
+            if let Some(accuracy) = baseline_accuracy {
+                store.put_baseline(campaign.spec.baseline_digest(), accuracy)?;
+            }
+            for (index, result) in completed.iter().flatten().map(|r| (r.index, r)) {
+                store.put_cell(digests[index], result.cell)?;
+            }
+            // The baseline must be pinned before any hit is filled in:
+            // store-held cells were measured against the store-held
+            // baseline, so mixing them with a *different* baseline
+            // would blend two relative-change scales in one grid.
+            if baseline_accuracy.is_none() {
+                if let Some(accuracy) = store.get_baseline(campaign.spec.baseline_digest()) {
+                    if let Some(journal) = journal.as_mut() {
+                        journal.record_baseline(accuracy)?;
+                    }
+                    baseline_accuracy = Some(accuracy);
+                }
+            }
+            // Then every cell the store already holds is a hit: filled
+            // in, journaled for the per-campaign resume log (so a
+            // restart resumes it even against a compacted store), and
+            // never assigned to a worker.
+            for index in 0..total {
+                if completed[index].is_some() {
+                    continue;
+                }
+                if let Some(cell) = store.get_cell(digests[index]) {
+                    let result = CellResult { index, cell };
+                    if let Some(journal) = journal.as_mut() {
+                        journal.record_cell(&result)?;
+                    }
+                    completed[index] = Some(result);
+                    n_done += 1;
+                    store_hits += 1;
+                }
+            }
+        }
         Ok(CampaignState {
             campaign,
             plan,
@@ -259,8 +344,10 @@ impl CampaignState {
             failure_log: Vec::new(),
             completed,
             n_done,
-            resumed: n_done,
-            baseline_accuracy: recovered.baseline_accuracy,
+            resumed,
+            store_hits,
+            digests,
+            baseline_accuracy,
             journal,
             failed: None,
         })
@@ -300,6 +387,9 @@ struct State {
     /// idle-abandonment clock — a coordinator that just told a client
     /// `SubmitOk` must give workers a chance to arrive for it.
     submissions_accepted: usize,
+    /// Service mode: a persistent coordinator never settles `Complete`
+    /// when its queue drains — it waits for the next submission.
+    persistent: bool,
     outcome: Option<Outcome>,
 }
 
@@ -313,9 +403,14 @@ impl State {
     /// Ends the run once every campaign is settled: `Complete` when all
     /// succeeded, otherwise `Failed` naming every poisoned campaign
     /// (healthy campaigns were still driven to completion and journaled
-    /// first).
+    /// first). A persistent coordinator never settles — a drained queue
+    /// just means it is waiting for the next submission, and a poisoned
+    /// campaign must not take the service down with it.
     fn settle_if_done(&mut self) {
-        if self.outcome.is_some() || !self.campaigns.iter().all(CampaignState::settled) {
+        if self.persistent
+            || self.outcome.is_some()
+            || !self.campaigns.iter().all(CampaignState::settled)
+        {
             return;
         }
         let poisoned: Vec<&String> = self
@@ -354,6 +449,20 @@ struct Shared {
     conns: Mutex<Vec<Option<Canceller>>>,
     /// Journal base for campaigns submitted after bind.
     journal_base: Option<PathBuf>,
+    /// The cross-campaign result store, shared by the record path and
+    /// every enqueue. Lock order is strictly `state` → `store` (the
+    /// enqueue path locks `store` *without* `state`, never the
+    /// reverse), so the pair cannot deadlock.
+    store: Option<Mutex<Store>>,
+}
+
+/// Locks the result store, shedding poison: the store's own conflict
+/// checks make a torn in-memory update loud on the next insert, and an
+/// abandoned lock must not wedge every later campaign.
+fn lock_store(store: &Mutex<Store>) -> MutexGuard<'_, Store> {
+    store
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 impl Shared {
@@ -431,9 +540,11 @@ impl Shared {
 /// `Finished`/`Abort` before their connections are forcibly severed.
 const DRAIN_GRACE: Duration = Duration::from_secs(5);
 
-/// Validates a campaign queue: non-empty, valid specs, unique names.
-fn validate_queue(campaigns: &[NamedCampaign]) -> Result<(), DistError> {
-    if campaigns.is_empty() {
+/// Validates a campaign queue: valid specs, unique names, and —
+/// except for a persistent service, which legitimately starts empty
+/// and fills by submission — non-empty.
+fn validate_queue(campaigns: &[NamedCampaign], allow_empty: bool) -> Result<(), DistError> {
+    if campaigns.is_empty() && !allow_empty {
         return Err(DistError::Protocol("no campaigns queued".into()));
     }
     for (i, campaign) in campaigns.iter().enumerate() {
@@ -474,7 +585,7 @@ impl Coordinator {
     /// Fails on an empty queue, duplicate campaign names, invalid
     /// campaigns, or unbindable addresses.
     pub fn bind(config: CoordinatorConfig) -> Result<Coordinator, DistError> {
-        validate_queue(&config.campaigns)?;
+        validate_queue(&config.campaigns, config.persistent)?;
         let listener = TcpListener::bind(&config.bind)?;
         Ok(Coordinator { listener, config })
     }
@@ -520,12 +631,19 @@ pub fn serve_transport<L: Listener>(
     mut listener: L,
     config: CoordinatorConfig,
 ) -> Result<CoordinatedRun, DistError> {
-    validate_queue(&config.campaigns)?;
+    validate_queue(&config.campaigns, config.persistent)?;
+    let store = config
+        .store
+        .as_deref()
+        .map(Store::open)
+        .transpose()?
+        .map(Mutex::new);
     let mut states = Vec::with_capacity(config.campaigns.len());
     for campaign in &config.campaigns {
         states.push(CampaignState::create(
             campaign.clone(),
             config.journal.as_deref(),
+            store.as_ref(),
         )?);
     }
 
@@ -536,11 +654,13 @@ pub fn serve_transport<L: Listener>(
             workers_connected: 0,
             workers_seen: 0,
             submissions_accepted: 0,
+            persistent: config.persistent,
             outcome: None,
         }),
         changed: Condvar::new(),
         conns: Mutex::new(Vec::new()),
         journal_base: config.journal.clone(),
+        store,
     };
     shared.lock_state().settle_if_done();
 
@@ -599,7 +719,10 @@ pub fn serve_transport<L: Listener>(
             if state.workers_connected > 0 || state.submissions_accepted != submissions_seen {
                 submissions_seen = state.submissions_accepted;
                 idle_since = Instant::now();
-            } else if idle_since.elapsed() > idle_timeout {
+            } else if !state.persistent && idle_since.elapsed() > idle_timeout {
+                // A persistent service is exempt: waiting for the next
+                // submission with no workers around is its steady state,
+                // not abandonment.
                 state.fail(String::new()); // marker: idle abandonment
                 shared.changed.notify_all();
                 break;
@@ -666,7 +789,10 @@ pub fn serve_transport<L: Listener>(
                     result,
                     total_cells: total,
                     resumed_cells: campaign_state.resumed,
-                    computed_cells: campaign_state.n_done - campaign_state.resumed,
+                    store_hit_cells: campaign_state.store_hits,
+                    computed_cells: campaign_state.n_done
+                        - campaign_state.resumed
+                        - campaign_state.store_hits,
                 });
             }
             Ok(CoordinatedRun {
@@ -765,6 +891,7 @@ fn record_results(
         in_flight.retain(|&(c, _)| c != campaign);
         return Ok(());
     }
+    let mut baseline_newly_recorded = false;
     match campaign_state.baseline_accuracy {
         None => {
             if let Some(journal) = campaign_state.journal.as_mut() {
@@ -776,6 +903,7 @@ fn record_results(
                 }
             }
             campaign_state.baseline_accuracy = Some(baseline_accuracy);
+            baseline_newly_recorded = true;
         }
         Some(existing) => {
             // Cross-worker determinism check: every node must derive the
@@ -791,6 +919,23 @@ fn record_results(
             }
         }
     }
+    // Newly recorded results drain into the cross-campaign store (after
+    // the journal — the journal is the ack-before-send contract, the
+    // store is the dedup index). A store failure is as fatal as a
+    // journal failure: acking a window whose cells the store silently
+    // dropped would let a later campaign recompute them, and a conflict
+    // means a non-deterministic runner.
+    if baseline_newly_recorded {
+        if let Some(store) = shared.store.as_ref() {
+            let digest = state.campaigns[campaign].campaign.spec.baseline_digest();
+            if let Err(e) = lock_store(store).put_baseline(digest, baseline_accuracy) {
+                let reason = format!("result store write failed: {e}");
+                state.fail(reason.clone());
+                shared.changed.notify_all();
+                return Err(reason);
+            }
+        }
+    }
     for result in results {
         let campaign_state = &mut state.campaigns[campaign];
         if result.index >= campaign_state.total() {
@@ -800,6 +945,7 @@ fn record_results(
             return Err(reason);
         }
         in_flight.retain(|&(c, i)| !(c == campaign && i == result.index));
+        let mut cell_newly_recorded = false;
         match campaign_state.completed[result.index] {
             // A duplicate delivery (the cell was requeued after a timeout
             // and finished twice) must carry identical bits — this is the
@@ -829,6 +975,18 @@ fn record_results(
                 }
                 campaign_state.completed[result.index] = Some(*result);
                 campaign_state.n_done += 1;
+                cell_newly_recorded = true;
+            }
+        }
+        if cell_newly_recorded {
+            if let Some(store) = shared.store.as_ref() {
+                let digest = state.campaigns[campaign].digests[result.index];
+                if let Err(e) = lock_store(store).put_cell(digest, result.cell) {
+                    let reason = format!("result store write failed: {e}");
+                    state.fail(reason.clone());
+                    shared.changed.notify_all();
+                    return Err(reason);
+                }
             }
         }
     }
@@ -977,8 +1135,12 @@ fn enqueue_submission(shared: &Shared, campaign: NamedCampaign) -> Result<u32, S
     // the fleet's claim/record handlers never stall behind a
     // submission. (`CampaignState::create` also validates the spec.)
     let name = campaign.name.clone();
-    let campaign_state = CampaignState::create(campaign, shared.journal_base.as_deref())
-        .map_err(|e| format!("cannot enqueue campaign `{name}`: {e}"))?;
+    let campaign_state = CampaignState::create(
+        campaign,
+        shared.journal_base.as_deref(),
+        shared.store.as_ref(),
+    )
+    .map_err(|e| format!("cannot enqueue campaign `{name}`: {e}"))?;
     let mut state = shared.lock_state();
     // Re-check under the lock: a racing duplicate submission (or the
     // run ending) may have won while the journal was replaying.
@@ -996,9 +1158,9 @@ fn enqueue_submission(shared: &Shared, campaign: NamedCampaign) -> Result<u32, S
 }
 
 /// One accepted connection: dispatch on its first frame. Workers open
-/// with `Hello`, control clients with `Submit`; both carry their
-/// protocol version and are rejected with a versioned `Abort` on
-/// mismatch.
+/// with `Hello`, control clients with `Submit`, status clients with
+/// `Status`; each carries its protocol version and is rejected with a
+/// versioned `Abort` on mismatch.
 fn serve_conn<C: Connection>(
     mut conn: C,
     shared: &Shared,
@@ -1015,7 +1177,12 @@ fn serve_conn<C: Connection>(
         Ok(Message::Submit { protocol, campaign }) if protocol == PROTOCOL_VERSION => {
             serve_control(conn, shared, campaign);
         }
-        Ok(Message::Hello { protocol, .. }) | Ok(Message::Submit { protocol, .. }) => {
+        Ok(Message::Status { protocol }) if protocol == PROTOCOL_VERSION => {
+            serve_status(conn, shared);
+        }
+        Ok(Message::Hello { protocol, .. })
+        | Ok(Message::Submit { protocol, .. })
+        | Ok(Message::Status { protocol }) => {
             let _ = conn.send(&Message::Abort {
                 reason: format!(
                     "protocol mismatch: peer speaks v{protocol}, coordinator v{PROTOCOL_VERSION} \
@@ -1069,6 +1236,45 @@ fn serve_control<C: Connection>(mut conn: C, shared: &Shared, first: NamedCampai
                 let _ = conn.send(&Message::Abort { reason });
                 return;
             }
+        }
+    }
+}
+
+/// One campaign's progress counters, straight off the scheduler state.
+/// `running` is everything neither pending nor done — i.e. in flight on
+/// a worker (for a poisoned campaign, whose pending queue is dropped,
+/// the never-to-run remainder also lands here; the `failed` flag tells
+/// the reader how to interpret it).
+fn campaign_progress(c: &CampaignState) -> CampaignProgress {
+    let (total, queued, done) = (c.total(), c.pending.len(), c.n_done);
+    CampaignProgress {
+        name: c.campaign.name.clone(),
+        total: total as u64,
+        queued: queued as u64,
+        running: total.saturating_sub(queued + done) as u64,
+        done: done as u64,
+        resumed: c.resumed as u64,
+        store_hits: c.store_hits as u64,
+        failed: c.failed.is_some(),
+    }
+}
+
+/// A status connection: the first `Status` was already read. Answer it
+/// — and every further `Status` poll — with a `Progress` snapshot of
+/// all queued campaigns, until the client disconnects. Read-only: a
+/// status client never touches scheduling, journals, or the store.
+fn serve_status<C: Connection>(mut conn: C, shared: &Shared) {
+    loop {
+        let campaigns: Vec<CampaignProgress> = {
+            let state = shared.lock_state();
+            state.campaigns.iter().map(campaign_progress).collect()
+        };
+        if conn.send(&Message::Progress { campaigns }).is_err() {
+            return;
+        }
+        match conn.recv() {
+            Ok(Message::Status { protocol }) if protocol == PROTOCOL_VERSION => {}
+            _ => return,
         }
     }
 }
@@ -1299,6 +1505,8 @@ mod tests {
             completed: vec![None; n_cells],
             n_done: 0,
             resumed: 0,
+            store_hits: 0,
+            digests: vec![0; n_cells],
             baseline_accuracy: None,
             journal: None,
             failed: None,
@@ -1313,11 +1521,13 @@ mod tests {
                 workers_connected: 0,
                 workers_seen: 0,
                 submissions_accepted: 0,
+                persistent: false,
                 outcome: None,
             }),
             changed: Condvar::new(),
             conns: Mutex::new(Vec::new()),
             journal_base: None,
+            store: None,
         }
     }
 

@@ -99,7 +99,10 @@ pub use chaos::{
     ChaosConnection, ChaosDialer, ChaosListener, ConnectionFaults, FaultSchedule, SplitMix64,
 };
 pub use checkpoint::Journal;
-pub use control::{submit_campaign, submit_campaign_retrying, submit_on, submit_with_retry};
+pub use control::{
+    query_status, query_status_on, submit_campaign, submit_campaign_retrying, submit_on,
+    submit_with_retry,
+};
 pub use coordinator::{
     campaign_journal_path, capacity_batch, resolve_addr, run_coordinator, serve_transport,
     CampaignSweep, CoordinatedRun, Coordinator, CoordinatorConfig, CELLS_PER_THREAD,
@@ -110,7 +113,8 @@ pub use transport::{
     TcpConnection, TcpServerListener,
 };
 pub use wire::{
-    clamp_str, Message, WireError, MAX_FRAME_LEN, MAX_NAME_LEN, MAX_REASON_LEN, PROTOCOL_VERSION,
+    clamp_str, CampaignProgress, Message, WireError, MAX_FRAME_LEN, MAX_NAME_LEN, MAX_REASON_LEN,
+    PROTOCOL_VERSION,
 };
 pub use worker::{
     run_worker, run_worker_on, run_worker_reconnecting, WorkerConfig, WorkerSummary,
@@ -131,6 +135,9 @@ pub enum DistError {
     Aborted(String),
     /// A checkpoint journal could not be used.
     Journal(String),
+    /// The content-addressed result store refused an operation
+    /// (corruption, i/o, or a conflicting record under one digest).
+    Store(neurofi_store::StoreError),
     /// Executing or assembling cells failed in the core engine.
     Core(neurofi_core::Error),
     /// The coordinator gave up with work remaining (no workers for the
@@ -156,6 +163,7 @@ impl std::fmt::Display for DistError {
             DistError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             DistError::Aborted(reason) => write!(f, "campaign aborted by peer: {reason}"),
             DistError::Journal(msg) => write!(f, "checkpoint journal unusable: {msg}"),
+            DistError::Store(e) => write!(f, "result store unusable: {e}"),
             DistError::Core(e) => write!(f, "sweep execution failed: {e}"),
             DistError::Incomplete {
                 done,
@@ -185,8 +193,15 @@ impl std::error::Error for DistError {
             DistError::Io(e) => Some(e),
             DistError::Wire(e) => Some(e),
             DistError::Core(e) => Some(e),
+            DistError::Store(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<neurofi_store::StoreError> for DistError {
+    fn from(e: neurofi_store::StoreError) -> DistError {
+        DistError::Store(e)
     }
 }
 
@@ -301,6 +316,8 @@ pub struct LocalClusterConfig {
     pub worker_max_cells: Option<usize>,
     /// Checkpoint journal path.
     pub journal: Option<PathBuf>,
+    /// Content-addressed result store path (cross-campaign dedup).
+    pub store: Option<PathBuf>,
     /// Coordinator idle timeout (how long pending work may sit with no
     /// connected workers before the run returns [`DistError::Incomplete`]).
     pub idle_timeout: Duration,
@@ -340,6 +357,7 @@ impl LocalClusterConfig {
             worker_parallelism: Parallelism::Serial,
             worker_max_cells: None,
             journal: None,
+            store: None,
             idle_timeout: Duration::from_secs(10),
             io_timeout: Duration::from_secs(60),
             worker_timeout: Duration::from_secs(600),
@@ -372,6 +390,7 @@ pub fn run_local_cluster(config: &LocalClusterConfig) -> Result<LocalClusterRepo
     let mut coordinator_config =
         CoordinatorConfig::with_campaigns(config.bind.clone(), config.campaigns.clone());
     coordinator_config.journal = config.journal.clone();
+    coordinator_config.store = config.store.clone();
     coordinator_config.policy = config.policy;
     coordinator_config.idle_timeout = config.idle_timeout;
     coordinator_config.worker_timeout = config.worker_timeout;

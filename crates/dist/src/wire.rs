@@ -42,7 +42,14 @@ use crate::campaign::{CampaignSpec, NamedCampaign, SetupBase, SetupSpec};
 /// enqueue arbitrary cross products; cell jobs carry the resolved
 /// composite [`CellAttack`] (optional threshold, theta, VDD, and seed
 /// components) instead of a single-family coordinate pair.
-pub const PROTOCOL_VERSION: u32 = 4;
+///
+/// v5: service mode. A status client opens a connection with
+/// [`Message::Status`] (in place of a worker `Hello` or control
+/// `Submit`) and the coordinator answers each poll with a
+/// [`Message::Progress`] snapshot: per-campaign queued / running /
+/// done / resumed / store-hit counters from the content-addressed
+/// result store that now fronts cell assignment.
+pub const PROTOCOL_VERSION: u32 = 5;
 
 /// Upper bound on a single frame's payload (16 MiB). The largest real
 /// message is an [`Message::Assign`] batch of cell jobs (~40 bytes per
@@ -408,6 +415,44 @@ pub enum Message {
         /// The full campaign description.
         campaign: NamedCampaign,
     },
+    /// Status client → coordinator: send me a progress snapshot. Sent
+    /// as the first frame of a status connection (in place of a worker
+    /// `Hello` or control `Submit`), then repeated to poll; each one is
+    /// answered with a [`Message::Progress`].
+    Status {
+        /// The client's [`PROTOCOL_VERSION`].
+        protocol: u32,
+    },
+    /// Coordinator → status client: one point-in-time snapshot of every
+    /// campaign on the coordinator, in queue order.
+    Progress {
+        /// Per-campaign progress counters.
+        campaigns: Vec<CampaignProgress>,
+    },
+}
+
+/// One campaign's progress counters inside a [`Message::Progress`]
+/// snapshot. `total = queued + running + done`; `done` includes both
+/// `resumed` (journal replay) and `store_hits` (content-addressed store
+/// lookups that skipped worker execution entirely).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignProgress {
+    /// The campaign's submitted name.
+    pub name: String,
+    /// Total cells in the campaign's plan.
+    pub total: u64,
+    /// Cells waiting for a worker.
+    pub queued: u64,
+    /// Cells currently assigned to workers.
+    pub running: u64,
+    /// Cells with a recorded result.
+    pub done: u64,
+    /// Cells recovered from the campaign's journal at enqueue time.
+    pub resumed: u64,
+    /// Cells satisfied by the result store without worker execution.
+    pub store_hits: u64,
+    /// Whether the campaign is poisoned (failed and abandoned).
+    pub failed: bool,
 }
 
 const TAG_HELLO: u8 = 0;
@@ -422,6 +467,40 @@ const TAG_FAILED: u8 = 8;
 const TAG_SUBMIT: u8 = 9;
 const TAG_SUBMIT_OK: u8 = 10;
 const TAG_ANNOUNCE: u8 = 11;
+const TAG_STATUS: u8 = 12;
+const TAG_PROGRESS: u8 = 13;
+
+fn encode_campaign_progress(enc: &mut Encoder, progress: &CampaignProgress) {
+    enc.string(clamp_str(&progress.name, MAX_NAME_LEN));
+    enc.u64(progress.total);
+    enc.u64(progress.queued);
+    enc.u64(progress.running);
+    enc.u64(progress.done);
+    enc.u64(progress.resumed);
+    enc.u64(progress.store_hits);
+    enc.u8(progress.failed as u8);
+}
+
+fn decode_campaign_progress(dec: &mut Decoder<'_>) -> Result<CampaignProgress, WireError> {
+    Ok(CampaignProgress {
+        name: dec.capped_string("campaign name", MAX_NAME_LEN)?,
+        total: dec.u64()?,
+        queued: dec.u64()?,
+        running: dec.u64()?,
+        done: dec.u64()?,
+        resumed: dec.u64()?,
+        store_hits: dec.u64()?,
+        failed: match dec.u8()? {
+            0 => false,
+            1 => true,
+            tag => {
+                return Err(WireError::Invalid(format!(
+                    "unknown bool tag {tag} for campaign failure flag"
+                )))
+            }
+        },
+    })
+}
 
 fn encode_layer_sel(enc: &mut Encoder, sel: LayerSel) {
     enc.u8(match sel {
@@ -478,23 +557,31 @@ fn decode_opt_f64(dec: &mut Decoder<'_>) -> Result<Option<f64>, WireError> {
     }
 }
 
-/// Encodes one [`CellJob`]: the slot index plus the resolved composite
-/// [`CellAttack`] (family, then the optional threshold / theta / VDD /
-/// seed components).
-pub fn encode_cell_job(enc: &mut Encoder, job: &CellJob) {
-    enc.usize(job.index);
-    encode_family(enc, job.attack.family);
-    encode_opt_f64(enc, job.attack.rel_change);
-    enc.f64(job.attack.fraction);
-    encode_opt_f64(enc, job.attack.theta_change);
-    encode_opt_f64(enc, job.attack.vdd);
-    match job.attack.seed {
+/// Encodes one resolved composite [`CellAttack`] (family, then the
+/// optional threshold / theta / VDD / seed components). This is both
+/// the job payload inside [`encode_cell_job`] and the fault-plan half
+/// of a cell's content digest, so any layout change here is a cache-key
+/// change — the golden digest vectors pin it.
+pub fn encode_attack(enc: &mut Encoder, attack: &CellAttack) {
+    encode_family(enc, attack.family);
+    encode_opt_f64(enc, attack.rel_change);
+    enc.f64(attack.fraction);
+    encode_opt_f64(enc, attack.theta_change);
+    encode_opt_f64(enc, attack.vdd);
+    match attack.seed {
         None => enc.u8(0),
         Some(seed) => {
             enc.u8(1);
             enc.u64(seed);
         }
     }
+}
+
+/// Encodes one [`CellJob`]: the slot index plus the resolved composite
+/// [`CellAttack`].
+pub fn encode_cell_job(enc: &mut Encoder, job: &CellJob) {
+    enc.usize(job.index);
+    encode_attack(enc, &job.attack);
 }
 
 /// Decodes one [`CellJob`].
@@ -551,7 +638,9 @@ pub fn decode_cell_result(dec: &mut Decoder<'_>) -> Result<CellResult, WireError
     })
 }
 
-fn encode_setup_spec(enc: &mut Encoder, spec: &SetupSpec) {
+/// Encodes a resolved [`SetupSpec`] — the experiment-setup half of a
+/// cell's content digest as well as part of the campaign wire layout.
+pub fn encode_setup_spec(enc: &mut Encoder, spec: &SetupSpec) {
     enc.u8(match spec.base {
         SetupBase::Quick => 0,
         SetupBase::Paper => 1,
@@ -860,6 +949,17 @@ impl Message {
                 enc.u32(*id);
                 encode_named_campaign(&mut enc, campaign);
             }
+            Message::Status { protocol } => {
+                enc.u8(TAG_STATUS);
+                enc.u32(*protocol);
+            }
+            Message::Progress { campaigns } => {
+                enc.u8(TAG_PROGRESS);
+                enc.seq_len(campaigns.len());
+                for progress in campaigns {
+                    encode_campaign_progress(&mut enc, progress);
+                }
+            }
         }
         enc.finish()
     }
@@ -935,6 +1035,18 @@ impl Message {
                 id: dec.u32()?,
                 campaign: decode_named_campaign(&mut dec)?,
             },
+            TAG_STATUS => Message::Status {
+                protocol: dec.u32()?,
+            },
+            TAG_PROGRESS => {
+                // Minimum entry: 4-byte name prefix + six u64 counters
+                // + 1-byte failure flag.
+                let len = dec.seq_len(53)?;
+                let campaigns = (0..len)
+                    .map(|_| decode_campaign_progress(&mut dec))
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                Message::Progress { campaigns }
+            }
             tag => return Err(WireError::Invalid(format!("unknown message tag {tag}"))),
         };
         dec.expect_end()?;
@@ -1054,6 +1166,34 @@ mod tests {
                 )
                 .with_weight(3),
             },
+            Message::Status {
+                protocol: PROTOCOL_VERSION,
+            },
+            Message::Progress {
+                campaigns: vec![
+                    CampaignProgress {
+                        name: "tiny".into(),
+                        total: 6,
+                        queued: 1,
+                        running: 2,
+                        done: 3,
+                        resumed: 1,
+                        store_hits: 2,
+                        failed: false,
+                    },
+                    CampaignProgress {
+                        name: "poisoned".into(),
+                        total: 4,
+                        queued: 0,
+                        running: 0,
+                        done: 1,
+                        resumed: 0,
+                        store_hits: 0,
+                        failed: true,
+                    },
+                ],
+            },
+            Message::Progress { campaigns: vec![] },
         ];
         for message in messages {
             let decoded = Message::decode(&message.encode()).unwrap();

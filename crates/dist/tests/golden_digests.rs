@@ -1,0 +1,85 @@
+//! Golden store-key digests: the content-addressed result store keys
+//! cells by a digest of (resolved setup, resolved cell attack, baseline
+//! seeds[, transfer table]) — if that derivation ever changes, every
+//! store on disk is silently invalidated and cross-campaign dedup
+//! breaks without a single test failing. So the digests of the three
+//! paper attack families (threshold, theta, vdd) are pinned to a
+//! committed vector file; an intentional key change must regenerate it
+//! with `UPDATE_GOLDEN=1` and say so in review.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use neurofi_core::{PowerTransferTable, ScenarioSpec};
+use neurofi_dist::{named_campaign, CampaignSpec, SetupSpec};
+
+/// The three paper attack families as concrete pinned grids: the
+/// threshold smoke grid, the theta line, and a vdd grid over the
+/// paper-nominal transfer table (vdd cells fold the table into the
+/// key).
+fn golden_specs() -> Vec<(&'static str, CampaignSpec)> {
+    vec![
+        ("tiny", named_campaign("tiny").unwrap()),
+        ("tiny-theta", named_campaign("tiny-theta").unwrap()),
+        (
+            "vdd",
+            CampaignSpec {
+                setup: SetupSpec::bench(42),
+                scenario: ScenarioSpec::vdd(
+                    &[0.8, 1.0],
+                    &PowerTransferTable::paper_nominal(),
+                    &[42],
+                ),
+            },
+        ),
+    ]
+}
+
+fn render() -> String {
+    let mut out = String::from(
+        "# Golden store-key digests: FNV-1a over the canonical wire encoding of\n\
+         # (resolved setup, resolved cell attack, baseline seeds[, transfer table]).\n\
+         # Regenerate with: UPDATE_GOLDEN=1 cargo test -p neurofi-dist --test golden_digests\n\
+         # A diff here invalidates every existing result store — review hard.\n",
+    );
+    for (name, spec) in golden_specs() {
+        writeln!(out, "campaign {name} {:016x}", spec.digest()).unwrap();
+        writeln!(out, "baseline {name} {:016x}", spec.baseline_digest()).unwrap();
+        for (i, job) in spec.plan().jobs.iter().enumerate() {
+            writeln!(
+                out,
+                "cell {name} {i} {:016x}",
+                spec.cell_digest(&job.attack)
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+fn vector_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/digests.txt")
+}
+
+#[test]
+fn store_key_digests_match_committed_vectors() {
+    let rendered = render();
+    let path = vector_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); bless initial vectors with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        committed, rendered,
+        "store-key digest derivation changed: every content-addressed \
+         store keyed by the old digests is silently invalidated. If \
+         intentional, regenerate with UPDATE_GOLDEN=1 and call it out."
+    );
+}

@@ -1,0 +1,170 @@
+//! Crash-edge suite for the content-addressed result store, mirroring
+//! the checkpoint journal's discipline: truncate a store file at *every
+//! byte offset* — from the end of the header to the full file — and
+//! assert that replay recovers exactly the longest valid prefix of
+//! durable records, truncates the torn bytes, and accepts post-recovery
+//! appends on a clean boundary. Plus the conflict guarantee the dedup
+//! design rests on: a bit-different value appended under an existing
+//! digest fails loudly, never silently wins.
+
+use std::path::{Path, PathBuf};
+
+use neurofi_core::sweep::SweepCell;
+use neurofi_store::{Store, StoreError};
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("neurofi-store-crash-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Cells with awkward float bits (negative zero, subnormals, values
+/// that don't round-trip through decimal) so a lossy encoding would be
+/// caught, not masked.
+fn cell(accuracy: f64) -> SweepCell {
+    SweepCell {
+        rel_change: -0.0,
+        fraction: f64::MIN_POSITIVE,
+        accuracy,
+        relative_change_percent: accuracy * -10.0 + 0.1,
+    }
+}
+
+const BASELINE_DIGEST: u64 = 0xba5e;
+const CELL_DIGESTS: [u64; 3] = [0x1000, 0x1001, 0x1002];
+
+/// Writes a reference store (baseline + 3 cells) and returns its bytes
+/// plus the byte offset where each durable line — header included —
+/// *ends*.
+fn reference_store(dir: &Path) -> (Vec<u8>, Vec<usize>) {
+    let path = dir.join("reference.store");
+    let mut store = Store::open(&path).unwrap();
+    store
+        .put_baseline(BASELINE_DIGEST, 0.30000000000000004)
+        .unwrap();
+    for (i, &digest) in CELL_DIGESTS.iter().enumerate() {
+        store.put_cell(digest, cell(0.1 + i as f64 * 0.07)).unwrap();
+    }
+    drop(store);
+    let bytes = std::fs::read(&path).unwrap();
+    let boundaries: Vec<usize> = bytes
+        .iter()
+        .enumerate()
+        .filter(|&(_, &b)| b == b'\n')
+        .map(|(i, _)| i + 1)
+        .collect();
+    assert_eq!(boundaries.len(), 5, "header + baseline + 3 cells");
+    assert_eq!(*boundaries.last().unwrap(), bytes.len());
+    (bytes, boundaries)
+}
+
+#[test]
+fn truncation_at_every_byte_offset_recovers_the_longest_valid_prefix() {
+    let dir = temp_dir("every-offset");
+    let (bytes, boundaries) = reference_store(&dir);
+    let header_end = boundaries[0];
+
+    for len in header_end..=bytes.len() {
+        let path = dir.join(format!("cut-{len}.store"));
+        std::fs::write(&path, &bytes[..len]).unwrap();
+
+        let mut store =
+            Store::open(&path).unwrap_or_else(|e| panic!("replay failed at cut {len}: {e}"));
+        // Records land in write order (baseline first), so the number
+        // of line boundaries at or before the cut determines exactly
+        // which records survive.
+        let n_durable = boundaries.iter().filter(|&&b| b <= len).count() - 1;
+        assert_eq!(
+            store.get_baseline(BASELINE_DIGEST).is_some(),
+            n_durable >= 1,
+            "cut {len}: baseline survival"
+        );
+        let expect_cells = n_durable.saturating_sub(1);
+        for (i, &digest) in CELL_DIGESTS.iter().enumerate() {
+            assert_eq!(
+                store.get_cell(digest).is_some(),
+                i < expect_cells,
+                "cut {len}: cell {i} survival"
+            );
+        }
+        // Replay truncated the torn tail on disk, so a post-recovery
+        // append starts on a clean line boundary and survives reopen.
+        store
+            .put_cell(0x9999, cell(0.25))
+            .unwrap_or_else(|e| panic!("append after cut {len} failed: {e}"));
+        drop(store);
+        let reopened =
+            Store::open(&path).unwrap_or_else(|e| panic!("re-replay failed at cut {len}: {e}"));
+        assert!(
+            reopened.get_cell(0x9999).is_some(),
+            "cut {len}: post-recovery append lost"
+        );
+        assert_eq!(
+            reopened.len(),
+            n_durable + 1,
+            "cut {len}: reopened record count"
+        );
+    }
+}
+
+#[test]
+fn truncation_inside_the_header_is_refused_not_misread() {
+    let dir = temp_dir("header-cut");
+    let (bytes, boundaries) = reference_store(&dir);
+    for len in 0..boundaries[0] {
+        let path = dir.join(format!("cut-{len}.store"));
+        std::fs::write(&path, &bytes[..len]).unwrap();
+        assert!(
+            Store::open(&path).is_err(),
+            "cut {len}: a torn header must refuse to open, not replay as empty"
+        );
+    }
+}
+
+#[test]
+fn bit_different_duplicate_append_fails_loudly() {
+    let dir = temp_dir("conflict");
+    let path = dir.join("conflict.store");
+    let mut store = Store::open(&path).unwrap();
+    let original = cell(0.5);
+    assert!(store.put_cell(7, original).unwrap());
+    // Identical re-append is an idempotent no-op...
+    assert!(!store.put_cell(7, original).unwrap());
+    // ...but a single-ULP difference under the same digest is a
+    // conflict, both at append time and at replay time.
+    let mut drifted = original;
+    drifted.accuracy = f64::from_bits(drifted.accuracy.to_bits() + 1);
+    match store.put_cell(7, drifted) {
+        Err(StoreError::Conflict { digest: 7, .. }) => {}
+        other => panic!("expected a conflict, got {other:?}"),
+    }
+    let mut base_drift = store.get_baseline(99);
+    assert!(base_drift.is_none());
+    store.put_baseline(99, 0.5).unwrap();
+    base_drift = Some(f64::from_bits(0.5f64.to_bits() + 1));
+    match store.put_baseline(99, base_drift.unwrap()) {
+        Err(StoreError::Conflict { digest: 99, .. }) => {}
+        other => panic!("expected a baseline conflict, got {other:?}"),
+    }
+    drop(store);
+
+    // Forge the conflicting record directly on disk: replay must fail
+    // loudly rather than let either version silently win.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let forged = format!(
+        "cell {:016x} 0 {:016x} {:016x} {:016x} {:016x}\n",
+        7u64,
+        (-0.0f64).to_bits(),
+        f64::MIN_POSITIVE.to_bits(),
+        f64::from_bits(0.5f64.to_bits() + 1).to_bits(),
+        (0.5f64 * -10.0 + 0.1).to_bits(),
+    );
+    bytes.extend_from_slice(forged.as_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    match Store::open(&path) {
+        Err(StoreError::Conflict { digest: 7, .. }) => {}
+        other => panic!("expected a replay conflict, got {other:?}"),
+    }
+}
