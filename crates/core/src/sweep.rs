@@ -54,7 +54,7 @@
 //! assembly is slot-addressed, any schedule — serial, threaded, or
 //! sharded across machines — produces a bit-identical [`SweepResult`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -149,7 +149,7 @@ where
 #[derive(Debug)]
 pub struct BaselineCache {
     setup: ExperimentSetup,
-    entries: Mutex<HashMap<u64, RunMeasurement>>,
+    entries: Mutex<BTreeMap<u64, RunMeasurement>>,
 }
 
 impl BaselineCache {
@@ -158,7 +158,7 @@ impl BaselineCache {
     pub fn new(setup: &ExperimentSetup) -> BaselineCache {
         BaselineCache {
             setup: setup.clone(),
-            entries: Mutex::new(HashMap::new()),
+            entries: Mutex::new(BTreeMap::new()),
         }
     }
 

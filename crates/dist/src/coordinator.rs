@@ -883,7 +883,9 @@ fn record_results(
         shared.changed.notify_all();
         return Err(reason);
     }
-    let campaign_state = &mut state.campaigns[campaign];
+    let Some(campaign_state) = state.campaigns.get_mut(campaign) else {
+        return Err("internal: campaign index out of range after bounds check".into());
+    };
     if campaign_state.failed.is_some() {
         // The campaign was poisoned while this window was in flight:
         // drop the results (acked but unrecorded) and let the worker
@@ -927,7 +929,13 @@ fn record_results(
     // means a non-deterministic runner.
     if baseline_newly_recorded {
         if let Some(store) = shared.store.as_ref() {
-            let digest = state.campaigns[campaign].campaign.spec.baseline_digest();
+            let digest = state
+                .campaigns
+                .get(campaign)
+                .map(|c| c.campaign.spec.baseline_digest());
+            let Some(digest) = digest else {
+                return Err("internal: campaign index out of range after bounds check".into());
+            };
             if let Err(e) = lock_store(store).put_baseline(digest, baseline_accuracy) {
                 let reason = format!("result store write failed: {e}");
                 state.fail(reason.clone());
@@ -937,7 +945,9 @@ fn record_results(
         }
     }
     for result in results {
-        let campaign_state = &mut state.campaigns[campaign];
+        let Some(campaign_state) = state.campaigns.get_mut(campaign) else {
+            return Err("internal: campaign index out of range after bounds check".into());
+        };
         if result.index >= campaign_state.total() {
             let reason = format!("worker reported cell {} outside the grid", result.index);
             state.fail(reason.clone());
@@ -946,7 +956,12 @@ fn record_results(
         }
         in_flight.retain(|&(c, i)| !(c == campaign && i == result.index));
         let mut cell_newly_recorded = false;
-        match campaign_state.completed[result.index] {
+        match campaign_state
+            .completed
+            .get(result.index)
+            .copied()
+            .flatten()
+        {
             // A duplicate delivery (the cell was requeued after a timeout
             // and finished twice) must carry identical bits — this is the
             // per-cell determinism cross-check. assemble_sweep never sees
@@ -973,14 +988,23 @@ fn record_results(
                         return Err(reason);
                     }
                 }
-                campaign_state.completed[result.index] = Some(*result);
+                if let Some(slot) = campaign_state.completed.get_mut(result.index) {
+                    *slot = Some(*result);
+                }
                 campaign_state.n_done += 1;
                 cell_newly_recorded = true;
             }
         }
         if cell_newly_recorded {
             if let Some(store) = shared.store.as_ref() {
-                let digest = state.campaigns[campaign].digests[result.index];
+                let digest = state
+                    .campaigns
+                    .get(campaign)
+                    .and_then(|c| c.digests.get(result.index))
+                    .copied();
+                let Some(digest) = digest else {
+                    return Err("internal: cell index out of range after bounds check".into());
+                };
                 if let Err(e) = lock_store(store).put_cell(digest, result.cell) {
                     let reason = format!("result store write failed: {e}");
                     state.fail(reason.clone());
@@ -1012,31 +1036,44 @@ fn cell_failed(
     limits: PoisonLimits,
 ) -> Result<(), String> {
     let mut state = shared.lock_state();
-    if campaign >= state.campaigns.len() {
+    let total = state.campaigns.get(campaign).map(|c| c.total());
+    let Some(total) = total else {
         let reason = format!("worker reported a failure in unknown campaign {campaign}");
         state.fail(reason.clone());
         shared.changed.notify_all();
         return Err(reason);
-    }
-    if index >= state.campaigns[campaign].total() {
+    };
+    if index >= total {
         let reason = format!("worker reported failing cell {index} outside the grid");
         state.fail(reason.clone());
         shared.changed.notify_all();
         return Err(reason);
     }
     in_flight.retain(|&(c, i)| !(c == campaign && i == index));
-    let campaign_state = &mut state.campaigns[campaign];
-    if campaign_state.completed[index].is_some() || campaign_state.failed.is_some() {
+    let Some(campaign_state) = state.campaigns.get_mut(campaign) else {
+        return Err("internal: campaign index out of range after bounds check".into());
+    };
+    if campaign_state
+        .completed
+        .get(index)
+        .is_some_and(Option::is_some)
+        || campaign_state.failed.is_some()
+    {
         // Finished elsewhere, or the campaign is already poisoned; the
         // report is moot.
         return Ok(());
     }
-    campaign_state.failures[index] += 1;
+    let attempts = match campaign_state.failures.get_mut(index) {
+        Some(count) => {
+            *count += 1;
+            *count
+        }
+        None => return Err("internal: cell index out of range after bounds check".into()),
+    };
     campaign_state.failure_log.push(format!(
-        "cell {index} execution failure {}: {reason}",
-        campaign_state.failures[index]
+        "cell {index} execution failure {attempts}: {reason}"
     ));
-    if campaign_state.failures[index] >= limits.max_attempts {
+    if attempts >= limits.max_attempts {
         let log = campaign_state.failure_log.join("; ");
         let poison = format!(
             "campaign `{}` poisoned: cell {index} failed execution {} times \
@@ -1075,12 +1112,28 @@ fn requeue(shared: &Shared, in_flight: &mut Vec<(usize, usize)>, limits: PoisonL
     }
     let mut state = shared.lock_state();
     for &(campaign, index) in in_flight.iter() {
-        let campaign_state = &mut state.campaigns[campaign];
-        if campaign_state.completed[index].is_some() || campaign_state.failed.is_some() {
+        // In-flight entries always name real cells (claim_batch built
+        // them) — `get` only so a bookkeeping bug degrades to a skipped
+        // requeue instead of a poisoned lock.
+        let Some(campaign_state) = state.campaigns.get_mut(campaign) else {
+            continue;
+        };
+        if campaign_state
+            .completed
+            .get(index)
+            .is_some_and(Option::is_some)
+            || campaign_state.failed.is_some()
+        {
             continue;
         }
-        campaign_state.orphaned[index] += 1;
-        if campaign_state.orphaned[index] >= limits.max_worker_losses {
+        let losses = match campaign_state.orphaned.get_mut(index) {
+            Some(count) => {
+                *count += 1;
+                *count
+            }
+            None => continue,
+        };
+        if losses >= limits.max_worker_losses {
             let poison = format!(
                 "campaign `{}` poisoned: cell {index} was orphaned by {} \
                  dying/timing-out workers without ever reporting an execution \
@@ -1335,10 +1388,16 @@ fn serve_worker<C: Connection>(mut conn: C, shared: &Shared, threads: u32, limit
                         in_flight.extend(batch.iter().map(|&i| (campaign, i)));
                         let jobs = {
                             let state = shared.lock_state();
-                            batch
-                                .iter()
-                                .map(|&i| state.campaigns[campaign].plan.jobs[i])
-                                .collect()
+                            // claim_batch only hands out indices from this
+                            // campaign's plan; `get` so a scheduler bug
+                            // shrinks the batch instead of panicking with
+                            // the state lock held.
+                            state.campaigns.get(campaign).map_or_else(Vec::new, |c| {
+                                batch
+                                    .iter()
+                                    .filter_map(|&i| c.plan.jobs.get(i).copied())
+                                    .collect()
+                            })
                         };
                         // The claimed campaign may have been submitted
                         // after this worker's handshake: announce before

@@ -418,7 +418,10 @@ pub fn run_local_cluster(config: &LocalClusterConfig) -> Result<LocalClusterRepo
         let run = coordinator.serve();
         let workers: Vec<Result<WorkerSummary, DistError>> = worker_handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err(DistError::Protocol("worker thread panicked".into())))
+            })
             .collect();
         run.map(|run| LocalClusterReport { run, workers })
     })

@@ -217,19 +217,28 @@ impl<'a> Decoder<'a> {
         Ok(slice)
     }
 
+    /// Reads exactly `N` bytes into a fixed array (no panic path: the
+    /// length is checked by `take` before the copy).
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let mut out = [0u8; N];
+        out.copy_from_slice(self.take(N)?);
+        Ok(out)
+    }
+
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        let [byte] = self.take_array::<1>()?;
+        Ok(byte)
     }
 
     /// Reads a big-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_be_bytes(self.take_array()?))
     }
 
     /// Reads a big-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_be_bytes(self.take_array()?))
     }
 
     /// Reads an `f64` from its bit pattern.

@@ -359,9 +359,9 @@ fn worker_session<C: Connection>(
             "coordinator announced an empty campaign queue".into(),
         ));
     }
-    match runtimes_slot {
+    let runtimes = match runtimes_slot {
         None => match WorkerRuntimes::new(&campaigns, config.parallelism) {
-            Ok(runtimes) => *runtimes_slot = Some(runtimes),
+            Ok(runtimes) => runtimes_slot.insert(runtimes),
             Err(e) => return SessionEnd::Fatal(e),
         },
         // Reconnect: the queue must still be the one this worker knows.
@@ -369,9 +369,9 @@ fn worker_session<C: Connection>(
             if let Err(e) = runtimes.reconcile(&campaigns) {
                 return SessionEnd::Fatal(e);
             }
+            runtimes
         }
-    }
-    let runtimes = runtimes_slot.as_mut().expect("runtimes installed above");
+    };
     let mut pending: Vec<(u32, NamedCampaign)> = Vec::new();
 
     let batch_cap = config.batch.unwrap_or(u32::MAX as usize).max(1);

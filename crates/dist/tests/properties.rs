@@ -10,7 +10,8 @@ use neurofi_core::sweep::{CellAttack, CellJob, CellResult, SweepCell};
 use neurofi_core::TargetLayer;
 use neurofi_dist::wire::{
     decode_cell_job, decode_cell_result, decode_scenario_spec, encode_cell_job, encode_cell_result,
-    encode_scenario_spec, read_frame, write_frame, Decoder, Encoder, Message, WireError,
+    encode_scenario_spec, read_frame, write_frame, CampaignProgress, Decoder, Encoder, Message,
+    WireError,
 };
 use neurofi_dist::MAX_FRAME_LEN;
 use proptest::prelude::*;
@@ -171,6 +172,66 @@ proptest! {
         let reason = ["solver diverged", "NaN accuracy", "", "oom"][reason_seed].to_string();
         let message = Message::Failed { campaign, index, reason };
         prop_assert_eq!(Message::decode(&message.encode()).expect("decodes"), message);
+    }
+
+    #[test]
+    fn handshake_and_lifecycle_messages_round_trip(
+        protocol in 0u32..=u32::MAX,
+        threads in 1u32..4096,
+        max_cells in 1u32..=u32::MAX,
+        cut_seed in 0u64..10_000,
+    ) {
+        // The fixed-shape control messages: Hello (worker handshake),
+        // Request (batch pull), Status (snapshot poll), Finished
+        // (drain). Each round-trips bit-exact and rejects every strict
+        // prefix.
+        for message in [
+            Message::Hello { protocol, threads },
+            Message::Request { max_cells },
+            Message::Status { protocol },
+            Message::Finished,
+        ] {
+            let payload = message.encode();
+            prop_assert_eq!(Message::decode(&payload).expect("decodes"), message);
+            let cut = (cut_seed as usize) % payload.len();
+            prop_assert!(Message::decode(&payload[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn progress_snapshots_round_trip_and_reject_hostile_lengths(
+        n_campaigns in 0usize..8,
+        total in 0u64..1_000_000,
+        done in 0u64..1_000_000,
+        failed in 0u8..2,
+        claimed in 1_000u32..=u32::MAX,
+    ) {
+        let campaigns: Vec<CampaignProgress> = (0..n_campaigns)
+            .map(|i| CampaignProgress {
+                name: format!("campaign-{i}"),
+                total,
+                queued: total.saturating_sub(done),
+                running: (i as u64) % 3,
+                done,
+                resumed: done / 2,
+                store_hits: done / 3,
+                failed: failed == 1,
+            })
+            .collect();
+        let message = Message::Progress { campaigns };
+        let payload = message.encode();
+        prop_assert_eq!(Message::decode(&payload).expect("snapshot decodes"), message);
+        // Any strict prefix is rejected, never mis-decoded.
+        for cut in 0..payload.len() {
+            prop_assert!(Message::decode(&payload[..cut]).is_err());
+        }
+        // A snapshot claiming a multi-gigabyte campaign count with no
+        // bytes behind it must be refused before allocating.
+        let mut enc = Encoder::new();
+        enc.u8(13); // Progress tag
+        enc.u32(claimed);
+        enc.u8(0);
+        prop_assert!(Message::decode(&enc.finish()).is_err());
     }
 
     #[test]

@@ -1,0 +1,374 @@
+//! A hand-rolled Rust token scanner — the same std-only discipline as
+//! the wire codec: no syn, no proc-macro2, no dependencies.
+//!
+//! The linter does not need types or full syntax, only a faithful token
+//! stream: identifiers, punctuation, and literals with their line
+//! numbers, with comments and string *contents* reliably skipped so a
+//! doc comment mentioning `unwrap()` or a format string containing
+//! `HashMap` can never produce a finding. The tricky cases are exactly
+//! the ones that break grep-based linting: nested block comments, raw
+//! strings (`r#"…"#`), byte strings, and the lifetime-vs-char-literal
+//! ambiguity (`'a` vs `'a'`).
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `unwrap`, …).
+    Ident,
+    /// A single punctuation character (`.`, `[`, `::` arrives as two).
+    Punct,
+    /// A string or byte-string literal (contents discarded).
+    Str,
+    /// A character or byte literal.
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The lexeme kind.
+    pub kind: TokKind,
+    /// The token text: the identifier itself, the punctuation
+    /// character, or a placeholder for literals.
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `text`.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Whether this token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn eat_line_comment(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn eat_block_comment(&mut self) {
+        // `/*` already consumed; block comments nest in Rust.
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes a `"…"` string body (opening quote already consumed),
+    /// honouring `\"` and `\\` escapes.
+    fn eat_string(&mut self) {
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string starting at the `r` prefix's hashes:
+    /// `r##"…"##` closes only on `"` followed by the same number of
+    /// hashes. Returns false if this is not a raw string after all.
+    fn eat_raw_string(&mut self) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some(b'"') {
+            return false;
+        }
+        for _ in 0..=hashes {
+            self.bump();
+        }
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    if (0..hashes).all(|i| self.peek(i) == Some(b'#')) {
+                        for _ in 0..hashes {
+                            self.bump();
+                        }
+                        return true;
+                    }
+                }
+                Some(_) => {}
+                None => return true,
+            }
+        }
+    }
+
+    /// Disambiguates `'` between a char literal and a lifetime.
+    fn eat_quote(&mut self) -> TokKind {
+        // `'\…'` is always a char literal.
+        if self.peek(0) == Some(b'\\') {
+            self.bump();
+            self.bump(); // the escape head (u, n, ', …)
+            while let Some(b) = self.peek(0) {
+                self.bump();
+                if b == b'\'' {
+                    break;
+                }
+            }
+            return TokKind::Char;
+        }
+        // `'X'` (one char then a closing quote) is a char literal;
+        // `'ident` with no closing quote right after is a lifetime.
+        if self
+            .peek(0)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            let mut len = 1;
+            while self
+                .peek(len)
+                .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+            {
+                len += 1;
+            }
+            if len == 1 && self.peek(1) == Some(b'\'') {
+                self.bump();
+                self.bump();
+                return TokKind::Char;
+            }
+            for _ in 0..len {
+                self.bump();
+            }
+            return TokKind::Lifetime;
+        }
+        // `'('`-style punctuation char literal.
+        self.bump();
+        if self.peek(0) == Some(b'\'') {
+            self.bump();
+        }
+        TokKind::Char
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into a token stream, discarding comments, whitespace,
+/// and literal contents but keeping line numbers.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut s = Scanner {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(b) = s.peek(0) {
+        let line = s.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                s.bump();
+            }
+            b'/' if s.peek(1) == Some(b'/') => s.eat_line_comment(),
+            b'/' if s.peek(1) == Some(b'*') => {
+                s.bump();
+                s.bump();
+                s.eat_block_comment();
+            }
+            b'"' => {
+                s.bump();
+                s.eat_string();
+                tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'\'' => {
+                s.bump();
+                let kind = s.eat_quote();
+                tokens.push(Token {
+                    kind,
+                    text: String::new(),
+                    line,
+                });
+            }
+            _ if is_ident_start(b) => {
+                let start = s.pos;
+                while s.peek(0).is_some_and(is_ident_continue) {
+                    s.bump();
+                }
+                let text = &src[start..s.pos];
+                // `r"…"` / `r#"…"#` / `b"…"` / `br#"…"#` string prefixes.
+                if matches!(text, "r" | "b" | "br" | "rb") {
+                    match s.peek(0) {
+                        Some(b'"') if text == "b" => {
+                            s.bump();
+                            s.eat_string();
+                            tokens.push(Token {
+                                kind: TokKind::Str,
+                                text: String::new(),
+                                line,
+                            });
+                            continue;
+                        }
+                        // The guard consumes the raw string on success;
+                        // on a false start (`r` not followed by a raw
+                        // string) nothing is consumed and the prefix
+                        // falls through as an ordinary identifier.
+                        Some(b'"') | Some(b'#') if text != "b" && s.eat_raw_string() => {
+                            tokens.push(Token {
+                                kind: TokKind::Str,
+                                text: String::new(),
+                                line,
+                            });
+                            continue;
+                        }
+                        Some(b'\'') if text == "b" => {
+                            s.bump();
+                            s.eat_quote();
+                            tokens.push(Token {
+                                kind: TokKind::Char,
+                                text: String::new(),
+                                line,
+                            });
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: text.to_string(),
+                    line,
+                });
+            }
+            _ if b.is_ascii_digit() => {
+                while s.peek(0).is_some_and(is_ident_continue) {
+                    s.bump();
+                }
+                // A decimal point only when followed by another digit,
+                // so `0..len` lexes as `0`, `.`, `.`, `len`.
+                if s.peek(0) == Some(b'.') && s.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                    s.bump();
+                    while s.peek(0).is_some_and(is_ident_continue) {
+                        s.bump();
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: String::new(),
+                    line,
+                });
+            }
+            _ => {
+                s.bump();
+                tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r###"
+            // HashMap unwrap() in a line comment
+            /* nested /* HashMap */ still comment */
+            let s = "HashMap.unwrap()";
+            let r = r#"unwrap() "quoted" HashMap"#;
+            let b = b"HashMap";
+            real_ident();
+        "###;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "HashMap" || i == "unwrap"));
+        assert!(ids.iter().any(|i| i == "real_ident"));
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_disambiguate() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 2));
+    }
+
+    #[test]
+    fn ranges_do_not_swallow_dots() {
+        let toks = lex("for i in 0..len {}");
+        assert!(toks.iter().any(|t| t.is_ident("len")));
+        assert_eq!(toks.iter().filter(|t| t.is_punct('.')).count(), 2);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let toks = lex("/* a\nb\nc */ x\n\"s\ntring\" y");
+        let x = toks.iter().find(|t| t.is_ident("x")).unwrap();
+        let y = toks.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!(x.line, 3);
+        assert_eq!(y.line, 5);
+    }
+}

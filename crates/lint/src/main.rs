@@ -1,0 +1,72 @@
+//! CLI for the workspace invariant checker.
+//!
+//! ```text
+//! cargo run -p lint                        # report (exit 0)
+//! cargo run -p lint -- --deny-all         # CI mode: exit 2 on violations
+//! cargo run -p lint -- --update-baseline  # bless panic-count reductions
+//! cargo run -p lint -- --report lint.txt  # also write the report to a file
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lint [--deny-all] [--update-baseline] [--root PATH] [--report PATH]\n\
+         \n\
+         --deny-all         exit 2 if any violation remains\n\
+         --update-baseline  rewrite crates/lint/panic_baseline.txt from current counts\n\
+         --root PATH        workspace root (default: ancestor of this crate)\n\
+         --report PATH      also write the rendered report to PATH"
+    );
+    std::process::exit(64);
+}
+
+fn main() -> ExitCode {
+    let mut deny_all = false;
+    let mut update_baseline = false;
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-all" => deny_all = true,
+            "--update-baseline" => update_baseline = true,
+            "--root" => root = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--report" => report_path = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            _ => usage(),
+        }
+    }
+    // Default root: two levels up from this crate's manifest dir —
+    // works from any cwd under `cargo run -p lint`.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|e| {
+                eprintln!("lint: cannot resolve workspace root: {e}");
+                std::process::exit(74);
+            })
+    });
+
+    let report = match lint::lint_tree(&root, update_baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint: {e}");
+            return ExitCode::from(74);
+        }
+    };
+    let rendered = report.render();
+    print!("{rendered}");
+    if let Some(p) = report_path {
+        if let Err(e) = std::fs::write(&p, &rendered) {
+            eprintln!("lint: cannot write report {}: {e}", p.display());
+            return ExitCode::from(74);
+        }
+    }
+    if deny_all && !report.violations.is_empty() {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,238 @@
+//! A lightweight structural model over the token stream: matched
+//! braces, `#[cfg(test)]` / `#[test]` item spans (excluded from every
+//! rule), and function bodies (the unit of the lock-order and
+//! capped-read analyses).
+
+use crate::lexer::{TokKind, Token};
+
+/// One function with its body's token range.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// Token index of the body's opening `{`.
+    pub body_open: usize,
+    /// Token index of the body's closing `}`.
+    pub body_close: usize,
+}
+
+/// A lexed file plus the structural facts every rule needs.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// Token ranges (inclusive) covered by `#[cfg(test)]` or `#[test]`
+    /// items.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Every function with a body, in source order (nested functions
+    /// appear both inside their parent's range and as their own entry).
+    pub fns: Vec<FnSpan>,
+}
+
+/// Finds the matching `}` for the `{` at `open`, or the last token if
+/// unbalanced.
+pub fn match_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, tok) in tokens.iter().enumerate().skip(open) {
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Finds the matching `]` for the `[` at `open` (attribute bodies).
+fn match_bracket(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, tok) in tokens.iter().enumerate().skip(open) {
+        if tok.is_punct('[') {
+            depth += 1;
+        } else if tok.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Whether the attribute starting at `#` (index `i`) is `#[cfg(test)]`
+/// or `#[test]`. Returns the index of the closing `]` when it is.
+fn test_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    if !tokens[i].is_punct('#') || !tokens.get(i + 1)?.is_punct('[') {
+        return None;
+    }
+    let close = match_bracket(tokens, i + 1);
+    let body: Vec<&str> = tokens[i + 2..close]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    match body.as_slice() {
+        ["test"] => Some(close),
+        ["cfg", rest @ ..] if rest.contains(&"test") => Some(close),
+        _ => None,
+    }
+}
+
+/// Computes the token spans covered by test-gated items: from a
+/// `#[cfg(test)]`/`#[test]` attribute through the end of the item it
+/// gates (the matching `}` of its first block, or the terminating `;`
+/// for blockless items).
+fn find_test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(mut close) = test_attr(tokens, i) {
+            // Skip any further attributes between the test gate and the
+            // item itself.
+            let mut j = close + 1;
+            while j < tokens.len() && tokens[j].is_punct('#') {
+                if let Some(t) = tokens.get(j + 1) {
+                    if t.is_punct('[') {
+                        j = match_bracket(tokens, j + 1) + 1;
+                        continue;
+                    }
+                }
+                break;
+            }
+            // The gated item ends at its first block's matching brace,
+            // or at `;` for items with no block (`use`, `mod foo;`).
+            while j < tokens.len() {
+                if tokens[j].is_punct('{') {
+                    close = match_brace(tokens, j);
+                    break;
+                }
+                if tokens[j].is_punct(';') {
+                    close = j;
+                    break;
+                }
+                j += 1;
+            }
+            spans.push((i, close));
+            i = close + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+/// Collects every `fn name … { body }` in the stream. Trait-method
+/// declarations (`fn f(…);`) have no body and are skipped.
+fn find_fns(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if tokens[i].is_ident("fn") && tokens[i + 1].kind == TokKind::Ident {
+            let name = tokens[i + 1].text.clone();
+            let mut j = i + 2;
+            let mut body = None;
+            while j < tokens.len() {
+                if tokens[j].is_punct('{') {
+                    body = Some(j);
+                    break;
+                }
+                if tokens[j].is_punct(';') {
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(open) = body {
+                fns.push(FnSpan {
+                    name,
+                    fn_idx: i,
+                    body_open: open,
+                    body_close: match_brace(tokens, open),
+                });
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    fns
+}
+
+impl FileModel {
+    /// Lexes and models one source file.
+    pub fn parse(rel: impl Into<String>, src: &str) -> FileModel {
+        let tokens = crate::lexer::lex(src);
+        let test_spans = find_test_spans(&tokens);
+        let fns = find_fns(&tokens);
+        FileModel {
+            rel: rel.into(),
+            tokens,
+            test_spans,
+            fns,
+        }
+    }
+
+    /// Whether token `i` lies inside a test-gated item.
+    pub fn in_tests(&self, i: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= i && i <= b)
+    }
+
+    /// The innermost function whose body contains token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.body_open <= i && i <= f.body_close)
+            .min_by_key(|f| f.body_close - f.body_open)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mods_are_spanned() {
+        let model = FileModel::parse(
+            "x.rs",
+            "fn live() { a.unwrap(); }\n\
+             #[cfg(test)]\nmod tests {\n fn t() { b.unwrap(); }\n}\n\
+             fn after() {}",
+        );
+        let unwraps: Vec<usize> = model
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!model.in_tests(unwraps[0]));
+        assert!(model.in_tests(unwraps[1]));
+        assert!(model.fns.iter().any(|f| f.name == "after"));
+    }
+
+    #[test]
+    fn cfg_test_on_blockless_items_stops_at_semicolon() {
+        let model = FileModel::parse("x.rs", "#[cfg(test)]\nuse foo::bar;\nfn live() {}");
+        let live = model
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("live"))
+            .unwrap();
+        assert!(!model.in_tests(live));
+    }
+
+    #[test]
+    fn nested_fns_resolve_to_the_innermost() {
+        let model = FileModel::parse("x.rs", "fn outer() { fn inner() { x(); } y(); }");
+        let x = model.tokens.iter().position(|t| t.is_ident("x")).unwrap();
+        let y = model.tokens.iter().position(|t| t.is_ident("y")).unwrap();
+        assert_eq!(model.enclosing_fn(x).unwrap().name, "inner");
+        assert_eq!(model.enclosing_fn(y).unwrap().name, "outer");
+    }
+}

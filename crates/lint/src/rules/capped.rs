@@ -1,0 +1,138 @@
+//! Rule `capped-reads`: every variable-length decode in the wire layer
+//! must flow through an allocation guard.
+//!
+//! PRs 4 and 6 hardened the codec so a hostile or corrupt length prefix
+//! can never provoke an outsized allocation: text fields decode through
+//! `capped_string(what, max)` (which names the field and refuses the
+//! length *before* allocating) and collection lengths through
+//! `seq_len(min_item_bytes)` (which cross-checks the bytes actually
+//! present). A new frame added without those guards silently re-opens
+//! the bug class. This rule flags, in non-test `dist` source:
+//!
+//! * zero-argument `.string()` decode calls — the legacy convenience
+//!   that neither names the field nor applies the field's own cap;
+//! * direct `from_utf8` conversions outside `capped_string` itself —
+//!   the sign of a by-hand text decode bypassing the guard;
+//! * unbounded reads (`read_to_end` / `read_to_string`) on peers;
+//! * length-driven allocations (`vec![…; len]`, `with_capacity(len)`,
+//!   `reserve(len)`) inside decode-context functions with no visible
+//!   `MAX_*` comparison or `seq_len` call guarding the length.
+
+use crate::lexer::TokKind;
+use crate::model::{FileModel, FnSpan};
+use crate::Finding;
+
+/// Whether the function body looks like a decode context (touches raw
+/// incoming bytes).
+fn decode_context(model: &FileModel, f: &FnSpan) -> bool {
+    model.tokens[f.body_open..=f.body_close]
+        .iter()
+        .any(|t| t.is_ident("Decoder") || t.is_ident("from_be_bytes") || t.is_ident("read_exact"))
+}
+
+/// Whether `len_ident` is guarded within the function: compared against
+/// a `MAX_*` constant, or the function uses `seq_len` at all.
+fn guarded(model: &FileModel, f: &FnSpan, len_ident: &str) -> bool {
+    let body = &model.tokens[f.body_open..=f.body_close];
+    if body.iter().any(|t| t.is_ident("seq_len")) {
+        return true;
+    }
+    body.windows(3).any(|w| {
+        let max_cmp =
+            |t: &crate::lexer::Token| t.kind == TokKind::Ident && t.text.starts_with("MAX_");
+        (w[0].is_ident(len_ident) && (w[1].is_punct('>') || w[1].is_punct('<')) && max_cmp(&w[2]))
+            || (max_cmp(&w[0])
+                && (w[1].is_punct('>') || w[1].is_punct('<'))
+                && w[2].is_ident(len_ident))
+    })
+}
+
+/// Scans one wire-layer file.
+pub fn check(model: &FileModel, out: &mut Vec<Finding>) {
+    let toks = &model.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if model.in_tests(i) {
+            continue;
+        }
+        // `.string()` with zero arguments: a decode (encode-side
+        // `.string(v)` calls carry the value argument).
+        if tok.is_ident("string")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+        {
+            out.push(Finding {
+                rule: "capped-reads",
+                file: model.rel.clone(),
+                line: tok.line,
+                token: "string".into(),
+                message: "uncapped text decode: use capped_string(\"<field>\", MAX_…) so the \
+                          field is named and its own cap applies before allocation"
+                    .into(),
+            });
+        }
+        // Raw `from_utf8` outside the shared guard.
+        if (tok.is_ident("from_utf8") || tok.is_ident("from_utf8_lossy"))
+            && model
+                .enclosing_fn(i)
+                .is_none_or(|f| f.name != "capped_string")
+        {
+            out.push(Finding {
+                rule: "capped-reads",
+                file: model.rel.clone(),
+                line: tok.line,
+                token: tok.text.clone(),
+                message: "text decoded outside capped_string: route every wire string through \
+                          the shared allocation guard"
+                    .into(),
+            });
+        }
+        // Unbounded reads from a peer.
+        if tok.is_ident("read_to_end") || tok.is_ident("read_to_string") {
+            out.push(Finding {
+                rule: "capped-reads",
+                file: model.rel.clone(),
+                line: tok.line,
+                token: tok.text.clone(),
+                message: "unbounded read: wire input must be length-prefixed and capped \
+                          (read_frame / MAX_FRAME_LEN)"
+                    .into(),
+            });
+        }
+        // Length-driven allocations in decode contexts.
+        let alloc_len: Option<&str> = if (tok.is_ident("with_capacity") || tok.is_ident("reserve"))
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            Some(toks[i + 2].text.as_str())
+        } else if tok.is_ident("vec")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('['))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct(';'))
+            && toks.get(i + 5).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(i + 6).is_some_and(|t| t.is_punct(']'))
+        {
+            Some(toks[i + 5].text.as_str())
+        } else {
+            None
+        };
+        if let Some(len_ident) = alloc_len {
+            if let Some(f) = model.enclosing_fn(i) {
+                if decode_context(model, f) && !guarded(model, f, len_ident) {
+                    out.push(Finding {
+                        rule: "capped-reads",
+                        file: model.rel.clone(),
+                        line: tok.line,
+                        token: len_ident.to_string(),
+                        message: format!(
+                            "allocation sized by decoded `{len_ident}` with no MAX_* bound or \
+                             seq_len guard in scope: a corrupt length prefix can exhaust memory"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

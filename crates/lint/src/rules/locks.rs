@@ -1,0 +1,336 @@
+//! Rule `lock-order`: the coordinator's Mutex acquisition graph must be
+//! acyclic.
+//!
+//! `coordinator.rs` documents a strict order — `state` before `store`,
+//! and `conns` never held across another acquisition — but nothing
+//! enforced it; a deadlock introduced by a refactor would only show up
+//! as a hung soak run. This rule rebuilds the acquisition graph from
+//! the token stream: it tracks which guards are live at each point in a
+//! function (let-bound guards scoped to their block, statement
+//! temporaries dropped at `;`, explicit `drop(g)`, and guard-consuming
+//! calls like `wait_changed(state, …)`), records an edge `A → B`
+//! whenever lock B is taken while a guard on A is live, propagates
+//! edges through calls to other functions in the same file, and fails
+//! on any cycle. Re-acquiring a lock already held is flagged directly
+//! (self-deadlock with std's non-reentrant Mutex).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::TokKind;
+use crate::model::{FileModel, FnSpan};
+use crate::Finding;
+
+/// Helper functions that *return a live guard* on a named lock.
+const ACQUIRERS: &[(&str, &str)] = &[
+    ("lock_state", "state"),
+    ("wait_changed", "state"),
+    ("lock_conns", "conns"),
+    ("lock_store", "store"),
+];
+
+/// Helper functions that acquire and release a named lock internally:
+/// they order against locks held by the caller but leave no live guard.
+const TRANSIENT: &[(&str, &str)] = &[("register_conn", "conns"), ("cancel_all_conns", "conns")];
+
+#[derive(Debug, Clone)]
+struct Guard {
+    lock: String,
+    /// Brace depth at acquisition; the guard dies when the block closes.
+    depth: usize,
+    /// `Some(name)` for `let name = …` bindings, `None` for statement
+    /// temporaries (which die at the next `;`).
+    binding: Option<String>,
+}
+
+/// An acquisition-order edge with one witness line.
+type Edges = BTreeMap<(String, String), u32>;
+
+/// The lock a call at token `i` acquires: `(lock, leaves_live_guard)`.
+fn acquired_lock(model: &FileModel, i: usize) -> Option<(String, bool)> {
+    let toks = &model.tokens;
+    let tok = &toks[i];
+    if tok.kind != TokKind::Ident || !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+        return None;
+    }
+    if let Some((_, lock)) = ACQUIRERS.iter().find(|(f, _)| tok.is_ident(f)) {
+        return Some(((*lock).to_string(), true));
+    }
+    if let Some((_, lock)) = TRANSIENT.iter().find(|(f, _)| tok.is_ident(f)) {
+        return Some(((*lock).to_string(), false));
+    }
+    // Generic `<name> . lock ( … )` — the lock is named by the receiver.
+    if tok.is_ident("lock")
+        && i >= 2
+        && toks[i - 1].is_punct('.')
+        && toks[i - 2].kind == TokKind::Ident
+    {
+        return Some((toks[i - 2].text.clone(), true));
+    }
+    None
+}
+
+/// The binding name of the statement containing token `i`, if the
+/// statement is `let name = …` / `let (name, …) = …` / `name = …`.
+fn statement_binding(model: &FileModel, i: usize) -> Option<String> {
+    let toks = &model.tokens;
+    // Walk back to the start of the statement.
+    let mut j = i;
+    while j > 0 {
+        let t = &toks[j - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        j -= 1;
+    }
+    if toks[j].is_ident("let") {
+        let mut k = j + 1;
+        if toks.get(k).is_some_and(|t| t.is_ident("mut")) {
+            k += 1;
+        }
+        if toks.get(k).is_some_and(|t| t.is_punct('(')) {
+            k += 1;
+        }
+        if toks.get(k).is_some_and(|t| t.kind == TokKind::Ident) {
+            return Some(toks[k].text.clone());
+        }
+        return None;
+    }
+    if toks[j].kind == TokKind::Ident && toks.get(j + 1).is_some_and(|t| t.is_punct('=')) {
+        return Some(toks[j].text.clone());
+    }
+    None
+}
+
+/// Identifiers appearing in the argument list starting at the `(` at
+/// index `open`.
+fn call_args(model: &FileModel, open: usize) -> Vec<String> {
+    let toks = &model.tokens;
+    let mut depth = 0usize;
+    let mut args = Vec::new();
+    for tok in toks.iter().skip(open) {
+        if tok.is_punct('(') {
+            depth += 1;
+        } else if tok.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if tok.kind == TokKind::Ident {
+            args.push(tok.text.clone());
+        }
+    }
+    args
+}
+
+/// Walks one function body, collecting order edges and same-lock
+/// re-acquisitions. `fn_locks` maps local function names to the locks
+/// they (transitively) acquire, for call-through edges.
+fn walk_fn(
+    model: &FileModel,
+    f: &FnSpan,
+    fn_locks: &BTreeMap<String, BTreeSet<String>>,
+    edges: &mut Edges,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &model.tokens;
+    let mut live: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = f.body_open;
+    while i <= f.body_close {
+        let tok = &toks[i];
+        if tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct('}') {
+            live.retain(|g| g.depth < depth);
+            depth = depth.saturating_sub(1);
+        } else if tok.is_punct(';') {
+            live.retain(|g| g.binding.is_some());
+        } else if tok.is_ident("drop")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Ident)
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(')'))
+        {
+            let dropped = &toks[i + 2].text;
+            live.retain(|g| g.binding.as_deref() != Some(dropped));
+            i += 3;
+        } else if let Some((lock, leaves_guard)) = acquired_lock(model, i) {
+            // A guard passed into the acquiring call is consumed by it
+            // (e.g. `wait_changed(state, timeout)` re-yields the state
+            // guard rather than double-locking).
+            let args = call_args(model, i + 1);
+            let consumed: Vec<String> = live
+                .iter()
+                .filter(|g| {
+                    g.binding
+                        .as_deref()
+                        .is_some_and(|b| args.iter().any(|a| a == b))
+                })
+                .map(|g| g.lock.clone())
+                .collect();
+            live.retain(|g| {
+                !g.binding
+                    .as_deref()
+                    .is_some_and(|b| args.iter().any(|a| a == b))
+            });
+            for g in &live {
+                if g.lock == lock {
+                    out.push(Finding {
+                        rule: "lock-order",
+                        file: model.rel.clone(),
+                        line: tok.line,
+                        token: lock.clone(),
+                        message: format!(
+                            "`{}` re-acquires `{lock}` while already holding it: std Mutex is \
+                             not reentrant, this self-deadlocks",
+                            f.name
+                        ),
+                    });
+                } else {
+                    edges
+                        .entry((g.lock.clone(), lock.clone()))
+                        .or_insert(tok.line);
+                }
+            }
+            let _ = consumed;
+            if leaves_guard {
+                live.push(Guard {
+                    lock,
+                    depth,
+                    binding: statement_binding(model, i),
+                });
+            }
+        } else if tok.kind == TokKind::Ident
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && !toks.get(i.wrapping_sub(1)).is_some_and(|t| t.is_punct('.'))
+        {
+            // Call to another function in this file: every lock it
+            // transitively takes orders after every guard live here.
+            if let Some(callee_locks) = fn_locks.get(&tok.text) {
+                for g in &live {
+                    for lock in callee_locks {
+                        if &g.lock != lock {
+                            edges
+                                .entry((g.lock.clone(), lock.clone()))
+                                .or_insert(tok.line);
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// The set of locks each function acquires directly, then propagated
+/// through same-file calls to a fixed point.
+fn transitive_fn_locks(model: &FileModel) -> BTreeMap<String, BTreeSet<String>> {
+    let toks = &model.tokens;
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for f in &model.fns {
+        let mut locks = BTreeSet::new();
+        for i in f.body_open..=f.body_close {
+            if let Some((lock, _)) = acquired_lock(model, i) {
+                locks.insert(lock);
+            }
+        }
+        direct.insert(f.name.clone(), locks);
+    }
+    // Propagate through calls until stable.
+    loop {
+        let mut changed = false;
+        for f in &model.fns {
+            let mut add = BTreeSet::new();
+            for i in f.body_open..=f.body_close {
+                let tok = &toks[i];
+                if tok.kind == TokKind::Ident
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                    && tok.text != f.name
+                {
+                    if let Some(callee) = direct.get(&tok.text) {
+                        add.extend(callee.iter().cloned());
+                    }
+                }
+            }
+            let own = direct.entry(f.name.clone()).or_default();
+            for lock in add {
+                changed |= own.insert(lock);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    direct
+}
+
+/// DFS cycle search over the edge set; returns one cycle as a path.
+fn find_cycle(edges: &Edges) -> Option<Vec<String>> {
+    let nodes: BTreeSet<&String> = edges.keys().flat_map(|(a, b)| [a, b]).collect();
+    let succ = |n: &String| -> Vec<&String> {
+        edges
+            .keys()
+            .filter(|(a, _)| a == n)
+            .map(|(_, b)| b)
+            .collect()
+    };
+    fn dfs<'a>(
+        n: &'a String,
+        succ: &dyn Fn(&String) -> Vec<&'a String>,
+        path: &mut Vec<&'a String>,
+        done: &mut BTreeSet<&'a String>,
+    ) -> Option<Vec<String>> {
+        if let Some(pos) = path.iter().position(|p| *p == n) {
+            let mut cycle: Vec<String> = path[pos..].iter().map(|s| (*s).clone()).collect();
+            cycle.push(n.clone());
+            return Some(cycle);
+        }
+        if done.contains(n) {
+            return None;
+        }
+        path.push(n);
+        for m in succ(n) {
+            if let Some(c) = dfs(m, succ, path, done) {
+                return Some(c);
+            }
+        }
+        path.pop();
+        done.insert(n);
+        None
+    }
+    let mut done = BTreeSet::new();
+    for n in nodes {
+        if let Some(c) = dfs(n, &succ, &mut Vec::new(), &mut done) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Scans one coordinator-shaped file for ordering cycles.
+pub fn check(model: &FileModel, out: &mut Vec<Finding>) {
+    let fn_locks = transitive_fn_locks(model);
+    let mut edges: Edges = BTreeMap::new();
+    for f in &model.fns {
+        if model.in_tests(f.fn_idx) {
+            continue;
+        }
+        walk_fn(model, f, &fn_locks, &mut edges, out);
+    }
+    if let Some(cycle) = find_cycle(&edges) {
+        let line = edges
+            .iter()
+            .find(|((a, b), _)| *a == cycle[0] && Some(b) == cycle.get(1))
+            .map_or(0, |(_, &l)| l);
+        out.push(Finding {
+            rule: "lock-order",
+            file: model.rel.clone(),
+            line,
+            token: cycle[0].clone(),
+            message: format!(
+                "lock acquisition cycle {}: two threads taking these locks in opposite order \
+                 deadlock; pick one global order and stick to it",
+                cycle.join(" -> ")
+            ),
+        });
+    }
+}

@@ -1,0 +1,8 @@
+//! The five invariant rules. Each exposes a `check`/`sites` entry point
+//! over a [`crate::model::FileModel`] and pushes [`crate::Finding`]s.
+
+pub mod capped;
+pub mod determinism;
+pub mod locks;
+pub mod panics;
+pub mod wire_cov;

@@ -1,0 +1,149 @@
+//! Rule `panic-ratchet`: panic sites in non-test `dist`/`store` code
+//! may only ever decrease.
+//!
+//! A panic on the coordinator's ack path tears scheduler state mid-
+//! update (the lock-poison recovery then fails the whole run), and a
+//! panic in the store corrupts the in-memory index behind every
+//! campaign's dedup. Eliminating all ~hundred existing sites in one PR
+//! is not realistic, so this rule is a *ratchet*: the committed
+//! baseline (`crates/lint/panic_baseline.txt`) records today's per-file
+//! counts, any increase fails, and intentional decreases are blessed
+//! with `--update-baseline` so the slack cannot be spent elsewhere.
+//!
+//! A "panic site" is an `unwrap()` call, an `expect(…)` call, or an
+//! index expression (`xs[i]`, `&buf[a..b]` — both panic on
+//! out-of-bounds). Array-type syntax, attributes, and macro brackets
+//! are not index expressions and are not counted.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+use crate::Finding;
+
+/// One detected panic site.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// 1-indexed source line.
+    pub line: u32,
+    /// `unwrap`, `expect`, or `index`.
+    pub kind: &'static str,
+}
+
+/// Keywords that may directly precede `[` without making it an index
+/// expression (`let [a, b] = …`, `for x in [1, 2]`, `return [0; 4]`).
+const NON_INDEX_PREFIX: &[&str] = &[
+    "let", "mut", "ref", "in", "return", "break", "if", "else", "match", "move", "as", "const",
+    "static", "box", "yield",
+];
+
+/// Collects the panic sites in one file's non-test code.
+pub fn sites(model: &FileModel) -> Vec<PanicSite> {
+    let toks = &model.tokens;
+    let mut out = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if model.in_tests(i) {
+            continue;
+        }
+        // `.unwrap()` / `.expect(` calls.
+        if tok.kind == TokKind::Ident
+            && (tok.text == "unwrap" || tok.text == "expect")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(PanicSite {
+                line: tok.line,
+                kind: if tok.text == "unwrap" {
+                    "unwrap"
+                } else {
+                    "expect"
+                },
+            });
+            continue;
+        }
+        // Index expressions: `[` directly after an expression tail
+        // (identifier, `)`, `]`, or `?`) — not after `!` (macros),
+        // `#` (attributes), punctuation, or statement keywords.
+        if tok.is_punct('[') && i > 0 {
+            let prev = &toks[i - 1];
+            let is_expr_tail = match prev.kind {
+                TokKind::Ident => !NON_INDEX_PREFIX.contains(&prev.text.as_str()),
+                TokKind::Punct => prev.is_punct(')') || prev.is_punct(']') || prev.is_punct('?'),
+                _ => false,
+            };
+            if is_expr_tail {
+                out.push(PanicSite {
+                    line: tok.line,
+                    kind: "index",
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Compares per-file counts against the committed baseline. Both
+/// directions fail under `--deny-all`: an increase is a new panic site;
+/// a decrease is unclaimed slack that must be blessed (otherwise a
+/// later regression could hide inside it).
+pub fn ratchet(
+    counts: &BTreeMap<String, Vec<PanicSite>>,
+    baseline: &BTreeMap<String, usize>,
+    out: &mut Vec<Finding>,
+) {
+    for (file, sites) in counts {
+        let allowed = baseline.get(file).copied();
+        let n = sites.len();
+        match allowed {
+            None if n > 0 => out.push(Finding {
+                rule: "panic-ratchet",
+                file: file.clone(),
+                line: sites[0].line,
+                token: String::new(),
+                message: format!(
+                    "{n} panic site(s) in a file absent from the baseline; \
+                     remove them or bless with --update-baseline"
+                ),
+            }),
+            Some(limit) if n > limit => {
+                // Point at the last sites — new code lands at the end
+                // more often than not, and the count names the real
+                // contract either way.
+                let line = sites.last().map_or(0, |s| s.line);
+                out.push(Finding {
+                    rule: "panic-ratchet",
+                    file: file.clone(),
+                    line,
+                    token: String::new(),
+                    message: format!(
+                        "{n} panic sites exceed the baseline of {limit}; convert the new \
+                         unwrap/expect/index to recoverable errors (the ratchet only goes down)"
+                    ),
+                });
+            }
+            Some(limit) if n < limit => out.push(Finding {
+                rule: "panic-ratchet",
+                file: file.clone(),
+                line: 0,
+                token: String::new(),
+                message: format!(
+                    "{n} panic sites, below the baseline of {limit}: good — lock in the \
+                     improvement with --update-baseline"
+                ),
+            }),
+            _ => {}
+        }
+    }
+    for file in baseline.keys() {
+        if !counts.contains_key(file) {
+            out.push(Finding {
+                rule: "panic-ratchet",
+                file: file.clone(),
+                line: 0,
+                token: String::new(),
+                message: "baselined file no longer exists; refresh with --update-baseline".into(),
+            });
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Rule `wire-coverage`: every `Message` variant must have an encode
+//! site, a decode site, and property-test coverage.
+//!
+//! The wire protocol is versioned and frozen per release; a variant
+//! that encodes but never decodes (or vice versa) is a protocol hole
+//! that only surfaces when a peer actually sends it, and a variant
+//! absent from `properties.rs` has no round-trip/fuzz coverage pinning
+//! its byte layout. This rule parses the `enum Message` declaration,
+//! then requires each variant name to appear inside `fn encode`, inside
+//! `fn decode`, and anywhere in the property-test source.
+
+use crate::lexer::TokKind;
+use crate::model::{match_brace, FileModel};
+use crate::Finding;
+
+/// Variant names of `enum Message { … }`, with declaration lines.
+fn message_variants(model: &FileModel) -> Vec<(String, u32)> {
+    let toks = &model.tokens;
+    let Some(enum_idx) = toks
+        .windows(2)
+        .position(|w| w[0].is_ident("enum") && w[1].is_ident("Message"))
+    else {
+        return Vec::new();
+    };
+    let Some(open) = (enum_idx..toks.len()).find(|&i| toks[i].is_punct('{')) else {
+        return Vec::new();
+    };
+    let close = match_brace(toks, open);
+    let mut variants = Vec::new();
+    let mut depth = 0usize; // nested braces/parens/brackets inside variant payloads
+    let mut i = open + 1;
+    let mut at_variant_start = true;
+    while i < close {
+        let tok = &toks[i];
+        if tok.is_punct('{') || tok.is_punct('(') || tok.is_punct('[') {
+            depth += 1;
+        } else if tok.is_punct('}') || tok.is_punct(')') || tok.is_punct(']') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 {
+            if tok.is_punct('#') {
+                // Skip the attribute body.
+                if toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+                    let mut d = 0usize;
+                    while i < close {
+                        if toks[i].is_punct('[') {
+                            d += 1;
+                        } else if toks[i].is_punct(']') {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+            } else if tok.is_punct(',') {
+                at_variant_start = true;
+            } else if at_variant_start && tok.kind == TokKind::Ident {
+                variants.push((tok.text.clone(), tok.line));
+                at_variant_start = false;
+            }
+        }
+        i += 1;
+    }
+    variants
+}
+
+/// Whether `name` appears as an identifier inside the body of any
+/// function called `fn_name`.
+fn mentioned_in_fn(model: &FileModel, fn_name: &str, name: &str) -> bool {
+    model.fns.iter().filter(|f| f.name == fn_name).any(|f| {
+        model.tokens[f.body_open..=f.body_close]
+            .iter()
+            .any(|t| t.is_ident(name))
+    })
+}
+
+/// Checks the wire file's `Message` enum. `properties_src` is the raw
+/// property-test source when available (`None` in fixture mode skips
+/// that leg).
+pub fn check(model: &FileModel, properties_src: Option<&str>, out: &mut Vec<Finding>) {
+    let variants = message_variants(model);
+    let prop_tokens = properties_src.map(crate::lexer::lex);
+    for (name, line) in variants {
+        let mut missing = Vec::new();
+        if !mentioned_in_fn(model, "encode", &name) {
+            missing.push("an encode site (fn encode)");
+        }
+        if !mentioned_in_fn(model, "decode", &name) {
+            missing.push("a decode site (fn decode)");
+        }
+        if let Some(props) = &prop_tokens {
+            if !props.iter().any(|t| t.is_ident(&name)) {
+                missing.push("property-test coverage (tests/properties.rs)");
+            }
+        }
+        if !missing.is_empty() {
+            out.push(Finding {
+                rule: "wire-coverage",
+                file: model.rel.clone(),
+                line,
+                token: name.clone(),
+                message: format!(
+                    "Message::{name} lacks {}: every wire variant needs all three before it \
+                     can ship",
+                    missing.join(" and ")
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,9 @@
+// BAD: an allocation sized by a decoded length with no MAX_* bound or
+// seq_len guard anywhere in the function.
+fn decode_payload(bytes: &[u8]) -> Option<Vec<u8>> {
+    let mut dec = Decoder::new(bytes);
+    let len = dec.u32().ok()? as usize;
+    let mut buf = vec![0u8; len];
+    dec.read_exact(&mut buf).ok()?;
+    Some(buf)
+}

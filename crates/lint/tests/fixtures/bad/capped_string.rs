@@ -1,0 +1,9 @@
+// BAD: a zero-argument `.string()` decode and a by-hand UTF-8
+// conversion outside the shared guard.
+fn decode_name(dec: &mut Decoder) -> Result<String, WireError> {
+    dec.string()
+}
+
+fn by_hand(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}

@@ -1,0 +1,11 @@
+// BAD: HashMap iteration order feeds an accumulator that leaves as
+// bytes — the canonical determinism break.
+use std::collections::HashMap;
+
+fn digest_entries(map: &HashMap<u64, u64>) -> u64 {
+    let mut acc = 0u64;
+    for (k, v) in map {
+        acc = acc.wrapping_mul(31).wrapping_add(k ^ v);
+    }
+    acc
+}

@@ -1,0 +1,10 @@
+// BAD: wall/monotonic clock values inside a deterministic zone.
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> u64 {
+    let _start = Instant::now();
+    match SystemTime::now().duration_since(SystemTime::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

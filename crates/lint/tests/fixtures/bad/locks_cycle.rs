@@ -1,0 +1,15 @@
+// BAD: two functions acquire the same two locks in opposite orders —
+// the textbook deadlock.
+fn take_both_forward(shared: &Shared) {
+    let state = lock_state(shared);
+    let conns = lock_conns(shared);
+    drop(conns);
+    drop(state);
+}
+
+fn take_both_backward(shared: &Shared) {
+    let conns = lock_conns(shared);
+    let state = lock_state(shared);
+    drop(state);
+    drop(conns);
+}

@@ -1,0 +1,7 @@
+// BAD: three panic sites (unwrap, expect, slice index) in non-test
+// code, with no baseline to absorb them.
+fn read_parts(xs: &[u64], table: &[u64]) -> u64 {
+    let first = xs.first().copied().unwrap();
+    let second = xs.get(1).copied().expect("short slice");
+    first + second + table[2]
+}

@@ -1,0 +1,25 @@
+// BAD: `Quit` encodes but has no decode arm — a protocol hole that
+// only surfaces when a peer actually sends it.
+pub enum Message {
+    Ping { nonce: u32 },
+    Pong { nonce: u32 },
+    Quit,
+}
+
+impl Message {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Message::Ping { nonce } => frame(0, *nonce),
+            Message::Pong { nonce } => frame(1, *nonce),
+            Message::Quit => frame(2, 0),
+        }
+    }
+
+    pub fn decode(buf: &[u8]) -> Option<Message> {
+        match buf.first()? {
+            0 => Some(Message::Ping { nonce: 0 }),
+            1 => Some(Message::Pong { nonce: 0 }),
+            _ => None,
+        }
+    }
+}

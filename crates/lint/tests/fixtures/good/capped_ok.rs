@@ -1,0 +1,17 @@
+// GOOD: the decoded length is bounds-checked against a MAX_* cap
+// before the allocation, and raw UTF-8 conversion lives only inside
+// the shared `capped_string` guard.
+fn decode_payload(bytes: &[u8]) -> Option<Vec<u8>> {
+    let mut dec = Decoder::new(bytes);
+    let len = dec.u32().ok()? as usize;
+    if len > MAX_FRAME_LEN {
+        return None;
+    }
+    let mut buf = vec![0u8; len];
+    dec.read_exact(&mut buf).ok()?;
+    Some(buf)
+}
+
+fn capped_string(bytes: &[u8]) -> Option<String> {
+    String::from_utf8(bytes.to_vec()).ok()
+}

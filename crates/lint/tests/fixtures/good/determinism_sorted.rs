@@ -1,0 +1,13 @@
+// GOOD: ordered collections — iteration order is part of the type.
+use std::collections::{BTreeMap, BTreeSet};
+
+fn digest_entries(map: &BTreeMap<u64, u64>, set: &BTreeSet<u64>) -> u64 {
+    let mut acc = 0u64;
+    for (k, v) in map {
+        acc = acc.wrapping_mul(31).wrapping_add(k ^ v);
+    }
+    for s in set {
+        acc = acc.wrapping_mul(31).wrapping_add(*s);
+    }
+    acc
+}

@@ -1,0 +1,14 @@
+// GOOD: every function acquires in the same global order
+// (state before conns), and transient helpers order consistently too.
+fn forward_one(shared: &Shared) {
+    let state = lock_state(shared);
+    let conns = lock_conns(shared);
+    drop(conns);
+    drop(state);
+}
+
+fn forward_two(shared: &Shared) {
+    let state = lock_state(shared);
+    register_conn(shared);
+    drop(state);
+}

@@ -1,0 +1,7 @@
+// GOOD: fallible access stays fallible — get/first/?, no unwraps, no
+// bare indexing.
+fn read_parts(xs: &[u64]) -> Option<u64> {
+    let first = xs.first().copied()?;
+    let third = xs.get(2).copied()?;
+    Some(first.wrapping_add(third))
+}

@@ -1,0 +1,19 @@
+// GOOD: hazards confined to test-gated items are invisible to every
+// rule — tests may unwrap and hash to their heart's content.
+pub fn live() -> u64 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hazards_here_are_fine() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m.get(&1).copied().unwrap(), 2);
+        let v = vec![1, 2, 3];
+        assert_eq!(v[0], 1);
+    }
+}

@@ -1,0 +1,15 @@
+//! GOOD: trigger words inside comments, strings, and raw strings must
+//! never produce findings — HashMap, unwrap(), SystemTime::now().
+
+/* block comment: Instant::now().unwrap() /* nested HashMap */ still */
+pub fn describe() -> &'static str {
+    "call .unwrap() on a HashMap<Instant, SystemTime>"
+}
+
+pub fn raw() -> &'static str {
+    r#"thread_rng() and xs[2] and vec![0u8; len] with "quotes""#
+}
+
+pub fn bytes() -> &'static [u8] {
+    b"HashSet iteration .expect(panic)"
+}

@@ -1,0 +1,22 @@
+// GOOD: every variant has both an encode and a decode site.
+pub enum Message {
+    Ping { nonce: u32 },
+    Quit,
+}
+
+impl Message {
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Message::Ping { nonce } => frame(0, *nonce),
+            Message::Quit => frame(1, 0),
+        }
+    }
+
+    pub fn decode(buf: &[u8]) -> Option<Message> {
+        match buf.first()? {
+            0 => Some(Message::Ping { nonce: 0 }),
+            1 => Some(Message::Quit),
+            _ => None,
+        }
+    }
+}

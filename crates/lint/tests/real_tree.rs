@@ -1,0 +1,19 @@
+//! Tier-1 enforcement: the real workspace must lint clean. This is the
+//! same check CI runs as `cargo run -p lint -- --deny-all`, wired into
+//! `cargo test` so the invariants hold on every local run too.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_invariant_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = lint::lint_tree(&root, false).expect("workspace lints");
+    assert!(
+        report.violations.is_empty(),
+        "invariant violations in the workspace:\n{}",
+        report.render()
+    );
+}

@@ -31,7 +31,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -148,8 +148,8 @@ struct StoredBaseline {
 pub struct Store {
     path: PathBuf,
     writer: BufWriter<File>,
-    cells: HashMap<u64, StoredCell>,
-    baselines: HashMap<u64, StoredBaseline>,
+    cells: BTreeMap<u64, StoredCell>,
+    baselines: BTreeMap<u64, StoredBaseline>,
 }
 
 fn hex_bits(v: f64) -> String {
@@ -262,7 +262,7 @@ impl Store {
             let mut file = File::create(path)?;
             writeln!(file, "{MAGIC}")?;
             file.sync_all()?;
-            (HashMap::new(), HashMap::new())
+            (BTreeMap::new(), BTreeMap::new())
         };
         let writer = BufWriter::new(OpenOptions::new().append(true).open(path)?);
         Ok(Store {
@@ -276,7 +276,7 @@ impl Store {
     #[allow(clippy::type_complexity)]
     fn replay(
         path: &Path,
-    ) -> Result<(HashMap<u64, StoredCell>, HashMap<u64, StoredBaseline>), StoreError> {
+    ) -> Result<(BTreeMap<u64, StoredCell>, BTreeMap<u64, StoredBaseline>), StoreError> {
         let text = std::fs::read_to_string(path)?;
         let mut segments = text.split_inclusive('\n');
         let header = segments
@@ -292,8 +292,8 @@ impl Store {
                 ),
             ));
         }
-        let mut cells: HashMap<u64, StoredCell> = HashMap::new();
-        let mut baselines: HashMap<u64, StoredBaseline> = HashMap::new();
+        let mut cells: BTreeMap<u64, StoredCell> = BTreeMap::new();
+        let mut baselines: BTreeMap<u64, StoredBaseline> = BTreeMap::new();
         // Every durable record was flushed whole with its newline; a
         // crash mid-append can only tear the final line. Track the valid
         // prefix and truncate anything after it.
@@ -519,14 +519,13 @@ impl Store {
         }
 
         // Deterministic record order (by digest) so two compactions of
-        // the same contents produce byte-identical files.
+        // the same contents produce byte-identical files: the BTreeMap
+        // index iterates in digest order by construction.
         let tmp = self.path.with_extension("compact-tmp");
         {
             let mut file = File::create(&tmp)?;
             writeln!(file, "{MAGIC}")?;
-            let mut cells: Vec<(&u64, &StoredCell)> = self.cells.iter().collect();
-            cells.sort_unstable_by_key(|(&d, _)| d);
-            for (digest, s) in cells {
+            for (digest, s) in &self.cells {
                 writeln!(
                     file,
                     "cell {digest:016x} {} {} {} {} {}",
@@ -537,9 +536,7 @@ impl Store {
                     hex_bits(s.cell.relative_change_percent),
                 )?;
             }
-            let mut baselines: Vec<(&u64, &StoredBaseline)> = self.baselines.iter().collect();
-            baselines.sort_unstable_by_key(|(&d, _)| d);
-            for (digest, s) in baselines {
+            for (digest, s) in &self.baselines {
                 writeln!(
                     file,
                     "base {digest:016x} {} {}",
