@@ -15,11 +15,11 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::{Duration, SystemTime};
 
-use neurofi_core::{Parallelism, SweepResult, Table};
+use neurofi_core::{cell_countermeasures, AxisKind, Parallelism, SweepResult, Table};
 use neurofi_dist::{
     named_campaign, query_status, run_local_cluster, run_worker, submit_campaign_retrying,
-    CampaignProgress, CampaignSweep, Coordinator, CoordinatorConfig, LocalClusterConfig,
-    NamedCampaign, PolicyKind, RetryPolicy, WorkerConfig, NAMED_CAMPAIGNS,
+    CampaignProgress, CampaignSpec, CampaignSweep, Coordinator, CoordinatorConfig,
+    LocalClusterConfig, NamedCampaign, PolicyKind, RetryPolicy, WorkerConfig, NAMED_CAMPAIGNS,
 };
 use neurofi_store::{EvictionPolicy, Store};
 
@@ -66,9 +66,10 @@ fn serve_usage() -> String {
 fn status_usage() -> &'static str {
     "usage: repro status --to HOST:PORT [--campaign NAME]\n\
      One progress snapshot per campaign on the running coordinator \
-     (queued / running / done / resumed / store-hit cell counts, in \
-     queue order); --campaign restricts the report to one name. Exits \
-     nonzero if a reported campaign has failed."
+     (queued / running / done / resumed / store-hit cell counts plus \
+     the dummy-neuron detection hit/miss counters, in queue order); \
+     --campaign restricts the report to one name. Exits nonzero if a \
+     reported campaign has failed."
 }
 
 fn store_usage() -> &'static str {
@@ -119,8 +120,10 @@ fn submit_usage() -> String {
 /// column per axis — a cross-product grid (e.g. threshold × vdd) would
 /// otherwise print indistinguishable duplicate `(value, fraction)`
 /// rows; hand-assembled results fall back to the legacy coordinate
-/// pair.
-pub(crate) fn sweep_table(name: &str, sweep: &SweepResult) -> Table {
+/// pair. When the producing spec is available and carries a defense or
+/// detector axis, each row additionally reports the defense overhead
+/// and the dummy-neuron detection outcome (hit / miss / quiet).
+pub(crate) fn sweep_table(name: &str, sweep: &SweepResult, spec: Option<&CampaignSpec>) -> Table {
     let title = format!("Sweep `{name}` — attack {}", sweep.kind.paper_id());
     if sweep.axes.is_empty() {
         let mut table = Table::new(title, &["value", "fraction", "accuracy", "vs baseline"]);
@@ -138,9 +141,34 @@ pub(crate) fn sweep_table(name: &str, sweep: &SweepResult) -> Table {
         ));
         return table;
     }
+    // Countermeasure reporting is derived, never measured: overhead and
+    // detection are pure functions of each planned attack, so the cells'
+    // bytes stay identical whether or not these columns print.
+    let countermeasures = spec.and_then(|spec| {
+        let armed = spec
+            .scenario
+            .axes
+            .iter()
+            .any(|a| matches!(a.kind, AxisKind::Defense | AxisKind::Detector));
+        if !armed {
+            return None;
+        }
+        let transfer = spec.scenario.transfer_table().ok().flatten();
+        Some(
+            spec.plan()
+                .jobs
+                .iter()
+                .map(|job| cell_countermeasures(&job.attack, transfer.as_ref()))
+                .collect::<Vec<_>>(),
+        )
+    });
     let mut headers: Vec<String> = sweep.axes.iter().map(|a| a.kind.to_string()).collect();
     headers.push("accuracy".into());
     headers.push("vs baseline".into());
+    if countermeasures.is_some() {
+        headers.push("overhead".into());
+        headers.push("detection".into());
+    }
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     let mut table = Table::new(title, &header_refs);
     for (flat, cell) in sweep.cells.iter().enumerate() {
@@ -155,6 +183,22 @@ pub(crate) fn sweep_table(name: &str, sweep: &SweepResult) -> Table {
             .collect();
         row.push(format!("{:.1}%", cell.accuracy * 100.0));
         row.push(format!("{:+.2}%", cell.relative_change_percent));
+        if let Some(cms) = countermeasures.as_ref().and_then(|cms| cms.get(flat)) {
+            row.push(
+                if cms.power_overhead_percent == 0.0 && cms.area_overhead_percent == 0.0 {
+                    "—".into()
+                } else {
+                    format!(
+                        "+{}% pwr, +{}% area",
+                        cms.power_overhead_percent, cms.area_overhead_percent
+                    )
+                },
+            );
+            row.push(match cms.detection {
+                Some(outcome) => outcome.label().to_string(),
+                None => "—".into(),
+            });
+        }
         table.push_row(&row);
     }
     table.push_note(format!(
@@ -211,7 +255,7 @@ fn report_sweep(
     many: bool,
     out_dir: Option<&PathBuf>,
 ) -> Result<(), String> {
-    let table = sweep_table(&sweep.name, &sweep.result);
+    let table = sweep_table(&sweep.name, &sweep.result, Some(&sweep.spec));
     println!("{}", table.to_markdown());
     // The zero-hit format is frozen: CI greps the exact
     // `... N computed)` suffix on runs without a store.
@@ -876,6 +920,8 @@ pub fn status_main(args: &[String]) -> ExitCode {
             "done",
             "resumed",
             "store hits",
+            "detected",
+            "missed",
             "total",
             "state",
         ],
@@ -890,6 +936,8 @@ pub fn status_main(args: &[String]) -> ExitCode {
             c.done.to_string(),
             c.resumed.to_string(),
             c.store_hits.to_string(),
+            c.detected.to_string(),
+            c.missed.to_string(),
             c.total.to_string(),
             if c.failed {
                 "FAILED".into()
@@ -903,8 +951,11 @@ pub fn status_main(args: &[String]) -> ExitCode {
     println!("{}", table.to_markdown());
     // One grep-friendly line per campaign for scripts and CI.
     for c in &shown {
+        // The detection counters ride *after* "store hits" so existing
+        // substring greps on the prefix keep matching.
         println!(
-            "_campaign `{}`: {}/{} done, {} queued, {} running, {} resumed, {} store hits{}_",
+            "_campaign `{}`: {}/{} done, {} queued, {} running, {} resumed, {} store hits, \
+             {} detected, {} missed{}_",
             c.name,
             c.done,
             c.total,
@@ -912,6 +963,8 @@ pub fn status_main(args: &[String]) -> ExitCode {
             c.running,
             c.resumed,
             c.store_hits,
+            c.detected,
+            c.missed,
             if c.failed { ", FAILED" } else { "" }
         );
     }
@@ -1083,9 +1136,57 @@ mod tests {
 
     #[test]
     fn sweep_table_has_one_row_per_cell() {
-        let table = sweep_table("tiny", &result(0.55, &[0.5, 0.3, 0.1]));
+        let table = sweep_table("tiny", &result(0.55, &[0.5, 0.3, 0.1]), None);
         assert_eq!(table.len(), 3);
         assert!(table.to_markdown().contains("baseline accuracy"));
         assert!(table.to_markdown().contains("`tiny`"));
+    }
+
+    #[test]
+    fn sweep_table_reports_countermeasures_for_armed_specs() {
+        use neurofi_core::scenario::{Axis, DefenseSel, DetectorSel};
+        use neurofi_core::{PowerTransferTable, ScenarioSpec};
+        use neurofi_dist::SetupSpec;
+
+        let mut scenario =
+            ScenarioSpec::vdd(&[0.8, 1.0], &PowerTransferTable::paper_nominal(), &[42]);
+        scenario.axes.push(Axis::defenses(vec![
+            DefenseSel::None,
+            DefenseSel::BandgapThreshold,
+        ]));
+        scenario
+            .axes
+            .push(Axis::detectors(vec![DetectorSel::DummyNeuron]));
+        let spec = CampaignSpec {
+            setup: SetupSpec::bench(42),
+            scenario,
+        };
+        spec.validate().unwrap();
+        let plan = spec.plan();
+        let sweep = SweepResult {
+            kind: AttackKind::GlobalVdd,
+            baseline_accuracy: 0.55,
+            cells: plan
+                .jobs
+                .iter()
+                .map(|_| SweepCell {
+                    rel_change: 0.8,
+                    fraction: 1.0,
+                    accuracy: 0.4,
+                    relative_change_percent: -27.0,
+                })
+                .collect(),
+            axes: plan.axes.clone(),
+        };
+        let rendered = sweep_table("shield", &sweep, Some(&spec)).to_markdown();
+        assert!(rendered.contains("overhead"), "{rendered}");
+        assert!(rendered.contains("detection"), "{rendered}");
+        assert!(rendered.contains("+65% area"), "{rendered}");
+        assert!(rendered.contains("hit"), "{rendered}");
+        assert!(rendered.contains("quiet"), "{rendered}");
+        // The same result without the spec falls back to the plain
+        // axis columns.
+        let plain = sweep_table("shield", &sweep, None).to_markdown();
+        assert!(!plain.contains("overhead"), "{plain}");
     }
 }

@@ -59,7 +59,10 @@ impl ScenarioMeta {
                 .axes
                 .iter()
                 .map(|axis| {
-                    let quoted = matches!(axis.values, AxisValues::Layer(_));
+                    let quoted = matches!(
+                        axis.values,
+                        AxisValues::Layer(_) | AxisValues::Defense(_) | AxisValues::Detector(_)
+                    );
                     let values = (0..axis.values.len())
                         .map(|i| {
                             let label = axis.value_label(i).expect("index is in range");
@@ -235,8 +238,10 @@ impl PerfReport {
 /// v3 added `sweep_scenario` — the resolved attack family, axes, and
 /// seeds of the measured grid. v4 added `result_store` — the
 /// content-addressed store's hit/miss counters and dedup ratio from a
-/// cold+warm pass of the `tiny` grid.
-pub const PERF_SCHEMA_VERSION: u32 = 4;
+/// cold+warm pass of the `tiny` grid. v5: `sweep_scenario` axes can now
+/// carry the §V countermeasure grid (`defense` / `detector` values,
+/// quoted like layer names).
+pub const PERF_SCHEMA_VERSION: u32 = 5;
 
 /// The sweep-pool width this runner is configured for:
 /// `NEUROFI_BENCH_WORKERS` when set to a positive integer, otherwise
@@ -483,7 +488,7 @@ mod tests {
         };
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
-        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"schema_version\": 5"));
         assert!(json.contains("\"result_store\": {"));
         assert!(json.contains("\"store_hits\": 6"));
         assert!(json.contains("\"store_misses\": 6"));

@@ -215,7 +215,7 @@ fn sweep_usage() -> String {
          [--transfer paper|POINTS] [--serial] [--out DIR]\n\
          presets: {}\n\
          attacks: {}\n\
-         axes: rel_change fraction theta_change vdd layer polarity seed\n\
+         axes: rel_change fraction theta_change vdd layer polarity seed defense detector\n\
          values: a comma list (-0.2,0.2 — reals take a % suffix), a linear range \
          (start..end/count), or for seed an inclusive integer range (1..8)\n\
          Runs the scenario locally on the in-process pool; --serial forces the \
@@ -289,7 +289,7 @@ pub fn sweep_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let table = crate::orchestrate::sweep_table(&campaign.name, &result);
+    let table = crate::orchestrate::sweep_table(&campaign.name, &result, Some(&campaign.spec));
     println!("{}", table.to_markdown());
     if let Some(worst) = result.worst_case() {
         println!(

@@ -7,7 +7,27 @@
 //! attacker also controls the detector's reference window, which the
 //! paper notes as a limitation.
 
+use neurofi_analog::PowerTransferTable;
+
 use crate::error::Error;
+
+/// The supply the detector's dummy neuron is enrolled at — the paper's
+/// nominal 1.0 V. Cells attacked at exactly the nominal supply are not
+/// attacks at all; [`summarize`] and the per-cell sweep reporting treat
+/// them as quiet true negatives rather than misses.
+pub const VDD_NOMINAL: f64 = 1.0;
+
+/// Deterministic dummy-neuron spike-count response at the given supply,
+/// as a scale factor relative to an arbitrary fixed-input rate: an
+/// integrate-and-fire neuron's rate grows with its input drive and
+/// shrinks with its firing threshold, so the count tracks
+/// `drive_scale / if_threshold_scale` sampled from the *undefended*
+/// transfer table (the detector's own dummy neuron sees the raw supply —
+/// §V defenses harden the network, not the sensor).
+pub fn dummy_count_scale(vdd: f64, transfer: &PowerTransferTable) -> f64 {
+    let point = transfer.sample(vdd);
+    point.drive_scale / point.if_threshold_scale
+}
 
 /// The spike-count deviation detector.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,28 +41,35 @@ pub struct DummyNeuronDetector {
 impl DummyNeuronDetector {
     /// Creates a detector with the paper's 10% rule.
     ///
-    /// # Panics
-    /// Panics if `baseline_count` is not positive and finite.
-    pub fn new(baseline_count: f64) -> DummyNeuronDetector {
-        assert!(
-            baseline_count.is_finite() && baseline_count > 0.0,
-            "baseline spike count must be positive, got {baseline_count}"
-        );
-        DummyNeuronDetector {
+    /// # Errors
+    /// [`Error::Invalid`] when `baseline_count` is not positive and
+    /// finite — enrollment data arrives from characterisation runs and
+    /// spec files, so a degenerate baseline must surface as a
+    /// recoverable error, not a panic.
+    pub fn new(baseline_count: f64) -> Result<DummyNeuronDetector, Error> {
+        if !(baseline_count.is_finite() && baseline_count > 0.0) {
+            return Err(Error::Invalid(format!(
+                "baseline spike count must be positive, got {baseline_count}"
+            )));
+        }
+        Ok(DummyNeuronDetector {
             baseline_count,
             tolerance: 0.10,
-        }
+        })
     }
 
     /// Adjusts the detection tolerance.
     ///
-    /// # Panics
-    /// Panics if `tolerance` is not positive.
-    #[must_use]
-    pub fn with_tolerance(mut self, tolerance: f64) -> DummyNeuronDetector {
-        assert!(tolerance > 0.0, "tolerance must be positive");
+    /// # Errors
+    /// [`Error::Invalid`] when `tolerance` is not positive and finite.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Result<DummyNeuronDetector, Error> {
+        if !(tolerance.is_finite() && tolerance > 0.0) {
+            return Err(Error::Invalid(format!(
+                "tolerance must be positive, got {tolerance}"
+            )));
+        }
         self.tolerance = tolerance;
-        self
+        Ok(self)
     }
 
     /// Enrolls a detector from a dummy-neuron VDD characterisation series
@@ -69,7 +96,7 @@ impl DummyNeuronDetector {
                 "baseline count at vdd={vdd_nominal} must be positive, got {baseline}"
             )));
         }
-        Ok(DummyNeuronDetector::new(baseline))
+        DummyNeuronDetector::new(baseline)
     }
 
     /// Relative deviation of an observed count from the baseline.
@@ -80,6 +107,31 @@ impl DummyNeuronDetector {
     /// True when the observation triggers the ≥`tolerance` rule.
     pub fn is_attack(&self, observed_count: f64) -> bool {
         self.deviation(observed_count).abs() >= self.tolerance
+    }
+}
+
+/// Per-cell outcome of an armed detector (sweep reporting; the
+/// series-level counterpart is [`DetectionSummary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionOutcome {
+    /// The deviation tripped the ≥`tolerance` rule — a hit.
+    Detected,
+    /// An off-nominal supply stayed under the rule — a miss (false
+    /// negative).
+    Missed,
+    /// The nominal supply stayed under the rule — a true negative,
+    /// counted as neither hit nor miss.
+    Quiet,
+}
+
+impl DetectionOutcome {
+    /// The report label (`hit` / `miss` / `quiet`).
+    pub fn label(self) -> &'static str {
+        match self {
+            DetectionOutcome::Detected => "hit",
+            DetectionOutcome::Missed => "miss",
+            DetectionOutcome::Quiet => "quiet",
+        }
     }
 }
 
@@ -148,7 +200,7 @@ mod tests {
 
     #[test]
     fn ten_percent_rule() {
-        let d = DummyNeuronDetector::new(1000.0);
+        let d = DummyNeuronDetector::new(1000.0).unwrap();
         assert!(!d.is_attack(1000.0));
         assert!(!d.is_attack(1099.0));
         assert!(d.is_attack(1100.0));
@@ -158,7 +210,7 @@ mod tests {
 
     #[test]
     fn deviation_signs() {
-        let d = DummyNeuronDetector::new(200.0);
+        let d = DummyNeuronDetector::new(200.0).unwrap();
         assert!((d.deviation(220.0) - 0.1).abs() < 1e-12);
         assert!((d.deviation(180.0) + 0.1).abs() < 1e-12);
     }
@@ -182,7 +234,7 @@ mod tests {
 
     #[test]
     fn summary_counts() {
-        let d = DummyNeuronDetector::new(1000.0);
+        let d = DummyNeuronDetector::new(1000.0).unwrap();
         let rows = evaluate_series(
             &d,
             &[(0.8, 1400.0), (0.9, 1050.0), (1.0, 1000.0), (1.2, 600.0)],
@@ -195,13 +247,39 @@ mod tests {
 
     #[test]
     fn custom_tolerance() {
-        let d = DummyNeuronDetector::new(1000.0).with_tolerance(0.03);
+        let d = DummyNeuronDetector::new(1000.0)
+            .unwrap()
+            .with_tolerance(0.03)
+            .unwrap();
         assert!(d.is_attack(1050.0));
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn rejects_bad_baseline() {
-        DummyNeuronDetector::new(0.0);
+    fn rejects_bad_baselines_and_tolerances() {
+        // Degenerate enrollment data is a recoverable error, never a
+        // panic — the values arrive from characterisation runs.
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = DummyNeuronDetector::new(bad).unwrap_err().to_string();
+            assert!(err.contains("positive"), "diagnostic names the rule: {err}");
+        }
+        let d = DummyNeuronDetector::new(1000.0).unwrap();
+        for bad in [0.0, -0.1, f64::NAN] {
+            assert!(d.with_tolerance(bad).is_err());
+        }
+    }
+
+    #[test]
+    fn count_scale_tracks_drive_over_threshold() {
+        let table = PowerTransferTable::paper_nominal();
+        let nominal = dummy_count_scale(VDD_NOMINAL, &table);
+        let attacked = dummy_count_scale(0.8, &table);
+        let point = table.sample(0.8);
+        assert_eq!(attacked, point.drive_scale / point.if_threshold_scale);
+        // Undervolting starves the dummy neuron: the count must drop
+        // hard enough for the 10% rule to fire.
+        assert!(
+            (attacked / nominal - 1.0).abs() >= 0.10,
+            "scale {attacked} vs {nominal}"
+        );
     }
 }

@@ -15,7 +15,8 @@
 //! * [`scenario`] — declarative N-axis scenario specifications
 //!   ([`ScenarioSpec`]): an attack family plus an ordered list of typed
 //!   axes (`rel_change`, `fraction`, `theta_change`, `vdd`, `layer`,
-//!   `polarity`, `seed`), with a textual grammar, that one generic
+//!   `polarity`, `seed`, `defense`, `detector`), with a textual grammar,
+//!   that one generic
 //!   planner flattens into the sweep pipeline — the paper's grids and
 //!   arbitrary cross products (e.g. threshold × VDD) alike.
 //! * [`sweep`] — the parallel grid-sweep engine that regenerates the
@@ -66,14 +67,16 @@ pub mod threat;
 
 pub use attacks::{Attack, AttackOutcome, GlobalVddAttack, InputCorruptionAttack, ThresholdAttack};
 pub use defense::{Defense, OverheadEstimate};
-pub use detection::DummyNeuronDetector;
+pub use detection::{DetectionOutcome, DummyNeuronDetector};
 pub use error::Error;
 pub use injection::{FaultPlan, Selection, TargetLayer, ThresholdConvention};
 pub use neurofi_analog::PowerTransferTable;
 pub use report::Table;
-pub use scenario::{AttackFamily, Axis, AxisKind, AxisValues, LayerSel, ScenarioSpec};
+pub use scenario::{
+    AttackFamily, Axis, AxisKind, AxisValues, DefenseSel, DetectorSel, LayerSel, ScenarioSpec,
+};
 pub use sweep::{
-    BaselineCache, CellAttack, CellJob, CellResult, Parallelism, SweepCell, SweepConfig, SweepPlan,
-    SweepResult,
+    cell_countermeasures, BaselineCache, CellAttack, CellCountermeasures, CellJob, CellResult,
+    Parallelism, SweepCell, SweepConfig, SweepPlan, SweepResult,
 };
 pub use threat::{AccessLevel, AttackKind, PowerDomainScenario};

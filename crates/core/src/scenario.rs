@@ -23,6 +23,8 @@
 //! | `layer` | `excitatory`, `inhibitory`, `both` | threshold target layer |
 //! | `polarity` | non-zero reals (± 1) | multiplier on the family's primary change |
 //! | `seed` | integers | per-cell seed (replaces the averaged seed list) |
+//! | `defense` | `none`, `robust_driver`, `bandgap_threshold`, `sized_neuron`, `comparator` | §V hardening applied to the cell's transfer table |
+//! | `detector` | `none`, `dummy_neuron` | §V-C dummy-neuron VFI detector armed for the cell |
 //!
 //! ## Grammar
 //!
@@ -50,14 +52,15 @@ use std::str::FromStr;
 
 use neurofi_analog::{PowerTransferTable, TransferPoint};
 
+use crate::defense::Defense;
 use crate::error::Error;
 use crate::injection::TargetLayer;
 use crate::sweep::{CellAttack, CellJob, SweepConfig, SweepPlan};
 use crate::threat::AttackKind;
 
-/// Hard cap on axes per scenario (the attack space has seven axis
+/// Hard cap on axes per scenario (the attack space has nine axis
 /// kinds; duplicates are rejected anyway).
-pub const MAX_AXES: usize = 8;
+pub const MAX_AXES: usize = 10;
 /// Hard cap on values per axis — mirrors the wire layer's
 /// hostile-length guards so a parsed spec can always be encoded.
 pub const MAX_AXIS_VALUES: usize = 65_536;
@@ -91,11 +94,17 @@ pub enum AxisKind {
     Polarity,
     /// Per-cell seed; replaces the scenario's averaged seed list.
     Seed,
+    /// §V hardening applied to the cell's transfer table before the
+    /// VDD fault is sampled (needs a `vdd` axis to defend against).
+    Defense,
+    /// §V-C detector armed for the cell; detection hit/miss is derived
+    /// from the resolved attack, never from the measured accuracy.
+    Detector,
 }
 
 impl AxisKind {
     /// Every axis kind, in canonical order.
-    pub const ALL: [AxisKind; 7] = [
+    pub const ALL: [AxisKind; 9] = [
         AxisKind::RelChange,
         AxisKind::Fraction,
         AxisKind::ThetaChange,
@@ -103,6 +112,8 @@ impl AxisKind {
         AxisKind::Layer,
         AxisKind::Polarity,
         AxisKind::Seed,
+        AxisKind::Defense,
+        AxisKind::Detector,
     ];
 
     /// The grammar name of the axis.
@@ -115,6 +126,8 @@ impl AxisKind {
             AxisKind::Layer => "layer",
             AxisKind::Polarity => "polarity",
             AxisKind::Seed => "seed",
+            AxisKind::Defense => "defense",
+            AxisKind::Detector => "detector",
         }
     }
 
@@ -205,6 +218,110 @@ impl fmt::Display for LayerSel {
     }
 }
 
+/// Which §V hardening a cell's transfer table is run through —
+/// `None` is the undefended circuit, everything else maps onto a
+/// [`Defense`] variant (with `sized_neuron` fixed at the paper's
+/// measured residual factor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DefenseSel {
+    /// No hardening — the undefended circuit (the legacy default).
+    None,
+    /// §V-A robust current driver (pins the drive scale).
+    RobustDriver,
+    /// §V-A bandgap threshold reference (pins the IF threshold).
+    BandgapThreshold,
+    /// §V-B first-stage transistor sizing at the paper's residual
+    /// factor.
+    SizedNeuron,
+    /// §V-B comparator-based first stage (pins the AH threshold).
+    Comparator,
+}
+
+impl DefenseSel {
+    /// The grammar name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DefenseSel::None => "none",
+            DefenseSel::RobustDriver => "robust_driver",
+            DefenseSel::BandgapThreshold => "bandgap_threshold",
+            DefenseSel::SizedNeuron => "sized_neuron",
+            DefenseSel::Comparator => "comparator",
+        }
+    }
+
+    /// Parses a grammar name.
+    pub fn parse(name: &str) -> Result<DefenseSel, Error> {
+        match name {
+            "none" => Ok(DefenseSel::None),
+            "robust_driver" => Ok(DefenseSel::RobustDriver),
+            "bandgap_threshold" => Ok(DefenseSel::BandgapThreshold),
+            "sized_neuron" => Ok(DefenseSel::SizedNeuron),
+            "comparator" => Ok(DefenseSel::Comparator),
+            other => Err(Error::Invalid(format!(
+                "unknown defense `{}` (defenses: none robust_driver \
+                 bandgap_threshold sized_neuron comparator)",
+                truncate_token(other)
+            ))),
+        }
+    }
+
+    /// The concrete §V hardening, `None` for the undefended circuit.
+    pub fn defense(self) -> Option<Defense> {
+        match self {
+            DefenseSel::None => None,
+            DefenseSel::RobustDriver => Some(Defense::RobustDriver),
+            DefenseSel::BandgapThreshold => Some(Defense::BandgapThreshold),
+            DefenseSel::SizedNeuron => Some(Defense::sized_neuron_paper()),
+            DefenseSel::Comparator => Some(Defense::ComparatorFirstStage),
+        }
+    }
+}
+
+impl fmt::Display for DefenseSel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which §V-C detector a cell arms. `None` means no detection row is
+/// derived for the cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectorSel {
+    /// No detector (the legacy default).
+    None,
+    /// The dummy-neuron spike-count detector with the paper's ≥10%
+    /// deviation rule.
+    DummyNeuron,
+}
+
+impl DetectorSel {
+    /// The grammar name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectorSel::None => "none",
+            DetectorSel::DummyNeuron => "dummy_neuron",
+        }
+    }
+
+    /// Parses a grammar name.
+    pub fn parse(name: &str) -> Result<DetectorSel, Error> {
+        match name {
+            "none" => Ok(DetectorSel::None),
+            "dummy_neuron" => Ok(DetectorSel::DummyNeuron),
+            other => Err(Error::Invalid(format!(
+                "unknown detector `{}` (detectors: none dummy_neuron)",
+                truncate_token(other)
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for DetectorSel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// The values of one axis, typed by what the axis means.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AxisValues {
@@ -215,6 +332,10 @@ pub enum AxisValues {
     Layer(Vec<LayerSel>),
     /// Seeds (`seed`).
     Seed(Vec<u64>),
+    /// Defense selections (`defense`).
+    Defense(Vec<DefenseSel>),
+    /// Detector selections (`detector`).
+    Detector(Vec<DetectorSel>),
 }
 
 impl AxisValues {
@@ -224,6 +345,8 @@ impl AxisValues {
             AxisValues::Real(v) => v.len(),
             AxisValues::Layer(v) => v.len(),
             AxisValues::Seed(v) => v.len(),
+            AxisValues::Defense(v) => v.len(),
+            AxisValues::Detector(v) => v.len(),
         }
     }
 
@@ -275,6 +398,22 @@ impl Axis {
         }
     }
 
+    /// A defense axis.
+    pub fn defenses(values: Vec<DefenseSel>) -> Axis {
+        Axis {
+            kind: AxisKind::Defense,
+            values: AxisValues::Defense(values),
+        }
+    }
+
+    /// A detector axis.
+    pub fn detectors(values: Vec<DetectorSel>) -> Axis {
+        Axis {
+            kind: AxisKind::Detector,
+            values: AxisValues::Detector(values),
+        }
+    }
+
     /// The grammar token of one value (`-0.2`, `inhibitory`, `42`) —
     /// `None` past the end of the axis. Lossless: reals print in
     /// shortest round-trippable form, seeds as full integers.
@@ -283,6 +422,8 @@ impl Axis {
             AxisValues::Real(v) => v.get(index).map(|x| format!("{x}")),
             AxisValues::Layer(v) => v.get(index).map(|l| l.name().to_string()),
             AxisValues::Seed(v) => v.get(index).map(|s| s.to_string()),
+            AxisValues::Defense(v) => v.get(index).map(|d| d.name().to_string()),
+            AxisValues::Detector(v) => v.get(index).map(|d| d.name().to_string()),
         }
     }
 
@@ -308,6 +449,18 @@ impl Axis {
                     .collect::<Result<Vec<_>, _>>()?,
             ),
             AxisKind::Seed => AxisValues::Seed(parse_seed_values(values)?),
+            AxisKind::Defense => AxisValues::Defense(
+                split_values(values)?
+                    .iter()
+                    .map(|t| DefenseSel::parse(t))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            AxisKind::Detector => AxisValues::Detector(
+                split_values(values)?
+                    .iter()
+                    .map(|t| DetectorSel::parse(t))
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
             AxisKind::Polarity => AxisValues::Real(
                 split_values(values)?
                     .iter()
@@ -343,6 +496,8 @@ impl fmt::Display for Axis {
             AxisValues::Real(v) => join_display(f, v),
             AxisValues::Layer(v) => join_display(f, v),
             AxisValues::Seed(v) => join_display(f, v),
+            AxisValues::Defense(v) => join_display(f, v),
+            AxisValues::Detector(v) => join_display(f, v),
         }
     }
 }
@@ -855,6 +1010,46 @@ impl ScenarioSpec {
                 AxisValues::Seed(_) => Ok(()),
                 _ => Err(Error::Invalid("seed axis carries non-seed values".into())),
             },
+            // The countermeasure axes act through the VDD path: a
+            // defense hardens the transfer table the vdd fault is
+            // sampled from, a detector senses supply droop. Without a
+            // vdd axis every non-`none` value would be a silent no-op,
+            // so such specs are rejected up front (an all-`none` axis
+            // is fine — it is the explicit spelling of the default).
+            AxisKind::Defense => {
+                let AxisValues::Defense(values) = &axis.values else {
+                    return Err(Error::Invalid(
+                        "defense axis carries non-defense values".into(),
+                    ));
+                };
+                if values.iter().any(|&d| d != DefenseSel::None)
+                    && self.axis(AxisKind::Vdd).is_none()
+                {
+                    return Err(Error::Invalid(
+                        "a defense axis needs a `vdd` axis to defend against \
+                         (defenses harden the VDD transfer table)"
+                            .into(),
+                    ));
+                }
+                Ok(())
+            }
+            AxisKind::Detector => {
+                let AxisValues::Detector(values) = &axis.values else {
+                    return Err(Error::Invalid(
+                        "detector axis carries non-detector values".into(),
+                    ));
+                };
+                if values.iter().any(|&d| d != DetectorSel::None)
+                    && self.axis(AxisKind::Vdd).is_none()
+                {
+                    return Err(Error::Invalid(
+                        "a detector axis needs a `vdd` axis to watch \
+                         (the dummy neuron senses supply droop)"
+                            .into(),
+                    ));
+                }
+                Ok(())
+            }
         }
     }
 
@@ -933,6 +1128,8 @@ impl ScenarioSpec {
             theta_change: None,
             vdd: None,
             seed: None,
+            defense: DefenseSel::None,
+            detector: DetectorSel::None,
         };
         let mut polarity: Option<f64> = None;
         for (axis, &i) in self.axes.iter().zip(indices) {
@@ -948,6 +1145,8 @@ impl ScenarioSpec {
                     }
                 }
                 (AxisKind::Seed, AxisValues::Seed(v)) => attack.seed = Some(v[i]),
+                (AxisKind::Defense, AxisValues::Defense(v)) => attack.defense = v[i],
+                (AxisKind::Detector, AxisValues::Detector(v)) => attack.detector = v[i],
                 // Kind/values mismatches are rejected by validate();
                 // planning an unvalidated spec just skips them.
                 _ => {}
@@ -1490,6 +1689,104 @@ mod tests {
         assert_eq!(plan.seeds, vec![7, 8], "baselines are primed over the axis");
         assert_eq!(plan.jobs[0].attack.seed, Some(7));
         assert_eq!(plan.jobs[1].attack.seed, Some(8));
+    }
+
+    #[test]
+    fn defense_and_detector_axes_parse_validate_and_resolve() {
+        let axis = Axis::parse("defense = none, bandgap_threshold, robust_driver").unwrap();
+        assert_eq!(
+            axis.values,
+            AxisValues::Defense(vec![
+                DefenseSel::None,
+                DefenseSel::BandgapThreshold,
+                DefenseSel::RobustDriver
+            ])
+        );
+        let axis = Axis::parse("detector = none, dummy_neuron").unwrap();
+        assert_eq!(
+            axis.values,
+            AxisValues::Detector(vec![DetectorSel::None, DetectorSel::DummyNeuron])
+        );
+        assert!(Axis::parse("defense = firewall").is_err());
+        assert!(Axis::parse("detector = antivirus").is_err());
+
+        // Non-`none` countermeasures act through the VDD path, so they
+        // need a vdd axis; the explicit all-`none` spelling does not.
+        let mut spec = il_spec();
+        spec.axes
+            .push(Axis::defenses(vec![DefenseSel::BandgapThreshold]));
+        assert!(spec.validate().is_err(), "defense without a vdd axis");
+        spec.axes.pop();
+        spec.axes
+            .push(Axis::detectors(vec![DetectorSel::DummyNeuron]));
+        assert!(spec.validate().is_err(), "detector without a vdd axis");
+        spec.axes.pop();
+        spec.axes.push(Axis::defenses(vec![DefenseSel::None]));
+        spec.axes.push(Axis::detectors(vec![DetectorSel::None]));
+        spec.validate().unwrap();
+
+        let spec = ScenarioSpec {
+            family: AttackFamily::Vdd,
+            axes: vec![
+                Axis::real(AxisKind::Vdd, vec![0.8, 1.0]),
+                Axis::defenses(vec![DefenseSel::None, DefenseSel::BandgapThreshold]),
+                Axis::detectors(vec![DetectorSel::DummyNeuron]),
+            ],
+            seeds: vec![42],
+            transfer: Some(PowerTransferTable::paper_nominal().points().to_vec()),
+        };
+        spec.validate().unwrap();
+        let plan = spec.plan();
+        assert_eq!(plan.jobs.len(), 4);
+        assert_eq!(plan.jobs[0].attack.defense, DefenseSel::None);
+        assert_eq!(plan.jobs[1].attack.defense, DefenseSel::BandgapThreshold);
+        assert_eq!(
+            plan.jobs[1].attack.vdd,
+            Some(0.8),
+            "defense is the fast axis"
+        );
+        assert!(plan
+            .jobs
+            .iter()
+            .all(|j| j.attack.detector == DetectorSel::DummyNeuron));
+
+        // The text form round-trips the new axes bit-exactly.
+        let text = spec.to_string();
+        assert!(
+            text.contains("axis defense = none, bandgap_threshold"),
+            "{text}"
+        );
+        assert!(text.contains("axis detector = dummy_neuron"), "{text}");
+        let reparsed: ScenarioSpec = text.parse().unwrap();
+        assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn countermeasure_sel_names_round_trip() {
+        for sel in [
+            DefenseSel::None,
+            DefenseSel::RobustDriver,
+            DefenseSel::BandgapThreshold,
+            DefenseSel::SizedNeuron,
+            DefenseSel::Comparator,
+        ] {
+            assert_eq!(DefenseSel::parse(sel.name()).unwrap(), sel);
+        }
+        for sel in [DetectorSel::None, DetectorSel::DummyNeuron] {
+            assert_eq!(DetectorSel::parse(sel.name()).unwrap(), sel);
+        }
+        // Hostile tokens are rejected with a clipped echo.
+        let huge = "x".repeat(MAX_SPEC_TEXT / 2);
+        let err = DefenseSel::parse(&huge).unwrap_err().to_string();
+        assert!(
+            err.len() < 2 * MAX_NAME_LEN + 128,
+            "echo is clipped: {}",
+            err.len()
+        );
+        assert!(DetectorSel::parse(&huge).is_err());
+        // Only the undefended selection maps to no hardening.
+        assert!(DefenseSel::None.defense().is_none());
+        assert!(DefenseSel::BandgapThreshold.defense().is_some());
     }
 
     #[test]

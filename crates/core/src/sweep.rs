@@ -61,11 +61,12 @@ use std::sync::Mutex;
 use neurofi_analog::PowerTransferTable;
 
 use crate::attacks::{Attack, ExperimentSetup, RunMeasurement};
+use crate::detection::{self, DummyNeuronDetector};
 use crate::error::Error;
 use crate::injection::{
     DriveFault, FaultPlan, Selection, TargetLayer, ThresholdConvention, ThresholdFault,
 };
-use crate::scenario::{AttackFamily, Axis, ScenarioSpec};
+use crate::scenario::{AttackFamily, Axis, DefenseSel, DetectorSel, ScenarioSpec};
 use crate::threat::AttackKind;
 
 /// Degree of parallelism for sweep execution.
@@ -388,6 +389,15 @@ pub struct CellAttack {
     /// Per-cell seed override (set by a `seed` axis); `None` averages
     /// over the plan's seed list.
     pub seed: Option<u64>,
+    /// §V hardening applied to the cell's transfer table before the
+    /// VDD component is sampled ([`DefenseSel::None`] is the
+    /// undefended legacy circuit).
+    pub defense: DefenseSel,
+    /// §V-C detector armed for the cell; the hit/miss outcome is a
+    /// pure function of the resolved attack (see
+    /// [`cell_countermeasures`]), so it never touches the measured
+    /// [`SweepCell`] bytes.
+    pub detector: DetectorSel,
 }
 
 impl CellAttack {
@@ -400,6 +410,8 @@ impl CellAttack {
             theta_change: None,
             vdd: None,
             seed: None,
+            defense: DefenseSel::None,
+            detector: DetectorSel::None,
         }
     }
 
@@ -412,6 +424,8 @@ impl CellAttack {
             theta_change: Some(theta_change),
             vdd: None,
             seed: None,
+            defense: DefenseSel::None,
+            detector: DetectorSel::None,
         }
     }
 
@@ -424,6 +438,8 @@ impl CellAttack {
             theta_change: None,
             vdd: Some(vdd),
             seed: None,
+            defense: DefenseSel::None,
+            detector: DetectorSel::None,
         }
     }
 
@@ -606,6 +622,21 @@ fn compose_fault_plan(
             attack.family
         )));
     }
+    // Countermeasure components act through the VDD path; on a cell
+    // without one they would be silent no-ops, so reject them (specs
+    // catch this in validate(), but jobs may arrive over a wire).
+    if attack.vdd.is_none() {
+        if attack.defense != DefenseSel::None {
+            return Err(Error::Invalid(format!(
+                "cell {index} has a defense component but no vdd component"
+            )));
+        }
+        if attack.detector != DetectorSel::None {
+            return Err(Error::Invalid(format!(
+                "cell {index} has a detector component but no vdd component"
+            )));
+        }
+    }
 
     let mut plan = match attack.vdd {
         Some(vdd) => {
@@ -617,7 +648,16 @@ fn compose_fault_plan(
             let transfer = transfer.ok_or_else(|| {
                 Error::Invalid(format!("vdd cell {index} needs a power-transfer table"))
             })?;
-            FaultPlan::from_vdd(vdd, transfer)
+            // A defended cell samples the VDD fault from the hardened
+            // table — exactly the §V semantics of
+            // [`defended_vdd_attack`](crate::defense): the defense
+            // reshapes the VDD → parameter coupling before the attack
+            // reads it. The undefended path is byte-for-byte the
+            // legacy one.
+            match attack.defense.defense() {
+                Some(defense) => FaultPlan::from_vdd(vdd, &defense.harden_table(transfer)),
+                None => FaultPlan::from_vdd(vdd, transfer),
+            }
         }
         None => FaultPlan::none(),
     };
@@ -708,6 +748,84 @@ pub fn execute_cell(
         index: job.index,
         cell,
     })
+}
+
+/// Per-cell countermeasure report: the §V defense overhead and the
+/// §V-C detection outcome of one resolved [`CellAttack`].
+///
+/// Both are **pure functions of the attack and the transfer table** —
+/// the overhead comes from the paper's accounting, the detection from
+/// the dummy-neuron response at the cell's supply — so they are derived
+/// at report time and never touch the measured [`SweepCell`] bytes the
+/// wire protocol and result store are locked to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellCountermeasures {
+    /// The cell's defense selection.
+    pub defense: DefenseSel,
+    /// The cell's detector selection.
+    pub detector: DetectorSel,
+    /// Defense power overhead, percent (0 for the undefended cell).
+    pub power_overhead_percent: f64,
+    /// Defense area overhead, percent (0 for the undefended cell).
+    pub area_overhead_percent: f64,
+    /// Dummy-neuron spike-count deviation, percent — `None` when no
+    /// detector is armed or the cell has no VDD component to sense.
+    pub deviation_percent: Option<f64>,
+    /// Hit / miss / quiet, under the same conditions.
+    pub detection: Option<detection::DetectionOutcome>,
+}
+
+/// Derives the [`CellCountermeasures`] of one resolved attack.
+///
+/// The detector's dummy neuron sees the **raw** supply: §V defenses
+/// harden the network's transfer function, not the sensor, so detection
+/// is evaluated on the undefended `transfer` table regardless of the
+/// cell's defense — a defended-but-detected cell is exactly the
+/// attack-caught-anyway quadrant the §V matrices are after.
+pub fn cell_countermeasures(
+    attack: &CellAttack,
+    transfer: Option<&PowerTransferTable>,
+) -> CellCountermeasures {
+    let (power, area) = match attack.defense.defense() {
+        Some(defense) => {
+            let overhead = defense.paper_overhead();
+            (overhead.power_percent, overhead.area_percent)
+        }
+        None => (0.0, 0.0),
+    };
+    let mut out = CellCountermeasures {
+        defense: attack.defense,
+        detector: attack.detector,
+        power_overhead_percent: power,
+        area_overhead_percent: area,
+        deviation_percent: None,
+        detection: None,
+    };
+    if attack.detector != DetectorSel::DummyNeuron {
+        return out;
+    }
+    let (Some(vdd), Some(transfer)) = (attack.vdd, transfer) else {
+        return out;
+    };
+    // The absolute enrolled count cancels out of the deviation; any
+    // positive value yields the same outcome. Routing through the
+    // detector keeps the §V-C tolerance rule the single source of
+    // truth.
+    const ENROLLED_COUNT: f64 = 1000.0;
+    let detector =
+        DummyNeuronDetector::new(ENROLLED_COUNT).expect("enrolled count is a positive constant");
+    let scale = detection::dummy_count_scale(vdd, transfer)
+        / detection::dummy_count_scale(detection::VDD_NOMINAL, transfer);
+    let observed = ENROLLED_COUNT * scale;
+    out.deviation_percent = Some(detector.deviation(observed) * 100.0);
+    out.detection = Some(if detector.is_attack(observed) {
+        detection::DetectionOutcome::Detected
+    } else if (vdd - detection::VDD_NOMINAL).abs() <= 1e-9 {
+        detection::DetectionOutcome::Quiet
+    } else {
+        detection::DetectionOutcome::Missed
+    });
+    out
 }
 
 /// Stage 3 (assemble): writes every [`CellResult`] into its plan slot
@@ -1335,9 +1453,107 @@ mod tests {
                 theta_change: None,
                 vdd: None,
                 seed: None,
+                defense: DefenseSel::None,
+                detector: DetectorSel::None,
             },
         };
         assert!(execute_cell(&cache, &[1], 0.5, &empty_family, None).is_err());
+        // Countermeasure components without a VDD component would be
+        // silent no-ops — rejected like any other wire mismatch.
+        let defended_without_vdd = CellJob {
+            index: 0,
+            attack: CellAttack {
+                defense: DefenseSel::BandgapThreshold,
+                ..CellAttack::theta(0.1)
+            },
+        };
+        assert!(execute_cell(&cache, &[1], 0.5, &defended_without_vdd, None).is_err());
+        let detected_without_vdd = CellJob {
+            index: 0,
+            attack: CellAttack {
+                detector: DetectorSel::DummyNeuron,
+                ..CellAttack::theta(0.1)
+            },
+        };
+        assert!(execute_cell(&cache, &[1], 0.5, &detected_without_vdd, None).is_err());
+    }
+
+    #[test]
+    fn defended_cells_sample_the_hardened_table() {
+        use crate::defense::Defense;
+
+        let table = PowerTransferTable::paper_nominal();
+        let undefended = compose_fault_plan(&CellAttack::vdd(0.8), Some(&table), 0).unwrap();
+        let defended = compose_fault_plan(
+            &CellAttack {
+                defense: DefenseSel::BandgapThreshold,
+                ..CellAttack::vdd(0.8)
+            },
+            Some(&table),
+            0,
+        )
+        .unwrap();
+        // The bandgap reference pins the IF threshold: the defended
+        // plan must equal from_vdd over the hardened table, and differ
+        // from the raw one.
+        assert_ne!(defended, undefended);
+        assert_eq!(
+            defended,
+            FaultPlan::from_vdd(0.8, &Defense::BandgapThreshold.harden_table(&table))
+        );
+        // The undefended path stays byte-for-byte the legacy plan.
+        assert_eq!(undefended, FaultPlan::from_vdd(0.8, &table));
+    }
+
+    #[test]
+    fn countermeasures_derive_from_the_attack_not_the_measurement() {
+        use crate::detection::DetectionOutcome;
+
+        let table = PowerTransferTable::paper_nominal();
+        let armed = |vdd: f64| CellAttack {
+            detector: DetectorSel::DummyNeuron,
+            ..CellAttack::vdd(vdd)
+        };
+        // Deep undervolting trips the 10% rule; the nominal supply
+        // stays quiet; a hair off nominal is a miss, not a hit.
+        let hit = cell_countermeasures(&armed(0.8), Some(&table));
+        assert_eq!(hit.detection, Some(DetectionOutcome::Detected));
+        assert!(hit.deviation_percent.unwrap() <= -10.0, "{hit:?}");
+        let quiet = cell_countermeasures(&armed(1.0), Some(&table));
+        assert_eq!(quiet.detection, Some(DetectionOutcome::Quiet));
+        let miss = cell_countermeasures(&armed(0.99), Some(&table));
+        assert_eq!(miss.detection, Some(DetectionOutcome::Missed));
+
+        // Overhead follows the paper's accounting; an unarmed cell
+        // derives nothing.
+        let defended = cell_countermeasures(
+            &CellAttack {
+                defense: DefenseSel::BandgapThreshold,
+                ..CellAttack::vdd(0.8)
+            },
+            Some(&table),
+        );
+        assert_eq!(defended.power_overhead_percent, 0.0);
+        assert_eq!(defended.area_overhead_percent, 65.0);
+        assert_eq!(defended.detection, None);
+        let legacy = cell_countermeasures(&CellAttack::vdd(0.8), Some(&table));
+        assert_eq!(legacy.power_overhead_percent, 0.0);
+        assert_eq!(legacy.detection, None);
+
+        // The detector senses the raw supply: a defense never changes
+        // the detection outcome.
+        let defended_and_armed = cell_countermeasures(
+            &CellAttack {
+                defense: DefenseSel::RobustDriver,
+                ..armed(0.8)
+            },
+            Some(&table),
+        );
+        assert_eq!(
+            defended_and_armed.detection,
+            Some(DetectionOutcome::Detected)
+        );
+        assert_eq!(defended_and_armed.deviation_percent, hit.deviation_percent);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use neurofi_core::{
 
 use neurofi_core::sweep::CellAttack;
 
-use crate::wire::{encode_attack, encode_campaign_spec, encode_setup_spec, Encoder};
+use crate::wire::{encode_attack_digest, encode_campaign_spec, encode_setup_spec, Encoder};
 use crate::DistError;
 
 /// The experiment preset a [`SetupSpec`] starts from.
@@ -217,7 +217,11 @@ impl CampaignSpec {
     ///   computed against);
     /// * the transfer table, but only when the cell has a VDD component
     ///   (threshold/theta cells never read it, so two campaigns
-    ///   differing only in table share their non-VDD cells).
+    ///   differing only in table share their non-VDD cells);
+    /// * the defense/detector components, but only when the cell
+    ///   carries one ([`encode_attack_digest`] appends the suffix
+    ///   conditionally, so every pre-v6 cell keeps its exact key and
+    ///   existing stores keep deduping).
     ///
     /// Campaign *name*, scheduling weight, axis ordering, and grid shape
     /// are deliberately absent: overlapping grids from different
@@ -229,7 +233,7 @@ impl CampaignSpec {
         let mut enc = Encoder::new();
         enc.u8(1); // domain tag: cell (vs baseline)
         encode_setup_spec(&mut enc, &self.setup);
-        encode_attack(&mut enc, attack);
+        encode_attack_digest(&mut enc, attack);
         let seeds = self.scenario.baseline_seeds();
         enc.seq_len(seeds.len());
         for &seed in seeds {
@@ -617,6 +621,47 @@ mod tests {
             b.cell_digest(&threshold_attack),
             "non-vdd cells never read the table, so they share across tables"
         );
+    }
+
+    #[test]
+    fn countermeasures_key_only_armed_cells() {
+        use neurofi_core::scenario::{DefenseSel, DetectorSel};
+
+        let table = PowerTransferTable::paper_nominal();
+        let spec = CampaignSpec {
+            setup: SetupSpec::bench(42),
+            scenario: neurofi_core::ScenarioSpec::vdd(&[0.8, 1.0], &table, &[42]),
+        };
+        let legacy = spec.plan().jobs[0].attack;
+        // The explicit none/none components are the legacy default: the
+        // digest must be bit-identical so old stores keep deduping.
+        assert_eq!(legacy.defense, DefenseSel::None);
+        assert_eq!(legacy.detector, DetectorSel::None);
+        // Arming either component repoints the key, and each
+        // countermeasure gets its own keyspace.
+        let defended = CellAttack {
+            defense: DefenseSel::BandgapThreshold,
+            ..legacy
+        };
+        let detected = CellAttack {
+            detector: DetectorSel::DummyNeuron,
+            ..legacy
+        };
+        let both = CellAttack {
+            detector: DetectorSel::DummyNeuron,
+            ..defended
+        };
+        let keys = [
+            spec.cell_digest(&legacy),
+            spec.cell_digest(&defended),
+            spec.cell_digest(&detected),
+            spec.cell_digest(&both),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a, b, "countermeasure combinations must not collide");
+            }
+        }
     }
 
     #[test]

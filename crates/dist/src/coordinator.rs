@@ -47,7 +47,10 @@ use std::path::{Path, PathBuf};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use neurofi_core::sweep::{assemble_sweep, CellResult, SweepPlan, SweepResult};
+use neurofi_core::sweep::{
+    assemble_sweep, cell_countermeasures, CellResult, SweepPlan, SweepResult,
+};
+use neurofi_core::DetectionOutcome;
 use neurofi_store::Store;
 
 use crate::campaign::NamedCampaign;
@@ -242,6 +245,12 @@ struct CampaignState {
     /// plan. Computed once at enqueue so the record path never re-walks
     /// the spec.
     digests: Vec<u64>,
+    /// Detector-armed cells whose dummy neuron trips the ≥10% rule.
+    /// Detection is a pure function of the planned attack (not of
+    /// execution), so both counters are fixed at enqueue time.
+    detected: usize,
+    /// Detector-armed off-nominal cells the dummy neuron misses.
+    missed: usize,
     baseline_accuracy: Option<f64>,
     journal: Option<Journal>,
     /// Set when this campaign is poisoned. A failed campaign stops
@@ -289,6 +298,18 @@ impl CampaignState {
             .iter()
             .map(|job| campaign.spec.cell_digest(&job.attack))
             .collect();
+        // Detection outcomes are a pure function of the planned attack
+        // (the dummy neuron watches the raw supply, not the measured
+        // accuracy), so the status counters are fixed here, once.
+        let transfer = campaign.spec.scenario.transfer_table()?;
+        let (mut detected, mut missed) = (0usize, 0usize);
+        for job in &plan.jobs {
+            match cell_countermeasures(&job.attack, transfer.as_ref()).detection {
+                Some(DetectionOutcome::Detected) => detected += 1,
+                Some(DetectionOutcome::Missed) => missed += 1,
+                Some(DetectionOutcome::Quiet) | None => {}
+            }
+        }
         let mut baseline_accuracy = recovered.baseline_accuracy;
         let mut store_hits = 0usize;
         if let Some(store) = store {
@@ -347,6 +368,8 @@ impl CampaignState {
             resumed,
             store_hits,
             digests,
+            detected,
+            missed,
             baseline_accuracy,
             journal,
             failed: None,
@@ -1308,6 +1331,8 @@ fn campaign_progress(c: &CampaignState) -> CampaignProgress {
         done: done as u64,
         resumed: c.resumed as u64,
         store_hits: c.store_hits as u64,
+        detected: c.detected as u64,
+        missed: c.missed as u64,
         failed: c.failed.is_some(),
     }
 }
@@ -1565,6 +1590,8 @@ mod tests {
             n_done: 0,
             resumed: 0,
             store_hits: 0,
+            detected: 0,
+            missed: 0,
             digests: vec![0; n_cells],
             baseline_accuracy: None,
             journal: None,

@@ -16,7 +16,9 @@
 use std::io::{Read, Write};
 
 use neurofi_analog::TransferPoint;
-use neurofi_core::scenario::{AttackFamily, Axis, AxisKind, AxisValues, LayerSel, ScenarioSpec};
+use neurofi_core::scenario::{
+    AttackFamily, Axis, AxisKind, AxisValues, DefenseSel, DetectorSel, LayerSel, ScenarioSpec,
+};
 use neurofi_core::sweep::{CellAttack, CellJob, CellResult, SweepCell};
 
 use crate::campaign::{CampaignSpec, NamedCampaign, SetupBase, SetupSpec};
@@ -49,7 +51,16 @@ use crate::campaign::{CampaignSpec, NamedCampaign, SetupBase, SetupSpec};
 /// [`Message::Progress`] snapshot: per-campaign queued / running /
 /// done / resumed / store-hit counters from the content-addressed
 /// result store that now fronts cell assignment.
-pub const PROTOCOL_VERSION: u32 = 5;
+///
+/// v6: countermeasure axes. Scenario specs may carry `defense` and
+/// `detector` axes (§V hardenings and the §V-C dummy-neuron detector),
+/// cell jobs unconditionally carry the resolved [`DefenseSel`] /
+/// [`DetectorSel`] component tags, and [`CampaignProgress`] snapshots
+/// gain `detected` / `missed` detection counters. Store digests are
+/// *not* re-keyed for legacy cells: they hash through
+/// [`encode_attack_digest`], which only appends the countermeasure
+/// suffix when a cell actually carries one.
+pub const PROTOCOL_VERSION: u32 = 6;
 
 /// Upper bound on a single frame's payload (16 MiB). The largest real
 /// message is an [`Message::Assign`] batch of cell jobs (~40 bytes per
@@ -81,7 +92,9 @@ pub fn clamp_str(s: &str, max: usize) -> &str {
     while !s.is_char_boundary(end) {
         end -= 1;
     }
-    &s[..end]
+    // `end <= max < s.len()` and sits on a char boundary, so the slice
+    // always exists; the fallback keeps the function panic-free anyway.
+    s.get(..end).unwrap_or(s)
 }
 
 /// Errors produced while encoding, framing, or decoding.
@@ -209,10 +222,10 @@ impl<'a> Decoder<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::Truncated);
-        }
-        let slice = &self.buf[self.pos..self.pos + n];
+        let slice = self
+            .buf
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or(WireError::Truncated)?;
         self.pos += n;
         Ok(slice)
     }
@@ -460,6 +473,13 @@ pub struct CampaignProgress {
     pub resumed: u64,
     /// Cells satisfied by the result store without worker execution.
     pub store_hits: u64,
+    /// Detector-armed cells whose dummy neuron trips the ≥10% rule
+    /// (derived from the plan at enqueue time — detection is a pure
+    /// function of the attack, not of execution).
+    pub detected: u64,
+    /// Detector-armed off-nominal cells the dummy neuron stays quiet on
+    /// (false negatives).
+    pub missed: u64,
     /// Whether the campaign is poisoned (failed and abandoned).
     pub failed: bool,
 }
@@ -487,6 +507,8 @@ fn encode_campaign_progress(enc: &mut Encoder, progress: &CampaignProgress) {
     enc.u64(progress.done);
     enc.u64(progress.resumed);
     enc.u64(progress.store_hits);
+    enc.u64(progress.detected);
+    enc.u64(progress.missed);
     enc.u8(progress.failed as u8);
 }
 
@@ -499,6 +521,8 @@ fn decode_campaign_progress(dec: &mut Decoder<'_>) -> Result<CampaignProgress, W
         done: dec.u64()?,
         resumed: dec.u64()?,
         store_hits: dec.u64()?,
+        detected: dec.u64()?,
+        missed: dec.u64()?,
         failed: match dec.u8()? {
             0 => false,
             1 => true,
@@ -525,6 +549,42 @@ fn decode_layer_sel(dec: &mut Decoder<'_>) -> Result<LayerSel, WireError> {
         1 => Ok(LayerSel::Inhibitory),
         2 => Ok(LayerSel::Both),
         tag => Err(WireError::Invalid(format!("unknown layer tag {tag}"))),
+    }
+}
+
+fn encode_defense_sel(enc: &mut Encoder, sel: DefenseSel) {
+    enc.u8(match sel {
+        DefenseSel::None => 0,
+        DefenseSel::RobustDriver => 1,
+        DefenseSel::BandgapThreshold => 2,
+        DefenseSel::SizedNeuron => 3,
+        DefenseSel::Comparator => 4,
+    });
+}
+
+fn decode_defense_sel(dec: &mut Decoder<'_>) -> Result<DefenseSel, WireError> {
+    match dec.u8()? {
+        0 => Ok(DefenseSel::None),
+        1 => Ok(DefenseSel::RobustDriver),
+        2 => Ok(DefenseSel::BandgapThreshold),
+        3 => Ok(DefenseSel::SizedNeuron),
+        4 => Ok(DefenseSel::Comparator),
+        tag => Err(WireError::Invalid(format!("unknown defense tag {tag}"))),
+    }
+}
+
+fn encode_detector_sel(enc: &mut Encoder, sel: DetectorSel) {
+    enc.u8(match sel {
+        DetectorSel::None => 0,
+        DetectorSel::DummyNeuron => 1,
+    });
+}
+
+fn decode_detector_sel(dec: &mut Decoder<'_>) -> Result<DetectorSel, WireError> {
+    match dec.u8()? {
+        0 => Ok(DetectorSel::None),
+        1 => Ok(DetectorSel::DummyNeuron),
+        tag => Err(WireError::Invalid(format!("unknown detector tag {tag}"))),
     }
 }
 
@@ -567,10 +627,10 @@ fn decode_opt_f64(dec: &mut Decoder<'_>) -> Result<Option<f64>, WireError> {
 }
 
 /// Encodes one resolved composite [`CellAttack`] (family, then the
-/// optional threshold / theta / VDD / seed components). This is both
-/// the job payload inside [`encode_cell_job`] and the fault-plan half
-/// of a cell's content digest, so any layout change here is a cache-key
-/// change — the golden digest vectors pin it.
+/// optional threshold / theta / VDD / seed components, then the v6
+/// defense/detector tags). This is the job payload inside
+/// [`encode_cell_job`]; content digests hash through
+/// [`encode_attack_digest`] instead, whose legacy prefix is frozen.
 pub fn encode_attack(enc: &mut Encoder, attack: &CellAttack) {
     encode_family(enc, attack.family);
     encode_opt_f64(enc, attack.rel_change);
@@ -583,6 +643,38 @@ pub fn encode_attack(enc: &mut Encoder, attack: &CellAttack) {
             enc.u8(1);
             enc.u64(seed);
         }
+    }
+    encode_defense_sel(enc, attack.defense);
+    encode_detector_sel(enc, attack.detector);
+}
+
+/// Encodes the fault-plan half of a cell's content digest. The layout
+/// up to the seed component is the frozen pre-v6 [`encode_attack`]
+/// stream, so every legacy (undefended, undetected) cell keeps its
+/// exact store key across the protocol bump — existing stores keep
+/// deduping. Cells that carry a countermeasure append a `0x01` marker
+/// followed by the defense and detector tags; the marker cannot collide
+/// with a legacy stream's continuation because a digest stream follows
+/// the attack with a seeds `seq_len` whose leading byte is `0x00` for
+/// any realistic seed count (< 2^24). The golden digest vectors pin
+/// both halves of this contract.
+pub fn encode_attack_digest(enc: &mut Encoder, attack: &CellAttack) {
+    encode_family(enc, attack.family);
+    encode_opt_f64(enc, attack.rel_change);
+    enc.f64(attack.fraction);
+    encode_opt_f64(enc, attack.theta_change);
+    encode_opt_f64(enc, attack.vdd);
+    match attack.seed {
+        None => enc.u8(0),
+        Some(seed) => {
+            enc.u8(1);
+            enc.u64(seed);
+        }
+    }
+    if attack.defense != DefenseSel::None || attack.detector != DetectorSel::None {
+        enc.u8(1);
+        encode_defense_sel(enc, attack.defense);
+        encode_detector_sel(enc, attack.detector);
     }
 }
 
@@ -609,6 +701,8 @@ pub fn decode_cell_job(dec: &mut Decoder<'_>) -> Result<CellJob, WireError> {
         1 => Some(dec.u64()?),
         tag => return Err(WireError::Invalid(format!("unknown option tag {tag}"))),
     };
+    let defense = decode_defense_sel(dec)?;
+    let detector = decode_detector_sel(dec)?;
     Ok(CellJob {
         index,
         attack: CellAttack {
@@ -618,6 +712,8 @@ pub fn decode_cell_job(dec: &mut Decoder<'_>) -> Result<CellJob, WireError> {
             theta_change,
             vdd,
             seed,
+            defense,
+            detector,
         },
     })
 }
@@ -705,6 +801,8 @@ fn axis_kind_tag(kind: AxisKind) -> u8 {
         AxisKind::Layer => 4,
         AxisKind::Polarity => 5,
         AxisKind::Seed => 6,
+        AxisKind::Defense => 7,
+        AxisKind::Detector => 8,
     }
 }
 
@@ -717,6 +815,8 @@ fn decode_axis_kind(dec: &mut Decoder<'_>) -> Result<AxisKind, WireError> {
         4 => Ok(AxisKind::Layer),
         5 => Ok(AxisKind::Polarity),
         6 => Ok(AxisKind::Seed),
+        7 => Ok(AxisKind::Defense),
+        8 => Ok(AxisKind::Detector),
         tag => Err(WireError::Invalid(format!("unknown axis tag {tag}"))),
     }
 }
@@ -742,6 +842,18 @@ fn encode_axis(enc: &mut Encoder, axis: &Axis) {
                 enc.u64(seed);
             }
         }
+        AxisValues::Defense(values) => {
+            enc.seq_len(values.len());
+            for &sel in values {
+                encode_defense_sel(enc, sel);
+            }
+        }
+        AxisValues::Detector(values) => {
+            enc.seq_len(values.len());
+            for &sel in values {
+                encode_detector_sel(enc, sel);
+            }
+        }
     }
 }
 
@@ -761,6 +873,22 @@ fn decode_axis(dec: &mut Decoder<'_>) -> Result<Axis, WireError> {
         AxisKind::Seed => {
             let len = dec.seq_len(8)?;
             AxisValues::Seed((0..len).map(|_| dec.u64()).collect::<Result<Vec<_>, _>>()?)
+        }
+        AxisKind::Defense => {
+            let len = dec.seq_len(1)?;
+            AxisValues::Defense(
+                (0..len)
+                    .map(|_| decode_defense_sel(dec))
+                    .collect::<Result<Vec<_>, _>>()?,
+            )
+        }
+        AxisKind::Detector => {
+            let len = dec.seq_len(1)?;
+            AxisValues::Detector(
+                (0..len)
+                    .map(|_| decode_detector_sel(dec))
+                    .collect::<Result<Vec<_>, _>>()?,
+            )
         }
         _ => {
             let len = dec.seq_len(8)?;
@@ -1002,8 +1130,9 @@ impl Message {
                 let campaign = dec.u32()?;
                 // Minimum job: 8-byte index + 1-byte family + the three
                 // 1-byte component tags + 8-byte fraction + 1-byte seed
-                // tag; 16 is a safe floor.
-                let len = dec.seq_len(16)?;
+                // tag + the defense and detector tag bytes; 18 is a
+                // safe floor.
+                let len = dec.seq_len(18)?;
                 let jobs = (0..len)
                     .map(|_| decode_cell_job(&mut dec))
                     .collect::<Result<Vec<_>, _>>()?;
@@ -1048,9 +1177,9 @@ impl Message {
                 protocol: dec.u32()?,
             },
             TAG_PROGRESS => {
-                // Minimum entry: 4-byte name prefix + six u64 counters
-                // + 1-byte failure flag.
-                let len = dec.seq_len(53)?;
+                // Minimum entry: 4-byte name prefix + eight u64
+                // counters + 1-byte failure flag.
+                let len = dec.seq_len(69)?;
                 let campaigns = (0..len)
                     .map(|_| decode_campaign_progress(&mut dec))
                     .collect::<Result<Vec<_>, WireError>>()?;
@@ -1130,6 +1259,16 @@ mod tests {
                             ..CellAttack::threshold(None, -0.1, 1.0)
                         },
                     },
+                    // A v6 countermeasure-bearing cell: a defended VDD
+                    // attack watched by the dummy-neuron detector.
+                    CellJob {
+                        index: 3,
+                        attack: CellAttack {
+                            defense: DefenseSel::BandgapThreshold,
+                            detector: DetectorSel::DummyNeuron,
+                            ..CellAttack::vdd(0.85)
+                        },
+                    },
                 ],
             },
             Message::Results {
@@ -1188,6 +1327,8 @@ mod tests {
                         done: 3,
                         resumed: 1,
                         store_hits: 2,
+                        detected: 2,
+                        missed: 1,
                         failed: false,
                     },
                     CampaignProgress {
@@ -1198,6 +1339,8 @@ mod tests {
                         done: 1,
                         resumed: 0,
                         store_hits: 0,
+                        detected: 0,
+                        missed: 0,
                         failed: true,
                     },
                 ],
@@ -1208,6 +1351,38 @@ mod tests {
             let decoded = Message::decode(&message.encode()).unwrap();
             assert_eq!(decoded, message);
         }
+    }
+
+    #[test]
+    fn attack_digest_stream_freezes_the_legacy_prefix() {
+        // The v6 job payload appends two unconditional tag bytes; the
+        // digest stream must instead be the frozen pre-v6 layout for
+        // legacy cells, with the countermeasure suffix only when a cell
+        // carries one.
+        let legacy = CellAttack {
+            vdd: Some(0.9),
+            seed: Some(7),
+            ..CellAttack::threshold(None, -0.1, 1.0)
+        };
+        let mut job = Encoder::new();
+        encode_attack(&mut job, &legacy);
+        let job = job.finish();
+        let mut digest = Encoder::new();
+        encode_attack_digest(&mut digest, &legacy);
+        let digest = digest.finish();
+        assert_eq!(digest, job[..job.len() - 2].to_vec());
+
+        let armed = CellAttack {
+            defense: DefenseSel::Comparator,
+            detector: DetectorSel::DummyNeuron,
+            ..legacy
+        };
+        let mut armed_digest = Encoder::new();
+        encode_attack_digest(&mut armed_digest, &armed);
+        let armed_digest = armed_digest.finish();
+        let mut expected = digest.clone();
+        expected.extend_from_slice(&[1, 4, 1]);
+        assert_eq!(armed_digest, expected);
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Differential no-op test for the v6 countermeasure axes: writing
+//! `defense = none` / `detector = none` into a spec must change
+//! *nothing measurable* — the serial sweep's cells are bit-identical
+//! and every store key matches the committed pre-v6 golden digest
+//! vectors, so stores written before the axes existed keep deduping
+//! cells submitted with them.
+
+use std::path::Path;
+
+use neurofi_core::scenario::{Axis, DefenseSel, DetectorSel};
+use neurofi_core::{PowerTransferTable, ScenarioSpec};
+use neurofi_dist::{CampaignSpec, SetupSpec};
+
+/// The committed "vdd" golden campaign (tests/golden/digests.txt).
+fn legacy_spec() -> CampaignSpec {
+    CampaignSpec {
+        setup: SetupSpec::bench(42),
+        scenario: ScenarioSpec::vdd(&[0.8, 1.0], &PowerTransferTable::paper_nominal(), &[42]),
+    }
+}
+
+/// The same campaign with the countermeasure axes spelled out as
+/// all-`none`.
+fn annotated_spec() -> CampaignSpec {
+    let mut spec = legacy_spec();
+    spec.scenario
+        .axes
+        .push(Axis::defenses(vec![DefenseSel::None]));
+    spec.scenario
+        .axes
+        .push(Axis::detectors(vec![DetectorSel::None]));
+    spec.validate()
+        .expect("all-none countermeasure axes are valid");
+    spec
+}
+
+/// The committed golden cell digests of the "vdd" campaign, parsed from
+/// the vector file itself so this test can never drift from what the
+/// golden test pins.
+fn committed_vdd_cell_digests() -> Vec<u64> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/digests.txt");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {} ({e})", path.display()));
+    let mut digests = Vec::new();
+    for line in text.lines() {
+        let mut fields = line.split_whitespace();
+        if fields.next() == Some("cell") && fields.next() == Some("vdd") {
+            let _index = fields.next().expect("cell lines carry an index");
+            let hex = fields.next().expect("cell lines carry a digest");
+            digests.push(u64::from_str_radix(hex, 16).expect("digests are hex"));
+        }
+    }
+    assert!(!digests.is_empty(), "the vector file pins the vdd campaign");
+    digests
+}
+
+#[test]
+fn all_none_axes_keep_the_committed_store_keys() {
+    let legacy = legacy_spec();
+    let annotated = annotated_spec();
+    let committed = committed_vdd_cell_digests();
+    let legacy_plan = legacy.plan();
+    let annotated_plan = annotated.plan();
+    assert_eq!(
+        legacy_plan.jobs.len(),
+        annotated_plan.jobs.len(),
+        "a single-value none axis must not change the grid size"
+    );
+    assert_eq!(legacy_plan.jobs.len(), committed.len());
+    for (i, (a, b)) in legacy_plan
+        .jobs
+        .iter()
+        .zip(&annotated_plan.jobs)
+        .enumerate()
+    {
+        assert_eq!(
+            annotated.cell_digest(&b.attack),
+            committed[i],
+            "cell {i} of the annotated spec must keep its pre-v6 store key"
+        );
+        assert_eq!(legacy.cell_digest(&a.attack), committed[i]);
+    }
+    assert_eq!(legacy.baseline_digest(), annotated.baseline_digest());
+}
+
+#[test]
+fn all_none_axes_sweep_bit_identically() {
+    let legacy = legacy_spec().run_serial().expect("legacy sweep runs");
+    let annotated = annotated_spec().run_serial().expect("annotated sweep runs");
+    assert_eq!(legacy.cells.len(), annotated.cells.len());
+    assert_eq!(
+        legacy.baseline_accuracy.to_bits(),
+        annotated.baseline_accuracy.to_bits(),
+        "baselines must be bit-identical, not merely close"
+    );
+    for (i, (a, b)) in legacy.cells.iter().zip(&annotated.cells).enumerate() {
+        assert_eq!(a.rel_change.to_bits(), b.rel_change.to_bits(), "cell {i}");
+        assert_eq!(a.fraction.to_bits(), b.fraction.to_bits(), "cell {i}");
+        assert_eq!(a.accuracy.to_bits(), b.accuracy.to_bits(), "cell {i}");
+        assert_eq!(
+            a.relative_change_percent.to_bits(),
+            b.relative_change_percent.to_bits(),
+            "cell {i}"
+        );
+    }
+}

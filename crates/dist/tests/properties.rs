@@ -5,7 +5,9 @@
 
 use std::io::Cursor;
 
-use neurofi_core::scenario::{AttackFamily, Axis, AxisKind, LayerSel, ScenarioSpec};
+use neurofi_core::scenario::{
+    AttackFamily, Axis, AxisKind, DefenseSel, DetectorSel, LayerSel, ScenarioSpec,
+};
 use neurofi_core::sweep::{CellAttack, CellJob, CellResult, SweepCell};
 use neurofi_core::TargetLayer;
 use neurofi_dist::wire::{
@@ -16,9 +18,10 @@ use neurofi_dist::wire::{
 use neurofi_dist::MAX_FRAME_LEN;
 use proptest::prelude::*;
 
-/// A v4 composite cell: the family from `tag`, plus optional extra
-/// components (theta, vdd, seed) toggled by `layer_tag`'s bits — so the
-/// round trips cover pure legacy cells *and* cross-product cells.
+/// A composite cell: the family from `tag`, plus optional extra
+/// components (theta, vdd, seed — and since v6, a defense and a
+/// detector) toggled by `layer_tag`'s bits — so the round trips cover
+/// pure legacy cells *and* cross-product cells.
 fn build_job(index: usize, tag: u8, layer_tag: u8, a: f64, b: f64) -> CellJob {
     let mut attack = match tag % 3 {
         0 => CellAttack::threshold(
@@ -42,6 +45,17 @@ fn build_job(index: usize, tag: u8, layer_tag: u8, a: f64, b: f64) -> CellJob {
     if layer_tag & 16 != 0 {
         attack.seed = Some(index as u64);
     }
+    if layer_tag & 32 != 0 {
+        attack.defense = [
+            DefenseSel::RobustDriver,
+            DefenseSel::BandgapThreshold,
+            DefenseSel::SizedNeuron,
+            DefenseSel::Comparator,
+        ][(tag % 4) as usize];
+    }
+    if layer_tag & 64 != 0 {
+        attack.detector = DetectorSel::DummyNeuron;
+    }
     CellJob { index, attack }
 }
 
@@ -53,6 +67,8 @@ type JobBits = (
     Option<u64>,
     Option<u64>,
     Option<u64>,
+    DefenseSel,
+    DetectorSel,
 );
 
 fn job_bits(job: &CellJob) -> JobBits {
@@ -64,6 +80,8 @@ fn job_bits(job: &CellJob) -> JobBits {
         job.attack.theta_change.map(f64::to_bits),
         job.attack.vdd.map(f64::to_bits),
         job.attack.seed,
+        job.attack.defense,
+        job.attack.detector,
     )
 }
 
@@ -74,7 +92,7 @@ proptest! {
     fn cell_jobs_round_trip_bit_exactly(
         index in 0usize..1_000_000,
         tag in 0u8..3,
-        layer_tag in 0u8..32,
+        layer_tag in 0u8..128,
         a in -0.99f64..=2.0,
         b in 0.0f64..=1.5,
     ) {
@@ -215,6 +233,8 @@ proptest! {
                 done,
                 resumed: done / 2,
                 store_hits: done / 3,
+                detected: done / 4,
+                missed: (i as u64) % 2,
                 failed: failed == 1,
             })
             .collect();
@@ -429,6 +449,108 @@ proptest! {
         let text = spec.to_string();
         let reparsed: ScenarioSpec = text.parse().expect("grammar round trip");
         prop_assert_eq!(&reparsed, &spec);
+    }
+
+    #[test]
+    fn countermeasure_axes_round_trip_on_the_wire_and_in_the_grammar(
+        vdd in 0.5f64..=1.4,
+        defense_mask in 1u8..32,
+        with_detector in 0u8..2,
+    ) {
+        // A v6 spec crossing the attack with §V defenses and the §V-C
+        // detector: wire and grammar round trips must both be the
+        // identity, and every strict wire prefix must be rejected.
+        let all = [
+            DefenseSel::None,
+            DefenseSel::RobustDriver,
+            DefenseSel::BandgapThreshold,
+            DefenseSel::SizedNeuron,
+            DefenseSel::Comparator,
+        ];
+        let defenses: Vec<DefenseSel> = all
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(i, _)| defense_mask & (1 << i) != 0)
+            .map(|(_, d)| d)
+            .collect();
+        let mut detectors = vec![DetectorSel::None];
+        if with_detector == 1 {
+            detectors.push(DetectorSel::DummyNeuron);
+        }
+        let spec = ScenarioSpec {
+            family: AttackFamily::Vdd,
+            axes: vec![
+                Axis::real(AxisKind::Vdd, vec![vdd]),
+                Axis::defenses(defenses),
+                Axis::detectors(detectors),
+            ],
+            seeds: vec![42],
+            transfer: Some(
+                neurofi_core::PowerTransferTable::paper_nominal().points().to_vec(),
+            ),
+        };
+        spec.validate().expect("generated countermeasure specs are valid");
+
+        let mut enc = Encoder::new();
+        encode_scenario_spec(&mut enc, &spec);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        let wired = decode_scenario_spec(&mut dec).expect("wire round trip");
+        dec.expect_end().expect("no trailing bytes");
+        prop_assert_eq!(&wired, &spec);
+        for cut in 0..bytes.len() {
+            prop_assert!(decode_scenario_spec(&mut Decoder::new(&bytes[..cut])).is_err());
+        }
+
+        let text = spec.to_string();
+        let reparsed: ScenarioSpec = text.parse().expect("grammar round trip");
+        prop_assert_eq!(&reparsed, &spec);
+    }
+
+    #[test]
+    fn countermeasure_grammar_rejects_hostile_tokens(
+        hostile_len in 65usize..4_096,
+        which in 0u8..2,
+    ) {
+        // Unknown variants are named in the rejection; hostile-length
+        // tokens are refused with the echo clipped, mirroring the other
+        // categorical axes.
+        let axis = ["defense", "detector"][which as usize];
+        let unknown = Axis::parse(&format!("{axis}=firewall"));
+        let err = unknown.expect_err("unknown variant must be rejected").to_string();
+        prop_assert!(err.contains("firewall"), "refusal echoes the token: {}", err);
+        let hostile = format!("{axis}={}", "x".repeat(hostile_len));
+        prop_assert!(Axis::parse(&hostile).is_err());
+        // A defense that isn't `none` is only meaningful against a vdd
+        // fault — validation, not the parser, enforces that.
+        let spec = ScenarioSpec {
+            family: AttackFamily::Theta,
+            axes: vec![
+                Axis::real(AxisKind::ThetaChange, vec![0.1]),
+                Axis::defenses(vec![DefenseSel::BandgapThreshold]),
+            ],
+            seeds: vec![1],
+            transfer: None,
+        };
+        prop_assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn hostile_countermeasure_axis_lengths_never_allocate(
+        claimed in 1_000u32..=u32::MAX,
+        which in 0u8..2,
+    ) {
+        // A forged defense/detector axis claiming a multi-gigabyte
+        // value count with one stray byte behind it must be rejected
+        // as truncated instead of allocating.
+        let mut enc = Encoder::new();
+        enc.u8(2); // family: vdd
+        enc.u32(1); // one axis
+        enc.u8(if which == 0 { 7 } else { 8 }); // defense / detector axis tag
+        enc.u32(claimed); // hostile value count
+        enc.u8(0);
+        prop_assert!(decode_scenario_spec(&mut Decoder::new(&enc.finish())).is_err());
     }
 
     #[test]
