@@ -198,13 +198,32 @@ impl AxonHillock {
         prefix: &str,
         vdd_value: f64,
     ) -> Result<AxonHillockNodes> {
-        let gnd = Netlist::GROUND;
         let vdd = net.node(&format!("{prefix}_vdd"));
+        self.build_on_rails(net, prefix, vdd, None, vdd_value)
+    }
+
+    /// Adds the neuron to `net` on caller-provided rails: the supply node
+    /// `vdd` (e.g. a tap of a shared parasitic rail) and optionally a
+    /// shared `Vpw` bias node. With `vpw: None` the neuron creates its own
+    /// bias node and source, exactly as [`AxonHillock::build`] always has;
+    /// with `Some` the whole layer shares one bias source, as a real
+    /// layout's bias distribution would.
+    ///
+    /// # Errors
+    /// Propagates netlist construction errors.
+    pub fn build_on_rails(
+        &self,
+        net: &mut Netlist,
+        prefix: &str,
+        vdd: NodeId,
+        shared_vpw: Option<NodeId>,
+        vdd_value: f64,
+    ) -> Result<AxonHillockNodes> {
+        let gnd = Netlist::GROUND;
         let mem = net.node(&format!("{prefix}_mem"));
         let stage1 = net.node(&format!("{prefix}_s1"));
         let out = net.node(&format!("{prefix}_out"));
         let rst = net.node(&format!("{prefix}_rst"));
-        let vpw = net.node(&format!("{prefix}_vpw"));
 
         net.capacitor_ic(&format!("{prefix}_CMEM"), mem, gnd, self.c_mem, 0.0)?;
         net.capacitor_ic(&format!("{prefix}_CFB"), out, mem, self.c_fb, 0.0)?;
@@ -332,7 +351,16 @@ impl AxonHillock {
         )?;
 
         // Reset path: mem → MN1 (gated by out) → MN2 (bias-limited) → gnd.
-        net.vsource(&format!("{prefix}_VPW"), vpw, gnd, Waveform::Dc(self.v_pw))?;
+        // The bias node keeps its historical creation order (after `rst`)
+        // so standalone builds number nodes exactly as before.
+        let vpw = match shared_vpw {
+            Some(node) => node,
+            None => {
+                let vpw = net.node(&format!("{prefix}_vpw"));
+                net.vsource(&format!("{prefix}_VPW"), vpw, gnd, Waveform::Dc(self.v_pw))?;
+                vpw
+            }
+        };
         net.mosfet(
             &format!("{prefix}_MN1"),
             mem,

@@ -15,6 +15,7 @@
 //! | [`neuron_average_power`], driver `supply_power` | §V overheads |
 
 use neurofi_spice::error::Result;
+use neurofi_spice::measure;
 use neurofi_spice::units::NANO;
 
 use crate::axon_hillock::{AxonHillock, InputSpec};
@@ -241,24 +242,21 @@ pub fn measured_transfer_table(vdds: &[f64]) -> Result<PowerTransferTable> {
 /// Converts an `(x, y)` series into `(x, percent_change_vs_reference)`
 /// where the reference is the `y` at the `x` closest to `x_ref`.
 ///
-/// # Panics
-/// Panics if `series` is empty or the reference `y` is zero.
+/// Degenerate inputs are handled without panicking: an empty series
+/// yields an empty result, NaN `x` values sort last in the reference
+/// search (`total_cmp`), and a zero or non-finite reference flows
+/// through [`measure::percent_change`]'s fail-closed semantics.
 pub fn to_percent_change(series: &[(f64, f64)], x_ref: f64) -> Vec<(f64, f64)> {
-    assert!(!series.is_empty(), "series must not be empty");
-    let reference = series
+    let Some(reference) = series
         .iter()
-        .min_by(|a, b| {
-            (a.0 - x_ref)
-                .abs()
-                .partial_cmp(&(b.0 - x_ref).abs())
-                .unwrap()
-        })
-        .unwrap()
-        .1;
-    assert!(reference != 0.0, "reference value must be non-zero");
+        .min_by(|a, b| (a.0 - x_ref).abs().total_cmp(&(b.0 - x_ref).abs()))
+        .map(|&(_, y)| y)
+    else {
+        return Vec::new();
+    };
     series
         .iter()
-        .map(|&(x, y)| (x, (y - reference) / reference * 100.0))
+        .map(|&(x, y)| (x, measure::percent_change(y, reference)))
         .collect()
 }
 

@@ -1,0 +1,303 @@
+//! Whole-layer netlist: N Axon Hillock neurons on a shared supply rail.
+//!
+//! The paper's circuit figures characterise one neuron against an ideal
+//! supply; its attack model then assumes every neuron of a layer sees
+//! the manipulated VDD identically. This module builds the circuit in
+//! between: a row of [`AxonHillock`] neurons hanging off one external
+//! supply through a resistive rail, each with a local decoupling
+//! capacitor, all sharing a single `Vpw` bias distribution — the
+//! smallest netlist where supply droop is *position-dependent* and the
+//! layer's aggregate firing activity loads the rail it is attacked
+//! through.
+//!
+//! At 5 unknowns per neuron the workload quickly outgrows the dense
+//! MNA path (a 200-neuron layer is a ≈1000-unknown system), which is
+//! exactly the regime the sparse engine in `neurofi-solver` exists
+//! for; [`LayerNetlist::simulate`] therefore takes an explicit
+//! [`Engine`] so callers choose, and benchmarks can race the two.
+
+use neurofi_spice::error::Result;
+use neurofi_spice::units::{FEMTO, NANO};
+use neurofi_spice::{measure, Engine, Netlist, NodeId, TranSpec, TranStats, Waveform};
+
+use crate::axon_hillock::{AxonHillock, AxonHillockNodes, InputSpec};
+
+/// A layer of Axon Hillock neurons on a shared parasitic supply rail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerNetlist {
+    /// Number of neuron instances (must be at least 1).
+    pub neurons: usize,
+    /// The neuron design every instance shares.
+    pub neuron: AxonHillock,
+    /// External supply voltage, volts (the attack surface).
+    pub vdd: f64,
+    /// Rail resistance per segment, ohms — one segment between
+    /// consecutive neuron taps, so neuron `i` sits behind `i + 1`
+    /// segments of rail.
+    pub r_rail: f64,
+    /// Local decoupling capacitance at each neuron's supply tap, farads.
+    pub c_decap: f64,
+    /// Base input stimulus; per-neuron waveforms are derived from it
+    /// (see [`LayerNetlist::input_waveform`]).
+    pub input: InputSpec,
+    /// Deterministic per-neuron input-amplitude spread, as a fraction
+    /// of the base amplitude (neuron 0 gets `1 - spread`, the last
+    /// neuron `1 + spread`). Desynchronises firing so the rail sees a
+    /// realistic aggregate load instead of N identical copies.
+    pub input_spread: f64,
+}
+
+/// Node handles returned by [`LayerNetlist::build`].
+#[derive(Debug, Clone)]
+pub struct LayerNodes {
+    /// External supply node (driven by the `VDD` source).
+    pub supply: NodeId,
+    /// Shared `Vpw` bias node.
+    pub vpw: NodeId,
+    /// Per-neuron local supply taps, in layer order.
+    pub taps: Vec<NodeId>,
+    /// Per-neuron circuit nodes, in layer order.
+    pub cells: Vec<AxonHillockNodes>,
+}
+
+/// Aggregate measurements from one layer transient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerResponse {
+    /// Number of neurons simulated.
+    pub neurons: usize,
+    /// External supply voltage, volts.
+    pub vdd: f64,
+    /// Simulated window, seconds.
+    pub duration: f64,
+    /// Output spikes per neuron, in layer order.
+    pub spike_counts: Vec<usize>,
+    /// Smallest voltage seen at the far-end supply tap, volts — the
+    /// worst-case position for rail droop.
+    pub min_rail_voltage: f64,
+    /// Transient/solver statistics of the run.
+    pub stats: TranStats,
+}
+
+impl LayerResponse {
+    /// Total output spikes across the layer.
+    pub fn total_spikes(&self) -> usize {
+        self.spike_counts.iter().sum()
+    }
+
+    /// Mean output spikes per neuron over the window.
+    pub fn mean_spikes_per_neuron(&self) -> f64 {
+        self.total_spikes() as f64 / self.neurons.max(1) as f64
+    }
+
+    /// Mean per-neuron firing rate, hertz.
+    pub fn mean_rate_hz(&self) -> f64 {
+        if self.duration > 0.0 {
+            self.mean_spikes_per_neuron() / self.duration
+        } else {
+            0.0
+        }
+    }
+
+    /// Worst-case supply droop at the far end of the rail, volts.
+    pub fn worst_droop(&self) -> f64 {
+        self.vdd - self.min_rail_voltage
+    }
+}
+
+impl LayerNetlist {
+    /// The paper-nominal layer: stock neurons, 200 nA / 40 MHz input,
+    /// 1 Ω rail segments and 100 fF of local decoupling per neuron,
+    /// with a ±5% deterministic input spread.
+    pub fn paper_layer(neurons: usize) -> LayerNetlist {
+        LayerNetlist {
+            neurons,
+            neuron: AxonHillock::default(),
+            vdd: 1.0,
+            r_rail: 1.0,
+            c_decap: 100.0 * FEMTO,
+            input: InputSpec::paper_axon_hillock(),
+            input_spread: 0.05,
+        }
+    }
+
+    /// Returns a copy at a different external supply voltage.
+    #[must_use]
+    pub fn with_vdd(mut self, vdd: f64) -> LayerNetlist {
+        self.vdd = vdd;
+        self
+    }
+
+    /// Unknown count of the compiled MNA system: 5 nodes per neuron
+    /// (membrane, stage-1, output, reset, local supply tap) plus the
+    /// external supply and shared bias nodes and their two source
+    /// branch currents.
+    pub fn unknowns(&self) -> usize {
+        5 * self.neurons + 4
+    }
+
+    /// The input waveform of neuron `i`: the base stimulus with a
+    /// deterministic amplitude spread across the layer and a sub-period
+    /// phase stagger, so instances fire out of lockstep.
+    pub fn input_waveform(&self, i: usize) -> Waveform {
+        let span = (self.neurons.saturating_sub(1)).max(1) as f64;
+        let frac = i as f64 / span;
+        let amplitude = self.input.amplitude * (1.0 + self.input_spread * (2.0 * frac - 1.0));
+        let delay = self.input.period * (i % 8) as f64 / 8.0;
+        Waveform::spike_train(amplitude, self.input.width, self.input.period, delay)
+    }
+
+    /// Adds the whole layer to `net`: the external supply and shared
+    /// bias sources, the segmented rail with per-tap decoupling, and
+    /// one neuron plus input source per tap.
+    ///
+    /// # Errors
+    /// Rejects an empty layer; propagates netlist construction errors.
+    pub fn build(&self, net: &mut Netlist) -> Result<LayerNodes> {
+        if self.neurons == 0 {
+            return Err(neurofi_spice::Error::Netlist(
+                "a layer needs at least one neuron".into(),
+            ));
+        }
+        let gnd = Netlist::GROUND;
+        let supply = net.node("vdd_ext");
+        let vpw = net.node("vpw");
+        net.vsource("VDD", supply, gnd, Waveform::Dc(self.vdd))?;
+        net.vsource("VPW", vpw, gnd, Waveform::Dc(self.neuron.v_pw))?;
+        let mut taps = Vec::with_capacity(self.neurons);
+        let mut cells = Vec::with_capacity(self.neurons);
+        let mut prev = supply;
+        for i in 0..self.neurons {
+            let tap = net.node(&format!("rail{i}"));
+            net.resistor(&format!("RRAIL{i}"), prev, tap, self.r_rail)?;
+            // The decap starts charged: a powered-up layer, not a rail
+            // inrush experiment (under `uic` an IC-less capacitor would
+            // drag every tap to 0 V at t = 0).
+            net.capacitor_ic(&format!("CDECAP{i}"), tap, gnd, self.c_decap, self.vdd)?;
+            let cell =
+                self.neuron
+                    .build_on_rails(net, &format!("u{i}"), tap, Some(vpw), self.vdd)?;
+            net.isource(&format!("IIN{i}"), gnd, cell.mem, self.input_waveform(i))?;
+            taps.push(tap);
+            cells.push(cell);
+            prev = tap;
+        }
+        Ok(LayerNodes {
+            supply,
+            vpw,
+            taps,
+            cells,
+        })
+    }
+
+    /// Transient simulation of the layer on the chosen engine,
+    /// measuring per-neuron firing and worst-case rail droop.
+    ///
+    /// # Errors
+    /// Propagates netlist construction and solver failures.
+    pub fn simulate(&self, engine: Engine, tstop: f64, dt: f64) -> Result<LayerResponse> {
+        let mut net = Netlist::new();
+        let nodes = self.build(&mut net)?;
+        let spec = TranSpec::new(tstop, dt).with_uic();
+        let res = net.compile()?.tran_with_engine(engine, &spec)?;
+        let times = res.times();
+        let spike_counts = nodes
+            .cells
+            .iter()
+            .map(|cell| measure::spike_times(times, &res.voltage(cell.out), 0.5 * self.vdd).len())
+            .collect();
+        let far_tap = res.voltage(nodes.taps[self.neurons - 1]);
+        Ok(LayerResponse {
+            neurons: self.neurons,
+            vdd: self.vdd,
+            duration: tstop,
+            spike_counts,
+            min_rail_voltage: measure::minimum(&far_tap),
+            stats: *res.stats(),
+        })
+    }
+
+    /// The standard measurement window for scenario cells and smoke
+    /// tests: long enough for several spikes at the paper-nominal
+    /// stimulus, short enough that a 32-neuron cell stays interactive.
+    pub fn cell_window() -> (f64, f64) {
+        (45.0e-6, 20.0 * NANO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_layer_is_rejected() {
+        let layer = LayerNetlist {
+            neurons: 0,
+            ..LayerNetlist::paper_layer(1)
+        };
+        assert!(layer.simulate(Engine::Dense, 1.0e-6, 20.0e-9).is_err());
+    }
+
+    #[test]
+    fn layer_unknowns_match_compiled_dimension() {
+        let layer = LayerNetlist::paper_layer(3);
+        let mut net = Netlist::new();
+        layer.build(&mut net).unwrap();
+        let circuit = net.compile().unwrap();
+        assert_eq!(circuit.unknown_count(), layer.unknowns());
+    }
+
+    #[test]
+    fn small_layer_fires_and_droops() {
+        let layer = LayerNetlist::paper_layer(3);
+        let resp = layer.simulate(Engine::Sparse, 30.0e-6, 20.0e-9).unwrap();
+        assert_eq!(resp.spike_counts.len(), 3);
+        assert!(
+            resp.spike_counts.iter().all(|&c| c >= 1),
+            "every neuron spikes: {:?}",
+            resp.spike_counts
+        );
+        // The rail is resistive, so the far tap must sag below VDD but
+        // stay a working supply.
+        let droop = resp.worst_droop();
+        assert!(droop > 0.0 && droop < 0.2, "droop {droop}");
+        // The sparse engine really ran: pattern reused across Newton.
+        assert!(resp.stats.solver.refactorizations > 0, "{:?}", resp.stats);
+        assert!(resp.stats.solver.nnz < resp.stats.solver.dim * resp.stats.solver.dim);
+    }
+
+    #[test]
+    fn sparse_layer_agrees_with_dense() {
+        // Engines differ only in LU factorisation order, so the Newton
+        // fixed points agree to far better than measurement tolerance.
+        let layer = LayerNetlist::paper_layer(2);
+        let dense = layer.simulate(Engine::Dense, 20.0e-6, 20.0e-9).unwrap();
+        let sparse = layer.simulate(Engine::Sparse, 20.0e-6, 20.0e-9).unwrap();
+        assert_eq!(dense.spike_counts, sparse.spike_counts);
+        assert!(
+            (dense.min_rail_voltage - sparse.min_rail_voltage).abs() < 1.0e-6,
+            "dense {} vs sparse {}",
+            dense.min_rail_voltage,
+            sparse.min_rail_voltage
+        );
+    }
+
+    #[test]
+    fn lower_vdd_slows_the_layer() {
+        let nominal = LayerNetlist::paper_layer(2)
+            .simulate(Engine::Sparse, 30.0e-6, 20.0e-9)
+            .unwrap();
+        let starved = LayerNetlist::paper_layer(2)
+            .with_vdd(0.8)
+            .simulate(Engine::Sparse, 30.0e-6, 20.0e-9)
+            .unwrap();
+        // Fig. 6b direction: the Axon Hillock fires *faster* as VDD
+        // drops (threshold scales with VDD), so the undervolted layer
+        // must not spike less.
+        assert!(
+            starved.total_spikes() >= nominal.total_spikes(),
+            "starved {} vs nominal {}",
+            starved.total_spikes(),
+            nominal.total_spikes()
+        );
+    }
+}

@@ -47,6 +47,7 @@ pub mod bandgap;
 pub mod characterize;
 pub mod driver;
 pub mod dummy;
+pub mod layer;
 pub mod ota;
 pub mod transfer;
 pub mod vamp_if;
@@ -55,8 +56,9 @@ pub use axon_hillock::AxonHillock;
 pub use bandgap::BandgapReference;
 pub use driver::{CurrentDriver, RobustCurrentDriver};
 pub use dummy::DummyNeuron;
+pub use layer::{LayerNetlist, LayerResponse};
 /// Errors from this crate are simulator errors; re-exported for `?`-chains.
-pub use neurofi_spice::Error;
+pub use neurofi_spice::{Engine, Error};
 pub use transfer::{PowerTransferTable, TransferPoint};
 pub use vamp_if::VoltageAmplifierIf;
 

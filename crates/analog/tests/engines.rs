@@ -1,0 +1,98 @@
+//! Sparse-vs-dense engine agreement on the locked paper circuits.
+//!
+//! The golden paper grids are frozen against the dense engine; these
+//! tests pin the sparse engine to the same answers on the circuits
+//! behind those grids — the Axon Hillock transient bench (Figs. 2c/3),
+//! its threshold DC sweep (Fig. 6a), and the voltage-amplifier I&F
+//! transient bench — within 1e-9 relative, so switching engines can
+//! never silently move a paper number.
+
+use neurofi_analog::axon_hillock::InputSpec;
+use neurofi_analog::{AxonHillock, Engine, VoltageAmplifierIf};
+use neurofi_spice::{Netlist, SolveOptions, TranSpec, Waveform};
+
+const NANO: f64 = 1.0e-9;
+
+fn assert_close(dense: &[f64], sparse: &[f64], what: &str) {
+    assert_eq!(dense.len(), sparse.len(), "{what}: length mismatch");
+    for (i, (d, s)) in dense.iter().zip(sparse).enumerate() {
+        let tol = 1.0e-9 * d.abs().max(1.0);
+        assert!((d - s).abs() <= tol, "{what}[{i}]: dense {d} vs sparse {s}");
+    }
+}
+
+#[test]
+fn axon_hillock_transient_matches_across_engines() {
+    let neuron = AxonHillock::default();
+    let input = InputSpec::paper_axon_hillock();
+    let mut net = Netlist::new();
+    let nodes = neuron.build(&mut net, "ah", 1.0).unwrap();
+    net.vsource("VDD", nodes.vdd, Netlist::GROUND, Waveform::Dc(1.0))
+        .unwrap();
+    net.isource("IIN", Netlist::GROUND, nodes.mem, input.waveform())
+        .unwrap();
+    let circuit = net.compile().unwrap();
+    let spec = TranSpec::new(2.0e-6, 2.0 * NANO).with_uic();
+    let dense = circuit.tran_with_engine(Engine::Dense, &spec).unwrap();
+    let sparse = circuit.tran_with_engine(Engine::Sparse, &spec).unwrap();
+    assert_close(dense.times(), sparse.times(), "ah times");
+    assert_close(
+        &dense.voltage(nodes.mem),
+        &sparse.voltage(nodes.mem),
+        "ah vmem",
+    );
+    assert_close(
+        &dense.voltage(nodes.out),
+        &sparse.voltage(nodes.out),
+        "ah vout",
+    );
+}
+
+#[test]
+fn axon_hillock_threshold_sweep_matches_across_engines() {
+    let neuron = AxonHillock::default();
+    let mut net = Netlist::new();
+    let nodes = neuron.build(&mut net, "ah", 1.0).unwrap();
+    net.vsource("VDD", nodes.vdd, Netlist::GROUND, Waveform::Dc(1.0))
+        .unwrap();
+    net.vsource("VMEM", nodes.mem, Netlist::GROUND, Waveform::Dc(0.0))
+        .unwrap();
+    let circuit = net.compile().unwrap();
+    let values: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0).collect();
+    let opts = SolveOptions::default();
+    let dense = circuit
+        .dc_sweep_with_engine(Engine::Dense, "VMEM", &values, &opts)
+        .unwrap();
+    let sparse = circuit
+        .dc_sweep_with_engine(Engine::Sparse, "VMEM", &values, &opts)
+        .unwrap();
+    let d: Vec<f64> = dense.iter().map(|op| op.voltage(nodes.out)).collect();
+    let s: Vec<f64> = sparse.iter().map(|op| op.voltage(nodes.out)).collect();
+    assert_close(&d, &s, "ah threshold sweep vout");
+}
+
+#[test]
+fn vamp_if_transient_matches_across_engines() {
+    let neuron = VoltageAmplifierIf::default();
+    let input = InputSpec::paper_vamp_if();
+    let mut net = Netlist::new();
+    let nodes = neuron.build(&mut net, "vif", 1.0).unwrap();
+    net.vsource("VDD", nodes.vdd, Netlist::GROUND, Waveform::Dc(1.0))
+        .unwrap();
+    net.isource("IIN", Netlist::GROUND, nodes.mem, input.waveform())
+        .unwrap();
+    let circuit = net.compile().unwrap();
+    let spec = TranSpec::new(20.0e-6, 20.0 * NANO).with_uic();
+    let dense = circuit.tran_with_engine(Engine::Dense, &spec).unwrap();
+    let sparse = circuit.tran_with_engine(Engine::Sparse, &spec).unwrap();
+    assert_close(
+        &dense.voltage(nodes.mem),
+        &sparse.voltage(nodes.mem),
+        "vif vmem",
+    );
+    assert_close(
+        &dense.voltage(nodes.amp_out),
+        &sparse.voltage(nodes.amp_out),
+        "vif amp_out",
+    );
+}

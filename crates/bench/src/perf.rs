@@ -11,6 +11,7 @@
 
 use std::time::Instant;
 
+use neurofi_analog::{Engine, LayerNetlist};
 use neurofi_core::attacks::ExperimentSetup;
 use neurofi_core::scenario::ScenarioSpec;
 use neurofi_core::sweep::{threshold_sweep_cached, BaselineCache, Parallelism, SweepConfig};
@@ -118,6 +119,34 @@ pub struct StoreDedup {
     pub warm_seconds: f64,
 }
 
+/// Dense-vs-sparse engine timing on the whole-layer netlist (schema
+/// v6): one fixed-step transient of a 200-neuron Axon Hillock layer per
+/// engine, plus the sparse engine's structural counters. The dense run
+/// refactors an `unknowns`² matrix every Newton iteration; the sparse
+/// run refactors only the `lu_nnz` stored entries, which is where the
+/// whole-layer workload's speedup comes from.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverBench {
+    /// Neurons in the benchmarked layer.
+    pub neurons: usize,
+    /// MNA unknowns of the compiled layer circuit.
+    pub unknowns: usize,
+    /// Structural nonzeros in the frozen sparse pattern.
+    pub nnz: usize,
+    /// Nonzeros in the L+U factors (`lu_nnz - nnz` is the fill-in).
+    pub lu_nnz: usize,
+    /// Newton iterations across the sparse transient.
+    pub newton_iterations: u64,
+    /// Step attempts rejected during the sparse transient.
+    pub rejected_steps: u64,
+    /// Wall-clock seconds of the dense-engine transient.
+    pub dense_seconds: f64,
+    /// Wall-clock seconds of the sparse-engine transient.
+    pub sparse_seconds: f64,
+    /// `dense_seconds / sparse_seconds`.
+    pub speedup: f64,
+}
+
 /// The full performance report emitted as `BENCH_sweep.json`.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
@@ -152,6 +181,8 @@ pub struct PerfReport {
     /// Result-store hit/miss counters and dedup ratio from the
     /// cold+warm store pass.
     pub result_store: StoreDedup,
+    /// Dense-vs-sparse engine timing on the 200-neuron layer netlist.
+    pub solver: SolverBench,
 }
 
 impl PerfReport {
@@ -227,6 +258,29 @@ impl PerfReport {
             "    \"warm_seconds\": {:.6}\n",
             self.result_store.warm_seconds
         ));
+        out.push_str("  },\n");
+        out.push_str("  \"solver\": {\n");
+        out.push_str(&format!("    \"neurons\": {},\n", self.solver.neurons));
+        out.push_str(&format!("    \"unknowns\": {},\n", self.solver.unknowns));
+        out.push_str(&format!("    \"nnz\": {},\n", self.solver.nnz));
+        out.push_str(&format!("    \"lu_nnz\": {},\n", self.solver.lu_nnz));
+        out.push_str(&format!(
+            "    \"newton_iterations\": {},\n",
+            self.solver.newton_iterations
+        ));
+        out.push_str(&format!(
+            "    \"rejected_steps\": {},\n",
+            self.solver.rejected_steps
+        ));
+        out.push_str(&format!(
+            "    \"dense_seconds\": {:.6},\n",
+            self.solver.dense_seconds
+        ));
+        out.push_str(&format!(
+            "    \"sparse_seconds\": {:.6},\n",
+            self.solver.sparse_seconds
+        ));
+        out.push_str(&format!("    \"speedup\": {:.3}\n", self.solver.speedup));
         out.push_str("  }\n");
         out.push('}');
         out
@@ -240,8 +294,11 @@ impl PerfReport {
 /// content-addressed store's hit/miss counters and dedup ratio from a
 /// cold+warm pass of the `tiny` grid. v5: `sweep_scenario` axes can now
 /// carry the §V countermeasure grid (`defense` / `detector` values,
-/// quoted like layer names).
-pub const PERF_SCHEMA_VERSION: u32 = 5;
+/// quoted like layer names). v6 added `solver` — dense-vs-sparse engine
+/// timing and structural counters (nnz, fill-in, Newton iterations,
+/// rejected steps) from a 200-neuron layer-netlist transient; the
+/// `sweep_scenario` axes can also carry `neurons` values.
+pub const PERF_SCHEMA_VERSION: u32 = 6;
 
 /// The sweep-pool width this runner is configured for:
 /// `NEUROFI_BENCH_WORKERS` when set to a positive integer, otherwise
@@ -364,6 +421,37 @@ fn time_spice_tran_ms() -> f64 {
     start.elapsed().as_secs_f64() * 1.0e3 / f64::from(iters)
 }
 
+fn measure_layer_solvers() -> SolverBench {
+    let layer = LayerNetlist::paper_layer(200);
+    let unknowns = layer.unknowns();
+    // A short window is enough: the gap is per-Newton-iteration (dense
+    // O(n³) refactor vs sparse O(lu_nnz)), so a handful of steps
+    // already shows the asymptotics without a multi-second dense run.
+    let (tstop, dt) = (200.0e-9, 20.0e-9);
+    let time = |engine: Engine| {
+        let start = Instant::now();
+        let response = layer
+            .clone()
+            .simulate(engine, tstop, dt)
+            .expect("bench layer cannot fail");
+        (start.elapsed().as_secs_f64(), response)
+    };
+    let (dense_seconds, _) = time(Engine::Dense);
+    let (sparse_seconds, sparse) = time(Engine::Sparse);
+    let stats = sparse.stats;
+    SolverBench {
+        neurons: layer.neurons,
+        unknowns,
+        nnz: stats.solver.nnz,
+        lu_nnz: stats.solver.lu_nnz,
+        newton_iterations: stats.newton_iterations,
+        rejected_steps: stats.rejected_steps,
+        dense_seconds,
+        sparse_seconds,
+        speedup: dense_seconds / sparse_seconds.max(f64::MIN_POSITIVE),
+    }
+}
+
 fn measure_store_dedup() -> StoreDedup {
     let store_path =
         std::env::temp_dir().join(format!("neurofi-bench-store-{}", std::process::id()));
@@ -419,6 +507,8 @@ pub fn run_perf_suite() -> PerfReport {
     let spice_tran_ms = time_spice_tran_ms();
     eprintln!("bench: result-store dedup (cold + warm pass)...");
     let result_store = measure_store_dedup();
+    eprintln!("bench: 200-neuron layer netlist, dense vs sparse...");
+    let solver = measure_layer_solvers();
     PerfReport {
         schema_version: PERF_SCHEMA_VERSION,
         available_parallelism: Parallelism::Auto.worker_count(),
@@ -435,6 +525,7 @@ pub fn run_perf_suite() -> PerfReport {
         run_sample_train_ms,
         spice_tran_ms,
         result_store,
+        solver,
     }
 }
 
@@ -485,10 +576,21 @@ mod tests {
                 cold_seconds: 4.2,
                 warm_seconds: 0.01,
             },
+            solver: SolverBench {
+                neurons: 200,
+                unknowns: 1004,
+                nnz: 8000,
+                lu_nnz: 9500,
+                newton_iterations: 30,
+                rejected_steps: 0,
+                dense_seconds: 2.5,
+                sparse_seconds: 0.01,
+                speedup: 250.0,
+            },
         };
         let json = report.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
-        assert!(json.contains("\"schema_version\": 5"));
+        assert!(json.contains("\"schema_version\": 6"));
         assert!(json.contains("\"result_store\": {"));
         assert!(json.contains("\"store_hits\": 6"));
         assert!(json.contains("\"store_misses\": 6"));
@@ -503,6 +605,12 @@ mod tests {
         assert!(json.contains("\"sweep_parallel\": ["));
         assert!(json.contains("\"threads\": 4"));
         assert!(json.contains("\"speedup_vs_serial\": 3.850"));
+        // The v6 solver row: structural counters and the engine race.
+        assert!(json.contains("\"solver\": {"));
+        assert!(json.contains("\"neurons\": 200"));
+        assert!(json.contains("\"lu_nnz\": 9500"));
+        assert!(json.contains("\"dense_seconds\": 2.500000"));
+        assert!(json.contains("\"speedup\": 250.000"));
         // Exactly one trailing comma structure: parses as JSON by eye;
         // cheap structural checks below.
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -542,6 +650,17 @@ mod tests {
                 dedup_ratio: 0.0,
                 cold_seconds: 0.0,
                 warm_seconds: 0.0,
+            },
+            solver: SolverBench {
+                neurons: 1,
+                unknowns: 9,
+                nnz: 30,
+                lu_nnz: 30,
+                newton_iterations: 1,
+                rejected_steps: 0,
+                dense_seconds: 0.0,
+                sparse_seconds: 0.0,
+                speedup: 0.0,
             },
         };
         assert!(report.to_json().contains("\"git_rev\": null"));

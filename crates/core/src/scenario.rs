@@ -58,9 +58,12 @@ use crate::injection::TargetLayer;
 use crate::sweep::{CellAttack, CellJob, SweepConfig, SweepPlan};
 use crate::threat::AttackKind;
 
-/// Hard cap on axes per scenario (the attack space has nine axis
+/// Hard cap on axes per scenario (the attack space has ten axis
 /// kinds; duplicates are rejected anyway).
 pub const MAX_AXES: usize = 10;
+/// Hard cap on the neuron count of one layer-netlist cell: a 4096-neuron
+/// layer is already a ≈20 000-unknown circuit per cell.
+pub const MAX_LAYER_NEURONS: u64 = 4_096;
 /// Hard cap on values per axis — mirrors the wire layer's
 /// hostile-length guards so a parsed spec can always be encoded.
 pub const MAX_AXIS_VALUES: usize = 65_536;
@@ -100,11 +103,16 @@ pub enum AxisKind {
     /// §V-C detector armed for the cell; detection hit/miss is derived
     /// from the resolved attack, never from the measured accuracy.
     Detector,
+    /// Number of neuron instances in the whole-layer netlist workload:
+    /// cells with this axis simulate the actual analog layer (shared
+    /// supply rail, per-neuron parasitics) at the cell's VDD instead of
+    /// the network-level accuracy model (vdd family only).
+    Neurons,
 }
 
 impl AxisKind {
     /// Every axis kind, in canonical order.
-    pub const ALL: [AxisKind; 9] = [
+    pub const ALL: [AxisKind; 10] = [
         AxisKind::RelChange,
         AxisKind::Fraction,
         AxisKind::ThetaChange,
@@ -114,6 +122,7 @@ impl AxisKind {
         AxisKind::Seed,
         AxisKind::Defense,
         AxisKind::Detector,
+        AxisKind::Neurons,
     ];
 
     /// The grammar name of the axis.
@@ -128,6 +137,7 @@ impl AxisKind {
             AxisKind::Seed => "seed",
             AxisKind::Defense => "defense",
             AxisKind::Detector => "detector",
+            AxisKind::Neurons => "neurons",
         }
     }
 
@@ -336,6 +346,8 @@ pub enum AxisValues {
     Defense(Vec<DefenseSel>),
     /// Detector selections (`detector`).
     Detector(Vec<DetectorSel>),
+    /// Layer-netlist neuron counts (`neurons`).
+    Neurons(Vec<u64>),
 }
 
 impl AxisValues {
@@ -347,6 +359,7 @@ impl AxisValues {
             AxisValues::Seed(v) => v.len(),
             AxisValues::Defense(v) => v.len(),
             AxisValues::Detector(v) => v.len(),
+            AxisValues::Neurons(v) => v.len(),
         }
     }
 
@@ -414,6 +427,14 @@ impl Axis {
         }
     }
 
+    /// A layer-netlist neuron-count axis.
+    pub fn neurons(values: Vec<u64>) -> Axis {
+        Axis {
+            kind: AxisKind::Neurons,
+            values: AxisValues::Neurons(values),
+        }
+    }
+
     /// The grammar token of one value (`-0.2`, `inhibitory`, `42`) —
     /// `None` past the end of the axis. Lossless: reals print in
     /// shortest round-trippable form, seeds as full integers.
@@ -424,6 +445,7 @@ impl Axis {
             AxisValues::Seed(v) => v.get(index).map(|s| s.to_string()),
             AxisValues::Defense(v) => v.get(index).map(|d| d.name().to_string()),
             AxisValues::Detector(v) => v.get(index).map(|d| d.name().to_string()),
+            AxisValues::Neurons(v) => v.get(index).map(|n| n.to_string()),
         }
     }
 
@@ -449,6 +471,7 @@ impl Axis {
                     .collect::<Result<Vec<_>, _>>()?,
             ),
             AxisKind::Seed => AxisValues::Seed(parse_seed_values(values)?),
+            AxisKind::Neurons => AxisValues::Neurons(parse_seed_values(values)?),
             AxisKind::Defense => AxisValues::Defense(
                 split_values(values)?
                     .iter()
@@ -498,6 +521,7 @@ impl fmt::Display for Axis {
             AxisValues::Seed(v) => join_display(f, v),
             AxisValues::Defense(v) => join_display(f, v),
             AxisValues::Detector(v) => join_display(f, v),
+            AxisValues::Neurons(v) => join_display(f, v),
         }
     }
 }
@@ -1050,6 +1074,54 @@ impl ScenarioSpec {
                 }
                 Ok(())
             }
+            // The layer-netlist workload simulates the actual analog
+            // layer at the cell's supply voltage, so it only composes
+            // with the vdd family; defenses must have a circuit
+            // realisation in the layer (the transfer-table-only
+            // hardenings would be silent no-ops).
+            AxisKind::Neurons => {
+                let AxisValues::Neurons(values) = &axis.values else {
+                    return Err(Error::Invalid(
+                        "neurons axis carries non-integer values".into(),
+                    ));
+                };
+                if self.family != AttackFamily::Vdd {
+                    return Err(Error::Invalid(format!(
+                        "a neurons axis needs the vdd attack (the layer netlist \
+                         models the supply attack surface), not `{}`",
+                        self.family
+                    )));
+                }
+                if let Some(bad) = values
+                    .iter()
+                    .copied()
+                    .find(|&n| n == 0 || n > MAX_LAYER_NEURONS)
+                {
+                    return Err(Error::Invalid(format!(
+                        "axis `neurons`: layer sizes must be within \
+                         [1, {MAX_LAYER_NEURONS}] (got {bad})"
+                    )));
+                }
+                if let Some(Axis {
+                    values: AxisValues::Defense(defenses),
+                    ..
+                }) = self.axis(AxisKind::Defense)
+                {
+                    if let Some(bad) = defenses.iter().copied().find(|d| {
+                        !matches!(
+                            d,
+                            DefenseSel::None | DefenseSel::SizedNeuron | DefenseSel::Comparator
+                        )
+                    }) {
+                        return Err(Error::Invalid(format!(
+                            "defense `{bad}` has no circuit realisation in the \
+                             layer netlist (layer defenses: none sized_neuron \
+                             comparator)"
+                        )));
+                    }
+                }
+                Ok(())
+            }
         }
     }
 
@@ -1130,6 +1202,7 @@ impl ScenarioSpec {
             seed: None,
             defense: DefenseSel::None,
             detector: DetectorSel::None,
+            neurons: None,
         };
         let mut polarity: Option<f64> = None;
         for (axis, &i) in self.axes.iter().zip(indices) {
@@ -1147,6 +1220,7 @@ impl ScenarioSpec {
                 (AxisKind::Seed, AxisValues::Seed(v)) => attack.seed = Some(v[i]),
                 (AxisKind::Defense, AxisValues::Defense(v)) => attack.defense = v[i],
                 (AxisKind::Detector, AxisValues::Detector(v)) => attack.detector = v[i],
+                (AxisKind::Neurons, AxisValues::Neurons(v)) => attack.neurons = Some(v[i]),
                 // Kind/values mismatches are rejected by validate();
                 // planning an unvalidated spec just skips them.
                 _ => {}
@@ -1757,6 +1831,64 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("axis detector = dummy_neuron"), "{text}");
+        let reparsed: ScenarioSpec = text.parse().unwrap();
+        assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn neurons_axis_parses_validates_and_resolves() {
+        let axis = Axis::parse("neurons = 1, 32, 200").unwrap();
+        assert_eq!(axis.values, AxisValues::Neurons(vec![1, 32, 200]));
+        assert!(Axis::parse("neurons = 1.5").is_err());
+
+        // The layer-netlist workload only exists for the vdd attack.
+        let mut spec = il_spec();
+        spec.axes.push(Axis::neurons(vec![8]));
+        assert!(spec.validate().is_err(), "neurons without the vdd family");
+
+        let mut spec = ScenarioSpec {
+            family: AttackFamily::Vdd,
+            axes: vec![
+                Axis::real(AxisKind::Vdd, vec![0.8, 1.0]),
+                Axis::neurons(vec![4, 32]),
+            ],
+            seeds: vec![42],
+            transfer: Some(PowerTransferTable::paper_nominal().points().to_vec()),
+        };
+        spec.validate().unwrap();
+
+        // Counts must stay within the compiled layer-size ceiling.
+        spec.axes[1] = Axis::neurons(vec![0]);
+        assert!(spec.validate().is_err(), "zero neurons");
+        spec.axes[1] = Axis::neurons(vec![MAX_LAYER_NEURONS + 1]);
+        assert!(spec.validate().is_err(), "oversized layer");
+        spec.axes[1] = Axis::neurons(vec![4, 32]);
+
+        // Only defenses with a circuit realisation compose with a layer.
+        spec.axes
+            .push(Axis::defenses(vec![DefenseSel::BandgapThreshold]));
+        assert!(spec.validate().is_err(), "transfer-table-only defense");
+        spec.axes.pop();
+        spec.axes.push(Axis::defenses(vec![
+            DefenseSel::None,
+            DefenseSel::Comparator,
+        ]));
+        spec.validate().unwrap();
+        spec.axes.pop();
+
+        let plan = spec.plan();
+        assert_eq!(plan.jobs.len(), 4);
+        assert_eq!(plan.jobs[0].attack.neurons, Some(4));
+        assert_eq!(
+            plan.jobs[1].attack.neurons,
+            Some(32),
+            "neurons is fast axis"
+        );
+        assert_eq!(plan.jobs[2].attack.vdd, Some(1.0));
+
+        // The text form round-trips the new axis bit-exactly.
+        let text = spec.to_string();
+        assert!(text.contains("axis neurons = 4, 32"), "{text}");
         let reparsed: ScenarioSpec = text.parse().unwrap();
         assert_eq!(reparsed, spec);
     }

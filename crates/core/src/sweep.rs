@@ -58,7 +58,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use neurofi_analog::PowerTransferTable;
+use neurofi_analog::{Engine, LayerNetlist, PowerTransferTable};
 
 use crate::attacks::{Attack, ExperimentSetup, RunMeasurement};
 use crate::detection::{self, DummyNeuronDetector};
@@ -398,6 +398,10 @@ pub struct CellAttack {
     /// [`cell_countermeasures`]), so it never touches the measured
     /// [`SweepCell`] bytes.
     pub detector: DetectorSel,
+    /// Layer-netlist component (set by a `neurons` axis): the cell
+    /// simulates the actual analog layer of this many neurons at the
+    /// cell's VDD instead of the network-level accuracy model.
+    pub neurons: Option<u64>,
 }
 
 impl CellAttack {
@@ -412,6 +416,7 @@ impl CellAttack {
             seed: None,
             defense: DefenseSel::None,
             detector: DetectorSel::None,
+            neurons: None,
         }
     }
 
@@ -426,6 +431,7 @@ impl CellAttack {
             seed: None,
             defense: DefenseSel::None,
             detector: DetectorSel::None,
+            neurons: None,
         }
     }
 
@@ -440,6 +446,7 @@ impl CellAttack {
             seed: None,
             defense: DefenseSel::None,
             detector: DetectorSel::None,
+            neurons: None,
         }
     }
 
@@ -723,6 +730,11 @@ pub fn execute_cell(
     transfer: Option<&PowerTransferTable>,
 ) -> Result<CellResult, Error> {
     let plan = compose_fault_plan(&job.attack, transfer, job.index)?;
+    if job.attack.neurons.is_some() {
+        // A layer-netlist cell validated like any other (above) but
+        // measures the actual analog layer, not the accuracy model.
+        return execute_layer_cell(job);
+    }
     let attack = ComposedAttack {
         kind: job.attack.family.kind(),
         plan,
@@ -747,6 +759,68 @@ pub fn execute_cell(
     Ok(CellResult {
         index: job.index,
         cell,
+    })
+}
+
+/// Executes one layer-netlist cell: simulates the analog layer at the
+/// cell's supply voltage on the sparse engine and reports the mean
+/// output spikes per neuron as the cell's accuracy, relative to the
+/// same layer at the nominal supply. Deterministic like every other
+/// cell — the circuit simulation is seed-free and single-threaded, so
+/// any executor derives the identical bytes.
+fn execute_layer_cell(job: &CellJob) -> Result<CellResult, Error> {
+    let attack = &job.attack;
+    let neurons = attack
+        .neurons
+        .ok_or_else(|| Error::Invalid(format!("cell {} has no neurons component", job.index)))?;
+    if neurons == 0 || neurons > crate::scenario::MAX_LAYER_NEURONS {
+        return Err(Error::Invalid(format!(
+            "layer cell {} has {neurons} neurons, outside [1, {}]",
+            job.index,
+            crate::scenario::MAX_LAYER_NEURONS
+        )));
+    }
+    // §V defenses with a circuit realisation swap the neuron design;
+    // the transfer-table-only hardenings would be silent no-ops here.
+    let neuron = match attack.defense {
+        DefenseSel::None => neurofi_analog::AxonHillock::default(),
+        DefenseSel::SizedNeuron => {
+            neurofi_analog::AxonHillock::default().with_first_inverter_ratio(32.0)
+        }
+        DefenseSel::Comparator => neurofi_analog::AxonHillock::default().with_comparator_stage(),
+        other => {
+            return Err(Error::Invalid(format!(
+                "layer cell {} defense `{other}` has no circuit realisation",
+                job.index
+            )))
+        }
+    };
+    let vdd = attack.vdd.unwrap_or(detection::VDD_NOMINAL);
+    let mut layer = LayerNetlist::paper_layer(neurons as usize);
+    layer.neuron = neuron;
+    let (tstop, dt) = LayerNetlist::cell_window();
+    let attacked = layer
+        .clone()
+        .with_vdd(vdd)
+        .simulate(Engine::Sparse, tstop, dt)
+        .map_err(Error::Circuit)?;
+    let accuracy = attacked.mean_spikes_per_neuron();
+    // The reference is the identical layer at the nominal supply; at
+    // nominal the cell is its own reference (percent change 0) with no
+    // second simulation.
+    let reference = if vdd == detection::VDD_NOMINAL {
+        accuracy
+    } else {
+        layer
+            .with_vdd(detection::VDD_NOMINAL)
+            .simulate(Engine::Sparse, tstop, dt)
+            .map_err(Error::Circuit)?
+            .mean_spikes_per_neuron()
+    };
+    let (rel_change, fraction) = attack.coordinates();
+    Ok(CellResult {
+        index: job.index,
+        cell: finish_cell(rel_change, fraction, accuracy, reference),
     })
 }
 
@@ -1455,6 +1529,7 @@ mod tests {
                 seed: None,
                 defense: DefenseSel::None,
                 detector: DetectorSel::None,
+                neurons: None,
             },
         };
         assert!(execute_cell(&cache, &[1], 0.5, &empty_family, None).is_err());
@@ -1476,6 +1551,62 @@ mod tests {
             },
         };
         assert!(execute_cell(&cache, &[1], 0.5, &detected_without_vdd, None).is_err());
+    }
+
+    #[test]
+    fn layer_cells_simulate_the_analog_layer() {
+        let setup = tiny_setup();
+        let cache = BaselineCache::new(&setup);
+        let table = PowerTransferTable::paper_nominal();
+        // At the nominal supply the layer is its own reference: no
+        // second simulation and exactly zero relative change.
+        let nominal = CellJob {
+            index: 0,
+            attack: CellAttack {
+                neurons: Some(2),
+                ..CellAttack::vdd(1.0)
+            },
+        };
+        let cell = execute_cell(&cache, &[1], 0.5, &nominal, Some(&table))
+            .unwrap()
+            .cell;
+        assert!(cell.accuracy > 0.0, "nominal layer fires: {cell:?}");
+        assert_eq!(cell.relative_change_percent, 0.0);
+        // Undervolting the Axon Hillock layer speeds it up (Fig. 6b),
+        // so the attacked cell moves away from the reference.
+        let attacked = CellJob {
+            index: 1,
+            attack: CellAttack {
+                neurons: Some(2),
+                ..CellAttack::vdd(0.8)
+            },
+        };
+        let hit = execute_cell(&cache, &[1], 0.5, &attacked, Some(&table))
+            .unwrap()
+            .cell;
+        assert!(hit.accuracy >= cell.accuracy, "{hit:?}");
+        assert!(hit.relative_change_percent.is_finite());
+        // Transfer-table-only hardenings have no circuit to build.
+        let unbuildable = CellJob {
+            index: 2,
+            attack: CellAttack {
+                neurons: Some(2),
+                defense: DefenseSel::RobustDriver,
+                ..CellAttack::vdd(0.8)
+            },
+        };
+        assert!(execute_cell(&cache, &[1], 0.5, &unbuildable, Some(&table)).is_err());
+        // Hostile peers can't smuggle an empty or oversized layer.
+        for bad in [0, crate::scenario::MAX_LAYER_NEURONS + 1] {
+            let job = CellJob {
+                index: 3,
+                attack: CellAttack {
+                    neurons: Some(bad),
+                    ..CellAttack::vdd(0.8)
+                },
+            };
+            assert!(execute_cell(&cache, &[1], 0.5, &job, Some(&table)).is_err());
+        }
     }
 
     #[test]

@@ -651,11 +651,16 @@ mod tests {
             detector: DetectorSel::DummyNeuron,
             ..defended
         };
+        let layered = CellAttack {
+            neurons: Some(32),
+            ..legacy
+        };
         let keys = [
             spec.cell_digest(&legacy),
             spec.cell_digest(&defended),
             spec.cell_digest(&detected),
             spec.cell_digest(&both),
+            spec.cell_digest(&layered),
         ];
         for (i, a) in keys.iter().enumerate() {
             for b in &keys[i + 1..] {

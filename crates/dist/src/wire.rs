@@ -60,7 +60,14 @@ use crate::campaign::{CampaignSpec, NamedCampaign, SetupBase, SetupSpec};
 /// *not* re-keyed for legacy cells: they hash through
 /// [`encode_attack_digest`], which only appends the countermeasure
 /// suffix when a cell actually carries one.
-pub const PROTOCOL_VERSION: u32 = 6;
+///
+/// v7: the whole-layer netlist workload. Scenario specs may carry a
+/// `neurons` axis (tag 9, integer values), and cell jobs carry the
+/// resolved optional neuron-count component after the countermeasure
+/// tags. Store digests follow the v6 pattern: legacy cells keep their
+/// exact key, and a layer cell appends a `0x02` marker followed by its
+/// neuron count ([`encode_attack_digest`]).
+pub const PROTOCOL_VERSION: u32 = 7;
 
 /// Upper bound on a single frame's payload (16 MiB). The largest real
 /// message is an [`Message::Assign`] batch of cell jobs (~40 bytes per
@@ -628,9 +635,10 @@ fn decode_opt_f64(dec: &mut Decoder<'_>) -> Result<Option<f64>, WireError> {
 
 /// Encodes one resolved composite [`CellAttack`] (family, then the
 /// optional threshold / theta / VDD / seed components, then the v6
-/// defense/detector tags). This is the job payload inside
-/// [`encode_cell_job`]; content digests hash through
-/// [`encode_attack_digest`] instead, whose legacy prefix is frozen.
+/// defense/detector tags, then the v7 neuron-count component). This is
+/// the job payload inside [`encode_cell_job`]; content digests hash
+/// through [`encode_attack_digest`] instead, whose legacy prefix is
+/// frozen.
 pub fn encode_attack(enc: &mut Encoder, attack: &CellAttack) {
     encode_family(enc, attack.family);
     encode_opt_f64(enc, attack.rel_change);
@@ -646,6 +654,13 @@ pub fn encode_attack(enc: &mut Encoder, attack: &CellAttack) {
     }
     encode_defense_sel(enc, attack.defense);
     encode_detector_sel(enc, attack.detector);
+    match attack.neurons {
+        None => enc.u8(0),
+        Some(neurons) => {
+            enc.u8(1);
+            enc.u64(neurons);
+        }
+    }
 }
 
 /// Encodes the fault-plan half of a cell's content digest. The layout
@@ -653,11 +668,13 @@ pub fn encode_attack(enc: &mut Encoder, attack: &CellAttack) {
 /// stream, so every legacy (undefended, undetected) cell keeps its
 /// exact store key across the protocol bump — existing stores keep
 /// deduping. Cells that carry a countermeasure append a `0x01` marker
-/// followed by the defense and detector tags; the marker cannot collide
-/// with a legacy stream's continuation because a digest stream follows
-/// the attack with a seeds `seq_len` whose leading byte is `0x00` for
-/// any realistic seed count (< 2^24). The golden digest vectors pin
-/// both halves of this contract.
+/// followed by the defense and detector tags, and cells that carry a
+/// neuron-count component append a `0x02` marker followed by the count
+/// (after the `0x01` block when both are present); the markers cannot
+/// collide with a legacy stream's continuation because a digest stream
+/// follows the attack with a seeds `seq_len` whose leading byte is
+/// `0x00` for any realistic seed count (< 2^24). The golden digest
+/// vectors pin all three halves of this contract.
 pub fn encode_attack_digest(enc: &mut Encoder, attack: &CellAttack) {
     encode_family(enc, attack.family);
     encode_opt_f64(enc, attack.rel_change);
@@ -675,6 +692,10 @@ pub fn encode_attack_digest(enc: &mut Encoder, attack: &CellAttack) {
         enc.u8(1);
         encode_defense_sel(enc, attack.defense);
         encode_detector_sel(enc, attack.detector);
+    }
+    if let Some(neurons) = attack.neurons {
+        enc.u8(2);
+        enc.u64(neurons);
     }
 }
 
@@ -703,6 +724,11 @@ pub fn decode_cell_job(dec: &mut Decoder<'_>) -> Result<CellJob, WireError> {
     };
     let defense = decode_defense_sel(dec)?;
     let detector = decode_detector_sel(dec)?;
+    let neurons = match dec.u8()? {
+        0 => None,
+        1 => Some(dec.u64()?),
+        tag => return Err(WireError::Invalid(format!("unknown option tag {tag}"))),
+    };
     Ok(CellJob {
         index,
         attack: CellAttack {
@@ -714,6 +740,7 @@ pub fn decode_cell_job(dec: &mut Decoder<'_>) -> Result<CellJob, WireError> {
             seed,
             defense,
             detector,
+            neurons,
         },
     })
 }
@@ -803,6 +830,7 @@ fn axis_kind_tag(kind: AxisKind) -> u8 {
         AxisKind::Seed => 6,
         AxisKind::Defense => 7,
         AxisKind::Detector => 8,
+        AxisKind::Neurons => 9,
     }
 }
 
@@ -817,6 +845,7 @@ fn decode_axis_kind(dec: &mut Decoder<'_>) -> Result<AxisKind, WireError> {
         6 => Ok(AxisKind::Seed),
         7 => Ok(AxisKind::Defense),
         8 => Ok(AxisKind::Detector),
+        9 => Ok(AxisKind::Neurons),
         tag => Err(WireError::Invalid(format!("unknown axis tag {tag}"))),
     }
 }
@@ -854,6 +883,12 @@ fn encode_axis(enc: &mut Encoder, axis: &Axis) {
                 encode_detector_sel(enc, sel);
             }
         }
+        AxisValues::Neurons(values) => {
+            enc.seq_len(values.len());
+            for &n in values {
+                enc.u64(n);
+            }
+        }
     }
 }
 
@@ -873,6 +908,10 @@ fn decode_axis(dec: &mut Decoder<'_>) -> Result<Axis, WireError> {
         AxisKind::Seed => {
             let len = dec.seq_len(8)?;
             AxisValues::Seed((0..len).map(|_| dec.u64()).collect::<Result<Vec<_>, _>>()?)
+        }
+        AxisKind::Neurons => {
+            let len = dec.seq_len(8)?;
+            AxisValues::Neurons((0..len).map(|_| dec.u64()).collect::<Result<Vec<_>, _>>()?)
         }
         AxisKind::Defense => {
             let len = dec.seq_len(1)?;
@@ -1269,6 +1308,15 @@ mod tests {
                             ..CellAttack::vdd(0.85)
                         },
                     },
+                    // A v7 layer-netlist cell: the VDD attack simulated
+                    // against the actual 32-neuron analog layer.
+                    CellJob {
+                        index: 4,
+                        attack: CellAttack {
+                            neurons: Some(32),
+                            ..CellAttack::vdd(0.85)
+                        },
+                    },
                 ],
             },
             Message::Results {
@@ -1355,10 +1403,11 @@ mod tests {
 
     #[test]
     fn attack_digest_stream_freezes_the_legacy_prefix() {
-        // The v6 job payload appends two unconditional tag bytes; the
-        // digest stream must instead be the frozen pre-v6 layout for
-        // legacy cells, with the countermeasure suffix only when a cell
-        // carries one.
+        // The v7 job payload appends three unconditional tag bytes
+        // (defense, detector, neurons option); the digest stream must
+        // instead be the frozen pre-v6 layout for legacy cells, with
+        // the countermeasure and neuron suffixes only when a cell
+        // carries them.
         let legacy = CellAttack {
             vdd: Some(0.9),
             seed: Some(7),
@@ -1370,7 +1419,7 @@ mod tests {
         let mut digest = Encoder::new();
         encode_attack_digest(&mut digest, &legacy);
         let digest = digest.finish();
-        assert_eq!(digest, job[..job.len() - 2].to_vec());
+        assert_eq!(digest, job[..job.len() - 3].to_vec());
 
         let armed = CellAttack {
             defense: DefenseSel::Comparator,
@@ -1383,6 +1432,30 @@ mod tests {
         let mut expected = digest.clone();
         expected.extend_from_slice(&[1, 4, 1]);
         assert_eq!(armed_digest, expected);
+
+        // A layer cell appends the 0x02 marker + count; combined with a
+        // countermeasure the 0x01 block comes first.
+        let layered = CellAttack {
+            neurons: Some(32),
+            ..legacy
+        };
+        let mut layer_digest = Encoder::new();
+        encode_attack_digest(&mut layer_digest, &layered);
+        let mut expected = digest.clone();
+        expected.extend_from_slice(&[2, 0, 0, 0, 0, 0, 0, 0, 32]);
+        assert_eq!(layer_digest.finish(), expected);
+
+        let both = CellAttack {
+            defense: DefenseSel::Comparator,
+            detector: DetectorSel::DummyNeuron,
+            neurons: Some(32),
+            ..legacy
+        };
+        let mut both_digest = Encoder::new();
+        encode_attack_digest(&mut both_digest, &both);
+        let mut expected = digest;
+        expected.extend_from_slice(&[1, 4, 1, 2, 0, 0, 0, 0, 0, 0, 0, 32]);
+        assert_eq!(both_digest.finish(), expected);
     }
 
     #[test]

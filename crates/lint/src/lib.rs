@@ -13,8 +13,8 @@
 //! Rules:
 //! * `determinism` — no unordered collections / clocks / ambient
 //!   randomness in the deterministic zones ([`rules::determinism`]).
-//! * `panic-ratchet` — per-file panic-site counts in `dist`/`store`
-//!   only go down ([`rules::panics`]).
+//! * `panic-ratchet` — per-file panic-site counts in `dist`/`store`/
+//!   `solver`/`spice` only go down ([`rules::panics`]).
 //! * `lock-order` — the coordinator's Mutex graph stays acyclic
 //!   ([`rules::locks`]).
 //! * `wire-coverage` — every `Message` variant encodes, decodes, and is
@@ -228,8 +228,8 @@ pub fn load_baseline(path: &Path) -> io::Result<BTreeMap<String, usize>> {
 fn render_baseline(counts: &BTreeMap<String, Vec<rules::panics::PanicSite>>) -> String {
     let mut s = String::from(
         "# Panic-freedom ratchet: per-file unwrap/expect/index counts in non-test\n\
-         # dist/store source. This file only goes DOWN. Bless intentional\n\
-         # reductions with `cargo run -p lint -- --update-baseline`.\n",
+         # dist/store/solver/spice source. This file only goes DOWN. Bless\n\
+         # intentional reductions with `cargo run -p lint -- --update-baseline`.\n",
     );
     for (file, sites) in counts {
         if !sites.is_empty() {
@@ -240,9 +240,9 @@ fn render_baseline(counts: &BTreeMap<String, Vec<rules::panics::PanicSite>>) -> 
 }
 
 /// The crates whose `src/` trees form the deterministic zone.
-const DETERMINISM_ZONE: &[&str] = &["core", "dist", "store", "bench"];
+const DETERMINISM_ZONE: &[&str] = &["core", "dist", "store", "bench", "solver"];
 /// The crates under the panic ratchet.
-const PANIC_ZONE: &[&str] = &["dist", "store"];
+const PANIC_ZONE: &[&str] = &["dist", "store", "solver", "spice"];
 
 /// Lints the real workspace rooted at `root`. With `update_baseline`
 /// the panic baseline file is rewritten from the current counts instead
@@ -260,7 +260,7 @@ pub fn lint_tree(root: &Path, update_baseline: bool) -> io::Result<Report> {
         }
     }
 
-    // panic-ratchet: per-file counts across dist + store src.
+    // panic-ratchet: per-file counts across dist/store/solver/spice src.
     let mut counts: BTreeMap<String, Vec<rules::panics::PanicSite>> = BTreeMap::new();
     for krate in PANIC_ZONE {
         let src = root.join("crates").join(krate).join("src");

@@ -1,0 +1,112 @@
+//! Deterministic homotopy schedules for robust DC operating points.
+//!
+//! When plain Newton fails, SPICE engines walk the circuit onto the
+//! solution manifold: first by starting with a large gmin (every node
+//! strongly tied to ground) and relaxing it toward the target
+//! ([`GminSchedule`]), then — if that also fails — by ramping all
+//! source values up from zero ([`SourceSchedule`]). Both schedules are
+//! pure value iterators so the sequences are identical on every run
+//! and host, and the DC driver in `neurofi-spice` consumes them
+//! verbatim; the schedules reproduce the exact sequences the dense
+//! engine has always used, keeping its golden vectors byte-identical.
+
+/// Relaxation schedule for gmin stepping: `10^-start … 10^-end` in
+/// decade steps, floored at the caller's target gmin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GminSchedule {
+    /// First exponent (largest gmin, strongest damping).
+    pub start_exponent: f64,
+    /// Last exponent (smallest scheduled gmin).
+    pub end_exponent: f64,
+    /// The analysis target gmin; scheduled values never go below it.
+    pub floor: f64,
+}
+
+impl GminSchedule {
+    /// The classic 3 → 12 decade ramp used by the DC driver.
+    pub fn standard(floor: f64) -> GminSchedule {
+        GminSchedule {
+            start_exponent: 3.0,
+            end_exponent: 12.0,
+            floor,
+        }
+    }
+
+    /// The gmin values to solve at, strongest damping first.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        let steps = if self.end_exponent >= self.start_exponent {
+            (self.end_exponent - self.start_exponent) as usize + 1
+        } else {
+            0
+        };
+        (0..steps).map(move |k| {
+            let exponent = self.start_exponent + k as f64;
+            10.0f64.powf(-exponent).max(self.floor)
+        })
+    }
+}
+
+/// Ramp schedule for source stepping: scales every independent source
+/// from `1/steps` up to 1 in equal increments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceSchedule {
+    /// Number of ramp points (the last scale is exactly 1.0).
+    pub steps: usize,
+}
+
+impl SourceSchedule {
+    /// The 20-point ramp used by the DC driver.
+    pub fn standard() -> SourceSchedule {
+        SourceSchedule { steps: 20 }
+    }
+
+    /// The source scale factors, ascending, ending at exactly 1.0.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        let steps = self.steps;
+        (1..=steps).map(move |k| k as f64 / steps as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gmin_standard_matches_legacy_sequence() {
+        // The dense DC driver historically ran exponent 3.0..=12.0 in
+        // 1.0 steps with `10^-e  max  floor`; the schedule must
+        // reproduce it exactly for bit-identical golden vectors.
+        let floor = 1.0e-12;
+        let got: Vec<f64> = GminSchedule::standard(floor).values().collect();
+        let mut want = Vec::new();
+        let mut exponent = 3.0f64;
+        while exponent <= 12.0 {
+            want.push(10.0f64.powf(-exponent).max(floor));
+            exponent += 1.0;
+        }
+        assert_eq!(got, want);
+        assert_eq!(got.len(), 10);
+    }
+
+    #[test]
+    fn gmin_respects_floor() {
+        let got: Vec<f64> = GminSchedule::standard(1.0e-6).values().collect();
+        assert!(got.iter().all(|&g| g >= 1.0e-6));
+        assert_eq!(*got.last().unwrap(), 1.0e-6);
+    }
+
+    #[test]
+    fn source_standard_matches_legacy_sequence() {
+        let got: Vec<f64> = SourceSchedule::standard().values().collect();
+        let want: Vec<f64> = (1..=20).map(|k| k as f64 / 20.0).collect();
+        assert_eq!(got, want);
+        assert_eq!(*got.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let a: Vec<f64> = GminSchedule::standard(1.0e-12).values().collect();
+        let b: Vec<f64> = GminSchedule::standard(1.0e-12).values().collect();
+        assert_eq!(a, b);
+    }
+}

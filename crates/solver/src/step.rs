@@ -1,0 +1,231 @@
+//! Error-weighted adaptive timestep control for transient analysis.
+//!
+//! The controller implements the classic predictor/corrector scheme:
+//! the transient driver extrapolates the previous solution forward
+//! ([`extrapolate`]), solves the implicit corrector step, and asks the
+//! controller whether the difference between the two — the local
+//! truncation error estimate — fits inside the per-unknown error
+//! weight `reltol·|x| + abstol`. Accepted steps may grow the next
+//! step, rejected steps shrink *strictly monotonically* until either
+//! the step fits or `h_min` is reached.
+//!
+//! The arithmetic is pure and allocation-free so the invariants can be
+//! property-tested directly: for any finite inputs, `decide` accepts
+//! iff the error ratio is ≤ 1, and every rejection returns a strictly
+//! smaller retry step (down to the `h_min` floor).
+
+/// Tuning knobs for the adaptive step controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepControl {
+    /// Relative error weight per unknown.
+    pub reltol: f64,
+    /// Absolute error-weight floor per unknown.
+    pub abstol: f64,
+    /// Smallest step the controller will return; the driver treats a
+    /// rejection at `h_min` as a hard convergence failure.
+    pub h_min: f64,
+    /// Largest step the controller will return.
+    pub h_max: f64,
+    /// Safety factor applied to the optimal-step estimate (< 1).
+    pub safety: f64,
+    /// Maximum per-accept step growth factor.
+    pub grow_max: f64,
+    /// Minimum per-reject shrink factor (a reject multiplies the step
+    /// by a factor in `[shrink_min, safety)`).
+    pub shrink_min: f64,
+}
+
+impl Default for StepControl {
+    fn default() -> StepControl {
+        StepControl {
+            reltol: 1.0e-3,
+            abstol: 1.0e-6,
+            h_min: 1.0e-15,
+            h_max: f64::INFINITY,
+            safety: 0.9,
+            grow_max: 2.0,
+            shrink_min: 0.1,
+        }
+    }
+}
+
+/// Outcome of [`StepControl::decide`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepDecision {
+    /// The step satisfied the error weights; advance and use `next_h`
+    /// for the following step.
+    Accept {
+        /// Step size to try next, already clamped to `[h_min, h_max]`.
+        next_h: f64,
+    },
+    /// The step violated the error weights; retry the same time point
+    /// with the strictly smaller `retry_h`.
+    Reject {
+        /// Shrunk step size, floored at `h_min`.
+        retry_h: f64,
+    },
+}
+
+impl StepControl {
+    /// The worst per-unknown ratio of estimated local error to its
+    /// error weight: `max_i |corrected_i − predicted_i| /
+    /// (reltol·max(|corrected_i|, |reference_i|) + abstol)`.
+    ///
+    /// `reference` is the solution at the previous accepted step, so a
+    /// fast-moving unknown is weighted by its recent magnitude rather
+    /// than only the new value. Non-finite arithmetic yields
+    /// `f64::INFINITY` (always rejected), never NaN.
+    pub fn error_ratio(&self, corrected: &[f64], predicted: &[f64], reference: &[f64]) -> f64 {
+        debug_assert_eq!(corrected.len(), predicted.len());
+        debug_assert_eq!(corrected.len(), reference.len());
+        let mut worst = 0.0f64;
+        for ((&c, &p), &r) in corrected.iter().zip(predicted).zip(reference) {
+            let weight = self.reltol * c.abs().max(r.abs()) + self.abstol;
+            let ratio = (c - p).abs() / weight;
+            if !ratio.is_finite() {
+                return f64::INFINITY;
+            }
+            if ratio > worst {
+                worst = ratio;
+            }
+        }
+        worst
+    }
+
+    /// Accept/reject decision for a step of size `h` whose error ratio
+    /// was `ratio` (from [`error_ratio`](StepControl::error_ratio)).
+    ///
+    /// The step-size update uses the first-order (backward Euler)
+    /// truncation model `err ∝ h²`: the optimal factor is
+    /// `safety / √ratio`, clamped to `[shrink_min, grow_max]`. Because
+    /// `safety < 1`, any `ratio > 1` shrinks the step strictly.
+    pub fn decide(&self, h: f64, ratio: f64) -> StepDecision {
+        if ratio <= 1.0 {
+            let factor = if ratio > 0.0 {
+                (self.safety / ratio.sqrt()).min(self.grow_max)
+            } else {
+                self.grow_max
+            };
+            StepDecision::Accept {
+                next_h: (h * factor.max(self.safety)).clamp(self.h_min, self.h_max),
+            }
+        } else {
+            // ratio > 1 or non-finite (NaN compares false above).
+            let factor = if ratio.is_finite() {
+                (self.safety / ratio.sqrt()).max(self.shrink_min)
+            } else {
+                self.shrink_min
+            };
+            StepDecision::Reject {
+                retry_h: (h * factor).max(self.h_min),
+            }
+        }
+    }
+}
+
+/// Linear predictor: extrapolates from the previous two accepted
+/// solutions (`x_prev` at distance `h_prev` behind `x_curr`) forward
+/// by `h_next`, writing into `out`.
+pub fn extrapolate(x_prev: &[f64], x_curr: &[f64], h_prev: f64, h_next: f64, out: &mut [f64]) {
+    debug_assert_eq!(x_prev.len(), x_curr.len());
+    debug_assert_eq!(x_prev.len(), out.len());
+    let r = if h_prev > 0.0 { h_next / h_prev } else { 0.0 };
+    for ((o, &c), &p) in out.iter_mut().zip(x_curr).zip(x_prev) {
+        *o = c + (c - p) * r;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_grows_step() {
+        let ctrl = StepControl::default();
+        let ratio = ctrl.error_ratio(&[1.0, 2.0], &[1.0, 2.0], &[1.0, 2.0]);
+        assert_eq!(ratio, 0.0);
+        match ctrl.decide(1.0e-9, ratio) {
+            StepDecision::Accept { next_h } => {
+                assert!((next_h - 2.0e-9).abs() < 1e-24, "{next_h}");
+            }
+            StepDecision::Reject { .. } => panic!("zero error must accept"),
+        }
+    }
+
+    #[test]
+    fn large_error_rejects_and_shrinks() {
+        let ctrl = StepControl::default();
+        let ratio = ctrl.error_ratio(&[1.0], &[2.0], &[1.0]);
+        assert!(ratio > 1.0);
+        match ctrl.decide(1.0e-9, ratio) {
+            StepDecision::Reject { retry_h } => assert!(retry_h < 1.0e-9),
+            StepDecision::Accept { .. } => panic!("must reject"),
+        }
+    }
+
+    #[test]
+    fn boundary_ratio_one_accepts_without_growing() {
+        let ctrl = StepControl::default();
+        match ctrl.decide(1.0e-9, 1.0) {
+            StepDecision::Accept { next_h } => {
+                // factor = max(safety/1, safety) = 0.9: mild shrink is
+                // allowed on a barely-passing step, growth is not.
+                assert!(next_h <= 1.0e-9);
+                assert!(next_h >= 0.8e-9);
+            }
+            StepDecision::Reject { .. } => panic!("ratio == 1 accepts"),
+        }
+    }
+
+    #[test]
+    fn nan_error_is_rejected_with_floor_shrink() {
+        let ctrl = StepControl::default();
+        let ratio = ctrl.error_ratio(&[f64::NAN], &[0.0], &[0.0]);
+        assert!(ratio.is_infinite());
+        match ctrl.decide(1.0e-9, ratio) {
+            StepDecision::Reject { retry_h } => {
+                assert!((retry_h - 1.0e-10).abs() < 1e-24);
+            }
+            StepDecision::Accept { .. } => panic!("NaN must reject"),
+        }
+    }
+
+    #[test]
+    fn h_min_floors_the_retry() {
+        let ctrl = StepControl {
+            h_min: 1.0e-12,
+            ..Default::default()
+        };
+        match ctrl.decide(1.5e-12, 1.0e6) {
+            StepDecision::Reject { retry_h } => assert_eq!(retry_h, 1.0e-12),
+            StepDecision::Accept { .. } => panic!("must reject"),
+        }
+    }
+
+    #[test]
+    fn h_max_caps_growth() {
+        let ctrl = StepControl {
+            h_max: 1.0e-8,
+            ..Default::default()
+        };
+        match ctrl.decide(9.0e-9, 0.0) {
+            StepDecision::Accept { next_h } => assert_eq!(next_h, 1.0e-8),
+            StepDecision::Reject { .. } => panic!("must accept"),
+        }
+    }
+
+    #[test]
+    fn extrapolate_is_linear() {
+        let mut out = vec![0.0; 2];
+        extrapolate(&[0.0, 10.0], &[1.0, 8.0], 1.0e-9, 2.0e-9, &mut out);
+        assert!((out[0] - 3.0).abs() < 1e-12);
+        assert!((out[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extrapolate_degenerate_h_prev_holds_value() {
+        let mut out = vec![0.0];
+        extrapolate(&[5.0], &[7.0], 0.0, 1.0e-9, &mut out);
+        assert_eq!(out[0], 7.0);
+    }
+}

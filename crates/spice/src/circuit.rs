@@ -2,9 +2,34 @@
 
 use crate::device::MosModel;
 use crate::error::{Error, Result};
-use crate::mna::{DenseMatrix, SolverWorkspace};
+use crate::mna::SolverWorkspace;
 use crate::netlist::{Element, Netlist, NodeId};
 use crate::waveform::Waveform;
+use neurofi_solver::{
+    GminSchedule, LinearSolver, SolverStats, SourceSchedule, SparseWorkspace, StepControl,
+    StepDecision,
+};
+
+/// Which linear-solver engine an analysis runs on.
+///
+/// [`Engine::Dense`] is the default and the regression-locked path:
+/// every analysis entry point without an explicit engine
+/// ([`Circuit::op`], [`Circuit::tran`], [`Circuit::dc_sweep`])
+/// monomorphises the same driver code over the dense workspace, so
+/// paper-size circuits produce byte-identical results to the
+/// pre-engine-trait implementation. [`Engine::Sparse`] switches the
+/// same drivers onto [`SparseWorkspace`] — pattern-learning CSC
+/// assembly over a Markowitz LU with symbolic reuse — which wins once
+/// circuits grow past a few hundred unknowns (whole-layer netlists).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Dense partial-pivot LU (the bit-exact default for paper-size
+    /// circuits).
+    #[default]
+    Dense,
+    /// Sparse Markowitz LU with frozen-pattern refactorisation.
+    Sparse,
+}
 
 /// Nonlinear-solver tuning knobs.
 ///
@@ -70,6 +95,13 @@ pub struct TranSpec {
     pub method: Integration,
     /// Solver options.
     pub options: SolveOptions,
+    /// Error-weighted adaptive timestep control. `None` (the default)
+    /// keeps the classic fixed-step engine: base step `dt`, halving
+    /// only on Newton failure — the bit-exact path every golden vector
+    /// is locked to. `Some` enables predictor/corrector step
+    /// accept/reject: `dt` becomes the *initial* step and the
+    /// controller grows or shrinks within `[h_min, h_max]`.
+    pub adaptive: Option<StepControl>,
 }
 
 impl TranSpec {
@@ -93,6 +125,7 @@ impl TranSpec {
             record_every: 1,
             method: Integration::BackwardEuler,
             options: SolveOptions::default(),
+            adaptive: None,
         }
     }
 
@@ -125,6 +158,15 @@ impl TranSpec {
     #[must_use]
     pub fn with_options(mut self, options: SolveOptions) -> TranSpec {
         self.options = options;
+        self
+    }
+
+    /// Enables error-weighted adaptive timestepping with the given
+    /// controller; `dt` becomes the initial step instead of the fixed
+    /// step.
+    #[must_use]
+    pub fn with_adaptive(mut self, control: StepControl) -> TranSpec {
+        self.adaptive = Some(control);
         self
     }
 }
@@ -337,66 +379,67 @@ impl Circuit {
     }
 
     /// Stamps the linearised system `A·x_new = b` at the operating point
-    /// `x`. `dyn_state` selects DC (None: capacitors open) or transient
-    /// (Some: companion models with step `h`).
+    /// `x` into any [`LinearSolver`]. `dyn_state` selects DC (None:
+    /// capacitors open) or transient (Some: companion models with step
+    /// `h`). The stamp sequence is a pure function of topology and
+    /// mode, which the sparse engine exploits to freeze its pattern.
     #[allow(clippy::too_many_arguments)]
-    fn stamp(
+    fn stamp<S: LinearSolver>(
         &self,
-        a: &mut DenseMatrix,
-        b: &mut [f64],
+        ws: &mut S,
         x: &[f64],
         t: f64,
         gmin: f64,
         src_scale: f64,
         dyn_state: Option<(&DynState, f64, Integration)>,
     ) {
-        a.reset();
-        b.fill(0.0);
+        ws.begin();
 
         // gmin from every node to ground keeps the matrix well-posed.
         for node in 1..self.node_count {
             let i = node - 1;
-            a.add(i, i, gmin);
+            ws.add(i, i, gmin);
         }
 
         for r in &self.resistors {
             let (pi, ni) = (self.node_unknown(r.p), self.node_unknown(r.n));
             if let Some(i) = pi {
-                a.add(i, i, r.g);
+                ws.add(i, i, r.g);
             }
             if let Some(i) = ni {
-                a.add(i, i, r.g);
+                ws.add(i, i, r.g);
             }
             if let (Some(i), Some(j)) = (pi, ni) {
-                a.add(i, j, -r.g);
-                a.add(j, i, -r.g);
+                ws.add(i, j, -r.g);
+                ws.add(j, i, -r.g);
             }
         }
 
         if let Some((state, h, method)) = dyn_state {
-            for (idx, cap) in self.caps.iter().enumerate() {
+            for ((cap, &v_prev), &i_prev) in self.caps.iter().zip(&state.v_prev).zip(&state.i_prev)
+            {
                 let (geq, ieq) = match method {
                     Integration::BackwardEuler => {
                         let geq = cap.c / h;
-                        (geq, geq * state.v_prev[idx])
+                        (geq, geq * v_prev)
                     }
                     Integration::Trapezoidal => {
                         let geq = 2.0 * cap.c / h;
-                        (geq, geq * state.v_prev[idx] + state.i_prev[idx])
+                        (geq, geq * v_prev + i_prev)
                     }
                 };
                 let (pi, ni) = (self.node_unknown(cap.p), self.node_unknown(cap.n));
                 if let Some(i) = pi {
-                    a.add(i, i, geq);
-                    b[i] += ieq;
+                    ws.add(i, i, geq);
+                    ws.rhs_add(i, ieq);
                 }
                 if let Some(i) = ni {
-                    a.add(i, i, geq);
-                    b[i] -= ieq;
+                    ws.add(i, i, geq);
+                    ws.rhs_add(i, -ieq);
                 }
                 if let (Some(i), Some(j)) = (pi, ni) {
-                    a.add(i, j, -geq);
-                    a.add(j, i, -geq);
+                    ws.add(i, j, -geq);
+                    ws.add(j, i, -geq);
                 }
             }
         }
@@ -406,23 +449,23 @@ impl Circuit {
             let k = self.branch_unknown(vs.branch);
             let (pi, ni) = (self.node_unknown(vs.p), self.node_unknown(vs.n));
             if let Some(i) = pi {
-                a.add(i, k, 1.0);
-                a.add(k, i, 1.0);
+                ws.add(i, k, 1.0);
+                ws.add(k, i, 1.0);
             }
             if let Some(i) = ni {
-                a.add(i, k, -1.0);
-                a.add(k, i, -1.0);
+                ws.add(i, k, -1.0);
+                ws.add(k, i, -1.0);
             }
-            b[k] = value;
+            ws.rhs_set(k, value);
         }
 
         for is in &self.isources {
             let value = is.wave.value(t) * src_scale;
             if let Some(i) = self.node_unknown(is.p) {
-                b[i] -= value;
+                ws.rhs_add(i, -value);
             }
             if let Some(i) = self.node_unknown(is.n) {
-                b[i] += value;
+                ws.rhs_add(i, value);
             }
         }
 
@@ -430,18 +473,18 @@ impl Circuit {
             let k = self.branch_unknown(e.branch);
             let (pi, ni) = (self.node_unknown(e.p), self.node_unknown(e.n));
             if let Some(i) = pi {
-                a.add(i, k, 1.0);
-                a.add(k, i, 1.0);
+                ws.add(i, k, 1.0);
+                ws.add(k, i, 1.0);
             }
             if let Some(i) = ni {
-                a.add(i, k, -1.0);
-                a.add(k, i, -1.0);
+                ws.add(i, k, -1.0);
+                ws.add(k, i, -1.0);
             }
             if let Some(i) = self.node_unknown(e.cp) {
-                a.add(k, i, -e.gain);
+                ws.add(k, i, -e.gain);
             }
             if let Some(i) = self.node_unknown(e.cn) {
-                a.add(k, i, e.gain);
+                ws.add(k, i, e.gain);
             }
         }
 
@@ -450,18 +493,18 @@ impl Circuit {
             let (cpi, cni) = (self.node_unknown(e.cp), self.node_unknown(e.cn));
             if let Some(i) = pi {
                 if let Some(j) = cpi {
-                    a.add(i, j, e.gm);
+                    ws.add(i, j, e.gm);
                 }
                 if let Some(j) = cni {
-                    a.add(i, j, -e.gm);
+                    ws.add(i, j, -e.gm);
                 }
             }
             if let Some(i) = ni {
                 if let Some(j) = cpi {
-                    a.add(i, j, -e.gm);
+                    ws.add(i, j, -e.gm);
                 }
                 if let Some(j) = cni {
-                    a.add(i, j, e.gm);
+                    ws.add(i, j, e.gm);
                 }
             }
         }
@@ -484,30 +527,30 @@ impl Circuit {
             if let Some(di) = self.node_unknown(m.d) {
                 for (node, gpart) in terminals {
                     if let Some(j) = self.node_unknown(node) {
-                        a.add(di, j, gpart);
+                        ws.add(di, j, gpart);
                     }
                 }
-                b[di] -= ieq;
+                ws.rhs_add(di, -ieq);
             }
             if let Some(si) = self.node_unknown(m.s) {
                 for (node, gpart) in terminals {
                     if let Some(j) = self.node_unknown(node) {
-                        a.add(si, j, -gpart);
+                        ws.add(si, j, -gpart);
                     }
                 }
-                b[si] += ieq;
+                ws.rhs_add(si, ieq);
             }
         }
     }
 
     /// Runs damped Newton iteration at time `t`, stamping and solving in
-    /// the caller's [`SolverWorkspace`] (no allocation per solve). On
-    /// success, `x` holds the converged solution; returns the number of
-    /// iterations used.
+    /// the caller's [`LinearSolver`] workspace (no allocation per
+    /// solve). On success, `x` holds the converged solution; returns the
+    /// number of iterations used.
     #[allow(clippy::too_many_arguments)]
-    fn newton(
+    fn newton<S: LinearSolver>(
         &self,
-        ws: &mut SolverWorkspace,
+        ws: &mut S,
         x: &mut [f64],
         t: f64,
         gmin: f64,
@@ -519,7 +562,6 @@ impl Circuit {
         let n = self.unknown_count();
         let n_nodes = self.node_count - 1;
         debug_assert_eq!(ws.dim(), n, "workspace sized for a different circuit");
-        let SolverWorkspace { a, rhs } = ws;
         // Progressive damping: steep regenerative loops (the Axon Hillock
         // feedback flip) can trap clamped Newton in a 2-cycle; shrinking the
         // voltage clamp every 25 iterations breaks the cycle while leaving
@@ -529,28 +571,30 @@ impl Circuit {
             if iter > 0 && iter % 25 == 0 {
                 vlimit = (vlimit * 0.5).max(0.01);
             }
-            self.stamp(a, rhs, x, t, gmin, src_scale, dyn_state);
-            a.solve_in_place(rhs)?;
+            self.stamp(ws, x, t, gmin, src_scale, dyn_state);
+            let sol = ws.solve()?;
             if iter + 10 >= opts.max_iter && std::env::var_os("NEUROFI_SPICE_DEBUG").is_some() {
-                let row: Vec<String> = (0..n.min(8))
-                    .map(|i| format!("{:+.4}->{:+.4}", x[i], rhs[i]))
+                let row: Vec<String> = x
+                    .iter()
+                    .zip(sol)
+                    .take(8)
+                    .map(|(xi, si)| format!("{xi:+.4}->{si:+.4}"))
                     .collect();
                 eprintln!("  t={t:.4e} it={iter} [{}]", row.join(", "));
             }
             let mut converged = true;
-            for i in 0..n {
-                let new = rhs[i];
+            for (i, (xi, &new)) in x.iter_mut().zip(sol).enumerate().take(n) {
                 if !new.is_finite() {
                     return Err(Error::Convergence {
                         context: format!("{context} (non-finite solution)"),
                         iterations: iter,
                     });
                 }
-                let mut delta = new - x[i];
+                let mut delta = new - *xi;
                 let tol = if i < n_nodes {
-                    opts.vntol + opts.reltol * new.abs().max(x[i].abs())
+                    opts.vntol + opts.reltol * new.abs().max(xi.abs())
                 } else {
-                    opts.abstol + opts.reltol * new.abs().max(x[i].abs())
+                    opts.abstol + opts.reltol * new.abs().max(xi.abs())
                 };
                 if delta.abs() > tol {
                     converged = false;
@@ -559,7 +603,7 @@ impl Circuit {
                     delta = delta.signum() * vlimit;
                     converged = false;
                 }
-                x[i] += delta;
+                *xi += delta;
             }
             if converged && iter > 0 {
                 return Ok(iter + 1);
@@ -571,7 +615,8 @@ impl Circuit {
         })
     }
 
-    /// Computes the DC operating point with sources evaluated at `t = 0`.
+    /// Computes the DC operating point with sources evaluated at `t = 0`
+    /// on the dense engine.
     ///
     /// Tries plain Newton first, then gmin stepping, then source stepping.
     ///
@@ -583,9 +628,20 @@ impl Circuit {
         self.op_with(&mut ws, opts)
     }
 
+    /// [`Circuit::op`] on the chosen [`Engine`].
+    pub fn op_with_engine(&self, engine: Engine, opts: &SolveOptions) -> Result<OpPoint> {
+        match engine {
+            Engine::Dense => self.op(opts),
+            Engine::Sparse => {
+                let mut ws = SparseWorkspace::new(self.unknown_count());
+                self.op_with(&mut ws, opts)
+            }
+        }
+    }
+
     /// [`Circuit::op`] reusing the caller's solver workspace (the sweep and
     /// transient drivers call this so every strategy shares one allocation).
-    fn op_with(&self, ws: &mut SolverWorkspace, opts: &SolveOptions) -> Result<OpPoint> {
+    fn op_with<S: LinearSolver>(&self, ws: &mut S, opts: &SolveOptions) -> Result<OpPoint> {
         let mut x = self.initial_guess();
         if self
             .newton(
@@ -606,9 +662,7 @@ impl Circuit {
         // gmin stepping: start heavily damped, relax toward the real gmin.
         let mut x = self.initial_guess();
         let mut ok = true;
-        let mut exponent = 3.0;
-        while exponent <= 12.0 {
-            let gmin = 10.0f64.powf(-exponent).max(opts.gmin);
+        for gmin in GminSchedule::standard(opts.gmin).values() {
             if self
                 .newton(ws, &mut x, 0.0, gmin, 1.0, None, opts, "gmin stepping")
                 .is_err()
@@ -616,7 +670,6 @@ impl Circuit {
                 ok = false;
                 break;
             }
-            exponent += 1.0;
         }
         // Finish at the caller's actual gmin (which may be below the floor
         // of the stepping ramp, or zero).
@@ -639,9 +692,7 @@ impl Circuit {
 
         // Source stepping.
         let mut x = vec![0.0; self.unknown_count()];
-        let steps = 20;
-        for k in 1..=steps {
-            let scale = k as f64 / steps as f64;
+        for scale in SourceSchedule::standard().values() {
             self.newton(
                 ws,
                 &mut x,
@@ -682,21 +733,50 @@ impl Circuit {
         values: &[f64],
         opts: &SolveOptions,
     ) -> Result<Vec<OpPoint>> {
+        let mut ws = SolverWorkspace::new(self.unknown_count());
+        self.dc_sweep_with(&mut ws, source_name, values, opts)
+    }
+
+    /// [`Circuit::dc_sweep`] on the chosen [`Engine`].
+    pub fn dc_sweep_with_engine(
+        &self,
+        engine: Engine,
+        source_name: &str,
+        values: &[f64],
+        opts: &SolveOptions,
+    ) -> Result<Vec<OpPoint>> {
+        match engine {
+            Engine::Dense => self.dc_sweep(source_name, values, opts),
+            Engine::Sparse => {
+                let mut ws = SparseWorkspace::new(self.unknown_count());
+                self.dc_sweep_with(&mut ws, source_name, values, opts)
+            }
+        }
+    }
+
+    fn dc_sweep_with<S: LinearSolver>(
+        &self,
+        ws: &mut S,
+        source_name: &str,
+        values: &[f64],
+        opts: &SolveOptions,
+    ) -> Result<Vec<OpPoint>> {
         let mut sweep = self.clone();
         let idx = sweep
             .vsources
             .iter()
             .position(|v| v.name.eq_ignore_ascii_case(source_name))
             .ok_or_else(|| Error::Netlist(format!("no voltage source named '{source_name}'")))?;
-        let mut ws = SolverWorkspace::new(self.unknown_count());
         let mut out = Vec::with_capacity(values.len());
         let mut warm: Option<Vec<f64>> = None;
         for &value in values {
-            sweep.vsources[idx].wave = Waveform::Dc(value);
+            if let Some(vs) = sweep.vsources.get_mut(idx) {
+                vs.wave = Waveform::Dc(value);
+            }
             let mut x = warm.clone().unwrap_or_else(|| sweep.initial_guess());
             if sweep
                 .newton(
-                    &mut ws,
+                    ws,
                     &mut x,
                     0.0,
                     opts.gmin,
@@ -708,7 +788,7 @@ impl Circuit {
                 .is_err()
             {
                 // Fall back to the full strategy chain for this point.
-                let op = sweep.op_with(&mut ws, opts)?;
+                let op = sweep.op_with(ws, opts)?;
                 warm = Some(op.x.clone());
                 out.push(op);
                 continue;
@@ -747,17 +827,33 @@ impl Circuit {
         }
     }
 
-    /// Runs a transient analysis.
+    /// Runs a transient analysis on the dense engine.
     ///
     /// # Errors
     /// [`Error::Convergence`] if a step fails even at the minimum step size;
     /// [`Error::Singular`] for structurally broken circuits.
     pub fn tran(&self, spec: &TranSpec) -> Result<TranResult> {
-        let opts = &spec.options;
         // One workspace for the whole analysis: every timestep's Newton
         // solves (including step-halving retries) stamp into the same
         // Jacobian/RHS buffers.
         let mut ws = SolverWorkspace::new(self.unknown_count());
+        self.tran_impl(&mut ws, spec)
+    }
+
+    /// [`Circuit::tran`] on the chosen [`Engine`].
+    pub fn tran_with_engine(&self, engine: Engine, spec: &TranSpec) -> Result<TranResult> {
+        match engine {
+            Engine::Dense => self.tran(spec),
+            Engine::Sparse => {
+                let mut ws = SparseWorkspace::new(self.unknown_count());
+                self.tran_impl(&mut ws, spec)
+            }
+        }
+    }
+
+    fn tran_impl<S: LinearSolver>(&self, ws: &mut S, spec: &TranSpec) -> Result<TranResult> {
+        let opts = &spec.options;
+        let mut stats = TranStats::default();
         let mut state = DynState {
             v_prev: vec![0.0; self.caps.len()],
             i_prev: vec![0.0; self.caps.len()],
@@ -766,8 +862,8 @@ impl Circuit {
         let mut x;
         if spec.uic {
             x = self.initial_guess();
-            for (idx, cap) in self.caps.iter().enumerate() {
-                state.v_prev[idx] = cap.ic.unwrap_or(0.0);
+            for (cap, v_prev) in self.caps.iter().zip(state.v_prev.iter_mut()) {
+                *v_prev = cap.ic.unwrap_or(0.0);
             }
             // Consistent-start solve: with a vanishing step the capacitor
             // companions become stiff voltage sources at their ICs, so this
@@ -777,7 +873,7 @@ impl Circuit {
             // regenerative circuits may not converge.
             let h0 = 1.0e-15;
             self.newton(
-                &mut ws,
+                ws,
                 &mut x,
                 0.0,
                 opts.gmin,
@@ -787,10 +883,10 @@ impl Circuit {
                 "uic initialisation",
             )?;
         } else {
-            let op = self.op_with(&mut ws, opts)?;
+            let op = self.op_with(ws, opts)?;
             x = op.x.clone();
-            for (idx, cap) in self.caps.iter().enumerate() {
-                state.v_prev[idx] = self.v_at(&x, cap.p) - self.v_at(&x, cap.n);
+            for (cap, v_prev) in self.caps.iter().zip(state.v_prev.iter_mut()) {
+                *v_prev = self.v_at(&x, cap.p) - self.v_at(&x, cap.n);
             }
         }
 
@@ -802,7 +898,7 @@ impl Circuit {
         for is in &self.isources {
             breakpoints.extend(is.wave.breakpoints(spec.tstop));
         }
-        breakpoints.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        breakpoints.sort_by(f64::total_cmp);
         breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1.0e-15);
         let mut bp_cursor = 0usize;
 
@@ -813,27 +909,43 @@ impl Circuit {
             times: Vec::new(),
             data: Vec::new(),
             unknowns: self.unknown_count(),
+            stats: TranStats::default(),
         };
         result.push(0.0, &x);
 
         let dt_min = spec.dt / 1024.0;
         let mut t = 0.0;
         let mut accepted = 0usize;
+        // Adaptive-control history: the previous accepted solution and
+        // its step, feeding the linear predictor.
+        let mut x_prev = x.clone();
+        let mut h_prev = 0.0f64;
+        let mut predicted = vec![0.0; x.len()];
+        let mut h_next = spec.dt;
         while t < spec.tstop - 1.0e-18 {
             // Next target time: base step, clipped to the next breakpoint.
-            while bp_cursor < breakpoints.len() && breakpoints[bp_cursor] <= t + 1.0e-15 {
+            while breakpoints
+                .get(bp_cursor)
+                .is_some_and(|&bp| bp <= t + 1.0e-15)
+            {
                 bp_cursor += 1;
             }
-            let mut h = spec.dt.min(spec.tstop - t);
-            if bp_cursor < breakpoints.len() {
-                let to_bp = breakpoints[bp_cursor] - t;
+            let mut h = match &spec.adaptive {
+                None => spec.dt.min(spec.tstop - t),
+                Some(ctrl) => h_next.clamp(ctrl.h_min, ctrl.h_max).min(spec.tstop - t),
+            };
+            if let Some(&bp) = breakpoints.get(bp_cursor) {
+                let to_bp = bp - t;
                 if to_bp > 1.0e-15 && to_bp < h {
                     h = to_bp;
                 }
             }
 
-            // Attempt the step, halving on convergence failure. The very
-            // first step always uses backward Euler: under `uic` the stored
+            // Attempt the step. Fixed mode halves on convergence
+            // failure; adaptive mode additionally rejects accepted
+            // Newton solves whose local-truncation-error estimate
+            // violates the controller's error weights. The very first
+            // step always uses backward Euler: under `uic` the stored
             // capacitor currents are unknown, and trapezoidal would turn
             // that startup error into a persistent oscillation.
             let method = if accepted == 0 {
@@ -845,7 +957,7 @@ impl Circuit {
             loop {
                 let mut x_try = x.clone();
                 match self.newton(
-                    &mut ws,
+                    ws,
                     &mut x_try,
                     t + step,
                     opts.gmin,
@@ -854,23 +966,62 @@ impl Circuit {
                     opts,
                     "transient step",
                 ) {
-                    Ok(_) => {
-                        t += step;
+                    Ok(iterations) => {
+                        stats.newton_iterations += iterations as u64;
+                        if let Some(ctrl) = &spec.adaptive {
+                            // Predictor/corrector error control. The
+                            // first accepted step has no history and is
+                            // accepted as-is.
+                            if h_prev > 0.0 {
+                                neurofi_solver::step::extrapolate(
+                                    &x_prev,
+                                    &x,
+                                    h_prev,
+                                    step,
+                                    &mut predicted,
+                                );
+                                let ratio = ctrl.error_ratio(&x_try, &predicted, &x);
+                                match ctrl.decide(step, ratio) {
+                                    StepDecision::Accept { next_h } => h_next = next_h,
+                                    StepDecision::Reject { retry_h } => {
+                                        stats.rejected_steps += 1;
+                                        if retry_h >= step {
+                                            return Err(Error::Convergence {
+                                                context: format!(
+                                                    "adaptive transient step at t={t:.3e}s \
+                                                     (minimum step reached)"
+                                                ),
+                                                iterations: opts.max_iter,
+                                            });
+                                        }
+                                        step = retry_h;
+                                        continue;
+                                    }
+                                }
+                            } else {
+                                h_next = step;
+                            }
+                        }
                         // Update companion state from the accepted solution.
-                        for (idx, cap) in self.caps.iter().enumerate() {
+                        for ((cap, v_prev), i_prev) in self
+                            .caps
+                            .iter()
+                            .zip(state.v_prev.iter_mut())
+                            .zip(state.i_prev.iter_mut())
+                        {
                             let v_new = self.v_at(&x_try, cap.p) - self.v_at(&x_try, cap.n);
                             let i_new = match method {
-                                Integration::BackwardEuler => {
-                                    cap.c / step * (v_new - state.v_prev[idx])
-                                }
+                                Integration::BackwardEuler => cap.c / step * (v_new - *v_prev),
                                 Integration::Trapezoidal => {
-                                    2.0 * cap.c / step * (v_new - state.v_prev[idx])
-                                        - state.i_prev[idx]
+                                    2.0 * cap.c / step * (v_new - *v_prev) - *i_prev
                                 }
                             };
-                            state.v_prev[idx] = v_new;
-                            state.i_prev[idx] = i_new;
+                            *v_prev = v_new;
+                            *i_prev = i_new;
                         }
+                        t += step;
+                        h_prev = step;
+                        std::mem::swap(&mut x_prev, &mut x);
                         x = x_try;
                         accepted += 1;
                         if accepted.is_multiple_of(spec.record_every) {
@@ -879,8 +1030,13 @@ impl Circuit {
                         break;
                     }
                     Err(err) => {
+                        stats.rejected_steps += 1;
                         step *= 0.5;
-                        if step < dt_min {
+                        let floor = match &spec.adaptive {
+                            None => dt_min,
+                            Some(ctrl) => ctrl.h_min,
+                        };
+                        if step < floor {
                             return Err(match err {
                                 Error::Convergence { iterations, .. } => Error::Convergence {
                                     context: format!(
@@ -896,9 +1052,12 @@ impl Circuit {
             }
         }
         // Always record the final point.
-        if *result.times.last().unwrap() < t {
+        if result.times.last().copied().unwrap_or(0.0) < t {
             result.push(t, &x);
         }
+        stats.accepted_steps = accepted as u64;
+        stats.solver = ws.stats();
+        result.stats = stats;
         Ok(result)
     }
 }
@@ -913,12 +1072,13 @@ pub struct OpPoint {
 }
 
 impl OpPoint {
-    /// Voltage at `node` (0 V for ground).
+    /// Voltage at `node` (0 V for ground; 0 V for out-of-range nodes,
+    /// which can only come from a foreign netlist).
     pub fn voltage(&self, node: NodeId) -> f64 {
         if node.index() == 0 {
             0.0
         } else {
-            self.x[node.index() - 1]
+            self.x.get(node.index() - 1).copied().unwrap_or(0.0)
         }
     }
 
@@ -929,8 +1089,24 @@ impl OpPoint {
             .branch_names
             .iter()
             .position(|n| n.eq_ignore_ascii_case(name))?;
-        Some(self.x[(self.node_count - 1) + self.branch_offsets[idx]])
+        let offset = self.branch_offsets.get(idx)?;
+        self.x.get((self.node_count - 1) + offset).copied()
     }
+}
+
+/// Work counters accumulated over one transient analysis, including
+/// the linear engine's own [`SolverStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TranStats {
+    /// Total Newton iterations across all step attempts.
+    pub newton_iterations: u64,
+    /// Steps accepted and advanced.
+    pub accepted_steps: u64,
+    /// Step attempts rejected — Newton convergence failures plus (in
+    /// adaptive mode) local-truncation-error rejections.
+    pub rejected_steps: u64,
+    /// Counters from the linear engine that ran the analysis.
+    pub solver: SolverStats,
 }
 
 /// Recorded transient waveforms.
@@ -944,6 +1120,8 @@ pub struct TranResult {
     times: Vec<f64>,
     /// Flattened unknown vectors, `times.len() × unknowns`.
     data: Vec<f64>,
+    /// Work counters for the whole analysis.
+    stats: TranStats,
 }
 
 impl TranResult {
@@ -967,6 +1145,11 @@ impl TranResult {
         self.times.is_empty()
     }
 
+    /// Work counters for the analysis that produced this result.
+    pub fn stats(&self) -> &TranStats {
+        &self.stats
+    }
+
     /// The waveform of `node` as an owned vector aligned with [`times`].
     ///
     /// [`times`]: TranResult::times
@@ -975,10 +1158,13 @@ impl TranResult {
             return vec![0.0; self.times.len()];
         }
         let col = node.index() - 1;
-        self.times
-            .iter()
-            .enumerate()
-            .map(|(row, _)| self.data[row * self.unknowns + col])
+        (0..self.times.len())
+            .map(|row| {
+                self.data
+                    .get(row * self.unknowns + col)
+                    .copied()
+                    .unwrap_or(0.0)
+            })
             .collect()
     }
 
@@ -989,12 +1175,15 @@ impl TranResult {
             .branch_names
             .iter()
             .position(|n| n.eq_ignore_ascii_case(name))?;
-        let col = (self.node_count - 1) + self.branch_offsets[idx];
+        let col = (self.node_count - 1) + self.branch_offsets.get(idx)?;
         Some(
-            self.times
-                .iter()
-                .enumerate()
-                .map(|(row, _)| self.data[row * self.unknowns + col])
+            (0..self.times.len())
+                .map(|row| {
+                    self.data
+                        .get(row * self.unknowns + col)
+                        .copied()
+                        .unwrap_or(0.0)
+                })
                 .collect(),
         )
     }
@@ -1049,6 +1238,136 @@ mod tests {
                 "t={t:.2e}: {} vs {}",
                 v[idx],
                 expect
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_rc_matches_analytic_with_fewer_steps() {
+        let build = || {
+            let mut net = Netlist::new();
+            let vin = net.node("in");
+            let out = net.node("out");
+            net.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(1.0))
+                .unwrap();
+            net.resistor("R1", vin, out, 1.0e3).unwrap();
+            net.capacitor("C1", out, Netlist::GROUND, 1.0e-9).unwrap();
+            net.compile().unwrap()
+        };
+        let tau = 1.0e-6;
+        let fixed = build()
+            .tran(&TranSpec::new(3.0 * tau, tau / 500.0).with_uic())
+            .unwrap();
+        let ctrl = StepControl {
+            reltol: 1.0e-3,
+            abstol: 1.0e-6,
+            h_max: tau / 10.0,
+            ..Default::default()
+        };
+        let adaptive = build()
+            .tran(
+                &TranSpec::new(3.0 * tau, tau / 500.0)
+                    .with_uic()
+                    .with_adaptive(ctrl),
+            )
+            .unwrap();
+        // Still accurate against the analytic exponential...
+        let v = adaptive.voltage(NodeId(2));
+        for (idx, &t) in adaptive.times().iter().enumerate() {
+            let expect = 1.0 - (-t / tau).exp();
+            assert!(
+                (v[idx] - expect).abs() < 1.0e-2,
+                "t={t:.2e}: {} vs {expect}",
+                v[idx]
+            );
+        }
+        // ...while taking far fewer steps than the fixed schedule.
+        let fs = fixed.stats();
+        let st = adaptive.stats();
+        assert!(
+            st.accepted_steps * 4 < fs.accepted_steps,
+            "adaptive {} vs fixed {}",
+            st.accepted_steps,
+            fs.accepted_steps
+        );
+        assert!(st.newton_iterations > 0);
+        assert_eq!(st.solver.dim, 3);
+        assert!(st.solver.solves >= st.newton_iterations);
+    }
+
+    #[test]
+    fn tran_stats_populated_on_fixed_path() {
+        let mut net = Netlist::new();
+        let vin = net.node("in");
+        let out = net.node("out");
+        net.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(1.0))
+            .unwrap();
+        net.resistor("R1", vin, out, 1.0e3).unwrap();
+        net.capacitor("C1", out, Netlist::GROUND, 1.0e-9).unwrap();
+        let res = net
+            .compile()
+            .unwrap()
+            .tran(&TranSpec::new(1.0e-6, 1.0e-8).with_uic())
+            .unwrap();
+        let st = res.stats();
+        assert_eq!(st.accepted_steps, 100);
+        assert_eq!(st.rejected_steps, 0);
+        assert!(st.newton_iterations >= st.accepted_steps);
+        // Dense engine: every solve is a full factorisation of an n² matrix.
+        assert_eq!(st.solver.nnz, st.solver.dim * st.solver.dim);
+        assert_eq!(st.solver.full_factorizations, st.solver.solves);
+    }
+
+    #[test]
+    fn sparse_engine_matches_dense_on_cmos_inverter_sweep() {
+        let build = || {
+            let mut net = Netlist::new();
+            let vdd = net.node("vdd");
+            let vin = net.node("in");
+            let out = net.node("out");
+            net.vsource("VDD", vdd, Netlist::GROUND, Waveform::Dc(1.0))
+                .unwrap();
+            net.vsource("VIN", vin, Netlist::GROUND, Waveform::Dc(0.5))
+                .unwrap();
+            net.mosfet(
+                "MN",
+                out,
+                vin,
+                Netlist::GROUND,
+                Netlist::GROUND,
+                MosModel::ptm65_nmos(),
+                1.0e-6,
+                65.0e-9,
+            )
+            .unwrap();
+            net.mosfet(
+                "MP",
+                out,
+                vin,
+                vdd,
+                vdd,
+                MosModel::ptm65_pmos(),
+                2.5e-6,
+                65.0e-9,
+            )
+            .unwrap();
+            net.compile().unwrap()
+        };
+        let values: Vec<f64> = (0..=20).map(|i| i as f64 / 20.0).collect();
+        let opts = SolveOptions::default();
+        let circuit = build();
+        let dense = circuit
+            .dc_sweep_with_engine(Engine::Dense, "VIN", &values, &opts)
+            .unwrap();
+        let sparse = circuit
+            .dc_sweep_with_engine(Engine::Sparse, "VIN", &values, &opts)
+            .unwrap();
+        let out = NodeId(3);
+        for (d, s) in dense.iter().zip(&sparse) {
+            let (vd, vs) = (d.voltage(out), s.voltage(out));
+            assert!(
+                (vd - vs).abs() <= 1e-9 * vd.abs().max(vs.abs()).max(1.0),
+                "dense {vd} vs sparse {vs}"
             );
         }
     }

@@ -59,6 +59,14 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+impl From<neurofi_solver::SolverError> for Error {
+    fn from(e: neurofi_solver::SolverError) -> Error {
+        match e {
+            neurofi_solver::SolverError::Singular { row } => Error::Singular { row },
+        }
+    }
+}
+
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, Error>;
 

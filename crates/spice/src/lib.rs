@@ -9,13 +9,16 @@
 //! 65 nm model cards. Neither is redistributable, so this crate provides the
 //! closest open equivalent:
 //!
-//! * **Modified nodal analysis** (MNA) with dense partial-pivot LU — the
-//!   circuits of interest have fewer than ~25 nodes, where dense solves beat
-//!   any sparse machinery.
+//! * **Modified nodal analysis** (MNA) over pluggable linear engines
+//!   ([`circuit::Engine`]): a dense partial-pivot LU — the regression-locked
+//!   default, optimal below ~25 unknowns — and the sparse Markowitz LU from
+//!   `neurofi-solver` for whole-layer netlists with hundreds of unknowns.
 //! * **Newton–Raphson** nonlinear iteration with voltage-step limiting,
 //!   `gmin` stepping and source stepping fall-backs.
 //! * **Transient analysis** using backward-Euler or trapezoidal companion
-//!   models, with automatic step halving when Newton fails to converge.
+//!   models, with automatic step halving when Newton fails to converge, and
+//!   optional error-weighted adaptive timestep control
+//!   ([`TranSpec::with_adaptive`]).
 //! * An **EKV-style MOSFET compact model** ([`device::MosModel`]): a single
 //!   smooth equation covering subthreshold, triode and saturation, with
 //!   analytic derivatives (crucial for the slow membrane-voltage ramps of
@@ -74,7 +77,7 @@ pub mod parse;
 pub mod units;
 pub mod waveform;
 
-pub use circuit::{Circuit, OpPoint, SolveOptions, TranResult, TranSpec};
+pub use circuit::{Circuit, Engine, OpPoint, SolveOptions, TranResult, TranSpec, TranStats};
 pub use device::{MosModel, MosType};
 pub use error::Error;
 pub use netlist::{Element, Netlist, NodeId};

@@ -22,8 +22,12 @@ pub enum Edge {
 pub fn crossings(times: &[f64], values: &[f64], level: f64, edge: Edge) -> Vec<f64> {
     assert_eq!(times.len(), values.len(), "times/values length mismatch");
     let mut out = Vec::new();
-    for i in 1..values.len() {
-        let (v0, v1) = (values[i - 1], values[i]);
+    for (tw, vw) in times.windows(2).zip(values.windows(2)) {
+        let (&[t0, t1], &[v0, v1]) = (tw, vw) else {
+            continue;
+        };
+        // NaN samples compare false on both edges, so a non-finite
+        // glitch in the waveform never fabricates a crossing.
         let hit = match edge {
             Edge::Rising => v0 < level && v1 >= level,
             Edge::Falling => v0 > level && v1 <= level,
@@ -34,7 +38,7 @@ pub fn crossings(times: &[f64], values: &[f64], level: f64, edge: Edge) -> Vec<f
             } else {
                 (level - v0) / (v1 - v0)
             };
-            out.push(times[i - 1] + frac * (times[i] - times[i - 1]));
+            out.push(t0 + frac * (t1 - t0));
         }
     }
     out
@@ -64,15 +68,18 @@ pub fn mean_spike_period(times: &[f64], values: &[f64], threshold: f64) -> Optio
     if spikes.len() < 2 {
         return None;
     }
-    Some((spikes[spikes.len() - 1] - spikes[0]) / (spikes.len() - 1) as f64)
+    let (first, last) = (spikes.first()?, spikes.last()?);
+    Some((last - first) / (spikes.len() - 1) as f64)
 }
 
-/// Largest sample value.
+/// Largest finite-comparable sample value (`f64::max` skips NaN, so a
+/// NaN glitch never poisons the result; an empty slice yields `-∞`).
 pub fn maximum(values: &[f64]) -> f64 {
     values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
 }
 
-/// Smallest sample value.
+/// Smallest finite-comparable sample value (`f64::min` skips NaN; an
+/// empty slice yields `+∞`).
 pub fn minimum(values: &[f64]) -> f64 {
     values.iter().copied().fold(f64::INFINITY, f64::min)
 }
@@ -84,8 +91,10 @@ pub fn average_in(times: &[f64], values: &[f64], t0: f64, t1: f64) -> Option<f64
     assert_eq!(times.len(), values.len(), "times/values length mismatch");
     let mut area = 0.0;
     let mut span = 0.0;
-    for i in 1..times.len() {
-        let (ta, tb) = (times[i - 1], times[i]);
+    for (tw, vw) in times.windows(2).zip(values.windows(2)) {
+        let (&[ta, tb], &[va, vb]) = (tw, vw) else {
+            continue;
+        };
         if tb <= t0 || ta >= t1 {
             continue;
         }
@@ -97,9 +106,9 @@ pub fn average_in(times: &[f64], values: &[f64], t0: f64, t1: f64) -> Option<f64
         // Linear interpolation of the segment endpoints onto [lo, hi].
         let f = |t: f64| {
             if tb == ta {
-                values[i]
+                vb
             } else {
-                values[i - 1] + (values[i] - values[i - 1]) * (t - ta) / (tb - ta)
+                va + (vb - va) * (t - ta) / (tb - ta)
             }
         };
         area += 0.5 * (f(lo) + f(hi)) * (hi - lo);
@@ -114,10 +123,22 @@ pub fn average_in(times: &[f64], values: &[f64], t0: f64, t1: f64) -> Option<f64
 
 /// Relative change `(value - reference) / reference`, in percent.
 ///
-/// # Panics
-/// Panics if `reference` is zero.
+/// Degenerate inputs never panic: a zero reference yields `0.0` when
+/// the value is also zero and a signed infinity otherwise, and any
+/// non-finite input yields `NaN` — which compares false against every
+/// threshold, so downstream comparisons fail closed rather than
+/// reporting a spurious change.
 pub fn percent_change(value: f64, reference: f64) -> f64 {
-    assert!(reference != 0.0, "reference must be non-zero");
+    if !value.is_finite() || !reference.is_finite() {
+        return f64::NAN;
+    }
+    if reference == 0.0 {
+        return if value == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY.copysign(value)
+        };
+    }
     (value - reference) / reference * 100.0
 }
 
@@ -207,5 +228,51 @@ mod tests {
     fn percent_change_signs() {
         assert!((percent_change(1.2, 1.0) - 20.0).abs() < 1e-12);
         assert!((percent_change(0.8, 1.0) + 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_change_degenerate_inputs() {
+        assert_eq!(percent_change(0.0, 0.0), 0.0);
+        assert_eq!(percent_change(1.0, 0.0), f64::INFINITY);
+        assert_eq!(percent_change(-1.0, 0.0), f64::NEG_INFINITY);
+        assert!(percent_change(f64::NAN, 1.0).is_nan());
+        assert!(percent_change(1.0, f64::NAN).is_nan());
+        assert!(percent_change(f64::INFINITY, 1.0).is_nan());
+        // NaN fails closed against thresholds: incomparable, not less
+        // or greater.
+        assert_eq!(percent_change(f64::NAN, 1.0).partial_cmp(&5.0), None);
+        assert_eq!(percent_change(f64::NAN, 1.0).partial_cmp(&-5.0), None);
+    }
+
+    #[test]
+    fn nan_glitch_never_fabricates_crossings() {
+        let t: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let v = [0.0, f64::NAN, 0.0, 0.0, 1.0, 1.0];
+        // Only the genuine 0→1 edge at t ∈ [3,4] is reported.
+        let c = crossings(&t, &v, 0.5, Edge::Rising);
+        assert_eq!(c.len(), 1);
+        assert!((c[0] - 3.5).abs() < 1e-12);
+        assert!(crossings(&t, &v, 0.5, Edge::Falling).is_empty());
+    }
+
+    #[test]
+    fn min_max_skip_nan_and_handle_empty() {
+        let v = [1.0, f64::NAN, 2.0];
+        assert_eq!(maximum(&v), 2.0);
+        assert_eq!(minimum(&v), 1.0);
+        assert_eq!(maximum(&[]), f64::NEG_INFINITY);
+        assert_eq!(minimum(&[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn degenerate_waveforms_dont_panic() {
+        // Empty and single-sample waveforms flow through every helper.
+        assert!(crossings(&[], &[], 0.5, Edge::Rising).is_empty());
+        assert!(mean_spike_period(&[0.0], &[1.0], 0.5).is_none());
+        assert!(time_to_first_spike(&[], &[], 0.5).is_none());
+        assert!(average_in(&[0.0], &[1.0], 0.0, 1.0).is_none());
+        // Reversed window: no overlap, None rather than garbage.
+        let (t, v) = ramp();
+        assert!(average_in(&t, &v, 8.0, 2.0).is_none());
     }
 }

@@ -8,8 +8,16 @@
 //! re-stamped in place on every Newton iteration of every timestep —
 //! [`DenseMatrix::reset`] zeroes without reallocating, so the solver hot
 //! loop performs no heap allocation at all.
+//!
+//! The workspace implements [`neurofi_solver::LinearSolver`] by pure
+//! forwarding — `begin` is `reset` + `fill(0.0)`, `add` is the dense
+//! stamp, `solve` is the in-place LU — so the trait-generic analysis
+//! drivers in [`crate::circuit`] monomorphise to exactly the
+//! floating-point operation sequence this engine has always performed,
+//! keeping all regression-locked vectors byte-identical.
 
 use crate::error::{Error, Result};
+use neurofi_solver::{LinearSolver, SolverError, SolverStats};
 
 /// Reusable Newton-solver scratch: the MNA Jacobian and RHS vector.
 ///
@@ -23,6 +31,8 @@ pub struct SolverWorkspace {
     /// The right-hand side; [`DenseMatrix::solve_in_place`] overwrites it
     /// with the solution.
     pub rhs: Vec<f64>,
+    /// Completed solves, for [`LinearSolver::stats`].
+    solves: u64,
 }
 
 impl SolverWorkspace {
@@ -31,12 +41,62 @@ impl SolverWorkspace {
         SolverWorkspace {
             a: DenseMatrix::new(n),
             rhs: vec![0.0; n],
+            solves: 0,
         }
     }
 
     /// The system dimension this workspace is sized for.
     pub fn dim(&self) -> usize {
         self.a.dim()
+    }
+}
+
+impl LinearSolver for SolverWorkspace {
+    fn dim(&self) -> usize {
+        self.a.dim()
+    }
+
+    fn begin(&mut self) {
+        self.a.reset();
+        self.rhs.fill(0.0);
+    }
+
+    #[inline]
+    fn add(&mut self, row: usize, col: usize, value: f64) {
+        self.a.add(row, col, value);
+    }
+
+    #[inline]
+    fn rhs_add(&mut self, row: usize, value: f64) {
+        self.rhs[row] += value;
+    }
+
+    #[inline]
+    fn rhs_set(&mut self, row: usize, value: f64) {
+        self.rhs[row] = value;
+    }
+
+    fn solve(&mut self) -> std::result::Result<&[f64], SolverError> {
+        self.a.solve_in_place(&mut self.rhs).map_err(|e| match e {
+            Error::Singular { row } => SolverError::Singular { row },
+            // solve_in_place only reports singularity.
+            _ => SolverError::Singular { row: 0 },
+        })?;
+        self.solves += 1;
+        Ok(&self.rhs)
+    }
+
+    fn stats(&self) -> SolverStats {
+        let n = self.a.dim();
+        SolverStats {
+            dim: n,
+            nnz: n * n,
+            lu_nnz: n * n,
+            pattern_rebuilds: 0,
+            full_factorizations: self.solves,
+            refactorizations: 0,
+            solves: self.solves,
+        }
     }
 }
 

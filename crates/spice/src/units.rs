@@ -59,15 +59,15 @@ pub fn parse_spice_number(text: &str) -> Option<f64> {
         if idx == 0 {
             continue;
         }
-        if t[..idx].parse::<f64>().is_ok() {
+        if t.get(..idx).is_some_and(|p| p.parse::<f64>().is_ok()) {
             split = idx;
         }
     }
     if split == 0 {
         return None;
     }
-    let mantissa: f64 = t[..split].parse().ok()?;
-    let suffix = t[split..].to_ascii_lowercase();
+    let mantissa: f64 = t.get(..split)?.parse().ok()?;
+    let suffix = t.get(split..)?.to_ascii_lowercase();
     let scale = if suffix.starts_with("meg") {
         MEGA
     } else {

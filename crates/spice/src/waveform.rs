@@ -104,15 +104,18 @@ impl Waveform {
                 }
             }
             Waveform::Pwl(points) => {
-                if points.is_empty() {
+                let (Some(&(t_first, v_first)), Some(&(_, v_last))) =
+                    (points.first(), points.last())
+                else {
                     return 0.0;
-                }
-                if t <= points[0].0 {
-                    return points[0].1;
+                };
+                if t <= t_first {
+                    return v_first;
                 }
                 for pair in points.windows(2) {
-                    let (t0, v0) = pair[0];
-                    let (t1, v1) = pair[1];
+                    let &[(t0, v0), (t1, v1)] = pair else {
+                        continue;
+                    };
                     if t <= t1 {
                         if t1 <= t0 {
                             return v1;
@@ -120,7 +123,7 @@ impl Waveform {
                         return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
                     }
                 }
-                points.last().unwrap().1
+                v_last
             }
             Waveform::Sin {
                 offset,

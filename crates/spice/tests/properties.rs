@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use neurofi_spice::device::MosModel;
 use neurofi_spice::mna::DenseMatrix;
 use neurofi_spice::units::parse_spice_number;
-use neurofi_spice::{Netlist, TranSpec, Waveform};
+use neurofi_spice::{Engine, Netlist, TranSpec, Waveform};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -174,5 +174,77 @@ proptest! {
             "{} vs {expect}",
             op.voltage(mid)
         );
+    }
+
+    /// The sparse engine agrees with the dense engine within 1e-9
+    /// relative on random resistive-ladder operating points.
+    #[test]
+    fn sparse_op_matches_dense_on_random_ladders(
+        n in 2usize..16,
+        seed in any::<u64>(),
+        vsrc in 0.2f64..3.0,
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64 + 0.05
+        };
+        let mut net = Netlist::new();
+        let nodes: Vec<_> = (0..n).map(|i| net.node(&format!("n{i}"))).collect();
+        net.vsource("V1", nodes[0], Netlist::GROUND, Waveform::Dc(vsrc)).unwrap();
+        for i in 1..n {
+            // Series rung plus a shunt to ground: always well-posed.
+            net.resistor(&format!("Rs{i}"), nodes[i - 1], nodes[i], 1.0e3 * next())
+                .unwrap();
+            net.resistor(&format!("Rg{i}"), nodes[i], Netlist::GROUND, 1.0e4 * next())
+                .unwrap();
+        }
+        let circuit = net.compile().unwrap();
+        let opts = Default::default();
+        let dense = circuit.op_with_engine(Engine::Dense, &opts).unwrap();
+        let sparse = circuit.op_with_engine(Engine::Sparse, &opts).unwrap();
+        for &node in &nodes {
+            let d = dense.voltage(node);
+            let s = sparse.voltage(node);
+            prop_assert!(
+                (d - s).abs() <= 1e-9 * d.abs().max(s.abs()).max(1.0),
+                "node {node:?}: dense {d} vs sparse {s}"
+            );
+        }
+    }
+
+    /// Sparse and dense transients agree within 1e-9 relative on RC
+    /// networks (same fixed-step schedule, different LU).
+    #[test]
+    fn sparse_tran_matches_dense_on_rc(
+        r_exp in 0.0f64..2.0,
+        c_exp in 0.0f64..2.0,
+    ) {
+        let r = 1.0e3 * 10f64.powf(r_exp);
+        let c = 1.0e-10 * 10f64.powf(c_exp);
+        let tau = r * c;
+        let mut net = Netlist::new();
+        let vin = net.node("in");
+        let out = net.node("out");
+        net.vsource("V1", vin, Netlist::GROUND, Waveform::Dc(1.0)).unwrap();
+        net.resistor("R1", vin, out, r).unwrap();
+        net.capacitor("C1", out, Netlist::GROUND, c).unwrap();
+        let circuit = net.compile().unwrap();
+        let spec = TranSpec::new(2.0 * tau, tau / 50.0).with_uic();
+        let dense = circuit.tran_with_engine(Engine::Dense, &spec).unwrap();
+        let sparse = circuit.tran_with_engine(Engine::Sparse, &spec).unwrap();
+        prop_assert_eq!(dense.len(), sparse.len());
+        let vd = dense.voltage(out);
+        let vs = sparse.voltage(out);
+        for (i, (d, s)) in vd.iter().zip(&vs).enumerate() {
+            prop_assert!(
+                (d - s).abs() <= 1e-9 * d.abs().max(s.abs()).max(1.0),
+                "point {i}: dense {d} vs sparse {s}"
+            );
+        }
+        // The sparse engine reused its pattern across the analysis.
+        let st = sparse.stats().solver;
+        prop_assert!(st.refactorizations > 0, "{st:?}");
+        prop_assert!(st.nnz < st.dim * st.dim || st.dim <= 2);
     }
 }
